@@ -1,0 +1,181 @@
+// Ablated variants of WAIT-FREE-GATHER for experiment E8.
+//
+// Each variant removes one design ingredient whose necessity the paper argues
+// for, keeping everything else identical:
+//   * no_side_step     -- blocked robots in the M case charge straight at the
+//                         target instead of side-stepping (Fig. 2 lines 7-12);
+//                         a movement adversary can park them on blockers and
+//                         destroy the unique maximum multiplicity.
+//   * unsafe_election  -- the A case elects among *all* occupied points
+//                         instead of only safe ones (Def. 8); an adversary
+//                         can then herd the swarm into the bivalent trap.
+//   * proximity_tiebreak -- the A case drops the chirality-based view
+//                         tie-break; tied (mirror-twin) leaders are resolved
+//                         by each robot picking the nearest, so an axially
+//                         symmetric swarm splits in two.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "config/config.h"
+#include "core/core.h"
+#include "geometry/predicates.h"
+#include "sim/movement.h"
+
+namespace gather::bench {
+
+using config::configuration;
+using core::snapshot;
+using geom::vec2;
+
+class no_side_step_gather final : public core::gathering_algorithm {
+ public:
+  [[nodiscard]] vec2 destination(const snapshot& s) const override {
+    const configuration& c = s.observed;
+    const auto cls = config::classify(c);
+    if (cls.cls == config::config_class::multiple) {
+      // Ablation: ignore blockers, go straight.
+      return *cls.target;
+    }
+    return base_.destination(s);
+  }
+  [[nodiscard]] std::string_view name() const override { return "no-side-step"; }
+
+ private:
+  core::wait_free_gather base_;
+};
+
+class unsafe_election_gather final : public core::gathering_algorithm {
+ public:
+  [[nodiscard]] vec2 destination(const snapshot& s) const override {
+    const configuration& c = s.observed;
+    const auto cls = config::classify(c);
+    if (cls.cls == config::config_class::asymmetric) {
+      return elect_anywhere(c);
+    }
+    return base_.destination(s);
+  }
+  [[nodiscard]] std::string_view name() const override { return "unsafe-election"; }
+
+ private:
+  // The same (mult, -sum, view) key as the real algorithm, but over all
+  // occupied points rather than the safe ones.
+  static vec2 elect_anywhere(const configuration& c) {
+    const geom::tol& t = c.tolerance();
+    const config::occupied_point* best = nullptr;
+    config::view best_view;
+    double best_sum = 0.0;
+    for (const config::occupied_point& o : c.occupied()) {
+      const double sum = c.sum_distances(o.position);
+      if (best == nullptr) {
+        best = &o;
+        best_sum = sum;
+        best_view = config::view_of(c, o.position);
+        continue;
+      }
+      if (o.multiplicity != best->multiplicity) {
+        if (o.multiplicity > best->multiplicity) {
+          best = &o;
+          best_sum = sum;
+          best_view = config::view_of(c, o.position);
+        }
+        continue;
+      }
+      const int scmp = t.len_cmp(sum, best_sum);
+      if (scmp != 0) {
+        if (scmp < 0) {
+          best = &o;
+          best_sum = sum;
+          best_view = config::view_of(c, o.position);
+        }
+        continue;
+      }
+      auto v = config::view_of(c, o.position);
+      if (config::compare_views(v, best_view, t) > 0) {
+        best = &o;
+        best_sum = sum;
+        best_view = std::move(v);
+      }
+    }
+    return best->position;
+  }
+
+  core::wait_free_gather base_;
+};
+
+class proximity_tiebreak_gather final : public core::gathering_algorithm {
+ public:
+  [[nodiscard]] vec2 destination(const snapshot& s) const override {
+    const configuration& c = s.observed;
+    const auto cls = config::classify(c);
+    if (cls.cls == config::config_class::asymmetric) {
+      return elect_without_views(c, s.self);
+    }
+    return base_.destination(s);
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "proximity-tiebreak";
+  }
+
+ private:
+  // Ablation: the chirality-based view comparison is unavailable, so the
+  // election key stops at (mult, -sum of distances).  Mirror twins tie; each
+  // robot resolves the tie towards the nearest candidate.
+  static vec2 elect_without_views(const configuration& c, vec2 self) {
+    const geom::tol& t = c.tolerance();
+    const auto safe = config::safe_occupied_points(c);
+    std::vector<const config::occupied_point*> cands;
+    for (std::size_t idx : safe) cands.push_back(&c.occupied()[idx]);
+    if (cands.empty()) return self;
+    int best_mult = 0;
+    for (const auto* o : cands) best_mult = std::max(best_mult, o->multiplicity);
+    std::erase_if(cands, [&](const auto* o) { return o->multiplicity != best_mult; });
+    double best_sum = c.sum_distances(cands.front()->position);
+    for (const auto* o : cands) {
+      best_sum = std::min(best_sum, c.sum_distances(o->position));
+    }
+    std::erase_if(cands, [&](const auto* o) {
+      return t.len_cmp(c.sum_distances(o->position), best_sum) != 0;
+    });
+    // Tie: nearest to self (the robot-dependent, chirality-free fallback).
+    const config::occupied_point* pick = cands.front();
+    for (const auto* o : cands) {
+      if (geom::distance(o->position, self) < geom::distance(pick->position, self)) {
+        pick = o;
+      }
+    }
+    return pick->position;
+  }
+
+  core::wait_free_gather base_;
+};
+
+/// Movement adversary that parks any robot whose path crosses the magnet
+/// point exactly there (model-legal: only when at least delta has been
+/// covered and the destination is farther than delta).
+class magnet_stop final : public sim::movement_adversary {
+ public:
+  explicit magnet_stop(vec2 magnet) : magnet_(magnet) {}
+
+  double travelled(double want, double, sim::rng&) override { return want; }
+
+  vec2 stop_point(vec2 from, vec2 dest, double delta, sim::rng&) override {
+    const double want = geom::distance(from, dest);
+    if (want <= delta || want == 0.0) return dest;
+    const vec2 dir = (dest - from) / want;
+    const double along = dot(magnet_ - from, dir);
+    const double off = geom::distance(from + along * dir, magnet_);
+    if (along >= delta && along <= want && off <= 1e-9 * want) {
+      return magnet_;
+    }
+    return dest;
+  }
+
+  std::string_view name() const override { return "magnet"; }
+
+ private:
+  vec2 magnet_;
+};
+
+}  // namespace gather::bench

@@ -1,0 +1,72 @@
+// Experiment E9 (extension) -- the ATOM/ASYNC model boundary.
+//
+// The paper proves WAIT-FREE-GATHER correct in the ATOM model only.  This
+// experiment runs the same algorithm in the asynchronous (CORDA-style)
+// engine, where Look and Move decouple and robots can move on stale
+// snapshots, sweeping interleaving hostility and crash counts.  Reported per
+// cell: success rate, median completed Look-Move cycles, and how many moves
+// executed against stale snapshots.  Expectation: the sequential policy is
+// exactly ATOM (100%); random interleaving succeeds on generic instances
+// despite heavy staleness; the look-all-move-all sweep is the adversarial
+// frontier where failures concentrate.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/wait_free_gather.h"
+#include "harness.h"
+#include "workloads/generators.h"
+
+int main() {
+  using namespace gather;
+  const core::wait_free_gather algo;
+  const int seeds = 12;
+  const std::size_t n = 7;
+
+  std::printf("E9 (extension): WAIT-FREE-GATHER beyond ATOM, n=%zu, %d seeds\n\n",
+              n, seeds);
+  std::printf("%-22s %3s | %9s %10s %12s\n", "interleaving", "f", "success",
+              "med.cycles", "stale moves");
+  bench::print_rule(66);
+
+  for (const sim::async_policy policy :
+       {sim::async_policy::atomic_sequential,
+        sim::async_policy::random_interleaving,
+        sim::async_policy::look_all_move_all}) {
+    for (std::size_t f : {std::size_t{0}, std::size_t{2}, n - 1}) {
+      int ok = 0;
+      std::vector<std::size_t> cycles;
+      std::size_t stale = 0;
+      for (int seed = 0; seed < seeds; ++seed) {
+        sim::rng r(40'000 + seed);
+        auto move = sim::make_random_stop();
+        auto crash = f == 0 ? sim::make_no_crash() : sim::make_random_crashes(f, 60);
+        sim::async_options opts;
+        opts.policy = policy;
+        opts.seed = 9'000 + seed;
+        const auto res = sim::simulate_async(workloads::uniform_random(n, r), algo,
+                                             *move, *crash, opts);
+        stale += res.stale_moves;
+        if (res.status == sim::sim_status::gathered) {
+          ok++;
+          cycles.push_back(res.cycles);
+        }
+      }
+      std::sort(cycles.begin(), cycles.end());
+      std::printf("%-22s %3zu | %8.0f%% %10zu %12zu\n",
+                  std::string(sim::to_string(policy)).c_str(), f,
+                  100.0 * ok / seeds,
+                  cycles.empty() ? 0 : cycles[cycles.size() / 2],
+                  stale / seeds);
+    }
+    bench::print_rule(66);
+  }
+
+  std::printf(
+      "\nInterpretation: the paper's correctness proof needs Look-Compute-Move\n"
+      "atomicity; the sequential policy reproduces it exactly (zero stale\n"
+      "moves).  Empirically the algorithm also tolerates heavy random\n"
+      "asynchrony on generic instances -- extending the proof to ASYNC is the\n"
+      "natural follow-up work the data motivates.\n");
+  return 0;
+}

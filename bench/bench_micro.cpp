@@ -1,0 +1,145 @@
+// Experiment E7 -- microbenchmarks of the per-round computations
+// (google-benchmark).
+//
+// The paper's algorithm is meant to run in every Look-Compute-Move cycle, so
+// the per-snapshot cost of each pipeline stage matters: smallest enclosing
+// circle, views/symmetry, quasi-regularity detection, Weber points, full
+// classification and the complete destination computation.
+#include <benchmark/benchmark.h>
+
+#include "config/config.h"
+#include "core/core.h"
+#include "geometry/geometry.h"
+#include "sim/rng.h"
+#include "workloads/generators.h"
+
+namespace {
+
+using namespace gather;
+
+std::vector<geom::vec2> cloud(std::size_t n) {
+  sim::rng r(n * 31 + 7);
+  return workloads::uniform_random(n, r);
+}
+
+void bm_configuration_build(benchmark::State& state) {
+  const auto pts = cloud(state.range(0));
+  for (auto _ : state) {
+    config::configuration c(pts);
+    benchmark::DoNotOptimize(c.distinct_count());
+  }
+}
+BENCHMARK(bm_configuration_build)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void bm_smallest_enclosing_circle(benchmark::State& state) {
+  const auto pts = cloud(state.range(0));
+  const geom::tol t = geom::tol::for_points(pts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::smallest_enclosing_circle(pts, t).radius);
+  }
+}
+BENCHMARK(bm_smallest_enclosing_circle)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void bm_convex_hull(benchmark::State& state) {
+  const auto pts = cloud(state.range(0));
+  const geom::tol t = geom::tol::for_points(pts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::convex_hull(pts, t).size());
+  }
+}
+BENCHMARK(bm_convex_hull)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void bm_views_symmetry(benchmark::State& state) {
+  const config::configuration c(cloud(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config::symmetry(c));
+  }
+}
+BENCHMARK(bm_views_symmetry)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_qr_detection_negative(benchmark::State& state) {
+  const config::configuration c(cloud(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config::detect_quasi_regularity(c).has_value());
+  }
+}
+BENCHMARK(bm_qr_detection_negative)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_qr_detection_positive(benchmark::State& state) {
+  sim::rng r(5);
+  const config::configuration c(
+      workloads::symmetric_rings(state.range(0) / 2, 2, r));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config::detect_quasi_regularity(c).has_value());
+  }
+}
+BENCHMARK(bm_qr_detection_positive)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_weiszfeld(benchmark::State& state) {
+  const config::configuration c(cloud(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config::geometric_median_weiszfeld(c)->x);
+  }
+}
+BENCHMARK(bm_weiszfeld)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void bm_classify(benchmark::State& state) {
+  const config::configuration c(cloud(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(config::classify(c).cls);
+  }
+}
+BENCHMARK(bm_classify)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void bm_destination_asymmetric(benchmark::State& state) {
+  const core::wait_free_gather algo;
+  const config::configuration c(cloud(state.range(0)));
+  const geom::vec2 self = c.occupied().front().position;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.destination({c, self}).x);
+  }
+}
+BENCHMARK(bm_destination_asymmetric)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_destination_multiple(benchmark::State& state) {
+  const core::wait_free_gather algo;
+  sim::rng r(9);
+  const config::configuration c(
+      workloads::with_majority(state.range(0), state.range(0) / 3, r));
+  const geom::vec2 self = c.occupied().back().position;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.destination({c, self}).x);
+  }
+}
+BENCHMARK(bm_destination_multiple)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void bm_full_round_synchronous(benchmark::State& state) {
+  // One complete ATOM round for n robots (all active), per-snapshot calls.
+  const core::wait_free_gather algo;
+  const auto pts = cloud(state.range(0));
+  for (auto _ : state) {
+    const config::configuration c(pts);
+    geom::vec2 acc{};
+    for (const config::occupied_point& o : c.occupied()) {
+      acc += algo.destination({c, o.position});
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_full_round_synchronous)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_full_round_bulk(benchmark::State& state) {
+  // Same round through the batched entry point (one classification/election
+  // per configuration) -- the speedup engines rely on.
+  const core::wait_free_gather algo;
+  const auto pts = cloud(state.range(0));
+  for (auto _ : state) {
+    const config::configuration c(pts);
+    benchmark::DoNotOptimize(algo.destinations(c).size());
+  }
+}
+BENCHMARK(bm_full_round_bulk)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Experiment E10 (extension) -- the capability/fault-model boundaries the
+// paper states around its main theorem.
+//
+//   (a) Strong multiplicity detection is *necessary* (Sec. I): under weak
+//       detection a (k, n-k) two-stack configuration is indistinguishable
+//       from the bivalent one, so the algorithm freezes exactly there.
+//   (b) Transient faults are tolerated for free (oblivious = self-stabilizing,
+//       Sec. I): scattering the whole swarm mid-run just restarts it.
+//   (c) Byzantine faults are beyond crash tolerance ([1], cited in Sec. I:
+//       one byzantine robot defeats gathering for n = 3): a splitter
+//       byzantine keeps the correct robots from ever resting gathered.
+#include <cstdio>
+
+#include "core/wait_free_gather.h"
+#include "core/weak_multiplicity.h"
+#include "harness.h"
+#include "workloads/generators.h"
+
+int main() {
+  using namespace gather;
+  const core::wait_free_gather algo;
+
+  std::printf("E10 (extension): capability and fault-model boundaries\n\n");
+
+  // (a) weak multiplicity -----------------------------------------------------
+  std::printf("(a) multiplicity detection on two-stack configurations (k, n-k):\n");
+  std::printf("    %-10s %-10s | %-12s %-12s\n", "stacks", "class", "strong",
+              "weak");
+  bench::print_rule(56);
+  const core::weak_multiplicity_adapter weak(algo);
+  for (const auto& [k, m] : std::vector<std::pair<int, int>>{
+           {3, 2}, {4, 2}, {5, 3}, {4, 4}}) {
+    std::vector<geom::vec2> pts;
+    for (int i = 0; i < k; ++i) pts.push_back({0, 0});
+    for (int i = 0; i < m; ++i) pts.push_back({6, 0});
+    auto run = [&](const core::gathering_algorithm& a) {
+      auto sched = sim::make_synchronous();
+      auto move = sim::make_full_movement();
+      auto crash = sim::make_no_crash();
+      sim::sim_options opts;
+      opts.max_rounds = 1'000;
+      return sim::simulate(pts, a, *sched, *move, *crash, opts);
+    };
+    const auto rs = run(algo);
+    const auto rw = run(weak);
+    std::printf("    (%d,%d)%5s %-10s | %-12s %-12s\n", k, m, "",
+                std::string(config::to_string(
+                    config::classify(config::configuration(pts)).cls)).c_str(),
+                std::string(sim::to_string(rs.status)).c_str(),
+                std::string(sim::to_string(rw.status)).c_str());
+  }
+  std::printf("    -> weak detection freezes every unequal stack pair it\n"
+              "       cannot tell from bivalent; strong detection gathers all\n"
+              "       but the true bivalent (4,4).\n\n");
+
+  // (b) transient faults -------------------------------------------------------
+  std::printf("(b) transient faults (full scatter of all positions mid-run):\n");
+  std::printf("    %-12s %-12s | %9s %9s\n", "scatters", "crashes f", "success",
+              "med.rnd");
+  bench::print_rule(56);
+  for (const std::size_t scatters : {std::size_t{1}, std::size_t{3}}) {
+    for (const std::size_t f : {std::size_t{0}, std::size_t{3}}) {
+      bench::cell_stats stats;
+      for (int seed = 0; seed < 10; ++seed) {
+        sim::rng r(60'000 + seed);
+        auto sched = sim::make_fair_random();
+        auto move = sim::make_random_stop();
+        auto crash = f == 0 ? sim::make_no_crash() : sim::make_random_crashes(f, 40);
+        std::vector<std::size_t> rounds;
+        for (std::size_t s = 0; s < scatters; ++s) rounds.push_back(5 + 7 * s);
+        auto perturb = sim::make_scatter_at(rounds, 10.0);
+        sim::sim_options opts;
+        opts.seed = 61'000 + seed;
+        sim::engine e(workloads::uniform_random(8, r), algo, *sched, *move,
+                      *crash, opts);
+        e.set_perturbation(perturb.get());
+        stats.add(e.run());
+      }
+      std::printf("    %-12zu %-12zu | %8.0f%% %9zu\n", scatters, f,
+                  100.0 * stats.success_rate(), stats.median_rounds());
+    }
+  }
+  std::printf("    -> oblivious algorithms restart from any corrupted state:\n"
+              "       self-stabilization for free (Sec. I).\n\n");
+
+  // (c) byzantine --------------------------------------------------------------
+  std::printf("(c) one splitter-byzantine robot among n (20k-round budget):\n");
+  std::printf("    %-6s | %9s %14s\n", "n", "success", "med.rnd(gath.)");
+  bench::print_rule(40);
+  for (const std::size_t n : {std::size_t{3}, std::size_t{5}, std::size_t{9}}) {
+    bench::cell_stats stats;
+    for (int seed = 0; seed < 10; ++seed) {
+      sim::rng r(70'000 + seed);
+      auto sched = sim::make_fair_random();
+      auto move = sim::make_full_movement();
+      auto crash = sim::make_no_crash();
+      auto byz = sim::make_splitter_byzantine({0});
+      sim::sim_options opts;
+      opts.seed = 71'000 + seed;
+      opts.max_rounds = 20'000;
+      sim::engine e(workloads::uniform_random(n, r), algo, *sched, *move, *crash,
+                    opts);
+      e.set_byzantine(byz.get());
+      stats.add(e.run());
+    }
+    std::printf("    %-6zu | %8.0f%% %14zu\n", n, 100.0 * stats.success_rate(),
+                stats.median_rounds());
+  }
+  std::printf(
+      "    -> observed: these byzantine *heuristics* fail to stop the\n"
+      "       algorithm -- once two correct robots merge, strong multiplicity\n"
+      "       detection anchors them and the splitter cannot dissolve the\n"
+      "       stack.  The formal n=3 impossibility of Agmon-Peleg [1] needs a\n"
+      "       fully coordinated adversary (scheduler + movement truncation +\n"
+      "       indistinguishable mimicry) that no simple policy reproduces;\n"
+      "       mapping that boundary empirically is open follow-up work.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment E3 -- quasi-regularity detection and Weber point computation
+// (Theorem 3.1, Lemmas 3.3/3.4).
+//
+// Sweeps positive instances (regular polygons, symmetric rings, biangular
+// sets, occupied-center variants) and negative instances (perturbations,
+// random clouds), reporting detection accuracy and the distance between the
+// detected center and the Weiszfeld ground-truth geometric median.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "config/config.h"
+#include "harness.h"
+#include "workloads/generators.h"
+
+namespace {
+
+struct row {
+  std::string name;
+  int trials = 0;
+  int detected = 0;
+  double worst_center_err = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace gather;
+  const int trials = 25;
+
+  std::printf("E3: Theorem 3.1 -- quasi-regularity detection + Weber points\n\n");
+  std::printf("%-34s %7s %9s %14s\n", "instance family", "trials",
+              "detected", "max |c - med|");
+  bench::print_rule(70);
+
+  std::vector<row> rows;
+  auto sweep = [&](const std::string& name, bool expect,
+                   auto&& make_points) {
+    row r{name};
+    sim::rng rng_src(5000 + rows.size());
+    for (int t = 0; t < trials; ++t) {
+      const std::vector<geom::vec2> pts = make_points(rng_src, t);
+      const config::configuration c(pts);
+      if (c.is_linear()) continue;
+      ++r.trials;
+      const auto qr = config::detect_quasi_regularity(c);
+      if (qr) {
+        ++r.detected;
+        if (const auto med = config::geometric_median_weiszfeld(c, 20'000)) {
+          r.worst_center_err = std::max(
+              r.worst_center_err, geom::distance(qr->center, *med) / c.diameter());
+        }
+      }
+    }
+    std::printf("%-34s %7d %8d%% %14.2e   %s\n", r.name.c_str(), r.trials,
+                r.trials ? 100 * r.detected / r.trials : 0, r.worst_center_err,
+                expect ? "(expect 100%)" : "(expect 0%)");
+    rows.push_back(r);
+  };
+
+  sweep("regular n-gon, n in [3,18]", true, [](sim::rng& r, int t) {
+    return workloads::regular_polygon(3 + t % 16, {}, 1.0 + 0.1 * (t % 5),
+                                      r.uniform(0, 6));
+  });
+  sweep("symmetric rings (k in [3,7])", true, [](sim::rng& r, int t) {
+    return workloads::symmetric_rings(3 + t % 5, 2 + t % 3, r);
+  });
+  sweep("biangular, random radii", true, [](sim::rng& r, int t) {
+    return workloads::biangular(3 + t % 5, 0.15 + 0.05 * (t % 6), r);
+  });
+  sweep("polygon + occupied center", true, [](sim::rng& r, int t) {
+    return workloads::quasi_regular_with_center(5 + t % 9, 1 + t % 2, r);
+  });
+  // Perturbed 4-gons stay genuinely quasi-regular (degree 2 about the
+  // diagonal crossing), so the negative family starts at 5.
+  sweep("perturbed polygon (1% noise)", false, [](sim::rng& r, int t) {
+    return workloads::perturbed(workloads::regular_polygon(5 + t % 9), 0.01, r);
+  });
+  sweep("uniform random cloud (n=5..12)", false, [](sim::rng& r, int t) {
+    return workloads::uniform_random(5 + t % 8, r);
+  });
+
+  std::printf(
+      "\nPaper's claim: detection is complete on quasi-regular families and\n"
+      "the detected center coincides with the Weber point (Lemma 3.3); generic\n"
+      "and perturbed configurations are rejected.  (Random 4-point clouds are\n"
+      "genuinely quasi-regular -- degree 2 about the diagonal crossing -- and\n"
+      "are excluded from the negative family by using n >= 5.)\n");
+  return 0;
+}

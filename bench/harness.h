@@ -1,0 +1,79 @@
+// Shared experiment-harness helpers for the bench binaries.
+//
+// Each bench binary regenerates one experiment from EXPERIMENTS.md: it sweeps
+// a parameter grid, repeats every cell over several seeds, and prints one
+// formatted table to stdout.  Everything is deterministic in the seeds.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "sim/sim.h"
+
+namespace gather::bench {
+
+/// Aggregate of repeated simulation runs for one grid cell.
+struct cell_stats {
+  int runs = 0;
+  int gathered = 0;
+  int stalled = 0;
+  std::size_t wait_free_violations = 0;
+  std::size_t bivalent_entries = 0;
+  std::vector<std::size_t> rounds;  // of gathered runs
+
+  void add(const sim::sim_result& r) {
+    ++runs;
+    wait_free_violations += r.wait_free_violations;
+    bivalent_entries += r.bivalent_entries;
+    if (r.status == sim::sim_status::gathered) {
+      ++gathered;
+      rounds.push_back(r.rounds);
+    } else if (r.status == sim::sim_status::stalled ||
+               r.status == sim::sim_status::round_limit) {
+      ++stalled;
+    }
+  }
+
+  [[nodiscard]] double success_rate() const {
+    return runs == 0 ? 0.0 : static_cast<double>(gathered) / runs;
+  }
+
+  [[nodiscard]] std::size_t median_rounds() {
+    if (rounds.empty()) return 0;
+    std::sort(rounds.begin(), rounds.end());
+    return rounds[rounds.size() / 2];
+  }
+
+  [[nodiscard]] std::size_t max_rounds_seen() {
+    if (rounds.empty()) return 0;
+    return *std::max_element(rounds.begin(), rounds.end());
+  }
+};
+
+/// One simulation with freshly-built scheduler/movement/crash components.
+inline sim::sim_result run_once(const std::vector<geom::vec2>& pts,
+                                const core::gathering_algorithm& algo,
+                                const sim::scheduler_factory& sched,
+                                const sim::movement_factory& move,
+                                std::size_t crashes, std::uint64_t seed,
+                                std::size_t max_rounds = 50'000) {
+  auto s = sched.make();
+  auto m = move.make();
+  auto c = crashes == 0 ? sim::make_no_crash()
+                        : sim::make_random_crashes(crashes, 50);
+  sim::sim_options opts;
+  opts.seed = seed;
+  opts.check_wait_freeness = true;
+  opts.max_rounds = max_rounds;
+  return sim::simulate(pts, algo, *s, *m, *c, opts);
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace gather::bench

@@ -1,0 +1,80 @@
+// A tour of the paper's configuration taxonomy (Sec. III and IV).
+//
+// For each class the example builds a representative instance and prints what
+// the configuration calculus sees: multiplicities, symmetry, quasi-regularity
+// with the computed Weber point, safe points, and the classification that
+// drives the algorithm's case analysis.  It ends with the bivalent
+// configuration, the unique initial configuration from which deterministic
+// gathering is impossible (Lemma 5.2).
+//
+//   $ ./examples/symmetry_gallery
+#include <iomanip>
+#include <iostream>
+
+#include "config/config.h"
+#include "core/core.h"
+#include "sim/sim.h"
+#include "workloads/generators.h"
+
+namespace {
+
+void describe(const std::string& title, const std::vector<gather::geom::vec2>& pts) {
+  using namespace gather;
+  const config::configuration c(pts);
+  const auto cls = config::classify(c);
+  std::cout << "== " << title << "\n"
+            << "   n=" << c.size() << "  |U|=" << c.distinct_count()
+            << "  linear=" << (c.is_linear() ? "yes" : "no")
+            << "  sym=" << config::symmetry(c) << "  class="
+            << config::to_string(cls.cls) << "\n";
+  if (const auto qr = config::detect_quasi_regularity(c)) {
+    std::cout << "   quasi-regular, degree " << qr->degree << ", center ("
+              << qr->center.x << ", " << qr->center.y << ")\n";
+  }
+  const auto w = config::weber_point(c);
+  std::cout << "   Weber point: " << (w.unique ? "unique" : "interval")
+            << (w.exact ? " (exact)" : " (Weiszfeld)") << " at (" << w.point.x
+            << ", " << w.point.y << ")\n";
+  const auto safe = config::safe_occupied_points(c);
+  std::cout << "   safe occupied points: " << safe.size() << "/"
+            << c.distinct_count() << "\n";
+  if (cls.cls != config::config_class::bivalent) {
+    const core::wait_free_gather algo;
+    const auto stay = core::stationary_locations(c, algo);
+    std::cout << "   stationary locations (Lemma 5.1 bound is 1): "
+              << stay.size() << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace gather;
+  std::cout << std::fixed << std::setprecision(3);
+  sim::rng r(2026);
+
+  describe("M: majority point", workloads::with_majority(9, 4, r));
+  describe("L1W: line with a unique median", workloads::linear_unique_weber(7, r));
+  describe("L2W: line with a median interval", workloads::linear_two_weber(6, r));
+  describe("QR: regular hexagon", workloads::regular_polygon(6));
+  describe("QR: biangular (unoccupied, off-sec center)", workloads::biangular(3, 0.5, r));
+  describe("QR: polygon with occupied center",
+           workloads::quasi_regular_with_center(8, 1, r));
+  describe("A: generic cloud", workloads::uniform_random(7, r));
+  describe("A via chirality: axially symmetric", workloads::axially_symmetric(7, r));
+
+  // The bivalent impossibility: the algorithm refuses to move, and indeed no
+  // deterministic algorithm can gather from here (Lemma 5.2).
+  const auto biv = workloads::bivalent(8, r);
+  describe("B: bivalent (gathering impossible)", biv);
+  const core::wait_free_gather algo;
+  auto sched = sim::make_synchronous();
+  auto move = sim::make_full_movement();
+  auto crash = sim::make_no_crash();
+  sim::sim_options opts;
+  const auto res = sim::simulate(biv, algo, *sched, *move, *crash, opts);
+  std::cout << "bivalent run outcome: " << sim::to_string(res.status)
+            << " (no progress is the correct behaviour)\n";
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Umbrella header for the baseline algorithms (system S5 in DESIGN.md).
+#pragma once
+
+#include "baselines/center_of_gravity.h"
+#include "baselines/median_pursuit.h"
+#include "baselines/single_fault_gather.h"

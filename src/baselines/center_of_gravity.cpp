@@ -1,0 +1,13 @@
+#include "baselines/center_of_gravity.h"
+
+namespace gather::baselines {
+
+core::vec2 center_of_gravity::destination(const core::snapshot& s) const {
+  core::vec2 sum{};
+  for (const config::occupied_point& o : s.observed.occupied()) {
+    sum += static_cast<double>(o.multiplicity) * o.position;
+  }
+  return sum / static_cast<double>(s.observed.size());
+}
+
+}  // namespace gather::baselines

@@ -1,0 +1,21 @@
+// Gravitational baseline (paper, Sec. I; Cohen-Peleg style convergence).
+//
+// Every robot moves to the center of gravity of the observed configuration.
+// This solves *convergence* for any number of robots but not *gathering*:
+// the center of gravity is not invariant under partial activations, so under
+// a semi-synchronous adversary the robots approach each other forever without
+// ever co-locating.  Used as the convergence-vs-gathering comparison baseline
+// in the benchmark harness (experiment E4).
+#pragma once
+
+#include "core/algorithm.h"
+
+namespace gather::baselines {
+
+class center_of_gravity final : public core::gathering_algorithm {
+ public:
+  [[nodiscard]] core::vec2 destination(const core::snapshot& s) const override;
+  [[nodiscard]] std::string_view name() const override { return "center-of-gravity"; }
+};
+
+}  // namespace gather::baselines

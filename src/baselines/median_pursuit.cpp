@@ -1,0 +1,13 @@
+#include "baselines/median_pursuit.h"
+
+#include "config/weber.h"
+
+namespace gather::baselines {
+
+core::vec2 median_pursuit::destination(const core::snapshot& s) const {
+  if (s.observed.is_gathered()) return s.self;
+  const auto median = config::geometric_median_weiszfeld(s.observed);
+  return median ? *median : s.self;
+}
+
+}  // namespace gather::baselines

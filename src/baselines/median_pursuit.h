@@ -1,0 +1,23 @@
+// Geometric-median pursuit baseline.
+//
+// Every robot moves towards the geometric median (Weber point) computed
+// numerically by Weiszfeld iteration.  The paper's Sec. I observes that if
+// the Weber point could be computed, gathering would be trivial because it is
+// invariant under straight moves towards it (Lemma 3.2) -- but no finite
+// algorithm computes it for arbitrary configurations.  This baseline shows
+// what the *approximate* version buys: the iteratively-approximated median
+// drifts between rounds, so the robots converge but need not form and hold an
+// exact multiplicity point, and termination (Def. 9) is not guaranteed.
+#pragma once
+
+#include "core/algorithm.h"
+
+namespace gather::baselines {
+
+class median_pursuit final : public core::gathering_algorithm {
+ public:
+  [[nodiscard]] core::vec2 destination(const core::snapshot& s) const override;
+  [[nodiscard]] std::string_view name() const override { return "median-pursuit"; }
+};
+
+}  // namespace gather::baselines

@@ -1,0 +1,54 @@
+#include "baselines/single_fault_gather.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "config/classify.h"
+#include "geometry/predicates.h"
+
+namespace gather::baselines {
+
+using config::occupied_point;
+
+core::vec2 single_fault_gather::destination(const core::snapshot& s) const {
+  const config::configuration& c = s.observed;
+  const geom::tol& t = c.tolerance();
+  if (c.is_gathered()) return s.self;
+
+  const config::classification cls = config::classify(c);
+  if (cls.cls == config::config_class::multiple) {
+    const core::vec2 target = *cls.target;
+    if (t.same_point(s.self, target)) return s.self;
+    // Move only when the path is free; otherwise wait for the robots ahead
+    // to clear -- the ordering that a second crash turns into a deadlock.
+    for (const occupied_point& o : c.occupied()) {
+      if (geom::in_open_segment(o.position, s.self, target, t)) return s.self;
+    }
+    return target;
+  }
+
+  // No unique multiplicity yet: designate exactly two movers -- the two
+  // occupied locations closest to the center of the smallest enclosing
+  // circle (ties broken by position for determinism).
+  const core::vec2 goal = c.sec().center;
+  std::vector<const occupied_point*> order;
+  order.reserve(c.occupied().size());
+  for (const occupied_point& o : c.occupied()) {
+    // Robots already at the goal have arrived; they are not movers.
+    if (!t.same_point(o.position, goal)) order.push_back(&o);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](const occupied_point* a, const occupied_point* b) {
+              const double da = geom::distance(a->position, goal);
+              const double db = geom::distance(b->position, goal);
+              if (da != db) return da < db;
+              return a->position < b->position;
+            });
+  const std::size_t movers = std::min<std::size_t>(2, order.size());
+  for (std::size_t i = 0; i < movers; ++i) {
+    if (t.same_point(order[i]->position, s.self)) return goal;
+  }
+  return s.self;  // everyone else waits
+}
+
+}  // namespace gather::baselines

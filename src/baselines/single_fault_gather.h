@@ -1,0 +1,31 @@
+// Single-crash-tolerant baseline in the style of Agmon-Peleg [1].
+//
+// The motivating observation of the paper (Sec. I): classic gathering
+// algorithms order the robots' moves, so one crashed robot can block everyone
+// behind it; Agmon-Peleg repair this for f = 1 by always instructing at
+// least *two* robots to move.  This baseline reproduces that structure:
+//
+//   * multiplicity configurations: robots with a free path move to the unique
+//     maximum-multiplicity point; blocked robots *wait* for the path to clear;
+//   * otherwise: only the two occupied locations closest to the center of the
+//     smallest enclosing circle move (towards that center); everyone else
+//     waits for a multiplicity to form.
+//
+// With f <= 1 crash some designated mover is always live and progress
+// continues; with f >= 2 the adversary can crash both movers and the system
+// deadlocks -- exactly the failure mode WAIT-FREE-GATHER eliminates.
+// The baseline also requires initially distinct locations to be correct,
+// mirroring the cited algorithm's assumption.
+#pragma once
+
+#include "core/algorithm.h"
+
+namespace gather::baselines {
+
+class single_fault_gather final : public core::gathering_algorithm {
+ public:
+  [[nodiscard]] core::vec2 destination(const core::snapshot& s) const override;
+  [[nodiscard]] std::string_view name() const override { return "single-fault"; }
+};
+
+}  // namespace gather::baselines

@@ -1,0 +1,78 @@
+#include "config/classify.h"
+
+#include <ostream>
+
+#include "config/regularity.h"
+#include "config/weber.h"
+
+namespace gather::config {
+
+std::string_view to_string(config_class c) {
+  switch (c) {
+    case config_class::bivalent: return "B";
+    case config_class::multiple: return "M";
+    case config_class::linear_1w: return "L1W";
+    case config_class::linear_2w: return "L2W";
+    case config_class::quasi_regular: return "QR";
+    case config_class::asymmetric: return "A";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, config_class c) {
+  return os << to_string(c);
+}
+
+classification classify(const configuration& c) {
+  classification out;
+
+  // B: exactly two occupied points, each with multiplicity n/2.
+  if (c.distinct_count() == 2 &&
+      c.occupied()[0].multiplicity == c.occupied()[1].multiplicity) {
+    out.cls = config_class::bivalent;
+    return out;
+  }
+
+  // M: a unique location of strictly maximal multiplicity.
+  {
+    int best = -1, second = -1;
+    vec2 best_pos{};
+    for (const occupied_point& o : c.occupied()) {
+      if (o.multiplicity > best) {
+        second = best;
+        best = o.multiplicity;
+        best_pos = o.position;
+      } else if (o.multiplicity > second) {
+        second = o.multiplicity;
+      }
+    }
+    if (best > second) {
+      out.cls = config_class::multiple;
+      out.target = best_pos;
+      return out;
+    }
+  }
+
+  // L: collinear, split by Weber point uniqueness.
+  if (c.is_linear()) {
+    const weber_result w = linear_weber(c);
+    out.cls = w.unique ? config_class::linear_1w : config_class::linear_2w;
+    if (w.unique) out.target = w.point;
+    return out;
+  }
+
+  // QR: quasi-regular (Theorem 3.1 detector); the center is the Weber point
+  // (Lemma 3.3).
+  if (auto qr = detect_quasi_regularity(c)) {
+    out.cls = config_class::quasi_regular;
+    out.target = qr->center;
+    out.qreg_degree = qr->degree;
+    return out;
+  }
+
+  // A: the rest; the paper shows sym(C) = 1 here.
+  out.cls = config_class::asymmetric;
+  return out;
+}
+
+}  // namespace gather::config

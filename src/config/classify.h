@@ -1,0 +1,43 @@
+// Configuration classification (paper, Sec. IV.A).
+//
+// The five classes {B, M, L (split into L1W/L2W), QR, A} partition the space
+// of configurations.  Precedence follows the paper's definitions: bivalent
+// first, then unique-maximum-multiplicity, then linear, then quasi-regular,
+// and asymmetric for everything else (where sym(C) = 1 is guaranteed).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+
+#include "config/configuration.h"
+
+namespace gather::config {
+
+enum class config_class {
+  bivalent,       ///< B: n/2 robots at each of exactly two points
+  multiple,       ///< M: a unique location of strictly maximal multiplicity
+  linear_1w,      ///< L1W: collinear, unique Weber (median) point
+  linear_2w,      ///< L2W: collinear, non-degenerate median interval
+  quasi_regular,  ///< QR: qreg(C) > 1, not in B/M/L
+  asymmetric,     ///< A: everything else; sym(C) = 1
+};
+
+[[nodiscard]] std::string_view to_string(config_class c);
+std::ostream& operator<<(std::ostream& os, config_class c);
+
+/// Classification result: the class and the data the gathering algorithm
+/// reuses (computed once here so callers need not recompute it).
+struct classification {
+  config_class cls = config_class::asymmetric;
+  /// M: the unique maximum-multiplicity point.  QR/L1W: the Weber point.
+  /// Unset for B, L2W and A (the A-case election needs views; see core).
+  std::optional<vec2> target;
+  /// QR only: the quasi-regularity degree.
+  int qreg_degree = 1;
+};
+
+/// Classify `c` per Sec. IV.A.  Precondition: `c` is non-empty.
+[[nodiscard]] classification classify(const configuration& c);
+
+}  // namespace gather::config

@@ -1,0 +1,10 @@
+// Umbrella header for the configuration calculus (system S2 in DESIGN.md).
+#pragma once
+
+#include "config/classify.h"
+#include "config/configuration.h"
+#include "config/regularity.h"
+#include "config/safe_points.h"
+#include "config/string_of_angles.h"
+#include "config/views.h"
+#include "config/weber.h"

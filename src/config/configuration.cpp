@@ -1,0 +1,101 @@
+#include "config/configuration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/predicates.h"
+
+namespace gather::config {
+
+configuration::configuration(std::vector<vec2> robots) : robots_(std::move(robots)) {
+  tol_ = geom::tol::for_points(robots_);
+  canonicalize();
+}
+
+configuration::configuration(std::vector<vec2> robots, geom::tol t)
+    : robots_(std::move(robots)), tol_(t), explicit_tol_(true) {
+  canonicalize();
+}
+
+void configuration::canonicalize() {
+  // Greedy clustering: a point joins the first cluster whose representative
+  // is within tolerance.  Quadratic in |U(C)| which is at most n.
+  struct cluster {
+    vec2 sum{};
+    int count = 0;
+    [[nodiscard]] vec2 centroid() const { return sum / static_cast<double>(count); }
+  };
+  std::vector<cluster> clusters;
+  std::vector<std::size_t> assignment(robots_.size());
+  for (std::size_t i = 0; i < robots_.size(); ++i) {
+    const vec2 p = robots_[i];
+    bool placed = false;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      if (tol_.same_point(p, clusters[c].centroid())) {
+        clusters[c].sum += p;
+        clusters[c].count += 1;
+        assignment[i] = c;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      clusters.push_back({p, 1});
+      assignment[i] = clusters.size() - 1;
+    }
+  }
+  for (std::size_t i = 0; i < robots_.size(); ++i) {
+    robots_[i] = clusters[assignment[i]].centroid();
+  }
+
+  occupied_.clear();
+  occupied_.reserve(clusters.size());
+  for (const cluster& c : clusters) {
+    occupied_.push_back({c.centroid(), c.count});
+  }
+  std::sort(occupied_.begin(), occupied_.end(),
+            [](const occupied_point& a, const occupied_point& b) {
+              return a.position < b.position;
+            });
+
+  diameter_ = 0.0;
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    for (std::size_t j = i + 1; j < occupied_.size(); ++j) {
+      diameter_ = std::max(
+          diameter_, geom::distance(occupied_[i].position, occupied_[j].position));
+    }
+  }
+  if (!explicit_tol_) {
+    tol_.scale = std::max(diameter_, 1e-12);
+  }
+
+  std::vector<vec2> distinct;
+  distinct.reserve(occupied_.size());
+  for (const occupied_point& o : occupied_) distinct.push_back(o.position);
+  sec_ = geom::smallest_enclosing_circle(distinct, tol_);
+  linear_ = geom::all_collinear(distinct, tol_);
+}
+
+int configuration::multiplicity(vec2 p) const {
+  for (const occupied_point& o : occupied_) {
+    if (tol_.same_point(o.position, p)) return o.multiplicity;
+  }
+  return 0;
+}
+
+vec2 configuration::snapped(vec2 p) const {
+  for (const occupied_point& o : occupied_) {
+    if (tol_.same_point(o.position, p)) return o.position;
+  }
+  return p;
+}
+
+double configuration::sum_distances(vec2 p) const {
+  double s = 0.0;
+  for (const occupied_point& o : occupied_) {
+    s += o.multiplicity * geom::distance(p, o.position);
+  }
+  return s;
+}
+
+}  // namespace gather::config

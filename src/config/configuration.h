@@ -1,0 +1,91 @@
+// Robot configurations with strong multiplicity detection.
+//
+// A configuration (paper, Sec. II) is the multiset C = {p_1, ..., p_n} of
+// robot positions.  The robots of the ATOM^M model have *strong multiplicity
+// detection*: a snapshot reveals exactly how many robots sit at each point.
+// This class canonicalizes a raw position multiset: positions closer than the
+// tolerance are clustered and snapped to a common representative, so that
+// multiplicities, U(C) and all downstream predicates are exact.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/enclosing_circle.h"
+#include "geometry/tolerance.h"
+#include "geometry/vec2.h"
+
+namespace gather::config {
+
+using geom::vec2;
+
+/// One distinct occupied location together with its multiplicity.
+struct occupied_point {
+  vec2 position;
+  int multiplicity = 0;
+};
+
+class configuration {
+ public:
+  configuration() = default;
+
+  /// Build from raw robot positions.  Positions within the tolerance derived
+  /// from the point spread are identified (snapped to their centroid).
+  explicit configuration(std::vector<vec2> robots);
+
+  /// Build with an explicit tolerance context.
+  configuration(std::vector<vec2> robots, geom::tol t);
+
+  /// Number of robots, the paper's n.
+  [[nodiscard]] std::size_t size() const { return robots_.size(); }
+  [[nodiscard]] bool empty() const { return robots_.empty(); }
+
+  /// All robot positions after snapping, in input order.
+  [[nodiscard]] const std::vector<vec2>& robots() const { return robots_; }
+
+  /// U(C): the distinct occupied locations with multiplicities, sorted
+  /// lexicographically for determinism.
+  [[nodiscard]] const std::vector<occupied_point>& occupied() const { return occupied_; }
+
+  /// Number of distinct occupied locations, |U(C)|.
+  [[nodiscard]] std::size_t distinct_count() const { return occupied_.size(); }
+
+  /// mult(p): number of robots at `p` (0 when `p` is unoccupied).
+  [[nodiscard]] int multiplicity(vec2 p) const;
+
+  /// The snapped representative of location `p`, or `p` itself if unoccupied.
+  [[nodiscard]] vec2 snapped(vec2 p) const;
+
+  /// The shared tolerance context (length scale = configuration diameter).
+  [[nodiscard]] const geom::tol& tolerance() const { return tol_; }
+
+  /// True when all robots lie on one line (within tolerance); configurations
+  /// with fewer than three distinct points are linear.
+  [[nodiscard]] bool is_linear() const { return linear_; }
+
+  /// sec(C): smallest enclosing circle of U(C).
+  [[nodiscard]] const geom::circle& sec() const { return sec_; }
+
+  /// Largest pairwise distance between occupied locations.
+  [[nodiscard]] double diameter() const { return diameter_; }
+
+  /// Sum of distances from `p` to every robot (counting multiplicity) --
+  /// the objective the Weber point minimizes.
+  [[nodiscard]] double sum_distances(vec2 p) const;
+
+  /// True when all robots occupy a single point.
+  [[nodiscard]] bool is_gathered() const { return occupied_.size() <= 1; }
+
+ private:
+  void canonicalize();
+
+  std::vector<vec2> robots_;             // snapped, input order
+  std::vector<occupied_point> occupied_; // sorted by position
+  geom::tol tol_;
+  geom::circle sec_;
+  double diameter_ = 0.0;
+  bool linear_ = true;
+  bool explicit_tol_ = false;
+};
+
+}  // namespace gather::config

@@ -1,0 +1,141 @@
+#include "config/regularity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "config/string_of_angles.h"
+#include "config/weber.h"
+#include "geometry/angles.h"
+
+namespace gather::config {
+
+namespace {
+
+/// A ray from the candidate center: direction angle and total robot load.
+struct ray {
+  double theta = 0.0;
+  int load = 0;
+};
+
+/// Distinct rays from `center` through the robots of `c` (robots at `center`
+/// excluded), directions clustered under the angle tolerance.
+std::vector<ray> rays_from(const configuration& c, vec2 center) {
+  const geom::tol& t = c.tolerance();
+  std::vector<ray> rays;
+  // angular_order already snaps angles to cluster representatives.
+  for (const angular_entry& e : angular_order(c, center)) {
+    if (!rays.empty() && rays.back().theta == e.theta) {
+      rays.back().load += 1;
+    } else if (!rays.empty() && t.ang_eq_mod(rays.back().theta, e.theta, geom::two_pi)) {
+      rays.back().load += 1;
+    } else {
+      rays.push_back({e.theta, 1});
+    }
+  }
+  return rays;
+}
+
+/// Total fill-in robots needed to complete the rays into an m-fold
+/// rotationally periodic ray structure (Lemma 3.4's sum), or -1 when the
+/// rays cannot be aligned to m slots at all.
+int completion_deficit(const std::vector<ray>& rays, int m, const geom::tol& t) {
+  const double w = geom::two_pi / m;
+  struct rotation_class {
+    double residue = 0.0;          // representative residue in [0, w)
+    std::vector<int> slot_loads;   // loads of the occupied slots
+  };
+  std::vector<rotation_class> classes;
+  for (const ray& r : rays) {
+    const double res = std::fmod(r.theta, w);
+    bool placed = false;
+    for (rotation_class& cls : classes) {
+      double d = std::fabs(res - cls.residue);
+      d = std::min(d, std::fabs(d - w));
+      if (d <= t.angle_eps) {
+        cls.slot_loads.push_back(r.load);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      classes.push_back({res, {r.load}});
+    }
+  }
+  int deficit = 0;
+  for (const rotation_class& cls : classes) {
+    if (static_cast<int>(cls.slot_loads.size()) > m) return -1;  // cannot happen geometrically
+    int max_load = 0, total = 0;
+    for (int l : cls.slot_loads) {
+      max_load = std::max(max_load, l);
+      total += l;
+    }
+    deficit += m * max_load - total;
+  }
+  return deficit;
+}
+
+}  // namespace
+
+std::optional<int> quasi_regular_about_occupied(const configuration& c, vec2 p) {
+  const int mult_p = c.multiplicity(p);
+  if (mult_p <= 0) return std::nullopt;
+  const std::vector<ray> rays = rays_from(c, p);
+  if (rays.empty()) return std::nullopt;  // every robot is at p
+  const int n = static_cast<int>(c.size());
+  for (int m = n; m >= 2; --m) {
+    const int deficit = completion_deficit(rays, m, c.tolerance());
+    if (deficit >= 0 && deficit <= mult_p) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<quasi_regularity> detect_quasi_regularity(const configuration& c) {
+  if (c.distinct_count() < 2) return std::nullopt;
+  const geom::tol& t = c.tolerance();
+
+  struct candidate {
+    vec2 center;
+    int degree;
+    double sum_dist;
+    int mult;
+  };
+  std::vector<candidate> cands;
+
+  // 1. Occupied centers via the Lemma 3.4 deficit test.
+  for (const occupied_point& o : c.occupied()) {
+    if (auto m = quasi_regular_about_occupied(c, o.position)) {
+      cands.push_back({o.position, *m, c.sum_distances(o.position), o.multiplicity});
+    }
+  }
+
+  // 2. The center of the smallest enclosing circle (covers sym(C) > 1).
+  // 3. The geometric median (Lemma 3.3: CQR = WP), for regular configurations
+  //    whose unoccupied center is not the sec center.
+  const vec2 sec_center = c.sec().center;
+  std::vector<vec2> unoccupied = {sec_center};
+  if (auto med = geometric_median_weiszfeld(c)) {
+    if (!t.same_point(*med, sec_center)) unoccupied.push_back(*med);
+  }
+  for (vec2 u : unoccupied) {
+    if (c.multiplicity(u) > 0) continue;  // already tried as occupied
+    const int m = regularity_about(c, u);
+    if (m > 1) cands.push_back({u, m, c.sum_distances(u), 0});
+  }
+
+  if (cands.empty()) return std::nullopt;
+  // Deterministic, frame-invariant choice: highest degree, then most
+  // Weber-like (smallest sum of distances), then highest multiplicity.
+  const candidate* best = &cands.front();
+  for (const candidate& cand : cands) {
+    if (cand.degree != best->degree) {
+      if (cand.degree > best->degree) best = &cand;
+      continue;
+    }
+    const int cmp = t.len_cmp(cand.sum_dist, best->sum_dist);
+    if (cmp < 0 || (cmp == 0 && cand.mult > best->mult)) best = &cand;
+  }
+  return quasi_regularity{best->center, best->degree};
+}
+
+}  // namespace gather::config

@@ -1,0 +1,47 @@
+// Regularity and quasi-regularity detection (paper, Definitions 5-7,
+// Lemma 3.4, Theorem 3.1).
+//
+// A configuration is *regular* about a center c when its string of angles
+// around c is periodic with period m > 1 (Def. 5).  It is *quasi-regular*
+// (Def. 6) when a regular configuration can be obtained from it by moving
+// only robots located at c outward onto rays.  Lemma 3.4 reduces detection
+// for an occupied candidate center p to a counting argument: group the rays
+// from p into rotation classes modulo 2*pi/m; each class needs
+// m * max_ray_load - total_class_load fill-in robots, and the total deficit
+// must not exceed mult(p).
+//
+// Candidate centers enumerated by the detector:
+//   1. every occupied location (deficit test of Lemma 3.4),
+//   2. the center of sec(U(C)) -- covers every configuration with
+//      sym(C) > 1 (Lemma 3.1), which is what the gathering proof requires,
+//   3. the geometric median refined by Weiszfeld iteration -- by Lemma 3.3
+//      the center of quasi-regularity of a non-linear configuration *is* the
+//      Weber point, so verifying angular periodicity about the converged
+//      median catches regular configurations whose center is unoccupied and
+//      distinct from the sec center (e.g. non-equidistant biangular sets).
+#pragma once
+
+#include <optional>
+
+#include "config/configuration.h"
+
+namespace gather::config {
+
+/// Result of quasi-regularity detection.
+struct quasi_regularity {
+  vec2 center;    ///< CQR(C), the center of quasi-regularity
+  int degree = 1; ///< qreg(C) > 1
+};
+
+/// Lemma 3.4 deficit test: is `c` quasi-regular about the *occupied* point
+/// `p` with some degree m > 1?  Returns the largest such m, or nullopt.
+[[nodiscard]] std::optional<int> quasi_regular_about_occupied(const configuration& c,
+                                                              vec2 p);
+
+/// Full detector (Theorem 3.1): returns the center and degree of
+/// quasi-regularity when qreg(C) > 1, nullopt otherwise.  Configurations with
+/// fewer than three robots off any candidate center are never reported.
+[[nodiscard]] std::optional<quasi_regularity> detect_quasi_regularity(
+    const configuration& c);
+
+}  // namespace gather::config

@@ -1,0 +1,42 @@
+#include "config/safe_points.h"
+
+#include <algorithm>
+
+#include "config/string_of_angles.h"
+
+namespace gather::config {
+
+int max_ray_load(const configuration& c, vec2 p) {
+  // angular_order clusters robots not at p by ray direction (snapped angles).
+  int best = 0;
+  int run = 0;
+  double run_theta = -1.0;
+  bool first = true;
+  for (const angular_entry& e : angular_order(c, p)) {
+    if (first || e.theta != run_theta) {
+      run = 1;
+      run_theta = e.theta;
+      first = false;
+    } else {
+      ++run;
+    }
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+bool is_safe_point(const configuration& c, vec2 p) {
+  const int n = static_cast<int>(c.size());
+  const int bound = (n + 1) / 2 - 1;  // ceil(n/2) - 1
+  return max_ray_load(c, p) <= bound;
+}
+
+std::vector<std::size_t> safe_occupied_points(const configuration& c) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < c.occupied().size(); ++i) {
+    if (is_safe_point(c, c.occupied()[i].position)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace gather::config

@@ -1,0 +1,27 @@
+// Safe points (paper, Definition 8, Lemmas 4.2 and 4.3).
+//
+// A robot position p is *safe* when no half-line emanating from p carries
+// ceil(n/2) or more robots.  Moving every robot straight towards a safe point
+// can never produce the bivalent configuration B (where exactly n/2 robots
+// sit at each of two points), which is why the asymmetric case of the
+// algorithm only elects leaders among safe points.
+#pragma once
+
+#include <vector>
+
+#include "config/configuration.h"
+
+namespace gather::config {
+
+/// The largest number of robots of `c` on a single half-line HF(p, .)
+/// (robots located at `p` itself are not on any such half-line).
+[[nodiscard]] int max_ray_load(const configuration& c, vec2 p);
+
+/// Def. 8: true when every half-line from `p` carries at most
+/// ceil(n/2) - 1 robots.
+[[nodiscard]] bool is_safe_point(const configuration& c, vec2 p);
+
+/// The safe occupied locations of `c`, as indices into `c.occupied()`.
+[[nodiscard]] std::vector<std::size_t> safe_occupied_points(const configuration& c);
+
+}  // namespace gather::config

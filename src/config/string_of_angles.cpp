@@ -1,0 +1,75 @@
+#include "config/string_of_angles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/angles.h"
+
+namespace gather::config {
+
+std::vector<angular_entry> angular_order(const configuration& c, vec2 center) {
+  const geom::tol& t = c.tolerance();
+  std::vector<angular_entry> entries;
+  entries.reserve(c.size());
+  std::vector<double> thetas;
+  for (const occupied_point& o : c.occupied()) {
+    if (t.same_point(o.position, center)) continue;
+    angular_entry e;
+    e.position = o.position;
+    e.theta = geom::cw_angle({1.0, 0.0}, o.position - center);
+    e.dist = geom::distance(o.position, center);
+    thetas.push_back(e.theta);
+    for (int k = 0; k < o.multiplicity; ++k) entries.push_back(e);
+  }
+  // Snap each entry's angle to its cluster representative so the sort below
+  // uses exact comparisons (a tolerance comparator is not a strict weak
+  // order).
+  const std::vector<double> reps =
+      geom::cluster_angle_values(std::move(thetas), t.angle_eps);
+  for (angular_entry& e : entries) {
+    e.theta = geom::nearest_angle_rep(e.theta, reps);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const angular_entry& a, const angular_entry& b) {
+              if (a.theta != b.theta) return a.theta < b.theta;
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return a.position < b.position;
+            });
+  return entries;
+}
+
+std::vector<double> string_of_angles(const configuration& c, vec2 center) {
+  const auto entries = angular_order(c, center);
+  const std::size_t m = entries.size();
+  std::vector<double> sa(m, 0.0);
+  if (m < 2) return sa;
+  for (std::size_t i = 0; i < m; ++i) {
+    const angular_entry& cur = entries[i];
+    const angular_entry& nxt = entries[(i + 1) % m];
+    // Angles were snapped to cluster representatives, so same-ray successors
+    // contribute exactly zero.
+    sa[i] = (cur.theta == nxt.theta) ? 0.0 : geom::norm_angle(nxt.theta - cur.theta);
+  }
+  return sa;
+}
+
+int periodicity(const std::vector<double>& sa, const geom::tol& t) {
+  const std::size_t m = sa.size();
+  if (m < 2) return 1;
+  for (std::size_t k = m; k >= 2; --k) {
+    if (m % k != 0) continue;
+    const std::size_t shift = m / k;
+    bool ok = true;
+    for (std::size_t i = 0; i < m && ok; ++i) {
+      if (!t.ang_eq_mod(sa[i], sa[(i + shift) % m], geom::two_pi)) ok = false;
+    }
+    if (ok) return static_cast<int>(k);
+  }
+  return 1;
+}
+
+int regularity_about(const configuration& c, vec2 center) {
+  return periodicity(string_of_angles(c, center), c.tolerance());
+}
+
+}  // namespace gather::config

@@ -1,0 +1,45 @@
+// Clockwise successor ordering and the string of angles (paper, Def. 4).
+//
+// Given a candidate center c, the robots not located at c are arranged in a
+// cyclic clockwise order: primarily by the clockwise angle of their ray from
+// c, robots on the same ray ordered by increasing distance, and co-located
+// robots adjacent.  The string of angles SA(c) lists the clockwise angle
+// between each robot and its successor; its periodicity per(SA) quantifies the
+// rotational regularity of the configuration about c (Def. 5).
+#pragma once
+
+#include <vector>
+
+#include "config/configuration.h"
+
+namespace gather::config {
+
+/// One robot in the cyclic order around a center.
+struct angular_entry {
+  vec2 position;
+  double theta = 0.0;  ///< clockwise angle of the ray from the center, in [0, 2*pi)
+  double dist = 0.0;   ///< distance from the center
+};
+
+/// The robots of `c` not located at `center`, sorted in the cyclic clockwise
+/// successor order of Def. 4 (by theta, then by distance; multiplicities
+/// expand to adjacent duplicates).  The angular origin is arbitrary but fixed,
+/// which is irrelevant for cyclic properties.
+[[nodiscard]] std::vector<angular_entry> angular_order(const configuration& c, vec2 center);
+
+/// SA(center): clockwise angles between cyclically consecutive robots of the
+/// angular order; entries sum to 2*pi (or the string is empty/singleton for
+/// degenerate inputs).  Size is n - mult(center).
+[[nodiscard]] std::vector<double> string_of_angles(const configuration& c, vec2 center);
+
+/// per(SA): the greatest k such that SA = x^k for some block x (equivalently,
+/// the greatest divisor k of |SA| such that SA is invariant under cyclic shift
+/// by |SA|/k), compared under the angle tolerance.  Strings of size < 2 have
+/// periodicity 1.
+[[nodiscard]] int periodicity(const std::vector<double>& sa, const geom::tol& t);
+
+/// reg(C) about an explicit center: per(SA(center)), or 1 when fewer than two
+/// robots lie off-center (Def. 5 restricted to a known center).
+[[nodiscard]] int regularity_about(const configuration& c, vec2 center);
+
+}  // namespace gather::config

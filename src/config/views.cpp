@@ -1,0 +1,139 @@
+#include "config/views.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/angles.h"
+
+namespace gather::config {
+
+namespace {
+
+/// View of `p` using the explicit reference direction `ref` (non-zero).
+view view_with_reference(const configuration& c, vec2 p, vec2 ref) {
+  const double r = std::max(c.sec().radius, 1e-300);
+  view v;
+  v.reserve(c.size());
+  std::vector<double> raw_angles;
+  for (const occupied_point& o : c.occupied()) {
+    polar_entry e;
+    if (c.tolerance().same_point(o.position, p)) {
+      e = {0.0, 0.0};
+    } else {
+      e.angle = geom::cw_angle(ref, o.position - p);
+      e.dist = geom::distance(p, o.position) / r;
+      raw_angles.push_back(e.angle);
+    }
+    for (int k = 0; k < o.multiplicity; ++k) v.push_back(e);
+  }
+  // Snap angles to cluster representatives so the sort below is exact:
+  // co-ray entries share one angle and near-0 noise cannot land at ~2*pi
+  // (which would scramble the lexicographic order between twin views).
+  const auto reps = geom::cluster_angle_values(std::move(raw_angles),
+                                               c.tolerance().angle_eps);
+  for (polar_entry& e : v) {
+    if (e.dist != 0.0) e.angle = geom::nearest_angle_rep(e.angle, reps);
+  }
+  std::sort(v.begin(), v.end(), [](const polar_entry& a, const polar_entry& b) {
+    if (a.angle != b.angle) return a.angle < b.angle;
+    return a.dist < b.dist;
+  });
+  return v;
+}
+
+}  // namespace
+
+int compare_views(const view& a, const view& b, const geom::tol& t) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Angles on the circle: values within tolerance of each other (including
+    // across the 0/2*pi seam) compare equal.
+    if (!t.ang_eq_mod(a[i].angle, b[i].angle, geom::two_pi)) {
+      return a[i].angle < b[i].angle ? -1 : 1;
+    }
+    // Distances are normalized by the sec radius, so tolerance is absolute.
+    if (std::fabs(a[i].dist - b[i].dist) > t.rel) {
+      return a[i].dist < b[i].dist ? -1 : 1;
+    }
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+view view_of(const configuration& c, vec2 p) {
+  const vec2 center = c.sec().center;
+  const geom::tol& t = c.tolerance();
+  if (!t.same_point(p, center)) {
+    return view_with_reference(c, p, center - p);
+  }
+  // p is the center of the smallest enclosing circle: the reference points at
+  // an occupied location x != p maximizing V(x) (Def. 2).  Among maximizers we
+  // take the lexicographically greatest resulting view of p, which is
+  // well-defined and frame-independent.
+  view best_other;
+  bool have_other = false;
+  std::vector<vec2> maximizers;
+  for (const occupied_point& o : c.occupied()) {
+    if (t.same_point(o.position, p)) continue;
+    view v = view_with_reference(c, o.position, center - o.position);
+    if (!have_other || compare_views(v, best_other, t) > 0) {
+      best_other = std::move(v);
+      have_other = true;
+      maximizers.clear();
+      maximizers.push_back(o.position);
+    } else if (compare_views(v, best_other, t) == 0) {
+      maximizers.push_back(o.position);
+    }
+  }
+  if (!have_other) {
+    // Every robot is at p: the trivial view.
+    return view(c.size(), polar_entry{0.0, 0.0});
+  }
+  view best;
+  bool have = false;
+  for (vec2 x : maximizers) {
+    view v = view_with_reference(c, p, x - p);
+    if (!have || compare_views(v, best, t) > 0) {
+      best = std::move(v);
+      have = true;
+    }
+  }
+  return best;
+}
+
+std::vector<view> all_views(const configuration& c) {
+  std::vector<view> vs;
+  vs.reserve(c.distinct_count());
+  for (const occupied_point& o : c.occupied()) vs.push_back(view_of(c, o.position));
+  return vs;
+}
+
+std::vector<std::vector<std::size_t>> view_classes(const configuration& c) {
+  const auto vs = all_views(c);
+  const geom::tol& t = c.tolerance();
+  std::vector<std::size_t> order(vs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return compare_views(vs[a], vs[b], t) > 0;  // descending
+  });
+  std::vector<std::vector<std::size_t>> classes;
+  for (std::size_t i : order) {
+    if (!classes.empty() &&
+        compare_views(vs[classes.back().front()], vs[i], t) == 0) {
+      classes.back().push_back(i);
+    } else {
+      classes.push_back({i});
+    }
+  }
+  return classes;
+}
+
+int symmetry(const configuration& c) {
+  int best = 0;
+  for (const auto& cls : view_classes(c)) {
+    best = std::max(best, static_cast<int>(cls.size()));
+  }
+  return std::max(best, 1);
+}
+
+}  // namespace gather::config

@@ -1,0 +1,51 @@
+// Views and rotational symmetry (paper, Definitions 2 and 3).
+//
+// The view of an occupied location p is the multiset of all robot positions
+// expressed in a polar frame anchored at p whose reference direction points at
+// c = center(sec(U(C))); when p = c itself the reference is chosen to
+// maximize the resulting view.  Angles are read *clockwise* (chirality), so
+// two locations that are mirror images of each other obtain different views --
+// this is how the algorithm breaks axial symmetry (paper, Sec. I).
+//
+// Views are compared lexicographically under the shared tolerance, and the
+// symmetry sym(C) is the size of the largest class of locations with equal
+// views (Def. 3).
+#pragma once
+
+#include <vector>
+
+#include "config/configuration.h"
+
+namespace gather::config {
+
+/// One robot as seen in a view: clockwise angle from the reference direction
+/// in [0, 2*pi) and distance normalized by the radius of sec(U(C)).
+/// Robots co-located with the view's origin appear as {0, 0}.
+struct polar_entry {
+  double angle = 0.0;
+  double dist = 0.0;
+};
+
+/// A view: polar entries sorted by (angle, dist); one entry per robot
+/// (multiplicities expand to repeated entries).
+using view = std::vector<polar_entry>;
+
+/// Three-way lexicographic comparison of views under tolerance (-1, 0, +1).
+[[nodiscard]] int compare_views(const view& a, const view& b, const geom::tol& t);
+
+/// The view of occupied location `p` of configuration `c` (Def. 2).
+/// `p` must be an occupied location.
+[[nodiscard]] view view_of(const configuration& c, vec2 p);
+
+/// Views of every occupied location, parallel to `c.occupied()`.
+[[nodiscard]] std::vector<view> all_views(const configuration& c);
+
+/// Equivalence classes of occupied locations under equal views; each inner
+/// vector holds indices into `c.occupied()`.  Classes are ordered by
+/// descending view.
+[[nodiscard]] std::vector<std::vector<std::size_t>> view_classes(const configuration& c);
+
+/// sym(C): the cardinality of the largest view class (Def. 3).
+[[nodiscard]] int symmetry(const configuration& c);
+
+}  // namespace gather::config

@@ -1,0 +1,233 @@
+#include "config/weber.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "config/regularity.h"
+#include "geometry/angles.h"
+#include "geometry/convex_hull.h"
+#include "geometry/predicates.h"
+
+namespace gather::config {
+
+namespace {
+
+/// Fermat point of three unweighted, non-collinear points: the vertex when
+/// some angle is >= 120 degrees, otherwise the intersection of the two
+/// Simpson lines (vertex to apex of the outward equilateral triangle on the
+/// opposite side).
+std::optional<vec2> fermat_point(vec2 a, vec2 b, vec2 c, const geom::tol& t) {
+  const vec2 v[3] = {a, b, c};
+  for (int i = 0; i < 3; ++i) {
+    const vec2 p = v[i], q = v[(i + 1) % 3], r = v[(i + 2) % 3];
+    const double ang = geom::angular_separation(q - p, r - p);
+    if (ang >= 2.0 * geom::pi / 3.0 - 1e-12) return p;
+  }
+  // Apex of the equilateral triangle erected on (q, r) away from p.
+  const auto apex_opposite = [&](vec2 p, vec2 q, vec2 r) {
+    const vec2 cand1 = geom::rotated_ccw_about(r, q, geom::pi / 3.0);
+    const vec2 cand2 = geom::rotated_cw_about(r, q, geom::pi / 3.0);
+    return geom::distance(cand1, p) > geom::distance(cand2, p) ? cand1 : cand2;
+  };
+  const vec2 apex_a = apex_opposite(a, b, c);
+  const vec2 apex_b = apex_opposite(b, c, a);
+  return geom::line_intersection(a, apex_a, b, apex_b, t);
+}
+
+/// Exact Weber point for three or four unweighted points (non-linear
+/// configurations): the Fermat point, the diagonal intersection of a convex
+/// quadrilateral, or the interior point of a non-convex one.
+std::optional<vec2> small_case_weber(const configuration& c) {
+  if (c.is_linear()) return std::nullopt;
+  const auto& occ = c.occupied();
+  for (const occupied_point& o : occ) {
+    if (o.multiplicity != 1) return std::nullopt;  // weighted: no closed form
+  }
+  const geom::tol& t = c.tolerance();
+  if (occ.size() == 3) {
+    return fermat_point(occ[0].position, occ[1].position, occ[2].position, t);
+  }
+  if (occ.size() == 4) {
+    std::vector<vec2> pts;
+    for (const occupied_point& o : occ) pts.push_back(o.position);
+    const auto hull = geom::convex_hull(pts, t);
+    if (hull.size() == 4) {
+      return geom::line_intersection(hull[0], hull[2], hull[1], hull[3], t);
+    }
+    if (hull.size() == 3) {
+      // The point not on the hull minimizes the sum of distances.
+      for (const vec2& p : pts) {
+        if (!geom::is_hull_vertex(p, pts, t)) return p;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<vec2> geometric_median_weiszfeld(const configuration& c, int max_iters,
+                                               double rel_tol) {
+  if (c.empty()) return std::nullopt;
+  if (c.is_gathered()) return c.occupied().front().position;
+  if (auto exact = small_case_weber(c)) return exact;
+
+  // A data point a is the geometric median iff the pull of the other robots
+  // does not exceed a's own weight: |sum_{p != a} w_p (p-a)/|p-a|| <= w_a
+  // (the subgradient optimality condition).  Checking this first handles
+  // every kink optimum exactly -- smooth iterations cannot converge onto a
+  // kink at full speed.
+  for (const occupied_point& a : c.occupied()) {
+    vec2 pull{};
+    for (const occupied_point& o : c.occupied()) {
+      const double d = geom::distance(a.position, o.position);
+      if (d == 0.0) continue;
+      pull += (o.multiplicity / d) * (o.position - a.position);
+    }
+    if (geom::norm(pull) <= static_cast<double>(a.multiplicity)) {
+      return a.position;
+    }
+  }
+
+  // Start from the centroid.
+  vec2 y{};
+  for (const occupied_point& o : c.occupied()) {
+    y += static_cast<double>(o.multiplicity) * o.position;
+  }
+  y = y / static_cast<double>(c.size());
+
+  const double step_tol = rel_tol * std::max(c.diameter(), 1e-300);
+  const double near = 1e-14 * std::max(c.diameter(), 1e-300);
+  for (int it = 0; it < max_iters; ++it) {
+    // Weighted update over robots not coincident with the iterate.
+    vec2 num{};
+    double den = 0.0;
+    vec2 pull{};      // R(y) = sum (p - y) / |p - y|
+    int weight_at_y = 0;
+    for (const occupied_point& o : c.occupied()) {
+      const double d = geom::distance(y, o.position);
+      if (d <= near) {
+        weight_at_y += o.multiplicity;
+        continue;
+      }
+      const double w = o.multiplicity / d;
+      num += w * o.position;
+      den += w;
+      pull += w * (o.position - y);
+    }
+    if (den == 0.0) return y;  // every robot is at y
+    const vec2 t_y = num / den;
+    vec2 next;
+    if (weight_at_y > 0) {
+      // Vardi-Zhang: if the anchoring weight dominates the pull, y is optimal.
+      const double r = geom::norm(pull);
+      if (r <= static_cast<double>(weight_at_y)) return y;
+      const double beta = static_cast<double>(weight_at_y) / r;
+      next = (1.0 - beta) * t_y + beta * y;
+    } else {
+      next = t_y;  // plain Weiszfeld: monotone convergence to the optimum
+    }
+    if (geom::distance(next, y) <= step_tol) {
+      y = next;
+      break;
+    }
+    y = next;
+  }
+
+  // Newton polish: the objective is smooth away from data points and Newton
+  // converges quadratically, pushing the residual towards machine precision.
+  // This matters for quasi-regularity detection, where the angular structure
+  // around the candidate center is verified against a 1e-9 tolerance.
+  for (int it = 0; it < 30; ++it) {
+    vec2 grad{};
+    double hxx = 0.0, hxy = 0.0, hyy = 0.0;
+    bool at_data_point = false;
+    for (const occupied_point& o : c.occupied()) {
+      const vec2 d = y - o.position;
+      const double r = geom::norm(d);
+      if (r <= near) {
+        at_data_point = true;
+        break;
+      }
+      const double w = o.multiplicity;
+      grad += (w / r) * d;
+      const double r3 = r * r * r;
+      hxx += w * (1.0 / r - d.x * d.x / r3);
+      hxy += w * (-d.x * d.y / r3);
+      hyy += w * (1.0 / r - d.y * d.y / r3);
+    }
+    if (at_data_point) break;
+    const double det = hxx * hyy - hxy * hxy;
+    if (!(det > 0.0)) break;  // not positive definite: stop polishing
+    const vec2 step{(hyy * grad.x - hxy * grad.y) / det,
+                    (hxx * grad.y - hxy * grad.x) / det};
+    const vec2 next = y - step;
+    // Reject wild steps (far from the Weiszfeld basin).
+    if (geom::distance(next, y) > 0.1 * std::max(c.diameter(), 1e-300)) break;
+    y = next;
+    if (geom::norm(step) <= 1e-16 * std::max(c.diameter(), 1e-300)) break;
+  }
+  return y;
+}
+
+weber_result linear_weber(const configuration& c) {
+  weber_result res;
+  if (c.is_gathered()) {
+    res.unique = true;
+    res.exact = true;
+    res.point = res.lo = res.hi = c.occupied().front().position;
+    return res;
+  }
+  // Direction of the common line: the farthest occupied pair.
+  vec2 a = c.occupied().front().position;
+  vec2 b = a;
+  double best = -1.0;
+  for (const occupied_point& o : c.occupied()) {
+    const double d = geom::distance(a, o.position);
+    if (d > best) {
+      best = d;
+      b = o.position;
+    }
+  }
+  const vec2 dir = geom::normalized(b - a);
+
+  std::vector<double> params;
+  params.reserve(c.size());
+  for (const occupied_point& o : c.occupied()) {
+    const double s = dot(o.position - a, dir);
+    for (int k = 0; k < o.multiplicity; ++k) params.push_back(s);
+  }
+  std::sort(params.begin(), params.end());
+  const std::size_t n = params.size();
+  double lo_s, hi_s;
+  if (n % 2 == 1) {
+    lo_s = hi_s = params[n / 2];
+  } else {
+    lo_s = params[n / 2 - 1];
+    hi_s = params[n / 2];
+  }
+  res.exact = true;
+  res.lo = a + lo_s * dir;
+  res.hi = a + hi_s * dir;
+  res.point = geom::midpoint(res.lo, res.hi);
+  res.unique = c.tolerance().same_point(res.lo, res.hi);
+  if (res.unique) res.point = res.lo;
+  return res;
+}
+
+weber_result weber_point(const configuration& c) {
+  if (c.is_linear()) return linear_weber(c);
+  weber_result res;
+  res.unique = true;  // non-linear configurations have a unique Weber point
+  if (auto qr = detect_quasi_regularity(c)) {
+    res.exact = true;
+    res.point = res.lo = res.hi = qr->center;
+    return res;
+  }
+  res.exact = false;
+  res.point = res.lo = res.hi = geometric_median_weiszfeld(c).value();
+  return res;
+}
+
+}  // namespace gather::config

@@ -1,0 +1,43 @@
+// Weber points (paper, Sec. III).
+//
+// The Weber point of a configuration minimizes the sum of distances to all
+// robots.  Non-linear configurations have a unique Weber point; linear ones
+// have the median interval [min Med(C), max Med(C)] (possibly a single
+// point).  The Weber point is not computable exactly for arbitrary point
+// sets, but the paper shows it *is* computable for quasi-regular
+// configurations (Lemma 3.3: it equals the center of quasi-regularity) and
+// for linear configurations (the median).  A Weiszfeld iteration is provided
+// as a numerical fallback and as ground truth for validation benchmarks.
+#pragma once
+
+#include <optional>
+
+#include "config/configuration.h"
+
+namespace gather::config {
+
+struct weber_result {
+  bool unique = false;  ///< true when the Weber point is a single point
+  bool exact = false;   ///< true when computed by a closed-form/discrete rule
+  vec2 point;           ///< the Weber point (or the interval midpoint if not unique)
+  vec2 lo;              ///< linear configurations: interval endpoints
+  vec2 hi;              ///< (lo == hi == point when unique)
+};
+
+/// Geometric median by damped Weiszfeld iteration with the Vardi-Zhang
+/// correction at data points.  Returns nullopt for empty configurations.
+/// The default iteration budget is modest because a Newton polish phase
+/// (quadratic convergence) follows the Weiszfeld loop.
+[[nodiscard]] std::optional<vec2> geometric_median_weiszfeld(const configuration& c,
+                                                             int max_iters = 200,
+                                                             double rel_tol = 1e-13);
+
+/// Median interval of a linear configuration (the Weber set).  Precondition:
+/// `c.is_linear()` and `c` is non-empty.
+[[nodiscard]] weber_result linear_weber(const configuration& c);
+
+/// Weber point of `c`: exact for linear and quasi-regular configurations,
+/// Weiszfeld-approximated otherwise (`exact == false`).
+[[nodiscard]] weber_result weber_point(const configuration& c);
+
+}  // namespace gather::config

@@ -1,0 +1,47 @@
+// The algorithm interface of the Look-Compute-Move model.
+//
+// During its COMPUTE phase a robot receives a snapshot -- the full
+// configuration expressed in its own coordinate system together with its own
+// position -- and returns a destination point in the same system.  Algorithms
+// are oblivious: `destination` is a pure function of the snapshot, which is
+// why implementations are const and stateless.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "config/configuration.h"
+
+namespace gather::core {
+
+using config::configuration;
+using geom::vec2;
+
+/// A robot's observation: the configuration in the robot's local frame and
+/// the robot's own position within it (always an occupied location).
+struct snapshot {
+  configuration observed;
+  vec2 self;
+};
+
+/// An oblivious deterministic robot algorithm.
+class gathering_algorithm {
+ public:
+  virtual ~gathering_algorithm() = default;
+
+  /// The destination for the robot owning this snapshot, in snapshot
+  /// coordinates.  Returning the robot's own position means "stay".
+  [[nodiscard]] virtual vec2 destination(const snapshot& s) const = 0;
+
+  /// Destinations for robots at every occupied location of `c`, parallel to
+  /// `c.occupied()`.  Semantically identical to calling `destination` per
+  /// location (the default does exactly that); implementations may override
+  /// to share per-configuration work -- in the ATOM model all robots
+  /// activated in a round observe the same configuration, so engines batch
+  /// through this entry point.
+  [[nodiscard]] virtual std::vector<vec2> destinations(const configuration& c) const;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace gather::core

@@ -1,0 +1,6 @@
+// Umbrella header for the core gathering algorithm (system S3 in DESIGN.md).
+#pragma once
+
+#include "core/algorithm.h"
+#include "core/predicates.h"
+#include "core/wait_free_gather.h"

@@ -1,0 +1,45 @@
+#include "core/predicates.h"
+
+#include "config/classify.h"
+
+namespace gather::core {
+
+std::vector<vec2> gathering_algorithm::destinations(const configuration& c) const {
+  std::vector<vec2> out;
+  out.reserve(c.distinct_count());
+  for (const config::occupied_point& o : c.occupied()) {
+    out.push_back(destination({c, o.position}));
+  }
+  return out;
+}
+
+std::vector<vec2> destinations(const configuration& c,
+                               const gathering_algorithm& algo) {
+  return algo.destinations(c);
+}
+
+std::vector<vec2> stationary_locations(const configuration& c,
+                                       const gathering_algorithm& algo) {
+  const auto dests = destinations(c, algo);
+  // Quiescence is measured three orders of magnitude below the co-location
+  // tolerance: every "stay" rule of the algorithm returns the location value
+  // itself (bitwise or near-bitwise), while genuine moves -- including
+  // near-degenerate side-steps whose commanded displacement can approach the
+  // co-location tolerance from above -- stay well clear of this threshold.
+  const double eps = 1e-3 * c.tolerance().len_eps();
+  std::vector<vec2> out;
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    const vec2 p = c.occupied()[i].position;
+    if (geom::distance(dests[i], p) <= eps) out.push_back(p);
+  }
+  return out;
+}
+
+bool satisfies_wait_freeness(const configuration& c,
+                             const gathering_algorithm& algo) {
+  if (c.is_gathered()) return true;
+  if (config::classify(c).cls == config::config_class::bivalent) return true;
+  return stationary_locations(c, algo).size() <= 1;
+}
+
+}  // namespace gather::core

@@ -1,0 +1,28 @@
+// Algorithm-level predicates: the paper's M(P, A) move set (Sec. V.A) and
+// the wait-freeness condition of Lemma 5.1.
+#pragma once
+
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace gather::core {
+
+/// Destination of the robot(s) at each occupied location, parallel to
+/// `c.occupied()`.  Because algorithms are functions of (configuration, own
+/// position), co-located robots always share a destination.
+[[nodiscard]] std::vector<vec2> destinations(const configuration& c,
+                                             const gathering_algorithm& algo);
+
+/// The occupied locations the algorithm instructs to *stay*,
+/// i.e. U(P) \ M(P, A).
+[[nodiscard]] std::vector<vec2> stationary_locations(const configuration& c,
+                                                     const gathering_algorithm& algo);
+
+/// Lemma 5.1: an algorithm tolerates up to n-1 crashes only if at most one
+/// occupied location is stationary in every configuration.  (The bivalent
+/// configuration, where gathering is impossible, is exempt.)
+[[nodiscard]] bool satisfies_wait_freeness(const configuration& c,
+                                           const gathering_algorithm& algo);
+
+}  // namespace gather::core

@@ -1,0 +1,185 @@
+#include "core/wait_free_gather.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "config/safe_points.h"
+#include "config/views.h"
+#include "config/weber.h"
+#include "geometry/angles.h"
+#include "geometry/predicates.h"
+
+namespace gather::core {
+
+using config::occupied_point;
+
+double wait_free_gather::side_step_angle(const configuration& c, vec2 self,
+                                         vec2 elected) {
+  const geom::tol& t = c.tolerance();
+  const vec2 own_ray = self - elected;
+  double sep = geom::two_pi;  // sentinel: no other ray
+  bool found = false;
+  for (const occupied_point& o : c.occupied()) {
+    if (t.same_point(o.position, elected) || t.same_point(o.position, self)) continue;
+    const vec2 ray = o.position - elected;
+    const double a = geom::angular_separation(own_ray, ray);
+    if (t.ang_zero(a)) continue;  // same ray as self: not a distinct ray
+    sep = std::min(sep, a);
+    found = true;
+  }
+  // With no other occupied ray any rotation below pi keeps the robot clear;
+  // use a fixed fraction for determinism.
+  return found ? sep / 3.0 : geom::pi / 6.0;
+}
+
+vec2 wait_free_gather::multiple_case(const configuration& c, vec2 self,
+                                     vec2 elected) {
+  const geom::tol& t = c.tolerance();
+  if (t.same_point(self, elected)) return elected;
+  // Free when no occupied location lies strictly between self and the target.
+  bool free = true;
+  for (const occupied_point& o : c.occupied()) {
+    if (geom::in_open_segment(o.position, self, elected, t)) {
+      free = false;
+      break;
+    }
+  }
+  if (free) return elected;
+  // Blocked: side-step clockwise onto a fresh ray at preserved distance
+  // (the isosceles move of Fig. 2, lines 7-12).
+  return geom::rotated_cw_about(self, elected, side_step_angle(c, self, elected));
+}
+
+std::optional<vec2> wait_free_gather::elect_leader(const configuration& c) {
+  const geom::tol& t = c.tolerance();
+  const auto safe = config::safe_occupied_points(c);
+  if (safe.empty()) return std::nullopt;
+
+  std::optional<std::size_t> best;
+  config::view best_view;
+  double best_sum = 0.0;
+  for (std::size_t idx : safe) {
+    const occupied_point& o = c.occupied()[idx];
+    const double sum = c.sum_distances(o.position);
+    if (!best) {
+      best = idx;
+      best_sum = sum;
+      best_view = config::view_of(c, o.position);
+      continue;
+    }
+    const occupied_point& b = c.occupied()[*best];
+    if (o.multiplicity != b.multiplicity) {
+      if (o.multiplicity > b.multiplicity) {
+        best = idx;
+        best_sum = sum;
+        best_view = config::view_of(c, o.position);
+      }
+      continue;
+    }
+    const int scmp = t.len_cmp(sum, best_sum);
+    if (scmp != 0) {
+      if (scmp < 0) {
+        best = idx;
+        best_sum = sum;
+        best_view = config::view_of(c, o.position);
+      }
+      continue;
+    }
+    config::view v = config::view_of(c, o.position);
+    if (config::compare_views(v, best_view, t) > 0) {
+      best = idx;
+      best_sum = sum;
+      best_view = std::move(v);
+    }
+  }
+  return c.occupied()[*best].position;
+}
+
+vec2 wait_free_gather::linear_2w_case(const configuration& c, vec2 self) {
+  const geom::tol& t = c.tolerance();
+  // Extreme points of the line: the farthest occupied pair.
+  vec2 lo = c.occupied().front().position;
+  vec2 hi = lo;
+  double best = -1.0;
+  for (const occupied_point& a : c.occupied()) {
+    for (const occupied_point& b : c.occupied()) {
+      const double d = geom::distance(a.position, b.position);
+      if (d > best) {
+        best = d;
+        lo = a.position;
+        hi = b.position;
+      }
+    }
+  }
+  const vec2 center = geom::midpoint(lo, hi);
+  if (t.same_point(self, lo) || t.same_point(self, hi)) {
+    // Endpoint robots leave the line: clockwise quarter-of-pi rotation about
+    // the line center (Fig. 2, lines 23-26).
+    return geom::rotated_cw_about(self, center, geom::pi / 4.0);
+  }
+  return center;
+}
+
+std::vector<vec2> wait_free_gather::destinations(const configuration& c) const {
+  std::vector<vec2> out;
+  out.reserve(c.distinct_count());
+  if (c.is_gathered()) {
+    for (const occupied_point& o : c.occupied()) out.push_back(o.position);
+    return out;
+  }
+  const config::classification cls = config::classify(c);
+  switch (cls.cls) {
+    case config::config_class::bivalent:
+      for (const occupied_point& o : c.occupied()) out.push_back(o.position);
+      break;
+    case config::config_class::multiple:
+      for (const occupied_point& o : c.occupied()) {
+        out.push_back(multiple_case(c, o.position, *cls.target));
+      }
+      break;
+    case config::config_class::quasi_regular:
+    case config::config_class::linear_1w:
+      for (std::size_t i = 0; i < c.distinct_count(); ++i) out.push_back(*cls.target);
+      break;
+    case config::config_class::asymmetric: {
+      const auto leader = elect_leader(c);
+      for (const occupied_point& o : c.occupied()) {
+        out.push_back(leader ? *leader : o.position);
+      }
+      break;
+    }
+    case config::config_class::linear_2w:
+      for (const occupied_point& o : c.occupied()) {
+        out.push_back(linear_2w_case(c, o.position));
+      }
+      break;
+  }
+  return out;
+}
+
+vec2 wait_free_gather::destination(const snapshot& s) const {
+  const configuration& c = s.observed;
+  if (c.is_gathered()) return s.self;
+  const config::classification cls = config::classify(c);
+  switch (cls.cls) {
+    case config::config_class::bivalent:
+      // Gathering from B is impossible (Lemma 5.2); hold position.
+      return s.self;
+    case config::config_class::multiple:
+      return multiple_case(c, s.self, *cls.target);
+    case config::config_class::quasi_regular:
+    case config::config_class::linear_1w:
+      // Move straight to the (computable, movement-invariant) Weber point.
+      return *cls.target;
+    case config::config_class::asymmetric: {
+      const auto leader = elect_leader(c);
+      // Lemma 4.2 guarantees a safe point for non-linear configurations.
+      return leader ? *leader : s.self;
+    }
+    case config::config_class::linear_2w:
+      return linear_2w_case(c, s.self);
+  }
+  return s.self;
+}
+
+}  // namespace gather::core

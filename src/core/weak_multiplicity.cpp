@@ -1,0 +1,21 @@
+#include "core/weak_multiplicity.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gather::core {
+
+vec2 weak_multiplicity_adapter::destination(const snapshot& s) const {
+  // Weak detection: a point reveals only "one" or "more than one" robot.
+  // Rebuild the observed configuration with every count capped at two.
+  std::vector<vec2> degraded;
+  degraded.reserve(s.observed.size());
+  for (const config::occupied_point& o : s.observed.occupied()) {
+    const int seen = std::min(o.multiplicity, 2);
+    for (int k = 0; k < seen; ++k) degraded.push_back(o.position);
+  }
+  const configuration weak(std::move(degraded));
+  return inner_.destination({weak, weak.snapped(s.self)});
+}
+
+}  // namespace gather::core

@@ -1,0 +1,31 @@
+// Weak-multiplicity capability ablation.
+//
+// The paper assumes *strong* multiplicity detection (exact per-point robot
+// counts) and argues it is necessary for gathering from arbitrary
+// configurations: with only weak detection ("one robot" vs "more than one")
+// the bivalent configuration -- from which gathering is impossible -- is
+// indistinguishable from two-point configurations with unequal stacks, from
+// which gathering is required.  This adapter degrades any algorithm's
+// snapshot to weak detection by capping every multiplicity at two, letting
+// the model-limits experiment exhibit exactly that failure: a (k, n-k) stack
+// pair with k != n-k looks bivalent, so the adapted algorithm freezes.
+#pragma once
+
+#include "core/algorithm.h"
+
+namespace gather::core {
+
+class weak_multiplicity_adapter final : public gathering_algorithm {
+ public:
+  /// `inner` must outlive the adapter.
+  explicit weak_multiplicity_adapter(const gathering_algorithm& inner)
+      : inner_(inner) {}
+
+  [[nodiscard]] vec2 destination(const snapshot& s) const override;
+  [[nodiscard]] std::string_view name() const override { return "weak-multiplicity"; }
+
+ private:
+  const gathering_algorithm& inner_;
+};
+
+}  // namespace gather::core

@@ -1,0 +1,83 @@
+#include "geometry/angles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gather::geom {
+
+double norm_angle(double a) {
+  a = std::fmod(a, two_pi);
+  if (a < 0) a += two_pi;
+  // fmod of a value infinitesimally below 0 can round to two_pi exactly.
+  if (a >= two_pi) a -= two_pi;
+  return a;
+}
+
+double cw_angle(vec2 ref, vec2 v) {
+  // atan2 gives the counter-clockwise angle; clockwise is its negation.
+  const double ccw = std::atan2(cross(ref, v), dot(ref, v));
+  return norm_angle(-ccw);
+}
+
+double cw_angle_at(vec2 u, vec2 c, vec2 v) { return cw_angle(u - c, v - c); }
+
+vec2 rotated_cw_about(vec2 p, vec2 center, double angle) {
+  return center + rotated_ccw(p - center, -angle);
+}
+
+vec2 rotated_ccw_about(vec2 p, vec2 center, double angle) {
+  return center + rotated_ccw(p - center, angle);
+}
+
+double angular_separation(vec2 a, vec2 b) {
+  return std::fabs(std::atan2(cross(a, b), dot(a, b)));
+}
+
+std::vector<double> cluster_angle_values(std::vector<double> thetas, double eps) {
+  if (thetas.empty()) return {};
+  std::sort(thetas.begin(), thetas.end());
+  std::vector<std::vector<double>> groups;
+  for (double a : thetas) {
+    if (!groups.empty() && a - groups.back().back() <= eps) {
+      groups.back().push_back(a);
+    } else {
+      groups.push_back({a});
+    }
+  }
+  // Merge across the seam: the last cluster wraps onto the first.
+  if (groups.size() > 1 &&
+      (groups.front().front() + two_pi) - groups.back().back() <= eps) {
+    for (double a : groups.back()) groups.front().push_back(a - two_pi);
+    groups.pop_back();
+  }
+  std::vector<double> reps;
+  reps.reserve(groups.size());
+  for (const auto& g : groups) {
+    double s = 0.0;
+    for (double a : g) s += a;
+    double rep = norm_angle(s / static_cast<double>(g.size()));
+    // A direction within eps of the positive reference axis must read as
+    // exactly 0, never as ~2*pi: otherwise the same geometric direction could
+    // sort first in one observer's view and last in another's.
+    if (two_pi - rep <= eps || rep <= eps) rep = 0.0;
+    reps.push_back(rep);
+  }
+  std::sort(reps.begin(), reps.end());
+  return reps;
+}
+
+double nearest_angle_rep(double theta, const std::vector<double>& reps) {
+  double best = theta;
+  double best_d = two_pi;
+  for (double r : reps) {
+    double d = std::fabs(theta - r);
+    d = std::min(d, two_pi - d);
+    if (d < best_d) {
+      best_d = d;
+      best = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace gather::geom

@@ -1,0 +1,53 @@
+// Chirality-aware angle utilities.
+//
+// The robots of the paper share a common sense of handedness ("chirality",
+// Sec. II): they agree on the clockwise direction.  The library fixes one
+// global convention: *clockwise* is the direction of negative mathematical
+// angle (the screen convention).  Every angular walk in the configuration
+// calculus (views, string of angles, side-steps) is expressed in clockwise
+// angles so that all robots, whatever their local frame, order points
+// identically.
+#pragma once
+
+#include <numbers>
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace gather::geom {
+
+inline constexpr double two_pi = 2.0 * std::numbers::pi;
+inline constexpr double pi = std::numbers::pi;
+
+/// Normalize an angle into [0, 2*pi).
+[[nodiscard]] double norm_angle(double a);
+
+/// Clockwise angle of direction `v` measured from direction `ref`,
+/// in [0, 2*pi).  Both vectors must be non-zero.
+[[nodiscard]] double cw_angle(vec2 ref, vec2 v);
+
+/// The paper's angle notation: clockwise angle at vertex `c` from segment
+/// [c,u] to segment [c,v], in [0, 2*pi).
+[[nodiscard]] double cw_angle_at(vec2 u, vec2 c, vec2 v);
+
+/// Rotate point `p` clockwise by `angle` about `center`.
+[[nodiscard]] vec2 rotated_cw_about(vec2 p, vec2 center, double angle);
+
+/// Rotate point `p` counter-clockwise by `angle` about `center`.
+[[nodiscard]] vec2 rotated_ccw_about(vec2 p, vec2 center, double angle);
+
+/// Smallest angular separation between two directions, in [0, pi].
+[[nodiscard]] double angular_separation(vec2 a, vec2 b);
+
+/// Cluster angles in [0, 2*pi): values within `eps` of a neighbour share a
+/// cluster, and clusters touching across the 0/2*pi seam are merged.  Returns
+/// the representative angle of each cluster, ascending.  Exact sorts on
+/// snapped angles avoid the non-strict-weak-order pitfalls of tolerance
+/// comparators and keep co-ray points at one exact angle.
+[[nodiscard]] std::vector<double> cluster_angle_values(std::vector<double> thetas,
+                                                       double eps);
+
+/// The representative from `reps` (cyclically) nearest to `theta`.
+[[nodiscard]] double nearest_angle_rep(double theta, const std::vector<double>& reps);
+
+}  // namespace gather::geom

@@ -1,0 +1,70 @@
+#include "geometry/calipers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geometry/convex_hull.h"
+#include "geometry/predicates.h"
+
+namespace gather::geom {
+
+farthest_pair diameter_pair(std::span<const vec2> pts, const tol& t) {
+  farthest_pair best{};
+  if (pts.empty()) return best;
+  best.a = best.b = pts[0];
+
+  const auto hull = convex_hull(pts, t);
+  const std::size_t h = hull.size();
+  if (h == 1) {
+    best.a = best.b = hull[0];
+    return best;
+  }
+  if (h == 2) {
+    best = {hull[0], hull[1], distance(hull[0], hull[1])};
+    return best;
+  }
+
+  // Rotating calipers: advance the antipodal pointer while the triangle area
+  // (distance to the current edge) keeps growing.
+  std::size_t j = 1;
+  for (std::size_t i = 0; i < h; ++i) {
+    const vec2 e1 = hull[i];
+    const vec2 e2 = hull[(i + 1) % h];
+    while (std::fabs(cross(e2 - e1, hull[(j + 1) % h] - e1)) >
+           std::fabs(cross(e2 - e1, hull[j] - e1))) {
+      j = (j + 1) % h;
+    }
+    for (const vec2 cand : {hull[i], e2}) {
+      const double d = distance(cand, hull[j]);
+      if (d > best.distance) best = {cand, hull[j], d};
+    }
+  }
+  return best;
+}
+
+double diameter(std::span<const vec2> pts, const tol& t) {
+  return diameter_pair(pts, t).distance;
+}
+
+double width(std::span<const vec2> pts, const tol& t) {
+  const auto hull = convex_hull(pts, t);
+  const std::size_t h = hull.size();
+  if (h < 3) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t j = 1;
+  for (std::size_t i = 0; i < h; ++i) {
+    const vec2 e1 = hull[i];
+    const vec2 e2 = hull[(i + 1) % h];
+    const double elen = distance(e1, e2);
+    if (elen == 0.0) continue;
+    while (std::fabs(cross(e2 - e1, hull[(j + 1) % h] - e1)) >
+           std::fabs(cross(e2 - e1, hull[j] - e1))) {
+      j = (j + 1) % h;
+    }
+    best = std::min(best, std::fabs(cross(e2 - e1, hull[j] - e1)) / elen);
+  }
+  return std::isfinite(best) ? best : 0.0;
+}
+
+}  // namespace gather::geom

@@ -1,0 +1,30 @@
+// Rotating-calipers utilities on convex hulls: diameter (farthest pair) and
+// width (minimal slab).  The simulator's metrics use the diameter on every
+// recorded round, so the O(n log n) hull + O(h) calipers pass matters for
+// large swarms (the naive pairwise scan is O(n^2)).
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "geometry/tolerance.h"
+#include "geometry/vec2.h"
+
+namespace gather::geom {
+
+/// The farthest pair of points (the diameter of the set).  Degenerate inputs
+/// return duplicated points / zero distance.
+struct farthest_pair {
+  vec2 a, b;
+  double distance = 0.0;
+};
+[[nodiscard]] farthest_pair diameter_pair(std::span<const vec2> pts, const tol& t);
+
+/// Largest pairwise distance (convenience wrapper).
+[[nodiscard]] double diameter(std::span<const vec2> pts, const tol& t);
+
+/// Width of the point set: the smallest distance between two parallel lines
+/// enclosing it (0 for collinear sets).
+[[nodiscard]] double width(std::span<const vec2> pts, const tol& t);
+
+}  // namespace gather::geom

@@ -1,0 +1,59 @@
+#include "geometry/convex_hull.h"
+
+#include <algorithm>
+
+#include "geometry/predicates.h"
+
+namespace gather::geom {
+
+std::vector<vec2> convex_hull(std::span<const vec2> pts, const tol& t) {
+  std::vector<vec2> p(pts.begin(), pts.end());
+  std::sort(p.begin(), p.end());
+  p.erase(std::unique(p.begin(), p.end(),
+                      [&](vec2 a, vec2 b) { return t.same_point(a, b); }),
+          p.end());
+  const std::size_t n = p.size();
+  if (n <= 1) return p;
+  if (n == 2) return p;
+
+  std::vector<vec2> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && orientation(hull[k - 2], hull[k - 1], p[i], t) <= 0) --k;
+    hull[k++] = p[i];
+  }
+  // Upper hull.
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower && orientation(hull[k - 2], hull[k - 1], p[i], t) <= 0) --k;
+    hull[k++] = p[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  if (hull.size() < 3) {
+    // All points collinear: keep the two extremes.
+    return {p.front(), p.back()};
+  }
+  return hull;
+}
+
+bool is_hull_vertex(vec2 p, std::span<const vec2> pts, const tol& t) {
+  const auto hull = convex_hull(pts, t);
+  return std::any_of(hull.begin(), hull.end(),
+                     [&](vec2 v) { return t.same_point(v, p); });
+}
+
+bool in_hull(vec2 p, std::span<const vec2> pts, const tol& t) {
+  const auto hull = convex_hull(pts, t);
+  if (hull.empty()) return false;
+  if (hull.size() == 1) return t.same_point(p, hull[0]);
+  if (hull.size() == 2) return in_closed_segment(p, hull[0], hull[1], t);
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const vec2 a = hull[i];
+    const vec2 b = hull[(i + 1) % hull.size()];
+    if (orientation(a, b, p, t) < 0) return false;  // hull is counter-clockwise
+  }
+  return true;
+}
+
+}  // namespace gather::geom

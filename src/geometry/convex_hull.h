@@ -1,0 +1,24 @@
+// Convex hull (Andrew's monotone chain), used for the paper's CH(Q) notation
+// and for identifying the extreme points of linear configurations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/tolerance.h"
+#include "geometry/vec2.h"
+
+namespace gather::geom {
+
+/// Convex hull of a point set, returned counter-clockwise starting from the
+/// lexicographically smallest vertex; collinear boundary points are dropped.
+/// Degenerate inputs return their extreme points (0, 1 or 2 vertices).
+[[nodiscard]] std::vector<vec2> convex_hull(std::span<const vec2> pts, const tol& t);
+
+/// True when `p` is a vertex of the convex hull of `pts`.
+[[nodiscard]] bool is_hull_vertex(vec2 p, std::span<const vec2> pts, const tol& t);
+
+/// True when `p` lies inside or on the boundary of the convex hull of `pts`.
+[[nodiscard]] bool in_hull(vec2 p, std::span<const vec2> pts, const tol& t);
+
+}  // namespace gather::geom

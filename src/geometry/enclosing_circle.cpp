@@ -1,0 +1,71 @@
+#include "geometry/enclosing_circle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gather::geom {
+
+circle circle_from_two(vec2 a, vec2 b) {
+  return {midpoint(a, b), 0.5 * distance(a, b)};
+}
+
+circle circle_from_three(vec2 a, vec2 b, vec2 c, const tol& t) {
+  const double d = 2.0 * cross(b - a, c - a);
+  const double span = std::max({distance(a, b), distance(b, c), distance(a, c)});
+  if (std::fabs(d) <= t.rel * span * std::max(t.scale, span)) {
+    // Collinear: smallest circle spanning the farthest pair.
+    circle best = circle_from_two(a, b);
+    for (const circle cand : {circle_from_two(a, c), circle_from_two(b, c)}) {
+      if (cand.radius > best.radius) best = cand;
+    }
+    return best;
+  }
+  const double a2 = norm_sq(a), b2 = norm_sq(b), c2 = norm_sq(c);
+  const vec2 center = {
+      (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+      (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d};
+  return {center, distance(center, a)};
+}
+
+namespace {
+
+circle circle_with_two_boundary(std::span<const vec2> pts, std::size_t end,
+                                vec2 p, vec2 q, const tol& t) {
+  circle c = circle_from_two(p, q);
+  for (std::size_t i = 0; i < end; ++i) {
+    if (!c.contains(pts[i], t)) c = circle_from_three(p, q, pts[i], t);
+  }
+  return c;
+}
+
+circle circle_with_one_boundary(std::span<const vec2> pts, std::size_t end,
+                                vec2 p, const tol& t) {
+  circle c{p, 0.0};
+  for (std::size_t i = 0; i < end; ++i) {
+    if (!c.contains(pts[i], t)) {
+      if (c.radius == 0.0) {
+        c = circle_from_two(p, pts[i]);
+      } else {
+        c = circle_with_two_boundary(pts, i, p, pts[i], t);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+circle smallest_enclosing_circle(std::span<const vec2> pts, const tol& t) {
+  if (pts.empty()) return {};
+  // Deterministic incremental construction (Welzl move-to-front without
+  // randomization).  Quadratic in the worst case but n is small (robots).
+  circle c{pts[0], 0.0};
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (!c.contains(pts[i], t)) {
+      c = circle_with_one_boundary(pts, i, pts[i], t);
+    }
+  }
+  return c;
+}
+
+}  // namespace gather::geom

@@ -1,0 +1,40 @@
+// Smallest enclosing circle (Welzl's algorithm), the paper's sec(C).
+//
+// The center of sec(U(C)) anchors the view definition (Def. 2) and is the
+// canonical candidate for the center of symmetry/regularity of symmetric
+// configurations, so it must be computed deterministically: this
+// implementation uses the iterative move-to-front variant with a fixed
+// processing order, which yields identical results for identical inputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/tolerance.h"
+#include "geometry/vec2.h"
+
+namespace gather::geom {
+
+struct circle {
+  vec2 center;
+  double radius = 0.0;
+
+  [[nodiscard]] bool contains(vec2 p, const tol& t) const {
+    return t.len_le(distance(p, center), radius);
+  }
+  [[nodiscard]] bool on_boundary(vec2 p, const tol& t) const {
+    return t.len_eq(distance(p, center), radius);
+  }
+};
+
+/// Circle through two diametrically opposite points.
+[[nodiscard]] circle circle_from_two(vec2 a, vec2 b);
+
+/// Circumscribed circle of a (non-degenerate) triangle.  For collinear
+/// triples, falls back to the smallest circle spanning the extreme pair.
+[[nodiscard]] circle circle_from_three(vec2 a, vec2 b, vec2 c, const tol& t);
+
+/// Smallest circle enclosing all points.  Empty input yields a zero circle.
+[[nodiscard]] circle smallest_enclosing_circle(std::span<const vec2> pts, const tol& t);
+
+}  // namespace gather::geom

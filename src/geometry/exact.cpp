@@ -1,0 +1,74 @@
+#include "geometry/exact.h"
+
+#include <cmath>
+
+namespace gather::geom {
+
+expansion2 two_sum(double a, double b) {
+  const double s = a + b;
+  const double bb = s - a;
+  const double err = (a - (s - bb)) + (b - bb);
+  return {s, err};
+}
+
+namespace {
+
+/// Split a double into two 26-bit halves (Dekker).
+struct split_t {
+  double hi, lo;
+};
+
+split_t split(double a) {
+  constexpr double splitter = 134217729.0;  // 2^27 + 1
+  const double c = splitter * a;
+  const double hi = c - (c - a);
+  return {hi, a - hi};
+}
+
+}  // namespace
+
+expansion2 two_product(double a, double b) {
+  const double p = a * b;
+  const auto [ahi, alo] = split(a);
+  const auto [bhi, blo] = split(b);
+  const double err = ((ahi * bhi - p) + ahi * blo + alo * bhi) + alo * blo;
+  return {p, err};
+}
+
+namespace {
+
+/// Shewchuk's Two-One-Diff: (a1 + a0) - b as an exact, non-overlapping
+/// three-term expansion x2 + x1 + x0 (increasing magnitude order x0..x2).
+struct expansion3 {
+  double x0, x1, x2;
+};
+
+expansion3 two_one_diff(double a1, double a0, double b) {
+  const expansion2 d = two_sum(a0, -b);     // (i, x0)
+  const expansion2 s = two_sum(a1, d.hi);   // (x2, x1)
+  return {d.lo, s.lo, s.hi};
+}
+
+}  // namespace
+
+int exact_det2_sign(double a, double b, double c, double d) {
+  // det = a*d - b*c as Shewchuk's Two-Two-Diff: an exact non-overlapping
+  // four-term expansion whose sign is the sign of its largest-magnitude
+  // (last nonzero) component.
+  const expansion2 ad = two_product(a, d);
+  const expansion2 bc = two_product(b, c);
+  const expansion3 e = two_one_diff(ad.hi, ad.lo, bc.lo);   // (_j, _0, x0)
+  const expansion3 f = two_one_diff(e.x2, e.x1, bc.hi);     // (x3, x2, x1)
+  const double x[4] = {e.x0, f.x0, f.x1, f.x2};
+  for (int i = 3; i >= 0; --i) {
+    if (x[i] > 0.0) return 1;
+    if (x[i] < 0.0) return -1;
+  }
+  return 0;
+}
+
+int exact_orientation(vec2 a, vec2 b, vec2 c) {
+  return exact_det2_sign(b.x - a.x, c.x - a.x, b.y - a.y, c.y - a.y);
+}
+
+}  // namespace gather::geom

@@ -1,0 +1,44 @@
+// Exact-sign geometric predicates via error-free float transformations.
+//
+// The library's working predicates (geometry/predicates.h) are *tolerant*:
+// they treat nearly-degenerate inputs as degenerate, which is what the robot
+// model wants (robots cannot measure infinitely precisely, and classification
+// must be stable under per-robot frames).  For verification, however, it is
+// useful to know the *exact* sign of the underlying determinant.  This module
+// computes it with Dekker/Knuth error-free transformations (two_sum,
+// two_product) and a Shewchuk-style expansion of the 2x2 determinant -- the
+// sign is exact for all double inputs, with no arbitrary precision library.
+//
+// Used by tests to cross-check the tolerant predicates on random and
+// adversarial inputs, and available to applications that need a ground-truth
+// orientation (e.g. validating convex hulls).
+#pragma once
+
+#include "geometry/vec2.h"
+
+namespace gather::geom {
+
+/// A non-overlapping two-term expansion x = hi + lo with |lo| <= ulp(hi)/2.
+struct expansion2 {
+  double hi = 0.0;
+  double lo = 0.0;
+};
+
+/// Error-free sum: a + b = result.hi + result.lo exactly.
+[[nodiscard]] expansion2 two_sum(double a, double b);
+
+/// Error-free product: a * b = result.hi + result.lo exactly (FMA-free).
+[[nodiscard]] expansion2 two_product(double a, double b);
+
+/// Exact sign of a*d - b*c: -1, 0 or +1.
+[[nodiscard]] int exact_det2_sign(double a, double b, double c, double d);
+
+/// Exact sign of the orientation of the triangle (a, b, c):
+/// +1 counter-clockwise, -1 clockwise, 0 exactly collinear.
+/// Evaluates cross(b - a, c - a) -- note the subtractions themselves are
+/// rounded, so this is the exact orientation of the *rounded* difference
+/// vectors; for robot coordinates produced by the simulator this is the
+/// meaningful ground truth.
+[[nodiscard]] int exact_orientation(vec2 a, vec2 b, vec2 c);
+
+}  // namespace gather::geom

@@ -1,0 +1,12 @@
+// Umbrella header for the geometry kernel (system S1 in DESIGN.md).
+#pragma once
+
+#include "geometry/angles.h"
+#include "geometry/calipers.h"
+#include "geometry/convex_hull.h"
+#include "geometry/enclosing_circle.h"
+#include "geometry/exact.h"
+#include "geometry/predicates.h"
+#include "geometry/tolerance.h"
+#include "geometry/transform.h"
+#include "geometry/vec2.h"

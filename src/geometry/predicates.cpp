@@ -1,0 +1,77 @@
+#include "geometry/predicates.h"
+
+#include <cmath>
+
+namespace gather::geom {
+
+int orientation(vec2 a, vec2 b, vec2 c, const tol& t) {
+  // Compare twice-the-signed-area against a tolerance that scales with the
+  // lengths involved so the predicate is invariant under uniform scaling.
+  const double area2 = cross(b - a, c - a);
+  const double span = std::max(distance(a, b), std::max(distance(a, c), 1e-300));
+  const double eps = t.rel * span * std::max(t.scale, span);
+  if (std::fabs(area2) <= eps) return 0;
+  return area2 > 0 ? 1 : -1;
+}
+
+bool all_collinear(std::span<const vec2> pts, const tol& t) {
+  if (pts.size() < 3) return true;
+  // Use the two mutually farthest of the first point and its farthest mate as
+  // a stable baseline; testing against a long baseline is numerically safer.
+  vec2 a = pts[0];
+  vec2 b = pts[0];
+  double best = -1.0;
+  for (const vec2& p : pts) {
+    const double d = distance(a, p);
+    if (d > best) {
+      best = d;
+      b = p;
+    }
+  }
+  if (t.len_zero(best)) return true;  // all points coincide
+  for (const vec2& p : pts) {
+    if (orientation(a, b, p, t) != 0) return false;
+  }
+  return true;
+}
+
+double distance_to_line(vec2 p, vec2 a, vec2 b) {
+  const double len = distance(a, b);
+  if (len == 0.0) return distance(p, a);
+  return std::fabs(cross(b - a, p - a)) / len;
+}
+
+bool in_open_segment(vec2 p, vec2 a, vec2 b, const tol& t) {
+  if (orientation(a, b, p, t) != 0) return false;
+  if (t.same_point(p, a) || t.same_point(p, b)) return false;
+  const double len = std::max(distance(a, b), 1e-300);
+  const double proj = dot(p - a, b - a) / len;  // signed length along [a,b]
+  return t.len_lt(0.0, proj) && t.len_lt(proj, len);
+}
+
+bool in_closed_segment(vec2 p, vec2 a, vec2 b, const tol& t) {
+  if (t.same_point(p, a) || t.same_point(p, b)) return true;
+  return in_open_segment(p, a, b, t);
+}
+
+std::optional<vec2> line_intersection(vec2 a1, vec2 a2, vec2 b1, vec2 b2,
+                                      const tol& t) {
+  const vec2 da = a2 - a1;
+  const vec2 db = b2 - b1;
+  const double denom = cross(da, db);
+  const double span = std::max({norm(da), norm(db), 1e-300});
+  if (std::fabs(denom) <= t.rel * span * std::max(t.scale, span)) {
+    return std::nullopt;
+  }
+  const double s = cross(b1 - a1, db) / denom;
+  return a1 + s * da;
+}
+
+bool on_half_line(vec2 p, vec2 u, vec2 v, const tol& t) {
+  if (t.same_point(p, u)) return false;  // HF(u, v) excludes u
+  if (t.same_point(u, v)) return false;  // degenerate half-line
+  if (orientation(u, v, p, t) != 0) return false;
+  return t.len_lt(0.0, dot(p - u, v - u) / distance(u, v));
+}
+
+}  // namespace gather::geom

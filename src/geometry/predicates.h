@@ -1,0 +1,40 @@
+// Tolerant geometric predicates: orientation, collinearity, betweenness,
+// ray membership.  These implement the paper's notations line(u,v), (u,v),
+// [u,v] and HF(u,v) (Sec. II) under the shared tolerance context.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "geometry/tolerance.h"
+#include "geometry/vec2.h"
+
+namespace gather::geom {
+
+/// Sign of the orientation of the triangle (a, b, c):
+/// +1 counter-clockwise, -1 clockwise, 0 collinear (within tolerance).
+[[nodiscard]] int orientation(vec2 a, vec2 b, vec2 c, const tol& t);
+
+/// True when all points lie on one line (within tolerance).
+/// Sets of fewer than three points are trivially collinear.
+[[nodiscard]] bool all_collinear(std::span<const vec2> pts, const tol& t);
+
+/// Distance from point `p` to the infinite line through `a` and `b`.
+[[nodiscard]] double distance_to_line(vec2 p, vec2 a, vec2 b);
+
+/// True when `p` lies strictly inside the open segment (a, b).
+[[nodiscard]] bool in_open_segment(vec2 p, vec2 a, vec2 b, const tol& t);
+
+/// True when `p` lies on the closed segment [a, b].
+[[nodiscard]] bool in_closed_segment(vec2 p, vec2 a, vec2 b, const tol& t);
+
+/// True when `p` lies on the paper's half-line HF(u, v): the half-line that
+/// starts at `u` (excluding `u` itself) and passes through `v`.
+[[nodiscard]] bool on_half_line(vec2 p, vec2 u, vec2 v, const tol& t);
+
+/// Intersection of line(a1, a2) with line(b1, b2); nullopt when parallel
+/// (within tolerance).
+[[nodiscard]] std::optional<vec2> line_intersection(vec2 a1, vec2 a2, vec2 b1,
+                                                    vec2 b2, const tol& t);
+
+}  // namespace gather::geom

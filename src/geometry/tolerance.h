@@ -1,0 +1,91 @@
+// Tolerant floating-point comparison context.
+//
+// Every geometric decision in the library (co-location, collinearity, angle
+// equality, view comparison, ...) is routed through a `tol` object so that the
+// whole classification pipeline uses a single, consistent notion of "equal".
+// This is what makes the algorithm's case analysis a deterministic function of
+// the snapshot even when snapshots are expressed in different local frames
+// (translation / rotation / uniform scaling; see sim::frame).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/vec2.h"
+
+namespace gather::geom {
+
+/// Comparison context: `eps` is an absolute tolerance for quantities measured
+/// in configuration-scale units (distances are compared relative to `scale`),
+/// `angle_eps` is an absolute tolerance in radians.
+struct tol {
+  double scale = 1.0;        ///< characteristic length (configuration diameter)
+  double rel = 1e-9;         ///< relative tolerance for lengths
+  double angle_eps = 1e-9;   ///< absolute tolerance for angles (radians)
+  /// Floor for the absolute length tolerance.  Derived from the coordinate
+  /// *magnitude* (not the spread): when robots converge, the spread collapses
+  /// towards zero while double-precision round-off stays proportional to the
+  /// magnitude of the coordinates, so a spread-relative epsilon alone would
+  /// stop identifying co-located robots.
+  double abs_floor = 1e-300;
+
+  /// Absolute length tolerance.
+  [[nodiscard]] double len_eps() const {
+    return std::max(rel * std::max(scale, 1e-300), abs_floor);
+  }
+
+  // -- length comparisons ----------------------------------------------------
+  [[nodiscard]] bool len_zero(double a) const { return std::fabs(a) <= len_eps(); }
+  [[nodiscard]] bool len_eq(double a, double b) const { return len_zero(a - b); }
+  [[nodiscard]] bool len_lt(double a, double b) const { return a < b - len_eps(); }
+  [[nodiscard]] bool len_le(double a, double b) const { return a <= b + len_eps(); }
+  /// Three-way compare under tolerance: -1, 0, +1.
+  [[nodiscard]] int len_cmp(double a, double b) const {
+    if (len_eq(a, b)) return 0;
+    return a < b ? -1 : 1;
+  }
+
+  // -- angle comparisons -----------------------------------------------------
+  [[nodiscard]] bool ang_zero(double a) const { return std::fabs(a) <= angle_eps; }
+  [[nodiscard]] bool ang_eq(double a, double b) const { return ang_zero(a - b); }
+  /// Angle equality on the circle: treats values near 0 and near 2*pi as equal.
+  [[nodiscard]] bool ang_eq_mod(double a, double b, double period) const {
+    double d = std::fabs(a - b);
+    d = std::fmin(d, std::fabs(d - period));
+    return d <= angle_eps;
+  }
+  [[nodiscard]] int ang_cmp(double a, double b) const {
+    if (ang_eq(a, b)) return 0;
+    return a < b ? -1 : 1;
+  }
+
+  // -- points ------------------------------------------------------------
+  [[nodiscard]] bool same_point(vec2 a, vec2 b) const {
+    return len_zero(distance(a, b));
+  }
+
+  /// A context whose length scale is the diameter of the given point span and
+  /// whose absolute floor tracks the coordinate magnitude.
+  template <class Range>
+  [[nodiscard]] static tol for_points(const Range& pts) {
+    double lo_x = 0, hi_x = 0, lo_y = 0, hi_y = 0, mag = 0;
+    bool first = true;
+    for (const vec2& p : pts) {
+      if (first) {
+        lo_x = hi_x = p.x;
+        lo_y = hi_y = p.y;
+        first = false;
+      } else {
+        lo_x = std::min(lo_x, p.x); hi_x = std::max(hi_x, p.x);
+        lo_y = std::min(lo_y, p.y); hi_y = std::max(hi_y, p.y);
+      }
+      mag = std::max({mag, std::fabs(p.x), std::fabs(p.y)});
+    }
+    tol t;
+    t.scale = std::max({hi_x - lo_x, hi_y - lo_y, 1e-12});
+    t.abs_floor = 1e-12 * std::max(mag, 1e-300);
+    return t;
+  }
+};
+
+}  // namespace gather::geom

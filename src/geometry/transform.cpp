@@ -1,0 +1,13 @@
+#include "geometry/transform.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gather::geom {
+
+similarity::similarity(double angle, double scale, vec2 offset)
+    : cos_(std::cos(angle)), sin_(std::sin(angle)), scale_(scale), offset_(offset) {
+  if (!(scale > 0.0)) throw std::invalid_argument("similarity: scale must be positive");
+}
+
+}  // namespace gather::geom

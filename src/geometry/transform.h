@@ -1,0 +1,45 @@
+// Direct similarity transforms of the plane (rotation + uniform scale +
+// translation, no reflection).
+//
+// Robots in the paper have arbitrary local coordinate systems that share only
+// chirality (Sec. II).  A snapshot seen by a robot is therefore the true
+// configuration mapped through a direct similarity.  The simulator uses
+// `similarity` to hand each robot its own distorted snapshot and to map the
+// computed destination back to the global frame; reflections are excluded
+// because chirality is shared.
+#pragma once
+
+#include "geometry/vec2.h"
+
+namespace gather::geom {
+
+/// p -> rot(p) * scale + offset, with rot a proper rotation (det = +1).
+class similarity {
+ public:
+  similarity() = default;
+
+  /// Build from rotation angle (counter-clockwise, radians), uniform scale
+  /// (> 0) and translation.
+  similarity(double angle, double scale, vec2 offset);
+
+  [[nodiscard]] vec2 apply(vec2 p) const {
+    return {scale_ * (cos_ * p.x - sin_ * p.y) + offset_.x,
+            scale_ * (sin_ * p.x + cos_ * p.y) + offset_.y};
+  }
+
+  /// Inverse map (global <- local).
+  [[nodiscard]] vec2 invert(vec2 q) const {
+    const vec2 d = (q - offset_) / scale_;
+    return {cos_ * d.x + sin_ * d.y, -sin_ * d.x + cos_ * d.y};
+  }
+
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  double cos_ = 1.0;
+  double sin_ = 0.0;
+  double scale_ = 1.0;
+  vec2 offset_{};
+};
+
+}  // namespace gather::geom

@@ -1,0 +1,11 @@
+#include "geometry/vec2.h"
+
+#include <ostream>
+
+namespace gather::geom {
+
+std::ostream& operator<<(std::ostream& os, vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace gather::geom

@@ -1,0 +1,71 @@
+// Basic 2-D vector/point type used throughout the library.
+//
+// Robots are modelled as points on the Euclidean plane (paper, Sec. II).
+// `vec2` is a plain value type: cheap to copy, trivially relocatable, and
+// usable in constexpr contexts wherever the math allows.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+namespace gather::geom {
+
+/// A point or displacement in the plane.
+struct vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr vec2 operator+(vec2 a, vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr vec2 operator-(vec2 a, vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr vec2 operator*(double s, vec2 a) { return {s * a.x, s * a.y}; }
+  friend constexpr vec2 operator*(vec2 a, double s) { return {s * a.x, s * a.y}; }
+  friend constexpr vec2 operator/(vec2 a, double s) { return {a.x / s, a.y / s}; }
+  constexpr vec2 operator-() const { return {-x, -y}; }
+  constexpr vec2& operator+=(vec2 b) { x += b.x; y += b.y; return *this; }
+  constexpr vec2& operator-=(vec2 b) { x -= b.x; y -= b.y; return *this; }
+  constexpr vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+
+  /// Exact bitwise comparison; use geom::tol for approximate comparisons.
+  friend constexpr bool operator==(vec2 a, vec2 b) = default;
+  /// Lexicographic (x then y) order, used only for deterministic canonical
+  /// sorting of point sets, never for geometric decisions.
+  friend constexpr auto operator<=>(vec2 a, vec2 b) = default;
+};
+
+[[nodiscard]] constexpr double dot(vec2 a, vec2 b) { return a.x * b.x + a.y * b.y; }
+
+/// z-component of the 3-D cross product; positive when `b` lies
+/// counter-clockwise of `a` in the standard mathematical orientation.
+[[nodiscard]] constexpr double cross(vec2 a, vec2 b) { return a.x * b.y - a.y * b.x; }
+
+[[nodiscard]] inline double norm(vec2 a) { return std::hypot(a.x, a.y); }
+[[nodiscard]] constexpr double norm_sq(vec2 a) { return a.x * a.x + a.y * a.y; }
+[[nodiscard]] inline double distance(vec2 a, vec2 b) { return norm(b - a); }
+[[nodiscard]] constexpr double distance_sq(vec2 a, vec2 b) { return norm_sq(b - a); }
+
+/// Unit vector in the direction of `a`; `a` must be non-zero.
+[[nodiscard]] inline vec2 normalized(vec2 a) {
+  const double n = norm(a);
+  return {a.x / n, a.y / n};
+}
+
+/// Point at parameter `t` on the segment from `a` to `b` (t=0 -> a, t=1 -> b).
+[[nodiscard]] constexpr vec2 lerp(vec2 a, vec2 b, double t) {
+  return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+[[nodiscard]] constexpr vec2 midpoint(vec2 a, vec2 b) { return lerp(a, b, 0.5); }
+
+/// Rotate `a` counter-clockwise by `angle` radians about the origin.
+[[nodiscard]] inline vec2 rotated_ccw(vec2 a, double angle) {
+  const double c = std::cos(angle), s = std::sin(angle);
+  return {c * a.x - s * a.y, s * a.x + c * a.y};
+}
+
+/// Perpendicular vector (counter-clockwise quarter turn).
+[[nodiscard]] constexpr vec2 perp_ccw(vec2 a) { return {-a.y, a.x}; }
+
+std::ostream& operator<<(std::ostream& os, vec2 v);
+
+}  // namespace gather::geom

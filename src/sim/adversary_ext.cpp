@@ -1,0 +1,150 @@
+#include "sim/adversary_ext.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gather::sim {
+
+namespace {
+
+class scatter_at final : public perturbation_policy {
+ public:
+  scatter_at(std::vector<std::size_t> rounds, double box)
+      : rounds_(std::move(rounds)), box_(box) {}
+
+  std::vector<std::pair<std::size_t, geom::vec2>> perturb(
+      std::size_t round, const std::vector<geom::vec2>& positions,
+      const std::vector<std::uint8_t>& live, rng& random) override {
+    if (std::find(rounds_.begin(), rounds_.end(), round) == rounds_.end()) {
+      return {};
+    }
+    std::vector<std::pair<std::size_t, geom::vec2>> out;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (!live[i]) continue;  // crashed robots cannot be corrupted into moving
+      out.push_back({i, {random.uniform(-box_, box_), random.uniform(-box_, box_)}});
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::size_t> rounds_;
+  double box_;
+};
+
+class nudge_at final : public perturbation_policy {
+ public:
+  nudge_at(std::vector<std::size_t> rounds, double magnitude)
+      : rounds_(std::move(rounds)), magnitude_(magnitude) {}
+
+  std::vector<std::pair<std::size_t, geom::vec2>> perturb(
+      std::size_t round, const std::vector<geom::vec2>& positions,
+      const std::vector<std::uint8_t>& live, rng& random) override {
+    if (std::find(rounds_.begin(), rounds_.end(), round) == rounds_.end()) {
+      return {};
+    }
+    std::vector<std::size_t> live_idx;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (live[i]) live_idx.push_back(i);
+    }
+    if (live_idx.empty()) return {};
+    const std::size_t pick = live_idx[random.uniform_int(0, live_idx.size() - 1)];
+    const double ang = random.uniform(0.0, 6.283185307179586);
+    const double r = random.uniform(0.0, magnitude_);
+    const geom::vec2 delta{r * std::cos(ang), r * std::sin(ang)};
+    return {{pick, positions[pick] + delta}};
+  }
+
+ private:
+  std::vector<std::size_t> rounds_;
+  double magnitude_;
+};
+
+class runaway_byzantine final : public byzantine_policy {
+ public:
+  runaway_byzantine(std::vector<std::size_t> robots, double step_fraction)
+      : robots_(std::move(robots)), step_(step_fraction) {}
+
+  bool is_byzantine(std::size_t robot) const override {
+    return std::find(robots_.begin(), robots_.end(), robot) != robots_.end();
+  }
+
+  geom::vec2 destination(std::size_t, const config::configuration& c,
+                         geom::vec2 self, rng&) override {
+    geom::vec2 centroid{};
+    int count = 0;
+    for (const config::occupied_point& o : c.occupied()) {
+      centroid += static_cast<double>(o.multiplicity) * o.position;
+      count += o.multiplicity;
+    }
+    centroid = centroid / std::max(count, 1);
+    geom::vec2 away = self - centroid;
+    const double len = geom::norm(away);
+    if (len < 1e-12) away = {1.0, 0.0};
+    else away = away / len;
+    return self + step_ * std::max(c.diameter(), 1e-3) * away;
+  }
+
+ private:
+  std::vector<std::size_t> robots_;
+  double step_;
+};
+
+class splitter_byzantine final : public byzantine_policy {
+ public:
+  explicit splitter_byzantine(std::vector<std::size_t> robots)
+      : robots_(std::move(robots)) {}
+
+  bool is_byzantine(std::size_t robot) const override {
+    return std::find(robots_.begin(), robots_.end(), robot) != robots_.end();
+  }
+
+  geom::vec2 destination(std::size_t, const config::configuration& c,
+                         geom::vec2 self, rng& random) override {
+    // Keep two poles alive: jump next to the occupied location farthest from
+    // the current heaviest one, offset a little so no multiplicity forms.
+    const config::occupied_point* heavy = &c.occupied().front();
+    for (const config::occupied_point& o : c.occupied()) {
+      if (o.multiplicity > heavy->multiplicity) heavy = &o;
+    }
+    const config::occupied_point* far = heavy;
+    double best = -1.0;
+    for (const config::occupied_point& o : c.occupied()) {
+      const double d = geom::distance(o.position, heavy->position);
+      if (d > best) {
+        best = d;
+        far = &o;
+      }
+    }
+    const double ang = random.uniform(0.0, 6.283185307179586);
+    const double r = 0.15 * std::max(c.diameter(), 1e-3);
+    (void)self;
+    return far->position + geom::vec2{r * std::cos(ang), r * std::sin(ang)};
+  }
+
+ private:
+  std::vector<std::size_t> robots_;
+};
+
+}  // namespace
+
+std::unique_ptr<perturbation_policy> make_scatter_at(std::vector<std::size_t> rounds,
+                                                     double box) {
+  return std::make_unique<scatter_at>(std::move(rounds), box);
+}
+
+std::unique_ptr<perturbation_policy> make_nudge_at(std::vector<std::size_t> rounds,
+                                                   double magnitude) {
+  return std::make_unique<nudge_at>(std::move(rounds), magnitude);
+}
+
+std::unique_ptr<byzantine_policy> make_runaway_byzantine(
+    std::vector<std::size_t> robots, double step_fraction) {
+  return std::make_unique<runaway_byzantine>(std::move(robots), step_fraction);
+}
+
+std::unique_ptr<byzantine_policy> make_splitter_byzantine(
+    std::vector<std::size_t> robots) {
+  return std::make_unique<splitter_byzantine>(std::move(robots));
+}
+
+}  // namespace gather::sim

@@ -1,0 +1,71 @@
+// Extended adversaries beyond the paper's crash model: transient faults and
+// byzantine robots.
+//
+// * Transient faults (perturbations): the paper notes (Sec. I) that oblivious
+//   algorithms tolerate transient state corruption for free -- a robot's only
+//   state is its position, so a transient fault is an arbitrary relocation,
+//   after which the algorithm simply proceeds from the new configuration.
+//   `perturbation_policy` injects such relocations; tests use it to validate
+//   the self-stabilization claim (gathering still succeeds after the last
+//   fault, unless the adversary lands the swarm exactly in the bivalent
+//   configuration).
+//
+// * Byzantine robots: [Agmon-Peleg], cited in Sec. I, prove that a single
+//   byzantine robot makes gathering impossible for n = 3.  `byzantine_policy`
+//   lets designated robots pick adversarial destinations each round; the
+//   model-limits experiment uses it to reproduce that boundary empirically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "config/configuration.h"
+#include "geometry/vec2.h"
+#include "sim/rng.h"
+
+namespace gather::sim {
+
+/// Relocations to apply at the start of a round: (robot index, new position).
+class perturbation_policy {
+ public:
+  virtual ~perturbation_policy() = default;
+  [[nodiscard]] virtual std::vector<std::pair<std::size_t, geom::vec2>> perturb(
+      std::size_t round, const std::vector<geom::vec2>& positions,
+      const std::vector<std::uint8_t>& live, rng& random) = 0;
+};
+
+/// Teleports every live robot to a uniform position in a centered box at each
+/// of the given rounds (a full transient corruption of the swarm state).
+[[nodiscard]] std::unique_ptr<perturbation_policy> make_scatter_at(
+    std::vector<std::size_t> rounds, double box = 10.0);
+
+/// Relocates one random live robot by up to `magnitude` at each given round.
+[[nodiscard]] std::unique_ptr<perturbation_policy> make_nudge_at(
+    std::vector<std::size_t> rounds, double magnitude);
+
+/// Adversarial control of designated byzantine robots.  Byzantine robots are
+/// visible and "live" but ignore the algorithm.
+class byzantine_policy {
+ public:
+  virtual ~byzantine_policy() = default;
+  [[nodiscard]] virtual bool is_byzantine(std::size_t robot) const = 0;
+  [[nodiscard]] virtual geom::vec2 destination(std::size_t robot,
+                                               const config::configuration& c,
+                                               geom::vec2 self, rng& random) = 0;
+};
+
+/// The designated robots always run away: each round they move a fixed
+/// fraction of the swarm diameter directly away from the centroid of the
+/// other robots, perpetually re-shaping the configuration.
+[[nodiscard]] std::unique_ptr<byzantine_policy> make_runaway_byzantine(
+    std::vector<std::size_t> robots, double step_fraction = 0.5);
+
+/// The designated robots mirror the configuration's current stationary point:
+/// they jump to positions that keep two "leaders" alive, preventing the
+/// correct robots from converging on one (the Agmon-Peleg style attack).
+[[nodiscard]] std::unique_ptr<byzantine_policy> make_splitter_byzantine(
+    std::vector<std::size_t> robots);
+
+}  // namespace gather::sim

@@ -1,0 +1,90 @@
+#include "sim/analysis.h"
+
+#include <algorithm>
+
+#include "config/configuration.h"
+#include "sim/metrics.h"
+
+namespace gather::sim {
+
+std::vector<round_metrics> analyze_trace(const sim_result& result) {
+  std::vector<round_metrics> out;
+  out.reserve(result.trace.size());
+  for (const round_record& rec : result.trace) {
+    round_metrics m;
+    m.round = rec.round;
+    m.cls = rec.cls;
+    m.live_spread = live_spread(rec.positions, rec.live);
+    const config::configuration c(rec.positions);
+    for (std::size_t i = 0; i < rec.positions.size(); ++i) {
+      if (!rec.live[i]) continue;
+      ++m.live_count;
+      for (std::size_t j = i + 1; j < rec.positions.size(); ++j) {
+        if (rec.live[j]) {
+          m.live_sum_pairwise += geom::distance(rec.positions[i], rec.positions[j]);
+        }
+      }
+    }
+    // Largest stack of live robots: count live robots per snapped location.
+    for (const config::occupied_point& o : c.occupied()) {
+      int live_here = 0;
+      for (std::size_t i = 0; i < rec.positions.size(); ++i) {
+        if (rec.live[i] &&
+            c.tolerance().same_point(c.snapped(rec.positions[i]), o.position)) {
+          ++live_here;
+        }
+      }
+      m.max_live_multiplicity = std::max(m.max_live_multiplicity, live_here);
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<class_phase> class_phases(const std::vector<config_class>& history) {
+  std::vector<class_phase> out;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (!out.empty() && out.back().cls == history[i]) {
+      ++out.back().rounds;
+    } else {
+      out.push_back({history[i], i, 1});
+    }
+  }
+  return out;
+}
+
+potential_report check_potentials(const sim_result& result) {
+  potential_report rep;
+  const auto metrics = analyze_trace(result);
+  rep.phase_count = class_phases(result.class_history).size();
+
+  double initial_spread = metrics.empty() ? 0.0 : metrics.front().live_spread;
+  int prev_max_mult = 0;
+  std::size_t prev_live = 0;
+  config_class prev_cls = config_class::asymmetric;
+  bool have_prev = false;
+  for (const round_metrics& m : metrics) {
+    if (m.max_live_multiplicity >= 2 &&
+        rep.first_multiplicity_round == static_cast<std::size_t>(-1)) {
+      rep.first_multiplicity_round = m.round;
+    }
+    if (initial_spread > 0.0 && m.live_spread > 2.0 * initial_spread + 1e-9) {
+      rep.spread_bounded = false;
+    }
+    // Within an M phase the target stack may only grow (Lemma 5.3 C1); a
+    // crash of a stacked robot legitimately shrinks the *live* stack, so
+    // decreases are only flagged while the live count is unchanged.
+    if (have_prev && prev_cls == config_class::multiple &&
+        m.cls == config_class::multiple && m.live_count == prev_live &&
+        m.max_live_multiplicity < prev_max_mult) {
+      rep.max_multiplicity_monotone = false;
+    }
+    prev_max_mult = m.max_live_multiplicity;
+    prev_live = m.live_count;
+    prev_cls = m.cls;
+    have_prev = true;
+  }
+  return rep;
+}
+
+}  // namespace gather::sim

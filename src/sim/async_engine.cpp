@@ -1,0 +1,205 @@
+#include "sim/async_engine.h"
+
+#include <algorithm>
+
+namespace gather::sim {
+
+std::string_view to_string(async_policy p) {
+  switch (p) {
+    case async_policy::atomic_sequential: return "atomic-sequential";
+    case async_policy::random_interleaving: return "random-interleaving";
+    case async_policy::look_all_move_all: return "look-all-move-all";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class phase : std::uint8_t { idle, armed };
+
+}  // namespace
+
+async_engine::async_engine(std::vector<geom::vec2> initial,
+                           const core::gathering_algorithm& algo,
+                           movement_adversary& movement, crash_policy& crash,
+                           async_options opts)
+    : positions_(std::move(initial)),
+      algo_(algo),
+      movement_(movement),
+      crash_(crash),
+      opts_(opts) {}
+
+async_result async_engine::run() {
+  async_result result;
+  rng random(opts_.seed);
+  const std::size_t n = positions_.size();
+
+  const config::configuration c0(positions_);
+  const double delta_abs = std::max(opts_.delta_fraction * c0.diameter(), 1e-12);
+  const bool initial_bivalent =
+      config::classify(c0).cls == config::config_class::bivalent;
+
+  std::vector<phase> phases(n, phase::idle);
+  std::vector<geom::vec2> targets(n);
+  std::vector<geom::vec2> snapshot_base(n);  // positions hash proxy at Look time
+  std::vector<std::uint8_t> live(n, 1);
+  std::vector<std::size_t> starving(n, 0);
+
+  auto make_config = [&]() {
+    geom::tol t = geom::tol::for_points(positions_);
+    t.abs_floor = std::max(t.abs_floor, 1e-9 * delta_abs);
+    return config::configuration(positions_, t);
+  };
+
+  auto checksum = [&]() {
+    geom::vec2 s{};
+    for (const geom::vec2& p : positions_) s += p;
+    return s;
+  };
+
+  auto gathered = [&](const config::configuration& c) {
+    const geom::vec2* point = nullptr;
+    geom::vec2 first{};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!live[i]) continue;
+      const geom::vec2 p = c.snapped(positions_[i]);
+      if (point == nullptr) {
+        first = p;
+        point = &first;
+      } else if (!c.tolerance().same_point(*point, p)) {
+        return false;
+      }
+      // A live robot armed with a stale far-away target will still move.
+      if (phases[i] == phase::armed &&
+          !c.tolerance().same_point(targets[i], p)) {
+        return false;
+      }
+    }
+    if (point == nullptr) return false;
+    return c.tolerance().same_point(algo_.destination({c, *point}), *point);
+  };
+
+  // Advance one robot's phase machine.
+  auto look = [&](std::size_t i, const config::configuration& c) {
+    targets[i] = algo_.destination({c, c.snapped(positions_[i])});
+    snapshot_base[i] = checksum();
+    phases[i] = phase::armed;
+  };
+  auto move = [&](std::size_t i) {
+    const geom::vec2 before = checksum();
+    if (geom::distance(before, snapshot_base[i]) > 1e-9) ++result.stale_moves;
+    positions_[i] = movement_.stop_point(positions_[i], targets[i], delta_abs, random);
+    phases[i] = phase::idle;
+    ++result.cycles;
+  };
+
+  std::size_t step = 0;
+  std::size_t la_ma_cursor = 0;  // for look_all_move_all
+  bool la_phase_is_look = true;
+
+  for (; step < opts_.max_steps; ++step) {
+    const config::configuration c = make_config();
+    for (geom::vec2& p : positions_) p = c.snapped(p);
+
+    if (gathered(c)) {
+      result.status = sim_status::gathered;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (live[i]) {
+          result.gather_point = c.snapped(positions_[i]);
+          break;
+        }
+      }
+      break;
+    }
+
+    // Crash injection (budget semantics as in the ATOM engine).
+    std::size_t live_count =
+        static_cast<std::size_t>(std::count(live.begin(), live.end(), std::uint8_t{1}));
+    const crash_context cctx{step, positions_, live, nullptr};
+    for (std::size_t idx : crash_.crashes(cctx, random)) {
+      if (idx >= n || !live[idx]) continue;
+      if (live_count <= 1) break;
+      live[idx] = 0;
+      --live_count;
+      ++result.crashes;
+    }
+    if (live_count == 0) {
+      result.status = sim_status::all_crashed;
+      break;
+    }
+
+    // Pick the robot whose phase advances, per the interleaving policy.
+    std::vector<std::size_t> live_idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (live[i]) live_idx.push_back(i);
+    }
+    std::size_t pick = live_idx.front();
+    switch (opts_.policy) {
+      case async_policy::atomic_sequential: {
+        // Finish an armed robot first; otherwise arm the next in index order.
+        const auto armed = std::find_if(live_idx.begin(), live_idx.end(), [&](std::size_t i) {
+          return phases[i] == phase::armed;
+        });
+        pick = (armed != live_idx.end()) ? *armed
+                                         : live_idx[step / 2 % live_idx.size()];
+        break;
+      }
+      case async_policy::random_interleaving:
+        pick = live_idx[random.uniform_int(0, live_idx.size() - 1)];
+        break;
+      case async_policy::look_all_move_all: {
+        // Sweep all live robots through Look, then all through Move.
+        if (la_ma_cursor >= live_idx.size()) {
+          la_ma_cursor = 0;
+          la_phase_is_look = !la_phase_is_look;
+        }
+        pick = live_idx[la_ma_cursor++];
+        // Skip robots already in the sweep's desired state.
+        const phase want = la_phase_is_look ? phase::idle : phase::armed;
+        std::size_t guard = 0;
+        while (phases[pick] != want && guard++ < live_idx.size()) {
+          if (la_ma_cursor >= live_idx.size()) {
+            la_ma_cursor = 0;
+            la_phase_is_look = !la_phase_is_look;
+            break;
+          }
+          pick = live_idx[la_ma_cursor++];
+        }
+        break;
+      }
+    }
+    // Fairness backstop.
+    for (std::size_t i : live_idx) {
+      if (starving[i] >= opts_.fairness_bound) {
+        pick = i;
+        break;
+      }
+    }
+    for (std::size_t i : live_idx) ++starving[i];
+    starving[pick] = 0;
+
+    if (phases[pick] == phase::idle) {
+      look(pick, c);
+    } else {
+      move(pick);
+    }
+  }
+
+  result.steps = step;
+  result.final_positions = positions_;
+  result.final_live = live;
+  if (result.status != sim_status::gathered && initial_bivalent) {
+    result.status = sim_status::started_bivalent;
+  }
+  return result;
+}
+
+async_result simulate_async(std::vector<geom::vec2> initial,
+                            const core::gathering_algorithm& algo,
+                            movement_adversary& movement, crash_policy& crash,
+                            const async_options& opts) {
+  async_engine e(std::move(initial), algo, movement, crash, opts);
+  return e.run();
+}
+
+}  // namespace gather::sim

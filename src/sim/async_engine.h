@@ -1,0 +1,90 @@
+// ASYNC (CORDA) execution engine -- an extension beyond the paper's model.
+//
+// The paper proves WAIT-FREE-GATHER correct in the semi-synchronous ATOM
+// model, where each activated robot's Look-Compute-Move cycle is atomic
+// within a round.  The asynchronous model (see e.g. Flocchini et al.) drops
+// that atomicity: arbitrary delays may separate a robot's Look from its Move,
+// so robots can move based on *stale* snapshots.  This engine implements the
+// standard discrete-event formulation: the adversary repeatedly picks a live
+// robot and advances its phase machine
+//
+//     idle --Look+Compute--> armed --Move--> idle
+//
+// where between a robot's Look and its Move any number of other robots may
+// complete full cycles.  The engine is used by the model-boundary experiment
+// (bench_async, E9) to map where the ATOM guarantees stop applying, and by
+// tests that confirm ATOM is recovered as the special case where every armed
+// robot moves before anyone else looks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/classify.h"
+#include "core/algorithm.h"
+#include "sim/crash.h"
+#include "sim/engine.h"
+#include "sim/movement.h"
+#include "sim/rng.h"
+
+namespace gather::sim {
+
+/// Interleaving policies for the ASYNC adversary.
+enum class async_policy {
+  /// A robot finishes its Move immediately after its Look: no staleness.
+  /// This is exactly a sequential ATOM schedule (one robot per round).
+  atomic_sequential,
+  /// Uniformly random phase advancement: moderate staleness.
+  random_interleaving,
+  /// All live robots Look first, then all Move ("look-all-move-all"):
+  /// maximal staleness, the classic breaker of ATOM-only algorithms.
+  look_all_move_all,
+};
+
+[[nodiscard]] std::string_view to_string(async_policy p);
+
+struct async_options {
+  double delta_fraction = 0.05;
+  std::size_t max_steps = 400'000;   ///< phase-advancement events
+  std::uint64_t seed = 1;
+  async_policy policy = async_policy::random_interleaving;
+  std::size_t fairness_bound = 128;  ///< max steps between a robot's events
+};
+
+struct async_result {
+  sim_status status = sim_status::round_limit;
+  std::size_t steps = 0;             ///< phase events executed
+  std::size_t cycles = 0;            ///< completed Look...Move cycles
+  geom::vec2 gather_point{};
+  std::vector<geom::vec2> final_positions;
+  std::vector<std::uint8_t> final_live;
+  std::size_t crashes = 0;
+  /// Moves executed whose destination was computed from a snapshot that no
+  /// longer matched the configuration at move time (staleness exposure).
+  std::size_t stale_moves = 0;
+};
+
+class async_engine {
+ public:
+  async_engine(std::vector<geom::vec2> initial, const core::gathering_algorithm& algo,
+               movement_adversary& movement, crash_policy& crash,
+               async_options opts);
+
+  [[nodiscard]] async_result run();
+
+ private:
+  std::vector<geom::vec2> positions_;
+  const core::gathering_algorithm& algo_;
+  movement_adversary& movement_;
+  crash_policy& crash_;
+  async_options opts_;
+};
+
+/// Convenience wrapper.
+[[nodiscard]] async_result simulate_async(std::vector<geom::vec2> initial,
+                                          const core::gathering_algorithm& algo,
+                                          movement_adversary& movement,
+                                          crash_policy& crash,
+                                          const async_options& opts);
+
+}  // namespace gather::sim

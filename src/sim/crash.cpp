@@ -1,0 +1,108 @@
+#include "sim/crash.h"
+
+#include <algorithm>
+
+namespace gather::sim {
+
+namespace {
+
+class no_crash final : public crash_policy {
+ public:
+  std::vector<std::size_t> crashes(const crash_context&, rng&) override { return {}; }
+  std::string_view name() const override { return "none"; }
+};
+
+class scheduled_crashes final : public crash_policy {
+ public:
+  explicit scheduled_crashes(std::vector<std::pair<std::size_t, std::size_t>> events)
+      : events_(std::move(events)) {}
+
+  std::vector<std::size_t> crashes(const crash_context& ctx, rng&) override {
+    std::vector<std::size_t> out;
+    for (const auto& [round, robot] : events_) {
+      if (round == ctx.round) out.push_back(robot);
+    }
+    return out;
+  }
+  std::string_view name() const override { return "scheduled"; }
+
+ private:
+  std::vector<std::pair<std::size_t, std::size_t>> events_;
+};
+
+class random_crashes final : public crash_policy {
+ public:
+  random_crashes(std::size_t f, std::size_t horizon) : budget_(f), horizon_(horizon) {}
+
+  std::vector<std::size_t> crashes(const crash_context& ctx, rng& random) override {
+    if (!planned_) {
+      plan(ctx, random);
+      planned_ = true;
+    }
+    std::vector<std::size_t> out;
+    for (const auto& [round, robot] : events_) {
+      if (round == ctx.round) out.push_back(robot);
+    }
+    return out;
+  }
+  std::string_view name() const override { return "random"; }
+
+ private:
+  void plan(const crash_context& ctx, rng& random) {
+    const std::size_t n = ctx.positions.size();
+    std::vector<std::size_t> robots(n);
+    for (std::size_t i = 0; i < n; ++i) robots[i] = i;
+    std::shuffle(robots.begin(), robots.end(), random.engine());
+    const std::size_t f = std::min(budget_, n == 0 ? 0 : n - 1);
+    for (std::size_t k = 0; k < f; ++k) {
+      events_.emplace_back(random.uniform_int(0, horizon_ ? horizon_ - 1 : 0), robots[k]);
+    }
+  }
+
+  std::size_t budget_;
+  std::size_t horizon_;
+  bool planned_ = false;
+  std::vector<std::pair<std::size_t, std::size_t>> events_;
+};
+
+class leader_crashes final : public crash_policy {
+ public:
+  explicit leader_crashes(std::size_t f) : budget_(f) {}
+
+  std::vector<std::size_t> crashes(const crash_context& ctx, rng&) override {
+    if (spent_ >= budget_ || ctx.stationary == nullptr) return {};
+    // Crash one live robot standing on the elected location, if any.
+    for (std::size_t i = 0; i < ctx.positions.size(); ++i) {
+      if (!ctx.live[i]) continue;
+      if (geom::distance(ctx.positions[i], *ctx.stationary) <= 1e-9) {
+        ++spent_;
+        return {i};
+      }
+    }
+    return {};
+  }
+  std::string_view name() const override { return "leader"; }
+
+ private:
+  std::size_t budget_;
+  std::size_t spent_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<crash_policy> make_no_crash() { return std::make_unique<no_crash>(); }
+
+std::unique_ptr<crash_policy> make_scheduled_crashes(
+    std::vector<std::pair<std::size_t, std::size_t>> events) {
+  return std::make_unique<scheduled_crashes>(std::move(events));
+}
+
+std::unique_ptr<crash_policy> make_random_crashes(std::size_t f, std::size_t horizon) {
+  return std::make_unique<random_crashes>(f, horizon);
+}
+
+std::unique_ptr<crash_policy> make_leader_crashes(std::size_t f) {
+  return std::make_unique<leader_crashes>(f);
+}
+
+}  // namespace gather::sim

@@ -1,0 +1,61 @@
+// Crash-fault injection (paper, Sec. II, crash fault model).
+//
+// A faulty robot stops taking actions from some round onward but remains
+// visible to the others.  A crash policy decides, at the start of each round,
+// which live robots crash.  Policies respect a fault budget f; the paper's
+// result tolerates any f < n.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "geometry/vec2.h"
+#include "sim/rng.h"
+
+namespace gather::sim {
+
+/// Context handed to a crash policy each round.
+struct crash_context {
+  std::size_t round = 0;
+  const std::vector<geom::vec2>& positions;
+  const std::vector<std::uint8_t>& live;
+  /// The occupied location the algorithm currently instructs to stay at
+  /// (the "elected" point), if any -- lets adversarial policies attack the
+  /// current leader.
+  const geom::vec2* stationary = nullptr;
+};
+
+class crash_policy {
+ public:
+  virtual ~crash_policy() = default;
+
+  /// Indices of robots to crash at the start of this round.  The engine
+  /// ignores indices of already-crashed robots and never lets the last live
+  /// robot crash beyond the policy's declared budget.
+  [[nodiscard]] virtual std::vector<std::size_t> crashes(const crash_context& ctx,
+                                                         rng& random) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// No faults.
+[[nodiscard]] std::unique_ptr<crash_policy> make_no_crash();
+
+/// Deterministic schedule of (round, robot) crash events.
+[[nodiscard]] std::unique_ptr<crash_policy> make_scheduled_crashes(
+    std::vector<std::pair<std::size_t, std::size_t>> events);
+
+/// Crashes `f` distinct robots at rounds drawn uniformly from [0, horizon).
+[[nodiscard]] std::unique_ptr<crash_policy> make_random_crashes(std::size_t f,
+                                                                std::size_t horizon);
+
+/// Adversarial: whenever some robot stands on the currently-stationary
+/// (elected) location, crash one such robot -- mimicking the worst case of
+/// the proof of Lemma 5.3, where the adversary spends one fault after each
+/// step of progress.  Crashes at most `f` robots.
+[[nodiscard]] std::unique_ptr<crash_policy> make_leader_crashes(std::size_t f);
+
+}  // namespace gather::sim

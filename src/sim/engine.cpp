@@ -1,0 +1,229 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "core/predicates.h"
+#include "sim/adversary_ext.h"
+#include "sim/frame.h"
+
+namespace gather::sim {
+
+std::string_view to_string(sim_status s) {
+  switch (s) {
+    case sim_status::gathered: return "gathered";
+    case sim_status::round_limit: return "round-limit";
+    case sim_status::stalled: return "stalled";
+    case sim_status::all_crashed: return "all-crashed";
+    case sim_status::started_bivalent: return "started-bivalent";
+  }
+  return "?";
+}
+
+engine::engine(std::vector<vec2> initial, const gathering_algorithm& algo,
+               activation_scheduler& scheduler, movement_adversary& movement,
+               crash_policy& crash, sim_options opts)
+    : positions_(std::move(initial)),
+      live_(positions_.size(), 1),
+      algo_(algo),
+      scheduler_(scheduler),
+      movement_(movement),
+      crash_(crash),
+      opts_(opts) {
+  const configuration c(positions_);
+  delta_abs_ = std::max(opts_.delta_fraction * c.diameter(), 1e-12);
+}
+
+configuration engine::current_configuration() const {
+  // The model's delta gives the run an absolute length scale: robots within a
+  // vanishing fraction of it are physically indistinguishable.  Without this
+  // floor, per-robot frame round-off (~1 ulp of the coordinate magnitude)
+  // could keep nearly-gathered robots forever "distinct" once the swarm
+  // diameter has collapsed below the coordinate noise.
+  geom::tol t = geom::tol::for_points(positions_);
+  t.abs_floor = std::max(t.abs_floor, 1e-9 * delta_abs_);
+  return configuration(positions_, t);
+}
+
+bool engine::gathered(const configuration& c) const {
+  // Def. 9: all live robots share one location and the algorithm instructs
+  // the robots there to stay.
+  const vec2* point = nullptr;
+  vec2 first{};
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    if (!live_[i]) continue;
+    // Byzantine robots are not required to gather (only correct ones are).
+    if (byzantine_ != nullptr && byzantine_->is_byzantine(i)) continue;
+    const vec2 p = c.snapped(positions_[i]);
+    if (point == nullptr) {
+      first = p;
+      point = &first;
+    } else if (!c.tolerance().same_point(*point, p)) {
+      return false;
+    }
+  }
+  if (point == nullptr) return false;  // no live robot
+  return c.tolerance().same_point(algo_.destination({c, *point}), *point);
+}
+
+sim_result engine::run() {
+  sim_result result;
+  rng random(opts_.seed);
+  std::vector<geom::similarity> frames;
+  if (opts_.local_frames) frames = random_frames(positions_.size(), random);
+
+  const bool initial_bivalent =
+      config::classify(configuration(positions_)).cls == config_class::bivalent;
+  std::vector<std::size_t> starving(positions_.size(), 0);
+
+  for (std::size_t round = 0; round < opts_.max_rounds; ++round) {
+    // Transient faults strike before anyone observes this round.
+    if (perturbation_ != nullptr) {
+      for (const auto& [idx, pos] :
+           perturbation_->perturb(round, positions_, live_, random)) {
+        if (idx < positions_.size() && live_[idx]) positions_[idx] = pos;
+      }
+    }
+    const configuration c = current_configuration();
+    // Physically merge robots that the (strong multiplicity) observation
+    // already identifies as co-located; this keeps accumulated floating-point
+    // noise from splitting a formed multiplicity point across rounds.
+    for (vec2& p : positions_) p = c.snapped(p);
+    const config_class cls = config::classify(c).cls;
+    result.class_history.push_back(cls);
+
+    if (gathered(c)) {
+      result.status = sim_status::gathered;
+      result.rounds = round;
+      for (std::size_t i = 0; i < positions_.size(); ++i) {
+        if (live_[i]) {
+          result.gather_point = c.snapped(positions_[i]);
+          break;
+        }
+      }
+      break;
+    }
+
+    // One destination computation per occupied location per round: all
+    // active robots observe the same round-start configuration, so (in the
+    // global frame) their decisions coincide with these.
+    const auto dests = core::destinations(c, algo_);
+    std::vector<vec2> stationary;
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      if (c.tolerance().same_point(dests[i], c.occupied()[i].position)) {
+        stationary.push_back(c.occupied()[i].position);
+      }
+    }
+    if (opts_.check_wait_freeness && cls != config_class::bivalent &&
+        stationary.size() > 1) {
+      ++result.wait_free_violations;
+    }
+    if (!initial_bivalent && cls == config_class::bivalent) {
+      ++result.bivalent_entries;
+    }
+    // Fixpoint: every occupied location instructed to stay, yet not gathered
+    // (live robots on >= 2 locations).  Nothing can ever change; stop early.
+    // (Not a fixpoint when external actors -- byzantine robots or transient
+    // faults -- can still reshape the configuration.)
+    if (byzantine_ == nullptr && perturbation_ == nullptr &&
+        stationary.size() == c.distinct_count()) {
+      result.status = sim_status::stalled;
+      result.rounds = round;
+      break;
+    }
+
+    // 1. Crash injection.
+    const vec2* elected = stationary.empty() ? nullptr : &stationary.front();
+    const crash_context cctx{round, positions_, live_, elected};
+    std::size_t live_count = static_cast<std::size_t>(
+        std::count(live_.begin(), live_.end(), std::uint8_t{1}));
+    for (std::size_t idx : crash_.crashes(cctx, random)) {
+      if (idx >= live_.size() || !live_[idx]) continue;
+      if (live_count <= 1) break;  // the model requires f < n
+      live_[idx] = 0;
+      --live_count;
+      ++result.crashes;
+    }
+    if (live_count == 0) {
+      result.status = sim_status::all_crashed;
+      result.rounds = round;
+      break;
+    }
+
+    // 2. Activation.
+    const schedule_context sctx{round, positions_, live_};
+    std::vector<std::uint8_t> active(positions_.size(), 0);
+    for (std::size_t idx : scheduler_.select(sctx, random)) {
+      if (idx < active.size() && live_[idx]) active[idx] = 1;
+    }
+    // Bounded-fairness backstop.
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+      if (live_[i] && starving[i] >= opts_.fairness_bound) active[i] = 1;
+    }
+    if (std::find(active.begin(), active.end(), std::uint8_t{1}) == active.end()) {
+      for (std::size_t i = 0; i < positions_.size(); ++i) {
+        if (live_[i]) {
+          active[i] = 1;
+          break;
+        }
+      }
+    }
+
+    if (opts_.record_trace) {
+      result.trace.push_back({round, positions_, active, live_, cls});
+    }
+
+    // 3. Atomic Look-Compute-Move against the round-start configuration.
+    std::vector<vec2> next = positions_;
+    for (std::size_t i = 0; i < positions_.size(); ++i) {
+      if (!active[i]) {
+        if (live_[i]) ++starving[i];
+        continue;
+      }
+      starving[i] = 0;
+      const vec2 self = c.snapped(positions_[i]);
+      vec2 dest;
+      if (byzantine_ != nullptr && byzantine_->is_byzantine(i)) {
+        dest = byzantine_->destination(i, c, self, random);
+      } else if (opts_.local_frames) {
+        // LOOK through the robot's own similarity frame; move back through
+        // its inverse.
+        const geom::similarity& f = frames[i];
+        std::vector<vec2> local;
+        local.reserve(positions_.size());
+        for (const vec2& p : positions_) local.push_back(f.apply(p));
+        const configuration local_c(local);
+        const vec2 local_dest =
+            algo_.destination({local_c, local_c.snapped(f.apply(self))});
+        dest = f.invert(local_dest);
+      } else {
+        // Look up the memoized per-location destination.
+        dest = self;
+        for (std::size_t k = 0; k < c.occupied().size(); ++k) {
+          if (c.tolerance().same_point(c.occupied()[k].position, self)) {
+            dest = dests[k];
+            break;
+          }
+        }
+      }
+      next[i] = movement_.stop_point(positions_[i], dest, delta_abs_, random);
+    }
+    positions_ = std::move(next);
+    result.rounds = round + 1;
+  }
+
+  result.final_positions = positions_;
+  result.final_live = live_;
+  if (result.status != sim_status::gathered && initial_bivalent) {
+    result.status = sim_status::started_bivalent;
+  }
+  return result;
+}
+
+sim_result simulate(std::vector<vec2> initial, const gathering_algorithm& algo,
+                    activation_scheduler& scheduler, movement_adversary& movement,
+                    crash_policy& crash, const sim_options& opts) {
+  engine e(std::move(initial), algo, scheduler, movement, crash, opts);
+  return e.run();
+}
+
+}  // namespace gather::sim

@@ -1,0 +1,126 @@
+// The ATOM (semi-synchronous) execution engine (paper, Sec. II).
+//
+// Time is a sequence of rounds.  Each round: (1) the crash policy may crash
+// robots, (2) the scheduler activates a subset of the live robots, (3) every
+// activated robot performs one atomic Look-Compute-Move cycle against the
+// round-start configuration, (4) the movement adversary truncates each move,
+// subject to the delta guarantee.  The run ends when the GATHERED predicate
+// of Def. 9 holds (all live robots co-located and instructed to stay), or at
+// the round limit.
+//
+// The engine can optionally verify online that the algorithm is wait-free
+// (Lemma 5.1) and that the bivalent configuration is never entered from a
+// non-bivalent start, and it records the class history for transition
+// analyses (Lemmas 5.3-5.9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "config/classify.h"
+#include "core/algorithm.h"
+#include "sim/crash.h"
+#include "sim/movement.h"
+#include "sim/scheduler.h"
+
+namespace gather::sim {
+
+using config::config_class;
+using config::configuration;
+using core::gathering_algorithm;
+using geom::vec2;
+
+struct sim_options {
+  /// The model's delta, as a fraction of the *initial* configuration
+  /// diameter (the guarantee is an absolute distance; expressing it
+  /// relative to the instance makes sweeps comparable across scales).
+  double delta_fraction = 0.05;
+  std::size_t max_rounds = 50'000;
+  std::uint64_t seed = 1;
+  /// Run every COMPUTE in a random per-robot similarity frame.
+  bool local_frames = false;
+  /// Verify Lemma 5.1 (at most one stationary location) every round.
+  bool check_wait_freeness = false;
+  /// Force-activate any live robot that has not moved for this many rounds
+  /// (bounded-fairness backstop making every scheduler admissible).
+  std::size_t fairness_bound = 64;
+  /// Keep a full positions trace (memory-heavy; for examples/debugging).
+  bool record_trace = false;
+};
+
+enum class sim_status {
+  gathered,        ///< GATHERED(R, t) became true
+  round_limit,     ///< max_rounds elapsed without gathering
+  stalled,         ///< fixpoint: every robot instructed to stay, not gathered
+  all_crashed,     ///< every robot crashed (f = n; outside the model)
+  started_bivalent ///< the initial configuration was bivalent (Lemma 5.2)
+};
+
+[[nodiscard]] std::string_view to_string(sim_status s);
+
+struct round_record {
+  std::size_t round = 0;
+  std::vector<vec2> positions;           // at round start
+  std::vector<std::uint8_t> active;      // activation mask
+  std::vector<std::uint8_t> live;        // liveness mask
+  config_class cls = config_class::asymmetric;
+};
+
+struct sim_result {
+  sim_status status = sim_status::round_limit;
+  std::size_t rounds = 0;                ///< rounds executed
+  vec2 gather_point{};                   ///< valid when status == gathered
+  std::vector<vec2> final_positions;
+  std::vector<std::uint8_t> final_live;
+  std::size_t crashes = 0;               ///< faults actually injected
+  std::size_t wait_free_violations = 0;  ///< Lemma 5.1 breaches observed
+  std::size_t bivalent_entries = 0;      ///< rounds spent in B after a non-B start
+  std::vector<config_class> class_history;  ///< class at each round start
+  std::vector<round_record> trace;          ///< when record_trace
+};
+
+class perturbation_policy;
+class byzantine_policy;
+
+class engine {
+ public:
+  engine(std::vector<vec2> initial, const gathering_algorithm& algo,
+         activation_scheduler& scheduler, movement_adversary& movement,
+         crash_policy& crash, sim_options opts);
+
+  /// Optional transient-fault injector (see sim/adversary_ext.h): applied at
+  /// the start of each round, before any robot observes.
+  void set_perturbation(perturbation_policy* p) { perturbation_ = p; }
+
+  /// Optional byzantine control (see sim/adversary_ext.h): designated robots
+  /// take adversarial destinations and are excluded from the GATHERED
+  /// predicate (gathering is required of correct robots only).
+  void set_byzantine(byzantine_policy* b) { byzantine_ = b; }
+
+  /// Run to completion and return the result.
+  [[nodiscard]] sim_result run();
+
+ private:
+  [[nodiscard]] configuration current_configuration() const;
+  [[nodiscard]] bool gathered(const configuration& c) const;
+
+  std::vector<vec2> positions_;
+  std::vector<std::uint8_t> live_;
+  const gathering_algorithm& algo_;
+  activation_scheduler& scheduler_;
+  movement_adversary& movement_;
+  crash_policy& crash_;
+  sim_options opts_;
+  double delta_abs_ = 0.0;
+  perturbation_policy* perturbation_ = nullptr;
+  byzantine_policy* byzantine_ = nullptr;
+};
+
+/// Convenience wrapper: run one simulation with the given pieces.
+[[nodiscard]] sim_result simulate(std::vector<vec2> initial,
+                                  const gathering_algorithm& algo,
+                                  activation_scheduler& scheduler,
+                                  movement_adversary& movement, crash_policy& crash,
+                                  const sim_options& opts);
+
+}  // namespace gather::sim

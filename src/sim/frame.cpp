@@ -1,0 +1,21 @@
+#include "sim/frame.h"
+
+#include <cmath>
+
+#include "geometry/angles.h"
+
+namespace gather::sim {
+
+std::vector<geom::similarity> random_frames(std::size_t n, rng& random, double box) {
+  std::vector<geom::similarity> frames;
+  frames.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = random.uniform(0.0, geom::two_pi);
+    const double scale = std::exp(random.uniform(-std::log(4.0), std::log(4.0)));
+    const geom::vec2 offset{random.uniform(-box, box), random.uniform(-box, box)};
+    frames.emplace_back(angle, scale, offset);
+  }
+  return frames;
+}
+
+}  // namespace gather::sim

@@ -1,0 +1,24 @@
+// Per-robot local coordinate frames.
+//
+// Robots are disoriented: each has its own origin, orientation and unit
+// distance; only chirality is shared (paper, Sec. II).  The engine can run in
+// "local frame" mode, where each robot's snapshot is pushed through its own
+// direct similarity (rotation + uniform scale + translation, never a
+// reflection) and the computed destination is pulled back to the global
+// frame.  This stresses that every decision of the algorithm is invariant
+// under the robots' coordinate freedom.
+#pragma once
+
+#include <vector>
+
+#include "geometry/transform.h"
+#include "sim/rng.h"
+
+namespace gather::sim {
+
+/// Random per-robot frames: rotation uniform in [0, 2*pi), scale log-uniform
+/// in [1/4, 4], translation uniform in a box of the given half-width.
+[[nodiscard]] std::vector<geom::similarity> random_frames(std::size_t n, rng& random,
+                                                          double box = 10.0);
+
+}  // namespace gather::sim

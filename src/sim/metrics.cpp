@@ -1,0 +1,77 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "geometry/calipers.h"
+#include "geometry/tolerance.h"
+
+namespace gather::sim {
+
+double spread(const std::vector<geom::vec2>& pts) {
+  if (pts.size() < 2) return 0.0;
+  // Rotating calipers: O(n log n) instead of the naive O(n^2) pairwise scan
+  // (this runs on every recorded round of every analyzed trace).
+  return geom::diameter(pts, geom::tol::for_points(pts));
+}
+
+double live_spread(const std::vector<geom::vec2>& pts,
+                   const std::vector<std::uint8_t>& live) {
+  std::vector<geom::vec2> alive;
+  alive.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (live[i]) alive.push_back(pts[i]);
+  }
+  return spread(alive);
+}
+
+double sum_pairwise(const std::vector<geom::vec2>& pts) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      s += geom::distance(pts[i], pts[j]);
+    }
+  }
+  return s;
+}
+
+namespace {
+constexpr std::size_t index_of(config::config_class c) {
+  return static_cast<std::size_t>(c);
+}
+}  // namespace
+
+transition_matrix count_transitions(const std::vector<config::config_class>& history) {
+  transition_matrix m{};
+  for (std::size_t i = 0; i + 1 < history.size(); ++i) {
+    ++m[index_of(history[i])][index_of(history[i + 1])];
+  }
+  return m;
+}
+
+bool transitions_allowed(const std::vector<config::config_class>& history) {
+  using cc = config::config_class;
+  const auto allowed = [](cc from, cc to) {
+    switch (from) {
+      case cc::multiple:
+        return to == cc::multiple;
+      case cc::linear_1w:
+        return to == cc::multiple || to == cc::linear_1w;
+      case cc::quasi_regular:
+        return to == cc::multiple || to == cc::linear_1w || to == cc::quasi_regular;
+      case cc::asymmetric:
+        return to == cc::multiple || to == cc::linear_1w || to == cc::quasi_regular ||
+               to == cc::asymmetric;
+      case cc::linear_2w:
+        return to != cc::bivalent;
+      case cc::bivalent:
+        return to == cc::bivalent;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i + 1 < history.size(); ++i) {
+    if (!allowed(history[i], history[i + 1])) return false;
+  }
+  return true;
+}
+
+}  // namespace gather::sim

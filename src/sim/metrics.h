@@ -1,0 +1,41 @@
+// Run metrics used by experiments: spread, convergence measures, and
+// class-transition accounting for validating Lemmas 5.3-5.9.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "config/classify.h"
+#include "geometry/vec2.h"
+
+namespace gather::sim {
+
+/// Largest pairwise distance among the given points.
+[[nodiscard]] double spread(const std::vector<geom::vec2>& pts);
+
+/// Largest pairwise distance among live points only.
+[[nodiscard]] double live_spread(const std::vector<geom::vec2>& pts,
+                                 const std::vector<std::uint8_t>& live);
+
+/// Sum of pairwise distances (the Weber-flavoured potential).
+[[nodiscard]] double sum_pairwise(const std::vector<geom::vec2>& pts);
+
+/// 6x6 matrix of observed class transitions along a class history;
+/// entry [from][to] counts rounds where the class changed from `from` to
+/// `to` (self-transitions included).  Indices follow config_class order.
+using transition_matrix = std::array<std::array<std::size_t, 6>, 6>;
+[[nodiscard]] transition_matrix count_transitions(
+    const std::vector<config::config_class>& history);
+
+/// True when every transition in the history is allowed by the per-class
+/// progress lemmas:
+///   M   -> M                         (Lemma 5.3, claim C1)
+///   L1W -> M | L1W                   (Lemma 5.4, claim C1)
+///   QR  -> M | L1W | QR              (Lemma 5.5, claim C1)
+///   A   -> M | L1W | QR | A          (Lemma 5.6, claim C1)
+///   L2W -> anything except B         (Lemmas 5.7/5.8)
+///   B is absorbing for the algorithm (it holds position).
+[[nodiscard]] bool transitions_allowed(const std::vector<config::config_class>& history);
+
+}  // namespace gather::sim

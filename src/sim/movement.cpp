@@ -1,0 +1,80 @@
+#include "sim/movement.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace gather::sim {
+
+geom::vec2 movement_adversary::stop_point(geom::vec2 from, geom::vec2 dest,
+                                          double delta, rng& random) {
+  const double want = geom::distance(from, dest);
+  if (want <= delta || want == 0.0) return dest;
+  const double gone = std::clamp(travelled(want, delta, random), delta, want);
+  if (gone >= want) return dest;
+  return from + (gone / want) * (dest - from);
+}
+
+namespace {
+
+class full_movement final : public movement_adversary {
+ public:
+  double travelled(double want, double, rng&) override { return want; }
+  std::string_view name() const override { return "full"; }
+};
+
+class minimal_movement final : public movement_adversary {
+ public:
+  double travelled(double want, double delta, rng&) override {
+    return std::min(want, delta);
+  }
+  std::string_view name() const override { return "minimal"; }
+};
+
+class random_stop final : public movement_adversary {
+ public:
+  double travelled(double want, double delta, rng& random) override {
+    if (want <= delta) return want;
+    return random.uniform(delta, want);
+  }
+  std::string_view name() const override { return "random-stop"; }
+};
+
+class fraction_stop final : public movement_adversary {
+ public:
+  explicit fraction_stop(double fraction) : fraction_(fraction) {}
+  double travelled(double want, double delta, rng&) override {
+    if (want <= delta) return want;
+    return std::clamp(fraction_ * want, delta, want);
+  }
+  std::string_view name() const override { return "fraction"; }
+
+ private:
+  double fraction_;
+};
+
+}  // namespace
+
+std::unique_ptr<movement_adversary> make_full_movement() {
+  return std::make_unique<full_movement>();
+}
+std::unique_ptr<movement_adversary> make_minimal_movement() {
+  return std::make_unique<minimal_movement>();
+}
+std::unique_ptr<movement_adversary> make_random_stop() {
+  return std::make_unique<random_stop>();
+}
+
+std::unique_ptr<movement_adversary> make_fraction_stop(double fraction) {
+  return std::make_unique<fraction_stop>(fraction);
+}
+
+const std::vector<movement_factory>& all_movements() {
+  static const std::vector<movement_factory> factories = {
+      {"full", make_full_movement},
+      {"minimal", make_minimal_movement},
+      {"random-stop", make_random_stop},
+  };
+  return factories;
+}
+
+}  // namespace gather::sim

@@ -1,0 +1,59 @@
+// Movement adversary for the MOVE phase.
+//
+// The model (paper, Sec. II) guarantees only that an activated robot either
+// reaches its destination (when closer than the unknown constant delta > 0)
+// or travels at least delta towards it; the adversary may stop it anywhere
+// beyond that.  A movement adversary chooses the actually travelled distance.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "geometry/vec2.h"
+#include "sim/rng.h"
+
+namespace gather::sim {
+
+class movement_adversary {
+ public:
+  virtual ~movement_adversary() = default;
+
+  /// Distance actually travelled by a robot that wants to cover `want` and is
+  /// guaranteed `delta`.  Must return `want` when `want <= delta`, otherwise
+  /// a value in [delta, want].
+  [[nodiscard]] virtual double travelled(double want, double delta, rng& random) = 0;
+
+  /// Where the robot actually ends up when moving from `from` towards
+  /// `dest`.  The default places it `travelled(...)` along the straight
+  /// segment; geometry-aware adversaries (e.g. ones that park robots on top
+  /// of other robots) may override this directly, subject to the same model
+  /// contract: reach `dest` when it is closer than `delta`, otherwise stop no
+  /// earlier than `delta` along the segment.
+  [[nodiscard]] virtual geom::vec2 stop_point(geom::vec2 from, geom::vec2 dest,
+                                              double delta, rng& random);
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Robots always reach their destination (the rigid-movement special case).
+[[nodiscard]] std::unique_ptr<movement_adversary> make_full_movement();
+
+/// Robots are stopped as early as allowed: after exactly delta.
+[[nodiscard]] std::unique_ptr<movement_adversary> make_minimal_movement();
+
+/// Robots are stopped uniformly at random within [delta, want].
+[[nodiscard]] std::unique_ptr<movement_adversary> make_random_stop();
+
+/// Robots cover a fixed fraction of their intended path (clamped to the
+/// [delta, want] contract).  fraction in (0, 1]; 0.5 models chronically
+/// interrupted robots with deterministic replay.
+[[nodiscard]] std::unique_ptr<movement_adversary> make_fraction_stop(double fraction);
+
+struct movement_factory {
+  std::string_view name;
+  std::unique_ptr<movement_adversary> (*make)();
+};
+[[nodiscard]] const std::vector<movement_factory>& all_movements();
+
+}  // namespace gather::sim

@@ -1,0 +1,42 @@
+// Deterministic random source for simulations.
+//
+// Every stochastic component (schedulers, movement adversaries, crash
+// policies, workload generators, local frames) draws from an explicitly
+// seeded generator so that every experiment in the benchmark harness is
+// exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace gather::sim {
+
+class rng {
+ public:
+  explicit rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool flip(double p = 0.5) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// A fresh independent stream (for per-robot or per-run sub-sources).
+  [[nodiscard]] rng fork() { return rng(engine_()); }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gather::sim

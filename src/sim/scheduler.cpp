@@ -1,0 +1,146 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+
+namespace gather::sim {
+
+namespace {
+
+std::vector<std::size_t> live_indices(const schedule_context& ctx) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ctx.live.size(); ++i) {
+    if (ctx.live[i]) out.push_back(i);
+  }
+  return out;
+}
+
+class synchronous final : public activation_scheduler {
+ public:
+  std::vector<std::size_t> select(const schedule_context& ctx, rng&) override {
+    return live_indices(ctx);
+  }
+  std::string_view name() const override { return "synchronous"; }
+};
+
+class round_robin final : public activation_scheduler {
+ public:
+  std::vector<std::size_t> select(const schedule_context& ctx, rng&) override {
+    const auto live = live_indices(ctx);
+    if (live.empty()) return {};
+    // Advance past crashed robots deterministically.
+    const auto it = std::upper_bound(live.begin(), live.end(), cursor_);
+    const std::size_t pick = (it == live.end()) ? live.front() : *it;
+    cursor_ = pick;
+    return {pick};
+  }
+  std::string_view name() const override { return "round-robin"; }
+
+ private:
+  std::size_t cursor_ = static_cast<std::size_t>(-1);
+};
+
+class fair_random final : public activation_scheduler {
+ public:
+  std::vector<std::size_t> select(const schedule_context& ctx, rng& random) override {
+    const auto live = live_indices(ctx);
+    if (live.empty()) return {};
+    std::vector<std::size_t> out;
+    for (std::size_t i : live) {
+      if (random.flip()) out.push_back(i);
+    }
+    if (out.empty()) {
+      out.push_back(live[random.uniform_int(0, live.size() - 1)]);
+    }
+    return out;
+  }
+  std::string_view name() const override { return "fair-random"; }
+};
+
+class laggard final : public activation_scheduler {
+ public:
+  std::vector<std::size_t> select(const schedule_context& ctx, rng&) override {
+    const auto live = live_indices(ctx);
+    if (live.empty()) return {};
+    geom::vec2 centroid{};
+    for (std::size_t i : live) centroid += ctx.positions[i];
+    centroid = centroid / static_cast<double>(live.size());
+    std::size_t pick = live.front();
+    double best = -1.0;
+    for (std::size_t i : live) {
+      const double d = geom::distance(ctx.positions[i], centroid);
+      if (d > best) {
+        best = d;
+        pick = i;
+      }
+    }
+    return {pick};
+  }
+  std::string_view name() const override { return "laggard"; }
+};
+
+class half_alternating final : public activation_scheduler {
+ public:
+  std::vector<std::size_t> select(const schedule_context& ctx, rng&) override {
+    const auto live = live_indices(ctx);
+    if (live.empty()) return {};
+    const std::size_t half = (live.size() + 1) / 2;
+    std::vector<std::size_t> out;
+    if (ctx.round % 2 == 0) {
+      out.assign(live.begin(), live.begin() + half);
+    } else {
+      out.assign(live.begin() + (live.size() - half), live.end());
+    }
+    return out;
+  }
+  std::string_view name() const override { return "half-alternating"; }
+};
+
+class odd_even final : public activation_scheduler {
+ public:
+  std::vector<std::size_t> select(const schedule_context& ctx, rng&) override {
+    std::vector<std::size_t> out;
+    const std::size_t parity = ctx.round % 2;
+    for (std::size_t i = 0; i < ctx.live.size(); ++i) {
+      if (ctx.live[i] && i % 2 == parity) out.push_back(i);
+    }
+    if (out.empty()) return live_indices(ctx);  // one parity fully crashed
+    return out;
+  }
+  std::string_view name() const override { return "odd-even"; }
+};
+
+}  // namespace
+
+std::unique_ptr<activation_scheduler> make_synchronous() {
+  return std::make_unique<synchronous>();
+}
+std::unique_ptr<activation_scheduler> make_round_robin() {
+  return std::make_unique<round_robin>();
+}
+std::unique_ptr<activation_scheduler> make_fair_random() {
+  return std::make_unique<fair_random>();
+}
+std::unique_ptr<activation_scheduler> make_laggard() {
+  return std::make_unique<laggard>();
+}
+std::unique_ptr<activation_scheduler> make_half_alternating() {
+  return std::make_unique<half_alternating>();
+}
+
+std::unique_ptr<activation_scheduler> make_odd_even() {
+  return std::make_unique<odd_even>();
+}
+
+const std::vector<scheduler_factory>& all_schedulers() {
+  static const std::vector<scheduler_factory> factories = {
+      {"synchronous", make_synchronous},
+      {"round-robin", make_round_robin},
+      {"fair-random", make_fair_random},
+      {"laggard", make_laggard},
+      {"half-alternating", make_half_alternating},
+      {"odd-even", make_odd_even},
+  };
+  return factories;
+}
+
+}  // namespace gather::sim

@@ -1,0 +1,73 @@
+// Activation schedulers for the ATOM (semi-synchronous) model.
+//
+// In each round the adversarial scheduler activates an arbitrary non-empty
+// subset of the live robots; activated robots perform one atomic
+// Look-Compute-Move cycle.  The only obligation is fairness: every live
+// robot is activated infinitely often.  The engine additionally enforces a
+// bounded-fairness backstop (a robot starving longer than the bound is
+// force-activated), so even hostile policies below remain admissible
+// schedules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "geometry/vec2.h"
+#include "sim/rng.h"
+
+namespace gather::sim {
+
+/// Context handed to a scheduler each round.
+struct schedule_context {
+  std::size_t round = 0;
+  const std::vector<geom::vec2>& positions;  ///< all robots (crashed included)
+  const std::vector<std::uint8_t>& live;     ///< liveness mask
+};
+
+class activation_scheduler {
+ public:
+  virtual ~activation_scheduler() = default;
+
+  /// Indices of the robots to activate this round.  Must select at least one
+  /// live robot when any is live; selections of crashed robots are ignored
+  /// by the engine.
+  [[nodiscard]] virtual std::vector<std::size_t> select(const schedule_context& ctx,
+                                                        rng& random) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Activates every live robot every round (the FSYNCH special case).
+[[nodiscard]] std::unique_ptr<activation_scheduler> make_synchronous();
+
+/// Activates exactly one live robot per round, cycling in index order --
+/// the slowest fair schedule.
+[[nodiscard]] std::unique_ptr<activation_scheduler> make_round_robin();
+
+/// Activates each live robot independently with probability 1/2 (at least
+/// one forced).
+[[nodiscard]] std::unique_ptr<activation_scheduler> make_fair_random();
+
+/// Hostile heuristic: activates only the live robot farthest from the
+/// centroid of the live robots (slowing down convergence); relies on the
+/// engine's fairness backstop for admissibility.
+[[nodiscard]] std::unique_ptr<activation_scheduler> make_laggard();
+
+/// Alternates between the lower-index half and the upper-index half of the
+/// live robots (a classic symmetry-probing schedule).
+[[nodiscard]] std::unique_ptr<activation_scheduler> make_half_alternating();
+
+/// Alternates between odd-index and even-index live robots -- the finest
+/// interleaved bipartition, probing decisions that depend on who moved last.
+[[nodiscard]] std::unique_ptr<activation_scheduler> make_odd_even();
+
+/// All scheduler factories, for sweep harnesses.
+struct scheduler_factory {
+  std::string_view name;
+  std::unique_ptr<activation_scheduler> (*make)();
+};
+[[nodiscard]] const std::vector<scheduler_factory>& all_schedulers();
+
+}  // namespace gather::sim

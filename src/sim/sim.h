@@ -1,0 +1,16 @@
+// Umbrella header for the ATOM simulator (system S4 in DESIGN.md).
+#pragma once
+
+#include "sim/adversary_ext.h"
+#include "sim/analysis.h"
+#include "sim/async_engine.h"
+#include "sim/crash.h"
+#include "sim/engine.h"
+#include "sim/json_report.h"
+#include "sim/frame.h"
+#include "sim/metrics.h"
+#include "sim/movement.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/svg.h"
+#include "sim/trace.h"

@@ -1,0 +1,26 @@
+// SVG trace renderer: draws the robot trajectories of a recorded run as a
+// standalone SVG document -- start markers, per-robot polylines, crash marks
+// and the gather point.  Dependency-free; used by gather_cli --output svg
+// and the examples.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/engine.h"
+
+namespace gather::sim {
+
+struct svg_options {
+  int width = 640;
+  int height = 640;
+  double margin = 24.0;          ///< pixels around the bounding box
+  bool draw_grid = true;
+  bool label_robots = false;     ///< robot indices at start positions
+};
+
+/// Render the trajectories of a trace-recording run.  Runs without a trace
+/// render only the final configuration.
+void write_svg(std::ostream& os, const sim_result& result,
+               const svg_options& opts = {});
+
+}  // namespace gather::sim

@@ -1,0 +1,59 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace gather::sim {
+
+void write_trace_csv(std::ostream& os, const sim_result& result) {
+  os << "round,robot,x,y,active,live,class\n";
+  for (const round_record& rec : result.trace) {
+    for (std::size_t i = 0; i < rec.positions.size(); ++i) {
+      os << rec.round << ',' << i << ',' << rec.positions[i].x << ','
+         << rec.positions[i].y << ',' << int{rec.active[i]} << ','
+         << int{rec.live[i]} << ',' << config::to_string(rec.cls) << '\n';
+    }
+  }
+}
+
+std::string ascii_plot(const std::vector<geom::vec2>& pts,
+                       const std::vector<std::uint8_t>& live, int width,
+                       int height) {
+  if (pts.empty()) return "(no robots)\n";
+  double lo_x = pts[0].x, hi_x = pts[0].x, lo_y = pts[0].y, hi_y = pts[0].y;
+  for (const geom::vec2& p : pts) {
+    lo_x = std::min(lo_x, p.x); hi_x = std::max(hi_x, p.x);
+    lo_y = std::min(lo_y, p.y); hi_y = std::max(hi_y, p.y);
+  }
+  const double span_x = std::max(hi_x - lo_x, 1e-9);
+  const double span_y = std::max(hi_y - lo_y, 1e-9);
+
+  std::vector<std::string> grid(height, std::string(width, '.'));
+  std::vector<std::vector<int>> counts(height, std::vector<int>(width, 0));
+  std::vector<std::vector<bool>> has_crashed(height,
+                                             std::vector<bool>(width, false));
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const int cx = static_cast<int>(std::lround((pts[i].x - lo_x) / span_x * (width - 1)));
+    const int cy = static_cast<int>(std::lround((pts[i].y - lo_y) / span_y * (height - 1)));
+    const int row = height - 1 - cy;  // y grows upward
+    counts[row][cx] += 1;
+    if (i < live.size() && !live[i]) has_crashed[row][cx] = true;
+  }
+  for (int r = 0; r < height; ++r) {
+    for (int col = 0; col < width; ++col) {
+      if (counts[r][col] == 0) continue;
+      if (has_crashed[r][col]) {
+        grid[r][col] = 'x';
+      } else {
+        grid[r][col] = static_cast<char>('0' + std::min(counts[r][col], 9));
+      }
+    }
+  }
+  std::ostringstream out;
+  for (const std::string& row : grid) out << row << '\n';
+  return out.str();
+}
+
+}  // namespace gather::sim

@@ -1,0 +1,23 @@
+// Trace output helpers: CSV dumps for offline plotting and a minimal ASCII
+// renderer used by the example programs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace gather::sim {
+
+/// Write the trace as CSV: round,robot,x,y,active,live,class.
+void write_trace_csv(std::ostream& os, const sim_result& result);
+
+/// Render the given points on a character grid of the given size (robots as
+/// digits giving min(multiplicity, 9), crashed robots as 'x' when a liveness
+/// mask is provided).
+[[nodiscard]] std::string ascii_plot(const std::vector<geom::vec2>& pts,
+                                     const std::vector<std::uint8_t>& live,
+                                     int width = 60, int height = 24);
+
+}  // namespace gather::sim

@@ -1,0 +1,222 @@
+#include "workloads/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/angles.h"
+
+namespace gather::workloads {
+
+std::vector<vec2> uniform_random(std::size_t n, sim::rng& random, double box) {
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({random.uniform(-box, box), random.uniform(-box, box)});
+  }
+  return pts;
+}
+
+std::vector<vec2> regular_polygon(std::size_t n, vec2 center, double radius,
+                                  double phase) {
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = phase + geom::two_pi * static_cast<double>(i) / static_cast<double>(n);
+    pts.push_back(center + radius * vec2{std::cos(a), std::sin(a)});
+  }
+  return pts;
+}
+
+std::vector<vec2> symmetric_rings(std::size_t k, std::size_t rings, sim::rng& random) {
+  std::vector<vec2> pts;
+  pts.reserve(k * rings);
+  for (std::size_t r = 0; r < rings; ++r) {
+    const double radius = random.uniform(0.5, 3.0);
+    const double phase = random.uniform(0.0, geom::two_pi);
+    const auto ring = regular_polygon(k, {}, radius, phase);
+    pts.insert(pts.end(), ring.begin(), ring.end());
+  }
+  return pts;
+}
+
+std::vector<vec2> biangular(std::size_t k, double alpha, sim::rng& random) {
+  const double beta = geom::two_pi / static_cast<double>(k) - alpha;
+  std::vector<vec2> pts;
+  pts.reserve(2 * k);
+  double theta = random.uniform(0.0, geom::two_pi);
+  for (std::size_t i = 0; i < 2 * k; ++i) {
+    const double radius = random.uniform(0.5, 2.0);
+    pts.push_back(radius * vec2{std::cos(theta), std::sin(theta)});
+    theta += (i % 2 == 0) ? alpha : beta;
+  }
+  return pts;
+}
+
+std::vector<vec2> quasi_regular_with_center(std::size_t k, std::size_t at_center,
+                                            sim::rng& random) {
+  const double phase = random.uniform(0.0, geom::two_pi);
+  std::vector<vec2> pts = regular_polygon(k, {}, random.uniform(1.0, 2.0), phase);
+  // Collapse `at_center` of the vertices onto the center; the Lemma 3.4
+  // deficit for restoring regularity is exactly `at_center`.
+  at_center = std::min(at_center, pts.size());
+  for (std::size_t i = 0; i < at_center; ++i) {
+    pts[i * (pts.size() / std::max<std::size_t>(at_center, 1)) % pts.size()] = {0.0, 0.0};
+  }
+  return pts;
+}
+
+namespace {
+
+std::vector<vec2> collinear_points(std::size_t n, sim::rng& random) {
+  const double dir_angle = random.uniform(0.0, geom::two_pi);
+  const vec2 dir{std::cos(dir_angle), std::sin(dir_angle)};
+  const vec2 origin{random.uniform(-5.0, 5.0), random.uniform(-5.0, 5.0)};
+  std::vector<double> params;
+  params.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s;
+    bool fresh;
+    do {
+      s = random.uniform(-5.0, 5.0);
+      fresh = std::none_of(params.begin(), params.end(),
+                           [&](double q) { return std::fabs(q - s) < 1e-3; });
+    } while (!fresh);
+    params.push_back(s);
+  }
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  for (double s : params) pts.push_back(origin + s * dir);
+  return pts;
+}
+
+}  // namespace
+
+std::vector<vec2> linear_unique_weber(std::size_t n, sim::rng& random) {
+  if (n % 2 == 0) ++n;  // odd count guarantees a unique median
+  return collinear_points(n, random);
+}
+
+std::vector<vec2> linear_two_weber(std::size_t n, sim::rng& random) {
+  if (n % 2 == 1) ++n;  // even count with distinct points: median interval
+  n = std::max<std::size_t>(n, 4);
+  return collinear_points(n, random);
+}
+
+std::vector<vec2> with_majority(std::size_t n, std::size_t stack, sim::rng& random) {
+  stack = std::clamp<std::size_t>(stack, 2, n);
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  const vec2 anchor{random.uniform(-5.0, 5.0), random.uniform(-5.0, 5.0)};
+  for (std::size_t i = 0; i < stack; ++i) pts.push_back(anchor);
+  auto rest = uniform_random(n - stack, random);
+  pts.insert(pts.end(), rest.begin(), rest.end());
+  return pts;
+}
+
+std::vector<vec2> bivalent(std::size_t n, sim::rng& random) {
+  if (n % 2 == 1) ++n;
+  const vec2 a{random.uniform(-5.0, 5.0), random.uniform(-5.0, 5.0)};
+  vec2 b;
+  do {
+    b = {random.uniform(-5.0, 5.0), random.uniform(-5.0, 5.0)};
+  } while (geom::distance(a, b) < 1.0);
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n / 2; ++i) pts.push_back(a);
+  for (std::size_t i = 0; i < n / 2; ++i) pts.push_back(b);
+  return pts;
+}
+
+std::vector<vec2> axially_symmetric(std::size_t n, sim::rng& random) {
+  // Mirror pairs across the y-axis, plus one on-axis point for odd n; random
+  // distinct offsets keep rotational symmetry away (almost surely).
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  if (n % 2 == 1) pts.push_back({0.0, random.uniform(-4.0, 4.0)});
+  while (pts.size() + 1 < n + 1 && pts.size() < n) {
+    const vec2 p{random.uniform(0.3, 5.0), random.uniform(-5.0, 5.0)};
+    pts.push_back(p);
+    pts.push_back({-p.x, p.y});
+    if (pts.size() > n) pts.pop_back();
+  }
+  pts.resize(n);
+  return pts;
+}
+
+std::vector<vec2> perturbed(std::vector<vec2> pts, double magnitude, sim::rng& random) {
+  for (vec2& p : pts) {
+    const double a = random.uniform(0.0, geom::two_pi);
+    const double r = random.uniform(0.0, magnitude);
+    p += r * vec2{std::cos(a), std::sin(a)};
+  }
+  return pts;
+}
+
+std::vector<vec2> jittered_grid(std::size_t n, double jitter, sim::rng& random) {
+  const std::size_t cols =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i % cols);
+    const double y = static_cast<double>(i / cols);
+    const double a = random.uniform(0.0, geom::two_pi);
+    const double r = random.uniform(0.0, jitter);
+    pts.push_back({x + r * std::cos(a), y + r * std::sin(a)});
+  }
+  return pts;
+}
+
+std::vector<vec2> clustered(std::size_t n, std::size_t clusters, double radius,
+                            sim::rng& random) {
+  clusters = std::max<std::size_t>(clusters, 1);
+  std::vector<vec2> centers;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    centers.push_back({random.uniform(-8.0, 8.0), random.uniform(-8.0, 8.0)});
+  }
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const vec2 center = centers[i % clusters];
+    const double a = random.uniform(0.0, geom::two_pi);
+    const double r = radius * std::sqrt(random.uniform(0.0, 1.0));
+    pts.push_back(center + r * vec2{std::cos(a), std::sin(a)});
+  }
+  return pts;
+}
+
+std::vector<named_workload> corpus(std::size_t n, std::uint64_t seed) {
+  using cc = config::config_class;
+  sim::rng random(seed);
+  std::vector<named_workload> out;
+  out.push_back({"uniform-random", uniform_random(n, random), cc::asymmetric, false});
+  out.push_back({"majority", with_majority(n, std::max<std::size_t>(2, n / 3), random),
+                 cc::multiple, true});
+  out.push_back({"linear-1w", linear_unique_weber(n | 1, random), cc::linear_1w, true});
+  out.push_back({"linear-2w", linear_two_weber(std::max<std::size_t>(n & ~1ULL, 4), random),
+                 cc::linear_2w, true});
+  if (n >= 3) {
+    out.push_back({"regular-polygon", regular_polygon(n), cc::quasi_regular, true});
+  }
+  if (n >= 6 && n % 2 == 0) {
+    out.push_back({"symmetric-rings", symmetric_rings(n / 2, 2, random),
+                   cc::quasi_regular, true});
+  }
+  if (n >= 4 && n % 2 == 0) {
+    out.push_back({"biangular",
+                   biangular(n / 2, 0.4 * geom::two_pi / static_cast<double>(n / 2), random),
+                   cc::quasi_regular, true});
+  }
+  if (n >= 5) {
+    out.push_back({"qr-occupied-center", quasi_regular_with_center(n - 1, 1, random),
+                   cc::quasi_regular, false});
+  }
+  out.push_back({"axial", axially_symmetric(n, random), cc::asymmetric, false});
+  out.push_back({"grid", jittered_grid(n, 0.2, random), cc::asymmetric, false});
+  out.push_back(
+      {"clustered", clustered(n, std::max<std::size_t>(2, n / 4), 1.0, random),
+       cc::asymmetric, false});
+  return out;
+}
+
+}  // namespace gather::workloads

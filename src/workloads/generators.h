@@ -1,0 +1,94 @@
+// Seeded configuration generators (system S6 in DESIGN.md).
+//
+// One generator per configuration class of Sec. IV, plus stress variants
+// (axial symmetry for the chirality tie-break, perturbations for robustness).
+// All generators are deterministic functions of the supplied rng, so every
+// experiment is reproducible from its seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/classify.h"
+#include "geometry/vec2.h"
+#include "sim/rng.h"
+
+namespace gather::workloads {
+
+using geom::vec2;
+
+/// n i.i.d. uniform points in a centered box -- almost surely of class A.
+[[nodiscard]] std::vector<vec2> uniform_random(std::size_t n, sim::rng& random,
+                                               double box = 10.0);
+
+/// Vertices of a regular n-gon (class QR via full rotational symmetry).
+[[nodiscard]] std::vector<vec2> regular_polygon(std::size_t n, vec2 center = {},
+                                                double radius = 1.0,
+                                                double phase = 0.0);
+
+/// k-fold rotationally symmetric configuration: `rings` rings of k robots
+/// each at random radii and phases (sym = k > 1, class QR).
+[[nodiscard]] std::vector<vec2> symmetric_rings(std::size_t k, std::size_t rings,
+                                                sim::rng& random);
+
+/// Biangular configuration: 2k robots whose consecutive angles around the
+/// center alternate between alpha and 2*pi/k - alpha, with *arbitrary* radii
+/// (regular with period k about an unoccupied center that generally differs
+/// from the sec center -- the hard QR detection case).
+[[nodiscard]] std::vector<vec2> biangular(std::size_t k, double alpha,
+                                          sim::rng& random);
+
+/// Quasi-regular with an occupied center: a regular k-gon with `at_center`
+/// of its robots collapsed onto the center (Def. 6; detected via the
+/// Lemma 3.4 deficit test).
+[[nodiscard]] std::vector<vec2> quasi_regular_with_center(std::size_t k,
+                                                          std::size_t at_center,
+                                                          sim::rng& random);
+
+/// Collinear, all distinct, odd count: unique median, class L1W.
+[[nodiscard]] std::vector<vec2> linear_unique_weber(std::size_t n, sim::rng& random);
+
+/// Collinear, all distinct, even count >= 4: median interval, class L2W.
+[[nodiscard]] std::vector<vec2> linear_two_weber(std::size_t n, sim::rng& random);
+
+/// A unique strictly-maximal multiplicity point plus scattered singletons
+/// (class M).  `stack` robots share the majority point (>= 2).
+[[nodiscard]] std::vector<vec2> with_majority(std::size_t n, std::size_t stack,
+                                              sim::rng& random);
+
+/// The bivalent configuration: n/2 robots at each of two points (n even).
+[[nodiscard]] std::vector<vec2> bivalent(std::size_t n, sim::rng& random);
+
+/// Mirror-symmetric (axial) configuration with no rotational symmetry:
+/// exercises the chirality-based symmetry breaking.
+[[nodiscard]] std::vector<vec2> axially_symmetric(std::size_t n, sim::rng& random);
+
+/// Displace every point by up to `magnitude` in a random direction.
+[[nodiscard]] std::vector<vec2> perturbed(std::vector<vec2> pts, double magnitude,
+                                          sim::rng& random);
+
+/// Jittered grid deployment: n robots on a near-square lattice with spacing
+/// 1, each displaced by up to `jitter` (a surveying/coverage pattern; class A
+/// for jitter > 0, highly symmetric for jitter = 0).
+[[nodiscard]] std::vector<vec2> jittered_grid(std::size_t n, double jitter,
+                                              sim::rng& random);
+
+/// Clustered deployment: `clusters` Gaussian-ish clumps of robots (airdrop
+/// groups); cluster centers uniform in a box, members within `radius`.
+[[nodiscard]] std::vector<vec2> clustered(std::size_t n, std::size_t clusters,
+                                          double radius, sim::rng& random);
+
+/// A named instance for sweep harnesses.
+struct named_workload {
+  std::string name;
+  std::vector<vec2> points;
+  /// The class the instance is constructed to be in (checked by tests);
+  /// `asymmetric` entries may legitimately classify as QR in rare draws.
+  config::config_class expected;
+  bool expected_exact = true;  ///< false when the class is only typical
+};
+
+/// A mixed corpus covering every gatherable class at the given size.
+[[nodiscard]] std::vector<named_workload> corpus(std::size_t n, std::uint64_t seed);
+
+}  // namespace gather::workloads

@@ -1,0 +1,60 @@
+#include "workloads/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gather::workloads {
+
+std::optional<std::vector<geom::vec2>> read_points(std::istream& is,
+                                                   std::string* error) {
+  std::vector<geom::vec2> pts;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    double x = 0.0, y = 0.0;
+    if (!(ls >> x >> y)) {
+      if (error) {
+        *error = "line " + std::to_string(lineno) + ": expected 'x y', got '" +
+                 line + "'";
+      }
+      return std::nullopt;
+    }
+    std::string rest;
+    if (ls >> rest && !rest.empty() && rest[0] != '#') {
+      if (error) {
+        *error = "line " + std::to_string(lineno) + ": trailing content '" +
+                 rest + "'";
+      }
+      return std::nullopt;
+    }
+    pts.push_back({x, y});
+  }
+  return pts;
+}
+
+std::optional<std::vector<geom::vec2>> read_points_file(const std::string& path,
+                                                        std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    if (error) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  return read_points(f, error);
+}
+
+void write_points(std::ostream& os, const std::vector<geom::vec2>& pts) {
+  os << "# " << pts.size() << " robots\n";
+  // max_digits10 digits make the decimal round-trip exact for doubles.
+  char buf[64];
+  for (const geom::vec2& p : pts) {
+    std::snprintf(buf, sizeof buf, "%.17g %.17g\n", p.x, p.y);
+    os << buf;
+  }
+}
+
+}  // namespace gather::workloads

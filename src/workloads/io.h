@@ -1,0 +1,30 @@
+// Plain-text configuration I/O.
+//
+// Format: one robot per line, "x y" separated by whitespace; blank lines and
+// lines starting with '#' are ignored.  Co-located robots are expressed by
+// repeating the point.  Used by gather_cli --points and by experiment
+// tooling that replays externally-generated configurations.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace gather::workloads {
+
+/// Parse a configuration from a stream.  Returns nullopt (with a diagnostic
+/// in `error` when provided) on malformed input.
+[[nodiscard]] std::optional<std::vector<geom::vec2>> read_points(
+    std::istream& is, std::string* error = nullptr);
+
+/// Parse from a file path.
+[[nodiscard]] std::optional<std::vector<geom::vec2>> read_points_file(
+    const std::string& path, std::string* error = nullptr);
+
+/// Write a configuration in the same format.
+void write_points(std::ostream& os, const std::vector<geom::vec2>& pts);
+
+}  // namespace gather::workloads

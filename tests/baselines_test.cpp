@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/baselines.h"
+#include "core/predicates.h"
+#include "core/wait_free_gather.h"
+#include "sim/sim.h"
+#include "workloads/generators.h"
+
+namespace gather::baselines {
+namespace {
+
+using geom::vec2;
+using sim::sim_options;
+using sim::sim_status;
+
+TEST(CenterOfGravity, DestinationIsCentroid) {
+  const config::configuration c({{0, 0}, {4, 0}, {2, 6}});
+  const center_of_gravity algo;
+  const vec2 d = algo.destination({c, {0, 0}});
+  EXPECT_NEAR(d.x, 2.0, 1e-12);
+  EXPECT_NEAR(d.y, 2.0, 1e-12);
+}
+
+TEST(CenterOfGravity, CentroidWeighsMultiplicity) {
+  const config::configuration c({{0, 0}, {0, 0}, {0, 0}, {4, 0}});
+  const center_of_gravity algo;
+  EXPECT_NEAR(algo.destination({c, {4, 0}}).x, 1.0, 1e-12);
+}
+
+TEST(CenterOfGravity, ConvergesButDoesNotGatherUnderPartialActivation) {
+  const center_of_gravity algo;
+  auto sched = sim::make_half_alternating();
+  auto move = sim::make_full_movement();
+  auto crash = sim::make_no_crash();
+  sim_options opts;
+  opts.max_rounds = 300;
+  sim::rng r(73);
+  const auto res = sim::simulate(workloads::uniform_random(6, r), algo, *sched,
+                                 *move, *crash, opts);
+  // Convergence: the spread shrinks dramatically...
+  EXPECT_LT(sim::spread(res.final_positions), 1e-3);
+  // ...but exact gathering (Def. 9) is never reached.
+  EXPECT_NE(res.status, sim_status::gathered);
+}
+
+TEST(SingleFault, GathersWithoutCrashes) {
+  const single_fault_gather algo;
+  auto sched = sim::make_synchronous();
+  auto move = sim::make_full_movement();
+  auto crash = sim::make_no_crash();
+  sim_options opts;
+  const auto res = sim::simulate({{0, 0}, {5, 0}, {1, 3}, {-2, 1}}, algo, *sched,
+                                 *move, *crash, opts);
+  EXPECT_EQ(res.status, sim_status::gathered);
+}
+
+TEST(SingleFault, SurvivesOneCrash) {
+  const single_fault_gather algo;
+  auto sched = sim::make_synchronous();
+  auto move = sim::make_full_movement();
+  // Crash one of the two designated movers immediately.
+  auto crash = sim::make_scheduled_crashes({{0, 0}});
+  sim_options opts;
+  const auto res = sim::simulate({{0, 0}, {5, 0}, {1, 3}, {-2, 1}}, algo, *sched,
+                                 *move, *crash, opts);
+  EXPECT_EQ(res.status, sim_status::gathered);
+}
+
+TEST(SingleFault, DeadlocksUnderTwoCrashes) {
+  // The motivating failure (paper, Sec. I): crash both designated movers and
+  // nobody else ever moves.
+  const single_fault_gather algo;
+  auto sched = sim::make_synchronous();
+  auto move = sim::make_full_movement();
+  const std::vector<vec2> pts = {{0, 0}, {5, 0}, {1, 3}, {-2, 1}, {3, -4}};
+  // Identify the two movers: closest to the sec center.
+  const config::configuration c(pts);
+  const vec2 goal = c.sec().center;
+  std::vector<std::pair<double, std::size_t>> byd;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    byd.emplace_back(geom::distance(pts[i], goal), i);
+  }
+  std::sort(byd.begin(), byd.end());
+  auto crash =
+      sim::make_scheduled_crashes({{0, byd[0].second}, {0, byd[1].second}});
+  sim_options opts;
+  opts.max_rounds = 500;
+  const auto res = sim::simulate(pts, algo, *sched, *move, *crash, opts);
+  EXPECT_NE(res.status, sim_status::gathered);
+  // Deadlock, not livelock: positions of live robots never change.
+  EXPECT_EQ(sim::spread(res.final_positions), sim::spread(pts));
+}
+
+TEST(SingleFault, WaitFreenessViolated) {
+  // Lemma 5.1: the baseline leaves more than one location stationary.
+  const single_fault_gather algo;
+  const config::configuration c({{0, 0}, {5, 0}, {1, 3}, {-2, 1}, {3, -4}});
+  EXPECT_FALSE(core::satisfies_wait_freeness(c, algo));
+}
+
+TEST(MedianPursuit, MovesTowardsMedian) {
+  const median_pursuit algo;
+  const config::configuration c({{0, 0}, {4, 0}, {2, 6}, {2, 1}});
+  const vec2 d = algo.destination({c, {0, 0}});
+  // The median of this set is near (2, 1).
+  EXPECT_NEAR(d.x, 2.0, 0.2);
+  EXPECT_NEAR(d.y, 1.0, 0.2);
+}
+
+TEST(MedianPursuit, ConvergesUnderSynchronousSchedule) {
+  const median_pursuit algo;
+  auto sched = sim::make_synchronous();
+  auto move = sim::make_full_movement();
+  auto crash = sim::make_no_crash();
+  sim_options opts;
+  opts.max_rounds = 200;
+  sim::rng r(79);
+  const auto res = sim::simulate(workloads::uniform_random(5, r), algo, *sched,
+                                 *move, *crash, opts);
+  EXPECT_LT(sim::spread(res.final_positions), 0.5);
+}
+
+TEST(Names, AreDistinct) {
+  const center_of_gravity a;
+  const single_fault_gather b;
+  const median_pursuit c;
+  const core::wait_free_gather d;
+  EXPECT_NE(a.name(), b.name());
+  EXPECT_NE(b.name(), c.name());
+  EXPECT_NE(c.name(), d.name());
+}
+
+}  // namespace
+}  // namespace gather::baselines

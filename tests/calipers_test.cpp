@@ -1,0 +1,79 @@
+// Rotating-calipers tests: diameter and width against brute force and
+// against known shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/calipers.h"
+#include "geometry/angles.h"
+#include "sim/rng.h"
+#include "workloads/generators.h"
+
+namespace gather::geom {
+namespace {
+
+double brute_diameter(const std::vector<vec2>& pts) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      best = std::max(best, distance(pts[i], pts[j]));
+    }
+  }
+  return best;
+}
+
+TEST(Calipers, SquareDiameterIsDiagonal) {
+  const std::vector<vec2> pts = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const tol t = tol::for_points(pts);
+  EXPECT_NEAR(diameter(pts, t), 2.0 * std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(width(pts, t), 2.0, 1e-12);
+}
+
+TEST(Calipers, DegenerateInputs) {
+  tol t;
+  EXPECT_DOUBLE_EQ(diameter(std::vector<vec2>{}, t), 0.0);
+  EXPECT_DOUBLE_EQ(diameter(std::vector<vec2>{{1, 1}}, t), 0.0);
+  EXPECT_DOUBLE_EQ(diameter(std::vector<vec2>{{0, 0}, {3, 4}}, t), 5.0);
+  EXPECT_DOUBLE_EQ(width(std::vector<vec2>{{0, 0}, {1, 1}, {2, 2}}, t), 0.0);
+}
+
+TEST(Calipers, MatchesBruteForceOnRandomClouds) {
+  sim::rng r(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pts = workloads::uniform_random(3 + trial % 40, r);
+    const tol t = tol::for_points(pts);
+    EXPECT_NEAR(diameter(pts, t), brute_diameter(pts), 1e-9) << trial;
+  }
+}
+
+TEST(Calipers, PairEndpointsAreRealPoints) {
+  sim::rng r(78);
+  const auto pts = workloads::uniform_random(20, r);
+  const tol t = tol::for_points(pts);
+  const auto pair = diameter_pair(pts, t);
+  const auto is_member = [&](vec2 p) {
+    return std::any_of(pts.begin(), pts.end(),
+                       [&](vec2 q) { return q == p; });
+  };
+  EXPECT_TRUE(is_member(pair.a));
+  EXPECT_TRUE(is_member(pair.b));
+  EXPECT_DOUBLE_EQ(pair.distance, distance(pair.a, pair.b));
+}
+
+TEST(Calipers, WidthOfRegularPolygonMatchesFormula) {
+  // Width of a regular hexagon with circumradius 1 is sqrt(3) (apothem * 2).
+  const auto pts = workloads::regular_polygon(6);
+  const tol t = tol::for_points(pts);
+  EXPECT_NEAR(width(pts, t), std::sqrt(3.0), 1e-9);
+}
+
+TEST(Calipers, CollinearWidthZeroDiameterSpan) {
+  const std::vector<vec2> pts = {{0, 0}, {1, 2}, {3, 6}, {-1, -2}};
+  const tol t = tol::for_points(pts);
+  EXPECT_NEAR(width(pts, t), 0.0, 1e-9);
+  EXPECT_NEAR(diameter(pts, t), distance({-1, -2}, {3, 6}), 1e-12);
+}
+
+}  // namespace
+}  // namespace gather::geom

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/classify.h"
+#include "config/views.h"
+#include "geometry/angles.h"
+#include "sim/rng.h"
+#include "workloads/generators.h"
+
+namespace gather::config {
+namespace {
+
+using geom::vec2;
+
+TEST(Classify, Bivalent) {
+  const configuration c({{0, 0}, {0, 0}, {4, 0}, {4, 0}});
+  EXPECT_EQ(classify(c).cls, config_class::bivalent);
+}
+
+TEST(Classify, TwoDistinctRobotsAreBivalent) {
+  const configuration c({{0, 0}, {4, 0}});
+  EXPECT_EQ(classify(c).cls, config_class::bivalent);
+}
+
+TEST(Classify, UnevenTwoPointsIsMultiple) {
+  const configuration c({{0, 0}, {0, 0}, {0, 0}, {4, 0}});
+  const classification cls = classify(c);
+  EXPECT_EQ(cls.cls, config_class::multiple);
+  EXPECT_EQ(*cls.target, (vec2{0, 0}));
+}
+
+TEST(Classify, GatheredIsMultiple) {
+  const configuration c({{1, 2}, {1, 2}, {1, 2}});
+  EXPECT_EQ(classify(c).cls, config_class::multiple);
+}
+
+TEST(Classify, MultipleTakesPrecedenceOverLinear) {
+  const configuration c({{0, 0}, {0, 0}, {1, 0}, {2, 0}});
+  EXPECT_EQ(classify(c).cls, config_class::multiple);
+}
+
+TEST(Classify, MultipleTakesPrecedenceOverQuasiRegular) {
+  // Polygon with a double-occupied center: M despite being quasi-regular.
+  std::vector<vec2> pts;
+  for (int i = 0; i < 5; ++i) {
+    const double a = geom::two_pi * i / 5;
+    pts.push_back({std::cos(a), std::sin(a)});
+  }
+  pts.push_back({0, 0});
+  pts.push_back({0, 0});
+  const classification cls = classify(configuration(pts));
+  EXPECT_EQ(cls.cls, config_class::multiple);
+  EXPECT_EQ(*cls.target, (vec2{0, 0}));
+}
+
+TEST(Classify, LinearOddIsL1W) {
+  const configuration c({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {7, 0}});
+  const classification cls = classify(c);
+  EXPECT_EQ(cls.cls, config_class::linear_1w);
+  EXPECT_NEAR(cls.target->x, 2.0, 1e-9);
+}
+
+TEST(Classify, LinearEvenDistinctIsL2W) {
+  const configuration c({{0, 0}, {1, 0}, {3, 0}, {7, 0}});
+  EXPECT_EQ(classify(c).cls, config_class::linear_2w);
+}
+
+TEST(Classify, LinearEvenCoincidentMediansIsL1W) {
+  // Middle robots share a point but it is not a unique max multiplicity:
+  // another pair shares a point too.
+  const configuration c({{0, 0}, {0, 0}, {2, 0}, {2, 0}, {7, 0}, {9, 0}});
+  const classification cls = classify(c);
+  EXPECT_EQ(cls.cls, config_class::linear_1w);
+  EXPECT_NEAR(cls.target->x, 2.0, 1e-9);
+}
+
+TEST(Classify, RegularPolygonIsQR) {
+  std::vector<vec2> pts;
+  for (int i = 0; i < 6; ++i) {
+    const double a = geom::two_pi * i / 6;
+    pts.push_back({std::cos(a), std::sin(a)});
+  }
+  const classification cls = classify(configuration(pts));
+  EXPECT_EQ(cls.cls, config_class::quasi_regular);
+  EXPECT_EQ(cls.qreg_degree, 6);
+  EXPECT_NEAR(cls.target->x, 0.0, 1e-9);
+}
+
+TEST(Classify, BiangularIsQR) {
+  sim::rng r(41);
+  const auto pts = workloads::biangular(3, 0.6, r);
+  const classification cls = classify(configuration(pts));
+  EXPECT_EQ(cls.cls, config_class::quasi_regular);
+}
+
+TEST(Classify, GenericCloudIsAsymmetric) {
+  const configuration c({{0, 0}, {5, 0}, {1, 3}, {-2, 1}, {0.5, -2.5}});
+  EXPECT_EQ(classify(c).cls, config_class::asymmetric);
+  EXPECT_EQ(symmetry(c), 1);
+}
+
+TEST(Classify, AxialSymmetryIsNotBivalentOrQR) {
+  sim::rng r(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pts = workloads::axially_symmetric(7, r);
+    const classification cls = classify(configuration(pts));
+    EXPECT_NE(cls.cls, config_class::bivalent);
+    EXPECT_NE(cls.cls, config_class::linear_2w);
+  }
+}
+
+TEST(Classify, PartitionIsTotalAndStable) {
+  // Every generated configuration lands in exactly one class, and the
+  // class is invariant under similarity transforms of the input.
+  sim::rng r(47);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto pts = workloads::uniform_random(4 + trial % 9, r);
+    const configuration c1(pts);
+    const config_class k1 = classify(c1).cls;
+
+    std::vector<vec2> moved;
+    const double ang = 0.1 + 0.3 * trial;
+    for (const vec2& p : pts) {
+      moved.push_back(vec2{-3, 8} + 1.7 * geom::rotated_ccw(p, ang));
+    }
+    const config_class k2 = classify(configuration(moved)).cls;
+    EXPECT_EQ(k1, k2) << "trial " << trial;
+  }
+}
+
+TEST(Classify, ExpectedClassesOfCorpus) {
+  for (std::size_t n : {5u, 8u, 9u, 12u}) {
+    for (const auto& wl : workloads::corpus(n, 1000 + n)) {
+      if (!wl.expected_exact) continue;
+      const classification cls = classify(configuration(wl.points));
+      EXPECT_EQ(cls.cls, wl.expected) << wl.name << " n=" << n;
+    }
+  }
+}
+
+TEST(Classify, ToStringCoversAllClasses) {
+  EXPECT_EQ(to_string(config_class::bivalent), "B");
+  EXPECT_EQ(to_string(config_class::multiple), "M");
+  EXPECT_EQ(to_string(config_class::linear_1w), "L1W");
+  EXPECT_EQ(to_string(config_class::linear_2w), "L2W");
+  EXPECT_EQ(to_string(config_class::quasi_regular), "QR");
+  EXPECT_EQ(to_string(config_class::asymmetric), "A");
+}
+
+}  // namespace
+}  // namespace gather::config

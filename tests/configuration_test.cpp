@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "config/configuration.h"
+
+namespace gather::config {
+namespace {
+
+TEST(Configuration, BasicCounts) {
+  const configuration c({{0, 0}, {1, 0}, {1, 0}, {2, 3}});
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.distinct_count(), 3u);
+  EXPECT_FALSE(c.is_gathered());
+}
+
+TEST(Configuration, StrongMultiplicityDetection) {
+  const configuration c({{0, 0}, {1, 0}, {1, 0}, {1, 0}, {2, 3}});
+  EXPECT_EQ(c.multiplicity({1, 0}), 3);
+  EXPECT_EQ(c.multiplicity({0, 0}), 1);
+  EXPECT_EQ(c.multiplicity({9, 9}), 0);
+}
+
+TEST(Configuration, NearbyPointsSnapTogether) {
+  // Points within the scale-relative tolerance are one location.
+  const configuration c({{0, 0}, {1e-12, 0}, {10, 0}});
+  EXPECT_EQ(c.distinct_count(), 2u);
+  EXPECT_EQ(c.multiplicity({0, 0}), 2);
+}
+
+TEST(Configuration, SnappedRobotsShareExactCoordinates) {
+  const configuration c({{0, 0}, {5e-12, 0}, {10, 0}});
+  EXPECT_EQ(c.robots()[0], c.robots()[1]);
+}
+
+TEST(Configuration, OccupiedSortedAndComplete) {
+  const configuration c({{5, 5}, {0, 0}, {5, 5}});
+  ASSERT_EQ(c.occupied().size(), 2u);
+  EXPECT_EQ(c.occupied()[0].position, (geom::vec2{0, 0}));
+  EXPECT_EQ(c.occupied()[1].position, (geom::vec2{5, 5}));
+  EXPECT_EQ(c.occupied()[0].multiplicity + c.occupied()[1].multiplicity, 3);
+}
+
+TEST(Configuration, Gathered) {
+  const configuration c({{2, 2}, {2, 2}, {2, 2}});
+  EXPECT_TRUE(c.is_gathered());
+  EXPECT_EQ(c.distinct_count(), 1u);
+  EXPECT_DOUBLE_EQ(c.diameter(), 0.0);
+}
+
+TEST(Configuration, LinearDetection) {
+  EXPECT_TRUE(configuration({{0, 0}, {1, 1}, {2, 2}, {5, 5}}).is_linear());
+  EXPECT_FALSE(configuration({{0, 0}, {1, 1}, {2, 2.5}}).is_linear());
+  EXPECT_TRUE(configuration({{0, 0}, {1, 1}}).is_linear());
+  EXPECT_TRUE(configuration({{0, 0}, {0, 0}, {0, 0}}).is_linear());
+}
+
+TEST(Configuration, Diameter) {
+  const configuration c({{0, 0}, {3, 4}, {1, 1}});
+  EXPECT_DOUBLE_EQ(c.diameter(), 5.0);
+}
+
+TEST(Configuration, SumDistancesCountsMultiplicity) {
+  const configuration c({{0, 0}, {0, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(c.sum_distances({0, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(c.sum_distances({3, 4}), 10.0);
+}
+
+TEST(Configuration, SecOfSquare) {
+  const configuration c({{1, 1}, {-1, 1}, {-1, -1}, {1, -1}});
+  EXPECT_NEAR(c.sec().center.x, 0.0, 1e-9);
+  EXPECT_NEAR(c.sec().center.y, 0.0, 1e-9);
+}
+
+TEST(Configuration, SecIgnoresMultiplicity) {
+  // sec is over U(C): stacking robots on one corner must not move it.
+  const configuration c({{1, 0}, {-1, 0}, {1, 0}, {1, 0}});
+  EXPECT_NEAR(c.sec().center.x, 0.0, 1e-9);
+}
+
+TEST(Configuration, ToleranceScaleTracksDiameter) {
+  const configuration small({{0, 0}, {0.001, 0}});
+  const configuration large({{0, 0}, {1000, 0}});
+  EXPECT_LT(small.tolerance().len_eps(), large.tolerance().len_eps());
+}
+
+TEST(Configuration, SnappedReturnsRepresentative) {
+  const configuration c({{0, 0}, {1e-12, 0}, {10, 0}});
+  const geom::vec2 rep = c.snapped({1e-12, 0});
+  EXPECT_EQ(rep, c.occupied()[0].position);
+  EXPECT_EQ(c.snapped({99, 99}), (geom::vec2{99, 99}));
+}
+
+TEST(Configuration, EmptyConfiguration) {
+  const configuration c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Configuration, SingleRobot) {
+  const configuration c({{3, 4}});
+  EXPECT_TRUE(c.is_gathered());
+  EXPECT_TRUE(c.is_linear());
+  EXPECT_EQ(c.multiplicity({3, 4}), 1);
+}
+
+}  // namespace
+}  // namespace gather::config

@@ -1,0 +1,102 @@
+// Tests for the exact-sign predicates, cross-checked against 128-bit integer
+// arithmetic on integer-valued inputs and against constructed adversarial
+// near-degenerate cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geometry/exact.h"
+#include "geometry/predicates.h"
+
+namespace gather::geom {
+namespace {
+
+TEST(TwoSum, ReconstructsExactly) {
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> dist(-1e10, 1e10);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = dist(rng);
+    const double b = dist(rng) * 1e-12;  // widely different magnitudes
+    const expansion2 s = two_sum(a, b);
+    EXPECT_EQ(s.hi, a + b);  // hi is the rounded sum
+    // The error term recovers what rounding lost: (hi - a) - b == -lo.
+    EXPECT_EQ((s.hi - a) - b, -s.lo);
+  }
+}
+
+TEST(TwoProduct, ErrorTermIsExact) {
+  // For integer-valued doubles below 2^26 the product is exact, so lo == 0.
+  const expansion2 p = two_product(12345678.0, 33554431.0);
+  EXPECT_DOUBLE_EQ(p.hi, 12345678.0 * 33554431.0);
+  EXPECT_EQ(p.lo, 0.0);
+  // For full-width mantissas the error term is nonzero and corrects hi.
+  const double a = 1.0 + std::ldexp(1.0, -52);
+  const double b = 1.0 + std::ldexp(1.0, -52);
+  const expansion2 q = two_product(a, b);
+  EXPECT_NE(q.lo, 0.0);
+}
+
+__extension__ typedef __int128 int128;
+
+TEST(ExactDet, MatchesInt128OnIntegerGrid) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<long long> dist(-(1LL << 30), 1LL << 30);
+  for (int i = 0; i < 5000; ++i) {
+    const long long a = dist(rng), b = dist(rng), c = dist(rng), d = dist(rng);
+    const int128 det = static_cast<int128>(a) * d - static_cast<int128>(b) * c;
+    const int want = det > 0 ? 1 : (det < 0 ? -1 : 0);
+    EXPECT_EQ(exact_det2_sign(static_cast<double>(a), static_cast<double>(b),
+                              static_cast<double>(c), static_cast<double>(d)),
+              want)
+        << a << " " << b << " " << c << " " << d;
+  }
+}
+
+TEST(ExactDet, CatchesCancellation) {
+  // a*d and b*c agree in their leading 53 bits; only exact arithmetic sees
+  // the difference.
+  const double a = 1e16 + 2.0, d = 1e16 - 2.0;  // product ~1e32 - 4
+  const double b = 1e16, c = 1e16;              // product 1e32
+  // (1e16+2)(1e16-2) - 1e32 = -4 exactly.
+  EXPECT_EQ(exact_det2_sign(a, b, c, d), -1);
+  EXPECT_EQ(exact_det2_sign(b, a, d, c), 1);
+  EXPECT_EQ(exact_det2_sign(b, c, b, c), 0);  // hm: b*c - c*b = 0
+}
+
+TEST(ExactOrientation, AgreesWithSignOnCleanTriangles) {
+  EXPECT_EQ(exact_orientation({0, 0}, {1, 0}, {0, 1}), 1);
+  EXPECT_EQ(exact_orientation({0, 0}, {0, 1}, {1, 0}), -1);
+  EXPECT_EQ(exact_orientation({0, 0}, {1, 1}, {2, 2}), 0);
+}
+
+TEST(ExactOrientation, ResolvesNearCollinearExactly) {
+  // Classic adversarial case: the double-rounded area is ~1e-27 but nonzero.
+  const vec2 a{0.0, 0.0};
+  const vec2 b{std::ldexp(1.0, 26) + 1.0, std::ldexp(1.0, 26)};
+  const vec2 c{2.0 * (std::ldexp(1.0, 26) + 1.0), 2.0 * std::ldexp(1.0, 26) + 1.0};
+  // cross(b-a, c-a) = bx*cy - by*cx = (2^26+1)(2^27+1) - 2^26 * 2(2^26+1)
+  //                 = (2^26+1)(2^27+1-2^27) = 2^26+1 > 0.
+  EXPECT_EQ(exact_orientation(a, b, c), 1);
+}
+
+TEST(ExactVsTolerant, TolerantIsAConservativeCoarsening) {
+  // Wherever the tolerant predicate says non-zero, the exact one agrees on
+  // sign; the tolerant predicate only ever coarsens near-degeneracies to 0.
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  tol t;
+  t.scale = 200.0;
+  for (int i = 0; i < 2000; ++i) {
+    const vec2 a{dist(rng), dist(rng)};
+    const vec2 b{dist(rng), dist(rng)};
+    const vec2 c{dist(rng), dist(rng)};
+    const int tolerant = orientation(a, b, c, t);
+    if (tolerant != 0) {
+      EXPECT_EQ(exact_orientation(a, b, c), tolerant);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gather::geom

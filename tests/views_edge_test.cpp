@@ -1,0 +1,104 @@
+// Edge cases of the view machinery (Def. 2): the center-reference rule,
+// scale invariance of normalized distances, multiplicity entries, and the
+// diametral seam.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/views.h"
+#include "geometry/angles.h"
+
+namespace gather::config {
+namespace {
+
+using geom::vec2;
+
+TEST(ViewsEdge, CenterRobotUsesMaximalPeerReference) {
+  // Robot at the sec center of an asymmetric set: its view must be
+  // well-defined and stable under re-expression.
+  const std::vector<vec2> base = {{0, 0}, {2, 0}, {-2, 0}, {0, 2}, {0.5, -1.9}};
+  const configuration c1(base);
+  const view v1 = view_of(c1, {0, 0});
+  EXPECT_EQ(v1.size(), 5u);
+
+  std::vector<vec2> rotated;
+  for (const vec2& p : base) rotated.push_back(geom::rotated_ccw(p, 1.2345));
+  const configuration c2(rotated);
+  const view v2 = view_of(c2, {0, 0});
+  EXPECT_EQ(compare_views(v1, v2, c1.tolerance()), 0);
+}
+
+TEST(ViewsEdge, NormalizedDistancesAreScaleInvariant) {
+  const std::vector<vec2> base = {{0, 0}, {4, 0}, {1, 3}};
+  const configuration small(base);
+  std::vector<vec2> big;
+  for (const vec2& p : base) big.push_back(1000.0 * p);
+  const configuration large(big);
+  const view vs = view_of(small, {0, 0});
+  const view vl = view_of(large, {0, 0});
+  EXPECT_EQ(compare_views(vs, vl, small.tolerance()), 0);
+}
+
+TEST(ViewsEdge, MultiplicityDuplicatesEntries) {
+  const configuration c({{0, 0}, {4, 0}, {4, 0}, {4, 0}});
+  const view v = view_of(c, {0, 0});
+  ASSERT_EQ(v.size(), 4u);
+  // Entries 1..3 are the stacked point, identical.
+  EXPECT_EQ(v[1].angle, v[2].angle);
+  EXPECT_EQ(v[2].dist, v[3].dist);
+}
+
+TEST(ViewsEdge, GatheredConfigurationTrivialView) {
+  const configuration c({{1, 1}, {1, 1}});
+  const view v = view_of(c, {1, 1});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].dist, 0.0);
+  EXPECT_EQ(v[1].dist, 0.0);
+}
+
+TEST(ViewsEdge, DiametralPointReadsAngleZero) {
+  // The robot opposite the observer (through the sec center) sits exactly on
+  // the reference ray and must read angle exactly 0, not ~2*pi.
+  const configuration c({{1, 0}, {-1, 0}, {0, 1}, {0, -1}});
+  const view v = view_of(c, {1, 0});
+  bool found_zero = false;
+  for (const polar_entry& e : v) {
+    if (e.dist > 0.0 && e.angle == 0.0) found_zero = true;
+    EXPECT_LT(e.angle, geom::two_pi - 1e-6);
+  }
+  EXPECT_TRUE(found_zero);
+}
+
+TEST(ViewsEdge, ViewClassesOfStackedSquare) {
+  // Square with every corner doubled: still 4-fold symmetric; classes of 4.
+  std::vector<vec2> pts;
+  for (int k = 0; k < 4; ++k) {
+    const double a = geom::two_pi * k / 4.0 + 0.3;
+    const vec2 p{std::cos(a), std::sin(a)};
+    pts.push_back(p);
+    pts.push_back(p);
+  }
+  const configuration c(pts);
+  EXPECT_EQ(symmetry(c), 4);
+  for (const auto& cls : view_classes(c)) {
+    EXPECT_EQ(cls.size(), 4u);
+  }
+}
+
+TEST(ViewsEdge, UnequalStacksBreakSymmetry) {
+  // Same square but one corner triple-stacked: symmetry collapses to 1.
+  std::vector<vec2> pts;
+  for (int k = 0; k < 4; ++k) {
+    const double a = geom::two_pi * k / 4.0 + 0.3;
+    const vec2 p{std::cos(a), std::sin(a)};
+    pts.push_back(p);
+    if (k == 0) {
+      pts.push_back(p);
+      pts.push_back(p);
+    }
+  }
+  EXPECT_EQ(symmetry(configuration(pts)), 1);
+}
+
+}  // namespace
+}  // namespace gather::config

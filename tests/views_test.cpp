@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/views.h"
+#include "geometry/angles.h"
+
+namespace gather::config {
+namespace {
+
+using geom::vec2;
+
+TEST(Views, ViewSizeEqualsRobotCount) {
+  const configuration c({{0, 0}, {1, 0}, {1, 0}, {0, 1}});
+  const view v = view_of(c, {0, 0});
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(Views, SelfEntriesAreZero) {
+  const configuration c({{0, 0}, {0, 0}, {4, 0}});
+  const view v = view_of(c, {0, 0});
+  // Two robots at the origin produce two (0,0) entries.
+  EXPECT_DOUBLE_EQ(v[0].angle, 0.0);
+  EXPECT_DOUBLE_EQ(v[0].dist, 0.0);
+  EXPECT_DOUBLE_EQ(v[1].dist, 0.0);
+  EXPECT_GT(v[2].dist, 0.0);
+}
+
+TEST(Views, CompareEqualViews) {
+  const configuration c({{0, 0}, {2, 0}, {1, std::sqrt(3.0)}});  // equilateral
+  const auto vs = all_views(c);
+  ASSERT_EQ(vs.size(), 3u);
+  EXPECT_EQ(compare_views(vs[0], vs[1], c.tolerance()), 0);
+  EXPECT_EQ(compare_views(vs[1], vs[2], c.tolerance()), 0);
+}
+
+TEST(Views, SymmetryOfEquilateralTriangle) {
+  const configuration c({{0, 0}, {2, 0}, {1, std::sqrt(3.0)}});
+  EXPECT_EQ(symmetry(c), 3);
+}
+
+TEST(Views, SymmetryOfSquare) {
+  const configuration c({{1, 1}, {-1, 1}, {-1, -1}, {1, -1}});
+  EXPECT_EQ(symmetry(c), 4);
+}
+
+TEST(Views, AsymmetricConfigurationHasDistinctViews) {
+  const configuration c({{0, 0}, {5, 0}, {1, 3}, {-2, 1}});
+  EXPECT_EQ(symmetry(c), 1);
+  const auto classes = view_classes(c);
+  EXPECT_EQ(classes.size(), c.distinct_count());
+}
+
+TEST(Views, ChiralityBreaksAxialSymmetry) {
+  // Mirror twins across the y-axis; reading angles clockwise gives the two
+  // wing points different views (an undirected reading would not).
+  const configuration c({{0, 3}, {2, 0}, {-2, 0}, {0, -1}});
+  const view left = view_of(c, {-2, 0});
+  const view right = view_of(c, {2, 0});
+  EXPECT_NE(compare_views(left, right, c.tolerance()), 0);
+}
+
+TEST(Views, MultiplicityChangesView) {
+  const configuration c1({{0, 0}, {4, 0}, {2, 3}});
+  const configuration c2({{0, 0}, {0, 0}, {4, 0}, {2, 3}});
+  const view v1 = view_of(c1, {4, 0});
+  const view v2 = view_of(c2, {4, 0});
+  EXPECT_NE(v1.size(), v2.size());
+}
+
+TEST(Views, RotationalSymmetryWithRings) {
+  // Two concentric equilateral triangles, same phase: sym = 3.
+  std::vector<vec2> pts;
+  for (int i = 0; i < 3; ++i) {
+    const double a = geom::two_pi * i / 3.0;
+    pts.push_back({std::cos(a), std::sin(a)});
+    pts.push_back({2 * std::cos(a), 2 * std::sin(a)});
+  }
+  EXPECT_EQ(symmetry(configuration(pts)), 3);
+}
+
+TEST(Views, CenterPointViewIsWellDefined) {
+  // A robot exactly at the sec center: the reference direction comes from a
+  // maximal-view peer; the computation must not blow up and symmetry is 4
+  // for the surrounding square.
+  const configuration c({{0, 0}, {1, 1}, {-1, 1}, {-1, -1}, {1, -1}});
+  const view v = view_of(c, {0, 0});
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_GE(symmetry(c), 4);
+}
+
+TEST(Views, ViewsInvariantUnderRotationAndScale) {
+  const std::vector<vec2> base = {{0, 0}, {5, 0}, {1, 3}, {-2, 1}, {1, 3}};
+  const configuration c1(base);
+  std::vector<vec2> moved;
+  const double ang = 1.234, s = 3.7;
+  const vec2 off{11, -7};
+  for (const vec2& p : base) {
+    moved.push_back(off + s * geom::rotated_ccw(p, ang));
+  }
+  const configuration c2(moved);
+  // Same symmetry and same number of view classes with the same sizes.
+  EXPECT_EQ(symmetry(c1), symmetry(c2));
+  const auto cls1 = view_classes(c1);
+  const auto cls2 = view_classes(c2);
+  ASSERT_EQ(cls1.size(), cls2.size());
+  for (std::size_t i = 0; i < cls1.size(); ++i) {
+    EXPECT_EQ(cls1[i].size(), cls2[i].size());
+  }
+}
+
+TEST(Views, ViewOrderingIsTotal) {
+  const configuration c({{0, 0}, {5, 0}, {1, 3}, {-2, 1}});
+  const auto vs = all_views(c);
+  const auto& t = c.tolerance();
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    EXPECT_EQ(compare_views(vs[i], vs[i], t), 0);
+    for (std::size_t j = i + 1; j < vs.size(); ++j) {
+      EXPECT_EQ(compare_views(vs[i], vs[j], t), -compare_views(vs[j], vs[i], t));
+    }
+  }
+}
+
+TEST(Views, BivalentSymmetryIsTwo) {
+  const configuration c({{0, 0}, {0, 0}, {4, 0}, {4, 0}});
+  EXPECT_EQ(symmetry(c), 2);
+}
+
+}  // namespace
+}  // namespace gather::config

@@ -1,0 +1,130 @@
+// Edge cases of the Weber-point machinery: Fermat-point regimes, 4-point
+// configurations, weighted declines of the closed forms, and the subgradient
+// data-point optimality test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/weber.h"
+#include "geometry/angles.h"
+
+namespace gather::config {
+namespace {
+
+using geom::vec2;
+
+double sum_dist(const configuration& c, vec2 p) { return c.sum_distances(p); }
+
+void expect_local_min(const configuration& c, vec2 p, double h = 1e-4) {
+  const double base = sum_dist(c, p);
+  for (int k = 0; k < 8; ++k) {
+    const double a = geom::two_pi * k / 8;
+    EXPECT_LE(base, sum_dist(c, p + h * vec2{std::cos(a), std::sin(a)}) + 1e-10)
+        << "direction " << k;
+  }
+}
+
+TEST(Fermat, EquilateralTriangleCentroid) {
+  const configuration c({{0, 0}, {2, 0}, {1, std::sqrt(3.0)}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  EXPECT_NEAR(med->x, 1.0, 1e-9);
+  EXPECT_NEAR(med->y, 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(Fermat, AllAnglesUnder120SeeEqualAngles) {
+  // At the Fermat point the three sides subtend 120 degrees each.
+  const configuration c({{0, 0}, {4, 0}, {1, 2.5}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  const vec2 p = *med;
+  const vec2 v[3] = {{0, 0}, {4, 0}, {1, 2.5}};
+  for (int i = 0; i < 3; ++i) {
+    const double ang =
+        geom::angular_separation(v[i] - p, v[(i + 1) % 3] - p);
+    EXPECT_NEAR(ang, 2.0 * geom::pi / 3.0, 1e-7) << i;
+  }
+}
+
+TEST(Fermat, ObtuseVertexIsTheMedian) {
+  // Angle at (0,0) is > 120 degrees: the vertex itself is the Weber point.
+  const configuration c({{0, 0}, {5, 1}, {-5, 1.5}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  EXPECT_NEAR(med->x, 0.0, 1e-12);
+  EXPECT_NEAR(med->y, 0.0, 1e-12);
+}
+
+TEST(FourPoints, ConvexQuadDiagonalCrossing) {
+  const configuration c({{0, 0}, {4, 0}, {5, 3}, {-1, 2}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  expect_local_min(c, *med);
+  // The crossing lies strictly inside the quad.
+  EXPECT_GT(med->x, -1.0);
+  EXPECT_LT(med->x, 5.0);
+}
+
+TEST(FourPoints, NonConvexInnerPointWins) {
+  // Triangle with a fourth point inside: the inner point is the median.
+  const configuration c({{0, 0}, {6, 0}, {3, 5}, {3, 1.5}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  EXPECT_NEAR(med->x, 3.0, 1e-12);
+  EXPECT_NEAR(med->y, 1.5, 1e-12);
+}
+
+TEST(Weighted, ClosedFormsDeclineAndIterationHandlesWeights) {
+  // Three distinct points but one carries weight 3 (>= half of n=5):
+  // the subgradient condition makes the heavy point the median.
+  const configuration c({{0, 0}, {0, 0}, {0, 0}, {4, 0}, {1, 3}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  EXPECT_NEAR(med->x, 0.0, 1e-12);
+  EXPECT_NEAR(med->y, 0.0, 1e-12);
+}
+
+TEST(Weighted, BalancedStacksInteriorMedian) {
+  // Two stacks of 2 and two singletons: the optimum is interior.
+  const configuration c({{0, 0}, {0, 0}, {6, 0}, {6, 0}, {3, 4}, {3, -4}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  expect_local_min(c, *med);
+  EXPECT_NEAR(med->y, 0.0, 1e-6);  // symmetry
+}
+
+TEST(Subgradient, BoundaryOfDataPointOptimality) {
+  // Symmetric cross: pull on the center from 4 unit directions cancels, so
+  // the center (weight 1) is optimal; removing it keeps the point optimal
+  // as an unoccupied minimizer.
+  const configuration with_center({{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}});
+  const auto med = geometric_median_weiszfeld(with_center);
+  EXPECT_NEAR(med->x, 0.0, 1e-9);
+  EXPECT_NEAR(med->y, 0.0, 1e-9);
+}
+
+TEST(WeberResult, LinearIntervalMidpointReported) {
+  const configuration c({{0, 0}, {2, 0}, {6, 0}, {10, 0}});
+  const weber_result w = weber_point(c);
+  EXPECT_FALSE(w.unique);
+  EXPECT_NEAR(w.point.x, 4.0, 1e-9);  // midpoint of [2, 6]
+  EXPECT_NEAR(w.lo.x, 2.0, 1e-9);
+  EXPECT_NEAR(w.hi.x, 6.0, 1e-9);
+}
+
+TEST(WeberResult, InvarianceAcrossSimilarity) {
+  const std::vector<vec2> base = {{0, 0}, {4, 0}, {5, 3}, {-1, 2}, {2, -3}};
+  const configuration c1(base);
+  const vec2 w1 = weber_point(c1).point;
+  std::vector<vec2> moved;
+  for (const vec2& p : base) {
+    moved.push_back(vec2{3, 3} + 1.5 * geom::rotated_ccw(p, 0.9));
+  }
+  const vec2 w2 = weber_point(configuration(moved)).point;
+  const vec2 mapped = vec2{3, 3} + 1.5 * geom::rotated_ccw(w1, 0.9);
+  EXPECT_NEAR(w2.x, mapped.x, 1e-7);
+  EXPECT_NEAR(w2.y, mapped.y, 1e-7);
+}
+
+}  // namespace
+}  // namespace gather::config

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "config/weber.h"
+#include "geometry/angles.h"
+#include "sim/rng.h"
+#include "workloads/generators.h"
+
+namespace gather::config {
+namespace {
+
+using geom::vec2;
+
+TEST(Weiszfeld, TriangleMedianBeatsNeighbours) {
+  const configuration c({{0, 0}, {4, 0}, {1, 3}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  const double base = c.sum_distances(*med);
+  for (double dx : {-0.01, 0.01}) {
+    for (double dy : {-0.01, 0.01}) {
+      EXPECT_LE(base, c.sum_distances(*med + vec2{dx, dy}) + 1e-9);
+    }
+  }
+}
+
+TEST(Weiszfeld, SquareMedianIsCenter) {
+  const configuration c({{1, 1}, {-1, 1}, {-1, -1}, {1, -1}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  EXPECT_NEAR(med->x, 0.0, 1e-9);
+  EXPECT_NEAR(med->y, 0.0, 1e-9);
+}
+
+TEST(Weiszfeld, MajorityPointDominates) {
+  // With more than half the robots at one point, that point is the median.
+  const configuration c({{0, 0}, {0, 0}, {0, 0}, {5, 0}, {0, 7}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  EXPECT_NEAR(med->x, 0.0, 1e-9);
+  EXPECT_NEAR(med->y, 0.0, 1e-9);
+}
+
+TEST(Weiszfeld, HandlesIterateOnDataPoint) {
+  // Centroid (the start) coincides with a data point but is not the median.
+  const configuration c({{0, 0}, {3, 0}, {-3, 0}, {0, 3}, {0, -3}});
+  const auto med = geometric_median_weiszfeld(c);
+  ASSERT_TRUE(med.has_value());
+  EXPECT_NEAR(med->x, 0.0, 1e-9);
+  EXPECT_NEAR(med->y, 0.0, 1e-9);
+}
+
+TEST(Weiszfeld, GatheredReturnsThePoint) {
+  const configuration c({{2, 3}, {2, 3}});
+  EXPECT_EQ(*geometric_median_weiszfeld(c), (vec2{2, 3}));
+}
+
+TEST(Weiszfeld, EmptyReturnsNullopt) {
+  EXPECT_FALSE(geometric_median_weiszfeld(configuration()).has_value());
+}
+
+TEST(LinearWeber, OddCountUniqueMedian) {
+  const configuration c({{0, 0}, {1, 0}, {2, 0}, {3, 0}, {10, 0}});
+  const weber_result w = linear_weber(c);
+  EXPECT_TRUE(w.unique);
+  EXPECT_TRUE(w.exact);
+  EXPECT_NEAR(w.point.x, 2.0, 1e-9);
+}
+
+TEST(LinearWeber, EvenCountInterval) {
+  const configuration c({{0, 0}, {1, 0}, {3, 0}, {10, 0}});
+  const weber_result w = linear_weber(c);
+  EXPECT_FALSE(w.unique);
+  EXPECT_NEAR(w.lo.x, 1.0, 1e-9);
+  EXPECT_NEAR(w.hi.x, 3.0, 1e-9);
+}
+
+TEST(LinearWeber, EvenCountCoincidentMediansUnique) {
+  // The two middle robots share a location: unique Weber point.
+  const configuration c({{0, 0}, {2, 0}, {2, 0}, {10, 0}});
+  const weber_result w = linear_weber(c);
+  EXPECT_TRUE(w.unique);
+  EXPECT_NEAR(w.point.x, 2.0, 1e-9);
+}
+
+TEST(LinearWeber, MultiplicityWeighsMedian) {
+  // Three robots stacked at x=5 out of 5 total: median at 5.
+  const configuration c({{0, 0}, {1, 0}, {5, 0}, {5, 0}, {5, 0}});
+  const weber_result w = linear_weber(c);
+  EXPECT_TRUE(w.unique);
+  EXPECT_NEAR(w.point.x, 5.0, 1e-9);
+}
+
+TEST(LinearWeber, WorksOnTiltedLines) {
+  const vec2 dir = geom::normalized({1, 2});
+  std::vector<vec2> pts;
+  for (double s : {0.0, 1.0, 4.0, 9.0, 16.0}) pts.push_back(s * dir);
+  const weber_result w = linear_weber(configuration(pts));
+  EXPECT_TRUE(w.unique);
+  EXPECT_NEAR(w.point.x, 4.0 * dir.x, 1e-9);
+  EXPECT_NEAR(w.point.y, 4.0 * dir.y, 1e-9);
+}
+
+TEST(WeberPoint, QuasiRegularIsExact) {
+  sim::rng r(21);
+  const auto pts = workloads::biangular(4, 0.25, r);
+  const weber_result w = weber_point(configuration(pts));
+  EXPECT_TRUE(w.unique);
+  EXPECT_TRUE(w.exact);
+  EXPECT_NEAR(w.point.x, 0.0, 1e-6);
+  EXPECT_NEAR(w.point.y, 0.0, 1e-6);
+}
+
+TEST(WeberPoint, GenericFallsBackToWeiszfeld) {
+  const configuration c({{0, 0}, {5, 0}, {1, 3}, {-2, 1}, {0.5, -2.5}});
+  const weber_result w = weber_point(c);
+  EXPECT_TRUE(w.unique);
+  EXPECT_FALSE(w.exact);
+  // Still a genuine minimizer.
+  const double base = c.sum_distances(w.point);
+  EXPECT_LE(base, c.sum_distances(w.point + vec2{0.01, 0.0}) + 1e-9);
+}
+
+TEST(WeberPoint, InvarianceUnderMovesTowardIt) {
+  // Lemma 3.2: moving robots straight towards the Weber point preserves it.
+  sim::rng r(31);
+  const auto pts = workloads::biangular(4, 0.25, r);
+  const configuration c(pts);
+  const vec2 wp = weber_point(c).point;
+  std::vector<vec2> moved;
+  double f = 0.15;
+  for (const vec2& p : pts) {
+    moved.push_back(geom::lerp(p, wp, f));
+    f = std::fmod(f + 0.17, 0.9);  // different fractions per robot
+  }
+  const vec2 wp2 = weber_point(configuration(moved)).point;
+  EXPECT_NEAR(wp2.x, wp.x, 1e-6);
+  EXPECT_NEAR(wp2.y, wp.y, 1e-6);
+}
+
+}  // namespace
+}  // namespace gather::config

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "config/classify.h"
+#include "config/views.h"
+#include "workloads/generators.h"
+
+namespace gather::workloads {
+namespace {
+
+using config::config_class;
+using config::configuration;
+
+TEST(Generators, UniformRandomCountAndBounds) {
+  sim::rng r(1);
+  const auto pts = uniform_random(20, r, 5.0);
+  EXPECT_EQ(pts.size(), 20u);
+  for (const vec2& p : pts) {
+    EXPECT_LE(std::abs(p.x), 5.0);
+    EXPECT_LE(std::abs(p.y), 5.0);
+  }
+}
+
+TEST(Generators, UniformRandomDeterministicPerSeed) {
+  sim::rng r1(42), r2(42), r3(43);
+  EXPECT_EQ(uniform_random(5, r1), uniform_random(5, r2));
+  EXPECT_NE(uniform_random(5, r1), uniform_random(5, r3));
+}
+
+TEST(Generators, RegularPolygonGeometry) {
+  const auto pts = regular_polygon(8, {2, 3}, 1.5);
+  EXPECT_EQ(pts.size(), 8u);
+  for (const vec2& p : pts) {
+    EXPECT_NEAR(geom::distance(p, {2, 3}), 1.5, 1e-12);
+  }
+  EXPECT_EQ(config::symmetry(configuration(pts)), 8);
+}
+
+TEST(Generators, SymmetricRingsHaveSymmetry) {
+  sim::rng r(2);
+  const auto pts = symmetric_rings(5, 3, r);
+  EXPECT_EQ(pts.size(), 15u);
+  EXPECT_EQ(config::symmetry(configuration(pts)) % 5, 0);
+}
+
+TEST(Generators, BiangularClassifiesQR) {
+  sim::rng r(3);
+  for (std::size_t k : {2u, 3u, 4u, 6u}) {
+    const auto pts = biangular(k, 0.3, r);
+    EXPECT_EQ(pts.size(), 2 * k);
+    const auto cls = config::classify(configuration(pts)).cls;
+    EXPECT_TRUE(cls == config_class::quasi_regular ||
+                cls == config_class::bivalent)  // k=2 with 4 pts can degenerate
+        << k;
+  }
+}
+
+TEST(Generators, QuasiRegularWithCenterHasCenterRobot) {
+  sim::rng r(4);
+  const auto pts = quasi_regular_with_center(7, 2, r);
+  EXPECT_EQ(pts.size(), 7u);
+  const configuration c(pts);
+  EXPECT_EQ(c.multiplicity({0, 0}), 2);
+}
+
+TEST(Generators, LinearWorkloadsAreLinear) {
+  sim::rng r(5);
+  EXPECT_TRUE(configuration(linear_unique_weber(7, r)).is_linear());
+  EXPECT_TRUE(configuration(linear_two_weber(6, r)).is_linear());
+}
+
+TEST(Generators, LinearClassesMatch) {
+  sim::rng r(6);
+  EXPECT_EQ(config::classify(configuration(linear_unique_weber(9, r))).cls,
+            config_class::linear_1w);
+  EXPECT_EQ(config::classify(configuration(linear_two_weber(8, r))).cls,
+            config_class::linear_2w);
+}
+
+TEST(Generators, MajorityIsClassM) {
+  sim::rng r(7);
+  const auto pts = with_majority(10, 4, r);
+  EXPECT_EQ(pts.size(), 10u);
+  EXPECT_EQ(config::classify(configuration(pts)).cls, config_class::multiple);
+}
+
+TEST(Generators, BivalentIsClassB) {
+  sim::rng r(8);
+  const auto pts = bivalent(10, r);
+  EXPECT_EQ(config::classify(configuration(pts)).cls, config_class::bivalent);
+}
+
+TEST(Generators, AxiallySymmetricKeepsMirrorPairs) {
+  sim::rng r(9);
+  const auto pts = axially_symmetric(8, r);
+  EXPECT_EQ(pts.size(), 8u);
+  for (const vec2& p : pts) {
+    const bool has_mirror =
+        std::any_of(pts.begin(), pts.end(), [&](const vec2& q) {
+          return std::abs(q.x + p.x) < 1e-9 && std::abs(q.y - p.y) < 1e-9;
+        });
+    EXPECT_TRUE(has_mirror);
+  }
+}
+
+TEST(Generators, PerturbedStaysWithinMagnitude) {
+  sim::rng r(10);
+  const std::vector<vec2> base = {{0, 0}, {1, 1}, {2, 2}};
+  const auto moved = perturbed(base, 0.1, r);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_LE(geom::distance(base[i], moved[i]), 0.1 + 1e-12);
+  }
+}
+
+TEST(Corpus, CoversAllGatherableClasses) {
+  const auto wls = corpus(8, 99);
+  std::set<config_class> seen;
+  for (const auto& wl : wls) {
+    seen.insert(config::classify(configuration(wl.points)).cls);
+  }
+  EXPECT_TRUE(seen.count(config_class::multiple));
+  EXPECT_TRUE(seen.count(config_class::linear_1w));
+  EXPECT_TRUE(seen.count(config_class::linear_2w));
+  EXPECT_TRUE(seen.count(config_class::quasi_regular));
+  EXPECT_TRUE(seen.count(config_class::asymmetric));
+  EXPECT_FALSE(seen.count(config_class::bivalent));
+}
+
+TEST(Corpus, ExactExpectationsHold) {
+  for (const auto& wl : corpus(10, 123)) {
+    if (!wl.expected_exact) continue;
+    EXPECT_EQ(config::classify(configuration(wl.points)).cls, wl.expected)
+        << wl.name;
+  }
+}
+
+}  // namespace
+}  // namespace gather::workloads

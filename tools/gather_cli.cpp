@@ -1,0 +1,291 @@
+// gather_cli -- command-line scenario runner for the gathering library.
+//
+// Composes a workload, an algorithm, and the three adversaries (scheduler,
+// movement, crashes) from flags, runs the ATOM (or ASYNC) engine, and reports
+// a summary, a CSV trace, or ASCII frames.
+//
+//   gather_cli --workload uniform --n 12 --f 3 --scheduler fair-random \
+//              --movement random-stop --delta 0.05 --seed 7 --output summary
+//   gather_cli --workload biangular --n 12 --output frames
+//   gather_cli --workload linear-2w --n 8 --algorithm cog --output csv
+//   gather_cli --list
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/baselines.h"
+#include "core/weak_multiplicity.h"
+#include "core/wait_free_gather.h"
+#include "sim/sim.h"
+#include "workloads/generators.h"
+#include "workloads/io.h"
+
+namespace {
+
+using namespace gather;
+
+struct options {
+  std::string workload = "uniform";
+  std::string points_file;  // overrides workload when set
+  std::string algorithm = "wfg";
+  std::string scheduler = "fair-random";
+  std::string movement = "random-stop";
+  std::string output = "summary";
+  std::string engine = "atom";         // atom | async
+  std::string async_policy = "random"; // sequential | random | look-move
+  std::size_t n = 8;
+  std::size_t f = 0;
+  double delta = 0.05;
+  std::uint64_t seed = 1;
+  std::size_t max_rounds = 50'000;
+  bool local_frames = false;
+  bool help = false;
+  bool list = false;
+};
+
+void print_usage() {
+  std::puts(
+      "gather_cli -- run a robot-gathering scenario\n"
+      "\n"
+      "  --workload W    uniform | majority | linear-1w | linear-2w | polygon |\n"
+      "                  rings | biangular | qr-center | axial | bivalent |\n"
+      "                  grid | clustered\n"
+      "  --points FILE   read the initial configuration from FILE\n"
+      "                  (one 'x y' per line; overrides --workload/--n)\n"
+      "  --algorithm A   wfg (wait-free-gather) | cog (center-of-gravity) |\n"
+      "                  sfg (single-fault) | median | weak (weak-multiplicity wfg)\n"
+      "  --scheduler S   synchronous | round-robin | fair-random | laggard |\n"
+      "                  half-alternating\n"
+      "  --movement M    full | minimal | random-stop\n"
+      "  --engine E      atom (default) | async\n"
+      "  --async-policy  sequential | random | look-move   (async engine only)\n"
+      "  --n N           number of robots (default 8)\n"
+      "  --f F           crash faults, f < n (default 0)\n"
+      "  --delta D       movement guarantee as fraction of diameter (default 0.05)\n"
+      "  --seed S        RNG seed (default 1)\n"
+      "  --max-rounds R  round budget (default 50000)\n"
+      "  --local-frames  observe through per-robot similarity frames\n"
+      "  --output O      summary | csv | frames | json | svg\n"
+      "  --list          list available components and exit\n"
+      "  --help          this text\n");
+}
+
+void print_list() {
+  std::puts("workloads:  uniform majority linear-1w linear-2w polygon rings");
+  std::puts("            biangular qr-center axial bivalent");
+  std::puts("algorithms: wfg cog sfg median weak");
+  std::printf("schedulers:");
+  for (const auto& s : sim::all_schedulers()) {
+    std::printf(" %s", std::string(s.name).c_str());
+  }
+  std::printf("\nmovements: ");
+  for (const auto& m : sim::all_movements()) {
+    std::printf(" %s", std::string(m.name).c_str());
+  }
+  std::puts("\nengines:    atom async");
+}
+
+bool parse_args(int argc, char** argv, options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--workload") o.workload = need("--workload");
+    else if (a == "--points") o.points_file = need("--points");
+    else if (a == "--algorithm") o.algorithm = need("--algorithm");
+    else if (a == "--scheduler") o.scheduler = need("--scheduler");
+    else if (a == "--movement") o.movement = need("--movement");
+    else if (a == "--engine") o.engine = need("--engine");
+    else if (a == "--async-policy") o.async_policy = need("--async-policy");
+    else if (a == "--output") o.output = need("--output");
+    else if (a == "--n") o.n = std::strtoul(need("--n"), nullptr, 10);
+    else if (a == "--f") o.f = std::strtoul(need("--f"), nullptr, 10);
+    else if (a == "--delta") o.delta = std::strtod(need("--delta"), nullptr);
+    else if (a == "--seed") o.seed = std::strtoull(need("--seed"), nullptr, 10);
+    else if (a == "--max-rounds") o.max_rounds = std::strtoul(need("--max-rounds"), nullptr, 10);
+    else if (a == "--local-frames") o.local_frames = true;
+    else if (a == "--help" || a == "-h") o.help = true;
+    else if (a == "--list") o.list = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<geom::vec2> make_workload(const options& o, sim::rng& r) {
+  const std::size_t n = std::max<std::size_t>(o.n, 2);
+  if (o.workload == "uniform") return workloads::uniform_random(n, r);
+  if (o.workload == "majority") {
+    return workloads::with_majority(n, std::max<std::size_t>(2, n / 3), r);
+  }
+  if (o.workload == "linear-1w") return workloads::linear_unique_weber(n, r);
+  if (o.workload == "linear-2w") return workloads::linear_two_weber(n, r);
+  if (o.workload == "polygon") return workloads::regular_polygon(n);
+  if (o.workload == "rings") {
+    return workloads::symmetric_rings(std::max<std::size_t>(3, n / 2), 2, r);
+  }
+  if (o.workload == "biangular") {
+    return workloads::biangular(std::max<std::size_t>(2, n / 2), 0.4, r);
+  }
+  if (o.workload == "qr-center") return workloads::quasi_regular_with_center(n, 1, r);
+  if (o.workload == "axial") return workloads::axially_symmetric(n, r);
+  if (o.workload == "bivalent") return workloads::bivalent(n, r);
+  if (o.workload == "grid") return workloads::jittered_grid(n, 0.2, r);
+  if (o.workload == "clustered") {
+    return workloads::clustered(n, std::max<std::size_t>(2, n / 4), 1.0, r);
+  }
+  std::fprintf(stderr, "unknown workload: %s\n", o.workload.c_str());
+  std::exit(2);
+}
+
+const core::gathering_algorithm& make_algorithm(const options& o) {
+  static const core::wait_free_gather wfg;
+  static const core::weak_multiplicity_adapter weak(wfg);
+  static const baselines::center_of_gravity cog;
+  static const baselines::single_fault_gather sfg;
+  static const baselines::median_pursuit median;
+  if (o.algorithm == "wfg") return wfg;
+  if (o.algorithm == "weak") return weak;
+  if (o.algorithm == "cog") return cog;
+  if (o.algorithm == "sfg") return sfg;
+  if (o.algorithm == "median") return median;
+  std::fprintf(stderr, "unknown algorithm: %s\n", o.algorithm.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<sim::activation_scheduler> make_sched(const options& o) {
+  for (const auto& s : sim::all_schedulers()) {
+    if (s.name == o.scheduler) return s.make();
+  }
+  std::fprintf(stderr, "unknown scheduler: %s\n", o.scheduler.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<sim::movement_adversary> make_move(const options& o) {
+  for (const auto& m : sim::all_movements()) {
+    if (m.name == o.movement) return m.make();
+  }
+  std::fprintf(stderr, "unknown movement: %s\n", o.movement.c_str());
+  std::exit(2);
+}
+
+int run_async(const options& o, const std::vector<geom::vec2>& pts) {
+  const auto& algo = make_algorithm(o);
+  auto move = make_move(o);
+  auto crash = o.f == 0 ? sim::make_no_crash() : sim::make_random_crashes(o.f, 50);
+  sim::async_options opts;
+  opts.delta_fraction = o.delta;
+  opts.seed = o.seed;
+  if (o.async_policy == "sequential") {
+    opts.policy = sim::async_policy::atomic_sequential;
+  } else if (o.async_policy == "look-move") {
+    opts.policy = sim::async_policy::look_all_move_all;
+  } else {
+    opts.policy = sim::async_policy::random_interleaving;
+  }
+  const auto res = sim::simulate_async(pts, algo, *move, *crash, opts);
+  std::printf("engine:     async (%s)\n", std::string(sim::to_string(opts.policy)).c_str());
+  std::printf("status:     %s\n", std::string(sim::to_string(res.status)).c_str());
+  std::printf("steps:      %zu (cycles %zu, stale moves %zu)\n", res.steps,
+              res.cycles, res.stale_moves);
+  std::printf("crashes:    %zu\n", res.crashes);
+  if (res.status == sim::sim_status::gathered) {
+    std::printf("gathered:   (%g, %g)\n", res.gather_point.x, res.gather_point.y);
+  }
+  return res.status == sim::sim_status::gathered ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options o;
+  if (!parse_args(argc, argv, o)) return 2;
+  if (o.help) {
+    print_usage();
+    return 0;
+  }
+  if (o.list) {
+    print_list();
+    return 0;
+  }
+
+  sim::rng workload_rng(o.seed);
+  std::vector<geom::vec2> pts;
+  if (!o.points_file.empty()) {
+    std::string err;
+    const auto loaded = workloads::read_points_file(o.points_file, &err);
+    if (!loaded || loaded->size() < 2) {
+      std::fprintf(stderr, "--points %s: %s\n", o.points_file.c_str(),
+                   loaded ? "need at least 2 robots" : err.c_str());
+      return 2;
+    }
+    pts = *loaded;
+  } else {
+    pts = make_workload(o, workload_rng);
+  }
+  const config::configuration c0(pts);
+  std::printf("workload:   %s  (n=%zu, |U|=%zu, class %s)\n",
+              o.points_file.empty() ? o.workload.c_str() : o.points_file.c_str(),
+              pts.size(), c0.distinct_count(),
+              std::string(config::to_string(config::classify(c0).cls)).c_str());
+
+  if (o.engine == "async") return run_async(o, pts);
+
+  const auto& algo = make_algorithm(o);
+  auto sched = make_sched(o);
+  auto move = make_move(o);
+  auto crash = o.f == 0 ? sim::make_no_crash() : sim::make_random_crashes(o.f, 50);
+
+  sim::sim_options opts;
+  opts.delta_fraction = o.delta;
+  opts.seed = o.seed;
+  opts.max_rounds = o.max_rounds;
+  opts.local_frames = o.local_frames;
+  opts.check_wait_freeness = true;
+  opts.record_trace = (o.output != "summary");
+
+  const auto res = sim::simulate(pts, algo, *sched, *move, *crash, opts);
+
+  if (o.output == "json") {
+    sim::write_json_report(std::cout, res);
+    return res.status == sim::sim_status::gathered ? 0 : 1;
+  }
+  if (o.output == "svg") {
+    sim::write_svg(std::cout, res);
+    return res.status == sim::sim_status::gathered ? 0 : 1;
+  }
+  if (o.output == "csv") {
+    sim::write_trace_csv(std::cout, res);
+    std::fflush(stdout);
+  } else if (o.output == "frames") {
+    const std::size_t frames = res.trace.size();
+    for (std::size_t k = 0; k < 5 && frames > 0; ++k) {
+      const auto& rec = res.trace[k * (frames - 1) / 4];
+      std::printf("--- round %zu (class %s)\n%s\n", rec.round,
+                  std::string(config::to_string(rec.cls)).c_str(),
+                  sim::ascii_plot(rec.positions, rec.live, 56, 18).c_str());
+    }
+  }
+
+  std::printf("algorithm:  %s\n", std::string(algo.name()).c_str());
+  std::printf("status:     %s\n", std::string(sim::to_string(res.status)).c_str());
+  std::printf("rounds:     %zu\n", res.rounds);
+  std::printf("crashes:    %zu\n", res.crashes);
+  std::printf("wf-breach:  %zu, bivalent entries: %zu\n", res.wait_free_violations,
+              res.bivalent_entries);
+  if (res.status == sim::sim_status::gathered) {
+    std::printf("gathered:   (%g, %g)\n", res.gather_point.x, res.gather_point.y);
+  }
+  return res.status == sim::sim_status::gathered ? 0 : 1;
+}

@@ -1,0 +1,150 @@
+// gather_fuzz -- randomized counterexample search for the main theorem.
+//
+// Samples random instances (size, configuration, scheduler, movement
+// adversary, crash pattern, frames) and checks the full contract on each run:
+//
+//   * gathering succeeds (Theorem 5.1),
+//   * zero wait-freeness violations (Lemma 5.1),
+//   * the bivalent configuration is never entered (Lemmas 5.6/5.7),
+//   * only lawful class transitions occur (Lemmas 5.3-5.9).
+//
+// On a violation the harness *shrinks* the instance -- dropping robots while
+// the failure reproduces -- and prints the minimal configuration in the
+// points-file format, ready for `gather_cli --points`.  Exit code 0 = no
+// counterexample found.
+//
+//   gather_fuzz [iterations] [max_n] [base_seed]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/wait_free_gather.h"
+#include "sim/sim.h"
+#include "workloads/generators.h"
+#include "workloads/io.h"
+
+namespace {
+
+using namespace gather;
+
+struct instance {
+  std::vector<geom::vec2> points;
+  std::size_t scheduler = 0;
+  std::size_t movement = 0;
+  std::size_t crashes = 0;
+  std::uint64_t seed = 0;
+  bool local_frames = false;
+};
+
+struct verdict {
+  bool ok = true;
+  std::string reason;
+};
+
+verdict check(const instance& in) {
+  const core::wait_free_gather algo;
+  auto sched = sim::all_schedulers()[in.scheduler].make();
+  auto move = sim::all_movements()[in.movement].make();
+  auto crash = in.crashes == 0 ? sim::make_no_crash()
+                               : sim::make_random_crashes(in.crashes, 40);
+  sim::sim_options opts;
+  opts.seed = in.seed;
+  opts.check_wait_freeness = true;
+  opts.local_frames = in.local_frames;
+  opts.max_rounds = 100'000;
+  const auto res = sim::simulate(in.points, algo, *sched, *move, *crash, opts);
+
+  const bool started_bivalent =
+      config::classify(config::configuration(in.points)).cls ==
+      config::config_class::bivalent;
+  verdict v;
+  if (started_bivalent) return v;  // unsolvable by design; skip
+  if (res.status != sim::sim_status::gathered) {
+    v.ok = false;
+    v.reason = "status=" + std::string(sim::to_string(res.status));
+  } else if (res.wait_free_violations > 0) {
+    v.ok = false;
+    v.reason = "wait-freeness violated " +
+               std::to_string(res.wait_free_violations) + "x";
+  } else if (res.bivalent_entries > 0) {
+    v.ok = false;
+    v.reason = "entered bivalent configuration";
+  } else if (!sim::transitions_allowed(res.class_history)) {
+    v.ok = false;
+    v.reason = "disallowed class transition";
+  }
+  return v;
+}
+
+/// Greedily drop robots while the failure reproduces.
+instance shrink(instance in, const std::string& original_reason) {
+  bool progress = true;
+  while (progress && in.points.size() > 2) {
+    progress = false;
+    for (std::size_t i = 0; i < in.points.size(); ++i) {
+      instance smaller = in;
+      smaller.points.erase(smaller.points.begin() + i);
+      if (smaller.crashes >= smaller.points.size()) {
+        smaller.crashes = smaller.points.size() - 1;
+      }
+      const verdict v = check(smaller);
+      if (!v.ok && v.reason == original_reason) {
+        in = std::move(smaller);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 200;
+  const std::size_t max_n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 12;
+  const std::uint64_t base_seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  sim::rng meta(base_seed);
+  int failures = 0;
+  for (int it = 0; it < iterations; ++it) {
+    instance in;
+    const std::size_t n = 3 + meta.uniform_int(0, max_n - 3);
+    // Mix generators, including the structured classes.
+    switch (meta.uniform_int(0, 6)) {
+      case 0: in.points = workloads::with_majority(n, 2 + n / 3, meta); break;
+      case 1: in.points = workloads::linear_unique_weber(n, meta); break;
+      case 2: in.points = workloads::linear_two_weber(n, meta); break;
+      case 3: in.points = workloads::axially_symmetric(n, meta); break;
+      case 4: in.points = workloads::clustered(n, 2 + n / 4, 1.0, meta); break;
+      case 5: in.points = workloads::jittered_grid(n, 0.3, meta); break;
+      default: in.points = workloads::uniform_random(n, meta); break;
+    }
+    in.scheduler = meta.uniform_int(0, sim::all_schedulers().size() - 1);
+    in.movement = meta.uniform_int(0, sim::all_movements().size() - 1);
+    in.crashes = meta.uniform_int(0, in.points.size() - 1);
+    in.seed = meta.uniform_int(0, 1'000'000);
+    in.local_frames = meta.flip(0.25);
+
+    const verdict v = check(in);
+    if (v.ok) continue;
+
+    ++failures;
+    const instance minimal = shrink(in, v.reason);
+    std::printf("counterexample #%d: %s\n", failures, v.reason.c_str());
+    std::printf("  scheduler=%s movement=%s crashes=%zu seed=%llu frames=%d\n",
+                std::string(sim::all_schedulers()[minimal.scheduler].name).c_str(),
+                std::string(sim::all_movements()[minimal.movement].name).c_str(),
+                minimal.crashes,
+                static_cast<unsigned long long>(minimal.seed),
+                minimal.local_frames ? 1 : 0);
+    std::printf("  minimal configuration (%zu robots):\n", minimal.points.size());
+    workloads::write_points(std::cout, minimal.points);
+  }
+
+  std::printf("gather_fuzz: %d iterations, %d counterexamples\n", iterations,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
