@@ -17,10 +17,13 @@ int main() {
   using namespace gather;
   const core::wait_free_gather algo;
   const int seeds = 3;
+  runner::thread_pool pool(bench::bench_jobs());
 
   std::printf("E1: Theorem 5.1 -- gathering from every class with f < n crashes\n");
   std::printf("(success over %d seeds x %zu schedulers x %zu movement adversaries)\n\n",
               seeds, sim::all_schedulers().size(), sim::all_movements().size());
+  // Thread count goes to stderr so stdout stays byte-identical across jobs.
+  std::fprintf(stderr, "bench_main_theorem: %zu threads\n", pool.size());
   std::printf("%-20s %4s %5s | %8s %8s %8s | %6s %6s\n", "workload/class", "n",
               "f", "success", "med.rnd", "max.rnd", "wfviol", "biv");
   bench::print_rule(84);
@@ -29,15 +32,20 @@ int main() {
     for (const auto& wl : workloads::corpus(n, 10'000 + n)) {
       const std::size_t wn = wl.points.size();
       for (std::size_t f : {std::size_t{0}, std::size_t{1}, wn / 2, wn - 1}) {
-        bench::cell_stats stats;
-        for (int seed = 0; seed < seeds; ++seed) {
-          for (const auto& sched : sim::all_schedulers()) {
-            for (const auto& move : sim::all_movements()) {
-              stats.add(bench::run_once(wl.points, algo, sched, move, f,
-                                        1000 * n + 17 * seed + f));
-            }
-          }
-        }
+        // One parallel cell over the (seed, scheduler, movement) combos;
+        // run_cell merges in index order, so the table is independent of
+        // the thread count.
+        const auto& scheds = sim::all_schedulers();
+        const auto& moves = sim::all_movements();
+        const std::size_t combos = seeds * scheds.size() * moves.size();
+        auto stats =
+            bench::run_cell(pool, combos, [&](std::size_t i) {
+              const std::size_t seed = i / (scheds.size() * moves.size());
+              const std::size_t rest = i % (scheds.size() * moves.size());
+              return bench::run_once(wl.points, algo, scheds[rest / moves.size()],
+                                     moves[rest % moves.size()], f,
+                                     1000 * n + 17 * seed + f);
+            });
         const auto cls = config::classify(config::configuration(wl.points)).cls;
         std::printf("%-14s (%3s) %4zu %5zu | %7.0f%% %8zu %8zu | %6zu %6zu\n",
                     wl.name.c_str(), std::string(config::to_string(cls)).c_str(),

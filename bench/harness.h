@@ -7,10 +7,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/algorithm.h"
+#include "runner/thread_pool.h"
 #include "sim/sim.h"
 
 namespace gather::bench {
@@ -74,6 +76,32 @@ inline sim::sim_result run_once(const std::vector<geom::vec2>& pts,
 inline void print_rule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Worker threads for bench sweeps: GATHER_BENCH_JOBS env var when set,
+/// otherwise one per hardware thread.  GATHER_BENCH_JOBS=1 reproduces the
+/// historical serial execution exactly.
+inline std::size_t bench_jobs() {
+  if (const char* env = std::getenv("GATHER_BENCH_JOBS")) {
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return runner::thread_pool::default_jobs();
+}
+
+/// Run `count` independent seeded simulations across the pool and merge
+/// them into cell_stats *in index order*, so every table is identical for
+/// every jobs value.  `run(i)` must be a pure function of i (derive seeds
+/// from i; never draw them from shared state).
+template <typename RunIndex>
+cell_stats run_cell(runner::thread_pool& pool, std::size_t count,
+                    const RunIndex& run) {
+  std::vector<sim::sim_result> results(count);
+  pool.parallel_for(count,
+                    [&](std::size_t i) { results[i] = run(i); });
+  cell_stats stats;
+  for (const auto& r : results) stats.add(r);
+  return stats;
 }
 
 }  // namespace gather::bench

@@ -1,0 +1,159 @@
+#include "runner/campaign.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/wait_free_gather.h"
+#include "runner/params.h"
+#include "runner/thread_pool.h"
+#include "sim/analysis.h"
+
+namespace gather::runner {
+
+std::vector<run_spec> expand(const grid& g) {
+  if (g.workloads.empty() || g.ns.empty() || g.fs.empty() ||
+      g.schedulers.empty() || g.movements.empty() || g.deltas.empty()) {
+    throw std::invalid_argument("every grid axis needs at least one value");
+  }
+  if (g.repeats < 1) {
+    throw std::invalid_argument("repeats must be >= 1");
+  }
+  // Validate names up front so no worker fails mid-sweep on a typo.
+  sim::rng probe(1);
+  for (const auto& w : g.workloads) (void)build_workload(w, 4, probe);
+  for (const auto& s : g.schedulers) (void)scheduler_by_name(s);
+  for (const auto& m : g.movements) (void)movement_by_name(m);
+
+  std::vector<run_spec> specs;
+  std::size_t index = 0;
+  for (const auto& w : g.workloads) {
+    for (std::size_t n : g.ns) {
+      for (std::size_t f : g.fs) {
+        if (f >= n) continue;
+        for (const auto& s : g.schedulers) {
+          for (const auto& m : g.movements) {
+            for (double delta : g.deltas) {
+              for (int rep = 0; rep < g.repeats; ++rep) {
+                run_spec spec;
+                spec.workload = w;
+                spec.n = n;
+                spec.f = f;
+                spec.scheduler = s;
+                spec.movement = m;
+                spec.delta = delta;
+                spec.repeat = rep;
+                spec.index = index;
+                spec.seed = derive_seed(g.base_seed, index);
+                specs.push_back(std::move(spec));
+                ++index;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+run_result execute_one(const run_spec& spec, const grid& g) {
+  const core::wait_free_gather algo;
+  sim::rng workload_rng(spec.seed);
+  const auto pts = build_workload(spec.workload, spec.n, workload_rng);
+  auto sched = scheduler_by_name(spec.scheduler);
+  auto move = movement_by_name(spec.movement);
+  auto crash = spec.f == 0 ? sim::make_no_crash()
+                           : sim::make_random_crashes(spec.f, g.crash_horizon);
+
+  sim::sim_options opts;
+  opts.seed = spec.seed;
+  opts.delta_fraction = spec.delta;
+  opts.check_wait_freeness = g.check_wait_freeness;
+  opts.max_rounds = g.max_rounds;
+  opts.record_trace = true;  // needed by check_potentials; dropped below
+
+  const auto res = sim::simulate(pts, algo, *sched, *move, *crash, opts);
+  const auto pot = sim::check_potentials(res);
+
+  run_result out;
+  out.spec = spec;
+  out.n = pts.size();
+  out.status = res.status;
+  out.rounds = res.rounds;
+  out.crashes = res.crashes;
+  out.wait_free_violations = res.wait_free_violations;
+  out.bivalent_entries = res.bivalent_entries;
+  out.first_multiplicity_round = pot.first_multiplicity_round;
+  out.phase_count = pot.phase_count;
+  return out;
+}
+
+std::vector<run_result> run_campaign(const grid& g,
+                                     const campaign_options& options) {
+  const auto specs = expand(g);
+  std::vector<run_result> results(specs.size());
+  if (specs.empty()) return results;
+
+  const std::size_t stride =
+      options.progress_stride == 0 ? 1 : options.progress_stride;
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failures{0};
+  std::mutex progress_mutex;
+  const auto start = std::chrono::steady_clock::now();
+
+  thread_pool pool(options.jobs);
+  pool.parallel_for(specs.size(), [&](std::size_t i) {
+    results[i] = execute_one(specs[i], g);
+    if (results[i].status != sim::sim_status::gathered) {
+      failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::size_t done = completed.fetch_add(1) + 1;
+    if (options.on_progress && (done % stride == 0 || done == specs.size())) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      progress p;
+      p.completed = done;
+      p.total = specs.size();
+      p.failures = failures.load(std::memory_order_relaxed);
+      p.runs_per_sec = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+      p.eta_seconds = p.runs_per_sec > 0.0
+                          ? static_cast<double>(specs.size() - done) /
+                                p.runs_per_sec
+                          : 0.0;
+      options.on_progress(p);
+    }
+  });
+  return results;
+}
+
+std::string csv_header() {
+  return "workload,n,f,scheduler,movement,delta,seed,status,rounds,crashes,"
+         "wait_free_violations,bivalent_entries,first_mult_round,phases";
+}
+
+std::string csv_row(const run_result& r) {
+  char buf[512];
+  int len = std::snprintf(
+      buf, sizeof buf, "%s,%zu,%zu,%s,%s,%g,%llu,%s,%zu,%zu,%zu,%zu,",
+      r.spec.workload.c_str(), r.n, r.spec.f, r.spec.scheduler.c_str(),
+      r.spec.movement.c_str(), r.spec.delta,
+      static_cast<unsigned long long>(r.spec.seed),
+      std::string(sim::to_string(r.status)).c_str(), r.rounds, r.crashes,
+      r.wait_free_violations, r.bivalent_entries);
+  std::string row(buf, static_cast<std::size_t>(len));
+  if (r.first_multiplicity_round != static_cast<std::size_t>(-1)) {
+    len = std::snprintf(buf, sizeof buf, "%zu", r.first_multiplicity_round);
+    row.append(buf, static_cast<std::size_t>(len));
+  }
+  len = std::snprintf(buf, sizeof buf, ",%zu", r.phase_count);
+  row.append(buf, static_cast<std::size_t>(len));
+  return row;
+}
+
+}  // namespace gather::runner

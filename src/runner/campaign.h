@@ -1,0 +1,121 @@
+// Batch campaign execution: expand a parameter grid into independent run
+// specs, execute them across a thread pool, merge results in submission
+// order.
+//
+// Determinism contract (see docs/RUNNER.md):
+//
+//   * expand() assigns every cell a stable index (its position in the
+//     canonical loop nest workloads > n > f > schedulers > movements >
+//     deltas > repeats, skipping f >= n) and a seed derived purely from
+//     (base_seed, index) via splitmix64 -- no shared-state RNG draws.
+//   * execute_one() is a pure function of (spec, grid): it builds its own
+//     workload, scheduler, movement adversary and crash policy from the
+//     spec's seed.
+//   * run_campaign() writes results by index, so the result vector -- and
+//     any CSV rendered from it -- is byte-identical for every jobs value,
+//     including jobs == 1 (strictly serial execution).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace gather::runner {
+
+/// SplitMix64 finalizer -- the standard 64-bit bijective mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-run seed: a pure hash of (base_seed, cell index).  Streams for
+/// distinct indices are statistically independent, unlike the arithmetic
+/// progressions (base + k*i) that seed correlated mt19937_64 states.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base_seed,
+                                                  std::uint64_t index) {
+  return splitmix64(splitmix64(base_seed) ^ splitmix64(index));
+}
+
+/// One fully-specified simulation cell.
+struct run_spec {
+  std::string workload;
+  std::size_t n = 0;  ///< requested size (generators may adjust, see result)
+  std::size_t f = 0;
+  std::string scheduler;
+  std::string movement;
+  double delta = 0.05;
+  int repeat = 0;            ///< repeat number within the cell, [0, repeats)
+  std::size_t index = 0;     ///< position in the expanded grid
+  std::uint64_t seed = 0;    ///< derive_seed(base_seed, index)
+};
+
+/// The parameter grid a campaign sweeps.
+struct grid {
+  std::vector<std::string> workloads = {"uniform"};
+  std::vector<std::size_t> ns = {8};
+  std::vector<std::size_t> fs = {0};
+  std::vector<std::string> schedulers = {"fair-random"};
+  std::vector<std::string> movements = {"random-stop"};
+  std::vector<double> deltas = {0.05};
+  int repeats = 3;
+  std::uint64_t base_seed = 1;
+  // Simulation knobs shared by every cell.
+  std::size_t max_rounds = 50'000;
+  std::size_t crash_horizon = 40;
+  bool check_wait_freeness = true;
+};
+
+/// Validate the grid and expand it into run specs in canonical order.
+/// Throws std::invalid_argument on unknown names, empty axes or repeats < 1.
+[[nodiscard]] std::vector<run_spec> expand(const grid& g);
+
+/// Outcome of one executed cell (trace-derived analytics included; the
+/// trace itself is dropped so campaigns stay O(cells) in memory).
+struct run_result {
+  run_spec spec;
+  std::size_t n = 0;  ///< actual instance size (pts.size())
+  sim::sim_status status = sim::sim_status::round_limit;
+  std::size_t rounds = 0;
+  std::size_t crashes = 0;
+  std::size_t wait_free_violations = 0;
+  std::size_t bivalent_entries = 0;
+  std::size_t first_multiplicity_round = static_cast<std::size_t>(-1);
+  std::size_t phase_count = 0;
+};
+
+/// Execute one cell: pure function of (spec, grid).
+[[nodiscard]] run_result execute_one(const run_spec& spec, const grid& g);
+
+/// Progress snapshot handed to the observer callback.
+struct progress {
+  std::size_t completed = 0;
+  std::size_t total = 0;
+  std::size_t failures = 0;  ///< runs that did not reach `gathered`
+  double runs_per_sec = 0.0;
+  double eta_seconds = 0.0;
+};
+
+struct campaign_options {
+  std::size_t jobs = 0;  ///< 0 = one per hardware thread; 1 = serial
+  /// Invoked (serialized, from worker threads) every `progress_stride`
+  /// completions and at the end.  Keep it cheap.
+  std::function<void(const progress&)> on_progress;
+  std::size_t progress_stride = 64;
+};
+
+/// Expand and execute the whole grid.  Results are in expansion order
+/// regardless of jobs.
+[[nodiscard]] std::vector<run_result> run_campaign(
+    const grid& g, const campaign_options& options = {});
+
+/// The CSV header / row format emitted by gather_campaign (kept in the
+/// library so tests can pin the byte format).
+[[nodiscard]] std::string csv_header();
+[[nodiscard]] std::string csv_row(const run_result& r);
+
+}  // namespace gather::runner

@@ -1,0 +1,114 @@
+#include "runner/params.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "workloads/generators.h"
+
+namespace gather::runner {
+
+std::vector<std::string> split_csv_strict(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (cur.empty()) {
+      throw std::invalid_argument("empty token in list '" + s + "'");
+    }
+    if (std::find(out.begin(), out.end(), cur) != out.end()) {
+      throw std::invalid_argument("duplicate token '" + cur + "' in list '" +
+                                  s + "'");
+    }
+    out.push_back(cur);
+    cur.clear();
+  };
+  for (char ch : s) {
+    if (ch == ',') {
+      flush();
+    } else {
+      cur += ch;
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<std::size_t> parse_size_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  for (const auto& tok : split_csv_strict(s)) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (tok.empty() || tok.front() == '-' || end != tok.c_str() + tok.size()) {
+      throw std::invalid_argument("not a non-negative integer: '" + tok + "'");
+    }
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& s) {
+  std::vector<double> out;
+  for (const auto& tok : split_csv_strict(s)) {
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end != tok.c_str() + tok.size()) {
+      throw std::invalid_argument("not a number: '" + tok + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {
+      "uniform",   "majority",  "linear-1w", "linear-2w", "polygon",
+      "rings",     "biangular", "qr-center", "axial",     "grid",
+      "clustered"};
+  return names;
+}
+
+std::vector<geom::vec2> build_workload(const std::string& name, std::size_t n,
+                                       sim::rng& random) {
+  if (name == "uniform") return workloads::uniform_random(n, random);
+  if (name == "majority") {
+    return workloads::with_majority(n, std::max<std::size_t>(2, n / 3), random);
+  }
+  if (name == "linear-1w") return workloads::linear_unique_weber(n, random);
+  if (name == "linear-2w") return workloads::linear_two_weber(n, random);
+  if (name == "polygon") return workloads::regular_polygon(n);
+  if (name == "rings") {
+    return workloads::symmetric_rings(std::max<std::size_t>(3, n / 2), 2,
+                                      random);
+  }
+  if (name == "biangular") {
+    return workloads::biangular(std::max<std::size_t>(2, n / 2), 0.4, random);
+  }
+  if (name == "qr-center") {
+    return workloads::quasi_regular_with_center(n, 1, random);
+  }
+  if (name == "axial") return workloads::axially_symmetric(n, random);
+  if (name == "grid") return workloads::jittered_grid(n, 0.2, random);
+  if (name == "clustered") {
+    return workloads::clustered(n, std::max<std::size_t>(2, n / 4), 1.0,
+                                random);
+  }
+  throw std::invalid_argument("unknown workload: '" + name + "'");
+}
+
+std::unique_ptr<sim::activation_scheduler> scheduler_by_name(
+    const std::string& name) {
+  for (const auto& s : sim::all_schedulers()) {
+    if (s.name == name) return s.make();
+  }
+  throw std::invalid_argument("unknown scheduler: '" + name + "'");
+}
+
+std::unique_ptr<sim::movement_adversary> movement_by_name(
+    const std::string& name) {
+  for (const auto& m : sim::all_movements()) {
+    if (m.name == name) return m.make();
+  }
+  throw std::invalid_argument("unknown movement adversary: '" + name + "'");
+}
+
+}  // namespace gather::runner

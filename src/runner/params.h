@@ -1,0 +1,50 @@
+// Shared parameter parsing and by-name component lookup for the sweep tools
+// (gather_campaign, gather_fuzz) and the campaign layer.
+//
+// Every helper is strict: malformed input raises std::invalid_argument with
+// a message naming the offending token, instead of silently dropping or
+// truncating it.  The tools catch and report; the library layers validate a
+// grid up front so no worker thread can fail half-way through a sweep on a
+// typo.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/vec2.h"
+#include "sim/movement.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+
+namespace gather::runner {
+
+/// Split a comma-separated list.  Throws std::invalid_argument on an empty
+/// token (leading/trailing/double comma, or an empty input) and on a
+/// duplicate token.
+[[nodiscard]] std::vector<std::string> split_csv_strict(const std::string& s);
+
+/// split_csv_strict + full-token unsigned parse ("8x" is an error).
+[[nodiscard]] std::vector<std::size_t> parse_size_list(const std::string& s);
+
+/// split_csv_strict + full-token double parse.
+[[nodiscard]] std::vector<double> parse_double_list(const std::string& s);
+
+/// The workload generator names the sweep tools accept (`all` expands to
+/// this list).
+[[nodiscard]] const std::vector<std::string>& workload_names();
+
+/// Instantiate a named workload at size n, drawing from `random`.
+/// Throws std::invalid_argument on an unknown name.
+[[nodiscard]] std::vector<geom::vec2> build_workload(const std::string& name,
+                                                     std::size_t n,
+                                                     sim::rng& random);
+
+/// Factory lookups over sim::all_schedulers() / sim::all_movements().
+/// Throw std::invalid_argument on an unknown name.
+[[nodiscard]] std::unique_ptr<sim::activation_scheduler> scheduler_by_name(
+    const std::string& name);
+[[nodiscard]] std::unique_ptr<sim::movement_adversary> movement_by_name(
+    const std::string& name);
+
+}  // namespace gather::runner

@@ -1,0 +1,8 @@
+// Umbrella header for the batch execution subsystem (system S8: the
+// campaign runner -- see docs/RUNNER.md).
+#pragma once
+
+#include "runner/campaign.h"
+#include "runner/params.h"
+#include "runner/summary.h"
+#include "runner/thread_pool.h"

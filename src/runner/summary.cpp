@@ -1,0 +1,113 @@
+#include "runner/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace gather::runner {
+
+std::size_t round_quantile(std::vector<std::size_t> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
+}
+
+namespace {
+
+struct cell_accum {
+  cell_summary summary;
+  std::vector<std::size_t> gathered_rounds;
+};
+
+std::string cell_key(const run_spec& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%s|%zu|%zu|%s|%s|%.17g", s.workload.c_str(),
+                s.n, s.f, s.scheduler.c_str(), s.movement.c_str(), s.delta);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<cell_summary> summarize(const std::vector<run_result>& results) {
+  std::vector<cell_accum> cells;
+  std::map<std::string, std::size_t> index_of;
+  for (const auto& r : results) {
+    const std::string key = cell_key(r.spec);
+    auto [it, inserted] = index_of.emplace(key, cells.size());
+    if (inserted) {
+      cells.emplace_back();
+      auto& s = cells.back().summary;
+      s.workload = r.spec.workload;
+      s.n = r.n;
+      s.f = r.spec.f;
+      s.scheduler = r.spec.scheduler;
+      s.movement = r.spec.movement;
+      s.delta = r.spec.delta;
+    }
+    auto& cell = cells[it->second];
+    auto& s = cell.summary;
+    ++s.runs;
+    s.wait_free_violations += r.wait_free_violations;
+    s.bivalent_entries += r.bivalent_entries;
+    s.crashes += r.crashes;
+    if (r.status == sim::sim_status::gathered) {
+      ++s.gathered;
+      cell.gathered_rounds.push_back(r.rounds);
+    } else if (r.status == sim::sim_status::stalled ||
+               r.status == sim::sim_status::round_limit) {
+      ++s.stalled;
+    }
+  }
+
+  std::vector<cell_summary> out;
+  out.reserve(cells.size());
+  for (auto& cell : cells) {
+    auto& s = cell.summary;
+    s.median_rounds = round_quantile(cell.gathered_rounds, 0.5);
+    s.p90_rounds = round_quantile(cell.gathered_rounds, 0.9);
+    s.max_rounds = cell.gathered_rounds.empty()
+                       ? 0
+                       : *std::max_element(cell.gathered_rounds.begin(),
+                                           cell.gathered_rounds.end());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+campaign_totals overall(const std::vector<run_result>& results) {
+  campaign_totals t;
+  for (const auto& r : results) {
+    ++t.runs;
+    if (r.status == sim::sim_status::gathered) {
+      ++t.gathered;
+    } else {
+      ++t.failures;
+    }
+    t.wait_free_violations += r.wait_free_violations;
+    t.bivalent_entries += r.bivalent_entries;
+  }
+  return t;
+}
+
+std::string summary_csv_header() {
+  return "workload,n,f,scheduler,movement,delta,runs,success_rate,"
+         "median_rounds,p90_rounds,max_rounds,wait_free_violations,"
+         "bivalent_entries,crashes";
+}
+
+std::string summary_csv_row(const cell_summary& c) {
+  char buf[512];
+  const int len = std::snprintf(
+      buf, sizeof buf, "%s,%zu,%zu,%s,%s,%g,%zu,%.4f,%zu,%zu,%zu,%zu,%zu,%zu",
+      c.workload.c_str(), c.n, c.f, c.scheduler.c_str(), c.movement.c_str(),
+      c.delta, c.runs, c.success_rate(), c.median_rounds, c.p90_rounds,
+      c.max_rounds, c.wait_free_violations, c.bivalent_entries, c.crashes);
+  return std::string(buf, static_cast<std::size_t>(len));
+}
+
+}  // namespace gather::runner

@@ -1,0 +1,66 @@
+// Aggregation over campaign results: per-cell statistics (success rate,
+// round quantiles, violation counters) and whole-campaign totals.
+//
+// A "cell" is the spec minus (repeat, seed): all repeats of one
+// (workload, n, f, scheduler, movement, delta) point aggregate together.
+// Cells are emitted in first-seen (i.e. expansion) order, so summaries are
+// as deterministic as the results they are computed from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runner/campaign.h"
+
+namespace gather::runner {
+
+/// Nearest-rank quantile of an unsorted sample: the smallest element with
+/// at least ceil(q * N) elements <= it.  Returns 0 on an empty sample.
+[[nodiscard]] std::size_t round_quantile(std::vector<std::size_t> values,
+                                         double q);
+
+struct cell_summary {
+  // Cell key.
+  std::string workload;
+  std::size_t n = 0;
+  std::size_t f = 0;
+  std::string scheduler;
+  std::string movement;
+  double delta = 0.05;
+  // Aggregates.
+  std::size_t runs = 0;
+  std::size_t gathered = 0;
+  std::size_t stalled = 0;  ///< stalled or round-limit runs
+  std::size_t wait_free_violations = 0;
+  std::size_t bivalent_entries = 0;
+  std::size_t crashes = 0;
+  std::size_t median_rounds = 0;  ///< over gathered runs (nearest rank)
+  std::size_t p90_rounds = 0;     ///< over gathered runs (nearest rank)
+  std::size_t max_rounds = 0;     ///< over gathered runs
+
+  [[nodiscard]] double success_rate() const {
+    return runs == 0 ? 0.0
+                     : static_cast<double>(gathered) / static_cast<double>(runs);
+  }
+};
+
+/// Group results by cell key, in first-seen order.
+[[nodiscard]] std::vector<cell_summary> summarize(
+    const std::vector<run_result>& results);
+
+/// Whole-campaign counters.
+struct campaign_totals {
+  std::size_t runs = 0;
+  std::size_t gathered = 0;
+  std::size_t failures = 0;  ///< runs that did not reach `gathered`
+  std::size_t wait_free_violations = 0;
+  std::size_t bivalent_entries = 0;
+};
+
+[[nodiscard]] campaign_totals overall(const std::vector<run_result>& results);
+
+/// CSV rendering of the per-cell summary (used by gather_campaign --summary).
+[[nodiscard]] std::string summary_csv_header();
+[[nodiscard]] std::string summary_csv_row(const cell_summary& c);
+
+}  // namespace gather::runner

@@ -1,0 +1,86 @@
+#include "runner/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace gather::runner {
+
+std::size_t thread_pool::default_jobs() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+thread_pool::thread_pool(std::size_t jobs) {
+  const std::size_t n = jobs == 0 ? default_jobs() : jobs;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> thread_pool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions are captured into the task's future
+  }
+}
+
+void thread_pool::parallel_for(std::size_t count,
+                               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || abort.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t lanes = std::min(size(), count);
+  std::vector<std::future<void>> done;
+  done.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) done.push_back(submit(drain));
+  for (auto& fut : done) fut.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gather::runner

@@ -1,0 +1,70 @@
+// Fixed-size thread pool for batch simulation (system S8: the runner).
+//
+// The pool owns `jobs` worker threads for its whole lifetime.  Two entry
+// points:
+//
+//   * submit(task)       -- queue one task; the returned future reports
+//                           completion and propagates any exception thrown
+//                           by the task.
+//   * parallel_for(n,fn) -- run fn(0), ..., fn(n-1) across the pool and
+//                           block until all are done.  Indices are handed
+//                           out through a single atomic ticket counter, so
+//                           work distribution involves no locks and -- more
+//                           importantly -- no shared mutable state that
+//                           could make results depend on scheduling.  The
+//                           caller owns result placement by index, which is
+//                           how the campaign layer guarantees output that is
+//                           byte-identical for every jobs value.
+//
+// With jobs == 1 the single worker consumes tickets in order, reproducing
+// strictly serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gather::runner {
+
+class thread_pool {
+ public:
+  /// Spawns `jobs` workers; 0 means one per hardware thread.
+  explicit thread_pool(std::size_t jobs = 0);
+
+  /// Drains every already-submitted task, then joins the workers.
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Queue one task.  The future becomes ready when the task finishes and
+  /// rethrows from get() anything the task threw.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, count) across the pool; blocks until done.
+  /// The first exception thrown by any fn(i) aborts the remaining indices
+  /// and is rethrown here.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Hardware concurrency with a floor of 1.
+  [[nodiscard]] static std::size_t default_jobs();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gather::runner

@@ -1,0 +1,368 @@
+// Tier-1 coverage for the batch execution subsystem (src/runner/):
+// thread-pool lifecycle, grid expansion, seed derivation, summary math,
+// strict parameter parsing and the CSV byte format.
+//
+// Every suite name starts with "Runner" so the ThreadSanitizer preset can
+// select the whole layer with `ctest --preset tsan` (filter ^Runner).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/runner.h"
+
+namespace gather::runner {
+namespace {
+
+// ---------------------------------------------------------------- thread pool
+
+TEST(RunnerThreadPool, ConstructDestroyIdle) {
+  for (std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    thread_pool pool(jobs);
+    EXPECT_EQ(pool.size(), jobs);
+  }
+}
+
+TEST(RunnerThreadPool, DefaultJobsAtLeastOne) {
+  EXPECT_GE(thread_pool::default_jobs(), 1u);
+  thread_pool pool;  // jobs = 0 means hardware concurrency
+  EXPECT_EQ(pool.size(), thread_pool::default_jobs());
+}
+
+TEST(RunnerThreadPool, SubmitRunsEveryTask) {
+  thread_pool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(RunnerThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    thread_pool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++count;
+      });
+    }
+    // Destroyed while most tasks are still queued.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(RunnerThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  thread_pool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(RunnerThreadPool, ParallelForCoversEveryIndexOnce) {
+  thread_pool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(RunnerThreadPool, ParallelForZeroCountIsNoop) {
+  thread_pool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(RunnerThreadPool, ParallelForSingleJobRunsInOrder) {
+  thread_pool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(50, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(50);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(RunnerThreadPool, ParallelForRethrowsTaskException) {
+  thread_pool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          ++ran;
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool aborts outstanding work and stays usable afterwards.
+  EXPECT_GE(ran.load(), 1);
+  std::atomic<int> after{0};
+  pool.parallel_for(10, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(RunnerThreadPool, ReusableAcrossBatches) {
+  thread_pool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.parallel_for(40, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+// --------------------------------------------------------------------- seeds
+
+TEST(RunnerSeeds, DeriveSeedIsStableAndSpreads) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t s = derive_seed(42, i);
+    EXPECT_EQ(s, derive_seed(42, i));  // pure function
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions on a small range
+  EXPECT_NE(derive_seed(1, 7), derive_seed(2, 7));  // base matters
+}
+
+// ----------------------------------------------------------------- expansion
+
+grid small_grid() {
+  grid g;
+  g.workloads = {"uniform", "majority"};
+  g.ns = {4, 6};
+  g.fs = {0, 5};
+  g.schedulers = {"fair-random", "round-robin"};
+  g.movements = {"random-stop"};
+  g.deltas = {0.05, 0.1};
+  g.repeats = 3;
+  g.base_seed = 9;
+  return g;
+}
+
+TEST(RunnerExpand, CountsSkipInfeasibleCells) {
+  const auto specs = expand(small_grid());
+  // f=5 is infeasible for n=4 (f >= n), so the (n, f) axis contributes
+  // 3 feasible pairs: (4,0), (6,0), (6,5).
+  // 2 workloads * 3 pairs * 2 schedulers * 1 movement * 2 deltas * 3 repeats.
+  EXPECT_EQ(specs.size(), 2u * 3u * 2u * 1u * 2u * 3u);
+}
+
+TEST(RunnerExpand, AssignsIndicesAndHashedSeeds) {
+  const auto g = small_grid();
+  const auto specs = expand(g);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].index, i);
+    EXPECT_EQ(specs[i].seed, derive_seed(g.base_seed, i));
+  }
+  // Canonical loop nest: workloads outermost, repeats innermost.
+  EXPECT_EQ(specs.front().workload, "uniform");
+  EXPECT_EQ(specs.front().repeat, 0);
+  EXPECT_EQ(specs[1].repeat, 1);
+  EXPECT_EQ(specs.back().workload, "majority");
+  EXPECT_EQ(specs.back().f, 5u);
+}
+
+TEST(RunnerExpand, RejectsUnknownNamesAndBadAxes) {
+  auto g = small_grid();
+  g.workloads = {"no-such-workload"};
+  EXPECT_THROW((void)expand(g), std::invalid_argument);
+
+  g = small_grid();
+  g.schedulers = {"no-such-scheduler"};
+  EXPECT_THROW((void)expand(g), std::invalid_argument);
+
+  g = small_grid();
+  g.movements = {"no-such-movement"};
+  EXPECT_THROW((void)expand(g), std::invalid_argument);
+
+  g = small_grid();
+  g.repeats = 0;
+  EXPECT_THROW((void)expand(g), std::invalid_argument);
+
+  g = small_grid();
+  g.ns.clear();
+  EXPECT_THROW((void)expand(g), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ campaign
+
+TEST(RunnerCampaign, ExecutesWholeGridInOrder) {
+  grid g;
+  g.workloads = {"uniform", "majority"};
+  g.ns = {5};
+  g.fs = {0, 2};
+  g.schedulers = {"fair-random"};
+  g.movements = {"random-stop"};
+  g.repeats = 2;
+  campaign_options opts;
+  opts.jobs = 2;
+  const auto results = run_campaign(g, opts);
+  ASSERT_EQ(results.size(), 2u * 2u * 2u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].spec.index, i);
+    EXPECT_EQ(results[i].status, sim::sim_status::gathered) << i;
+    EXPECT_GT(results[i].rounds, 0u) << i;
+    EXPECT_EQ(results[i].wait_free_violations, 0u) << i;
+  }
+}
+
+TEST(RunnerCampaign, ProgressCallbackReportsEveryRunSerially) {
+  grid g;
+  g.workloads = {"uniform"};
+  g.ns = {4};
+  g.fs = {0};
+  g.repeats = 5;
+  campaign_options opts;
+  opts.jobs = 1;  // serial: completions arrive in order
+  opts.progress_stride = 1;
+  std::vector<progress> seen;
+  opts.on_progress = [&](const progress& p) { seen.push_back(p); };
+  const auto results = run_campaign(g, opts);
+  ASSERT_EQ(results.size(), 5u);
+  ASSERT_EQ(seen.size(), 5u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].completed, i + 1);
+    EXPECT_EQ(seen[i].total, 5u);
+    EXPECT_EQ(seen[i].failures, 0u);
+  }
+  EXPECT_GT(seen.back().runs_per_sec, 0.0);
+  EXPECT_EQ(seen.back().eta_seconds, 0.0);
+}
+
+// ------------------------------------------------------------------- summary
+
+run_result make_result(const std::string& workload, std::size_t f,
+                       sim::sim_status status, std::size_t rounds) {
+  run_result r;
+  r.spec.workload = workload;
+  r.spec.n = 8;
+  r.spec.f = f;
+  r.spec.scheduler = "fair-random";
+  r.spec.movement = "random-stop";
+  r.spec.delta = 0.05;
+  r.n = 8;
+  r.status = status;
+  r.rounds = rounds;
+  r.crashes = f;
+  return r;
+}
+
+TEST(RunnerSummary, QuantileIsNearestRank) {
+  EXPECT_EQ(round_quantile({}, 0.5), 0u);
+  EXPECT_EQ(round_quantile({7}, 0.5), 7u);
+  // Sorted sample {1, 2, 3, 4}: median = ceil(0.5*4) = 2nd element,
+  // p90 = ceil(0.9*4) = 4th element.
+  EXPECT_EQ(round_quantile({4, 1, 3, 2}, 0.5), 2u);
+  EXPECT_EQ(round_quantile({4, 1, 3, 2}, 0.9), 4u);
+  EXPECT_EQ(round_quantile({4, 1, 3, 2}, 0.0), 1u);
+  EXPECT_EQ(round_quantile({4, 1, 3, 2}, 1.0), 4u);
+  // {10, 20, 30}: median = ceil(1.5) = 2nd element.
+  EXPECT_EQ(round_quantile({30, 10, 20}, 0.5), 20u);
+}
+
+TEST(RunnerSummary, AggregatesPerCellAgainstHandComputedValues) {
+  // Cell A (uniform, f=0): rounds {10, 30, 20} all gathered.
+  // Cell B (uniform, f=2): one gathered (rounds 40), one stalled.
+  std::vector<run_result> results = {
+      make_result("uniform", 0, sim::sim_status::gathered, 10),
+      make_result("uniform", 0, sim::sim_status::gathered, 30),
+      make_result("uniform", 2, sim::sim_status::gathered, 40),
+      make_result("uniform", 2, sim::sim_status::stalled, 0),
+      make_result("uniform", 0, sim::sim_status::gathered, 20),
+  };
+  results[3].wait_free_violations = 2;
+
+  const auto cells = summarize(results);
+  ASSERT_EQ(cells.size(), 2u);  // grouped, first-seen order
+
+  EXPECT_EQ(cells[0].f, 0u);
+  EXPECT_EQ(cells[0].runs, 3u);
+  EXPECT_EQ(cells[0].gathered, 3u);
+  EXPECT_DOUBLE_EQ(cells[0].success_rate(), 1.0);
+  EXPECT_EQ(cells[0].median_rounds, 20u);
+  EXPECT_EQ(cells[0].p90_rounds, 30u);
+  EXPECT_EQ(cells[0].max_rounds, 30u);
+
+  EXPECT_EQ(cells[1].f, 2u);
+  EXPECT_EQ(cells[1].runs, 2u);
+  EXPECT_EQ(cells[1].gathered, 1u);
+  EXPECT_EQ(cells[1].stalled, 1u);
+  EXPECT_DOUBLE_EQ(cells[1].success_rate(), 0.5);
+  EXPECT_EQ(cells[1].median_rounds, 40u);
+  EXPECT_EQ(cells[1].wait_free_violations, 2u);
+  EXPECT_EQ(cells[1].crashes, 4u);
+
+  const auto totals = overall(results);
+  EXPECT_EQ(totals.runs, 5u);
+  EXPECT_EQ(totals.gathered, 4u);
+  EXPECT_EQ(totals.failures, 1u);
+  EXPECT_EQ(totals.wait_free_violations, 2u);
+}
+
+// -------------------------------------------------------------------- params
+
+TEST(RunnerParams, SplitCsvStrictAcceptsCleanLists) {
+  EXPECT_EQ(split_csv_strict("a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(split_csv_strict("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(RunnerParams, SplitCsvStrictRejectsEmptyAndDuplicateTokens) {
+  EXPECT_THROW((void)split_csv_strict(""), std::invalid_argument);
+  EXPECT_THROW((void)split_csv_strict("a,,b"), std::invalid_argument);
+  EXPECT_THROW((void)split_csv_strict(",a"), std::invalid_argument);
+  EXPECT_THROW((void)split_csv_strict("a,"), std::invalid_argument);
+  EXPECT_THROW((void)split_csv_strict("a,b,a"), std::invalid_argument);
+}
+
+TEST(RunnerParams, NumericListsRejectGarbage) {
+  EXPECT_EQ(parse_size_list("8,16"), (std::vector<std::size_t>{8, 16}));
+  EXPECT_THROW((void)parse_size_list("8,x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size_list("8x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size_list("-3"), std::invalid_argument);
+  EXPECT_EQ(parse_double_list("0.05,0.1"), (std::vector<double>{0.05, 0.1}));
+  EXPECT_THROW((void)parse_double_list("0.05,zz"), std::invalid_argument);
+}
+
+TEST(RunnerParams, LookupsMatchRegistriesAndThrowOnUnknown) {
+  EXPECT_EQ(workload_names().size(), 11u);
+  sim::rng r(3);
+  for (const auto& name : workload_names()) {
+    EXPECT_GE(build_workload(name, 8, r).size(), 3u) << name;
+  }
+  EXPECT_THROW((void)build_workload("nope", 8, r), std::invalid_argument);
+  EXPECT_EQ(scheduler_by_name("fair-random")->name(), "fair-random");
+  EXPECT_THROW((void)scheduler_by_name("nope"), std::invalid_argument);
+  EXPECT_EQ(movement_by_name("random-stop")->name(), "random-stop");
+  EXPECT_THROW((void)movement_by_name("nope"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ csv form
+
+TEST(RunnerCsv, RowFormatIsPinned) {
+  run_result r = make_result("uniform", 2, sim::sim_status::gathered, 17);
+  r.spec.seed = 12345;
+  r.crashes = 2;
+  r.first_multiplicity_round = 5;
+  r.phase_count = 3;
+  EXPECT_EQ(csv_header(),
+            "workload,n,f,scheduler,movement,delta,seed,status,rounds,"
+            "crashes,wait_free_violations,bivalent_entries,first_mult_round,"
+            "phases");
+  EXPECT_EQ(csv_row(r),
+            "uniform,8,2,fair-random,random-stop,0.05,12345,gathered,17,2,0,"
+            "0,5,3");
+  // No multiplicity point ever formed: the field is empty, not 18446744...
+  r.first_multiplicity_round = static_cast<std::size_t>(-1);
+  EXPECT_EQ(csv_row(r),
+            "uniform,8,2,fair-random,random-stop,0.05,12345,gathered,17,2,0,"
+            "0,,3");
+}
+
+}  // namespace
+}  // namespace gather::runner

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <string>
 
 #include "core/wait_free_gather.h"
 #include "sim/sim.h"
@@ -230,6 +232,75 @@ TEST(Engine, ClassHistoryRecorded) {
   const auto res = run_simple({{0, 0}, {0, 0}, {0, 0}, {4, 0}});
   ASSERT_FALSE(res.class_history.empty());
   EXPECT_EQ(res.class_history.front(), config::config_class::multiple);
+}
+
+// ---------------------------------------------------------------------------
+// Seed-stability golden cells.
+//
+// These pin the exact (status, rounds) outcome of the engine + RNG stack for
+// a handful of fixed (workload, n, f, seed) cells, under the same recipe the
+// campaign runner uses (fair-random scheduler, random-stop movement, random
+// crashes over a 40-round horizon, wait-freeness checking on).  If any
+// refactor of the engine, the schedulers, the adversaries, the workload
+// generators or sim::rng changes simulation outcomes, this fails loudly
+// instead of silently invalidating every recorded experiment.  Update the
+// table ONLY for an intentional, documented behavior change.
+
+struct golden_cell {
+  const char* workload;
+  std::size_t n;
+  std::size_t f;
+  std::uint64_t seed;
+  sim_status status;
+  std::size_t rounds;
+};
+
+sim_result run_golden(const golden_cell& cell) {
+  rng workload_rng(cell.seed);
+  std::vector<vec2> pts;
+  const std::string name = cell.workload;
+  if (name == "uniform") {
+    pts = workloads::uniform_random(cell.n, workload_rng);
+  } else if (name == "majority") {
+    pts = workloads::with_majority(
+        cell.n, std::max<std::size_t>(2, cell.n / 3), workload_rng);
+  } else if (name == "linear-1w") {
+    pts = workloads::linear_unique_weber(cell.n, workload_rng);
+  } else if (name == "polygon") {
+    pts = workloads::regular_polygon(cell.n);
+  } else if (name == "grid") {
+    pts = workloads::jittered_grid(cell.n, 0.2, workload_rng);
+  } else {
+    ADD_FAILURE() << "unknown golden workload " << name;
+  }
+  auto sched = make_fair_random();
+  auto move = make_random_stop();
+  auto crash = cell.f == 0 ? make_no_crash() : make_random_crashes(cell.f, 40);
+  sim_options opts;
+  opts.seed = cell.seed;
+  opts.check_wait_freeness = true;
+  return simulate(pts, kAlgo, *sched, *move, *crash, opts);
+}
+
+TEST(Engine, SeedStabilityGolden) {
+  const golden_cell cells[] = {
+      {"uniform", 8, 0, 101, sim_status::gathered, 8},
+      {"uniform", 8, 3, 202, sim_status::gathered, 12},
+      {"majority", 10, 2, 303, sim_status::gathered, 10},
+      {"linear-1w", 7, 0, 404, sim_status::gathered, 13},
+      {"polygon", 6, 5, 505, sim_status::gathered, 13},
+      {"grid", 9, 4, 606, sim_status::gathered, 10},
+  };
+  for (const auto& cell : cells) {
+    SCOPED_TRACE(std::string(cell.workload) + " n=" + std::to_string(cell.n) +
+                 " f=" + std::to_string(cell.f) +
+                 " seed=" + std::to_string(cell.seed));
+    const auto res = run_golden(cell);
+    EXPECT_EQ(res.status, cell.status);
+    EXPECT_EQ(res.rounds, cell.rounds);
+    EXPECT_EQ(res.wait_free_violations, 0u);
+    EXPECT_EQ(res.bivalent_entries, 0u);
+  }
 }
 
 TEST(Metrics, SpreadAndSum) {

@@ -1,86 +1,39 @@
-// gather_campaign -- combinatorial experiment campaigns to CSV.
+// gather_campaign -- combinatorial experiment campaigns to CSV, in parallel.
 //
 // Expands comma-separated parameter lists into a full grid, runs every cell
-// `--repeats` times with distinct seeds, and streams one CSV row per run:
+// `--repeats` times with per-cell hashed seeds across `--jobs` threads
+// (runner library, see docs/RUNNER.md), and prints one CSV row per run:
 //
 //   workload,n,f,scheduler,movement,delta,seed,status,rounds,crashes,
 //   wait_free_violations,bivalent_entries,first_mult_round,phases
 //
+// Output is byte-identical for every --jobs value: seeds are a pure hash of
+// (base seed, cell index) and rows are merged in grid order.
+//
 // Examples:
 //   gather_campaign --workloads uniform,majority --n 6,10 --f 0,2,5 \
 //                   --schedulers fair-random,laggard --repeats 5 > runs.csv
-//   gather_campaign --workloads all --n 8 --f 0 --schedulers all --repeats 2
+//   gather_campaign --workloads all --n 8,16 --f 0,7 --schedulers all \
+//                   --repeats 3 --jobs $(nproc) --progress
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
-#include "core/wait_free_gather.h"
+#include "runner/runner.h"
 #include "sim/sim.h"
-#include "workloads/generators.h"
 
 namespace {
 
 using namespace gather;
 
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::string cur;
-  for (char ch : s) {
-    if (ch == ',') {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-    } else {
-      cur += ch;
-    }
-  }
-  if (!cur.empty()) out.push_back(cur);
-  return out;
-}
-
-const std::vector<std::string>& all_workload_names() {
-  static const std::vector<std::string> names = {
-      "uniform",   "majority", "linear-1w", "linear-2w", "polygon",
-      "rings",     "biangular", "qr-center", "axial",     "grid",
-      "clustered"};
-  return names;
-}
-
-std::vector<geom::vec2> build_workload(const std::string& name, std::size_t n,
-                                       sim::rng& r) {
-  if (name == "uniform") return workloads::uniform_random(n, r);
-  if (name == "majority") {
-    return workloads::with_majority(n, std::max<std::size_t>(2, n / 3), r);
-  }
-  if (name == "linear-1w") return workloads::linear_unique_weber(n, r);
-  if (name == "linear-2w") return workloads::linear_two_weber(n, r);
-  if (name == "polygon") return workloads::regular_polygon(n);
-  if (name == "rings") {
-    return workloads::symmetric_rings(std::max<std::size_t>(3, n / 2), 2, r);
-  }
-  if (name == "biangular") {
-    return workloads::biangular(std::max<std::size_t>(2, n / 2), 0.4, r);
-  }
-  if (name == "qr-center") return workloads::quasi_regular_with_center(n, 1, r);
-  if (name == "axial") return workloads::axially_symmetric(n, r);
-  if (name == "grid") return workloads::jittered_grid(n, 0.2, r);
-  if (name == "clustered") {
-    return workloads::clustered(n, std::max<std::size_t>(2, n / 4), 1.0, r);
-  }
-  std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
-  std::exit(2);
-}
-
 struct args {
-  std::vector<std::string> workloads = {"uniform"};
-  std::vector<std::size_t> ns = {8};
-  std::vector<std::size_t> fs = {0};
-  std::vector<std::string> schedulers = {"fair-random"};
-  std::vector<std::string> movements = {"random-stop"};
-  std::vector<double> deltas = {0.05};
-  int repeats = 3;
-  std::uint64_t base_seed = 1;
+  runner::grid grid;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  bool progress = false;
+  bool summary = false;
   bool help = false;
 };
 
@@ -89,7 +42,10 @@ void usage() {
       "gather_campaign: grid sweeps to CSV\n"
       "  --workloads W1,W2|all   --n N1,N2   --f F1,F2   --repeats R\n"
       "  --schedulers S1,S2|all  --movements M1,M2|all   --deltas D1,D2\n"
-      "  --seed S (base seed)    --help");
+      "  --seed S (base seed)    --jobs N (default: all hardware threads)\n"
+      "  --progress (live runs/sec + ETA to stderr)\n"
+      "  --summary  (per-cell aggregate CSV instead of per-run rows)\n"
+      "  --help");
 }
 
 bool parse(int argc, char** argv, args& a) {
@@ -104,36 +60,48 @@ bool parse(int argc, char** argv, args& a) {
     };
     if (flag == "--workloads") {
       const std::string v = need();
-      a.workloads = (v == "all") ? all_workload_names() : split_csv(v);
+      a.grid.workloads = (v == "all") ? runner::workload_names()
+                                      : runner::split_csv_strict(v);
     } else if (flag == "--n") {
-      a.ns.clear();
-      for (const auto& s : split_csv(need())) a.ns.push_back(std::strtoul(s.c_str(), nullptr, 10));
+      a.grid.ns = runner::parse_size_list(need());
     } else if (flag == "--f") {
-      a.fs.clear();
-      for (const auto& s : split_csv(need())) a.fs.push_back(std::strtoul(s.c_str(), nullptr, 10));
+      a.grid.fs = runner::parse_size_list(need());
     } else if (flag == "--schedulers") {
       const std::string v = need();
-      a.schedulers.clear();
+      a.grid.schedulers.clear();
       if (v == "all") {
-        for (const auto& s : sim::all_schedulers()) a.schedulers.emplace_back(s.name);
+        for (const auto& s : sim::all_schedulers()) {
+          a.grid.schedulers.emplace_back(s.name);
+        }
       } else {
-        a.schedulers = split_csv(v);
+        a.grid.schedulers = runner::split_csv_strict(v);
       }
     } else if (flag == "--movements") {
       const std::string v = need();
-      a.movements.clear();
+      a.grid.movements.clear();
       if (v == "all") {
-        for (const auto& m : sim::all_movements()) a.movements.emplace_back(m.name);
+        for (const auto& m : sim::all_movements()) {
+          a.grid.movements.emplace_back(m.name);
+        }
       } else {
-        a.movements = split_csv(v);
+        a.grid.movements = runner::split_csv_strict(v);
       }
     } else if (flag == "--deltas") {
-      a.deltas.clear();
-      for (const auto& s : split_csv(need())) a.deltas.push_back(std::strtod(s.c_str(), nullptr));
+      a.grid.deltas = runner::parse_double_list(need());
     } else if (flag == "--repeats") {
-      a.repeats = std::atoi(need().c_str());
+      a.grid.repeats = std::atoi(need().c_str());
     } else if (flag == "--seed") {
-      a.base_seed = std::strtoull(need().c_str(), nullptr, 10);
+      a.grid.base_seed = std::strtoull(need().c_str(), nullptr, 10);
+    } else if (flag == "--jobs") {
+      a.jobs = std::strtoul(need().c_str(), nullptr, 10);
+      if (a.jobs == 0) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (flag == "--progress") {
+      a.progress = true;
+    } else if (flag == "--summary") {
+      a.summary = true;
     } else if (flag == "--help" || flag == "-h") {
       a.help = true;
     } else {
@@ -144,79 +112,51 @@ bool parse(int argc, char** argv, args& a) {
   return true;
 }
 
-std::unique_ptr<sim::activation_scheduler> sched_by_name(const std::string& name) {
-  for (const auto& s : sim::all_schedulers()) {
-    if (s.name == name) return s.make();
-  }
-  std::fprintf(stderr, "unknown scheduler: %s\n", name.c_str());
-  std::exit(2);
-}
-
-std::unique_ptr<sim::movement_adversary> move_by_name(const std::string& name) {
-  for (const auto& m : sim::all_movements()) {
-    if (m.name == name) return m.make();
-  }
-  std::fprintf(stderr, "unknown movement: %s\n", name.c_str());
-  std::exit(2);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   args a;
-  if (!parse(argc, argv, a)) return 2;
+  try {
+    if (!parse(argc, argv, a)) return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gather_campaign: %s\n", e.what());
+    return 2;
+  }
   if (a.help) {
     usage();
     return 0;
   }
 
-  const core::wait_free_gather algo;
-  std::printf(
-      "workload,n,f,scheduler,movement,delta,seed,status,rounds,crashes,"
-      "wait_free_violations,bivalent_entries,first_mult_round,phases\n");
+  runner::campaign_options opts;
+  opts.jobs = a.jobs;
+  if (a.progress) {
+    opts.on_progress = [](const runner::progress& p) {
+      std::fprintf(stderr,
+                   "\rcampaign: %zu/%zu runs (%.0f runs/s, eta %.0fs, "
+                   "%zu failures)%s",
+                   p.completed, p.total, p.runs_per_sec, p.eta_seconds,
+                   p.failures, p.completed == p.total ? "\n" : "");
+      std::fflush(stderr);
+    };
+  }
 
-  std::uint64_t seq = 0;
-  for (const auto& wname : a.workloads) {
-    for (std::size_t n : a.ns) {
-      for (std::size_t f : a.fs) {
-        if (f >= n) continue;
-        for (const auto& sname : a.schedulers) {
-          for (const auto& mname : a.movements) {
-            for (double delta : a.deltas) {
-              for (int rep = 0; rep < a.repeats; ++rep) {
-                const std::uint64_t seed = a.base_seed + 7919 * seq++;
-                sim::rng wr(seed);
-                const auto pts = build_workload(wname, n, wr);
-                auto sched = sched_by_name(sname);
-                auto move = move_by_name(mname);
-                auto crash = f == 0 ? sim::make_no_crash()
-                                    : sim::make_random_crashes(f, 40);
-                sim::sim_options opts;
-                opts.seed = seed;
-                opts.delta_fraction = delta;
-                opts.check_wait_freeness = true;
-                opts.record_trace = true;
-                const auto res =
-                    sim::simulate(pts, algo, *sched, *move, *crash, opts);
-                const auto pot = sim::check_potentials(res);
-                std::printf("%s,%zu,%zu,%s,%s,%g,%llu,%s,%zu,%zu,%zu,%zu,",
-                            wname.c_str(), pts.size(), f, sname.c_str(),
-                            mname.c_str(), delta,
-                            static_cast<unsigned long long>(seed),
-                            std::string(sim::to_string(res.status)).c_str(),
-                            res.rounds, res.crashes, res.wait_free_violations,
-                            res.bivalent_entries);
-                if (pot.first_multiplicity_round == static_cast<std::size_t>(-1)) {
-                  std::printf(",");
-                } else {
-                  std::printf("%zu,", pot.first_multiplicity_round);
-                }
-                std::printf("%zu\n", pot.phase_count);
-              }
-            }
-          }
-        }
-      }
+  std::vector<runner::run_result> results;
+  try {
+    results = runner::run_campaign(a.grid, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gather_campaign: %s\n", e.what());
+    return 2;
+  }
+
+  if (a.summary) {
+    std::printf("%s\n", runner::summary_csv_header().c_str());
+    for (const auto& cell : runner::summarize(results)) {
+      std::printf("%s\n", runner::summary_csv_row(cell).c_str());
+    }
+  } else {
+    std::printf("%s\n", runner::csv_header().c_str());
+    for (const auto& r : results) {
+      std::printf("%s\n", runner::csv_row(r).c_str());
     }
   }
   return 0;

@@ -13,16 +13,25 @@
 // points-file format, ready for `gather_cli --points`.  Exit code 0 = no
 // counterexample found.
 //
+// Iterations run across `--jobs` threads (runner library): every iteration's
+// instance is derived from a pure hash of (base seed, iteration index), and
+// reports are printed in iteration order, so output is identical for every
+// jobs value.
+//
 //   gather_fuzz [iterations] [max_n] [base_seed]
+//   gather_fuzz --iterations 500 --max-n 12 --seed 1 --jobs 4 \
+//               --workloads uniform,axial,clustered
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <exception>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/wait_free_gather.h"
+#include "runner/runner.h"
 #include "sim/sim.h"
-#include "workloads/generators.h"
 #include "workloads/io.h"
 
 namespace {
@@ -100,51 +109,145 @@ instance shrink(instance in, const std::string& original_reason) {
   return in;
 }
 
+/// The instance of iteration `it` -- a pure function of (base_seed, it).
+instance make_instance(std::uint64_t base_seed, std::size_t it,
+                       std::size_t max_n,
+                       const std::vector<std::string>& workload_pool) {
+  sim::rng r(runner::derive_seed(base_seed, it));
+  instance in;
+  const std::size_t n = 3 + r.uniform_int(0, max_n - 3);
+  const std::size_t w = r.uniform_int(0, workload_pool.size() - 1);
+  in.points = runner::build_workload(workload_pool[w], n, r);
+  in.scheduler = r.uniform_int(0, sim::all_schedulers().size() - 1);
+  in.movement = r.uniform_int(0, sim::all_movements().size() - 1);
+  in.crashes = r.uniform_int(0, in.points.size() - 1);
+  in.seed = r.uniform_int(0, 1'000'000);
+  in.local_frames = r.flip(0.25);
+  return in;
+}
+
+/// A fully-rendered counterexample report, built in the worker and printed
+/// later in iteration order.
+std::string report(const instance& minimal, const std::string& reason) {
+  std::ostringstream os;
+  os << reason << "\n"
+     << "  scheduler=" << sim::all_schedulers()[minimal.scheduler].name
+     << " movement=" << sim::all_movements()[minimal.movement].name
+     << " crashes=" << minimal.crashes << " seed=" << minimal.seed
+     << " frames=" << (minimal.local_frames ? 1 : 0) << "\n"
+     << "  minimal configuration (" << minimal.points.size() << " robots):\n";
+  workloads::write_points(os, minimal.points);
+  return os.str();
+}
+
+struct args {
+  int iterations = 200;
+  std::size_t max_n = 12;
+  std::uint64_t base_seed = 1;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  // Default pool: the generator mix biased towards the structured classes.
+  std::vector<std::string> workloads = {"majority", "linear-1w", "linear-2w",
+                                        "axial",    "clustered", "grid",
+                                        "uniform"};
+  bool help = false;
+};
+
+void usage() {
+  std::puts(
+      "gather_fuzz: randomized counterexample search\n"
+      "  gather_fuzz [iterations] [max_n] [base_seed]\n"
+      "  --iterations N   --max-n N   --seed S\n"
+      "  --jobs N (default: all hardware threads)\n"
+      "  --workloads W1,W2|all (generator pool)\n"
+      "  --help");
+}
+
+bool parse(int argc, char** argv, args& a) {
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--iterations") {
+      a.iterations = std::atoi(need().c_str());
+    } else if (flag == "--max-n") {
+      a.max_n = std::strtoul(need().c_str(), nullptr, 10);
+    } else if (flag == "--seed") {
+      a.base_seed = std::strtoull(need().c_str(), nullptr, 10);
+    } else if (flag == "--jobs") {
+      a.jobs = std::strtoul(need().c_str(), nullptr, 10);
+      if (a.jobs == 0) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (flag == "--workloads") {
+      const std::string v = need();
+      a.workloads = (v == "all") ? runner::workload_names()
+                                 : runner::split_csv_strict(v);
+    } else if (flag == "--help" || flag == "-h") {
+      a.help = true;
+    } else if (flag.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    } else {
+      // Legacy positional form: [iterations] [max_n] [base_seed].
+      switch (positional++) {
+        case 0: a.iterations = std::atoi(flag.c_str()); break;
+        case 1: a.max_n = std::strtoul(flag.c_str(), nullptr, 10); break;
+        case 2: a.base_seed = std::strtoull(flag.c_str(), nullptr, 10); break;
+        default:
+          std::fprintf(stderr, "too many positional arguments\n");
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int iterations = argc > 1 ? std::atoi(argv[1]) : 200;
-  const std::size_t max_n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 12;
-  const std::uint64_t base_seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
-
-  sim::rng meta(base_seed);
-  int failures = 0;
-  for (int it = 0; it < iterations; ++it) {
-    instance in;
-    const std::size_t n = 3 + meta.uniform_int(0, max_n - 3);
-    // Mix generators, including the structured classes.
-    switch (meta.uniform_int(0, 6)) {
-      case 0: in.points = workloads::with_majority(n, 2 + n / 3, meta); break;
-      case 1: in.points = workloads::linear_unique_weber(n, meta); break;
-      case 2: in.points = workloads::linear_two_weber(n, meta); break;
-      case 3: in.points = workloads::axially_symmetric(n, meta); break;
-      case 4: in.points = workloads::clustered(n, 2 + n / 4, 1.0, meta); break;
-      case 5: in.points = workloads::jittered_grid(n, 0.3, meta); break;
-      default: in.points = workloads::uniform_random(n, meta); break;
+  args a;
+  try {
+    if (!parse(argc, argv, a)) return 2;
+    if (a.help) {
+      usage();
+      return 0;
     }
-    in.scheduler = meta.uniform_int(0, sim::all_schedulers().size() - 1);
-    in.movement = meta.uniform_int(0, sim::all_movements().size() - 1);
-    in.crashes = meta.uniform_int(0, in.points.size() - 1);
-    in.seed = meta.uniform_int(0, 1'000'000);
-    in.local_frames = meta.flip(0.25);
+    if (a.max_n < 3) {
+      std::fprintf(stderr, "--max-n must be >= 3\n");
+      return 2;
+    }
+    // Validate the generator pool up front.
+    sim::rng probe(1);
+    for (const auto& w : a.workloads) (void)runner::build_workload(w, 4, probe);
 
-    const verdict v = check(in);
-    if (v.ok) continue;
+    const std::size_t total =
+        a.iterations > 0 ? static_cast<std::size_t>(a.iterations) : 0;
+    std::vector<std::optional<std::string>> failures(total);
+    runner::thread_pool pool(a.jobs);
+    pool.parallel_for(total, [&](std::size_t it) {
+      const instance in = make_instance(a.base_seed, it, a.max_n, a.workloads);
+      const verdict v = check(in);
+      if (v.ok) return;
+      failures[it] = report(shrink(in, v.reason), v.reason);
+    });
 
-    ++failures;
-    const instance minimal = shrink(in, v.reason);
-    std::printf("counterexample #%d: %s\n", failures, v.reason.c_str());
-    std::printf("  scheduler=%s movement=%s crashes=%zu seed=%llu frames=%d\n",
-                std::string(sim::all_schedulers()[minimal.scheduler].name).c_str(),
-                std::string(sim::all_movements()[minimal.movement].name).c_str(),
-                minimal.crashes,
-                static_cast<unsigned long long>(minimal.seed),
-                minimal.local_frames ? 1 : 0);
-    std::printf("  minimal configuration (%zu robots):\n", minimal.points.size());
-    workloads::write_points(std::cout, minimal.points);
+    int count = 0;
+    for (const auto& f : failures) {
+      if (!f) continue;
+      std::printf("counterexample #%d: %s", ++count, f->c_str());
+    }
+    std::printf("gather_fuzz: %zu iterations, %d counterexamples\n", total,
+                count);
+    return count == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gather_fuzz: %s\n", e.what());
+    return 2;
   }
-
-  std::printf("gather_fuzz: %d iterations, %d counterexamples\n", iterations,
-              failures);
-  return failures == 0 ? 0 : 1;
 }
