@@ -1,0 +1,150 @@
+// Observability overhead microbenchmarks (google-benchmark).
+//
+// The acceptance bar for the obs layer is "free when off": a full engine run
+// with no sink/registry attached must cost the same as before the layer
+// existed, and GATHER_PROF with no active prof_session must be a single
+// thread-local load plus an untaken branch.  These benchmarks pin both the
+// off-path and the on-path costs so regressions show up as numbers, not
+// vibes.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/core.h"
+#include "obs/obs.h"
+#include "sim/sim.h"
+#include "workloads/generators.h"
+
+namespace {
+
+using namespace gather;
+
+sim::sim_spec make_spec(std::vector<geom::vec2>& pts,
+                        const core::gathering_algorithm& algo,
+                        sim::activation_scheduler& sched,
+                        sim::movement_adversary& move,
+                        sim::crash_policy& crash) {
+  sim::sim_spec s;
+  s.initial = pts;
+  s.algorithm = &algo;
+  s.scheduler = &sched;
+  s.movement = &move;
+  s.crash = &crash;
+  s.options.seed = 42;
+  s.options.max_rounds = 5'000;
+  return s;
+}
+
+/// Full ATOM run, no observability attached (the default path).
+void bm_engine_null_observer(benchmark::State& state) {
+  sim::rng r(17);
+  auto pts = workloads::uniform_random(static_cast<std::size_t>(state.range(0)), r);
+  const core::wait_free_gather algo;
+  for (auto _ : state) {
+    auto sched = sim::make_fair_random();
+    auto move = sim::make_full_movement();
+    auto crash = sim::make_no_crash();
+    auto s = make_spec(pts, algo, *sched, *move, *crash);
+    benchmark::DoNotOptimize(sim::run(s).rounds);
+  }
+}
+BENCHMARK(bm_engine_null_observer)->Arg(8)->Arg(32);
+
+/// Same run with JSONL sink + metrics registry + profiler all attached.
+void bm_engine_full_observer(benchmark::State& state) {
+  sim::rng r(17);
+  auto pts = workloads::uniform_random(static_cast<std::size_t>(state.range(0)), r);
+  const core::wait_free_gather algo;
+  for (auto _ : state) {
+    auto sched = sim::make_fair_random();
+    auto move = sim::make_full_movement();
+    auto crash = sim::make_no_crash();
+    std::string trace;
+    obs::jsonl_string_sink sink(&trace);
+    obs::metrics_registry metrics;
+    obs::prof_registry prof;
+    auto s = make_spec(pts, algo, *sched, *move, *crash);
+    s.sink = &sink;
+    s.metrics = &metrics;
+    s.profile = &prof;
+    benchmark::DoNotOptimize(sim::run(s).rounds);
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(bm_engine_full_observer)->Arg(8)->Arg(32);
+
+/// GATHER_PROF with no session: thread-local load + untaken branch.
+void bm_prof_disabled(benchmark::State& state) {
+  for (auto _ : state) {
+    GATHER_PROF("bench.noop");
+    benchmark::DoNotOptimize(obs::current_prof());
+  }
+}
+BENCHMARK(bm_prof_disabled);
+
+/// GATHER_PROF with an active session: two clock reads + map upsert.
+void bm_prof_enabled(benchmark::State& state) {
+  obs::prof_registry prof;
+  obs::prof_session session(&prof);
+  for (auto _ : state) {
+    GATHER_PROF("bench.noop");
+    benchmark::DoNotOptimize(obs::current_prof());
+  }
+}
+BENCHMARK(bm_prof_enabled);
+
+/// Registry counter bump through a cached reference (the engine's pattern).
+void bm_counter_cached_ref(benchmark::State& state) {
+  obs::metrics_registry reg;
+  std::uint64_t& c = reg.counter("bench.counter");
+  for (auto _ : state) {
+    ++c;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(bm_counter_cached_ref);
+
+/// Histogram observe across its bucket range.
+void bm_histogram_observe(benchmark::State& state) {
+  obs::metrics_registry reg;
+  obs::histogram& h = reg.hist("bench.hist", obs::pow2_bounds(10));
+  double v = 1.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v >= 512.0 ? 1.0 : v * 2.0;
+    benchmark::DoNotOptimize(h.count());
+  }
+}
+BENCHMARK(bm_histogram_observe);
+
+/// One event rendered to JSONL (string append path of the sink).
+void bm_event_to_jsonl(benchmark::State& state) {
+  std::string line;
+  const obs::event e = obs::event::move_truncated(3, 42, 5, 1.25, 0.5);
+  for (auto _ : state) {
+    line.clear();
+    obs::append_jsonl(line, e);
+    benchmark::DoNotOptimize(line.size());
+  }
+}
+BENCHMARK(bm_event_to_jsonl);
+
+/// Registry merge of two populated registries (campaign fold path).
+void bm_registry_merge(benchmark::State& state) {
+  obs::metrics_registry a;
+  a.counter("x") = 3;
+  a.gauge("g") = 0.5;
+  a.hist("h", obs::pow2_bounds(8)).observe(17.0);
+  for (auto _ : state) {
+    obs::metrics_registry into;
+    into.merge(a);
+    into.merge(a);
+    benchmark::DoNotOptimize(into.counters().size());
+  }
+}
+BENCHMARK(bm_registry_merge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,27 +3,17 @@
 #include <ostream>
 
 #include "config/regularity.h"
+#include "obs/profile.h"
 #include "config/weber.h"
 
 namespace gather::config {
-
-std::string_view to_string(config_class c) {
-  switch (c) {
-    case config_class::bivalent: return "B";
-    case config_class::multiple: return "M";
-    case config_class::linear_1w: return "L1W";
-    case config_class::linear_2w: return "L2W";
-    case config_class::quasi_regular: return "QR";
-    case config_class::asymmetric: return "A";
-  }
-  return "?";
-}
 
 std::ostream& operator<<(std::ostream& os, config_class c) {
   return os << to_string(c);
 }
 
 classification classify(const configuration& c) {
+  GATHER_PROF("config.classify");
   classification out;
 
   // B: exactly two occupied points, each with multiplicity n/2.

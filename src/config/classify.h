@@ -6,11 +6,14 @@
 // and asymmetric for everything else (where sym(C) = 1 is guaranteed).
 #pragma once
 
+#include <array>
 #include <iosfwd>
 #include <optional>
 #include <string_view>
+#include <utility>
 
 #include "config/configuration.h"
+#include "util/enum_name.h"
 
 namespace gather::config {
 
@@ -23,7 +26,26 @@ enum class config_class {
   asymmetric,     ///< A: everything else; sym(C) = 1
 };
 
-[[nodiscard]] std::string_view to_string(config_class c);
+}  // namespace gather::config
+
+namespace gather {
+template <>
+struct enum_descriptor<config::config_class> {
+  static constexpr std::array<std::pair<config::config_class, std::string_view>, 6>
+      entries{{{config::config_class::bivalent, "B"},
+               {config::config_class::multiple, "M"},
+               {config::config_class::linear_1w, "L1W"},
+               {config::config_class::linear_2w, "L2W"},
+               {config::config_class::quasi_regular, "QR"},
+               {config::config_class::asymmetric, "A"}}};
+};
+}  // namespace gather
+
+namespace gather::config {
+
+[[nodiscard]] constexpr std::string_view to_string(config_class c) {
+  return enum_name(c);
+}
 std::ostream& operator<<(std::ostream& os, config_class c);
 
 /// Classification result: the class and the data the gathering algorithm

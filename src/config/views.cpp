@@ -1,5 +1,7 @@
 #include "config/views.h"
 
+#include "obs/profile.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -61,6 +63,7 @@ int compare_views(const view& a, const view& b, const geom::tol& t) {
 }
 
 view view_of(const configuration& c, vec2 p) {
+  GATHER_PROF("config.views");
   const vec2 center = c.sec().center;
   const geom::tol& t = c.tolerance();
   if (!t.same_point(p, center)) {

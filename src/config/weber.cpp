@@ -1,5 +1,7 @@
 #include "config/weber.h"
 
+#include "obs/profile.h"
+
 #include <algorithm>
 #include <cmath>
 #include <vector>
@@ -69,6 +71,7 @@ std::optional<vec2> small_case_weber(const configuration& c) {
 
 std::optional<vec2> geometric_median_weiszfeld(const configuration& c, int max_iters,
                                                double rel_tol) {
+  GATHER_PROF("config.weber.weiszfeld");
   if (c.empty()) return std::nullopt;
   if (c.is_gathered()) return c.occupied().front().position;
   if (auto exact = small_case_weber(c)) return exact;
@@ -217,6 +220,7 @@ weber_result linear_weber(const configuration& c) {
 }
 
 weber_result weber_point(const configuration& c) {
+  GATHER_PROF("config.weber");
   if (c.is_linear()) return linear_weber(c);
   weber_result res;
   res.unique = true;  // non-linear configurations have a unique Weber point

@@ -1,5 +1,7 @@
 #include "geometry/enclosing_circle.h"
 
+#include "obs/profile.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -56,6 +58,7 @@ circle circle_with_one_boundary(std::span<const vec2> pts, std::size_t end,
 }  // namespace
 
 circle smallest_enclosing_circle(std::span<const vec2> pts, const tol& t) {
+  GATHER_PROF("geom.sec");
   if (pts.empty()) return {};
   // Deterministic incremental construction (Welzl move-to-front without
   // randomization).  Quadratic in the worst case but n is small (robots).

@@ -1,0 +1,144 @@
+#include "obs/events.h"
+
+#include "obs/json.h"
+
+namespace gather::obs {
+
+std::string_view to_string(event_kind k) {
+  switch (k) {
+    case event_kind::round_start: return "round_start";
+    case event_kind::activation: return "activation";
+    case event_kind::move_truncated: return "move_truncated";
+    case event_kind::crash: return "crash";
+    case event_kind::class_transition: return "class_transition";
+    case event_kind::lemma_violation: return "lemma_violation";
+    case event_kind::gathered: return "gathered";
+  }
+  return "?";
+}
+
+event event::round_start(std::uint64_t run, std::uint64_t round,
+                         std::string_view cls, std::uint64_t live) {
+  event e;
+  e.kind = event_kind::round_start;
+  e.run = run;
+  e.round = round;
+  e.cls = cls;
+  e.live = live;
+  return e;
+}
+
+event event::activation(std::uint64_t run, std::uint64_t round,
+                        std::int64_t robot) {
+  event e;
+  e.kind = event_kind::activation;
+  e.run = run;
+  e.round = round;
+  e.robot = robot;
+  return e;
+}
+
+event event::move_truncated(std::uint64_t run, std::uint64_t round,
+                            std::int64_t robot, double want, double got) {
+  event e;
+  e.kind = event_kind::move_truncated;
+  e.run = run;
+  e.round = round;
+  e.robot = robot;
+  e.want = want;
+  e.got = got;
+  return e;
+}
+
+event event::crash(std::uint64_t run, std::uint64_t round, std::int64_t robot) {
+  event e;
+  e.kind = event_kind::crash;
+  e.run = run;
+  e.round = round;
+  e.robot = robot;
+  return e;
+}
+
+event event::class_transition(std::uint64_t run, std::uint64_t round,
+                              std::string_view from, std::string_view to) {
+  event e;
+  e.kind = event_kind::class_transition;
+  e.run = run;
+  e.round = round;
+  e.prev = from;
+  e.cls = to;
+  return e;
+}
+
+event event::lemma_violation(std::uint64_t run, std::uint64_t round,
+                             std::string_view lemma) {
+  event e;
+  e.kind = event_kind::lemma_violation;
+  e.run = run;
+  e.round = round;
+  e.detail = lemma;
+  return e;
+}
+
+event event::gathered(std::uint64_t run, std::uint64_t round, double x,
+                      double y) {
+  event e;
+  e.kind = event_kind::gathered;
+  e.run = run;
+  e.round = round;
+  e.x = x;
+  e.y = y;
+  return e;
+}
+
+void append_jsonl(std::string& out, const event& e) {
+  out += "{\"event\":";
+  json_append_string(out, to_string(e.kind));
+  out += ",\"run\":";
+  json_append_uint(out, e.run);
+  out += ",\"round\":";
+  json_append_uint(out, e.round);
+  switch (e.kind) {
+    case event_kind::round_start:
+      out += ",\"cls\":";
+      json_append_string(out, e.cls);
+      out += ",\"live\":";
+      json_append_uint(out, e.live);
+      break;
+    case event_kind::activation:
+      out += ",\"robot\":";
+      json_append_int(out, e.robot);
+      break;
+    case event_kind::move_truncated:
+      out += ",\"robot\":";
+      json_append_int(out, e.robot);
+      out += ",\"want\":";
+      json_append_double(out, e.want);
+      out += ",\"got\":";
+      json_append_double(out, e.got);
+      break;
+    case event_kind::crash:
+      out += ",\"robot\":";
+      json_append_int(out, e.robot);
+      break;
+    case event_kind::class_transition:
+      out += ",\"from\":";
+      json_append_string(out, e.prev);
+      out += ",\"to\":";
+      json_append_string(out, e.cls);
+      break;
+    case event_kind::lemma_violation:
+      out += ",\"lemma\":";
+      json_append_string(out, e.detail);
+      break;
+    case event_kind::gathered:
+      out += ",\"x\":";
+      json_append_double(out, e.x);
+      out += ",\"y\":";
+      json_append_double(out, e.y);
+      break;
+  }
+  out += '}';
+}
+
+}  // namespace gather::obs

@@ -1,0 +1,105 @@
+// Structured per-round simulation events and the sink interface.
+//
+// The engines narrate a run as a flat stream of typed events (round starts,
+// activations, truncated moves, crashes, class transitions, lemma
+// violations, gathering).  Events reference enum labels as string_views
+// (produced by gather::enum_name at the emission site) so this library has
+// no dependency on the enum definitions.
+//
+// Emission cost model: the engines hold an `event_sink*` that is nullptr by
+// default, and every emission site is guarded by that pointer check -- the
+// "null sink" path is one predictable branch per site, no event object is
+// ever built.  `null_sink` exists for call sites that want a non-null sink
+// object with no effect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gather::obs {
+
+enum class event_kind {
+  round_start,       ///< a simulation round (or async step) begins
+  activation,        ///< a robot performs its Look-Compute-Move cycle
+  move_truncated,    ///< the movement adversary stopped a robot short
+  crash,             ///< a robot crashed (stops acting, stays visible)
+  class_transition,  ///< the configuration class changed between rounds
+  lemma_violation,   ///< an online lemma check failed (see `detail`)
+  gathered,          ///< the GATHERED predicate became true
+};
+
+/// One event.  `run` and `round` are always meaningful; the other fields
+/// depend on the kind (see the factories below and docs/OBSERVABILITY.md).
+struct event {
+  event_kind kind = event_kind::round_start;
+  std::uint64_t run = 0;     ///< run id (campaign cell index; 0 standalone)
+  std::uint64_t round = 0;   ///< round (ATOM) or step (ASYNC)
+  std::int64_t robot = -1;   ///< robot index, when about a single robot
+  std::string_view cls;      ///< configuration class label
+  std::string_view prev;     ///< previous class label (class_transition)
+  std::string_view detail;   ///< violated lemma label (lemma_violation)
+  std::uint64_t live = 0;    ///< live robots (round_start)
+  double want = 0.0;         ///< intended move distance (move_truncated)
+  double got = 0.0;          ///< travelled distance (move_truncated)
+  double x = 0.0, y = 0.0;   ///< gather point (gathered)
+
+  [[nodiscard]] static event round_start(std::uint64_t run, std::uint64_t round,
+                                         std::string_view cls,
+                                         std::uint64_t live);
+  [[nodiscard]] static event activation(std::uint64_t run, std::uint64_t round,
+                                        std::int64_t robot);
+  [[nodiscard]] static event move_truncated(std::uint64_t run,
+                                            std::uint64_t round,
+                                            std::int64_t robot, double want,
+                                            double got);
+  [[nodiscard]] static event crash(std::uint64_t run, std::uint64_t round,
+                                   std::int64_t robot);
+  [[nodiscard]] static event class_transition(std::uint64_t run,
+                                              std::uint64_t round,
+                                              std::string_view from,
+                                              std::string_view to);
+  [[nodiscard]] static event lemma_violation(std::uint64_t run,
+                                             std::uint64_t round,
+                                             std::string_view lemma);
+  [[nodiscard]] static event gathered(std::uint64_t run, std::uint64_t round,
+                                      double x, double y);
+};
+
+/// The canonical label of an event kind (also the JSONL "event" value).
+[[nodiscard]] std::string_view to_string(event_kind k);
+
+class event_sink {
+ public:
+  virtual ~event_sink() = default;
+  virtual void on_event(const event& e) = 0;
+};
+
+/// Swallows everything.
+class null_sink final : public event_sink {
+ public:
+  void on_event(const event&) override {}
+};
+
+/// Render `e` as one JSONL line (no trailing newline): keys in a fixed
+/// per-kind order, "event" first, doubles in shortest round-trip form.
+/// Identical events produce identical bytes.
+void append_jsonl(std::string& out, const event& e);
+
+/// Appends one JSONL line per event to a caller-owned string.  The campaign
+/// runner gives each cell its own buffer and concatenates buffers in cell
+/// index order, which is what makes `--trace-jsonl` output independent of
+/// `--jobs`.
+class jsonl_string_sink final : public event_sink {
+ public:
+  explicit jsonl_string_sink(std::string* out) : out_(out) {}
+  void on_event(const event& e) override {
+    append_jsonl(*out_, e);
+    *out_ += '\n';
+  }
+
+ private:
+  std::string* out_;
+};
+
+}  // namespace gather::obs

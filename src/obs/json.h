@@ -1,0 +1,28 @@
+// Minimal deterministic JSON fragment writers.
+//
+// Every obs output path (JSONL events, metrics dumps) funnels through these
+// helpers so the byte format is defined once: strings escape the JSON
+// control set, doubles use std::to_chars shortest round-trip form (locale
+// independent, no trailing zeros), and non-finite doubles -- invalid JSON --
+// are emitted as null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gather::obs {
+
+/// Append `s` as a quoted, escaped JSON string.
+void json_append_string(std::string& out, std::string_view s);
+
+/// Append an unsigned integer.
+void json_append_uint(std::string& out, std::uint64_t v);
+
+/// Append a signed integer.
+void json_append_int(std::string& out, std::int64_t v);
+
+/// Append a double in shortest round-trip form ("null" for NaN/inf).
+void json_append_double(std::string& out, double v);
+
+}  // namespace gather::obs

@@ -1,0 +1,164 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace gather::obs {
+
+histogram::histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("histogram needs at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "histogram bounds must be strictly increasing");
+    }
+  }
+}
+
+void histogram::observe(double value) {
+  std::size_t b = bounds_.size();  // overflow bucket
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      b = i;
+      break;
+    }
+  }
+  ++counts_[b];
+  ++count_;
+  sum_ += value;
+}
+
+histogram::quantile_bounds_t histogram::quantile_bounds(double q) const {
+  if (count_ == 0) return {};
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      const double lower =
+          i == 0 ? -std::numeric_limits<double>::infinity() : bounds_[i - 1];
+      const double upper = i < bounds_.size()
+                               ? bounds_[i]
+                               : std::numeric_limits<double>::infinity();
+      return {lower, upper};
+    }
+  }
+  return {};  // unreachable: cumulative == count_ >= target by then
+}
+
+void histogram::merge(const histogram& other) {
+  if (other.count_ == 0 && other.bounds_.empty()) return;
+  if (bounds_.empty() && counts_.empty()) {
+    *this = other;
+    return;
+  }
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("cannot merge histograms with different bounds");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::vector<double> pow2_bounds(int n) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  double b = 1.0;
+  for (int i = 0; i < n; ++i, b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::uint64_t& metrics_registry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+double& metrics_registry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+histogram& metrics_registry::hist(const std::string& name,
+                                  const std::vector<double>& upper_bounds) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(name, histogram(upper_bounds)).first;
+  }
+  return it->second;
+}
+
+const std::uint64_t* metrics_registry::find_counter(
+    const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const histogram* metrics_registry::find_histogram(
+    const std::string& name) const {
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+void metrics_registry::merge(const metrics_registry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) {
+    auto [it, inserted] = gauges_.emplace(name, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+  for (const auto& [name, h] : other.hists_) hists_[name].merge(h);
+}
+
+std::string metrics_registry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    json_append_string(out, name);
+    out += ':';
+    json_append_uint(out, value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    json_append_string(out, name);
+    out += ':';
+    json_append_double(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : hists_) {
+    if (!first) out += ',';
+    first = false;
+    json_append_string(out, name);
+    out += ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i != 0) out += ',';
+      json_append_double(out, h.bounds()[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+      if (i != 0) out += ',';
+      json_append_uint(out, h.bucket_counts()[i]);
+    }
+    out += "],\"count\":";
+    json_append_uint(out, h.count());
+    out += ",\"sum\":";
+    json_append_double(out, h.sum());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace gather::obs

@@ -1,0 +1,113 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// Designed for the per-round simulation path: callers resolve a metric to a
+// stable reference once per run (map nodes never move), then update through
+// the reference at O(1) cost.  Registries are value types; `merge` folds one
+// registry into another (counters and histogram buckets add, gauges take the
+// max), is commutative and associative, so a campaign can aggregate per-cell
+// registries in any grouping and -- merged in cell-index order -- produce the
+// same bytes regardless of how many worker threads executed the cells.
+//
+// A registry itself is NOT thread-safe: the intended pattern is one registry
+// per run (or per thread), merged after the fact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gather::obs {
+
+/// Fixed-bucket histogram: counts of observations v with v <= bound, per
+/// bound, plus an implicit +inf overflow bucket, total count and sum.
+class histogram {
+ public:
+  histogram() = default;
+  /// `upper_bounds` must be non-empty and strictly increasing; an overflow
+  /// bucket is appended implicitly.  Throws std::invalid_argument otherwise.
+  explicit histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// The [lower, upper] edges of the bucket holding the nearest-rank
+  /// q-quantile (the smallest bucket with at least ceil(q * count)
+  /// observations at or below its upper edge).  The exact nearest-rank
+  /// quantile of the underlying sample always lies within the returned
+  /// interval.  Lower edge of the first bucket is -infinity, upper edge of
+  /// the overflow bucket is +infinity.  Returns {0, 0} on an empty histogram.
+  struct quantile_bounds_t {
+    double lower = 0.0;
+    double upper = 0.0;
+  };
+  [[nodiscard]] quantile_bounds_t quantile_bounds(double q) const;
+
+  /// Bucket-wise addition.  Throws std::invalid_argument on mismatched
+  /// bounds (merging into a default-constructed histogram adopts `other`).
+  void merge(const histogram& other);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Power-of-two bucket bounds 1, 2, 4, ..., 2^(n-1): the default resolution
+/// for round counts.
+[[nodiscard]] std::vector<double> pow2_bounds(int n);
+
+class metrics_registry {
+ public:
+  /// Monotone counter.  The reference stays valid for the registry's
+  /// lifetime (map nodes are stable).
+  [[nodiscard]] std::uint64_t& counter(const std::string& name);
+  /// Last-write-wins value; merge takes the max (commutative).
+  [[nodiscard]] double& gauge(const std::string& name);
+  /// Histogram with the given bucket bounds; an existing histogram is
+  /// returned as-is (its bounds win).
+  [[nodiscard]] histogram& hist(const std::string& name,
+                                const std::vector<double>& upper_bounds);
+
+  /// Read-only views, in lexicographic name order.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, histogram>& histograms() const {
+    return hists_;
+  }
+  /// Lookup without creation; nullptr when absent.
+  [[nodiscard]] const std::uint64_t* find_counter(const std::string& name) const;
+  [[nodiscard]] const histogram* find_histogram(const std::string& name) const;
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && hists_.empty();
+  }
+
+  /// Fold `other` into this registry: counters and histogram buckets add,
+  /// gauges take the max.
+  void merge(const metrics_registry& other);
+
+  /// One JSON object with keys "counters", "gauges", "histograms", every
+  /// level in lexicographic key order; doubles in shortest round-trip form.
+  /// Deterministic bytes for deterministic contents.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, histogram> hists_;
+};
+
+}  // namespace gather::obs

@@ -1,0 +1,8 @@
+// Umbrella header for the observability layer (metrics, events, profiling).
+#pragma once
+
+#include "obs/events.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
+#include "obs/profile_report.h"

@@ -1,0 +1,128 @@
+// Scoped-timer profiling hooks for the per-snapshot hot paths.
+//
+//   double work() {
+//     GATHER_PROF("classify");
+//     ...
+//   }
+//
+// Disabled by default: a site costs one thread_local pointer load and a
+// predictable branch; no clock is read and nothing allocates.  A caller
+// enables collection for the current thread by installing a `prof_registry`
+// (usually via the RAII `prof_session`); every GATHER_PROF scope entered on
+// that thread until the session ends records its wall time into the
+// registry, bucketed into a power-of-4 nanosecond histogram per site.
+//
+// Header-only and dependency-free on purpose: the instrumented code lives in
+// gather_geometry / gather_config, below gather_obs in the link order.
+// `obs/profile_report.h` (in gather_obs) exports a registry's contents into
+// a metrics_registry for rendering.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace gather::obs {
+
+/// Power-of-4 nanosecond buckets: 64ns, 256ns, ..., ~17ms, +overflow.
+inline constexpr std::size_t prof_bucket_count = 10;
+/// Upper bound of bucket `i`: 64 * 4^i nanoseconds.
+[[nodiscard]] constexpr std::uint64_t prof_bucket_bound(std::size_t i) {
+  return 64ULL << (2 * i);
+}
+
+struct prof_site_stats {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::array<std::uint64_t, prof_bucket_count + 1> buckets{};  // overflow last
+};
+
+/// Accumulates per-site timing stats.  Not thread-safe: install one per
+/// thread (the campaign runner merges per-cell exports afterwards).
+class prof_registry {
+ public:
+  void record(std::string_view site, std::uint64_t ns) {
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      it = sites_.emplace(std::string(site), prof_site_stats{}).first;
+    }
+    prof_site_stats& s = it->second;
+    ++s.calls;
+    s.total_ns += ns;
+    std::size_t b = prof_bucket_count;  // overflow
+    for (std::size_t i = 0; i < prof_bucket_count; ++i) {
+      if (ns <= prof_bucket_bound(i)) {
+        b = i;
+        break;
+      }
+    }
+    ++s.buckets[b];
+  }
+
+  [[nodiscard]] const std::map<std::string, prof_site_stats, std::less<>>&
+  sites() const {
+    return sites_;
+  }
+
+  [[nodiscard]] bool empty() const { return sites_.empty(); }
+
+ private:
+  std::map<std::string, prof_site_stats, std::less<>> sites_;
+};
+
+namespace detail {
+inline thread_local prof_registry* tls_prof = nullptr;
+}  // namespace detail
+
+/// The registry GATHER_PROF records into on this thread (nullptr = off).
+[[nodiscard]] inline prof_registry* current_prof() {
+  return detail::tls_prof;
+}
+
+/// RAII enable/disable of profiling on the current thread.
+class prof_session {
+ public:
+  explicit prof_session(prof_registry* registry) : prev_(detail::tls_prof) {
+    detail::tls_prof = registry;
+  }
+  ~prof_session() { detail::tls_prof = prev_; }
+  prof_session(const prof_session&) = delete;
+  prof_session& operator=(const prof_session&) = delete;
+
+ private:
+  prof_registry* prev_;
+};
+
+/// One timed scope.  Reads the clock only when profiling is enabled.
+class prof_scope {
+ public:
+  explicit prof_scope(const char* site)
+      : site_(site), registry_(detail::tls_prof) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~prof_scope() {
+    if (registry_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    registry_->record(site_, ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+  }
+  prof_scope(const prof_scope&) = delete;
+  prof_scope& operator=(const prof_scope&) = delete;
+
+ private:
+  const char* site_;
+  prof_registry* registry_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace gather::obs
+
+#define GATHER_PROF_CONCAT_INNER(a, b) a##b
+#define GATHER_PROF_CONCAT(a, b) GATHER_PROF_CONCAT_INNER(a, b)
+/// Time the enclosing scope under `site` (a string literal).
+#define GATHER_PROF(site) \
+  ::gather::obs::prof_scope GATHER_PROF_CONCAT(gather_prof_scope_, __LINE__)(site)

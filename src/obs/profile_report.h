@@ -1,0 +1,19 @@
+// Export of prof_registry timings into a metrics_registry.
+//
+// Each profiled site `s` becomes a counter `prof.s.calls`, a counter
+// `prof.s.total_ns`, and a histogram `prof.s.ns` whose bounds are the
+// power-of-4 nanosecond buckets of obs/profile.h -- so per-cell profiles
+// merge across a campaign exactly like every other metric.
+#pragma once
+
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
+
+namespace gather::obs {
+
+void export_profile(const prof_registry& profile, metrics_registry& metrics);
+
+/// Human-readable per-site table (site, calls, total ms, mean us).
+[[nodiscard]] std::string profile_table(const prof_registry& profile);
+
+}  // namespace gather::obs

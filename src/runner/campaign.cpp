@@ -5,8 +5,11 @@
 #include <cstdio>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "core/wait_free_gather.h"
+#include "obs/profile_report.h"
+#include "sim/spec.h"
 #include "runner/params.h"
 #include "runner/thread_pool.h"
 #include "sim/analysis.h"
@@ -59,28 +62,38 @@ std::vector<run_spec> expand(const grid& g) {
   return specs;
 }
 
-run_result execute_one(const run_spec& spec, const grid& g) {
+run_result execute_cell(const run_spec& spec, const grid& g,
+                        const cell_observer& watch) {
   const core::wait_free_gather algo;
   sim::rng workload_rng(spec.seed);
-  const auto pts = build_workload(spec.workload, spec.n, workload_rng);
+  auto pts = build_workload(spec.workload, spec.n, workload_rng);
   auto sched = scheduler_by_name(spec.scheduler);
   auto move = movement_by_name(spec.movement);
   auto crash = spec.f == 0 ? sim::make_no_crash()
                            : sim::make_random_crashes(spec.f, g.crash_horizon);
 
-  sim::sim_options opts;
-  opts.seed = spec.seed;
-  opts.delta_fraction = spec.delta;
-  opts.check_wait_freeness = g.check_wait_freeness;
-  opts.max_rounds = g.max_rounds;
-  opts.record_trace = true;  // needed by check_potentials; dropped below
+  sim::sim_spec s;
+  s.initial = std::move(pts);
+  s.algorithm = &algo;
+  s.scheduler = sched.get();
+  s.movement = move.get();
+  s.crash = crash.get();
+  s.options.seed = spec.seed;
+  s.options.delta_fraction = spec.delta;
+  s.options.check_wait_freeness = g.check_wait_freeness;
+  s.options.max_rounds = g.max_rounds;
+  s.options.record_trace = true;  // needed by check_potentials; dropped below
+  s.sink = watch.sink;
+  s.metrics = watch.metrics;
+  s.profile = watch.profile;
+  s.run_id = spec.index;
 
-  const auto res = sim::simulate(pts, algo, *sched, *move, *crash, opts);
+  const auto res = sim::run(s);
   const auto pot = sim::check_potentials(res);
 
   run_result out;
   out.spec = spec;
-  out.n = pts.size();
+  out.n = res.final_positions.size();
   out.status = res.status;
   out.rounds = res.rounds;
   out.crashes = res.crashes;
@@ -104,9 +117,27 @@ std::vector<run_result> run_campaign(const grid& g,
   std::mutex progress_mutex;
   const auto start = std::chrono::steady_clock::now();
 
+  // Per-cell observability buffers, written independently by the workers and
+  // folded in cell-index order below -- the trace bytes and the merged
+  // registry are therefore the same for every jobs value.
+  const bool capture_trace = options.trace_jsonl != nullptr;
+  const bool capture_metrics = options.metrics != nullptr;
+  std::vector<std::string> cell_traces(capture_trace ? specs.size() : 0);
+  std::vector<obs::metrics_registry> cell_metrics(
+      capture_metrics ? specs.size() : 0);
+
   thread_pool pool(options.jobs);
   pool.parallel_for(specs.size(), [&](std::size_t i) {
-    results[i] = execute_one(specs[i], g);
+    cell_observer watch;
+    obs::jsonl_string_sink sink(capture_trace ? &cell_traces[i] : nullptr);
+    if (capture_trace) watch.sink = &sink;
+    if (capture_metrics) watch.metrics = &cell_metrics[i];
+    obs::prof_registry prof;
+    if (options.profile && capture_metrics) watch.profile = &prof;
+    results[i] = execute_cell(specs[i], g, watch);
+    if (watch.profile != nullptr) {
+      obs::export_profile(prof, cell_metrics[i]);
+    }
     if (results[i].status != sim::sim_status::gathered) {
       failures.fetch_add(1, std::memory_order_relaxed);
     }
@@ -129,6 +160,16 @@ std::vector<run_result> run_campaign(const grid& g,
       options.on_progress(p);
     }
   });
+
+  if (capture_trace) {
+    std::size_t total = 0;
+    for (const auto& t : cell_traces) total += t.size();
+    options.trace_jsonl->reserve(options.trace_jsonl->size() + total);
+    for (const auto& t : cell_traces) *options.trace_jsonl += t;
+  }
+  if (capture_metrics) {
+    for (const auto& m : cell_metrics) options.metrics->merge(m);
+  }
   return results;
 }
 

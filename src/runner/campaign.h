@@ -8,12 +8,15 @@
 //     canonical loop nest workloads > n > f > schedulers > movements >
 //     deltas > repeats, skipping f >= n) and a seed derived purely from
 //     (base_seed, index) via splitmix64 -- no shared-state RNG draws.
-//   * execute_one() is a pure function of (spec, grid): it builds its own
+//   * execute_cell() is a pure function of (spec, grid): it builds its own
 //     workload, scheduler, movement adversary and crash policy from the
 //     spec's seed.
 //   * run_campaign() writes results by index, so the result vector -- and
 //     any CSV rendered from it -- is byte-identical for every jobs value,
-//     including jobs == 1 (strictly serial execution).
+//     including jobs == 1 (strictly serial execution).  The same holds for
+//     the optional JSONL event trace (per-cell buffers concatenated in
+//     index order) and the merged metrics registry (per-cell registries
+//     folded in index order).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.h"
+#include "obs/metrics_registry.h"
+#include "obs/profile.h"
 #include "sim/engine.h"
 
 namespace gather::runner {
@@ -88,8 +94,24 @@ struct run_result {
   std::size_t phase_count = 0;
 };
 
-/// Execute one cell: pure function of (spec, grid).
-[[nodiscard]] run_result execute_one(const run_spec& spec, const grid& g);
+/// Per-cell observability attachments for execute_cell.  The sink receives
+/// the cell's event stream (events are stamped with the cell index as run
+/// id); the registry receives the cell's merged counters; the prof registry
+/// enables GATHER_PROF hot-path timers for the cell's duration.
+struct cell_observer {
+  obs::event_sink* sink = nullptr;
+  obs::metrics_registry* metrics = nullptr;
+  obs::prof_registry* profile = nullptr;
+};
+
+/// Execute one cell: pure function of (spec, grid); `watch` only observes.
+[[nodiscard]] run_result execute_cell(const run_spec& spec, const grid& g,
+                                      const cell_observer& watch = {});
+
+/// Deprecated shim (kept for one PR): execute_cell without observers.
+[[nodiscard]] inline run_result execute_one(const run_spec& spec, const grid& g) {
+  return execute_cell(spec, g);
+}
 
 /// Progress snapshot handed to the observer callback.
 struct progress {
@@ -106,6 +128,16 @@ struct campaign_options {
   /// completions and at the end.  Keep it cheap.
   std::function<void(const progress&)> on_progress;
   std::size_t progress_stride = 64;
+  /// When set, receives one JSONL line per simulation event, all cells
+  /// concatenated in cell-index order -- byte-identical for every jobs
+  /// value.  Costs one in-memory buffer per cell while the campaign runs.
+  std::string* trace_jsonl = nullptr;
+  /// When set, receives every cell's metrics registry, merged in cell-index
+  /// order after all cells complete.
+  obs::metrics_registry* metrics = nullptr;
+  /// Enable GATHER_PROF hot-path timing per cell; the timings land in
+  /// `metrics` as prof.* counters/histograms (no-op when `metrics` is null).
+  bool profile = false;
 };
 
 /// Expand and execute the whole grid.  Results are in expansion order

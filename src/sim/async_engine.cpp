@@ -1,16 +1,17 @@
 #include "sim/async_engine.h"
 
 #include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/events.h"
+#include "obs/metrics_registry.h"
+#include "sim/spec.h"
 
 namespace gather::sim {
 
-std::string_view to_string(async_policy p) {
-  switch (p) {
-    case async_policy::atomic_sequential: return "atomic-sequential";
-    case async_policy::random_interleaving: return "random-interleaving";
-    case async_policy::look_all_move_all: return "look-all-move-all";
-  }
-  return "?";
+std::ostream& operator<<(std::ostream& os, async_policy p) {
+  return os << to_string(p);
 }
 
 namespace {
@@ -19,14 +20,29 @@ enum class phase : std::uint8_t { idle, armed };
 
 }  // namespace
 
+async_engine::async_engine(const sim_spec& spec)
+    : positions_(spec.initial),
+      algo_(spec.algorithm),
+      movement_(spec.movement),
+      crash_(spec.crash),
+      opts_(spec.async),
+      sink_(spec.sink),
+      metrics_(spec.metrics),
+      run_id_(spec.run_id) {
+  if (algo_ == nullptr) throw std::invalid_argument("sim_spec: algorithm unset");
+  if (movement_ == nullptr) throw std::invalid_argument("sim_spec: movement unset");
+  if (crash_ == nullptr) throw std::invalid_argument("sim_spec: crash unset");
+  if (positions_.empty()) throw std::invalid_argument("sim_spec: no robots");
+}
+
 async_engine::async_engine(std::vector<geom::vec2> initial,
                            const core::gathering_algorithm& algo,
                            movement_adversary& movement, crash_policy& crash,
                            async_options opts)
     : positions_(std::move(initial)),
-      algo_(algo),
-      movement_(movement),
-      crash_(crash),
+      algo_(&algo),
+      movement_(&movement),
+      crash_(&crash),
       opts_(opts) {}
 
 async_result async_engine::run() {
@@ -36,8 +52,18 @@ async_result async_engine::run() {
 
   const config::configuration c0(positions_);
   const double delta_abs = std::max(opts_.delta_fraction * c0.diameter(), 1e-12);
+  result.delta_abs = delta_abs;
   const bool initial_bivalent =
       config::classify(c0).cls == config::config_class::bivalent;
+
+  obs::metrics_registry local;
+  std::uint64_t& m_steps = local.counter("async.steps");
+  std::uint64_t& m_cycles = local.counter("async.cycles");
+  std::uint64_t& m_stale = local.counter("async.stale_moves");
+  std::uint64_t& m_crashes = local.counter("async.crashes");
+  std::uint64_t& m_truncated = local.counter("async.moves_truncated");
+  local.counter("async.runs") = 1;
+  local.gauge("async.delta_abs") = delta_abs;
 
   std::vector<phase> phases(n, phase::idle);
   std::vector<geom::vec2> targets(n);
@@ -76,24 +102,39 @@ async_result async_engine::run() {
       }
     }
     if (point == nullptr) return false;
-    return c.tolerance().same_point(algo_.destination({c, *point}), *point);
-  };
-
-  // Advance one robot's phase machine.
-  auto look = [&](std::size_t i, const config::configuration& c) {
-    targets[i] = algo_.destination({c, c.snapped(positions_[i])});
-    snapshot_base[i] = checksum();
-    phases[i] = phase::armed;
-  };
-  auto move = [&](std::size_t i) {
-    const geom::vec2 before = checksum();
-    if (geom::distance(before, snapshot_base[i]) > 1e-9) ++result.stale_moves;
-    positions_[i] = movement_.stop_point(positions_[i], targets[i], delta_abs, random);
-    phases[i] = phase::idle;
-    ++result.cycles;
+    return c.tolerance().same_point(algo_->destination({c, *point}), *point);
   };
 
   std::size_t step = 0;
+
+  // Advance one robot's phase machine.
+  auto look = [&](std::size_t i, const config::configuration& c) {
+    targets[i] = algo_->destination({c, c.snapped(positions_[i])});
+    snapshot_base[i] = checksum();
+    phases[i] = phase::armed;
+    if (sink_ != nullptr) {
+      sink_->on_event(
+          obs::event::activation(run_id_, step, static_cast<std::int64_t>(i)));
+    }
+  };
+  auto move = [&](std::size_t i, const config::configuration& c) {
+    const geom::vec2 before = checksum();
+    if (geom::distance(before, snapshot_base[i]) > 1e-9) ++m_stale;
+    const geom::vec2 from = positions_[i];
+    positions_[i] = movement_->stop_point(from, targets[i], delta_abs, random);
+    if (!c.tolerance().same_point(positions_[i], targets[i])) {
+      ++m_truncated;
+      if (sink_ != nullptr) {
+        sink_->on_event(obs::event::move_truncated(
+            run_id_, step, static_cast<std::int64_t>(i),
+            geom::distance(from, targets[i]),
+            geom::distance(from, positions_[i])));
+      }
+    }
+    phases[i] = phase::idle;
+    ++m_cycles;
+  };
+
   std::size_t la_ma_cursor = 0;  // for look_all_move_all
   bool la_phase_is_look = true;
 
@@ -109,6 +150,10 @@ async_result async_engine::run() {
           break;
         }
       }
+      if (sink_ != nullptr) {
+        sink_->on_event(obs::event::gathered(
+            run_id_, step, result.gather_point.x, result.gather_point.y));
+      }
       break;
     }
 
@@ -116,12 +161,16 @@ async_result async_engine::run() {
     std::size_t live_count =
         static_cast<std::size_t>(std::count(live.begin(), live.end(), std::uint8_t{1}));
     const crash_context cctx{step, positions_, live, nullptr};
-    for (std::size_t idx : crash_.crashes(cctx, random)) {
+    for (std::size_t idx : crash_->crashes(cctx, random)) {
       if (idx >= n || !live[idx]) continue;
       if (live_count <= 1) break;
       live[idx] = 0;
       --live_count;
-      ++result.crashes;
+      ++m_crashes;
+      if (sink_ != nullptr) {
+        sink_->on_event(
+            obs::event::crash(run_id_, step, static_cast<std::int64_t>(idx)));
+      }
     }
     if (live_count == 0) {
       result.status = sim_status::all_crashed;
@@ -181,7 +230,7 @@ async_result async_engine::run() {
     if (phases[pick] == phase::idle) {
       look(pick, c);
     } else {
-      move(pick);
+      move(pick, c);
     }
   }
 
@@ -191,7 +240,22 @@ async_result async_engine::run() {
   if (result.status != sim_status::gathered && initial_bivalent) {
     result.status = sim_status::started_bivalent;
   }
+
+  m_steps = result.steps;
+  result.cycles = m_cycles;
+  result.stale_moves = m_stale;
+  result.crashes = m_crashes;
+  if (result.status == sim_status::gathered) {
+    local.counter("async.gathered") = 1;
+  }
+  if (metrics_ != nullptr) metrics_->merge(local);
   return result;
+}
+
+async_result run_async(const sim_spec& spec) {
+  obs::prof_session profiling(spec.profile);
+  async_engine e(spec);
+  return e.run();
 }
 
 async_result simulate_async(std::vector<geom::vec2> initial,

@@ -17,7 +17,11 @@
 // robot moves before anyone else looks.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "config/classify.h"
@@ -26,6 +30,7 @@
 #include "sim/engine.h"
 #include "sim/movement.h"
 #include "sim/rng.h"
+#include "util/enum_name.h"
 
 namespace gather::sim {
 
@@ -41,7 +46,24 @@ enum class async_policy {
   look_all_move_all,
 };
 
-[[nodiscard]] std::string_view to_string(async_policy p);
+}  // namespace gather::sim
+
+namespace gather {
+template <>
+struct enum_descriptor<sim::async_policy> {
+  static constexpr std::array<std::pair<sim::async_policy, std::string_view>, 3>
+      entries{{{sim::async_policy::atomic_sequential, "atomic-sequential"},
+               {sim::async_policy::random_interleaving, "random-interleaving"},
+               {sim::async_policy::look_all_move_all, "look-all-move-all"}}};
+};
+}  // namespace gather
+
+namespace gather::sim {
+
+[[nodiscard]] constexpr std::string_view to_string(async_policy p) {
+  return enum_name(p);
+}
+std::ostream& operator<<(std::ostream& os, async_policy p);
 
 struct async_options {
   double delta_fraction = 0.05;
@@ -62,25 +84,45 @@ struct async_result {
   /// Moves executed whose destination was computed from a snapshot that no
   /// longer matched the configuration at move time (staleness exposure).
   std::size_t stale_moves = 0;
+  /// The absolute movement guarantee the run used (see sim_result::delta_abs).
+  double delta_abs = 0.0;
 };
 
 class async_engine {
  public:
+  /// Primary constructor: reads initial/algorithm/movement/crash and the
+  /// async options (plus the obs attachments) from the spec.  Throws
+  /// std::invalid_argument on missing required pieces.
+  explicit async_engine(const sim_spec& spec);
+
+  /// Deprecated positional shim (kept for one PR); prefer
+  /// async_engine(sim_spec) / sim::run_async().
   async_engine(std::vector<geom::vec2> initial, const core::gathering_algorithm& algo,
                movement_adversary& movement, crash_policy& crash,
                async_options opts);
+
+  /// Attach observability (see engine::set_observer).
+  void set_observer(obs::event_sink* sink, obs::metrics_registry* metrics,
+                    std::uint64_t run_id = 0) {
+    sink_ = sink;
+    metrics_ = metrics;
+    run_id_ = run_id;
+  }
 
   [[nodiscard]] async_result run();
 
  private:
   std::vector<geom::vec2> positions_;
-  const core::gathering_algorithm& algo_;
-  movement_adversary& movement_;
-  crash_policy& crash_;
+  const core::gathering_algorithm* algo_;
+  movement_adversary* movement_;
+  crash_policy* crash_;
   async_options opts_;
+  obs::event_sink* sink_ = nullptr;
+  obs::metrics_registry* metrics_ = nullptr;
+  std::uint64_t run_id_ = 0;
 };
 
-/// Convenience wrapper.
+/// Deprecated shim (kept for one PR); prefer sim::run_async(const sim_spec&).
 [[nodiscard]] async_result simulate_async(std::vector<geom::vec2> initial,
                                           const core::gathering_algorithm& algo,
                                           movement_adversary& movement,

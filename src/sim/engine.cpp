@@ -1,22 +1,42 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <ostream>
+#include <stdexcept>
 
 #include "core/predicates.h"
+#include "obs/events.h"
+#include "obs/metrics_registry.h"
 #include "sim/adversary_ext.h"
 #include "sim/frame.h"
+#include "sim/spec.h"
 
 namespace gather::sim {
 
-std::string_view to_string(sim_status s) {
-  switch (s) {
-    case sim_status::gathered: return "gathered";
-    case sim_status::round_limit: return "round-limit";
-    case sim_status::stalled: return "stalled";
-    case sim_status::all_crashed: return "all-crashed";
-    case sim_status::started_bivalent: return "started-bivalent";
-  }
-  return "?";
+std::ostream& operator<<(std::ostream& os, sim_status s) {
+  return os << to_string(s);
+}
+
+engine::engine(const sim_spec& spec)
+    : positions_(spec.initial),
+      live_(positions_.size(), 1),
+      algo_(spec.algorithm),
+      scheduler_(spec.scheduler),
+      movement_(spec.movement),
+      crash_(spec.crash),
+      opts_(spec.options),
+      perturbation_(spec.perturbation),
+      byzantine_(spec.byzantine),
+      sink_(spec.sink),
+      metrics_(spec.metrics),
+      run_id_(spec.run_id) {
+  if (algo_ == nullptr) throw std::invalid_argument("sim_spec: algorithm unset");
+  if (scheduler_ == nullptr) throw std::invalid_argument("sim_spec: scheduler unset");
+  if (movement_ == nullptr) throw std::invalid_argument("sim_spec: movement unset");
+  if (crash_ == nullptr) throw std::invalid_argument("sim_spec: crash unset");
+  if (positions_.empty()) throw std::invalid_argument("sim_spec: no robots");
+  const configuration c(positions_);
+  delta_abs_ = std::max(opts_.delta_fraction * c.diameter(), 1e-12);
 }
 
 engine::engine(std::vector<vec2> initial, const gathering_algorithm& algo,
@@ -24,11 +44,12 @@ engine::engine(std::vector<vec2> initial, const gathering_algorithm& algo,
                crash_policy& crash, sim_options opts)
     : positions_(std::move(initial)),
       live_(positions_.size(), 1),
-      algo_(algo),
-      scheduler_(scheduler),
-      movement_(movement),
-      crash_(crash),
+      algo_(&algo),
+      scheduler_(&scheduler),
+      movement_(&movement),
+      crash_(&crash),
       opts_(opts) {
+  if (positions_.empty()) throw std::invalid_argument("engine: no robots");
   const configuration c(positions_);
   delta_abs_ = std::max(opts_.delta_fraction * c.diameter(), 1e-12);
 }
@@ -62,18 +83,36 @@ bool engine::gathered(const configuration& c) const {
     }
   }
   if (point == nullptr) return false;  // no live robot
-  return c.tolerance().same_point(algo_.destination({c, *point}), *point);
+  return c.tolerance().same_point(algo_->destination({c, *point}), *point);
 }
 
 sim_result engine::run() {
   sim_result result;
+  result.delta_abs = delta_abs_;
   rng random(opts_.seed);
   std::vector<geom::similarity> frames;
   if (opts_.local_frames) frames = random_frames(positions_.size(), random);
 
+  // Per-round facts accumulate into a run-local registry (stable references,
+  // O(1) updates); the bespoke sim_result counters are copied out of it at
+  // the end and the whole registry merges into the external one, if any.
+  obs::metrics_registry local;
+  std::uint64_t& m_rounds = local.counter("sim.rounds");
+  std::uint64_t& m_activations = local.counter("sim.activations");
+  std::uint64_t& m_truncated = local.counter("sim.moves_truncated");
+  std::uint64_t& m_crashes = local.counter("sim.crashes");
+  std::uint64_t& m_wait_free = local.counter("sim.wait_free_violations");
+  std::uint64_t& m_bivalent = local.counter("sim.bivalent_entries");
+  std::uint64_t& m_transitions = local.counter("sim.class_transitions");
+  obs::histogram& m_active = local.hist("sim.active_per_round", obs::pow2_bounds(10));
+  local.counter("sim.runs") = 1;
+  local.gauge("sim.delta_abs") = delta_abs_;
+
   const bool initial_bivalent =
       config::classify(configuration(positions_)).cls == config_class::bivalent;
   std::vector<std::size_t> starving(positions_.size(), 0);
+  bool have_prev_cls = false;
+  config_class prev_cls = config_class::asymmetric;
 
   for (std::size_t round = 0; round < opts_.max_rounds; ++round) {
     // Transient faults strike before anyone observes this round.
@@ -90,6 +129,21 @@ sim_result engine::run() {
     for (vec2& p : positions_) p = c.snapped(p);
     const config_class cls = config::classify(c).cls;
     result.class_history.push_back(cls);
+    if (sink_ != nullptr) {
+      const auto live_count = static_cast<std::uint64_t>(
+          std::count(live_.begin(), live_.end(), std::uint8_t{1}));
+      sink_->on_event(
+          obs::event::round_start(run_id_, round, enum_name(cls), live_count));
+    }
+    if (have_prev_cls && cls != prev_cls) {
+      ++m_transitions;
+      if (sink_ != nullptr) {
+        sink_->on_event(obs::event::class_transition(
+            run_id_, round, enum_name(prev_cls), enum_name(cls)));
+      }
+    }
+    have_prev_cls = true;
+    prev_cls = cls;
 
     if (gathered(c)) {
       result.status = sim_status::gathered;
@@ -100,13 +154,17 @@ sim_result engine::run() {
           break;
         }
       }
+      if (sink_ != nullptr) {
+        sink_->on_event(obs::event::gathered(
+            run_id_, round, result.gather_point.x, result.gather_point.y));
+      }
       break;
     }
 
     // One destination computation per occupied location per round: all
     // active robots observe the same round-start configuration, so (in the
     // global frame) their decisions coincide with these.
-    const auto dests = core::destinations(c, algo_);
+    const auto dests = core::destinations(c, *algo_);
     std::vector<vec2> stationary;
     for (std::size_t i = 0; i < dests.size(); ++i) {
       if (c.tolerance().same_point(dests[i], c.occupied()[i].position)) {
@@ -115,10 +173,18 @@ sim_result engine::run() {
     }
     if (opts_.check_wait_freeness && cls != config_class::bivalent &&
         stationary.size() > 1) {
-      ++result.wait_free_violations;
+      ++m_wait_free;
+      if (sink_ != nullptr) {
+        sink_->on_event(
+            obs::event::lemma_violation(run_id_, round, "wait-freeness"));
+      }
     }
     if (!initial_bivalent && cls == config_class::bivalent) {
-      ++result.bivalent_entries;
+      ++m_bivalent;
+      if (sink_ != nullptr) {
+        sink_->on_event(
+            obs::event::lemma_violation(run_id_, round, "bivalent-entry"));
+      }
     }
     // Fixpoint: every occupied location instructed to stay, yet not gathered
     // (live robots on >= 2 locations).  Nothing can ever change; stop early.
@@ -136,12 +202,16 @@ sim_result engine::run() {
     const crash_context cctx{round, positions_, live_, elected};
     std::size_t live_count = static_cast<std::size_t>(
         std::count(live_.begin(), live_.end(), std::uint8_t{1}));
-    for (std::size_t idx : crash_.crashes(cctx, random)) {
+    for (std::size_t idx : crash_->crashes(cctx, random)) {
       if (idx >= live_.size() || !live_[idx]) continue;
       if (live_count <= 1) break;  // the model requires f < n
       live_[idx] = 0;
       --live_count;
-      ++result.crashes;
+      ++m_crashes;
+      if (sink_ != nullptr) {
+        sink_->on_event(
+            obs::event::crash(run_id_, round, static_cast<std::int64_t>(idx)));
+      }
     }
     if (live_count == 0) {
       result.status = sim_status::all_crashed;
@@ -152,7 +222,7 @@ sim_result engine::run() {
     // 2. Activation.
     const schedule_context sctx{round, positions_, live_};
     std::vector<std::uint8_t> active(positions_.size(), 0);
-    for (std::size_t idx : scheduler_.select(sctx, random)) {
+    for (std::size_t idx : scheduler_->select(sctx, random)) {
       if (idx < active.size() && live_[idx]) active[idx] = 1;
     }
     // Bounded-fairness backstop.
@@ -167,6 +237,8 @@ sim_result engine::run() {
         }
       }
     }
+    m_active.observe(static_cast<double>(
+        std::count(active.begin(), active.end(), std::uint8_t{1})));
 
     if (opts_.record_trace) {
       result.trace.push_back({round, positions_, active, live_, cls});
@@ -180,6 +252,11 @@ sim_result engine::run() {
         continue;
       }
       starving[i] = 0;
+      ++m_activations;
+      if (sink_ != nullptr) {
+        sink_->on_event(obs::event::activation(run_id_, round,
+                                               static_cast<std::int64_t>(i)));
+      }
       const vec2 self = c.snapped(positions_[i]);
       vec2 dest;
       if (byzantine_ != nullptr && byzantine_->is_byzantine(i)) {
@@ -188,12 +265,12 @@ sim_result engine::run() {
         // LOOK through the robot's own similarity frame; move back through
         // its inverse.
         const geom::similarity& f = frames[i];
-        std::vector<vec2> local;
-        local.reserve(positions_.size());
-        for (const vec2& p : positions_) local.push_back(f.apply(p));
-        const configuration local_c(local);
+        std::vector<vec2> local_pts;
+        local_pts.reserve(positions_.size());
+        for (const vec2& p : positions_) local_pts.push_back(f.apply(p));
+        const configuration local_c(local_pts);
         const vec2 local_dest =
-            algo_.destination({local_c, local_c.snapped(f.apply(self))});
+            algo_->destination({local_c, local_c.snapped(f.apply(self))});
         dest = f.invert(local_dest);
       } else {
         // Look up the memoized per-location destination.
@@ -205,7 +282,16 @@ sim_result engine::run() {
           }
         }
       }
-      next[i] = movement_.stop_point(positions_[i], dest, delta_abs_, random);
+      next[i] = movement_->stop_point(positions_[i], dest, delta_abs_, random);
+      if (!c.tolerance().same_point(next[i], dest)) {
+        ++m_truncated;
+        if (sink_ != nullptr) {
+          sink_->on_event(obs::event::move_truncated(
+              run_id_, round, static_cast<std::int64_t>(i),
+              geom::distance(positions_[i], dest),
+              geom::distance(positions_[i], next[i])));
+        }
+      }
     }
     positions_ = std::move(next);
     result.rounds = round + 1;
@@ -216,7 +302,24 @@ sim_result engine::run() {
   if (result.status != sim_status::gathered && initial_bivalent) {
     result.status = sim_status::started_bivalent;
   }
+
+  m_rounds = result.rounds;
+  if (result.status == sim_status::gathered) {
+    local.counter("sim.gathered") = 1;
+    local.hist("sim.rounds_to_gather", obs::pow2_bounds(16))
+        .observe(static_cast<double>(result.rounds));
+  }
+  result.crashes = m_crashes;
+  result.wait_free_violations = m_wait_free;
+  result.bivalent_entries = m_bivalent;
+  if (metrics_ != nullptr) metrics_->merge(local);
   return result;
+}
+
+sim_result run(const sim_spec& spec) {
+  obs::prof_session profiling(spec.profile);
+  engine e(spec);
+  return e.run();
 }
 
 sim_result simulate(std::vector<vec2> initial, const gathering_algorithm& algo,

@@ -12,9 +12,20 @@
 // (Lemma 5.1) and that the bivalent configuration is never entered from a
 // non-bivalent start, and it records the class history for transition
 // analyses (Lemmas 5.3-5.9).
+//
+// Observability: the engine counts per-round facts into an
+// obs::metrics_registry and, when an obs::event_sink is attached, narrates
+// the run as a structured event stream (see docs/OBSERVABILITY.md).  The
+// preferred entry point is the sim_spec aggregate + run() free function in
+// sim/spec.h; the positional constructor below survives as a deprecated
+// shim for one PR.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "config/classify.h"
@@ -22,6 +33,13 @@
 #include "sim/crash.h"
 #include "sim/movement.h"
 #include "sim/scheduler.h"
+#include "util/enum_name.h"
+
+namespace gather::obs {
+class event_sink;
+class metrics_registry;
+class prof_registry;
+}  // namespace gather::obs
 
 namespace gather::sim {
 
@@ -29,6 +47,8 @@ using config::config_class;
 using config::configuration;
 using core::gathering_algorithm;
 using geom::vec2;
+
+struct sim_spec;  // sim/spec.h
 
 struct sim_options {
   /// The model's delta, as a fraction of the *initial* configuration
@@ -56,7 +76,26 @@ enum class sim_status {
   started_bivalent ///< the initial configuration was bivalent (Lemma 5.2)
 };
 
-[[nodiscard]] std::string_view to_string(sim_status s);
+}  // namespace gather::sim
+
+namespace gather {
+template <>
+struct enum_descriptor<sim::sim_status> {
+  static constexpr std::array<std::pair<sim::sim_status, std::string_view>, 5>
+      entries{{{sim::sim_status::gathered, "gathered"},
+               {sim::sim_status::round_limit, "round-limit"},
+               {sim::sim_status::stalled, "stalled"},
+               {sim::sim_status::all_crashed, "all-crashed"},
+               {sim::sim_status::started_bivalent, "started-bivalent"}}};
+};
+}  // namespace gather
+
+namespace gather::sim {
+
+[[nodiscard]] constexpr std::string_view to_string(sim_status s) {
+  return enum_name(s);
+}
+std::ostream& operator<<(std::ostream& os, sim_status s);
 
 struct round_record {
   std::size_t round = 0;
@@ -75,6 +114,11 @@ struct sim_result {
   std::size_t crashes = 0;               ///< faults actually injected
   std::size_t wait_free_violations = 0;  ///< Lemma 5.1 breaches observed
   std::size_t bivalent_entries = 0;      ///< rounds spent in B after a non-B start
+  /// The absolute movement guarantee the run used:
+  /// delta_fraction * initial diameter (floored away from zero).  Callers
+  /// interpreting truncation events need this scale; re-deriving it would
+  /// require the initial diameter.
+  double delta_abs = 0.0;
   std::vector<config_class> class_history;  ///< class at each round start
   std::vector<round_record> trace;          ///< when record_trace
 };
@@ -84,6 +128,13 @@ class byzantine_policy;
 
 class engine {
  public:
+  /// Primary constructor: one aggregate holding the algorithm, the initial
+  /// configuration, the three adversaries, the options and the observability
+  /// attachments.  Throws std::invalid_argument on missing required pieces.
+  explicit engine(const sim_spec& spec);
+
+  /// Deprecated positional shim (kept for one PR): equivalent to building a
+  /// sim_spec from the arguments.  Prefer engine(sim_spec) / sim::run().
   engine(std::vector<vec2> initial, const gathering_algorithm& algo,
          activation_scheduler& scheduler, movement_adversary& movement,
          crash_policy& crash, sim_options opts);
@@ -97,6 +148,16 @@ class engine {
   /// predicate (gathering is required of correct robots only).
   void set_byzantine(byzantine_policy* b) { byzantine_ = b; }
 
+  /// Attach observability: a structured event sink (nullptr = no events), an
+  /// external metrics registry the run's counters merge into (nullptr = keep
+  /// them internal) and the id stamped on every emitted event.
+  void set_observer(obs::event_sink* sink, obs::metrics_registry* metrics,
+                    std::uint64_t run_id = 0) {
+    sink_ = sink;
+    metrics_ = metrics;
+    run_id_ = run_id;
+  }
+
   /// Run to completion and return the result.
   [[nodiscard]] sim_result run();
 
@@ -106,17 +167,21 @@ class engine {
 
   std::vector<vec2> positions_;
   std::vector<std::uint8_t> live_;
-  const gathering_algorithm& algo_;
-  activation_scheduler& scheduler_;
-  movement_adversary& movement_;
-  crash_policy& crash_;
+  const gathering_algorithm* algo_;
+  activation_scheduler* scheduler_;
+  movement_adversary* movement_;
+  crash_policy* crash_;
   sim_options opts_;
   double delta_abs_ = 0.0;
   perturbation_policy* perturbation_ = nullptr;
   byzantine_policy* byzantine_ = nullptr;
+  obs::event_sink* sink_ = nullptr;
+  obs::metrics_registry* metrics_ = nullptr;
+  std::uint64_t run_id_ = 0;
 };
 
-/// Convenience wrapper: run one simulation with the given pieces.
+/// Deprecated shim (kept for one PR): run one simulation with the given
+/// pieces.  Prefer sim::run(const sim_spec&) in sim/spec.h.
 [[nodiscard]] sim_result simulate(std::vector<vec2> initial,
                                   const gathering_algorithm& algo,
                                   activation_scheduler& scheduler,

@@ -12,5 +12,6 @@
 #include "sim/movement.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
+#include "sim/spec.h"
 #include "sim/svg.h"
 #include "sim/trace.h"

@@ -1,0 +1,37 @@
+// One stringification code path for the project's enums.
+//
+// Each enum header specializes `gather::enum_descriptor<E>` with a constexpr
+// `entries` table of {value, name} pairs; `gather::enum_name(e)` is then the
+// single lookup every `to_string` / `operator<<` / JSONL writer goes through,
+// so a renamed label changes everywhere at once.  Header-only, no deps.
+#pragma once
+
+#include <string_view>
+#include <utility>
+
+namespace gather {
+
+/// Specialize per enum with a static constexpr iterable `entries` of
+/// {E, std::string_view} pairs (e.g. a std::array<std::pair<...>, N>).
+template <class E>
+struct enum_descriptor;
+
+/// The canonical name of `e`, or "?" for values missing from the table.
+template <class E>
+[[nodiscard]] constexpr std::string_view enum_name(E e) {
+  for (const auto& [value, name] : enum_descriptor<E>::entries) {
+    if (value == e) return name;
+  }
+  return "?";
+}
+
+/// Reverse lookup: the enum value named `name`, or `fallback` when unknown.
+template <class E>
+[[nodiscard]] constexpr E enum_from_name(std::string_view name, E fallback) {
+  for (const auto& [value, n] : enum_descriptor<E>::entries) {
+    if (n == name) return value;
+  }
+  return fallback;
+}
+
+}  // namespace gather

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "runner/runner.h"
 
 namespace gather::runner {
@@ -86,6 +88,77 @@ TEST(RunnerDeterminism, SummariesOfSerialAndParallelRunsAgree) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(summary_csv_row(serial[i]), summary_csv_row(parallel[i])) << i;
   }
+}
+
+// One campaign with the observability attachments on: the JSONL trace and
+// the merged registry rendered to JSON.  `profile` stays off because wall
+// clock nanoseconds are the one thing that is *not* deterministic.
+std::pair<std::string, std::string> run_observed(std::size_t jobs) {
+  campaign_options opts;
+  opts.jobs = jobs;
+  std::string trace;
+  obs::metrics_registry metrics;
+  opts.trace_jsonl = &trace;
+  opts.metrics = &metrics;
+  (void)run_campaign(mixed_grid(), opts);
+  return {std::move(trace), metrics.to_json()};
+}
+
+TEST(RunnerDeterminism, JsonlTraceBytesAreIdenticalAcrossJobs) {
+  const auto [serial_trace, serial_metrics] = run_observed(1);
+  const auto [parallel_trace, parallel_metrics] = run_observed(4);
+
+  ASSERT_FALSE(serial_trace.empty());
+  EXPECT_EQ(serial_trace, parallel_trace);
+  EXPECT_EQ(serial_metrics, parallel_metrics);
+
+  // Sanity: the trace is line-delimited JSON objects, one per line.
+  std::size_t lines = 0, start = 0;
+  while (start < serial_trace.size()) {
+    const std::size_t nl = serial_trace.find('\n', start);
+    ASSERT_NE(nl, std::string::npos) << "trace must end with a newline";
+    ASSERT_GT(nl, start);
+    EXPECT_EQ(serial_trace[start], '{');
+    EXPECT_EQ(serial_trace[nl - 1], '}');
+    start = nl + 1;
+    ++lines;
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+TEST(RunnerDeterminism, RegistryHistogramBracketsSummaryQuantiles) {
+  campaign_options opts;
+  opts.jobs = 2;
+  obs::metrics_registry metrics;
+  opts.metrics = &metrics;
+  const auto results = run_campaign(mixed_grid(), opts);
+
+  std::vector<std::size_t> rounds;
+  for (const auto& r : results) {
+    if (r.status == sim::sim_status::gathered) rounds.push_back(r.rounds);
+  }
+  ASSERT_FALSE(rounds.empty());
+
+  const obs::histogram* h = metrics.find_histogram("sim.rounds_to_gather");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), rounds.size());
+
+  // Both sides use the nearest-rank definition, so the summary layer's exact
+  // quantile must land inside the histogram's bucket interval for every q.
+  for (const double q : {0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const auto exact = static_cast<double>(round_quantile(rounds, q));
+    const auto bracket = h->quantile_bounds(q);
+    EXPECT_GE(exact, bracket.lower) << "q=" << q;
+    EXPECT_LE(exact, bracket.upper) << "q=" << q;
+  }
+
+  // The registry's totals agree with the result vector.
+  const std::uint64_t* gathered = metrics.find_counter("sim.gathered");
+  ASSERT_NE(gathered, nullptr);
+  EXPECT_EQ(*gathered, rounds.size());
+  const std::uint64_t* runs = metrics.find_counter("sim.runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_EQ(*runs, results.size());
 }
 
 }  // namespace

@@ -1,0 +1,232 @@
+// sim_spec API tests: the aggregate entry points validate their inputs, the
+// deprecated positional shims (engine ctor, async_engine ctor, simulate,
+// simulate_async, runner::execute_one) produce bit-identical results to the
+// sim_spec path, and sim_result records the absolute delta actually used.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/wait_free_gather.h"
+#include "runner/runner.h"
+#include "sim/sim.h"
+#include "workloads/generators.h"
+
+namespace gather::sim {
+namespace {
+
+using geom::vec2;
+
+const core::wait_free_gather kAlgo;
+
+std::vector<vec2> cloud(std::size_t n, std::uint64_t seed) {
+  rng r(seed);
+  return workloads::uniform_random(n, r);
+}
+
+void expect_same_result(const sim_result& a, const sim_result& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.wait_free_violations, b.wait_free_violations);
+  EXPECT_EQ(a.bivalent_entries, b.bivalent_entries);
+  EXPECT_DOUBLE_EQ(a.delta_abs, b.delta_abs);
+  ASSERT_EQ(a.final_positions.size(), b.final_positions.size());
+  for (std::size_t i = 0; i < a.final_positions.size(); ++i) {
+    EXPECT_EQ(a.final_positions[i].x, b.final_positions[i].x);
+    EXPECT_EQ(a.final_positions[i].y, b.final_positions[i].y);
+  }
+}
+
+TEST(SimSpec, RunValidatesRequiredPieces) {
+  auto sched = make_synchronous();
+  auto move = make_full_movement();
+  auto crash = make_no_crash();
+
+  sim_spec spec;
+  spec.initial = cloud(6, 3);
+  spec.scheduler = sched.get();
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  EXPECT_THROW((void)run(spec), std::invalid_argument);  // algorithm unset
+
+  spec.algorithm = &kAlgo;
+  spec.scheduler = nullptr;
+  EXPECT_THROW((void)run(spec), std::invalid_argument);
+
+  spec.scheduler = sched.get();
+  spec.initial.clear();
+  EXPECT_THROW((void)run(spec), std::invalid_argument);
+
+  spec.initial = cloud(6, 3);
+  EXPECT_EQ(run(spec).status, sim_status::gathered);
+}
+
+TEST(SimSpec, RunAsyncValidatesRequiredPieces) {
+  auto move = make_full_movement();
+  auto crash = make_no_crash();
+
+  sim_spec spec;
+  spec.initial = cloud(5, 4);
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  EXPECT_THROW((void)run_async(spec), std::invalid_argument);
+
+  spec.algorithm = &kAlgo;
+  EXPECT_EQ(run_async(spec).status, sim_status::gathered);
+}
+
+// --- deprecated shims --------------------------------------------------------
+// Each shim must behave exactly like the sim_spec path it forwards to; the
+// shims go away next PR, and these tests with them.
+
+TEST(SimSpecShims, SimulateMatchesSpecRun) {
+  const auto pts = cloud(8, 7);
+  sim_options opts;
+  opts.seed = 21;
+  opts.delta_fraction = 0.04;
+
+  auto sched1 = make_fair_random();
+  auto move1 = make_random_stop();
+  auto crash1 = make_random_crashes(2, 30);
+  const auto via_shim = simulate(pts, kAlgo, *sched1, *move1, *crash1, opts);
+
+  auto sched2 = make_fair_random();
+  auto move2 = make_random_stop();
+  auto crash2 = make_random_crashes(2, 30);
+  sim_spec spec;
+  spec.initial = pts;
+  spec.algorithm = &kAlgo;
+  spec.scheduler = sched2.get();
+  spec.movement = move2.get();
+  spec.crash = crash2.get();
+  spec.options = opts;
+  expect_same_result(via_shim, run(spec));
+}
+
+TEST(SimSpecShims, PositionalEngineCtorMatchesSpecCtor) {
+  const auto pts = cloud(7, 9);
+  sim_options opts;
+  opts.seed = 5;
+
+  auto sched1 = make_round_robin();
+  auto move1 = make_full_movement();
+  auto crash1 = make_no_crash();
+  engine positional(pts, kAlgo, *sched1, *move1, *crash1, opts);
+
+  auto sched2 = make_round_robin();
+  auto move2 = make_full_movement();
+  auto crash2 = make_no_crash();
+  sim_spec spec;
+  spec.initial = pts;
+  spec.algorithm = &kAlgo;
+  spec.scheduler = sched2.get();
+  spec.movement = move2.get();
+  spec.crash = crash2.get();
+  spec.options = opts;
+  engine from_spec(spec);
+
+  expect_same_result(positional.run(), from_spec.run());
+}
+
+TEST(SimSpecShims, SimulateAsyncMatchesSpecRunAsync) {
+  const auto pts = cloud(6, 13);
+  async_options opts;
+  opts.seed = 17;
+  opts.policy = async_policy::random_interleaving;
+
+  auto move1 = make_random_stop();
+  auto crash1 = make_random_crashes(1, 30);
+  const auto via_shim = simulate_async(pts, kAlgo, *move1, *crash1, opts);
+
+  auto move2 = make_random_stop();
+  auto crash2 = make_random_crashes(1, 30);
+  sim_spec spec;
+  spec.initial = pts;
+  spec.algorithm = &kAlgo;
+  spec.movement = move2.get();
+  spec.crash = crash2.get();
+  spec.async = opts;
+  const auto via_spec = run_async(spec);
+
+  EXPECT_EQ(via_shim.status, via_spec.status);
+  EXPECT_EQ(via_shim.steps, via_spec.steps);
+  EXPECT_EQ(via_shim.cycles, via_spec.cycles);
+  EXPECT_EQ(via_shim.crashes, via_spec.crashes);
+  EXPECT_DOUBLE_EQ(via_shim.delta_abs, via_spec.delta_abs);
+}
+
+TEST(SimSpecShims, PositionalAsyncCtorMatchesSpecCtor) {
+  const auto pts = cloud(5, 23);
+  async_options opts;
+  opts.seed = 3;
+  opts.policy = async_policy::look_all_move_all;
+
+  auto move1 = make_full_movement();
+  auto crash1 = make_no_crash();
+  async_engine positional(pts, kAlgo, *move1, *crash1, opts);
+
+  auto move2 = make_full_movement();
+  auto crash2 = make_no_crash();
+  sim_spec spec;
+  spec.initial = pts;
+  spec.algorithm = &kAlgo;
+  spec.movement = move2.get();
+  spec.crash = crash2.get();
+  spec.async = opts;
+  async_engine from_spec(spec);
+
+  const auto a = positional.run();
+  const auto b = from_spec.run();
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(SimSpecShims, ExecuteOneMatchesExecuteCell) {
+  runner::grid g;
+  runner::run_spec spec;
+  spec.workload = "uniform";
+  spec.n = 6;
+  spec.f = 2;
+  spec.scheduler = "fair-random";
+  spec.movement = "random-stop";
+  spec.delta = 0.05;
+  spec.index = 4;
+  spec.seed = runner::derive_seed(g.base_seed, spec.index);
+
+  const auto via_shim = runner::execute_one(spec, g);
+  const auto via_cell = runner::execute_cell(spec, g);
+  EXPECT_EQ(via_shim.status, via_cell.status);
+  EXPECT_EQ(via_shim.rounds, via_cell.rounds);
+  EXPECT_EQ(via_shim.crashes, via_cell.crashes);
+  EXPECT_EQ(via_shim.phase_count, via_cell.phase_count);
+}
+
+// --- delta_abs ---------------------------------------------------------------
+
+TEST(SimSpec, ResultRecordsAbsoluteDelta) {
+  // Four robots on a unit square: diameter = sqrt(2), so delta_abs must be
+  // delta_fraction * sqrt(2) for both engines.
+  const std::vector<vec2> pts = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  auto sched = make_synchronous();
+  auto move = make_full_movement();
+  auto crash = make_no_crash();
+
+  sim_spec spec;
+  spec.initial = pts;
+  spec.algorithm = &kAlgo;
+  spec.scheduler = sched.get();
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  spec.options.delta_fraction = 0.1;
+  spec.async.delta_fraction = 0.25;
+
+  const double diameter = std::sqrt(2.0);
+  EXPECT_NEAR(run(spec).delta_abs, 0.1 * diameter, 1e-12);
+  EXPECT_NEAR(run_async(spec).delta_abs, 0.25 * diameter, 1e-12);
+}
+
+}  // namespace
+}  // namespace gather::sim

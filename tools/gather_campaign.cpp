@@ -19,9 +19,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "runner/runner.h"
 #include "sim/sim.h"
 
@@ -32,6 +34,8 @@ using namespace gather;
 struct args {
   runner::grid grid;
   std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::string trace_jsonl;  // JSONL event trace output path
+  bool metrics = false;
   bool progress = false;
   bool summary = false;
   bool help = false;
@@ -45,6 +49,9 @@ void usage() {
       "  --seed S (base seed)    --jobs N (default: all hardware threads)\n"
       "  --progress (live runs/sec + ETA to stderr)\n"
       "  --summary  (per-cell aggregate CSV instead of per-run rows)\n"
+      "  --trace-jsonl PATH (write every cell's event stream to PATH;\n"
+      "                      bytes are independent of --jobs)\n"
+      "  --metrics  (merged metrics registry + profile timings to stderr)\n"
       "  --help");
 }
 
@@ -98,6 +105,10 @@ bool parse(int argc, char** argv, args& a) {
         std::fprintf(stderr, "--jobs must be >= 1\n");
         std::exit(2);
       }
+    } else if (flag == "--trace-jsonl") {
+      a.trace_jsonl = need();
+    } else if (flag == "--metrics") {
+      a.metrics = true;
     } else if (flag == "--progress") {
       a.progress = true;
     } else if (flag == "--summary") {
@@ -140,12 +151,32 @@ int main(int argc, char** argv) {
     };
   }
 
+  std::string trace;
+  obs::metrics_registry metrics;
+  if (!a.trace_jsonl.empty()) opts.trace_jsonl = &trace;
+  if (a.metrics) {
+    opts.metrics = &metrics;
+    opts.profile = true;
+  }
+
   std::vector<runner::run_result> results;
   try {
     results = runner::run_campaign(a.grid, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gather_campaign: %s\n", e.what());
     return 2;
+  }
+
+  if (!a.trace_jsonl.empty()) {
+    std::ofstream out(a.trace_jsonl, std::ios::binary);
+    if (!out || !(out << trace)) {
+      std::fprintf(stderr, "gather_campaign: cannot write %s\n",
+                   a.trace_jsonl.c_str());
+      return 2;
+    }
+  }
+  if (a.metrics) {
+    std::fprintf(stderr, "%s\n", metrics.to_json().c_str());
   }
 
   if (a.summary) {

@@ -12,12 +12,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "baselines/baselines.h"
+#include "obs/obs.h"
 #include "core/weak_multiplicity.h"
 #include "core/wait_free_gather.h"
 #include "sim/sim.h"
@@ -37,12 +39,14 @@ struct options {
   std::string output = "summary";
   std::string engine = "atom";         // atom | async
   std::string async_policy = "random"; // sequential | random | look-move
+  std::string trace_jsonl;             // JSONL event trace output path
   std::size_t n = 8;
   std::size_t f = 0;
   double delta = 0.05;
   std::uint64_t seed = 1;
   std::size_t max_rounds = 50'000;
   bool local_frames = false;
+  bool metrics = false;
   bool help = false;
   bool list = false;
 };
@@ -69,6 +73,9 @@ void print_usage() {
       "  --seed S        RNG seed (default 1)\n"
       "  --max-rounds R  round budget (default 50000)\n"
       "  --local-frames  observe through per-robot similarity frames\n"
+      "  --trace-jsonl P write the structured event trace to P (JSONL)\n"
+      "  --metrics       print the run's metrics registry (JSON) after the\n"
+      "                  summary, including hot-path profile timings\n"
       "  --output O      summary | csv | frames | json | svg\n"
       "  --list          list available components and exit\n"
       "  --help          this text\n");
@@ -113,6 +120,8 @@ bool parse_args(int argc, char** argv, options& o) {
     else if (a == "--seed") o.seed = std::strtoull(need("--seed"), nullptr, 10);
     else if (a == "--max-rounds") o.max_rounds = std::strtoul(need("--max-rounds"), nullptr, 10);
     else if (a == "--local-frames") o.local_frames = true;
+    else if (a == "--trace-jsonl") o.trace_jsonl = need("--trace-jsonl");
+    else if (a == "--metrics") o.metrics = true;
     else if (a == "--help" || a == "-h") o.help = true;
     else if (a == "--list") o.list = true;
     else {
@@ -180,22 +189,70 @@ std::unique_ptr<sim::movement_adversary> make_move(const options& o) {
   std::exit(2);
 }
 
+/// Observability attachments shared by both engine paths: an optional JSONL
+/// trace file and an optional metrics registry (with hot-path profiling).
+struct observability {
+  explicit observability(const options& o)
+      : trace_path(o.trace_jsonl), want_metrics(o.metrics), sink(&trace) {}
+
+  /// Attach to a spec (call before running).
+  void attach(sim::sim_spec& spec) {
+    if (!trace_path.empty()) spec.sink = &sink;
+    if (want_metrics) {
+      spec.metrics = &registry;
+      spec.profile = &profile;
+    }
+  }
+
+  /// Write the trace file / print the registry (call after running).
+  /// Returns false when the trace file cannot be written.
+  [[nodiscard]] bool finish() {
+    if (want_metrics) {
+      obs::export_profile(profile, registry);
+      std::printf("metrics:    %s\n", registry.to_json().c_str());
+    }
+    if (trace_path.empty()) return true;
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "--trace-jsonl %s: cannot open for writing\n",
+                   trace_path.c_str());
+      return false;
+    }
+    out << trace;
+    return static_cast<bool>(out);
+  }
+
+  std::string trace_path;
+  bool want_metrics;
+  std::string trace;
+  obs::jsonl_string_sink sink;
+  obs::metrics_registry registry;
+  obs::prof_registry profile;
+};
+
 int run_async(const options& o, const std::vector<geom::vec2>& pts) {
   const auto& algo = make_algorithm(o);
   auto move = make_move(o);
   auto crash = o.f == 0 ? sim::make_no_crash() : sim::make_random_crashes(o.f, 50);
-  sim::async_options opts;
-  opts.delta_fraction = o.delta;
-  opts.seed = o.seed;
+
+  sim::sim_spec spec;
+  spec.initial = pts;
+  spec.algorithm = &algo;
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  spec.async.delta_fraction = o.delta;
+  spec.async.seed = o.seed;
   if (o.async_policy == "sequential") {
-    opts.policy = sim::async_policy::atomic_sequential;
+    spec.async.policy = sim::async_policy::atomic_sequential;
   } else if (o.async_policy == "look-move") {
-    opts.policy = sim::async_policy::look_all_move_all;
+    spec.async.policy = sim::async_policy::look_all_move_all;
   } else {
-    opts.policy = sim::async_policy::random_interleaving;
+    spec.async.policy = sim::async_policy::random_interleaving;
   }
-  const auto res = sim::simulate_async(pts, algo, *move, *crash, opts);
-  std::printf("engine:     async (%s)\n", std::string(sim::to_string(opts.policy)).c_str());
+  observability watch(o);
+  watch.attach(spec);
+  const auto res = sim::run_async(spec);
+  std::printf("engine:     async (%s)\n", std::string(sim::to_string(spec.async.policy)).c_str());
   std::printf("status:     %s\n", std::string(sim::to_string(res.status)).c_str());
   std::printf("steps:      %zu (cycles %zu, stale moves %zu)\n", res.steps,
               res.cycles, res.stale_moves);
@@ -203,6 +260,7 @@ int run_async(const options& o, const std::vector<geom::vec2>& pts) {
   if (res.status == sim::sim_status::gathered) {
     std::printf("gathered:   (%g, %g)\n", res.gather_point.x, res.gather_point.y);
   }
+  if (!watch.finish()) return 2;
   return res.status == sim::sim_status::gathered ? 0 : 1;
 }
 
@@ -247,22 +305,33 @@ int main(int argc, char** argv) {
   auto move = make_move(o);
   auto crash = o.f == 0 ? sim::make_no_crash() : sim::make_random_crashes(o.f, 50);
 
-  sim::sim_options opts;
-  opts.delta_fraction = o.delta;
-  opts.seed = o.seed;
-  opts.max_rounds = o.max_rounds;
-  opts.local_frames = o.local_frames;
-  opts.check_wait_freeness = true;
-  opts.record_trace = (o.output != "summary");
+  sim::sim_spec spec;
+  spec.initial = pts;
+  spec.algorithm = &algo;
+  spec.scheduler = sched.get();
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  spec.options.delta_fraction = o.delta;
+  spec.options.seed = o.seed;
+  spec.options.max_rounds = o.max_rounds;
+  spec.options.local_frames = o.local_frames;
+  spec.options.check_wait_freeness = true;
+  spec.options.record_trace = (o.output != "summary");
+  observability watch(o);
+  watch.attach(spec);
 
-  const auto res = sim::simulate(pts, algo, *sched, *move, *crash, opts);
+  const auto res = sim::run(spec);
 
-  if (o.output == "json") {
-    sim::write_json_report(std::cout, res);
-    return res.status == sim::sim_status::gathered ? 0 : 1;
-  }
-  if (o.output == "svg") {
-    sim::write_svg(std::cout, res);
+  if (o.output == "json" || o.output == "svg") {
+    if (o.output == "json") {
+      sim::write_json_report(std::cout, res);
+    } else {
+      sim::write_svg(std::cout, res);
+    }
+    // The document owns stdout here; suppress the metrics line but still
+    // honour --trace-jsonl.
+    watch.want_metrics = false;
+    if (!watch.finish()) return 2;
     return res.status == sim::sim_status::gathered ? 0 : 1;
   }
   if (o.output == "csv") {
@@ -281,11 +350,13 @@ int main(int argc, char** argv) {
   std::printf("algorithm:  %s\n", std::string(algo.name()).c_str());
   std::printf("status:     %s\n", std::string(sim::to_string(res.status)).c_str());
   std::printf("rounds:     %zu\n", res.rounds);
+  std::printf("delta:      %g of diameter (abs %g)\n", o.delta, res.delta_abs);
   std::printf("crashes:    %zu\n", res.crashes);
   std::printf("wf-breach:  %zu, bivalent entries: %zu\n", res.wait_free_violations,
               res.bivalent_entries);
   if (res.status == sim::sim_status::gathered) {
     std::printf("gathered:   (%g, %g)\n", res.gather_point.x, res.gather_point.y);
   }
+  if (!watch.finish()) return 2;
   return res.status == sim::sim_status::gathered ? 0 : 1;
 }

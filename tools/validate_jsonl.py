@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Schema checker for --trace-jsonl event streams (docs/OBSERVABILITY.md).
+
+Usage: validate_jsonl.py TRACE.jsonl [...]
+
+Checks, per line:
+  * the line parses as a single JSON object;
+  * "event" is a known kind and the object has exactly that kind's keys,
+    in the canonical order ("event", "run", "round" first);
+  * every value has the right type (ints are non-negative; "robot" is a
+    robot index >= 0; class labels come from the paper's alphabet).
+
+Exit status: 0 when every line of every file validates, 1 otherwise.
+"""
+import json
+import sys
+
+# kind -> ordered keys after the common prefix ("event", "run", "round").
+SCHEMA = {
+    "round_start": ["cls", "live"],
+    "activation": ["robot"],
+    "move_truncated": ["robot", "want", "got"],
+    "crash": ["robot"],
+    "class_transition": ["from", "to"],
+    "lemma_violation": ["lemma"],
+    "gathered": ["x", "y"],
+}
+CLASS_LABELS = {"B", "M", "L1W", "L2W", "QR", "A"}
+LEMMA_LABELS = {"wait-freeness", "bivalent-entry"}
+
+
+def check_value(key, value):
+    if key in ("run", "round", "live"):
+        return isinstance(value, int) and value >= 0
+    if key == "robot":
+        return isinstance(value, int) and value >= 0
+    if key in ("want", "got", "x", "y"):
+        return isinstance(value, (int, float))
+    if key in ("cls", "from", "to"):
+        return value in CLASS_LABELS
+    if key == "lemma":
+        return value in LEMMA_LABELS
+    return False
+
+
+def validate_line(line):
+    """Returns None when valid, else an error string."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as e:
+        return f"not valid JSON: {e}"
+    if not isinstance(obj, dict):
+        return "line is not a JSON object"
+    kind = obj.get("event")
+    if kind not in SCHEMA:
+        return f"unknown event kind: {kind!r}"
+    want_keys = ["event", "run", "round"] + SCHEMA[kind]
+    got_keys = list(obj.keys())
+    if got_keys != want_keys:
+        return f"{kind}: keys {got_keys} != expected {want_keys}"
+    for key in want_keys[1:]:
+        if not check_value(key, obj[key]):
+            return f"{kind}: bad value for {key!r}: {obj[key]!r}"
+    return None
+
+
+def validate_file(path):
+    errors = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                print(f"{path}:{lineno}: empty line")
+                errors += 1
+                continue
+            err = validate_line(line)
+            if err is not None:
+                print(f"{path}:{lineno}: {err}")
+                errors += 1
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    total_errors = 0
+    total_lines = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                total_lines += sum(1 for _ in fh)
+        except OSError as e:
+            print(f"{path}: {e}")
+            return 1
+        total_errors += validate_file(path)
+    if total_errors:
+        print(f"FAIL: {total_errors} invalid line(s)")
+        return 1
+    print(f"OK: {total_lines} line(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
