@@ -162,7 +162,8 @@ class magnet_stop final : public sim::movement_adversary {
 
   vec2 stop_point(vec2 from, vec2 dest, double delta, sim::rng&) override {
     const double want = geom::distance(from, dest);
-    if (want <= delta || want == 0.0) return dest;
+    // Mirrors movement_adversary::stop_point's exact-zero guard.
+    if (want <= delta || want == 0.0) return dest;  // gather-lint: allow(R3)
     const vec2 dir = (dest - from) / want;
     const double along = dot(magnet_ - from, dir);
     const double off = geom::distance(from + along * dir, magnet_);

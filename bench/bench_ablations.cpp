@@ -30,7 +30,7 @@ void run_pair(const char* scenario, const std::vector<geom::vec2>& pts,
     sim::sim_options opts;
     opts.max_rounds = 2'000;
     opts.check_wait_freeness = true;
-    return sim::simulate(pts, algo, *sched, movement, *crash, opts);
+    return bench::run_pieces(pts, algo, *sched, movement, *crash, opts);
   };
   const auto res_full = once(full);
   const auto res_abl = once(ablated);

@@ -44,7 +44,7 @@ int main() {
         sim::async_options opts;
         opts.policy = policy;
         opts.seed = 9'000 + seed;
-        const auto res = sim::simulate_async(workloads::uniform_random(n, r), algo,
+        const auto res = bench::run_async_pieces(workloads::uniform_random(n, r), algo,
                                              *move, *crash, opts);
         stale += res.stale_moves;
         if (res.status == sim::sim_status::gathered) {

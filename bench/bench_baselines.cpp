@@ -74,7 +74,7 @@ int main() {
         opts.seed = 77 + seed;
         opts.max_rounds = budget;
         opts.record_trace = true;
-        const auto res = sim::simulate(pts, *algo, *sched, *move, *crash, opts);
+        const auto res = bench::run_pieces(pts, *algo, *sched, *move, *crash, opts);
         stats.add(res);
         if (sim::live_spread(res.final_positions, res.final_live) <
             0.01 * sim::spread(pts)) {

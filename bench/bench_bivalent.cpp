@@ -32,7 +32,7 @@ int main() {
       auto crash = sim::make_no_crash();
       sim::sim_options opts;
       opts.max_rounds = 10'000;
-      return sim::simulate(pts, algo, *sched, *move, *crash, opts);
+      return bench::run_pieces(pts, algo, *sched, *move, *crash, opts);
     };
 
     const auto res_b = run(biv);

@@ -36,7 +36,7 @@ int main() {
           sim::sim_options opts;
           opts.seed = 31 * seed + n;
           opts.record_trace = true;
-          const auto res = sim::simulate(wl.points, algo, *s, *m, *c, opts);
+          const auto res = bench::run_pieces(wl.points, algo, *s, *m, *c, opts);
           ++runs;
           if (!sim::transitions_allowed(res.class_history)) {
             ++violations;

@@ -39,7 +39,7 @@ int main() {
       auto crash = sim::make_no_crash();
       sim::sim_options opts;
       opts.max_rounds = 1'000;
-      return sim::simulate(pts, a, *sched, *move, *crash, opts);
+      return bench::run_pieces(pts, a, *sched, *move, *crash, opts);
     };
     const auto rs = run(algo);
     const auto rw = run(weak);
@@ -71,10 +71,15 @@ int main() {
         auto perturb = sim::make_scatter_at(rounds, 10.0);
         sim::sim_options opts;
         opts.seed = 61'000 + seed;
-        sim::engine e(workloads::uniform_random(8, r), algo, *sched, *move,
-                      *crash, opts);
-        e.set_perturbation(perturb.get());
-        stats.add(e.run());
+        sim::sim_spec spec;
+        spec.initial = workloads::uniform_random(8, r);
+        spec.algorithm = &algo;
+        spec.scheduler = sched.get();
+        spec.movement = move.get();
+        spec.crash = crash.get();
+        spec.options = opts;
+        spec.perturbation = perturb.get();
+        stats.add(sim::run(spec));
       }
       std::printf("    %-12zu %-12zu | %8.0f%% %9zu\n", scatters, f,
                   100.0 * stats.success_rate(), stats.median_rounds());
@@ -98,10 +103,15 @@ int main() {
       sim::sim_options opts;
       opts.seed = 71'000 + seed;
       opts.max_rounds = 20'000;
-      sim::engine e(workloads::uniform_random(n, r), algo, *sched, *move, *crash,
-                    opts);
-      e.set_byzantine(byz.get());
-      stats.add(e.run());
+      sim::sim_spec spec;
+      spec.initial = workloads::uniform_random(n, r);
+      spec.algorithm = &algo;
+      spec.scheduler = sched.get();
+      spec.movement = move.get();
+      spec.crash = crash.get();
+      spec.options = opts;
+      spec.byzantine = byz.get();
+      stats.add(sim::run(spec));
     }
     std::printf("    %-6zu | %8.0f%% %14zu\n", n, 100.0 * stats.success_rate(),
                 stats.median_rounds());

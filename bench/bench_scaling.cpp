@@ -42,7 +42,7 @@ int main() {
           auto c = sim::make_no_crash();
           sim::sim_options opts;
           opts.seed = 90'000 + seed;
-          const auto res = sim::simulate(pts, algo, *s, *m, *c, opts);
+          const auto res = bench::run_pieces(pts, algo, *s, *m, *c, opts);
           if (res.status == sim::sim_status::gathered) rounds.push_back(res.rounds);
         }
         std::sort(rounds.begin(), rounds.end());

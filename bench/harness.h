@@ -55,6 +55,39 @@ struct cell_stats {
   }
 };
 
+/// Fold the positional pieces every bench sweep produces into a sim_spec and
+/// execute it through the public sim::run() entry point.
+inline sim::sim_result run_pieces(std::vector<geom::vec2> pts,
+                                  const core::gathering_algorithm& algo,
+                                  sim::activation_scheduler& sched,
+                                  sim::movement_adversary& move,
+                                  sim::crash_policy& crash,
+                                  const sim::sim_options& opts) {
+  sim::sim_spec spec;
+  spec.initial = std::move(pts);
+  spec.algorithm = &algo;
+  spec.scheduler = &sched;
+  spec.movement = &move;
+  spec.crash = &crash;
+  spec.options = opts;
+  return sim::run(spec);
+}
+
+/// ASYNC-engine counterpart of run_pieces.
+inline sim::async_result run_async_pieces(std::vector<geom::vec2> pts,
+                                          const core::gathering_algorithm& algo,
+                                          sim::movement_adversary& move,
+                                          sim::crash_policy& crash,
+                                          const sim::async_options& opts) {
+  sim::sim_spec spec;
+  spec.initial = std::move(pts);
+  spec.algorithm = &algo;
+  spec.movement = &move;
+  spec.crash = &crash;
+  spec.async = opts;
+  return sim::run_async(spec);
+}
+
 /// One simulation with freshly-built scheduler/movement/crash components.
 inline sim::sim_result run_once(const std::vector<geom::vec2>& pts,
                                 const core::gathering_algorithm& algo,
@@ -70,7 +103,7 @@ inline sim::sim_result run_once(const std::vector<geom::vec2>& pts,
   opts.seed = seed;
   opts.check_wait_freeness = true;
   opts.max_rounds = max_rounds;
-  return sim::simulate(pts, algo, *s, *m, *c, opts);
+  return run_pieces(pts, algo, *s, *m, *c, opts);
 }
 
 inline void print_rule(int width) {

@@ -1,0 +1,70 @@
+# Static-analysis and sanitizer gates (docs/STATIC_ANALYSIS.md).
+#
+# `ctest -L lint` is the one-command gate: the always-on gather-lint pass
+# (plus its fixture self-test), clang-tidy, and clang-format.  The two
+# clang tools exit 127 when the binary is not on PATH, which maps to ctest
+# SKIP rather than failure, so the gate degrades gracefully on toolchains
+# without LLVM while staying strict where it is installed.
+#
+# `ctest -L sanitize` runs the UBSan smoke: a child configure+build of this
+# source tree with -fsanitize=undefined (recovery disabled) and the
+# GATHER_CHECK invariant contracts compiled in, then test_geometry and
+# test_sim.  Green means zero UB reports and zero contract violations.
+
+find_package(Python3 COMPONENTS Interpreter)
+
+if(Python3_Interpreter_FOUND)
+  set(_lint_dir ${CMAKE_SOURCE_DIR}/tools/lint)
+
+  add_test(NAME lint_gather
+    COMMAND ${Python3_EXECUTABLE} ${_lint_dir}/gather_lint.py
+            --root ${CMAKE_SOURCE_DIR} src tools bench tests)
+  add_test(NAME lint_selftest
+    COMMAND ${Python3_EXECUTABLE} ${_lint_dir}/gather_lint.py --self-test)
+  set_tests_properties(lint_gather lint_selftest PROPERTIES LABELS "lint")
+
+  add_test(NAME lint_clang_tidy
+    COMMAND ${Python3_EXECUTABLE} ${_lint_dir}/run_clang_tidy.py
+            --build-dir ${CMAKE_BINARY_DIR} --root ${CMAKE_SOURCE_DIR})
+  add_test(NAME format-check
+    COMMAND ${Python3_EXECUTABLE} ${_lint_dir}/check_format.py
+            --root ${CMAKE_SOURCE_DIR})
+  set_tests_properties(lint_clang_tidy format-check PROPERTIES
+    LABELS "lint" SKIP_RETURN_CODE 127)
+  set_tests_properties(lint_clang_tidy PROPERTIES TIMEOUT 1800)
+
+  # validate_jsonl must reject degenerate inputs: an empty trace and a
+  # missing file are both hard failures, not vacuous successes.
+  file(WRITE ${CMAKE_BINARY_DIR}/lint-scratch/empty_trace.jsonl "")
+  add_test(NAME validate_jsonl_rejects_empty
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/validate_jsonl.py
+            ${CMAKE_BINARY_DIR}/lint-scratch/empty_trace.jsonl)
+  add_test(NAME validate_jsonl_rejects_missing
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/validate_jsonl.py
+            ${CMAKE_BINARY_DIR}/lint-scratch/no_such_trace.jsonl)
+  set_tests_properties(validate_jsonl_rejects_empty
+                       validate_jsonl_rejects_missing
+    PROPERTIES WILL_FAIL TRUE LABELS "lint")
+
+  # `cmake --build build --target lint` == `ctest -L lint`.
+  add_custom_target(lint
+    COMMAND ${CMAKE_CTEST_COMMAND} -L lint --output-on-failure
+    WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
+    COMMENT "gather lint gate (ctest -L lint)"
+    VERBATIM)
+else()
+  message(STATUS "Python3 not found: lint gate not registered")
+endif()
+
+# UBSan + invariant-contract smoke.  A child build, so the main tree's
+# flags are untouched; RUN_SERIAL keeps its parallel compile from starving
+# concurrently running tests.
+if(NOT GATHER_SANITIZE)  # don't nest a sanitizer build inside another
+  add_test(NAME ubsan_smoke
+    COMMAND ${CMAKE_COMMAND}
+            -DSOURCE_DIR=${CMAKE_SOURCE_DIR}
+            -DWORK_DIR=${CMAKE_BINARY_DIR}/ubsan-smoke
+            -P ${CMAKE_SOURCE_DIR}/cmake/UbsanSmoke.cmake)
+  set_tests_properties(ubsan_smoke PROPERTIES
+    LABELS "sanitize" TIMEOUT 1500 RUN_SERIAL TRUE COST 10000)
+endif()

@@ -1,0 +1,58 @@
+# Script mode (cmake -P): configure and build a UBSan child tree, then run
+# the geometry and sim unit tests under it.
+#
+#   cmake -DSOURCE_DIR=<repo> -DWORK_DIR=<scratch> -P UbsanSmoke.cmake
+#
+# The child build uses GATHER_SANITIZE=undefined with recovery disabled, so
+# any UB report aborts the offending test and this script fails — a green
+# run certifies zero reports.  GATHER_CHECK_INVARIANTS=ON additionally
+# compiles the GATHER_CHECK contracts (sec containment, hull convexity,
+# multiplicity conservation) into hard asserts, so the same run also
+# certifies the geometric invariants on every covered execution.
+
+if(NOT SOURCE_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DSOURCE_DIR=<repo> -DWORK_DIR=<scratch> -P UbsanSmoke.cmake")
+endif()
+
+include(ProcessorCount)
+ProcessorCount(nproc)
+if(nproc EQUAL 0)
+  set(nproc 4)
+endif()
+
+message(STATUS "ubsan-smoke: configure ${WORK_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${WORK_DIR}
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+          -DGATHER_SANITIZE=undefined
+          -DGATHER_CHECK_INVARIANTS=ON
+          -DGATHER_BUILD_BENCH=OFF
+          -DGATHER_BUILD_EXAMPLES=OFF
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ubsan-smoke: configure failed (${rc})")
+endif()
+
+message(STATUS "ubsan-smoke: build test_geometry test_sim (-j${nproc})")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${WORK_DIR}
+          --target test_geometry test_sim --parallel ${nproc}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ubsan-smoke: build failed (${rc})")
+endif()
+
+foreach(test_bin test_geometry test_sim)
+  message(STATUS "ubsan-smoke: run ${test_bin}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env
+            UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1
+            ${WORK_DIR}/tests/${test_bin}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ubsan-smoke: ${test_bin} failed (${rc})")
+  endif()
+endforeach()
+
+message(STATUS "ubsan-smoke: OK (zero UB reports, invariant contracts held)")

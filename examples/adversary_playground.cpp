@@ -100,8 +100,14 @@ int main(int argc, char** argv) {
   sim::sim_options opts;
   opts.check_wait_freeness = true;
 
-  const auto res = sim::simulate(workloads::uniform_random(n, r), algo, sched,
-                                 move, crash, opts);
+  sim::sim_spec spec;
+  spec.initial = workloads::uniform_random(n, r);
+  spec.algorithm = &algo;
+  spec.scheduler = &sched;
+  spec.movement = &move;
+  spec.crash = &crash;
+  spec.options = opts;
+  const auto res = sim::run(spec);
 
   std::cout << "custom adversary stack: scheduler=" << sched.name()
             << ", movement=" << move.name() << ", crash=" << crash.name()

@@ -30,7 +30,14 @@ gather::sim::sim_result storm(const gather::core::gathering_algorithm& algo,
   sim::sim_options opts;
   opts.seed = 11;
   opts.max_rounds = 20'000;
-  return sim::simulate(std::move(pts), algo, *sched, *move, *crash, opts);
+  sim::sim_spec spec;
+  spec.initial = std::move(pts);
+  spec.algorithm = &algo;
+  spec.scheduler = sched.get();
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  spec.options = opts;
+  return sim::run(spec);
 }
 
 }  // namespace
@@ -71,7 +78,14 @@ int main(int argc, char** argv) {
   sim::sim_options opts_b;
   opts_b.seed = 11;
   opts_b.max_rounds = 2'000;
-  const auto res_b = sim::simulate(pts, baseline, *sched_b, *move_b, *crash_b, opts_b);
+  sim::sim_spec spec_b;
+  spec_b.initial = pts;
+  spec_b.algorithm = &baseline;
+  spec_b.scheduler = sched_b.get();
+  spec_b.movement = move_b.get();
+  spec_b.crash = crash_b.get();
+  spec_b.options = opts_b;
+  const auto res_b = sim::run(spec_b);
   std::cout << "single-fault baseline vs 2 crashes on the same instance:\n"
             << "  outcome:   " << sim::to_string(res_b.status) << "\n"
             << "  rounds:    " << res_b.rounds

@@ -41,8 +41,14 @@ int main() {
   opts.seed = 42;
   opts.check_wait_freeness = true;
 
-  const sim::sim_result res =
-      sim::simulate(robots, algo, *scheduler, *movement, *crash, opts);
+  sim::sim_spec spec;
+  spec.initial = robots;
+  spec.algorithm = &algo;
+  spec.scheduler = scheduler.get();
+  spec.movement = movement.get();
+  spec.crash = crash.get();
+  spec.options = opts;
+  const sim::sim_result res = sim::run(spec);
 
   std::cout << "\nsimulation:        " << sim::to_string(res.status) << "\n"
             << "rounds:            " << res.rounds << "\n"

@@ -27,8 +27,14 @@ int main(int argc, char** argv) {
   opts.record_trace = true;
   opts.check_wait_freeness = true;
 
-  const auto res = sim::simulate(workloads::uniform_random(n, r), algo, *sched,
-                                 *move, *crash, opts);
+  sim::sim_spec spec;
+  spec.initial = workloads::uniform_random(n, r);
+  spec.algorithm = &algo;
+  spec.scheduler = sched.get();
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  spec.options = opts;
+  const auto res = sim::run(spec);
 
   std::cout << "run: n=" << n << " f=" << f << " seed=" << seed << " -> "
             << sim::to_string(res.status) << " in " << res.rounds << " rounds\n\n";

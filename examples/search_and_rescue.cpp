@@ -34,7 +34,14 @@ int main(int argc, char** argv) {
   opts.record_trace = true;
   opts.check_wait_freeness = true;
 
-  const auto res = sim::simulate(drop_zone, algo, *scheduler, *movement, *crash, opts);
+  sim::sim_spec spec;
+  spec.initial = drop_zone;
+  spec.algorithm = &algo;
+  spec.scheduler = scheduler.get();
+  spec.movement = movement.get();
+  spec.crash = crash.get();
+  spec.options = opts;
+  const auto res = sim::run(spec);
 
   std::cout << "search-and-rescue: " << n << " robots, " << n / 3
             << " will crash, seed " << seed << "\n\n";

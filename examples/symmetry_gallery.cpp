@@ -72,8 +72,13 @@ int main() {
   auto sched = sim::make_synchronous();
   auto move = sim::make_full_movement();
   auto crash = sim::make_no_crash();
-  sim::sim_options opts;
-  const auto res = sim::simulate(biv, algo, *sched, *move, *crash, opts);
+  sim::sim_spec spec;
+  spec.initial = biv;
+  spec.algorithm = &algo;
+  spec.scheduler = sched.get();
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  const auto res = sim::run(spec);
   std::cout << "bivalent run outcome: " << sim::to_string(res.status)
             << " (no progress is the correct behaviour)\n";
   return 0;

@@ -24,8 +24,14 @@ int main(int argc, char** argv) {
   opts.seed = seed;
   opts.record_trace = true;
 
-  const auto res = sim::simulate(workloads::uniform_random(n, r), algo, *sched,
-                                 *move, *crash, opts);
+  sim::sim_spec spec;
+  spec.initial = workloads::uniform_random(n, r);
+  spec.algorithm = &algo;
+  spec.scheduler = sched.get();
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  spec.options = opts;
+  const auto res = sim::run(spec);
   sim::write_trace_csv(std::cout, res);
   std::cerr << "status=" << sim::to_string(res.status) << " rounds=" << res.rounds
             << " crashes=" << res.crashes << "\n";

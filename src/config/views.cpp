@@ -34,7 +34,9 @@ view view_with_reference(const configuration& c, vec2 p, vec2 ref) {
   const auto reps = geom::cluster_angle_values(std::move(raw_angles),
                                                c.tolerance().angle_eps);
   for (polar_entry& e : v) {
-    if (e.dist != 0.0) e.angle = geom::nearest_angle_rep(e.angle, reps);
+    // dist is exactly 0.0 only for the observer's own entry (set above).
+    if (e.dist != 0.0)  // gather-lint: allow(R3)
+      e.angle = geom::nearest_angle_rep(e.angle, reps);
   }
   std::sort(v.begin(), v.end(), [](const polar_entry& a, const polar_entry& b) {
     if (a.angle != b.angle) return a.angle < b.angle;

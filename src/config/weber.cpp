@@ -85,7 +85,8 @@ std::optional<vec2> geometric_median_weiszfeld(const configuration& c, int max_i
     vec2 pull{};
     for (const occupied_point& o : c.occupied()) {
       const double d = geom::distance(a.position, o.position);
-      if (d == 0.0) continue;
+      // Exact-zero guard against division by zero, not a proximity test.
+      if (d == 0.0) continue;  // gather-lint: allow(R3)
       pull += (o.multiplicity / d) * (o.position - a.position);
     }
     if (geom::norm(pull) <= static_cast<double>(a.multiplicity)) {
@@ -119,7 +120,8 @@ std::optional<vec2> geometric_median_weiszfeld(const configuration& c, int max_i
       den += w;
       pull += w * (o.position - y);
     }
-    if (den == 0.0) return y;  // every robot is at y
+    // Exact zero only when every robot sits at y; guards the division below.
+    if (den == 0.0) return y;  // gather-lint: allow(R3)
     const vec2 t_y = num / den;
     vec2 next;
     if (weight_at_y > 0) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geometry/predicates.h"
+#include "util/check.h"
 
 namespace gather::geom {
 
@@ -34,6 +35,15 @@ std::vector<vec2> convex_hull(std::span<const vec2> pts, const tol& t) {
     // All points collinear: keep the two extremes.
     return {p.front(), p.back()};
   }
+#ifdef GATHER_CHECK_INVARIANTS
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const vec2 a = hull[i];
+    const vec2 b = hull[(i + 1) % hull.size()];
+    const vec2 c = hull[(i + 2) % hull.size()];
+    GATHER_CHECK(orientation(a, b, c, t) > 0,
+                 "CH(Q) is counter-clockwise and strictly convex");
+  }
+#endif
   return hull;
 }
 

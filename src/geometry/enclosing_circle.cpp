@@ -1,6 +1,7 @@
 #include "geometry/enclosing_circle.h"
 
 #include "obs/profile.h"
+#include "util/check.h"
 
 #include <algorithm>
 #include <cmath>
@@ -68,6 +69,11 @@ circle smallest_enclosing_circle(std::span<const vec2> pts, const tol& t) {
       c = circle_with_one_boundary(pts, i, pts[i], t);
     }
   }
+#ifdef GATHER_CHECK_INVARIANTS
+  for (const vec2 p : pts) {
+    GATHER_CHECK(c.contains(p, t), "sec(C) contains every input point");
+  }
+#endif
   return c;
 }
 

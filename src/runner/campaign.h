@@ -108,11 +108,6 @@ struct cell_observer {
 [[nodiscard]] run_result execute_cell(const run_spec& spec, const grid& g,
                                       const cell_observer& watch = {});
 
-/// Deprecated shim (kept for one PR): execute_cell without observers.
-[[nodiscard]] inline run_result execute_one(const run_spec& spec, const grid& g) {
-  return execute_cell(spec, g);
-}
-
 /// Progress snapshot handed to the observer callback.
 struct progress {
   std::size_t completed = 0;

@@ -35,16 +35,6 @@ async_engine::async_engine(const sim_spec& spec)
   if (positions_.empty()) throw std::invalid_argument("sim_spec: no robots");
 }
 
-async_engine::async_engine(std::vector<geom::vec2> initial,
-                           const core::gathering_algorithm& algo,
-                           movement_adversary& movement, crash_policy& crash,
-                           async_options opts)
-    : positions_(std::move(initial)),
-      algo_(&algo),
-      movement_(&movement),
-      crash_(&crash),
-      opts_(opts) {}
-
 async_result async_engine::run() {
   async_result result;
   rng random(opts_.seed);
@@ -255,14 +245,6 @@ async_result async_engine::run() {
 async_result run_async(const sim_spec& spec) {
   obs::prof_session profiling(spec.profile);
   async_engine e(spec);
-  return e.run();
-}
-
-async_result simulate_async(std::vector<geom::vec2> initial,
-                            const core::gathering_algorithm& algo,
-                            movement_adversary& movement, crash_policy& crash,
-                            const async_options& opts) {
-  async_engine e(std::move(initial), algo, movement, crash, opts);
   return e.run();
 }
 

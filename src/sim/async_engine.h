@@ -95,12 +95,6 @@ class async_engine {
   /// std::invalid_argument on missing required pieces.
   explicit async_engine(const sim_spec& spec);
 
-  /// Deprecated positional shim (kept for one PR); prefer
-  /// async_engine(sim_spec) / sim::run_async().
-  async_engine(std::vector<geom::vec2> initial, const core::gathering_algorithm& algo,
-               movement_adversary& movement, crash_policy& crash,
-               async_options opts);
-
   /// Attach observability (see engine::set_observer).
   void set_observer(obs::event_sink* sink, obs::metrics_registry* metrics,
                     std::uint64_t run_id = 0) {
@@ -121,12 +115,5 @@ class async_engine {
   obs::metrics_registry* metrics_ = nullptr;
   std::uint64_t run_id_ = 0;
 };
-
-/// Deprecated shim (kept for one PR); prefer sim::run_async(const sim_spec&).
-[[nodiscard]] async_result simulate_async(std::vector<geom::vec2> initial,
-                                          const core::gathering_algorithm& algo,
-                                          movement_adversary& movement,
-                                          crash_policy& crash,
-                                          const async_options& opts);
 
 }  // namespace gather::sim

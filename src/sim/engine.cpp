@@ -10,6 +10,7 @@
 #include "sim/adversary_ext.h"
 #include "sim/frame.h"
 #include "sim/spec.h"
+#include "util/check.h"
 
 namespace gather::sim {
 
@@ -35,21 +36,6 @@ engine::engine(const sim_spec& spec)
   if (movement_ == nullptr) throw std::invalid_argument("sim_spec: movement unset");
   if (crash_ == nullptr) throw std::invalid_argument("sim_spec: crash unset");
   if (positions_.empty()) throw std::invalid_argument("sim_spec: no robots");
-  const configuration c(positions_);
-  delta_abs_ = std::max(opts_.delta_fraction * c.diameter(), 1e-12);
-}
-
-engine::engine(std::vector<vec2> initial, const gathering_algorithm& algo,
-               activation_scheduler& scheduler, movement_adversary& movement,
-               crash_policy& crash, sim_options opts)
-    : positions_(std::move(initial)),
-      live_(positions_.size(), 1),
-      algo_(&algo),
-      scheduler_(&scheduler),
-      movement_(&movement),
-      crash_(&crash),
-      opts_(opts) {
-  if (positions_.empty()) throw std::invalid_argument("engine: no robots");
   const configuration c(positions_);
   delta_abs_ = std::max(opts_.delta_fraction * c.diameter(), 1e-12);
 }
@@ -123,6 +109,19 @@ sim_result engine::run() {
       }
     }
     const configuration c = current_configuration();
+#ifdef GATHER_CHECK_INVARIANTS
+    {
+      // Robots are conserved: every round's snapshot accounts for exactly n
+      // robots (crashed ones stay visible), and the liveness mask tracks them.
+      int total_multiplicity = 0;
+      for (const auto& op : c.occupied()) total_multiplicity += op.multiplicity;
+      GATHER_CHECK(static_cast<std::size_t>(total_multiplicity) ==
+                       positions_.size(),
+                   "per-round multiplicity conservation (sum mult == n)");
+      GATHER_CHECK(live_.size() == positions_.size(),
+                   "liveness mask covers every robot");
+    }
+#endif
     // Physically merge robots that the (strong multiplicity) observation
     // already identifies as co-located; this keeps accumulated floating-point
     // noise from splitting a formed multiplicity point across rounds.
@@ -319,13 +318,6 @@ sim_result engine::run() {
 sim_result run(const sim_spec& spec) {
   obs::prof_session profiling(spec.profile);
   engine e(spec);
-  return e.run();
-}
-
-sim_result simulate(std::vector<vec2> initial, const gathering_algorithm& algo,
-                    activation_scheduler& scheduler, movement_adversary& movement,
-                    crash_policy& crash, const sim_options& opts) {
-  engine e(std::move(initial), algo, scheduler, movement, crash, opts);
   return e.run();
 }
 

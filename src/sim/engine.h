@@ -16,9 +16,7 @@
 // Observability: the engine counts per-round facts into an
 // obs::metrics_registry and, when an obs::event_sink is attached, narrates
 // the run as a structured event stream (see docs/OBSERVABILITY.md).  The
-// preferred entry point is the sim_spec aggregate + run() free function in
-// sim/spec.h; the positional constructor below survives as a deprecated
-// shim for one PR.
+// entry point is the sim_spec aggregate + run() free function in sim/spec.h.
 #pragma once
 
 #include <array>
@@ -133,12 +131,6 @@ class engine {
   /// attachments.  Throws std::invalid_argument on missing required pieces.
   explicit engine(const sim_spec& spec);
 
-  /// Deprecated positional shim (kept for one PR): equivalent to building a
-  /// sim_spec from the arguments.  Prefer engine(sim_spec) / sim::run().
-  engine(std::vector<vec2> initial, const gathering_algorithm& algo,
-         activation_scheduler& scheduler, movement_adversary& movement,
-         crash_policy& crash, sim_options opts);
-
   /// Optional transient-fault injector (see sim/adversary_ext.h): applied at
   /// the start of each round, before any robot observes.
   void set_perturbation(perturbation_policy* p) { perturbation_ = p; }
@@ -179,13 +171,5 @@ class engine {
   obs::metrics_registry* metrics_ = nullptr;
   std::uint64_t run_id_ = 0;
 };
-
-/// Deprecated shim (kept for one PR): run one simulation with the given
-/// pieces.  Prefer sim::run(const sim_spec&) in sim/spec.h.
-[[nodiscard]] sim_result simulate(std::vector<vec2> initial,
-                                  const gathering_algorithm& algo,
-                                  activation_scheduler& scheduler,
-                                  movement_adversary& movement, crash_policy& crash,
-                                  const sim_options& opts);
 
 }  // namespace gather::sim

@@ -8,7 +8,8 @@ namespace gather::sim {
 geom::vec2 movement_adversary::stop_point(geom::vec2 from, geom::vec2 dest,
                                           double delta, rng& random) {
   const double want = geom::distance(from, dest);
-  if (want <= delta || want == 0.0) return dest;
+  // Exact-zero guard: want == 0 means from == dest bit-for-bit.
+  if (want <= delta || want == 0.0) return dest;  // gather-lint: allow(R3)
   const double gone = std::clamp(travelled(want, delta, random), delta, want);
   if (gone >= want) return dest;
   return from + (gone / want) * (dest - from);

@@ -6,8 +6,7 @@
 // sim_spec and calling run() (or run_async()).  The aggregate owns no
 // polymorphic pieces: the algorithm and the adversaries are non-owning
 // pointers, so one scheduler/movement/crash instance can be reused across
-// specs exactly as with the old positional constructors (which survive as
-// deprecated shims for one PR).
+// specs.
 //
 //   sim::sim_spec spec;
 //   spec.initial = pts;

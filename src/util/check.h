@@ -1,0 +1,38 @@
+// GATHER_CHECK: contract macros for the simulator's geometric and
+// conservation invariants.
+//
+// The paper's correctness argument leans on facts the code re-derives every
+// round: sec(C) contains every point (Def. 2 anchors views on its center),
+// CH(Q) is a counter-clockwise convex polygon (the linear/side-step case
+// analysis walks its boundary), and robots are conserved round to round
+// (crashed robots stay put; nobody is created or destroyed).  Compiling with
+// -DGATHER_CHECK_INVARIANTS=ON (the `checked` CMake preset) turns these into
+// hard asserts that abort with a file:line diagnostic; in regular builds they
+// compile to nothing and the condition is not evaluated.
+#pragma once
+
+#ifdef GATHER_CHECK_INVARIANTS
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gather::detail {
+
+[[noreturn]] inline void check_fail(const char* cond, const char* what,
+                                    const char* file, int line) {
+  std::fprintf(stderr, "GATHER_CHECK failed: %s\n  invariant: %s\n  at %s:%d\n",
+               cond, what, file, line);
+  std::abort();
+}
+
+}  // namespace gather::detail
+
+#define GATHER_CHECK(cond, what)                                        \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::gather::detail::check_fail(#cond, what, __FILE__, __LINE__))
+
+#else
+
+#define GATHER_CHECK(cond, what) static_cast<void>(0)
+
+#endif

@@ -5,6 +5,7 @@
 
 #include "core/wait_free_gather.h"
 #include "sim/sim.h"
+#include "sim_support.h"
 #include "workloads/generators.h"
 
 namespace gather::sim {
@@ -20,7 +21,7 @@ sim_result traced_run(std::vector<geom::vec2> pts, std::size_t f = 0,
   sim_options opts;
   opts.seed = seed;
   opts.record_trace = true;
-  return simulate(std::move(pts), kAlgo, *sched, *move, *crash, opts);
+  return run_sim(std::move(pts), kAlgo, *sched, *move, *crash, opts);
 }
 
 TEST(Analysis, MetricsParallelTrace) {
@@ -142,7 +143,7 @@ TEST(JsonReport, NoTraceOmitsDetail) {
   sim_options opts;  // record_trace = false
   rng r(10);
   const auto res =
-      simulate(workloads::uniform_random(5, r), kAlgo, *sched, *move, *crash, opts);
+      run_sim(workloads::uniform_random(5, r), kAlgo, *sched, *move, *crash, opts);
   std::ostringstream os;
   write_json_report(os, res);
   EXPECT_EQ(os.str().find("rounds_detail"), std::string::npos);

@@ -6,6 +6,7 @@
 #include "core/predicates.h"
 #include "core/wait_free_gather.h"
 #include "sim/sim.h"
+#include "sim_support.h"
 #include "workloads/generators.h"
 
 namespace gather::baselines {
@@ -37,7 +38,7 @@ TEST(CenterOfGravity, ConvergesButDoesNotGatherUnderPartialActivation) {
   sim_options opts;
   opts.max_rounds = 300;
   sim::rng r(73);
-  const auto res = sim::simulate(workloads::uniform_random(6, r), algo, *sched,
+  const auto res = sim::run_sim(workloads::uniform_random(6, r), algo, *sched,
                                  *move, *crash, opts);
   // Convergence: the spread shrinks dramatically...
   EXPECT_LT(sim::spread(res.final_positions), 1e-3);
@@ -51,7 +52,7 @@ TEST(SingleFault, GathersWithoutCrashes) {
   auto move = sim::make_full_movement();
   auto crash = sim::make_no_crash();
   sim_options opts;
-  const auto res = sim::simulate({{0, 0}, {5, 0}, {1, 3}, {-2, 1}}, algo, *sched,
+  const auto res = sim::run_sim({{0, 0}, {5, 0}, {1, 3}, {-2, 1}}, algo, *sched,
                                  *move, *crash, opts);
   EXPECT_EQ(res.status, sim_status::gathered);
 }
@@ -63,7 +64,7 @@ TEST(SingleFault, SurvivesOneCrash) {
   // Crash one of the two designated movers immediately.
   auto crash = sim::make_scheduled_crashes({{0, 0}});
   sim_options opts;
-  const auto res = sim::simulate({{0, 0}, {5, 0}, {1, 3}, {-2, 1}}, algo, *sched,
+  const auto res = sim::run_sim({{0, 0}, {5, 0}, {1, 3}, {-2, 1}}, algo, *sched,
                                  *move, *crash, opts);
   EXPECT_EQ(res.status, sim_status::gathered);
 }
@@ -87,7 +88,7 @@ TEST(SingleFault, DeadlocksUnderTwoCrashes) {
       sim::make_scheduled_crashes({{0, byd[0].second}, {0, byd[1].second}});
   sim_options opts;
   opts.max_rounds = 500;
-  const auto res = sim::simulate(pts, algo, *sched, *move, *crash, opts);
+  const auto res = sim::run_sim(pts, algo, *sched, *move, *crash, opts);
   EXPECT_NE(res.status, sim_status::gathered);
   // Deadlock, not livelock: positions of live robots never change.
   EXPECT_EQ(sim::spread(res.final_positions), sim::spread(pts));
@@ -117,7 +118,7 @@ TEST(MedianPursuit, ConvergesUnderSynchronousSchedule) {
   sim_options opts;
   opts.max_rounds = 200;
   sim::rng r(79);
-  const auto res = sim::simulate(workloads::uniform_random(5, r), algo, *sched,
+  const auto res = sim::run_sim(workloads::uniform_random(5, r), algo, *sched,
                                  *move, *crash, opts);
   EXPECT_LT(sim::spread(res.final_positions), 0.5);
 }

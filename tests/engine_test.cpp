@@ -3,6 +3,7 @@
 
 #include "core/wait_free_gather.h"
 #include "sim/sim.h"
+#include "sim_support.h"
 #include "workloads/generators.h"
 
 namespace gather::sim {
@@ -35,7 +36,7 @@ TEST(Engine, FairnessBackstopRescuesStarvedRobots) {
   sim_options opts;
   opts.fairness_bound = 8;
   const std::vector<vec2> pts = {{10, 10}, {0, 0}, {0, 0}, {1, 0}, {0, 1}};
-  const auto res = simulate(pts, kAlgo, sched, *move, *crash, opts);
+  const auto res = run_sim(pts, kAlgo, sched, *move, *crash, opts);
   EXPECT_EQ(res.status, sim_status::gathered);
 }
 
@@ -48,7 +49,7 @@ TEST(Engine, RoundLimitIsHonoured) {
   opts.delta_fraction = 0.001;
   rng r(1);
   const auto res =
-      simulate(workloads::uniform_random(8, r), kAlgo, *sched, *move, *crash, opts);
+      run_sim(workloads::uniform_random(8, r), kAlgo, *sched, *move, *crash, opts);
   EXPECT_EQ(res.status, sim_status::round_limit);
   EXPECT_LE(res.rounds, 3u);
 }
@@ -60,7 +61,7 @@ TEST(Engine, LastLiveRobotCannotCrash) {
   auto crash = make_scheduled_crashes({{0, 0}, {0, 1}, {0, 2}});
   sim_options opts;
   const std::vector<vec2> pts = {{0, 0}, {4, 0}, {1, 3}};
-  const auto res = simulate(pts, kAlgo, *sched, *move, *crash, opts);
+  const auto res = run_sim(pts, kAlgo, *sched, *move, *crash, opts);
   EXPECT_EQ(res.crashes, 2u);  // third crash refused
   EXPECT_EQ(res.status, sim_status::gathered);  // the lone survivor gathers
 }
@@ -76,7 +77,7 @@ TEST(Engine, DeltaIsAbsolutePerRun) {
     auto crash = make_no_crash();
     sim_options opts;
     opts.delta_fraction = frac;
-    return simulate(pts, kAlgo, *sched, *move, *crash, opts);
+    return run_sim(pts, kAlgo, *sched, *move, *crash, opts);
   };
   const auto fast = run(0.5);
   const auto slow = run(0.02);
@@ -92,7 +93,7 @@ TEST(Engine, TraceOffByDefault) {
   sim_options opts;
   rng r(3);
   const auto res =
-      simulate(workloads::uniform_random(5, r), kAlgo, *sched, *move, *crash, opts);
+      run_sim(workloads::uniform_random(5, r), kAlgo, *sched, *move, *crash, opts);
   EXPECT_TRUE(res.trace.empty());
   EXPECT_FALSE(res.class_history.empty());  // class history is always kept
 }
@@ -105,7 +106,7 @@ TEST(Engine, GatherPointHostsAllLiveRobots) {
   sim_options opts;
   opts.seed = 9;
   const auto res =
-      simulate(workloads::uniform_random(9, r), kAlgo, *sched, *move, *crash, opts);
+      run_sim(workloads::uniform_random(9, r), kAlgo, *sched, *move, *crash, opts);
   ASSERT_EQ(res.status, sim_status::gathered);
   const config::configuration final_c(res.final_positions);
   for (std::size_t i = 0; i < res.final_positions.size(); ++i) {
@@ -123,7 +124,7 @@ TEST(Engine, ResultRoundsMatchesClassHistory) {
   sim_options opts;
   rng r(5);
   const auto res =
-      simulate(workloads::uniform_random(5, r), kAlgo, *sched, *move, *crash, opts);
+      run_sim(workloads::uniform_random(5, r), kAlgo, *sched, *move, *crash, opts);
   ASSERT_EQ(res.status, sim_status::gathered);
   // One class entry per examined round, including the final gathered one.
   EXPECT_EQ(res.class_history.size(), res.rounds + 1);
@@ -138,7 +139,7 @@ TEST(Engine, SeedsAreReproducible) {
     auto crash = make_random_crashes(2, 15);
     sim_options opts;
     opts.seed = 123;
-    return simulate(pts, kAlgo, *sched, *move, *crash, opts);
+    return run_sim(pts, kAlgo, *sched, *move, *crash, opts);
   };
   const auto r1 = run();
   const auto r2 = run();
@@ -156,7 +157,7 @@ TEST(Engine, DifferentSeedsDiverge) {
     auto crash = make_no_crash();
     sim_options opts;
     opts.seed = seed;
-    return simulate(pts, kAlgo, *sched, *move, *crash, opts);
+    return run_sim(pts, kAlgo, *sched, *move, *crash, opts);
   };
   // Not a strict guarantee, but over several seeds at least one divergence.
   bool diverged = false;

@@ -6,6 +6,7 @@
 #include "core/weak_multiplicity.h"
 #include "core/wait_free_gather.h"
 #include "sim/sim.h"
+#include "sim_support.h"
 #include "workloads/generators.h"
 
 namespace gather {
@@ -14,6 +15,21 @@ namespace {
 using geom::vec2;
 
 const core::wait_free_gather kAlgo;
+
+// Spec builder for the extension tests that attach a perturbation or a
+// byzantine policy before running.
+sim::sim_spec make_spec(std::vector<vec2> pts, sim::activation_scheduler& sched,
+                        sim::movement_adversary& move, sim::crash_policy& crash,
+                        const sim::sim_options& opts) {
+  sim::sim_spec spec;
+  spec.initial = std::move(pts);
+  spec.algorithm = &kAlgo;
+  spec.scheduler = &sched;
+  spec.movement = &move;
+  spec.crash = &crash;
+  spec.options = opts;
+  return spec;
+}
 
 // -- ASYNC engine -----------------------------------------------------------
 
@@ -25,7 +41,7 @@ TEST(AsyncEngine, AtomicSequentialRecoversAtomBehaviour) {
   auto crash = sim::make_no_crash();
   sim::async_options opts;
   opts.policy = sim::async_policy::atomic_sequential;
-  const auto res = sim::simulate_async(workloads::uniform_random(6, r), kAlgo,
+  const auto res = sim::run_async_sim(workloads::uniform_random(6, r), kAlgo,
                                        *move, *crash, opts);
   EXPECT_EQ(res.status, sim::sim_status::gathered);
   EXPECT_EQ(res.stale_moves, 0u);
@@ -38,7 +54,7 @@ TEST(AsyncEngine, RandomInterleavingProducesStaleMoves) {
   sim::async_options opts;
   opts.policy = sim::async_policy::random_interleaving;
   opts.seed = 5;
-  const auto res = sim::simulate_async(workloads::uniform_random(8, r), kAlgo,
+  const auto res = sim::run_async_sim(workloads::uniform_random(8, r), kAlgo,
                                        *move, *crash, opts);
   EXPECT_GT(res.stale_moves, 0u);
 }
@@ -54,7 +70,7 @@ TEST(AsyncEngine, GathersUnderModerateAsynchronyInPractice) {
     sim::async_options opts;
     opts.policy = sim::async_policy::random_interleaving;
     opts.seed = seed;
-    const auto res = sim::simulate_async(workloads::uniform_random(6, r), kAlgo,
+    const auto res = sim::run_async_sim(workloads::uniform_random(6, r), kAlgo,
                                          *move, *crash, opts);
     if (res.status == sim::sim_status::gathered) ++ok;
   }
@@ -67,7 +83,7 @@ TEST(AsyncEngine, CrashesAreInjected) {
   auto crash = sim::make_random_crashes(2, 40);
   sim::async_options opts;
   opts.seed = 7;
-  const auto res = sim::simulate_async(workloads::uniform_random(7, r), kAlgo,
+  const auto res = sim::run_async_sim(workloads::uniform_random(7, r), kAlgo,
                                        *move, *crash, opts);
   EXPECT_GT(res.crashes, 0u);
 }
@@ -79,7 +95,7 @@ TEST(AsyncEngine, BivalentStartReported) {
   sim::async_options opts;
   opts.max_steps = 2'000;
   const auto res =
-      sim::simulate_async(workloads::bivalent(6, r), kAlgo, *move, *crash, opts);
+      sim::run_async_sim(workloads::bivalent(6, r), kAlgo, *move, *crash, opts);
   EXPECT_EQ(res.status, sim::sim_status::started_bivalent);
 }
 
@@ -103,10 +119,10 @@ TEST(TransientFaults, GathersAfterFullScatter) {
     auto perturb = sim::make_scatter_at({5, 11}, 12.0);
     sim::sim_options opts;
     opts.seed = seed;
-    sim::engine e(workloads::uniform_random(7, r), kAlgo, *sched, *move, *crash,
-                  opts);
-    e.set_perturbation(perturb.get());
-    const auto res = e.run();
+    auto spec = make_spec(workloads::uniform_random(7, r), *sched, *move,
+                          *crash, opts);
+    spec.perturbation = perturb.get();
+    const auto res = sim::run(spec);
     EXPECT_EQ(res.status, sim::sim_status::gathered) << seed;
     EXPECT_GT(res.rounds, 5u);  // the scatter actually undid progress
   }
@@ -119,10 +135,10 @@ TEST(TransientFaults, NudgesDoNotPreventGathering) {
   auto crash = sim::make_random_crashes(2, 20);
   auto perturb = sim::make_nudge_at({2, 4, 6, 8}, 3.0);
   sim::sim_options opts;
-  sim::engine e(workloads::uniform_random(8, r), kAlgo, *sched, *move, *crash,
-                opts);
-  e.set_perturbation(perturb.get());
-  EXPECT_EQ(e.run().status, sim::sim_status::gathered);
+  auto spec = make_spec(workloads::uniform_random(8, r), *sched, *move, *crash,
+                        opts);
+  spec.perturbation = perturb.get();
+  EXPECT_EQ(sim::run(spec).status, sim::sim_status::gathered);
 }
 
 TEST(TransientFaults, CrashedRobotsAreNotPerturbed) {
@@ -134,9 +150,9 @@ TEST(TransientFaults, CrashedRobotsAreNotPerturbed) {
   auto perturb = sim::make_scatter_at({3}, 12.0);
   const auto pts = workloads::uniform_random(6, r);
   sim::sim_options opts;
-  sim::engine e(pts, kAlgo, *sched, *move, *crash, opts);
-  e.set_perturbation(perturb.get());
-  const auto res = e.run();
+  auto spec = make_spec(pts, *sched, *move, *crash, opts);
+  spec.perturbation = perturb.get();
+  const auto res = sim::run(spec);
   EXPECT_EQ(res.final_positions[0], pts[0]);
 }
 
@@ -152,10 +168,10 @@ TEST(Byzantine, RunawayPreventsStableGathering) {
   auto byz = sim::make_splitter_byzantine({0});
   sim::sim_options opts;
   opts.max_rounds = 3'000;
-  sim::engine e(workloads::uniform_random(3, r), kAlgo, *sched, *move, *crash,
-                opts);
-  e.set_byzantine(byz.get());
-  const auto res = e.run();
+  auto spec = make_spec(workloads::uniform_random(3, r), *sched, *move, *crash,
+                        opts);
+  spec.byzantine = byz.get();
+  const auto res = sim::run(spec);
   // The run either never reaches a gathered instant, or needs the full
   // budget; we assert the strong expected outcome for this splitter.
   EXPECT_NE(res.status, sim::sim_status::stalled);
@@ -172,9 +188,9 @@ TEST(Byzantine, ManyCorrectRobotsStillGatherDespiteOneRunaway) {
   sim::sim_options opts;
   opts.max_rounds = 20'000;
   auto pts = workloads::with_majority(9, 4, r);
-  sim::engine e(pts, kAlgo, *sched, *move, *crash, opts);
-  e.set_byzantine(byz.get());
-  const auto res = e.run();
+  auto spec = make_spec(pts, *sched, *move, *crash, opts);
+  spec.byzantine = byz.get();
+  const auto res = sim::run(spec);
   EXPECT_EQ(res.status, sim::sim_status::gathered);
 }
 
@@ -201,11 +217,11 @@ TEST(WeakMultiplicity, UnequalStacksLookBivalentAndFreeze) {
   sim::sim_options opts;
   opts.max_rounds = 500;
 
-  const auto strong_res = sim::simulate(pts, kAlgo, *sched, *move, *crash, opts);
+  const auto strong_res = sim::run_sim(pts, kAlgo, *sched, *move, *crash, opts);
   EXPECT_EQ(strong_res.status, sim::sim_status::gathered);
 
   auto sched2 = sim::make_synchronous();
-  const auto weak_res = sim::simulate(pts, weak, *sched2, *move, *crash, opts);
+  const auto weak_res = sim::run_sim(pts, weak, *sched2, *move, *crash, opts);
   EXPECT_EQ(weak_res.status, sim::sim_status::stalled);
 }
 
@@ -218,7 +234,7 @@ TEST(WeakMultiplicity, StillGathersWhenCountsDoNotMatter) {
   auto move = sim::make_full_movement();
   auto crash = sim::make_no_crash();
   sim::sim_options opts;
-  const auto res = sim::simulate(pts, weak, *sched, *move, *crash, opts);
+  const auto res = sim::run_sim(pts, weak, *sched, *move, *crash, opts);
   EXPECT_EQ(res.status, sim::sim_status::gathered);
 }
 

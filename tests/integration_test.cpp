@@ -6,6 +6,7 @@
 
 #include "core/wait_free_gather.h"
 #include "sim/sim.h"
+#include "sim_support.h"
 #include "workloads/generators.h"
 
 namespace gather {
@@ -20,7 +21,7 @@ sim::sim_result run_with(std::vector<vec2> pts, sim::activation_scheduler& sched
                          sim::movement_adversary& move, sim::crash_policy& crash,
                          sim::sim_options opts = {}) {
   opts.check_wait_freeness = true;
-  return sim::simulate(std::move(pts), kAlgo, sched, move, crash, opts);
+  return sim::run_sim(std::move(pts), kAlgo, sched, move, crash, opts);
 }
 
 void expect_clean_gather(const sim::sim_result& res, const std::string& label) {

@@ -8,6 +8,7 @@
 #include "core/core.h"
 #include "geometry/angles.h"
 #include "sim/sim.h"
+#include "sim_support.h"
 #include "workloads/generators.h"
 
 namespace gather {
@@ -200,7 +201,7 @@ TEST(Lemma59, CrashedEndpointsStillAllowGathering) {
   auto move = sim::make_random_stop();
   auto crash = sim::make_scheduled_crashes({{0, lo_i}, {0, hi_i}});
   sim::sim_options opts;
-  const auto res = sim::simulate(pts, kAlgo, *sched, *move, *crash, opts);
+  const auto res = sim::run_sim(pts, kAlgo, *sched, *move, *crash, opts);
   ASSERT_EQ(res.status, sim::sim_status::gathered);
   // The gather point is the center of the (frozen) segment.
   const vec2 center = geom::midpoint(pts[lo_i], pts[hi_i]);
@@ -238,7 +239,7 @@ TEST(Definition9, CoLocationAloneIsNotGathered) {
   sim::sim_options opts;
   // Robots 0-2 (crashed) on a stack of three; robots 3-4 together elsewhere.
   const std::vector<vec2> pts = {{0, 0}, {0, 0}, {0, 0}, {5, 0}, {5, 0}};
-  const auto res = sim::simulate(pts, kAlgo, *sched, *move, *crash, opts);
+  const auto res = sim::run_sim(pts, kAlgo, *sched, *move, *crash, opts);
   ASSERT_EQ(res.status, sim::sim_status::gathered);
   // The live robots must have walked to the crashed stack (the unique
   // maximum multiplicity point), not stayed at (5,0).

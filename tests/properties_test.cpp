@@ -8,6 +8,7 @@
 #include "core/core.h"
 #include "geometry/angles.h"
 #include "sim/sim.h"
+#include "sim_support.h"
 #include "workloads/generators.h"
 
 namespace gather {
@@ -148,7 +149,7 @@ TEST_P(FullRun, GathersCleanly) {
   sim::sim_options opts;
   opts.check_wait_freeness = true;
   opts.seed = static_cast<std::uint64_t>(p.n) * 13 + p.f;
-  const auto res = sim::simulate(pts, kAlgo, *sched, *move, *crash, opts);
+  const auto res = sim::run_sim(pts, kAlgo, *sched, *move, *crash, opts);
   EXPECT_EQ(res.status, sim::sim_status::gathered);
   EXPECT_EQ(res.wait_free_violations, 0u);
   EXPECT_EQ(res.bivalent_entries, 0u);
@@ -168,10 +169,10 @@ std::vector<RunParam> full_run_grid() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, FullRun, ::testing::ValuesIn(full_run_grid()),
-                         [](const ::testing::TestParamInfo<RunParam>& info) {
-                           return "n" + std::to_string(info.param.n) + "_f" +
-                                  std::to_string(info.param.f) + "_s" +
-                                  std::to_string(info.param.sched);
+                         [](const ::testing::TestParamInfo<RunParam>& param_info) {
+                           return "n" + std::to_string(param_info.param.n) +
+                                  "_f" + std::to_string(param_info.param.f) +
+                                  "_s" + std::to_string(param_info.param.sched);
                          });
 
 // ---------------------------------------------------------------------------

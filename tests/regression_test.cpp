@@ -9,6 +9,7 @@
 #include "core/core.h"
 #include "geometry/angles.h"
 #include "sim/sim.h"
+#include "sim_support.h"
 
 namespace gather {
 namespace {
@@ -123,7 +124,7 @@ TEST(Regression, L2WCenterOccupiedStillProgresses) {
   auto move = sim::make_random_stop();
   auto crash = sim::make_scheduled_crashes({{0, 0}, {0, 4}});
   sim::sim_options opts;
-  const auto res = sim::simulate(pts, kAlgo, *sched, *move, *crash, opts);
+  const auto res = sim::run_sim(pts, kAlgo, *sched, *move, *crash, opts);
   EXPECT_EQ(res.status, sim::sim_status::gathered);
   EXPECT_NEAR(res.gather_point.x, 6.0, 1e-6);
 }

@@ -1,7 +1,9 @@
 // sim_spec API tests: the aggregate entry points validate their inputs, the
-// deprecated positional shims (engine ctor, async_engine ctor, simulate,
-// simulate_async, runner::execute_one) produce bit-identical results to the
-// sim_spec path, and sim_result records the absolute delta actually used.
+// run()/run_async() free functions are deterministic and bit-identical to
+// driving the engines directly, and sim_result records the absolute delta
+// actually used.  (The deprecated positional shims these originally compared
+// against -- engine ctor, async_engine ctor, simulate, simulate_async,
+// runner::execute_one -- are gone; the sim_spec path is the only entry.)
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -77,35 +79,36 @@ TEST(SimSpec, RunAsyncValidatesRequiredPieces) {
   EXPECT_EQ(run_async(spec).status, sim_status::gathered);
 }
 
-// --- deprecated shims --------------------------------------------------------
-// Each shim must behave exactly like the sim_spec path it forwards to; the
-// shims go away next PR, and these tests with them.
+// --- spec-path equivalences --------------------------------------------------
+// The free functions must be pure functions of the spec: re-running a spec
+// with fresh adversary instances reproduces the run bit-for-bit, and driving
+// the engine class directly matches run()/run_async() exactly.  These are
+// the migrated successors of the shim-equivalence tests (the shims are
+// deleted).
 
-TEST(SimSpecShims, SimulateMatchesSpecRun) {
+TEST(SimSpecEquivalence, RunIsDeterministicAcrossFreshAdversaries) {
   const auto pts = cloud(8, 7);
   sim_options opts;
   opts.seed = 21;
   opts.delta_fraction = 0.04;
 
-  auto sched1 = make_fair_random();
-  auto move1 = make_random_stop();
-  auto crash1 = make_random_crashes(2, 30);
-  const auto via_shim = simulate(pts, kAlgo, *sched1, *move1, *crash1, opts);
-
-  auto sched2 = make_fair_random();
-  auto move2 = make_random_stop();
-  auto crash2 = make_random_crashes(2, 30);
-  sim_spec spec;
-  spec.initial = pts;
-  spec.algorithm = &kAlgo;
-  spec.scheduler = sched2.get();
-  spec.movement = move2.get();
-  spec.crash = crash2.get();
-  spec.options = opts;
-  expect_same_result(via_shim, run(spec));
+  auto make_run = [&] {
+    auto sched = make_fair_random();
+    auto move = make_random_stop();
+    auto crash = make_random_crashes(2, 30);
+    sim_spec spec;
+    spec.initial = pts;
+    spec.algorithm = &kAlgo;
+    spec.scheduler = sched.get();
+    spec.movement = move.get();
+    spec.crash = crash.get();
+    spec.options = opts;
+    return run(spec);
+  };
+  expect_same_result(make_run(), make_run());
 }
 
-TEST(SimSpecShims, PositionalEngineCtorMatchesSpecCtor) {
+TEST(SimSpecEquivalence, EngineCtorMatchesRun) {
   const auto pts = cloud(7, 9);
   sim_options opts;
   opts.seed = 5;
@@ -113,51 +116,53 @@ TEST(SimSpecShims, PositionalEngineCtorMatchesSpecCtor) {
   auto sched1 = make_round_robin();
   auto move1 = make_full_movement();
   auto crash1 = make_no_crash();
-  engine positional(pts, kAlgo, *sched1, *move1, *crash1, opts);
+  sim_spec spec1;
+  spec1.initial = pts;
+  spec1.algorithm = &kAlgo;
+  spec1.scheduler = sched1.get();
+  spec1.movement = move1.get();
+  spec1.crash = crash1.get();
+  spec1.options = opts;
+  engine direct(spec1);
 
   auto sched2 = make_round_robin();
   auto move2 = make_full_movement();
   auto crash2 = make_no_crash();
-  sim_spec spec;
-  spec.initial = pts;
-  spec.algorithm = &kAlgo;
-  spec.scheduler = sched2.get();
-  spec.movement = move2.get();
-  spec.crash = crash2.get();
-  spec.options = opts;
-  engine from_spec(spec);
+  sim_spec spec2 = spec1;
+  spec2.scheduler = sched2.get();
+  spec2.movement = move2.get();
+  spec2.crash = crash2.get();
 
-  expect_same_result(positional.run(), from_spec.run());
+  expect_same_result(direct.run(), run(spec2));
 }
 
-TEST(SimSpecShims, SimulateAsyncMatchesSpecRunAsync) {
+TEST(SimSpecEquivalence, RunAsyncIsDeterministicAcrossFreshAdversaries) {
   const auto pts = cloud(6, 13);
   async_options opts;
   opts.seed = 17;
   opts.policy = async_policy::random_interleaving;
 
-  auto move1 = make_random_stop();
-  auto crash1 = make_random_crashes(1, 30);
-  const auto via_shim = simulate_async(pts, kAlgo, *move1, *crash1, opts);
-
-  auto move2 = make_random_stop();
-  auto crash2 = make_random_crashes(1, 30);
-  sim_spec spec;
-  spec.initial = pts;
-  spec.algorithm = &kAlgo;
-  spec.movement = move2.get();
-  spec.crash = crash2.get();
-  spec.async = opts;
-  const auto via_spec = run_async(spec);
-
-  EXPECT_EQ(via_shim.status, via_spec.status);
-  EXPECT_EQ(via_shim.steps, via_spec.steps);
-  EXPECT_EQ(via_shim.cycles, via_spec.cycles);
-  EXPECT_EQ(via_shim.crashes, via_spec.crashes);
-  EXPECT_DOUBLE_EQ(via_shim.delta_abs, via_spec.delta_abs);
+  auto make_run = [&] {
+    auto move = make_random_stop();
+    auto crash = make_random_crashes(1, 30);
+    sim_spec spec;
+    spec.initial = pts;
+    spec.algorithm = &kAlgo;
+    spec.movement = move.get();
+    spec.crash = crash.get();
+    spec.async = opts;
+    return run_async(spec);
+  };
+  const auto a = make_run();
+  const auto b = make_run();
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_DOUBLE_EQ(a.delta_abs, b.delta_abs);
 }
 
-TEST(SimSpecShims, PositionalAsyncCtorMatchesSpecCtor) {
+TEST(SimSpecEquivalence, AsyncEngineCtorMatchesRunAsync) {
   const auto pts = cloud(5, 23);
   async_options opts;
   opts.seed = 3;
@@ -165,26 +170,28 @@ TEST(SimSpecShims, PositionalAsyncCtorMatchesSpecCtor) {
 
   auto move1 = make_full_movement();
   auto crash1 = make_no_crash();
-  async_engine positional(pts, kAlgo, *move1, *crash1, opts);
+  sim_spec spec1;
+  spec1.initial = pts;
+  spec1.algorithm = &kAlgo;
+  spec1.movement = move1.get();
+  spec1.crash = crash1.get();
+  spec1.async = opts;
+  async_engine direct(spec1);
 
   auto move2 = make_full_movement();
   auto crash2 = make_no_crash();
-  sim_spec spec;
-  spec.initial = pts;
-  spec.algorithm = &kAlgo;
-  spec.movement = move2.get();
-  spec.crash = crash2.get();
-  spec.async = opts;
-  async_engine from_spec(spec);
+  sim_spec spec2 = spec1;
+  spec2.movement = move2.get();
+  spec2.crash = crash2.get();
 
-  const auto a = positional.run();
-  const auto b = from_spec.run();
+  const auto a = direct.run();
+  const auto b = run_async(spec2);
   EXPECT_EQ(a.status, b.status);
   EXPECT_EQ(a.steps, b.steps);
   EXPECT_EQ(a.cycles, b.cycles);
 }
 
-TEST(SimSpecShims, ExecuteOneMatchesExecuteCell) {
+TEST(SimSpecEquivalence, ExecuteCellIsPure) {
   runner::grid g;
   runner::run_spec spec;
   spec.workload = "uniform";
@@ -196,12 +203,12 @@ TEST(SimSpecShims, ExecuteOneMatchesExecuteCell) {
   spec.index = 4;
   spec.seed = runner::derive_seed(g.base_seed, spec.index);
 
-  const auto via_shim = runner::execute_one(spec, g);
-  const auto via_cell = runner::execute_cell(spec, g);
-  EXPECT_EQ(via_shim.status, via_cell.status);
-  EXPECT_EQ(via_shim.rounds, via_cell.rounds);
-  EXPECT_EQ(via_shim.crashes, via_cell.crashes);
-  EXPECT_EQ(via_shim.phase_count, via_cell.phase_count);
+  const auto first = runner::execute_cell(spec, g);
+  const auto second = runner::execute_cell(spec, g);
+  EXPECT_EQ(first.status, second.status);
+  EXPECT_EQ(first.rounds, second.rounds);
+  EXPECT_EQ(first.crashes, second.crashes);
+  EXPECT_EQ(first.phase_count, second.phase_count);
 }
 
 // --- delta_abs ---------------------------------------------------------------

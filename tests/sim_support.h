@@ -1,0 +1,43 @@
+// Test-side spec builders: fold the positional (points, algorithm,
+// adversaries, options) piles the suites naturally produce into a sim_spec
+// and execute it through the public run()/run_async() entry points.  The
+// library's deprecated positional shims are gone; these helpers keep the
+// call sites compact without reintroducing positional entry points in the
+// library itself.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/sim.h"
+
+namespace gather::sim {
+
+inline sim_result run_sim(std::vector<geom::vec2> pts,
+                          const core::gathering_algorithm& algo,
+                          activation_scheduler& sched, movement_adversary& move,
+                          crash_policy& crash, const sim_options& opts = {}) {
+  sim_spec spec;
+  spec.initial = std::move(pts);
+  spec.algorithm = &algo;
+  spec.scheduler = &sched;
+  spec.movement = &move;
+  spec.crash = &crash;
+  spec.options = opts;
+  return run(spec);
+}
+
+inline async_result run_async_sim(std::vector<geom::vec2> pts,
+                                  const core::gathering_algorithm& algo,
+                                  movement_adversary& move, crash_policy& crash,
+                                  const async_options& opts = {}) {
+  sim_spec spec;
+  spec.initial = std::move(pts);
+  spec.algorithm = &algo;
+  spec.movement = &move;
+  spec.crash = &crash;
+  spec.async = opts;
+  return run_async(spec);
+}
+
+}  // namespace gather::sim

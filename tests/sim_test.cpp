@@ -16,12 +16,25 @@ using geom::vec2;
 
 const wait_free_gather kAlgo;
 
+sim_result run_with(std::vector<vec2> pts, activation_scheduler& sched,
+                    movement_adversary& move, crash_policy& crash,
+                    const sim_options& opts) {
+  sim_spec spec;
+  spec.initial = std::move(pts);
+  spec.algorithm = &kAlgo;
+  spec.scheduler = &sched;
+  spec.movement = &move;
+  spec.crash = &crash;
+  spec.options = opts;
+  return run(spec);
+}
+
 sim_result run_simple(std::vector<vec2> pts, sim_options opts = {},
                       activation_scheduler* sched = nullptr) {
   auto sync = make_synchronous();
   auto move = make_full_movement();
   auto crash = make_no_crash();
-  return simulate(std::move(pts), kAlgo, sched ? *sched : *sync, *move, *crash, opts);
+  return run_with(std::move(pts), sched ? *sched : *sync, *move, *crash, opts);
 }
 
 TEST(Scheduler, SynchronousSelectsAllLive) {
@@ -159,7 +172,7 @@ TEST(Engine, CrashedRobotStaysVisibleAndOthersGather) {
   auto move = make_full_movement();
   auto crash = make_scheduled_crashes({{0, 3}});  // robot 3 never acts
   sim_options opts;
-  const auto res = simulate({{0, 0}, {0, 0}, {0, 0}, {6, 1}, {1, 5}}, kAlgo, *sync,
+  const auto res = run_with({{0, 0}, {0, 0}, {0, 0}, {6, 1}, {1, 5}}, *sync,
                             *move, *crash, opts);
   EXPECT_EQ(res.status, sim_status::gathered);
   EXPECT_EQ(res.crashes, 1u);
@@ -174,7 +187,7 @@ TEST(Engine, AllButOneCrashStillGathers) {
   auto move = make_full_movement();
   auto crash = make_scheduled_crashes({{0, 0}, {0, 1}, {0, 2}, {0, 3}});
   sim_options opts;
-  const auto res = simulate({{0, 0}, {0, 0}, {3, 2}, {6, 1}, {1, 5}}, kAlgo, *sync,
+  const auto res = run_with({{0, 0}, {0, 0}, {3, 2}, {6, 1}, {1, 5}}, *sync,
                             *move, *crash, opts);
   EXPECT_EQ(res.status, sim_status::gathered);
   EXPECT_EQ(res.crashes, 4u);
@@ -189,7 +202,7 @@ TEST(Engine, WaitFreeCheckCleanOnRandomRuns) {
     sim_options opts;
     opts.check_wait_freeness = true;
     opts.seed = 100 + trial;
-    const auto res = simulate(workloads::uniform_random(7, seed_src), kAlgo, *sched,
+    const auto res = run_with(workloads::uniform_random(7, seed_src), *sched,
                               *move, *crash, opts);
     EXPECT_EQ(res.wait_free_violations, 0u) << trial;
     EXPECT_EQ(res.bivalent_entries, 0u) << trial;
@@ -213,7 +226,7 @@ TEST(Engine, DeltaGuaranteeRespected) {
   auto crash = make_no_crash();
   sim_options opts;
   opts.delta_fraction = 0.1;
-  const auto res = simulate({{0, 0}, {0, 0}, {0, 0}, {4, 0}, {1, 5}}, kAlgo, *sched,
+  const auto res = run_with({{0, 0}, {0, 0}, {0, 0}, {4, 0}, {1, 5}}, *sched,
                             *move, *crash, opts);
   EXPECT_EQ(res.status, sim_status::gathered);
   EXPECT_GT(res.rounds, 3u);  // cannot teleport
@@ -279,7 +292,7 @@ sim_result run_golden(const golden_cell& cell) {
   sim_options opts;
   opts.seed = cell.seed;
   opts.check_wait_freeness = true;
-  return simulate(pts, kAlgo, *sched, *move, *crash, opts);
+  return run_with(pts, *sched, *move, *crash, opts);
 }
 
 TEST(Engine, SeedStabilityGolden) {

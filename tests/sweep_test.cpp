@@ -9,6 +9,7 @@
 #include "core/core.h"
 #include "geometry/angles.h"
 #include "sim/sim.h"
+#include "sim_support.h"
 #include "workloads/generators.h"
 
 namespace gather {
@@ -41,7 +42,7 @@ TEST_P(ClassSchedulerGrid, GathersCleanly) {
   sim::sim_options opts;
   opts.seed = 17 * wi + si;
   opts.check_wait_freeness = true;
-  const auto res = sim::simulate(wl.points, kAlgo, *sched, *move, *crash, opts);
+  const auto res = sim::run_sim(wl.points, kAlgo, *sched, *move, *crash, opts);
   EXPECT_EQ(res.status, sim::sim_status::gathered) << wl.name;
   EXPECT_EQ(res.wait_free_violations, 0u) << wl.name;
   EXPECT_EQ(res.bivalent_entries, 0u) << wl.name;
@@ -141,7 +142,7 @@ TEST_P(AsyncCorpus, GathersUnderRandomInterleaving) {
   sim::async_options opts;
   opts.policy = sim::async_policy::random_interleaving;
   opts.seed = 5 + wi;
-  const auto res = sim::simulate_async(wl.points, kAlgo, *move, *crash, opts);
+  const auto res = sim::run_async_sim(wl.points, kAlgo, *move, *crash, opts);
   EXPECT_EQ(res.status, sim::sim_status::gathered) << wl.name;
 }
 

@@ -11,9 +11,9 @@
 // (base seed, cell index) and rows are merged in grid order.
 //
 // Examples:
-//   gather_campaign --workloads uniform,majority --n 6,10 --f 0,2,5 \
+//   gather_campaign --workloads uniform,majority --n 6,10 --f 0,2,5
 //                   --schedulers fair-random,laggard --repeats 5 > runs.csv
-//   gather_campaign --workloads all --n 8,16 --f 0,7 --schedulers all \
+//   gather_campaign --workloads all --n 8,16 --f 0,7 --schedulers all
 //                   --repeats 3 --jobs $(nproc) --progress
 #include <cstdio>
 #include <cstdlib>

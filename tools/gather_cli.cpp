@@ -4,7 +4,7 @@
 // movement, crashes) from flags, runs the ATOM (or ASYNC) engine, and reports
 // a summary, a CSV trace, or ASCII frames.
 //
-//   gather_cli --workload uniform --n 12 --f 3 --scheduler fair-random \
+//   gather_cli --workload uniform --n 12 --f 3 --scheduler fair-random
 //              --movement random-stop --delta 0.05 --seed 7 --output summary
 //   gather_cli --workload biangular --n 12 --output frames
 //   gather_cli --workload linear-2w --n 8 --algorithm cog --output csv

@@ -19,7 +19,7 @@
 // jobs value.
 //
 //   gather_fuzz [iterations] [max_n] [base_seed]
-//   gather_fuzz --iterations 500 --max-n 12 --seed 1 --jobs 4 \
+//   gather_fuzz --iterations 500 --max-n 12 --seed 1 --jobs 4
 //               --workloads uniform,axial,clustered
 #include <cstdio>
 #include <cstdlib>
@@ -63,7 +63,14 @@ verdict check(const instance& in) {
   opts.check_wait_freeness = true;
   opts.local_frames = in.local_frames;
   opts.max_rounds = 100'000;
-  const auto res = sim::simulate(in.points, algo, *sched, *move, *crash, opts);
+  sim::sim_spec spec;
+  spec.initial = in.points;
+  spec.algorithm = &algo;
+  spec.scheduler = sched.get();
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  spec.options = opts;
+  const auto res = sim::run(spec);
 
   const bool started_bivalent =
       config::classify(config::configuration(in.points)).cls ==

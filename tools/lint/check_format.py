@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fail when any C++ source deviates from the repo .clang-format.
+
+Usage: check_format.py [--root DIR] [PATH...]
+
+PATHs default to src tools bench tests examples.  Runs
+`clang-format --dry-run -Werror`, so any formatting diff is a hard failure
+and the output names each offending location.
+
+The binary is located via $CLANG_FORMAT, then `clang-format`, then
+versioned names.  When no binary is found the script prints a notice and
+exits 127, which the ctest registration maps to SKIP.
+
+Exit status: 0 clean, 1 formatting diffs, 2 usage error, 127 tool missing.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+CANDIDATES = ["clang-format"] + [f"clang-format-{v}" for v in range(21, 13, -1)]
+DEFAULT_PATHS = ["src", "tools", "bench", "tests", "examples"]
+CXX_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
+
+
+def find_tool():
+    env = os.environ.get("CLANG_FORMAT")
+    if env:
+        return env if os.path.sep in env and os.path.exists(env) else shutil.which(env)
+    for name in CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def collect(root, paths):
+    files = []
+    for top in paths:
+        top_abs = os.path.join(root, top)
+        if os.path.isfile(top_abs):
+            files.append(top_abs)
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_abs):
+            dirnames.sort()
+            if "fixtures" in dirpath.replace(os.sep, "/").split("/"):
+                continue  # lint fixtures are not held to the format contract
+            for fn in sorted(filenames):
+                if fn.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.join(dirpath, fn))
+    return files
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="check_format.py")
+    ap.add_argument("--root", default=".")
+    ap.add_argument("paths", nargs="*")
+    args = ap.parse_args(argv[1:])
+
+    tool = find_tool()
+    if tool is None:
+        print("check_format: clang-format not found on PATH (set $CLANG_FORMAT); skipping")
+        return 127
+
+    root = os.path.abspath(args.root)
+    paths = args.paths or DEFAULT_PATHS
+    for p in paths:
+        if not os.path.exists(os.path.join(root, p)):
+            print(f"check_format: no such path under {root}: {p}")
+            return 2
+    files = collect(root, paths)
+    if not files:
+        print("check_format: no C++ sources found")
+        return 2
+
+    print(f"check_format: {tool} --dry-run -Werror over {len(files)} file(s)")
+    result = subprocess.run([tool, "--dry-run", "-Werror", "--style=file"] + files,
+                           cwd=root)
+    return 1 if result.returncode != 0 else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,28 @@
+// Fixture: R3 — bare float equality outside src/geometry.
+namespace gather::config {
+
+bool collapsed(double d) {
+  return d == 0.0;  // expect(R3)
+}
+
+bool at_unit(double x) {
+  if (x != 1.0) return false;  // expect(R3)
+  return x == 2.5e-1;          // expect(R3)
+}
+
+// Suppressed on the same line: a deliberate exact-representation guard.
+bool degenerate(double den) {
+  return den == 0.0;  // gather-lint: allow(R3)
+}
+
+// Suppressed from the preceding line.
+bool half_exact(double x) {
+  // gather-lint: allow(R3)
+  return x == 0.5;
+}
+
+// Negative: tolerance comparisons and integer equality are fine.
+bool near_zero(double d, double eps) { return d < eps && d > -eps; }
+bool two_robots(int n) { return n == 2; }
+
+}  // namespace gather::config

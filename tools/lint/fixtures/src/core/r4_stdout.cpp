@@ -1,0 +1,20 @@
+// Fixture: R4 — stdout in library code (anywhere in src/ outside src/obs).
+#include <cstdio>
+#include <iostream>
+
+namespace gather::core {
+
+void report_progress(int round) {
+  std::cout << "round " << round << "\n";  // expect(R4)
+  std::printf("round %d\n", round);        // expect(R4)
+  std::puts("done");                       // expect(R4)
+}
+
+// Negative: stderr diagnostics and pure formatting are fine.
+void report_diagnostics(int round) {
+  std::fprintf(stderr, "round %d\n", round);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%d", round);
+}
+
+}  // namespace gather::core

@@ -1,0 +1,8 @@
+// Fixture: src/geometry owns the tolerance helpers — exact comparisons are
+// allowed here, so this file must produce no diagnostics.
+namespace gather::geom {
+
+bool on_axis(double y) { return y == 0.0; }
+bool distinct(double a, double b) { return a != b && a != 0.0; }
+
+}  // namespace gather::geom

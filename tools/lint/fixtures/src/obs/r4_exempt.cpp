@@ -1,0 +1,9 @@
+// Fixture: src/obs is the one library layer allowed to own stdout, so this
+// file must produce no diagnostics.
+#include <iostream>
+
+namespace gather::obs {
+
+void print_summary(int rounds) { std::cout << rounds << "\n"; }
+
+}  // namespace gather::obs

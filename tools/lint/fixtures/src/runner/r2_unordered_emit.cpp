@@ -1,0 +1,45 @@
+// Fixture: R2 — unordered-container iteration on output paths.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gather::runner {
+
+struct event_sink {
+  void on_event(const std::string& line);
+};
+
+// Violation: hash order leaks straight into the event stream.
+void emit_counters(event_sink& sink,
+                   const std::unordered_map<std::string, double>& counters) {
+  for (const auto& kv : counters) {  // expect(R2)
+    sink.on_event(kv.first);
+  }
+}
+
+// Violation: begin() on an unordered container while emitting.
+std::size_t emit_first(event_sink& sink,
+                       const std::unordered_set<int>& ids) {
+  sink.on_event("first");
+  return static_cast<std::size_t>(*ids.begin());  // expect(R2)
+}
+
+// Negative: ordered container on the same output path is fine.
+void emit_sorted(event_sink& sink,
+                 const std::map<std::string, double>& by_name) {
+  for (const auto& kv : by_name) {
+    sink.on_event(kv.first);
+  }
+}
+
+// Negative: unordered iteration is fine off the output path (the result is
+// order-independent).
+double sum_local(const std::unordered_map<std::string, double>& weights) {
+  double s = 0.0;
+  for (const auto& kv : weights) s += kv.second;
+  return s;
+}
+
+}  // namespace gather::runner

@@ -1,0 +1,28 @@
+// Fixture: R1 — wall-clock and nondeterministic entropy in the core.
+// Each `expect(Rn)` marks a line the linter must diagnose.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace gather::sim {
+
+unsigned bad_seed() {
+  std::random_device rd;                          // expect(R1)
+  const int a = std::rand();                      // expect(R1)
+  const long b = std::time(nullptr);              // expect(R1)
+  const auto c = std::chrono::system_clock::now();  // expect(R1)
+  return static_cast<unsigned>(a) + static_cast<unsigned>(b) +
+         static_cast<unsigned>(rd()) +
+         static_cast<unsigned>(c.time_since_epoch().count());
+}
+
+// Negative cases: derived identifiers and steady_clock are fine, and the
+// word time( in a comment is not code.
+unsigned ok_seed(unsigned long long stream) {
+  const auto t0 = std::chrono::steady_clock::now();
+  unsigned strand_count = static_cast<unsigned>(stream);
+  return strand_count + static_cast<unsigned>(t0.time_since_epoch().count());
+}
+
+}  // namespace gather::sim

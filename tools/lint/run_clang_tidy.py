@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the tree using the repo .clang-tidy config.
+
+Usage: run_clang_tidy.py --build-dir BUILD [--root DIR] [PATH...]
+
+BUILD must contain compile_commands.json (the root CMakeLists exports it).
+PATHs default to src tools bench examples (tests pick up tests/.clang-tidy
+automatically when listed explicitly).
+
+The binary is located via $CLANG_TIDY, then `clang-tidy`, then versioned
+names.  When no binary is found the script prints a notice and exits 127,
+which the ctest registration maps to SKIP (the gate is advisory where the
+toolchain lacks clang-tidy; gather_lint.py is the always-on gate).
+
+Exit status: 0 clean, 1 findings, 2 usage error, 127 tool unavailable.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+CANDIDATES = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(21, 13, -1)]
+DEFAULT_PATHS = ["src", "tools", "bench", "examples"]
+
+
+def find_tool():
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return env if os.path.sep in env and os.path.exists(env) else shutil.which(env)
+    for name in CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(prog="run_clang_tidy.py")
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--root", default=".")
+    ap.add_argument("paths", nargs="*")
+    args = ap.parse_args(argv[1:])
+
+    tool = find_tool()
+    if tool is None:
+        print("run_clang_tidy: clang-tidy not found on PATH (set $CLANG_TIDY); skipping")
+        return 127
+
+    db_path = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"run_clang_tidy: {db_path} missing; configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON")
+        return 2
+
+    root = os.path.abspath(args.root)
+    wanted = [os.path.abspath(os.path.join(root, p)) for p in (args.paths or DEFAULT_PATHS)]
+    with open(db_path, "r", encoding="utf-8") as fh:
+        db = json.load(fh)
+    files = sorted(
+        {
+            os.path.abspath(os.path.join(e["directory"], e["file"]))
+            for e in db
+            if any(
+                os.path.abspath(os.path.join(e["directory"], e["file"])).startswith(w + os.sep)
+                for w in wanted
+            )
+        }
+    )
+    if not files:
+        print("run_clang_tidy: no files from the requested paths in the compile database")
+        return 2
+
+    print(f"run_clang_tidy: {tool} over {len(files)} file(s)")
+    failed = False
+    batch = 24
+    for i in range(0, len(files), batch):
+        cmd = [tool, "-p", args.build_dir, "--quiet"] + files[i : i + batch]
+        if subprocess.run(cmd, cwd=root).returncode != 0:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

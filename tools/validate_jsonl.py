@@ -10,7 +10,11 @@ Checks, per line:
   * every value has the right type (ints are non-negative; "robot" is a
     robot index >= 0; class labels come from the paper's alphabet).
 
-Exit status: 0 when every line of every file validates, 1 otherwise.
+Exit status: 0 when every file holds at least one line and every line
+validates; 1 on any invalid line, an empty trace, or an unreadable file.
+An empty trace is an error: every simulated run emits at least a
+round_start event, so zero lines means the producer wrote nothing and a
+"valid" verdict would mask a broken pipeline.
 """
 import json
 import sys
@@ -66,8 +70,10 @@ def validate_line(line):
 
 def validate_file(path):
     errors = 0
+    lines = 0
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
+            lines = lineno
             line = line.rstrip("\n")
             if not line:
                 print(f"{path}:{lineno}: empty line")
@@ -77,6 +83,9 @@ def validate_file(path):
             if err is not None:
                 print(f"{path}:{lineno}: {err}")
                 errors += 1
+    if lines == 0:
+        print(f"{path}: empty trace (no events); refusing to call it valid")
+        errors += 1
     return errors
 
 
