@@ -1,0 +1,104 @@
+// Microbenchmarks of the derived-geometry cache (google-benchmark).
+//
+// The cache's pitch is that a round's derived quantities (classification,
+// Weber point, views, safe points) are computed at most once per mutation
+// generation.  These benchmarks measure the three regimes that matter:
+// cold (first read after a mutation -- the old per-call cost), warm (repeat
+// reads under one generation -- the new cost), and the engine-shaped cycle
+// of mutate-then-read.  The committed baseline is bench/BENCH_PR4.json
+// (--benchmark_format=json of this binary at the PR-4 merge).
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "config/config.h"
+#include "core/core.h"
+#include "sim/rng.h"
+#include "workloads/generators.h"
+
+namespace {
+
+using namespace gather;
+
+std::vector<geom::vec2> cloud(std::size_t n) {
+  sim::rng r(n * 31 + 7);
+  return workloads::uniform_random(n, r);
+}
+
+/// Touch every cached derived quantity once, the way one simulation round
+/// does: classify (quasi-regularity, Weber), safe points, views.
+double read_derived(const config::configuration& c) {
+  double acc = 0.0;
+  const config::classification cls = config::classify(c);
+  acc += static_cast<double>(cls.qreg_degree);
+  acc += config::weber_point(c).point.x;
+  acc += static_cast<double>(config::safe_occupied_points(c).size());
+  acc += static_cast<double>(config::symmetry(c));
+  return acc;
+}
+
+// Cold: every iteration pays construction + one full derived computation.
+// This is what every classify()/weber_point() call cost before the cache.
+void bm_derived_cold(benchmark::State& state) {
+  const auto pts = cloud(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    config::configuration c(pts);
+    benchmark::DoNotOptimize(read_derived(c));
+  }
+}
+BENCHMARK(bm_derived_cold)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Warm: one generation, repeat reads.  Measures the cache-hit path the
+// engine takes for its second and later reads of the same round.
+void bm_derived_warm(benchmark::State& state) {
+  const config::configuration c(cloud(static_cast<std::size_t>(state.range(0))));
+  benchmark::DoNotOptimize(read_derived(c));  // fill the slots once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(read_derived(c));
+  }
+}
+BENCHMARK(bm_derived_warm)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// The engine-shaped cycle: perturb one robot, recanonicalize in place via
+// apply_moves (allocation-free steady state), read the derived quantities.
+void bm_mutate_then_read(benchmark::State& state) {
+  auto pts = cloud(static_cast<std::size_t>(state.range(0)));
+  config::configuration c(pts);
+  double nudge = 1e-7;
+  for (auto _ : state) {
+    pts[0].x += nudge;
+    nudge = -nudge;
+    c.apply_moves(pts);
+    benchmark::DoNotOptimize(read_derived(c));
+  }
+}
+BENCHMARK(bm_mutate_then_read)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// The bitwise no-op fast path: apply_moves with unchanged input keeps the
+// generation and the warm cache.
+void bm_apply_moves_unchanged(benchmark::State& state) {
+  const auto pts = cloud(static_cast<std::size_t>(state.range(0)));
+  config::configuration c(pts);
+  benchmark::DoNotOptimize(read_derived(c));
+  for (auto _ : state) {
+    c.apply_moves(pts);
+    benchmark::DoNotOptimize(config::classify(c).qreg_degree);
+  }
+}
+BENCHMARK(bm_apply_moves_unchanged)->Arg(8)->Arg(64)->Arg(512);
+
+// Rebuild-from-scratch reference for the same input sizes, so the in-place
+// apply_moves path can be compared against constructing a configuration.
+void bm_rebuild_reference(benchmark::State& state) {
+  const auto pts = cloud(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    config::configuration c(pts);
+    benchmark::DoNotOptimize(config::classify(c).qreg_degree);
+  }
+}
+BENCHMARK(bm_rebuild_reference)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "config/derived.h"
 #include "config/regularity.h"
 #include "obs/profile.h"
 #include "config/weber.h"
@@ -12,7 +13,9 @@ std::ostream& operator<<(std::ostream& os, config_class c) {
   return os << to_string(c);
 }
 
-classification classify(const configuration& c) {
+namespace detail {
+
+classification classify_uncached(const configuration& c) {
   GATHER_PROF("config.classify");
   classification out;
 
@@ -63,6 +66,14 @@ classification classify(const configuration& c) {
   // A: the rest; the paper shows sym(C) = 1 here.
   out.cls = config_class::asymmetric;
   return out;
+}
+
+}  // namespace detail
+
+classification classify(const configuration& c) {
+  derived_geometry& d = c.derived();
+  if (!d.verdict) d.verdict = detail::classify_uncached(c);
+  return *d.verdict;
 }
 
 }  // namespace gather::config

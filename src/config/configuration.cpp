@@ -2,31 +2,69 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "config/derived.h"
 #include "geometry/predicates.h"
 
 namespace gather::config {
 
-configuration::configuration(std::vector<vec2> robots) : robots_(std::move(robots)) {
-  tol_ = geom::tol::for_points(robots_);
+configuration::configuration() = default;
+configuration::~configuration() = default;
+
+configuration::configuration(configuration&& other) noexcept = default;
+configuration& configuration::operator=(configuration&& other) noexcept =
+    default;
+
+configuration::configuration(const configuration& other)
+    : input_(other.input_),
+      robots_(other.robots_),
+      occupied_(other.occupied_),
+      tol_(other.tol_),
+      sec_(other.sec_),
+      diameter_(other.diameter_),
+      linear_(other.linear_),
+      policy_(other.policy_),
+      refresh_floor_(other.refresh_floor_),
+      generation_(other.generation_),
+      dirty_(other.dirty_) {}
+
+configuration& configuration::operator=(const configuration& other) {
+  if (this == &other) return *this;
+  input_ = other.input_;
+  robots_ = other.robots_;
+  occupied_ = other.occupied_;
+  tol_ = other.tol_;
+  sec_ = other.sec_;
+  diameter_ = other.diameter_;
+  linear_ = other.linear_;
+  policy_ = other.policy_;
+  refresh_floor_ = other.refresh_floor_;
+  generation_ = other.generation_;
+  dirty_ = other.dirty_;
+  if (derived_) derived_->clear();  // cold cache; recomputed on demand
+  return *this;
+}
+
+configuration::configuration(std::vector<vec2> robots)
+    : input_(std::move(robots)) {
+  tol_ = geom::tol::for_points(input_);
   canonicalize();
 }
 
 configuration::configuration(std::vector<vec2> robots, geom::tol t)
-    : robots_(std::move(robots)), tol_(t), explicit_tol_(true) {
+    : input_(std::move(robots)), tol_(t), policy_(tol_policy::fixed) {
   canonicalize();
 }
 
 void configuration::canonicalize() {
+  robots_ = input_;
   // Greedy clustering: a point joins the first cluster whose representative
   // is within tolerance.  Quadratic in |U(C)| which is at most n.
-  struct cluster {
-    vec2 sum{};
-    int count = 0;
-    [[nodiscard]] vec2 centroid() const { return sum / static_cast<double>(count); }
-  };
-  std::vector<cluster> clusters;
-  std::vector<std::size_t> assignment(robots_.size());
+  std::vector<cluster>& clusters = scratch_clusters_;
+  std::vector<std::size_t>& assignment = scratch_assign_;
+  clusters.clear();
+  assignment.resize(robots_.size());
   for (std::size_t i = 0; i < robots_.size(); ++i) {
     const vec2 p = robots_[i];
     bool placed = false;
@@ -65,18 +103,45 @@ void configuration::canonicalize() {
           diameter_, geom::distance(occupied_[i].position, occupied_[j].position));
     }
   }
-  if (!explicit_tol_) {
+  if (policy_ == tol_policy::spread_scaled) {
     tol_.scale = std::max(diameter_, 1e-12);
   }
 
-  std::vector<vec2> distinct;
+  std::vector<vec2>& distinct = scratch_distinct_;
+  distinct.clear();
   distinct.reserve(occupied_.size());
   for (const occupied_point& o : occupied_) distinct.push_back(o.position);
   sec_ = geom::smallest_enclosing_circle(distinct, tol_);
   linear_ = geom::all_collinear(distinct, tol_);
 }
 
+void configuration::refresh() {
+  switch (policy_) {
+    case tol_policy::spread_scaled:
+      tol_ = geom::tol::for_points(input_);
+      break;
+    case tol_policy::fixed:
+      break;  // the explicit tolerance is carried unchanged
+    case tol_policy::refreshed:
+      tol_ = geom::tol::for_points(input_);
+      tol_.abs_floor = std::max(tol_.abs_floor, refresh_floor_);
+      break;
+  }
+  canonicalize();
+}
+
+void configuration::invalidate() {
+  ++generation_;
+  if (derived_) derived_->clear();
+}
+
+void configuration::flush_dirty() {
+  dirty_ = false;
+  refresh();
+}
+
 int configuration::multiplicity(vec2 p) const {
+  ensure_fresh();
   for (const occupied_point& o : occupied_) {
     if (tol_.same_point(o.position, p)) return o.multiplicity;
   }
@@ -84,6 +149,7 @@ int configuration::multiplicity(vec2 p) const {
 }
 
 vec2 configuration::snapped(vec2 p) const {
+  ensure_fresh();
   for (const occupied_point& o : occupied_) {
     if (tol_.same_point(o.position, p)) return o.position;
   }
@@ -91,11 +157,77 @@ vec2 configuration::snapped(vec2 p) const {
 }
 
 double configuration::sum_distances(vec2 p) const {
+  ensure_fresh();
   double s = 0.0;
   for (const occupied_point& o : occupied_) {
     s += o.multiplicity * geom::distance(p, o.position);
   }
   return s;
+}
+
+void configuration::set_position(std::size_t i, vec2 p) {
+  ensure_fresh();
+  if (i >= input_.size()) {
+    throw std::out_of_range("configuration::set_position: index out of range");
+  }
+  input_[i] = p;
+  refresh();
+  invalidate();
+}
+
+void configuration::apply_moves(const std::vector<vec2>& raw) {
+  ensure_fresh();
+  // Bitwise-identical input: the canonical state (a deterministic function
+  // of the input and the policy) is provably unchanged -- keep the cache.
+  if (raw.size() == input_.size() &&
+      std::equal(raw.begin(), raw.end(), input_.begin(),
+                 [](const vec2& a, const vec2& b) {
+                   return a.x == b.x && a.y == b.y;
+                 })) {
+    return;
+  }
+  input_ = raw;  // copy-assign reuses capacity
+  refresh();
+  invalidate();
+}
+
+void configuration::insert_robot(vec2 p) {
+  ensure_fresh();
+  input_.push_back(p);
+  refresh();
+  invalidate();
+}
+
+void configuration::remove_robot(std::size_t i) {
+  ensure_fresh();
+  if (i >= input_.size()) {
+    throw std::out_of_range("configuration::remove_robot: index out of range");
+  }
+  input_.erase(input_.begin() + static_cast<std::ptrdiff_t>(i));
+  refresh();
+  invalidate();
+}
+
+std::vector<vec2>& configuration::points_mut() {
+  // Pessimistic: assume the caller writes through the reference.  The
+  // canonical state is refreshed lazily on the next const access.
+  invalidate();
+  dirty_ = true;
+  return input_;
+}
+
+void configuration::set_tol_refresh(double abs_floor) {
+  ensure_fresh();
+  policy_ = tol_policy::refreshed;
+  refresh_floor_ = abs_floor;
+  refresh();
+  invalidate();
+}
+
+derived_geometry& configuration::derived() const {
+  ensure_fresh();
+  if (!derived_) derived_ = std::make_unique<derived_geometry>();
+  return *derived_;
 }
 
 }  // namespace gather::config

@@ -6,8 +6,26 @@
 // This class canonicalizes a raw position multiset: positions closer than the
 // tolerance are clustered and snapped to a common representative, so that
 // multiplicities, U(C) and all downstream predicates are exact.
+//
+// Mutation and the derived-geometry cache
+// ---------------------------------------
+// A configuration owns its point storage; the raw input multiset is only
+// changed through the invalidating mutation API (`set_position`,
+// `apply_moves`, `insert_robot`, `remove_robot`).  Every mutation bumps the
+// generation counter and atomically invalidates the lazily computed
+// derived-geometry snapshot (hull, Weber point, views, classification, ...;
+// see config/derived.h), so a cached value can never outlive the points it
+// was computed from.  `apply_moves` with a bitwise-identical input is a
+// no-op: the canonical state is a deterministic function of the input, so
+// the cache (and the generation) are provably still valid.
+//
+// The cache is per-object and not synchronized: a configuration must not be
+// mutated or lazily read from two threads at once (the runner's
+// one-engine-per-cell model already guarantees this).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -19,6 +37,8 @@ namespace gather::config {
 
 using geom::vec2;
 
+struct derived_geometry;  // config/derived.h
+
 /// One distinct occupied location together with its multiplicity.
 struct occupied_point {
   vec2 position;
@@ -27,28 +47,52 @@ struct occupied_point {
 
 class configuration {
  public:
-  configuration() = default;
+  configuration();
 
   /// Build from raw robot positions.  Positions within the tolerance derived
   /// from the point spread are identified (snapped to their centroid).
   explicit configuration(std::vector<vec2> robots);
 
-  /// Build with an explicit tolerance context.
+  /// Build with an explicit tolerance context.  The tolerance is fixed: it is
+  /// carried unchanged through subsequent mutations.
   configuration(std::vector<vec2> robots, geom::tol t);
 
+  ~configuration();
+  /// Copies carry the canonical state but start with a cold derived cache
+  /// (slots are recomputed deterministically on demand).
+  configuration(const configuration& other);
+  configuration& operator=(const configuration& other);
+  configuration(configuration&& other) noexcept;
+  configuration& operator=(configuration&& other) noexcept;
+
   /// Number of robots, the paper's n.
-  [[nodiscard]] std::size_t size() const { return robots_.size(); }
-  [[nodiscard]] bool empty() const { return robots_.empty(); }
+  [[nodiscard]] std::size_t size() const {
+    ensure_fresh();
+    return robots_.size();
+  }
+  [[nodiscard]] bool empty() const {
+    ensure_fresh();
+    return robots_.empty();
+  }
 
   /// All robot positions after snapping, in input order.
-  [[nodiscard]] const std::vector<vec2>& robots() const { return robots_; }
+  [[nodiscard]] const std::vector<vec2>& robots() const {
+    ensure_fresh();
+    return robots_;
+  }
 
   /// U(C): the distinct occupied locations with multiplicities, sorted
   /// lexicographically for determinism.
-  [[nodiscard]] const std::vector<occupied_point>& occupied() const { return occupied_; }
+  [[nodiscard]] const std::vector<occupied_point>& occupied() const {
+    ensure_fresh();
+    return occupied_;
+  }
 
   /// Number of distinct occupied locations, |U(C)|.
-  [[nodiscard]] std::size_t distinct_count() const { return occupied_.size(); }
+  [[nodiscard]] std::size_t distinct_count() const {
+    ensure_fresh();
+    return occupied_.size();
+  }
 
   /// mult(p): number of robots at `p` (0 when `p` is unoccupied).
   [[nodiscard]] int multiplicity(vec2 p) const;
@@ -57,35 +101,124 @@ class configuration {
   [[nodiscard]] vec2 snapped(vec2 p) const;
 
   /// The shared tolerance context (length scale = configuration diameter).
-  [[nodiscard]] const geom::tol& tolerance() const { return tol_; }
+  [[nodiscard]] const geom::tol& tolerance() const {
+    ensure_fresh();
+    return tol_;
+  }
 
   /// True when all robots lie on one line (within tolerance); configurations
   /// with fewer than three distinct points are linear.
-  [[nodiscard]] bool is_linear() const { return linear_; }
+  [[nodiscard]] bool is_linear() const {
+    ensure_fresh();
+    return linear_;
+  }
 
   /// sec(C): smallest enclosing circle of U(C).
-  [[nodiscard]] const geom::circle& sec() const { return sec_; }
+  [[nodiscard]] const geom::circle& sec() const {
+    ensure_fresh();
+    return sec_;
+  }
 
   /// Largest pairwise distance between occupied locations.
-  [[nodiscard]] double diameter() const { return diameter_; }
+  [[nodiscard]] double diameter() const {
+    ensure_fresh();
+    return diameter_;
+  }
 
   /// Sum of distances from `p` to every robot (counting multiplicity) --
   /// the objective the Weber point minimizes.
   [[nodiscard]] double sum_distances(vec2 p) const;
 
   /// True when all robots occupy a single point.
-  [[nodiscard]] bool is_gathered() const { return occupied_.size() <= 1; }
+  [[nodiscard]] bool is_gathered() const {
+    ensure_fresh();
+    return occupied_.size() <= 1;
+  }
+
+  // -- mutation API ----------------------------------------------------------
+  // Every call below recanonicalizes, bumps the generation and invalidates
+  // the derived cache (except the documented `apply_moves` no-op case).
+
+  /// Replace the raw (pre-snap) position of robot `i`.
+  void set_position(std::size_t i, vec2 p);
+
+  /// Replace the whole raw position multiset, e.g. with the outcome of one
+  /// simulation round.  When `raw` is bitwise identical to the current raw
+  /// input this is a no-op that keeps the cache warm (the canonical state is
+  /// a deterministic function of the input).  Capacity is reused: steady
+  /// state re-application allocates nothing.
+  void apply_moves(const std::vector<vec2>& raw);
+
+  /// Append one robot at raw position `p`.
+  void insert_robot(vec2 p);
+
+  /// Remove robot `i` (input-order index).
+  void remove_robot(std::size_t i);
+
+  /// Deprecated (one-PR shim, see docs/API.md "Deprecations and removals"):
+  /// direct mutable access to the raw point storage.  The generation is
+  /// bumped pessimistically up front and the canonical state is refreshed
+  /// lazily on the next const access, so out-of-band writes through the
+  /// returned reference cannot be observed stale.  Migrate to the mutation
+  /// API above; this accessor is removed next PR.
+  [[nodiscard]] std::vector<vec2>& points_mut();
+
+  /// Switch the tolerance policy to per-mutation refresh: after every
+  /// mutation the tolerance is recomputed from the new raw points
+  /// (geom::tol::for_points) with its absolute floor raised to at least
+  /// `abs_floor`.  This is the engines' policy: the model's delta gives the
+  /// run an absolute length scale (see sim::engine).  Recanonicalizes.
+  void set_tol_refresh(double abs_floor);
+
+  /// Mutation counter: bumped on every invalidating mutation.  Two reads of
+  /// any derived quantity under one generation return identical bits.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// The lazily computed derived-geometry slots for this generation.
+  /// Internal to src/config (the classify/weber/views/safe-point wrappers);
+  /// callers elsewhere use those wrappers -- direct access outside src/config
+  /// is rejected by gather-lint rule R5.
+  [[nodiscard]] derived_geometry& derived() const;
 
  private:
-  void canonicalize();
+  enum class tol_policy : std::uint8_t {
+    spread_scaled,  ///< default: tol from the input spread, scale := diameter
+    fixed,          ///< explicit tolerance carried through mutations
+    refreshed,      ///< recomputed per mutation with a floored abs_floor
+  };
 
-  std::vector<vec2> robots_;             // snapped, input order
-  std::vector<occupied_point> occupied_; // sorted by position
+  void canonicalize();
+  void refresh();     // recompute tolerance (per policy) + canonicalize
+  void invalidate();  // bump generation, clear derived slots
+  void ensure_fresh() const {
+    if (dirty_) const_cast<configuration*>(this)->flush_dirty();
+  }
+  void flush_dirty();
+
+  struct cluster {
+    vec2 sum{};
+    int count = 0;
+    [[nodiscard]] vec2 centroid() const {
+      return sum / static_cast<double>(count);
+    }
+  };
+
+  std::vector<vec2> input_;               // raw positions, pre-canonicalize
+  std::vector<vec2> robots_;              // snapped, input order
+  std::vector<occupied_point> occupied_;  // sorted by position
   geom::tol tol_;
   geom::circle sec_;
   double diameter_ = 0.0;
   bool linear_ = true;
-  bool explicit_tol_ = false;
+  tol_policy policy_ = tol_policy::spread_scaled;
+  double refresh_floor_ = 0.0;  // tol_policy::refreshed only
+  std::uint64_t generation_ = 0;
+  bool dirty_ = false;  // points_mut() handed out; canonical state stale
+  mutable std::unique_ptr<derived_geometry> derived_;
+  // Canonicalization scratch (capacity reused across mutations).
+  std::vector<cluster> scratch_clusters_;
+  std::vector<std::size_t> scratch_assign_;
+  std::vector<vec2> scratch_distinct_;
 };
 
 }  // namespace gather::config

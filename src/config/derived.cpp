@@ -1,0 +1,40 @@
+#include "config/derived.h"
+
+#include "geometry/convex_hull.h"
+
+namespace gather::config {
+
+void derived_geometry::clear() {
+  verdict.reset();
+  weber.reset();
+  linear_weber.reset();
+  qr_ready = false;
+  qr.reset();
+  hull.reset();
+  safe_points.reset();
+  for (view& v : views) v.clear();  // keep per-slot capacity
+  view_ready.clear();
+  view_classes.reset();
+  angles_about_center.reset();
+}
+
+std::vector<vec2> hull(const configuration& c) {
+  derived_geometry& d = c.derived();
+  if (!d.hull) {
+    std::vector<vec2> distinct;
+    distinct.reserve(c.distinct_count());
+    for (const occupied_point& o : c.occupied()) distinct.push_back(o.position);
+    d.hull = geom::convex_hull(distinct, c.tolerance());
+  }
+  return *d.hull;
+}
+
+std::vector<angular_entry> angular_order_about_center(const configuration& c) {
+  derived_geometry& d = c.derived();
+  if (!d.angles_about_center) {
+    d.angles_about_center = angular_order(c, c.sec().center);
+  }
+  return *d.angles_about_center;
+}
+
+}  // namespace gather::config

@@ -1,0 +1,80 @@
+// The derived-geometry cache behind configuration::derived().
+//
+// Every slot holds one expensive derived quantity of a configuration --
+// convex hull, Weber point, views, string of angles, the classify verdict --
+// computed lazily, at most once per mutation generation, by the public
+// wrappers in classify.h / weber.h / views.h / safe_points.h / regularity.h.
+// The wrappers delegate to the detail::*_uncached functions below (the
+// original, cache-free computations), so a cached value is bit-identical to
+// a fresh one by construction: same function, same canonical state.
+//
+// Invalidation: configuration's mutation API calls derived_geometry::clear()
+// under the new generation.  clear() empties the slots but keeps vector
+// capacity, so a simulation engine reusing one configuration across rounds
+// reaches an allocation-free steady state.
+//
+// This header is internal to src/config: accessing derived() or this struct
+// from other layers is rejected by gather-lint rule R5.  Consumers use the
+// public wrappers, whose results now come from this cache automatically.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "config/classify.h"
+#include "config/configuration.h"
+#include "config/regularity.h"
+#include "config/string_of_angles.h"
+#include "config/views.h"
+#include "config/weber.h"
+
+namespace gather::config {
+
+struct derived_geometry {
+  std::optional<classification> verdict;
+  std::optional<weber_result> weber;
+  std::optional<weber_result> linear_weber;
+  bool qr_ready = false;
+  std::optional<quasi_regularity> qr;
+  std::optional<std::vector<vec2>> hull;
+  std::optional<std::vector<std::size_t>> safe_points;
+  // Per-occupied-index view slots: elect_leader only looks at safe
+  // candidates, so views fill individually instead of all at once.
+  std::vector<view> views;
+  std::vector<char> view_ready;
+  std::optional<std::vector<std::vector<std::size_t>>> view_classes;
+  std::optional<std::vector<angular_entry>> angles_about_center;
+
+  /// Empty every slot, keeping vector capacity for reuse.
+  void clear();
+};
+
+/// Convex hull of the distinct occupied locations (CCW, geom::convex_hull
+/// order), cached per generation.
+[[nodiscard]] std::vector<vec2> hull(const configuration& c);
+
+/// The cyclic clockwise order of the robots about the center of sec(U(C))
+/// (the string-of-angles base sequence, Def. 4), cached per generation.
+[[nodiscard]] std::vector<angular_entry> angular_order_about_center(
+    const configuration& c);
+
+namespace detail {
+
+// The original cache-free computations.  Public wrappers fill the cache from
+// these; the equivalence suite (test_config_cache) compares the two paths
+// bit for bit.
+[[nodiscard]] classification classify_uncached(const configuration& c);
+[[nodiscard]] weber_result weber_point_uncached(const configuration& c);
+[[nodiscard]] weber_result linear_weber_uncached(const configuration& c);
+[[nodiscard]] std::optional<config::quasi_regularity>
+detect_quasi_regularity_uncached(const configuration& c);
+[[nodiscard]] view view_of_uncached(const configuration& c, vec2 p);
+[[nodiscard]] std::vector<view> all_views_uncached(const configuration& c);
+[[nodiscard]] std::vector<std::vector<std::size_t>> view_classes_uncached(
+    const configuration& c);
+[[nodiscard]] std::vector<std::size_t> safe_occupied_points_uncached(
+    const configuration& c);
+
+}  // namespace detail
+
+}  // namespace gather::config

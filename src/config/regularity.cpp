@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "config/derived.h"
 #include "config/string_of_angles.h"
 #include "config/weber.h"
 #include "geometry/angles.h"
@@ -90,7 +91,10 @@ std::optional<int> quasi_regular_about_occupied(const configuration& c, vec2 p) 
   return std::nullopt;
 }
 
-std::optional<quasi_regularity> detect_quasi_regularity(const configuration& c) {
+namespace detail {
+
+std::optional<config::quasi_regularity> detect_quasi_regularity_uncached(
+    const configuration& c) {
   if (c.distinct_count() < 2) return std::nullopt;
   const geom::tol& t = c.tolerance();
 
@@ -135,7 +139,18 @@ std::optional<quasi_regularity> detect_quasi_regularity(const configuration& c) 
     const int cmp = t.len_cmp(cand.sum_dist, best->sum_dist);
     if (cmp < 0 || (cmp == 0 && cand.mult > best->mult)) best = &cand;
   }
-  return quasi_regularity{best->center, best->degree};
+  return config::quasi_regularity{best->center, best->degree};
+}
+
+}  // namespace detail
+
+std::optional<quasi_regularity> detect_quasi_regularity(const configuration& c) {
+  derived_geometry& d = c.derived();
+  if (!d.qr_ready) {
+    d.qr = detail::detect_quasi_regularity_uncached(c);
+    d.qr_ready = true;
+  }
+  return d.qr;
 }
 
 }  // namespace gather::config

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "config/derived.h"
 #include "config/string_of_angles.h"
 
 namespace gather::config {
@@ -31,12 +32,22 @@ bool is_safe_point(const configuration& c, vec2 p) {
   return max_ray_load(c, p) <= bound;
 }
 
-std::vector<std::size_t> safe_occupied_points(const configuration& c) {
+namespace detail {
+
+std::vector<std::size_t> safe_occupied_points_uncached(const configuration& c) {
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < c.occupied().size(); ++i) {
     if (is_safe_point(c, c.occupied()[i].position)) out.push_back(i);
   }
   return out;
+}
+
+}  // namespace detail
+
+std::vector<std::size_t> safe_occupied_points(const configuration& c) {
+  derived_geometry& d = c.derived();
+  if (!d.safe_points) d.safe_points = detail::safe_occupied_points_uncached(c);
+  return *d.safe_points;
 }
 
 }  // namespace gather::config

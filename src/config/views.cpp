@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "config/derived.h"
 #include "geometry/angles.h"
 
 namespace gather::config {
@@ -64,7 +65,9 @@ int compare_views(const view& a, const view& b, const geom::tol& t) {
   return 0;
 }
 
-view view_of(const configuration& c, vec2 p) {
+namespace detail {
+
+view view_of_uncached(const configuration& c, vec2 p) {
   GATHER_PROF("config.views");
   const vec2 center = c.sec().center;
   const geom::tol& t = c.tolerance();
@@ -106,14 +109,16 @@ view view_of(const configuration& c, vec2 p) {
   return best;
 }
 
-std::vector<view> all_views(const configuration& c) {
+std::vector<view> all_views_uncached(const configuration& c) {
   std::vector<view> vs;
   vs.reserve(c.distinct_count());
-  for (const occupied_point& o : c.occupied()) vs.push_back(view_of(c, o.position));
+  for (const occupied_point& o : c.occupied())
+    vs.push_back(view_of_uncached(c, o.position));
   return vs;
 }
 
-std::vector<std::vector<std::size_t>> view_classes(const configuration& c) {
+std::vector<std::vector<std::size_t>> view_classes_uncached(
+    const configuration& c) {
   const auto vs = all_views(c);
   const geom::tol& t = c.tolerance();
   std::vector<std::size_t> order(vs.size());
@@ -131,6 +136,55 @@ std::vector<std::vector<std::size_t>> view_classes(const configuration& c) {
     }
   }
   return classes;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// The cached view slot for occupied index `i`, computing it on first use.
+const view& cached_view_slot(const configuration& c, std::size_t i) {
+  derived_geometry& d = c.derived();
+  const std::size_t k = c.distinct_count();
+  if (d.view_ready.size() != k) {
+    if (d.views.size() < k) d.views.resize(k);
+    d.view_ready.assign(k, 0);
+  }
+  if (!d.view_ready[i]) {
+    d.views[i] = detail::view_of_uncached(c, c.occupied()[i].position);
+    d.view_ready[i] = 1;
+  }
+  return d.views[i];
+}
+
+}  // namespace
+
+view view_of(const configuration& c, vec2 p) {
+  // Serve from the cache only on an exact (bitwise) match with an occupied
+  // location: a merely tolerance-close `p` yields a different polar frame and
+  // therefore different bits, so it is computed uncached.
+  const auto& occ = c.occupied();
+  for (std::size_t i = 0; i < occ.size(); ++i) {
+    if (occ[i].position.x == p.x && occ[i].position.y == p.y) {
+      return cached_view_slot(c, i);
+    }
+  }
+  return detail::view_of_uncached(c, p);
+}
+
+std::vector<view> all_views(const configuration& c) {
+  std::vector<view> vs;
+  vs.reserve(c.distinct_count());
+  for (std::size_t i = 0; i < c.distinct_count(); ++i) {
+    vs.push_back(cached_view_slot(c, i));
+  }
+  return vs;
+}
+
+std::vector<std::vector<std::size_t>> view_classes(const configuration& c) {
+  derived_geometry& d = c.derived();
+  if (!d.view_classes) d.view_classes = detail::view_classes_uncached(c);
+  return *d.view_classes;
 }
 
 int symmetry(const configuration& c) {

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <vector>
 
+#include "config/derived.h"
 #include "config/regularity.h"
 #include "geometry/angles.h"
 #include "geometry/convex_hull.h"
@@ -53,7 +54,9 @@ std::optional<vec2> small_case_weber(const configuration& c) {
   if (occ.size() == 4) {
     std::vector<vec2> pts;
     for (const occupied_point& o : occ) pts.push_back(o.position);
-    const auto hull = geom::convex_hull(pts, t);
+    // The cached hull is computed over the same distinct points in the same
+    // (sorted occupied) order, so it is bit-identical to a local computation.
+    const auto hull = config::hull(c);
     if (hull.size() == 4) {
       return geom::line_intersection(hull[0], hull[2], hull[1], hull[3], t);
     }
@@ -176,7 +179,9 @@ std::optional<vec2> geometric_median_weiszfeld(const configuration& c, int max_i
   return y;
 }
 
-weber_result linear_weber(const configuration& c) {
+namespace detail {
+
+weber_result linear_weber_uncached(const configuration& c) {
   weber_result res;
   if (c.is_gathered()) {
     res.unique = true;
@@ -221,7 +226,7 @@ weber_result linear_weber(const configuration& c) {
   return res;
 }
 
-weber_result weber_point(const configuration& c) {
+weber_result weber_point_uncached(const configuration& c) {
   GATHER_PROF("config.weber");
   if (c.is_linear()) return linear_weber(c);
   weber_result res;
@@ -234,6 +239,20 @@ weber_result weber_point(const configuration& c) {
   res.exact = false;
   res.point = res.lo = res.hi = geometric_median_weiszfeld(c).value();
   return res;
+}
+
+}  // namespace detail
+
+weber_result linear_weber(const configuration& c) {
+  derived_geometry& d = c.derived();
+  if (!d.linear_weber) d.linear_weber = detail::linear_weber_uncached(c);
+  return *d.linear_weber;
+}
+
+weber_result weber_point(const configuration& c) {
+  derived_geometry& d = c.derived();
+  if (!d.weber) d.weber = detail::weber_point_uncached(c);
+  return *d.weber;
 }
 
 }  // namespace gather::config

@@ -19,8 +19,16 @@ using geom::vec2;
 
 /// A robot's observation: the configuration in the robot's local frame and
 /// the robot's own position within it (always an occupied location).
+///
+/// `observed` is a reference: a snapshot is a short-lived window onto a
+/// configuration the caller owns, so per-generation derived-geometry caching
+/// (classify, views, Weber point) is shared across every destination()
+/// computed against the same round's configuration instead of being dropped
+/// by a copy.  The referenced configuration must outlive the snapshot --
+/// every in-tree call site passes `{c, p}` to an immediate destination()
+/// call, which is the intended idiom.
 struct snapshot {
-  configuration observed;
+  const configuration& observed;
   vec2 self;
 };
 

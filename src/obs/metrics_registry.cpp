@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/json.h"
+#include "obs/quantile.h"
 
 namespace gather::obs {
 
@@ -36,11 +37,9 @@ void histogram::observe(double value) {
 
 histogram::quantile_bounds_t histogram::quantile_bounds(double q) const {
   if (count_ == 0) return {};
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count_)));
-  const std::uint64_t target = rank == 0 ? 1 : rank;
+  // Shared nearest-rank definition (obs/quantile.h), the same one the
+  // runner's round_quantile uses on exact samples.
+  const std::uint64_t target = nearest_rank(count_, q);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cumulative += counts_[i];

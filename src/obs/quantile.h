@@ -1,0 +1,30 @@
+// The repo-wide quantile definition: the nearest-rank method.
+//
+// Both the runner's cell summaries (median/p90 rounds) and the obs
+// histogram's quantile_bounds report quantiles; they must agree on what a
+// q-quantile *is* or cross-layer comparisons (e.g. checking a summary median
+// against the metrics histogram) silently drift.  This header is the single
+// definition both layers use: the q-quantile of a sorted sample of size n is
+// the element at 1-based rank clamp(ceil(q * n), 1, n).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace gather::obs {
+
+/// 1-based nearest-rank of the q-quantile in a sample of size `n`:
+/// clamp(ceil(q * n), 1, n), with q clamped into [0, 1] first.
+/// Returns 0 only for an empty sample (n == 0).
+[[nodiscard]] inline std::uint64_t nearest_rank(std::uint64_t n, double q) {
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return rank;
+}
+
+}  // namespace gather::obs

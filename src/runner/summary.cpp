@@ -5,15 +5,17 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/quantile.h"
+
 namespace gather::runner {
 
 std::size_t round_quantile(std::vector<std::size_t> values, double q) {
   if (values.empty()) return 0;
   std::sort(values.begin(), values.end());
-  const double clamped = std::min(1.0, std::max(0.0, q));
-  std::size_t rank = static_cast<std::size_t>(
-      std::ceil(clamped * static_cast<double>(values.size())));
-  if (rank == 0) rank = 1;
+  // Shared nearest-rank definition (obs/quantile.h): summaries and the obs
+  // histogram quantiles agree by construction.
+  const auto rank =
+      static_cast<std::size_t>(obs::nearest_rank(values.size(), q));
   return values[rank - 1];
 }
 

@@ -11,32 +11,8 @@ std::vector<round_metrics> analyze_trace(const sim_result& result) {
   std::vector<round_metrics> out;
   out.reserve(result.trace.size());
   for (const round_record& rec : result.trace) {
-    round_metrics m;
-    m.round = rec.round;
-    m.cls = rec.cls;
-    m.live_spread = live_spread(rec.positions, rec.live);
-    const config::configuration c(rec.positions);
-    for (std::size_t i = 0; i < rec.positions.size(); ++i) {
-      if (!rec.live[i]) continue;
-      ++m.live_count;
-      for (std::size_t j = i + 1; j < rec.positions.size(); ++j) {
-        if (rec.live[j]) {
-          m.live_sum_pairwise += geom::distance(rec.positions[i], rec.positions[j]);
-        }
-      }
-    }
-    // Largest stack of live robots: count live robots per snapped location.
-    for (const config::occupied_point& o : c.occupied()) {
-      int live_here = 0;
-      for (std::size_t i = 0; i < rec.positions.size(); ++i) {
-        if (rec.live[i] &&
-            c.tolerance().same_point(c.snapped(rec.positions[i]), o.position)) {
-          ++live_here;
-        }
-      }
-      m.max_live_multiplicity = std::max(m.max_live_multiplicity, live_here);
-    }
-    out.push_back(m);
+    out.push_back(
+        compute_round_stats(rec.round, rec.cls, rec.positions, rec.live));
   }
   return out;
 }

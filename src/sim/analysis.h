@@ -8,18 +8,14 @@
 
 #include "config/classify.h"
 #include "sim/engine.h"
+#include "sim/metrics.h"
 
 namespace gather::sim {
 
-/// Metrics of one recorded round.
-struct round_metrics {
-  std::size_t round = 0;
-  config_class cls = config_class::asymmetric;
-  std::size_t live_count = 0;
-  double live_spread = 0.0;          ///< max pairwise distance of live robots
-  double live_sum_pairwise = 0.0;    ///< Σ pairwise distances of live robots
-  int max_live_multiplicity = 0;     ///< largest stack of live robots
-};
+/// Metrics of one recorded round.  The former standalone struct merged into
+/// sim::metrics' round_stats (one struct, one computing call site:
+/// compute_round_stats); this alias keeps the analysis-side name.
+using round_metrics = round_stats;
 
 /// Per-round metrics for a trace-recording run.
 [[nodiscard]] std::vector<round_metrics> analyze_trace(const sim_result& result);

@@ -61,11 +61,13 @@ async_result async_engine::run() {
   std::vector<std::uint8_t> live(n, 1);
   std::vector<std::size_t> starving(n, 0);
 
-  auto make_config = [&]() {
-    geom::tol t = geom::tol::for_points(positions_);
-    t.abs_floor = std::max(t.abs_floor, 1e-9 * delta_abs);
-    return config::configuration(positions_, t);
-  };
+  // Step-start configuration, recanonicalized in place: the refreshed-tol
+  // policy recomputes tol::for_points with the delta-derived absolute floor
+  // on every apply_moves, matching a freshly built configuration bit for
+  // bit, and a step that leaves positions bitwise unchanged (Look-only
+  // steps, once positions are snapped) keeps the derived-geometry cache.
+  config::configuration cfg;
+  cfg.set_tol_refresh(1e-9 * delta_abs);
 
   auto checksum = [&]() {
     geom::vec2 s{};
@@ -129,7 +131,8 @@ async_result async_engine::run() {
   bool la_phase_is_look = true;
 
   for (; step < opts_.max_steps; ++step) {
-    const config::configuration c = make_config();
+    cfg.apply_moves(positions_);
+    const config::configuration& c = cfg;
     for (geom::vec2& p : positions_) p = c.snapped(p);
 
     if (gathered(c)) {

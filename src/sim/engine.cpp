@@ -38,17 +38,17 @@ engine::engine(const sim_spec& spec)
   if (positions_.empty()) throw std::invalid_argument("sim_spec: no robots");
   const configuration c(positions_);
   delta_abs_ = std::max(opts_.delta_fraction * c.diameter(), 1e-12);
-}
-
-configuration engine::current_configuration() const {
   // The model's delta gives the run an absolute length scale: robots within a
   // vanishing fraction of it are physically indistinguishable.  Without this
   // floor, per-robot frame round-off (~1 ulp of the coordinate magnitude)
   // could keep nearly-gathered robots forever "distinct" once the swarm
   // diameter has collapsed below the coordinate noise.
-  geom::tol t = geom::tol::for_points(positions_);
-  t.abs_floor = std::max(t.abs_floor, 1e-9 * delta_abs_);
-  return configuration(positions_, t);
+  config_.set_tol_refresh(1e-9 * delta_abs_);
+}
+
+const configuration& engine::current_configuration() {
+  config_.apply_moves(positions_);
+  return config_;
 }
 
 bool engine::gathered(const configuration& c) const {
@@ -108,7 +108,7 @@ sim_result engine::run() {
         if (idx < positions_.size() && live_[idx]) positions_[idx] = pos;
       }
     }
-    const configuration c = current_configuration();
+    const configuration& c = current_configuration();
 #ifdef GATHER_CHECK_INVARIANTS
     {
       // Robots are conserved: every round's snapshot accounts for exactly n
@@ -164,7 +164,8 @@ sim_result engine::run() {
     // active robots observe the same round-start configuration, so (in the
     // global frame) their decisions coincide with these.
     const auto dests = core::destinations(c, *algo_);
-    std::vector<vec2> stationary;
+    std::vector<vec2>& stationary = scratch_stationary_;
+    stationary.clear();
     for (std::size_t i = 0; i < dests.size(); ++i) {
       if (c.tolerance().same_point(dests[i], c.occupied()[i].position)) {
         stationary.push_back(c.occupied()[i].position);
@@ -220,7 +221,8 @@ sim_result engine::run() {
 
     // 2. Activation.
     const schedule_context sctx{round, positions_, live_};
-    std::vector<std::uint8_t> active(positions_.size(), 0);
+    std::vector<std::uint8_t>& active = scratch_active_;
+    active.assign(positions_.size(), 0);
     for (std::size_t idx : scheduler_->select(sctx, random)) {
       if (idx < active.size() && live_[idx]) active[idx] = 1;
     }
@@ -244,7 +246,8 @@ sim_result engine::run() {
     }
 
     // 3. Atomic Look-Compute-Move against the round-start configuration.
-    std::vector<vec2> next = positions_;
+    std::vector<vec2>& next = scratch_next_;
+    next = positions_;  // copy-assign reuses capacity
     for (std::size_t i = 0; i < positions_.size(); ++i) {
       if (!active[i]) {
         if (live_[i]) ++starving[i];
@@ -262,12 +265,16 @@ sim_result engine::run() {
         dest = byzantine_->destination(i, c, self, random);
       } else if (opts_.local_frames) {
         // LOOK through the robot's own similarity frame; move back through
-        // its inverse.
+        // its inverse.  local_config_ keeps the default (spread-scaled)
+        // tolerance policy, so apply_moves reproduces configuration(pts)
+        // bit for bit while reusing the buffers across robots and rounds.
         const geom::similarity& f = frames[i];
-        std::vector<vec2> local_pts;
+        std::vector<vec2>& local_pts = scratch_local_pts_;
+        local_pts.clear();
         local_pts.reserve(positions_.size());
         for (const vec2& p : positions_) local_pts.push_back(f.apply(p));
-        const configuration local_c(local_pts);
+        local_config_.apply_moves(local_pts);
+        const configuration& local_c = local_config_;
         const vec2 local_dest =
             algo_->destination({local_c, local_c.snapped(f.apply(self))});
         dest = f.invert(local_dest);
@@ -292,7 +299,9 @@ sim_result engine::run() {
         }
       }
     }
-    positions_ = std::move(next);
+    // Swap (not move): `next` aliases scratch_next_, and swapping keeps its
+    // capacity parked there for the following round.
+    std::swap(positions_, next);
     result.rounds = round + 1;
   }
 

@@ -154,11 +154,23 @@ class engine {
   [[nodiscard]] sim_result run();
 
  private:
-  [[nodiscard]] configuration current_configuration() const;
+  /// Recanonicalize `config_` from `positions_` (per-round refreshed
+  /// tolerance) and return it.  Reuses the configuration's storage and its
+  /// derived-geometry cache allocation; a bitwise-unchanged round keeps the
+  /// cache warm.
+  [[nodiscard]] const configuration& current_configuration();
   [[nodiscard]] bool gathered(const configuration& c) const;
 
   std::vector<vec2> positions_;
   std::vector<std::uint8_t> live_;
+  configuration config_;        ///< round-start configuration (reused storage)
+  configuration local_config_;  ///< local-frames LOOK scratch (reused storage)
+  // Step-loop scratch buffers: cleared and refilled each round so the steady
+  // state allocates nothing.
+  std::vector<vec2> scratch_next_;
+  std::vector<vec2> scratch_stationary_;
+  std::vector<std::uint8_t> scratch_active_;
+  std::vector<vec2> scratch_local_pts_;
   const gathering_algorithm* algo_;
   activation_scheduler* scheduler_;
   movement_adversary* movement_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "config/configuration.h"
 #include "geometry/calipers.h"
 #include "geometry/tolerance.h"
 
@@ -32,6 +33,37 @@ double sum_pairwise(const std::vector<geom::vec2>& pts) {
     }
   }
   return s;
+}
+
+round_stats compute_round_stats(std::size_t round, config::config_class cls,
+                                const std::vector<geom::vec2>& pts,
+                                const std::vector<std::uint8_t>& live) {
+  round_stats m;
+  m.round = round;
+  m.cls = cls;
+  // One pass materializes the live subset (input order preserved, so the
+  // pairwise summation order matches a masked scan of the full list).
+  std::vector<geom::vec2> alive;
+  alive.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (live[i]) alive.push_back(pts[i]);
+  }
+  m.live_count = alive.size();
+  m.live_spread = spread(alive);
+  m.live_sum_pairwise = sum_pairwise(alive);
+  // Largest stack of live robots: count live robots per snapped location.
+  const config::configuration c(pts);
+  for (const config::occupied_point& o : c.occupied()) {
+    int live_here = 0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (live[i] &&
+          c.tolerance().same_point(c.snapped(pts[i]), o.position)) {
+        ++live_here;
+      }
+    }
+    m.max_live_multiplicity = std::max(m.max_live_multiplicity, live_here);
+  }
+  return m;
 }
 
 namespace {

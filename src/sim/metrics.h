@@ -21,6 +21,27 @@ namespace gather::sim {
 /// Sum of pairwise distances (the Weber-flavoured potential).
 [[nodiscard]] double sum_pairwise(const std::vector<geom::vec2>& pts);
 
+/// All per-round statistics of one recorded round, merged into a single
+/// struct computed by one call (`compute_round_stats`): the live-robot
+/// potentials (spread, sum of pairwise distances) and the largest stack of
+/// live robots.  `sim::analysis` exposes this same struct as `round_metrics`.
+struct round_stats {
+  std::size_t round = 0;
+  config::config_class cls = config::config_class::asymmetric;
+  std::size_t live_count = 0;
+  double live_spread = 0.0;          ///< max pairwise distance of live robots
+  double live_sum_pairwise = 0.0;    ///< Σ pairwise distances of live robots
+  int max_live_multiplicity = 0;     ///< largest stack of live robots
+};
+
+/// Compute every per-round statistic in one pass over the round's positions
+/// and liveness mask.  The live subset is materialized once and shared by the
+/// spread and sum-of-pairwise computations.
+[[nodiscard]] round_stats compute_round_stats(std::size_t round,
+                                              config::config_class cls,
+                                              const std::vector<geom::vec2>& pts,
+                                              const std::vector<std::uint8_t>& live);
+
 /// 6x6 matrix of observed class transitions along a class history;
 /// entry [from][to] counts rounds where the class changed from `from` to
 /// `to` (self-transitions included).  Indices follow config_class order.

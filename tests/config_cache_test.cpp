@@ -1,0 +1,282 @@
+// The derived-geometry cache equivalence and invalidation suite.
+//
+// The cache contract (config/derived.h) is that a value served from the
+// cache is bit-identical to a freshly computed one: the wrappers delegate to
+// the same cache-free computation the old API ran on every call.  The fuzz
+// suite here checks that contract over >= 1000 random configurations by
+// comparing every derived quantity across (a) a cold cache, (b) a warm
+// cache, and (c) a freshly constructed configuration over the same points.
+// The invalidation tests pin the generation semantics of every mutation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "config/classify.h"
+#include "config/configuration.h"
+#include "config/regularity.h"
+#include "config/safe_points.h"
+#include "config/views.h"
+#include "config/weber.h"
+#include "sim/rng.h"
+
+namespace gather::config {
+namespace {
+
+using geom::vec2;
+
+// Exact bitwise comparisons: the contract is bit-identity, so the usual
+// tolerance helpers would be too lenient here.
+void expect_same_vec(const vec2& a, const vec2& b) {
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+void expect_same_weber(const weber_result& a, const weber_result& b) {
+  EXPECT_EQ(a.unique, b.unique);
+  EXPECT_EQ(a.exact, b.exact);
+  expect_same_vec(a.point, b.point);
+  expect_same_vec(a.lo, b.lo);
+  expect_same_vec(a.hi, b.hi);
+}
+
+void expect_same_classification(const classification& a, const classification& b) {
+  EXPECT_EQ(a.cls, b.cls);
+  ASSERT_EQ(a.target.has_value(), b.target.has_value());
+  if (a.target) expect_same_vec(*a.target, *b.target);
+  EXPECT_EQ(a.qreg_degree, b.qreg_degree);
+}
+
+void expect_same_view(const view& a, const view& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].angle, b[i].angle);
+    EXPECT_EQ(a[i].dist, b[i].dist);
+  }
+}
+
+/// Compare every derived quantity of `a` and `b` bit for bit.  `a` may have
+/// any cache state; `b` is typically freshly constructed (cold cache).
+void expect_equivalent(const configuration& a, const configuration& b) {
+  expect_same_classification(classify(a), classify(b));
+  expect_same_weber(weber_point(a), weber_point(b));
+  if (a.is_linear()) expect_same_weber(linear_weber(a), linear_weber(b));
+
+  const std::optional<quasi_regularity> qa = detect_quasi_regularity(a);
+  const std::optional<quasi_regularity> qb = detect_quasi_regularity(b);
+  ASSERT_EQ(qa.has_value(), qb.has_value());
+  if (qa) {
+    expect_same_vec(qa->center, qb->center);
+    EXPECT_EQ(qa->degree, qb->degree);
+  }
+
+  EXPECT_EQ(safe_occupied_points(a), safe_occupied_points(b));
+
+  const std::vector<view> va = all_views(a);
+  const std::vector<view> vb = all_views(b);
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t i = 0; i < va.size(); ++i) expect_same_view(va[i], vb[i]);
+  EXPECT_EQ(view_classes(a), view_classes(b));
+  for (const occupied_point& o : a.occupied()) {
+    expect_same_view(view_of(a, o.position), view_of(b, o.position));
+  }
+}
+
+std::vector<vec2> random_points(sim::rng& random, std::size_t n, bool collinear) {
+  std::vector<vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = random.uniform(-10.0, 10.0);
+    pts.push_back(collinear ? vec2{x, 0.5 * x} : vec2{x, random.uniform(-10.0, 10.0)});
+  }
+  // Occasionally stack robots so multiplicities and class M/B show up.
+  if (n >= 2 && random.flip(0.3)) pts[n - 1] = pts[0];
+  return pts;
+}
+
+// -- fuzz equivalence -------------------------------------------------------
+
+TEST(ConfigCacheFuzz, CachedMatchesFreshBitwise) {
+  sim::rng random(20260806);
+  int checked = 0;
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::size_t n = 2 + random.uniform_int(0, 8);
+    const bool collinear = random.flip(0.25);
+    const std::vector<vec2> pts = random_points(random, n, collinear);
+
+    configuration cached(pts);   // serves from the cache after first call
+    configuration fresh(pts);    // fresh object per comparison pass
+    // Pass 1 fills cached's slots (cold); pass 2 serves them warm.  Both
+    // must match the freshly built configuration bit for bit.
+    expect_equivalent(cached, fresh);
+    const configuration fresh2(pts);
+    expect_equivalent(cached, fresh2);
+    ++checked;
+    if (::testing::Test::HasFailure()) break;  // one bad config is enough
+  }
+  EXPECT_EQ(checked, 1000);
+}
+
+TEST(ConfigCacheFuzz, MutatedConfigurationMatchesRebuild) {
+  sim::rng random(77001);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t n = 3 + random.uniform_int(0, 6);
+    std::vector<vec2> pts = random_points(random, n, random.flip(0.25));
+    configuration c(pts);
+    (void)classify(c);  // warm the cache, then mutate through the API
+    for (int step = 0; step < 4; ++step) {
+      const std::size_t i = random.uniform_int(0, pts.size() - 1);
+      const vec2 p{random.uniform(-10.0, 10.0), random.uniform(-10.0, 10.0)};
+      switch (random.uniform_int(0, 2)) {
+        case 0:
+          pts[i] = p;
+          c.set_position(i, p);
+          break;
+        case 1:
+          pts.push_back(p);
+          c.insert_robot(p);
+          break;
+        default:
+          if (pts.size() > 2) {
+            pts.erase(pts.begin() + static_cast<std::ptrdiff_t>(i));
+            c.remove_robot(i);
+          }
+          break;
+      }
+      (void)weber_point(c);  // interleave reads so stale slots would surface
+    }
+    const configuration rebuilt(pts);
+    ASSERT_EQ(c.size(), rebuilt.size());
+    for (std::size_t i = 0; i < c.robots().size(); ++i) {
+      expect_same_vec(c.robots()[i], rebuilt.robots()[i]);
+    }
+    expect_equivalent(c, rebuilt);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(ConfigCacheFuzz, RepeatedReadsUnderOneGenerationAreIdentical) {
+  sim::rng random(424242);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::vector<vec2> pts =
+        random_points(random, 3 + random.uniform_int(0, 6), random.flip(0.25));
+    const configuration c(pts);
+    const std::uint64_t gen = c.generation();
+    const classification first = classify(c);
+    const weber_result w1 = weber_point(c);
+    const classification second = classify(c);
+    const weber_result w2 = weber_point(c);
+    expect_same_classification(first, second);
+    expect_same_weber(w1, w2);
+    EXPECT_EQ(c.generation(), gen);  // reads never bump the generation
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// -- generation / invalidation semantics ------------------------------------
+
+std::vector<vec2> square() {
+  return {{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+}
+
+TEST(ConfigGeneration, SetPositionBumpsAndInvalidates) {
+  configuration c(square());
+  const std::uint64_t g0 = c.generation();
+  const classification before = classify(c);
+  c.set_position(0, {0.25, 0.25});
+  EXPECT_GT(c.generation(), g0);
+  const classification after = classify(c);
+  // The mutated configuration classifies like a fresh build of its points.
+  expect_same_classification(after, classify(configuration(c.robots())));
+  (void)before;
+}
+
+TEST(ConfigGeneration, ApplyMovesBumpsOnChange) {
+  configuration c(square());
+  const std::uint64_t g0 = c.generation();
+  std::vector<vec2> moved = square();
+  moved[2] = {2.0, 2.0};
+  c.apply_moves(moved);
+  EXPECT_GT(c.generation(), g0);
+  expect_equivalent(c, configuration(moved));
+}
+
+TEST(ConfigGeneration, ApplyMovesBitwiseIdenticalInputIsNoOp) {
+  const std::vector<vec2> pts = square();
+  configuration c(pts);
+  (void)classify(c);
+  const std::uint64_t g1 = c.generation();
+  c.apply_moves(pts);  // bitwise-identical raw input
+  EXPECT_EQ(c.generation(), g1);  // cache provably still valid: no bump
+  expect_equivalent(c, configuration(pts));
+}
+
+TEST(ConfigGeneration, InsertRobotBumpsAndInvalidates) {
+  configuration c(square());
+  const std::uint64_t g0 = c.generation();
+  c.insert_robot({0.5, 0.5});
+  EXPECT_GT(c.generation(), g0);
+  EXPECT_EQ(c.size(), 5u);
+  std::vector<vec2> pts = square();
+  pts.push_back({0.5, 0.5});
+  expect_equivalent(c, configuration(pts));
+}
+
+TEST(ConfigGeneration, RemoveRobotBumpsAndInvalidates) {
+  configuration c(square());
+  const std::uint64_t g0 = c.generation();
+  c.remove_robot(1);
+  EXPECT_GT(c.generation(), g0);
+  EXPECT_EQ(c.size(), 3u);
+  std::vector<vec2> pts = square();
+  pts.erase(pts.begin() + 1);
+  expect_equivalent(c, configuration(pts));
+}
+
+TEST(ConfigGeneration, PointsMutShimBumpsPessimistically) {
+  configuration c(square());
+  const std::uint64_t g0 = c.generation();
+  {
+    // gather-lint: allow(R5) — this test covers the deprecated shim itself.
+    std::vector<vec2>& raw = c.points_mut();
+    raw[3] = {3.0, 3.0};
+  }
+  // The generation is bumped up front, before the caller writes anything.
+  EXPECT_GT(c.generation(), g0);
+  std::vector<vec2> pts = square();
+  pts[3] = {3.0, 3.0};
+  expect_equivalent(c, configuration(pts));
+}
+
+TEST(ConfigGeneration, SetTolRefreshBumpsAndMatchesEnginePolicy) {
+  const std::vector<vec2> pts = square();
+  configuration c(pts);
+  const std::uint64_t g0 = c.generation();
+  const double floor = 1e-6;
+  c.set_tol_refresh(floor);
+  EXPECT_GT(c.generation(), g0);
+  // The refreshed policy reproduces for_points + floored abs_floor exactly.
+  geom::tol expected = geom::tol::for_points(pts);
+  expected.abs_floor = std::max(expected.abs_floor, floor);
+  EXPECT_EQ(c.tolerance().abs_floor, expected.abs_floor);
+  // And it is re-applied on every subsequent mutation.
+  std::vector<vec2> moved = pts;
+  moved[0] = {-5.0, -5.0};
+  c.apply_moves(moved);
+  geom::tol expected2 = geom::tol::for_points(moved);
+  expected2.abs_floor = std::max(expected2.abs_floor, floor);
+  EXPECT_EQ(c.tolerance().abs_floor, expected2.abs_floor);
+}
+
+TEST(ConfigGeneration, CopyStartsColdButEquivalent) {
+  configuration c(square());
+  (void)classify(c);  // warm the source cache
+  const configuration copy(c);
+  EXPECT_EQ(copy.size(), c.size());
+  expect_equivalent(copy, c);
+}
+
+}  // namespace
+}  // namespace gather::config

@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics_registry.h"
 #include "runner/runner.h"
 
 namespace gather::runner {
@@ -263,6 +264,26 @@ TEST(RunnerSummary, QuantileIsNearestRank) {
   EXPECT_EQ(round_quantile({4, 1, 3, 2}, 1.0), 4u);
   // {10, 20, 30}: median = ceil(1.5) = 2nd element.
   EXPECT_EQ(round_quantile({30, 10, 20}, 0.5), 20u);
+}
+
+TEST(RunnerSummary, QuantileAgreesWithObsHistogramDefinition) {
+  // round_quantile and obs::histogram::quantile_bounds share the
+  // nearest-rank definition (obs/quantile.h): the exact sample quantile must
+  // always lie inside the histogram's bucket bounds for the same q.
+  const std::vector<std::size_t> sample = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
+  obs::histogram hist(obs::pow2_bounds(8));  // buckets 1, 2, 4, ..., 128
+  for (std::size_t v : sample) hist.observe(static_cast<double>(v));
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const std::size_t exact = round_quantile(sample, q);
+    const auto bounds = hist.quantile_bounds(q);
+    EXPECT_GT(static_cast<double>(exact), bounds.lower)
+        << "q=" << q << " exact=" << exact;
+    EXPECT_LE(static_cast<double>(exact), bounds.upper)
+        << "q=" << q << " exact=" << exact;
+  }
+  // Both sides clamp: rank(0) and rank(1) hit the extreme sample elements.
+  EXPECT_EQ(round_quantile(sample, 0.0), 1u);
+  EXPECT_EQ(round_quantile(sample, 1.0), 89u);
 }
 
 TEST(RunnerSummary, AggregatesPerCellAgainstHandComputedValues) {

@@ -1,0 +1,34 @@
+// Fixture: R5 — configuration internals accessed outside src/config.
+// Each `expect(Rn)` marks a line the linter must diagnose.
+
+namespace gather::config {
+class configuration;
+struct derived_geometry;  // expect(R5)
+}  // namespace gather::config
+
+namespace gather::sim {
+
+void poke_internals(gather::config::configuration& c) {
+  auto& raw = c.points_mut();                       // expect(R5)
+  auto& cache = c.derived();                        // expect(R5)
+  (void)raw;
+  (void)cache;
+}
+
+void poke_through_pointer(gather::config::configuration* c) {
+  auto& cache = c->derived();                       // expect(R5)
+  (void)cache;
+}
+
+// Negative cases: the suppression comment, identifiers that merely contain
+// the words, and the public wrapper calls are all fine.
+void sanctioned(gather::config::configuration& c) {
+  // gather-lint: allow(R5)
+  auto& raw = c.points_mut();
+  (void)raw;
+  int derived = 0;     // plain identifier, not a member call
+  int points_muted = derived;  // not the points_mut( token
+  (void)points_muted;
+}
+
+}  // namespace gather::sim

@@ -31,6 +31,14 @@ Rules (diagnosed as path:line: Rn: message):
       stray print interleaves with --trace-jsonl streams.  stderr
       diagnostics (fprintf(stderr, ...)) and snprintf formatting are fine.
 
+  R5  No configuration-internals access outside src/config: the
+      derived-geometry cache (configuration::derived(), the
+      derived_geometry struct) and the deprecated points_mut() shim are
+      implementation details of the config layer.  Consumers go through
+      the public wrappers (classify, weber_point, all_views, ...) and the
+      invalidating mutation API; a deliberate exception (e.g. a test of
+      the shim itself) carries an allow comment.
+
 Suppression: append `// gather-lint: allow(Rn)` to the offending line, or
 put it in a comment on the line directly above.  Multiple rules:
 `allow(R2,R3)`.
@@ -314,6 +322,35 @@ def check_r4(src, report):
 
 
 # ---------------------------------------------------------------------------
+# R5: configuration internals outside src/config
+# ---------------------------------------------------------------------------
+
+R5_PATTERNS = [
+    (
+        re.compile(r"\bpoints_mut\s*\("),
+        "deprecated configuration::points_mut(); use the invalidating "
+        "mutation API (set_position/apply_moves/insert_robot/remove_robot)",
+    ),
+    (
+        re.compile(r"(?:\.|->)\s*derived\s*\(\s*\)"),
+        "direct derived-geometry cache access; use the public wrappers "
+        "(classify, weber_point, all_views, safe_occupied_points, ...)",
+    ),
+    (
+        re.compile(r"\bderived_geometry\b"),
+        "derived_geometry is internal to src/config; consumers use the "
+        "public wrappers",
+    ),
+]
+
+
+def check_r5(src, report):
+    for pat, what in R5_PATTERNS:
+        for m in pat.finditer(src.code):
+            report("R5", src.line_of(m.start()), what)
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -328,6 +365,8 @@ def rules_for(rel):
         rules.append(check_r3)
     if rel.startswith("src/") and not rel.startswith("src/obs/"):
         rules.append(check_r4)
+    if not rel.startswith("src/config/"):
+        rules.append(check_r5)
     return rules
 
 
@@ -409,7 +448,7 @@ def self_test():
         print("self-test: fixtures exercise no allow() suppression")
         ok = False
     rules_seen = {rule for _, _, rule in expected}
-    for rule in ("R1", "R2", "R3", "R4"):
+    for rule in ("R1", "R2", "R3", "R4", "R5"):
         if rule not in rules_seen:
             print(f"self-test: no fixture fires {rule}")
             ok = False
