@@ -1,21 +1,250 @@
-// Experiment E11 -- round-complexity scaling.
+// Experiment E11 -- round-complexity scaling -- plus the PR 5 view-pipeline
+// phase-scaling study.
 //
-// The paper proves termination but gives no explicit round bound.  This
-// experiment measures how the rounds-to-gather grow with the swarm size n,
-// per scheduler, at fixed delta, on uniform-random (class A) instances and on
-// majority (class M) instances.  Expected shape: roughly linear in n for the
-// one-robot-per-round schedulers (round-robin, laggard) and near-constant in
-// n (set by 1/delta) for the synchronous scheduler.
+// Part 1 (default): the paper proves termination but gives no explicit round
+// bound, so this experiment measures how the rounds-to-gather grow with the
+// swarm size n, per scheduler, at fixed delta, on uniform-random (class A)
+// and majority (class M) instances.  Expected shape: roughly linear in n for
+// the one-robot-per-round schedulers (round-robin, laggard) and
+// near-constant in n (set by 1/delta) for the synchronous scheduler.
+//
+// Part 2: config-calculus phase scaling for n up to 512.  Each phase of the
+// view pipeline (all_views, view_classes, symmetry) is timed against the
+// pre-subquadratic reference oracle kept in views_reference.cpp, a log-log
+// slope is fitted per phase, and GATHER_PROF call counters are captured on a
+// small fixed grid.  --json PATH writes the machine-readable results
+// (schema gather-bench-scaling-v1; committed baseline: bench/BENCH_PR5.json,
+// compared by tools/bench/compare.py under the `bench-smoke` ctest label).
+//
+// Flags: --smoke   small phase grid, skip the (slow) E11 simulations
+//        --json P  write results as JSON to P
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "config/classify.h"
+#include "config/configuration.h"
+#include "config/derived.h"
+#include "config/views.h"
 #include "core/wait_free_gather.h"
 #include "harness.h"
+#include "obs/profile.h"
 #include "workloads/generators.h"
 
-int main() {
-  using namespace gather;
+namespace {
+
+using namespace gather;
+
+std::size_t g_sink = 0;  // keeps timed results observable
+
+/// Median wall time of `fn(c)` over `reps` fresh configurations built from
+/// `pts`.  The configuration is constructed outside the clock: its SEC /
+/// canonicalization cost is identical shared work on the fast and reference
+/// sides, and each rep starts with a cold derived-geometry cache, so the
+/// sample times exactly one pipeline phase.
+template <typename Fn>
+std::uint64_t median_ns(int reps, const std::vector<geom::vec2>& pts, Fn&& fn) {
+  std::vector<std::uint64_t> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    const config::configuration c(pts);
+    g_sink += static_cast<std::size_t>(c.sec().radius > 0.0);  // canonicalize
+    const auto t0 = std::chrono::steady_clock::now();
+    fn(c);
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+struct phase_point {
+  std::size_t n = 0;
+  std::uint64_t fast_ns = 0;
+  std::uint64_t ref_ns = 0;  // 0 when the reference was not run at this n
+};
+
+struct phase_result {
+  std::string name;
+  std::vector<phase_point> points;
+  double slope = 0.0;  // log-log slope of fast_ns vs n
+};
+
+/// Least-squares slope of ln(t) against ln(n).
+double loglog_slope(const std::vector<phase_point>& pts) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int m = 0;
+  for (const phase_point& p : pts) {
+    if (p.fast_ns == 0) continue;
+    const double x = std::log(static_cast<double>(p.n));
+    const double y = std::log(static_cast<double>(p.fast_ns));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++m;
+  }
+  if (m < 2) return 0.0;
+  const double denom = m * sxx - sx * sx;
+  return denom > 0.0 ? (m * sxy - sx * sy) / denom : 0.0;
+}
+
+std::vector<geom::vec2> phase_workload(std::size_t n) {
+  sim::rng r(70'000 + n);
+  return workloads::uniform_random(n, r);
+}
+
+/// Times the three view-pipeline phases, fast vs reference, on one shared
+/// deterministic workload per n.
+std::vector<phase_result> run_phase_scaling(const std::vector<std::size_t>& ns,
+                                            std::size_t max_ref_n) {
+  phase_result views{"views", {}, 0.0};
+  phase_result classes{"classes", {}, 0.0};
+  phase_result symmetry{"symmetry", {}, 0.0};
+
+  for (std::size_t n : ns) {
+    const std::vector<geom::vec2> pts = phase_workload(n);
+    const bool run_ref = n <= max_ref_n;
+    const int fast_reps = n <= 128 ? 9 : 5;
+    const int ref_reps = n <= 64 ? 5 : 3;
+
+    // Phase 1: views of every occupied location on a cold derived cache
+    // (shared pairwise-distance table + run-emission builds vs the
+    // re-cluster-per-entry reference oracle).
+    phase_point pv{n, 0, 0};
+    pv.fast_ns = median_ns(fast_reps, pts, [&](const config::configuration& c) {
+      g_sink += config::all_views(c).size();
+    });
+    if (run_ref) {
+      pv.ref_ns = median_ns(ref_reps, pts, [&](const config::configuration& c) {
+        g_sink += config::detail::all_views_reference(c).size();
+      });
+    }
+    views.points.push_back(pv);
+
+    // Phase 2: view classification end to end on a cold derived cache --
+    // what the old pipeline did per snapshot (reference views +
+    // tolerance-comparator sort) against the fast path (fast views + lazy
+    // canonical-key grouping).
+    phase_point pc{n, 0, 0};
+    pc.fast_ns = median_ns(fast_reps, pts, [&](const config::configuration& c) {
+      g_sink += config::view_classes(c).size();
+    });
+    if (run_ref) {
+      pc.ref_ns = median_ns(ref_reps, pts, [&](const config::configuration& c) {
+        g_sink += config::detail::view_classes_reference(c).size();
+      });
+    }
+    classes.points.push_back(pc);
+
+    // Phase 3: sym(C) end to end on a cold derived cache (Booth string path
+    // vs the old largest-view-class computation).
+    phase_point ps{n, 0, 0};
+    ps.fast_ns = median_ns(fast_reps, pts, [&](const config::configuration& c) {
+      g_sink += static_cast<std::size_t>(config::symmetry(c));
+    });
+    if (run_ref) {
+      ps.ref_ns = median_ns(ref_reps, pts, [&](const config::configuration& c) {
+        g_sink +=
+            static_cast<std::size_t>(config::detail::symmetry_reference(c));
+      });
+    }
+    symmetry.points.push_back(ps);
+  }
+
+  views.slope = loglog_slope(views.points);
+  classes.slope = loglog_slope(classes.points);
+  symmetry.slope = loglog_slope(symmetry.points);
+  return {views, classes, symmetry};
+}
+
+/// GATHER_PROF call counts over a small fixed grid: the same configurations
+/// and calls in every mode and on every machine, so the counts are exact
+/// invariants of the algorithm (compare.py rejects any increase).
+std::vector<std::pair<std::string, std::uint64_t>> run_counter_grid() {
+  obs::prof_registry reg;
+  {
+    obs::prof_session session(&reg);
+    for (std::size_t n : {8u, 16u, 32u}) {
+      const config::configuration c(phase_workload(n));
+      g_sink += config::all_views(c).size();
+      g_sink += config::view_classes(c).size();
+      g_sink += static_cast<std::size_t>(config::symmetry(c));
+      g_sink += static_cast<std::size_t>(config::classify(c).cls);
+    }
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [site, stats] : reg.sites()) {
+    out.emplace_back(site, stats.calls);
+  }
+  return out;
+}
+
+void print_phase_table(const std::vector<phase_result>& phases) {
+  std::printf("PR5: view-pipeline phase scaling (fast vs reference oracle)\n\n");
+  std::printf("%10s %6s %14s %14s %10s\n", "phase", "n", "fast (us)",
+              "reference (us)", "speedup");
+  bench::print_rule(60);
+  for (const phase_result& ph : phases) {
+    for (const phase_point& p : ph.points) {
+      std::printf("%10s %6zu %14.1f", ph.name.c_str(), p.n,
+                  static_cast<double>(p.fast_ns) / 1e3);
+      if (p.ref_ns > 0) {
+        std::printf(" %14.1f %9.1fx", static_cast<double>(p.ref_ns) / 1e3,
+                    static_cast<double>(p.ref_ns) /
+                        static_cast<double>(p.fast_ns));
+      } else {
+        std::printf(" %14s %10s", "-", "-");
+      }
+      std::printf("\n");
+    }
+    std::printf("%10s log-log slope of fast path: %.2f\n\n", ph.name.c_str(),
+                ph.slope);
+  }
+}
+
+bool write_json(const char* path, const std::vector<phase_result>& phases,
+                const std::vector<std::pair<std::string, std::uint64_t>>& counters,
+                bool smoke) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_scaling: cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"gather-bench-scaling-v1\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"phases\": {\n");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const phase_result& ph = phases[i];
+    std::fprintf(f, "    \"%s\": {\n      \"slope\": %.4f,\n      \"points\": [\n",
+                 ph.name.c_str(), ph.slope);
+    for (std::size_t j = 0; j < ph.points.size(); ++j) {
+      const phase_point& p = ph.points[j];
+      std::fprintf(f,
+                   "        {\"n\": %zu, \"fast_ns\": %llu, \"ref_ns\": %llu}%s\n",
+                   p.n, static_cast<unsigned long long>(p.fast_ns),
+                   static_cast<unsigned long long>(p.ref_ns),
+                   j + 1 < ph.points.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"counters\": {\n");
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %llu%s\n", counters[i].first.c_str(),
+                 static_cast<unsigned long long>(counters[i].second),
+                 i + 1 < counters.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+void run_e11() {
   const core::wait_free_gather algo;
   const int seeds = 5;
 
@@ -57,6 +286,47 @@ int main() {
     std::printf("\n");
   }
   std::printf("Reading: one-robot-per-round schedulers scale linearly in n;\n"
-              "synchronous rounds are set by the geometry, not the swarm size.\n");
+              "synchronous rounds are set by the geometry, not the swarm size.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_scaling [--smoke] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  if (!smoke) run_e11();
+
+  const std::vector<std::size_t> ns =
+      smoke ? std::vector<std::size_t>{32, 64}
+            : std::vector<std::size_t>{16, 32, 64, 128, 256, 512};
+  const std::size_t max_ref_n = smoke ? 64 : 512;
+  const auto phases = run_phase_scaling(ns, max_ref_n);
+  print_phase_table(phases);
+  if (max_ref_n < ns.back()) {
+    std::printf("note: reference oracle capped at n = %zu\n", max_ref_n);
+  }
+
+  const auto counters = run_counter_grid();
+  std::printf("GATHER_PROF call counts on the fixed grid (n = 8, 16, 32):\n");
+  for (const auto& [site, calls] : counters) {
+    std::printf("  prof.%s.calls = %llu\n", site.c_str(),
+                static_cast<unsigned long long>(calls));
+  }
+
+  if (json_path != nullptr && !write_json(json_path, phases, counters, smoke)) {
+    return 1;
+  }
+  std::printf("(sink %zu)\n", g_sink % 10);
   return 0;
 }

@@ -148,6 +148,17 @@ int configuration::multiplicity(vec2 p) const {
   return 0;
 }
 
+std::optional<std::size_t> configuration::find_occupied(vec2 p) const {
+  ensure_fresh();
+  const auto it = std::lower_bound(
+      occupied_.begin(), occupied_.end(), p,
+      [](const occupied_point& o, vec2 q) { return o.position < q; });
+  if (it != occupied_.end() && it->position.x == p.x && it->position.y == p.y) {
+    return static_cast<std::size_t>(it - occupied_.begin());
+  }
+  return std::nullopt;
+}
+
 vec2 configuration::snapped(vec2 p) const {
   ensure_fresh();
   for (const occupied_point& o : occupied_) {

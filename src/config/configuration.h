@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -96,6 +97,14 @@ class configuration {
 
   /// mult(p): number of robots at `p` (0 when `p` is unoccupied).
   [[nodiscard]] int multiplicity(vec2 p) const;
+
+  /// Index into occupied() of the location *bitwise* equal to `p`, or
+  /// nullopt.  occupied() is kept sorted by position, so this is an O(log n)
+  /// binary search on the canonical array itself -- there is no side table
+  /// to build or invalidate.  (Tolerance-close but not bitwise-equal
+  /// positions intentionally miss: the derived caches keyed on occupied
+  /// indices are only valid for exact positions.)
+  [[nodiscard]] std::optional<std::size_t> find_occupied(vec2 p) const;
 
   /// The snapped representative of location `p`, or `p` itself if unoccupied.
   [[nodiscard]] vec2 snapped(vec2 p) const;

@@ -16,6 +16,10 @@ void derived_geometry::clear() {
   view_ready.clear();
   view_classes.reset();
   angles_about_center.reset();
+  for (std::vector<angular_entry>& o : polar_orders) o.clear();  // keep capacity
+  polar_order_ready.clear();
+  symmetry.reset();
+  // scratch_thetas / scratch_reps / scratch_dists hold no cross-call state.
 }
 
 std::vector<vec2> hull(const configuration& c) {
@@ -32,9 +36,45 @@ std::vector<vec2> hull(const configuration& c) {
 std::vector<angular_entry> angular_order_about_center(const configuration& c) {
   derived_geometry& d = c.derived();
   if (!d.angles_about_center) {
-    d.angles_about_center = angular_order(c, c.sec().center);
+    d.angles_about_center = detail::angular_order_uncached(c, c.sec().center);
   }
   return *d.angles_about_center;
+}
+
+const std::vector<angular_entry>& angular_order_of_occupied(
+    const configuration& c, std::size_t i) {
+  derived_geometry& d = c.derived();
+  const std::size_t k = c.distinct_count();
+  if (d.polar_order_ready.size() != k) {
+    if (d.polar_orders.size() < k) d.polar_orders.resize(k);
+    d.polar_order_ready.assign(k, 0);
+  }
+  if (!d.polar_order_ready[i]) {
+    d.polar_orders[i] =
+        detail::angular_order_uncached(c, c.occupied()[i].position);
+    d.polar_order_ready[i] = 1;
+  }
+  return d.polar_orders[i];
+}
+
+const std::vector<angular_entry>& angular_order_ref(
+    const configuration& c, vec2 center, std::vector<angular_entry>& fallback) {
+  // Cache routing demands an exact bitwise position match: a merely
+  // tolerance-close center yields different angles and therefore different
+  // bits, so it is computed uncached.
+  if (const auto i = c.find_occupied(center)) {
+    return angular_order_of_occupied(c, *i);
+  }
+  const vec2 sec_center = c.sec().center;
+  if (center.x == sec_center.x && center.y == sec_center.y) {
+    derived_geometry& d = c.derived();
+    if (!d.angles_about_center) {
+      d.angles_about_center = detail::angular_order_uncached(c, center);
+    }
+    return *d.angles_about_center;
+  }
+  fallback = detail::angular_order_uncached(c, center);
+  return fallback;
 }
 
 }  // namespace gather::config

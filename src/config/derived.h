@@ -4,9 +4,18 @@
 // convex hull, Weber point, views, string of angles, the classify verdict --
 // computed lazily, at most once per mutation generation, by the public
 // wrappers in classify.h / weber.h / views.h / safe_points.h / regularity.h.
-// The wrappers delegate to the detail::*_uncached functions below (the
-// original, cache-free computations), so a cached value is bit-identical to
-// a fresh one by construction: same function, same canonical state.
+// The wrappers delegate to the detail::*_uncached functions below, so a
+// cached value is bit-identical to a fresh one by construction: same
+// function, same canonical state.
+//
+// Shared polar tables (PR 5): the per-occupied-point angular orders
+// (`polar_orders`) are the polar table every angular consumer shares --
+// safe-point scoring, quasi-regularity ray analysis and the string of angles
+// all read the same cached, snapped cyclic order instead of re-clustering
+// per call.  The angle-cluster scratch buffers below make the fill passes
+// allocation-free in steady state.  The pre-subquadratic implementations are
+// kept verbatim as detail::*_reference oracles for equivalence fuzzing and
+// benchmarking (see docs/PERFORMANCE.md, "View pipeline complexity").
 //
 // Invalidation: configuration's mutation API calls derived_geometry::clear()
 // under the new generation.  clear() empties the slots but keeps vector
@@ -44,6 +53,22 @@ struct derived_geometry {
   std::vector<char> view_ready;
   std::optional<std::vector<std::vector<std::size_t>>> view_classes;
   std::optional<std::vector<angular_entry>> angles_about_center;
+  // Shared polar table: angular_order about occupied location i, filled
+  // lazily per index (safe points and quasi-regularity both walk every
+  // occupied candidate, so each order is computed once and read twice).
+  std::vector<std::vector<angular_entry>> polar_orders;
+  std::vector<char> polar_order_ready;
+  // sym(C) by the Booth/Z rotation kernel on the string about the SEC
+  // center; filling this slot does not require computing any view.
+  std::optional<int> symmetry;
+  // Scratch for the angle clustering/snapping passes (contents transient;
+  // capacity reused across calls and generations).
+  std::vector<double> scratch_thetas;
+  std::vector<double> scratch_reps;
+  // Shared pairwise-distance table scratch for all_views: row i holds the
+  // distances from occupied i to every occupied j (hypot is sign-symmetric,
+  // so each unordered pair is computed once and mirrored).
+  std::vector<double> scratch_dists;
 
   /// Empty every slot, keeping vector capacity for reuse.
   void clear();
@@ -58,6 +83,19 @@ struct derived_geometry {
 [[nodiscard]] std::vector<angular_entry> angular_order_about_center(
     const configuration& c);
 
+/// The cached angular order about occupied location index `i` (the shared
+/// polar table).  The reference is valid until the next mutation.
+[[nodiscard]] const std::vector<angular_entry>& angular_order_of_occupied(
+    const configuration& c, std::size_t i);
+
+/// Cache-routing angular order about an arbitrary center: serves the polar
+/// table on an exact occupied-position match, the Def. 4 slot on an exact
+/// SEC-center match, and otherwise computes into `fallback`.  The returned
+/// reference points into the cache or into `fallback`; it is valid until the
+/// next mutation or the next write to `fallback`.
+[[nodiscard]] const std::vector<angular_entry>& angular_order_ref(
+    const configuration& c, vec2 center, std::vector<angular_entry>& fallback);
+
 namespace detail {
 
 // The original cache-free computations.  Public wrappers fill the cache from
@@ -69,11 +107,35 @@ namespace detail {
 [[nodiscard]] std::optional<config::quasi_regularity>
 detect_quasi_regularity_uncached(const configuration& c);
 [[nodiscard]] view view_of_uncached(const configuration& c, vec2 p);
-[[nodiscard]] std::vector<view> all_views_uncached(const configuration& c);
+// Fill every per-index view slot that is still cold, in bulk through the
+// shared pairwise-distance table (one hypot per unordered pair).  Each slot
+// ends up bit-identical to what view_of_uncached would produce for it;
+// all_views serves references straight from the slots afterwards.
+void fill_all_view_slots(const configuration& c);
 [[nodiscard]] std::vector<std::vector<std::size_t>> view_classes_uncached(
     const configuration& c);
+[[nodiscard]] int symmetry_uncached(const configuration& c);
+[[nodiscard]] std::vector<angular_entry> angular_order_uncached(
+    const configuration& c, vec2 center);
 [[nodiscard]] std::vector<std::size_t> safe_occupied_points_uncached(
     const configuration& c);
+
+// PR 5 reference oracles: the pre-subquadratic view/symmetry pipeline kept
+// verbatim (naive clustering, linear-scan snapping, tolerance-comparator
+// classing, view-based symmetry).  The fast pipeline must reproduce their
+// results -- bit for bit for views and angular orders, exactly for classes
+// and symmetry away from tolerance boundaries (fuzzed by
+// test_view_pipeline); bench_scaling times fast vs reference per phase.
+[[nodiscard]] view view_of_reference(const configuration& c, vec2 p);
+[[nodiscard]] std::vector<view> all_views_reference(const configuration& c);
+[[nodiscard]] std::vector<std::vector<std::size_t>> view_classes_reference(
+    const configuration& c);
+[[nodiscard]] std::vector<std::vector<std::size_t>>
+view_classes_from_views_reference(const std::vector<view>& vs,
+                                  const geom::tol& t);
+[[nodiscard]] int symmetry_reference(const configuration& c);
+[[nodiscard]] std::vector<angular_entry> angular_order_reference(
+    const configuration& c, vec2 center);
 
 }  // namespace detail
 

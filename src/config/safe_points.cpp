@@ -8,12 +8,15 @@
 namespace gather::config {
 
 int max_ray_load(const configuration& c, vec2 p) {
-  // angular_order clusters robots not at p by ray direction (snapped angles).
+  // angular_order clusters robots not at p by ray direction (snapped
+  // angles); for occupied p the order is served from the shared polar table
+  // (safe_occupied_points and quasi-regularity read the same slots).
   int best = 0;
   int run = 0;
   double run_theta = -1.0;
   bool first = true;
-  for (const angular_entry& e : angular_order(c, p)) {
+  std::vector<angular_entry> fallback;
+  for (const angular_entry& e : angular_order_ref(c, p, fallback)) {
     if (first || e.theta != run_theta) {
       run = 1;
       run_theta = e.theta;

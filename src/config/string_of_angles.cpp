@@ -3,15 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "config/derived.h"
 #include "geometry/angles.h"
 
 namespace gather::config {
 
-std::vector<angular_entry> angular_order(const configuration& c, vec2 center) {
+namespace detail {
+
+std::vector<angular_entry> angular_order_uncached(const configuration& c,
+                                                  vec2 center) {
   const geom::tol& t = c.tolerance();
+  derived_geometry& d = c.derived();
   std::vector<angular_entry> entries;
   entries.reserve(c.size());
-  std::vector<double> thetas;
+  std::vector<double>& thetas = d.scratch_thetas;
+  thetas.clear();
   for (const occupied_point& o : c.occupied()) {
     if (t.same_point(o.position, center)) continue;
     angular_entry e;
@@ -24,10 +30,9 @@ std::vector<angular_entry> angular_order(const configuration& c, vec2 center) {
   // Snap each entry's angle to its cluster representative so the sort below
   // uses exact comparisons (a tolerance comparator is not a strict weak
   // order).
-  const std::vector<double> reps =
-      geom::cluster_angle_values(std::move(thetas), t.angle_eps);
+  geom::cluster_angles_into(thetas, t.angle_eps, d.scratch_reps);
   for (angular_entry& e : entries) {
-    e.theta = geom::nearest_angle_rep(e.theta, reps);
+    e.theta = geom::nearest_angle_rep(e.theta, d.scratch_reps);
   }
   std::sort(entries.begin(), entries.end(),
             [](const angular_entry& a, const angular_entry& b) {
@@ -38,8 +43,17 @@ std::vector<angular_entry> angular_order(const configuration& c, vec2 center) {
   return entries;
 }
 
+}  // namespace detail
+
+std::vector<angular_entry> angular_order(const configuration& c, vec2 center) {
+  std::vector<angular_entry> fallback;
+  return angular_order_ref(c, center, fallback);
+}
+
 std::vector<double> string_of_angles(const configuration& c, vec2 center) {
-  const auto entries = angular_order(c, center);
+  std::vector<angular_entry> fallback;
+  const std::vector<angular_entry>& entries =
+      angular_order_ref(c, center, fallback);
   const std::size_t m = entries.size();
   std::vector<double> sa(m, 0.0);
   if (m < 2) return sa;

@@ -37,8 +37,12 @@ using view = std::vector<polar_entry>;
 /// `p` must be an occupied location.
 [[nodiscard]] view view_of(const configuration& c, vec2 p);
 
-/// Views of every occupied location, parallel to `c.occupied()`.
-[[nodiscard]] std::vector<view> all_views(const configuration& c);
+/// Views of every occupied location, parallel to `c.occupied()`.  Returns a
+/// reference into the derived-geometry cache (filled in bulk through the
+/// shared pairwise-distance table on first use); it is valid until the next
+/// mutation of `c`.  Copy-initialize a `std::vector<view>` from it to keep a
+/// snapshot across mutations.
+[[nodiscard]] const std::vector<view>& all_views(const configuration& c);
 
 /// Equivalence classes of occupied locations under equal views; each inner
 /// vector holds indices into `c.occupied()`.  Classes are ordered by

@@ -1,0 +1,166 @@
+// PR 5 reference oracles: the pre-subquadratic view/symmetry pipeline, kept
+// verbatim as the semantic baseline for the fast path in views.cpp.
+//
+// view_of_reference / all_views_reference re-cluster and re-snap per
+// observer with the naive O(reps)-per-entry linear scan (O(n^3) for all
+// views) and the SEC-center branch recomputes every peer's view;
+// view_classes_from_views_reference sorts whole views with the tolerance
+// comparator (the strict-weak-ordering hazard the canonical keys replace);
+// symmetry_reference reads sym(C) off the largest class.  test_view_pipeline
+// fuzzes fast-vs-reference equivalence over 1000 configurations and
+// bench_scaling reports the per-phase speedup against these oracles.
+#include <algorithm>
+#include <cmath>
+
+#include "config/derived.h"
+#include "geometry/angles.h"
+
+namespace gather::config {
+
+namespace {
+
+/// View of `p` using the explicit reference direction `ref` (non-zero) --
+/// the naive per-observer pipeline.
+view view_with_reference_naive(const configuration& c, vec2 p, vec2 ref) {
+  const double r = std::max(c.sec().radius, 1e-300);
+  view v;
+  v.reserve(c.size());
+  std::vector<double> raw_angles;
+  for (const occupied_point& o : c.occupied()) {
+    polar_entry e;
+    if (c.tolerance().same_point(o.position, p)) {
+      e = {0.0, 0.0};
+    } else {
+      e.angle = geom::cw_angle(ref, o.position - p);
+      e.dist = geom::distance(p, o.position) / r;
+      raw_angles.push_back(e.angle);
+    }
+    for (int k = 0; k < o.multiplicity; ++k) v.push_back(e);
+  }
+  const auto reps = geom::detail::cluster_angle_values_reference(
+      std::move(raw_angles), c.tolerance().angle_eps);
+  for (polar_entry& e : v) {
+    if (e.dist != 0.0)  // gather-lint: allow(R3)
+      e.angle = geom::detail::nearest_angle_rep_reference(e.angle, reps);
+  }
+  std::sort(v.begin(), v.end(), [](const polar_entry& a, const polar_entry& b) {
+    if (a.angle != b.angle) return a.angle < b.angle;
+    return a.dist < b.dist;
+  });
+  return v;
+}
+
+}  // namespace
+
+namespace detail {
+
+view view_of_reference(const configuration& c, vec2 p) {
+  const vec2 center = c.sec().center;
+  const geom::tol& t = c.tolerance();
+  if (!t.same_point(p, center)) {
+    return view_with_reference_naive(c, p, center - p);
+  }
+  view best_other;
+  bool have_other = false;
+  std::vector<vec2> maximizers;
+  for (const occupied_point& o : c.occupied()) {
+    if (t.same_point(o.position, p)) continue;
+    view v = view_with_reference_naive(c, o.position, center - o.position);
+    if (!have_other || compare_views(v, best_other, t) > 0) {
+      best_other = std::move(v);
+      have_other = true;
+      maximizers.clear();
+      maximizers.push_back(o.position);
+    } else if (compare_views(v, best_other, t) == 0) {
+      maximizers.push_back(o.position);
+    }
+  }
+  if (!have_other) {
+    return view(c.size(), polar_entry{0.0, 0.0});
+  }
+  view best;
+  bool have = false;
+  for (vec2 x : maximizers) {
+    view v = view_with_reference_naive(c, p, x - p);
+    if (!have || compare_views(v, best, t) > 0) {
+      best = std::move(v);
+      have = true;
+    }
+  }
+  return best;
+}
+
+std::vector<view> all_views_reference(const configuration& c) {
+  std::vector<view> vs;
+  vs.reserve(c.distinct_count());
+  for (const occupied_point& o : c.occupied())
+    vs.push_back(view_of_reference(c, o.position));
+  return vs;
+}
+
+std::vector<std::vector<std::size_t>> view_classes_from_views_reference(
+    const std::vector<view>& vs, const geom::tol& t) {
+  std::vector<std::size_t> order(vs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return compare_views(vs[a], vs[b], t) > 0;  // descending
+  });
+  std::vector<std::vector<std::size_t>> classes;
+  for (std::size_t i : order) {
+    if (!classes.empty() &&
+        compare_views(vs[classes.back().front()], vs[i], t) == 0) {
+      classes.back().push_back(i);
+    } else {
+      classes.push_back({i});
+    }
+  }
+  return classes;
+}
+
+std::vector<std::vector<std::size_t>> view_classes_reference(
+    const configuration& c) {
+  return view_classes_from_views_reference(all_views_reference(c),
+                                           c.tolerance());
+}
+
+int symmetry_reference(const configuration& c) {
+  int best = 0;
+  for (const auto& cls : view_classes_reference(c)) {
+    best = std::max(best, static_cast<int>(cls.size()));
+  }
+  return std::max(best, 1);
+}
+
+std::vector<angular_entry> angular_order_reference(const configuration& c,
+                                                   vec2 center) {
+  const geom::tol& t = c.tolerance();
+  std::vector<angular_entry> entries;
+  entries.reserve(c.size());
+  std::vector<double> thetas;
+  for (const occupied_point& o : c.occupied()) {
+    if (t.same_point(o.position, center)) continue;
+    angular_entry e;
+    e.position = o.position;
+    e.theta = geom::cw_angle({1.0, 0.0}, o.position - center);
+    e.dist = geom::distance(o.position, center);
+    thetas.push_back(e.theta);
+    for (int k = 0; k < o.multiplicity; ++k) entries.push_back(e);
+  }
+  const std::vector<double> reps =
+      geom::detail::cluster_angle_values_reference(std::move(thetas),
+                                                   t.angle_eps);
+  for (angular_entry& e : entries) {
+    e.theta = geom::detail::nearest_angle_rep_reference(e.theta, reps);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const angular_entry& a, const angular_entry& b) {
+              if (a.theta != b.theta) return a.theta < b.theta;
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return a.position < b.position;
+            });
+  return entries;
+}
+
+}  // namespace detail
+
+}  // namespace gather::config

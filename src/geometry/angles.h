@@ -47,7 +47,40 @@ inline constexpr double pi = std::numbers::pi;
 [[nodiscard]] std::vector<double> cluster_angle_values(std::vector<double> thetas,
                                                        double eps);
 
-/// The representative from `reps` (cyclically) nearest to `theta`.
+/// Scratch-reusing variant of `cluster_angle_values`: sorts `thetas` in place
+/// and writes the representatives into `reps` (cleared first).  Allocates
+/// nothing once the caller's buffers have warmed up; the representatives are
+/// bit-identical to `detail::cluster_angle_values_reference`.
+void cluster_angles_into(std::vector<double>& thetas, double eps,
+                         std::vector<double>& reps);
+
+/// `cluster_angles_into` for input that is already sorted ascending: skips
+/// the sort, produces bit-identical representatives.
+void cluster_presorted_angles_into(const std::vector<double>& thetas,
+                                   double eps, std::vector<double>& reps);
+
+/// The representative from `reps` (cyclically) nearest to `theta`; ties pick
+/// the first minimal representative in ascending order.  `reps` must be
+/// sorted ascending (as produced by `cluster_angle_values`).  O(log |reps|).
 [[nodiscard]] double nearest_angle_rep(double theta, const std::vector<double>& reps);
+
+/// Snap every element of the ASCENDING-sorted `thetas` to its nearest
+/// representative in place, bitwise identical to calling `nearest_angle_rep`
+/// per element, in O(|thetas| + |reps|) via a monotone merge pointer.
+void snap_sorted_angles(std::vector<double>& thetas,
+                        const std::vector<double>& reps);
+
+namespace detail {
+
+// Pre-subquadratic reference implementations, kept as equivalence oracles:
+// the fast paths above must return bit-identical results (fuzzed by
+// test_view_pipeline).  The reference cluster pass allocates one vector per
+// cluster and the reference snap is a linear scan over all representatives.
+[[nodiscard]] std::vector<double> cluster_angle_values_reference(
+    std::vector<double> thetas, double eps);
+[[nodiscard]] double nearest_angle_rep_reference(double theta,
+                                                 const std::vector<double>& reps);
+
+}  // namespace detail
 
 }  // namespace gather::geom

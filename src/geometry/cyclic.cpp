@@ -1,0 +1,81 @@
+#include "geometry/cyclic.h"
+
+#include <algorithm>
+
+namespace gather::geom {
+
+std::size_t booth_minimal_rotation(const std::vector<std::uint64_t>& s) {
+  const std::size_t m = s.size();
+  if (m < 2) return 0;
+  // Booth's algorithm on the conceptually doubled string s+s: maintain the
+  // current best start k and the KMP failure function f of the best rotation
+  // seen so far.  Each mismatch either advances along f or moves k forward,
+  // so the whole scan is O(m).
+  const auto at = [&](std::size_t i) { return s[i < m ? i : i - m]; };
+  std::vector<std::ptrdiff_t> f(2 * m, -1);
+  std::size_t k = 0;
+  for (std::size_t j = 1; j < 2 * m; ++j) {
+    const std::uint64_t sj = at(j);
+    std::ptrdiff_t i = f[j - k - 1];
+    while (i != -1 && sj != at(k + static_cast<std::size_t>(i) + 1)) {
+      if (sj < at(k + static_cast<std::size_t>(i) + 1))
+        k = j - static_cast<std::size_t>(i) - 1;
+      i = f[static_cast<std::size_t>(i)];
+    }
+    if (i == -1 && sj != at(k)) {
+      if (sj < at(k)) k = j;
+      f[j - k] = -1;
+    } else {
+      f[j - k] = i + 1;
+    }
+  }
+  // k indexes the doubled string; k and k - m name the same rotation.
+  return k < m ? k : k - m;
+}
+
+std::size_t minimal_cyclic_period(const std::vector<std::uint64_t>& s) {
+  const std::size_t m = s.size();
+  if (m < 2) return m;
+  // Z-function of the doubled string: z[p] >= m means the rotation by p
+  // matches the original on all m symbols, i.e. p is a cyclic period.  The
+  // set of cyclic periods is a subgroup of Z_m, so the smallest one divides m.
+  const std::size_t len = 2 * m;
+  const auto at = [&](std::size_t i) { return s[i < m ? i : i - m]; };
+  std::vector<std::size_t> z(len, 0);
+  std::size_t l = 0, r = 0;
+  for (std::size_t i = 1; i < len; ++i) {
+    std::size_t zi = 0;
+    if (i < r) zi = std::min(r - i, z[i - l]);
+    while (i + zi < len && at(zi) == at(i + zi)) ++zi;
+    if (i + zi > r) {
+      l = i;
+      r = i + zi;
+    }
+    z[i] = zi;
+    // Early exit: positions are scanned in increasing order, so the first
+    // period found is the minimal one.
+    if (i <= m && zi >= m) return i;
+  }
+  return m;
+}
+
+std::size_t cyclic_rotation_order(const std::vector<std::uint64_t>& s) {
+  const std::size_t m = s.size();
+  if (m < 2) return 1;
+  const std::size_t p = minimal_cyclic_period(s);
+  return m / p;
+}
+
+std::vector<std::uint64_t> canonical_rotation(
+    const std::vector<std::uint64_t>& s) {
+  const std::size_t m = s.size();
+  if (m < 2) return s;
+  const std::size_t k = booth_minimal_rotation(s);
+  std::vector<std::uint64_t> out;
+  out.reserve(m);
+  out.insert(out.end(), s.begin() + static_cast<std::ptrdiff_t>(k), s.end());
+  out.insert(out.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(k));
+  return out;
+}
+
+}  // namespace gather::geom

@@ -1,0 +1,43 @@
+// Cyclic-string kernels for rotational symmetry.
+//
+// The paper's symmetry objects -- sym(C) (Def. 3) and the periodicity of the
+// string of angles (Defs. 4-5) -- are rotation properties of a cyclic
+// sequence of symbols.  This header provides the two classic linear-time
+// primitives on integer symbol strings: Booth's algorithm for the
+// lexicographically least rotation (a canonical starting point every robot
+// can agree on) and the minimal cyclic period via a Z-function self-search on
+// the doubled string.  `config::symmetry` quantizes the angular order about
+// the SEC center into such a string and reads sym(C) off its rotation order
+// in O(n log n) total, replacing the O(n^3) all-pairs view comparison.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace gather::geom {
+
+/// Index k minimizing the rotation s[k], s[k+1], ..., s[k-1]
+/// lexicographically (Booth's algorithm, O(m)).  Returns 0 for m < 2.
+[[nodiscard]] std::size_t booth_minimal_rotation(
+    const std::vector<std::uint64_t>& s);
+
+/// Smallest p > 0 such that s[i] == s[(i + p) mod m] for all i -- the minimal
+/// cyclic period; p always divides m.  Computed as the first position p with
+/// Z(s+s)[p] >= m.  Returns m for m < 2 (so 0 for the empty string).
+[[nodiscard]] std::size_t minimal_cyclic_period(
+    const std::vector<std::uint64_t>& s);
+
+/// m / minimal_cyclic_period(s): the order of the cyclic rotation group of
+/// the string (how many rotations map it onto itself, identity included).
+/// Returns 1 for m < 2.
+[[nodiscard]] std::size_t cyclic_rotation_order(
+    const std::vector<std::uint64_t>& s);
+
+/// `s` rotated to start at its Booth index: the canonical representative of
+/// the rotation class, equal for two strings iff they are rotations of each
+/// other.
+[[nodiscard]] std::vector<std::uint64_t> canonical_rotation(
+    const std::vector<std::uint64_t>& s);
+
+}  // namespace gather::geom

@@ -1,0 +1,63 @@
+// LSD radix sort for (64-bit key, 32-bit payload) records.
+//
+// The view pipeline sorts a few hundred angle records per view, millions of
+// times per campaign; std::sort's comparison branches mispredict heavily on
+// random doubles, so a byte-wise least-significant-digit radix pass is
+// measurably faster from roughly a hundred elements up.  The sort is stable,
+// which callers rely on for deterministic tie order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gather::util {
+
+/// One sortable record: ascending by `key`, stable on ties.
+struct key_idx {
+  std::uint64_t key;
+  std::uint32_t idx;
+};
+
+/// Stable ascending sort of `a` by key.  `tmp` is caller-owned scratch
+/// (resized as needed) so steady-state calls allocate nothing.  Byte passes
+/// whose digit is constant across all keys are skipped.
+inline void radix_sort_key_idx(std::vector<key_idx>& a,
+                               std::vector<key_idx>& tmp) {
+  const std::size_t n = a.size();
+  if (n < 2) return;
+  tmp.resize(n);
+  // One read pass fills all eight digit histograms.
+  std::uint32_t hist[8][256] = {};
+  for (const key_idx& e : a) {
+    std::uint64_t k = e.key;
+    for (int b = 0; b < 8; ++b) {
+      ++hist[b][k & 0xFF];
+      k >>= 8;
+    }
+  }
+  key_idx* src = a.data();
+  key_idx* dst = tmp.data();
+  for (int b = 0; b < 8; ++b) {
+    std::uint32_t* h = hist[b];
+    // A digit taken by every key means the pass is the identity permutation.
+    if (h[(src[0].key >> (8 * b)) & 0xFF] == n) continue;
+    std::uint32_t sum = 0;
+    for (int d = 0; d < 256; ++d) {
+      const std::uint32_t count = h[d];
+      h[d] = sum;
+      sum += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[h[(src[i].key >> (8 * b)) & 0xFF]++] = src[i];
+    }
+    key_idx* t = src;
+    src = dst;
+    dst = t;
+  }
+  if (src != a.data()) {
+    for (std::size_t i = 0; i < n; ++i) a[i] = src[i];
+  }
+}
+
+}  // namespace gather::util

@@ -1,0 +1,179 @@
+// The cyclic-string kernel (geometry/cyclic.h) against brute force, and the
+// fast angle cluster/snap passes (geometry/angles.h) against their
+// pre-subquadratic reference implementations, bit for bit.
+#include "geometry/cyclic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/angles.h"
+#include "sim/rng.h"
+
+namespace gather {
+namespace {
+
+using str = std::vector<std::uint64_t>;
+
+str rotated(const str& s, std::size_t k) {
+  str out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    out.push_back(s[(i + k) % s.size()]);
+  return out;
+}
+
+std::size_t brute_minimal_rotation(const str& s) {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < s.size(); ++k) {
+    if (rotated(s, k) < rotated(s, best)) best = k;
+  }
+  return best;
+}
+
+std::size_t brute_minimal_period(const str& s) {
+  for (std::size_t p = 1; p <= s.size(); ++p) {
+    if (rotated(s, p) == s) return p;
+  }
+  return s.size();
+}
+
+str random_string(sim::rng& r, std::size_t len, std::uint64_t alphabet) {
+  str s(len);
+  for (auto& x : s) x = r.uniform_int(0, alphabet - 1);
+  return s;
+}
+
+TEST(CyclicKernel, TrivialSizes) {
+  EXPECT_EQ(geom::booth_minimal_rotation({}), 0u);
+  EXPECT_EQ(geom::booth_minimal_rotation({7}), 0u);
+  EXPECT_EQ(geom::minimal_cyclic_period({}), 0u);
+  EXPECT_EQ(geom::minimal_cyclic_period({7}), 1u);
+  EXPECT_EQ(geom::cyclic_rotation_order({}), 1u);
+  EXPECT_EQ(geom::cyclic_rotation_order({7}), 1u);
+}
+
+TEST(CyclicKernel, KnownStrings) {
+  // "bba" -> least rotation starts at the 'a'.
+  EXPECT_EQ(geom::booth_minimal_rotation({1, 1, 0}), 2u);
+  // Fully periodic strings.
+  EXPECT_EQ(geom::minimal_cyclic_period({3, 3, 3, 3}), 1u);
+  EXPECT_EQ(geom::cyclic_rotation_order({3, 3, 3, 3}), 4u);
+  EXPECT_EQ(geom::minimal_cyclic_period({1, 2, 1, 2, 1, 2}), 2u);
+  EXPECT_EQ(geom::cyclic_rotation_order({1, 2, 1, 2, 1, 2}), 3u);
+  // Aperiodic string.
+  EXPECT_EQ(geom::minimal_cyclic_period({1, 2, 3}), 3u);
+  EXPECT_EQ(geom::cyclic_rotation_order({1, 2, 3}), 1u);
+}
+
+TEST(CyclicKernel, MatchesBruteForceOnRandomStrings) {
+  sim::rng r(20260806);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t len = 1 + r.uniform_int(0, 63);
+    const std::uint64_t alphabet = 1 + r.uniform_int(0, 3);
+    const str s = random_string(r, len, alphabet);
+    const std::size_t booth = geom::booth_minimal_rotation(s);
+    const std::size_t brute = brute_minimal_rotation(s);
+    // Booth may differ in index only if both rotations are equal strings.
+    EXPECT_EQ(rotated(s, booth), rotated(s, brute))
+        << "len=" << len << " alphabet=" << alphabet << " iter=" << iter;
+    EXPECT_EQ(geom::minimal_cyclic_period(s), brute_minimal_period(s))
+        << "len=" << len << " alphabet=" << alphabet << " iter=" << iter;
+  }
+}
+
+TEST(CyclicKernel, PeriodicStructure) {
+  sim::rng r(77);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t block_len = 1 + r.uniform_int(0, 7);
+    const std::size_t repeats = 1 + r.uniform_int(0, 7);
+    str block = random_string(r, block_len, 3);
+    str s;
+    for (std::size_t k = 0; k < repeats; ++k)
+      s.insert(s.end(), block.begin(), block.end());
+    const std::size_t p = geom::minimal_cyclic_period(s);
+    const std::size_t order = geom::cyclic_rotation_order(s);
+    ASSERT_GT(p, 0u);
+    EXPECT_EQ(s.size() % p, 0u);           // the minimal period divides m
+    EXPECT_EQ(order, s.size() / p);
+    EXPECT_EQ(rotated(s, p), s);           // p really is a period
+    EXPECT_LE(p, block_len);               // at most the construction block
+  }
+}
+
+TEST(CyclicKernel, CanonicalRotationIsRotationInvariant) {
+  sim::rng r(99);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t len = 1 + r.uniform_int(0, 31);
+    const str s = random_string(r, len, 3);
+    const str canon = geom::canonical_rotation(s);
+    // Canonical form: a rotation of s, minimal among all rotations, and the
+    // same for every rotation of s.
+    EXPECT_EQ(canon, rotated(s, brute_minimal_rotation(s)));
+    const std::size_t shift = r.uniform_int(0, len - 1);
+    EXPECT_EQ(geom::canonical_rotation(rotated(s, shift)), canon);
+  }
+}
+
+// -- fast cluster/snap vs reference, bit for bit ---------------------------
+
+std::vector<double> random_angles(sim::rng& r, double eps) {
+  std::vector<double> thetas;
+  const std::size_t clusters = 1 + r.uniform_int(0, 7);
+  for (std::size_t k = 0; k < clusters; ++k) {
+    const double base = r.uniform(0.0, geom::two_pi);
+    const std::size_t members = 1 + r.uniform_int(0, 4);
+    for (std::size_t j = 0; j < members; ++j) {
+      // Mix sub-eps jitter (same cluster) with super-eps offsets (new
+      // clusters), including values hugging the 0/2*pi seam.
+      const double jitter = r.flip() ? r.uniform(0.0, 0.9 * eps)
+                                     : r.uniform(2.0 * eps, 20.0 * eps);
+      thetas.push_back(geom::norm_angle(base + jitter));
+    }
+  }
+  return thetas;
+}
+
+TEST(AngleClustering, FastMatchesReferenceBitwise) {
+  sim::rng r(4242);
+  const double eps = 1e-9;
+  for (int iter = 0; iter < 3000; ++iter) {
+    const std::vector<double> thetas = random_angles(r, eps);
+    const auto fast = geom::cluster_angle_values(thetas, eps);
+    const auto ref = geom::detail::cluster_angle_values_reference(thetas, eps);
+    ASSERT_EQ(fast.size(), ref.size()) << "iter=" << iter;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      // Bitwise: the fast path must reproduce the reference doubles exactly.
+      EXPECT_EQ(fast[i], ref[i]) << "iter=" << iter << " i=" << i;
+    }
+    // Snap every probe (cluster members and fresh angles) identically.
+    for (double probe : thetas) {
+      EXPECT_EQ(geom::nearest_angle_rep(probe, fast),
+                geom::detail::nearest_angle_rep_reference(probe, ref))
+          << "iter=" << iter;
+    }
+    for (int k = 0; k < 8; ++k) {
+      const double probe = r.uniform(0.0, geom::two_pi);
+      EXPECT_EQ(geom::nearest_angle_rep(probe, fast),
+                geom::detail::nearest_angle_rep_reference(probe, ref))
+          << "iter=" << iter;
+    }
+  }
+}
+
+TEST(AngleClustering, NearestRepTieBreaksLikeReference) {
+  // Exact midpoints and seam-equidistant probes: the fast candidate scan must
+  // pick the same value as the reference first-minimum linear scan.
+  const std::vector<double> reps = {0.5, 1.5, 3.0, 6.0};
+  for (double probe : {1.0, 2.25, 4.5, 0.0, 6.28, 0.25, 5.9}) {
+    EXPECT_EQ(geom::nearest_angle_rep(probe, reps),
+              geom::detail::nearest_angle_rep_reference(probe, reps))
+        << "probe=" << probe;
+  }
+  EXPECT_EQ(geom::nearest_angle_rep(1.0, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace gather
