@@ -1,0 +1,5 @@
+// Umbrella header for the bounded model checker (system S9 in DESIGN.md).
+#pragma once
+
+#include "check/explorer.h"
+#include "check/report.h"

@@ -1,0 +1,160 @@
+#include "check/report.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace gather::check {
+
+namespace {
+
+void append_kv(std::string& out, std::string_view key, std::uint64_t v,
+               bool comma = true) {
+  obs::json_append_string(out, key);
+  out += ':';
+  obs::json_append_uint(out, v);
+  if (comma) out += ',';
+}
+
+void coverage_json(std::string& out, const std::vector<lemma_coverage>& cov) {
+  out += '[';
+  for (std::size_t i = 0; i < cov.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '{';
+    obs::json_append_string(out, "id");
+    out += ':';
+    obs::json_append_string(out, cov[i].id);
+    out += ',';
+    obs::json_append_string(out, "title");
+    out += ':';
+    obs::json_append_string(out, cov[i].title);
+    out += ',';
+    append_kv(out, "applicable", cov[i].applicable);
+    append_kv(out, "not_applicable", cov[i].not_applicable);
+    append_kv(out, "violations", cov[i].violations, /*comma=*/false);
+    out += '}';
+  }
+  out += ']';
+}
+
+void coverage_text(std::string& out, std::string_view heading,
+                   const std::vector<lemma_coverage>& cov) {
+  out += heading;
+  out += '\n';
+  char buf[256];
+  for (const lemma_coverage& l : cov) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-10s %-44s applicable %10llu  n/a %10llu  violations %llu\n",
+                  l.id.c_str(), l.title.c_str(),
+                  static_cast<unsigned long long>(l.applicable),
+                  static_cast<unsigned long long>(l.not_applicable),
+                  static_cast<unsigned long long>(l.violations));
+    out += buf;
+  }
+}
+
+}  // namespace
+
+std::string render_text(const check_result& r, const check_options& o) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "gather_check: rounds<=%zu crash-budget=%zu (<=%zu/round) "
+                "levels=%u delta-fraction=%.17g dedup=%s\n",
+                o.max_rounds, o.crash_budget, o.max_crashes_per_round,
+                o.truncation_levels, o.delta_fraction,
+                o.canonical_dedup ? "canonical" : "raw");
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "seeds %llu | generated %llu | explored %llu | pruned %llu | "
+                "raw-unique %llu\n",
+                static_cast<unsigned long long>(r.seeds),
+                static_cast<unsigned long long>(r.states_generated),
+                static_cast<unsigned long long>(r.states_explored),
+                static_cast<unsigned long long>(r.duplicates_pruned),
+                static_cast<unsigned long long>(r.raw_unique));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "terminals: gathered %llu, stalled %llu, bound %llu%s\n",
+                static_cast<unsigned long long>(r.terminal_gathered),
+                static_cast<unsigned long long>(r.terminal_stalled),
+                static_cast<unsigned long long>(r.bound_reached),
+                r.state_cap_hit ? "  [STATE CAP HIT: search incomplete]" : "");
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "symmetry reduction: %.3fx (raw-unique / explored)\n",
+                r.symmetry_reduction());
+  out += buf;
+  coverage_text(out, "state lemmas:", r.state_coverage);
+  std::snprintf(buf, sizeof buf, "transitions checked: %llu\n",
+                static_cast<unsigned long long>(r.transitions_checked));
+  out += buf;
+  coverage_text(out, "transition lemmas:", r.transition_coverage);
+  std::snprintf(buf, sizeof buf, "violations: %llu (%zu counterexample%s recorded)\n",
+                static_cast<unsigned long long>(r.total_violations()),
+                r.counterexamples.size(),
+                r.counterexamples.size() == 1 ? "" : "s");
+  out += buf;
+  return out;
+}
+
+std::string render_json(const check_result& r, const check_options& o) {
+  std::string out;
+  out += '{';
+  obs::json_append_string(out, "schema");
+  out += ':';
+  obs::json_append_string(out, "gather-check-v1");
+  out += ',';
+
+  obs::json_append_string(out, "options");
+  out += ":{";
+  append_kv(out, "max_rounds", o.max_rounds);
+  append_kv(out, "crash_budget", o.crash_budget);
+  append_kv(out, "max_crashes_per_round", o.max_crashes_per_round);
+  append_kv(out, "truncation_levels", o.truncation_levels);
+  obs::json_append_string(out, "delta_fraction");
+  out += ':';
+  obs::json_append_double(out, o.delta_fraction);
+  out += ',';
+  obs::json_append_string(out, "canonical_dedup");
+  out += ':';
+  out += o.canonical_dedup ? "true" : "false";
+  out += "},";
+
+  obs::json_append_string(out, "counts");
+  out += ":{";
+  append_kv(out, "seeds", r.seeds);
+  append_kv(out, "states_generated", r.states_generated);
+  append_kv(out, "states_explored", r.states_explored);
+  append_kv(out, "duplicates_pruned", r.duplicates_pruned);
+  append_kv(out, "raw_unique", r.raw_unique);
+  append_kv(out, "transitions_checked", r.transitions_checked);
+  append_kv(out, "terminal_gathered", r.terminal_gathered);
+  append_kv(out, "terminal_stalled", r.terminal_stalled);
+  append_kv(out, "bound_reached", r.bound_reached);
+  append_kv(out, "state_cap_hit", r.state_cap_hit ? 1 : 0, /*comma=*/false);
+  out += "},";
+
+  obs::json_append_string(out, "symmetry_reduction");
+  out += ':';
+  obs::json_append_double(out, r.symmetry_reduction());
+  out += ',';
+
+  obs::json_append_string(out, "state_coverage");
+  out += ':';
+  coverage_json(out, r.state_coverage);
+  out += ',';
+  obs::json_append_string(out, "transition_coverage");
+  out += ':';
+  coverage_json(out, r.transition_coverage);
+  out += ',';
+
+  append_kv(out, "violations", r.total_violations());
+  append_kv(out, "counterexamples", r.counterexamples.size(),
+            /*comma=*/false);
+  out += '}';
+  out += '\n';
+  return out;
+}
+
+}  // namespace gather::check

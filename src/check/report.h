@@ -1,0 +1,22 @@
+// Report rendering for gather_check results: a human-readable text table and
+// a machine-readable JSON document (schema "gather-check-v1") for golden
+// comparison by tools/check/compare.py.
+#pragma once
+
+#include <string>
+
+#include "check/explorer.h"
+
+namespace gather::check {
+
+/// Multi-line text report: options, state counts, symmetry reduction and the
+/// per-lemma coverage table.
+[[nodiscard]] std::string render_text(const check_result& r,
+                                      const check_options& o);
+
+/// One JSON object, schema "gather-check-v1".  Key order is fixed and all
+/// counters are exact integers, so byte-equality is a valid golden check.
+[[nodiscard]] std::string render_json(const check_result& r,
+                                      const check_options& o);
+
+}  // namespace gather::check

@@ -5,6 +5,7 @@
 #include "config/configuration.h"
 #include "config/regularity.h"
 #include "config/safe_points.h"
+#include "config/state_key.h"
 #include "config/string_of_angles.h"
 #include "config/views.h"
 #include "config/weber.h"

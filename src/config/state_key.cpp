@@ -1,0 +1,193 @@
+#include "config/state_key.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <numeric>
+
+#include "config/string_of_angles.h"
+#include "geometry/angles.h"
+#include "geometry/cyclic.h"
+
+namespace gather::config {
+
+namespace {
+
+// 2^36 buckets per unit: ~1.5e-11 per bucket.  Two tolerance-equal values
+// (clustered below) land in the same bucket unless they straddle a bucket
+// edge, which needs their shared cluster mean to sit within round-off noise
+// (~1e-15) of an edge -- see the straddling caveat in docs/CHECKING.md.
+constexpr double quantum_per_unit = 68719476736.0;
+
+/// splitmix64 finalizer: the standard well-mixing 64-bit permutation.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// One 64-bit symbol from a location's (gap, dist, mult, crashed) tuple.
+/// Order-dependent chaining keeps e.g. (a, b) and (b, a) distinct.
+std::uint64_t mix_symbol(std::uint64_t gap_q, std::uint64_t dist_q,
+                         std::uint64_t mult, std::uint64_t crashed) {
+  std::uint64_t h = 0x2545f4914f6cdd1dull;
+  h = mix64(h ^ gap_q);
+  h = mix64(h ^ dist_q);
+  h = mix64(h ^ mult);
+  h = mix64(h ^ crashed);
+  return h;
+}
+
+/// Snap every value to the mean of its chain-cluster: sort, split where an
+/// adjacent gap exceeds `eps`, replace members by the cluster mean.  The same
+/// clustering rule the view pipeline's quantizer uses, so two states whose
+/// values differ only by round-off noise produce identical snapped values.
+void snap_to_cluster_means(std::vector<double>& vals, double eps) {
+  const std::size_t n = vals.size();
+  if (n < 2) return;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return vals[a] < vals[b]; });
+  std::size_t begin = 0;
+  while (begin < n) {
+    std::size_t end = begin + 1;
+    double sum = vals[order[begin]];
+    while (end < n && vals[order[end]] - vals[order[end - 1]] <= eps) {
+      sum += vals[order[end]];
+      ++end;
+    }
+    const double rep = sum / static_cast<double>(end - begin);
+    for (std::size_t i = begin; i < end; ++i) vals[order[i]] = rep;
+    begin = end;
+  }
+}
+
+}  // namespace
+
+std::size_t state_key_hash::operator()(const state_key& k) const noexcept {
+  std::uint64_t h = 0x853c49e6748fea9bull;
+  for (std::uint64_t w : k.words) h = mix64(h ^ w);
+  return static_cast<std::size_t>(h);
+}
+
+std::uint64_t quantize_scale_free(double v) {
+  return static_cast<std::uint64_t>(std::llround(v * quantum_per_unit));
+}
+
+state_key canonical_state_key(const configuration& c,
+                              std::span<const std::uint8_t> live) {
+  const std::size_t n = c.size();
+  const geom::tol& t = c.tolerance();
+
+  // Fold per-robot liveness into per-occupied-location crash counts.
+  std::vector<std::uint64_t> crashed_at(c.occupied().size(), 0);
+  std::uint64_t total_crashed = 0;
+  if (!live.empty()) {
+    for (std::size_t i = 0; i < n && i < live.size(); ++i) {
+      if (live[i]) continue;
+      ++total_crashed;
+      if (const auto idx = c.find_occupied(c.robots()[i])) ++crashed_at[*idx];
+    }
+  }
+
+  // Walk the distinct off-center locations in the clockwise successor order
+  // (Def. 4); collapse the multiplicity-expanded entries back to locations.
+  const vec2 center = c.sec().center;
+  const double radius = c.sec().radius > 0.0 ? c.sec().radius : 1.0;
+  const auto order = angular_order(c, center);
+  struct ring_loc {
+    double theta = 0.0;
+    double dist = 0.0;
+    std::uint64_t mult = 0;
+    std::uint64_t crashed = 0;
+  };
+  std::vector<ring_loc> ring;
+  ring.reserve(order.size());
+  vec2 last{};
+  bool have_last = false;
+  for (const angular_entry& e : order) {
+    if (have_last && e.position == last) {
+      ++ring.back().mult;
+      continue;
+    }
+    ring_loc loc;
+    loc.theta = e.theta;
+    loc.dist = e.dist / radius;
+    loc.mult = 1;
+    if (const auto idx = c.find_occupied(e.position)) loc.crashed = crashed_at[*idx];
+    ring.push_back(loc);
+    last = e.position;
+    have_last = true;
+  }
+
+  std::uint64_t ring_mult = 0;
+  std::uint64_t ring_crashed = 0;
+  for (const ring_loc& loc : ring) {
+    ring_mult += loc.mult;
+    ring_crashed += loc.crashed;
+  }
+  const std::uint64_t center_mult = static_cast<std::uint64_t>(n) - ring_mult;
+  const std::uint64_t center_crashed = total_crashed - ring_crashed;
+
+  // Cyclic gaps between consecutive locations (exactly 0 on a shared ray,
+  // because angular_order snapped thetas to cluster representatives), then
+  // tolerance-cluster gaps and normalized radii before bucketing, so two
+  // similar states quantize identically.
+  const std::size_t m = ring.size();
+  std::vector<double> gaps(m, 0.0);
+  std::vector<double> dists(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double next_theta = ring[(j + 1) % m].theta;
+    gaps[j] = (next_theta == ring[j].theta)
+                  ? 0.0
+                  : geom::norm_angle(next_theta - ring[j].theta);
+    dists[j] = ring[j].dist;
+  }
+  if (m == 1) gaps[0] = geom::two_pi;
+  snap_to_cluster_means(gaps, t.angle_eps);
+  snap_to_cluster_means(dists, t.rel);
+
+  std::vector<std::uint64_t> symbols(m, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    symbols[j] = mix_symbol(quantize_scale_free(gaps[j]),
+                            quantize_scale_free(dists[j]), ring[j].mult,
+                            ring[j].crashed);
+  }
+  const std::vector<std::uint64_t> canon = geom::canonical_rotation(symbols);
+
+  state_key k;
+  k.words.reserve(5 + canon.size());
+  k.words.push_back(static_cast<std::uint64_t>(n));
+  k.words.push_back(static_cast<std::uint64_t>(c.distinct_count()));
+  k.words.push_back(center_mult);
+  k.words.push_back(center_crashed);
+  k.words.push_back(static_cast<std::uint64_t>(m));
+  k.words.insert(k.words.end(), canon.begin(), canon.end());
+  return k;
+}
+
+state_key raw_state_key(const configuration& c,
+                        std::span<const std::uint8_t> live) {
+  const std::vector<vec2>& robots = c.robots();
+  std::vector<std::array<std::uint64_t, 3>> triples;
+  triples.reserve(robots.size());
+  for (std::size_t i = 0; i < robots.size(); ++i) {
+    const std::uint64_t alive =
+        live.empty() || (i < live.size() && live[i]) ? 1 : 0;
+    triples.push_back({std::bit_cast<std::uint64_t>(robots[i].x),
+                       std::bit_cast<std::uint64_t>(robots[i].y), alive});
+  }
+  std::sort(triples.begin(), triples.end());
+  state_key k;
+  k.words.reserve(1 + 3 * triples.size());
+  k.words.push_back(static_cast<std::uint64_t>(robots.size()));
+  for (const auto& tr : triples) {
+    k.words.insert(k.words.end(), tr.begin(), tr.end());
+  }
+  return k;
+}
+
+}  // namespace gather::config

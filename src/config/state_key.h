@@ -1,0 +1,71 @@
+// Symmetry-canonical state keys for duplicate-state pruning.
+//
+// The bounded model checker (src/check) must recognize when two explored
+// states are "the same" so it can prune the second one.  Two notions are
+// provided:
+//
+//   * raw_state_key -- the exact state: the sorted multiset of snapped robot
+//     positions (bit patterns) with per-robot liveness.  Two states share a
+//     raw key iff they are bitwise the same multiset of (position, liveness)
+//     pairs; robot indices are anonymized (the dynamics are index-free).
+//
+//   * canonical_state_key -- the state up to *similarity* (translation,
+//     rotation, uniform scaling) with chirality preserved, quotiented exactly
+//     the way the paper's view machinery does (Defs. 2-4): the distinct
+//     occupied locations off the SEC center are walked in the clockwise
+//     successor order, each contributing a symbol built from its quantized
+//     angular gap to the cyclic successor, its quantized center distance
+//     normalized by the SEC radius, its multiplicity and its crashed-robot
+//     count; the symbol string is rotated to its Booth-minimal starting
+//     point (geom::canonical_rotation) so any rotation of the same state
+//     yields identical words.  Two states with equal canonical keys have
+//     matching view multisets, and vice versa.
+//
+// Quantization, in tolerance terms: snapped values are chain-clustered under
+// the configuration tolerance (values within eps merge, exactly like the
+// view pipeline's quantizer), then bucketed on a fixed grid of 2^36 buckets
+// per unit -- roughly 1.5e-11, two orders of magnitude below the 1e-9
+// comparison tolerance and four above double round-off noise.  Like TLC's
+// fingerprint sets, symbols are 64-bit mixes of their components; a hash
+// collision (probability ~ states^2 / 2^64) could merge two genuinely
+// distinct states, which is the standard, documented model-checker caveat
+// (see docs/CHECKING.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "config/configuration.h"
+
+namespace gather::config {
+
+/// A hashable key: a flat word sequence with exact equality.
+struct state_key {
+  std::vector<std::uint64_t> words;
+  friend bool operator==(const state_key&, const state_key&) = default;
+};
+
+struct state_key_hash {
+  [[nodiscard]] std::size_t operator()(const state_key& k) const noexcept;
+};
+
+/// Similarity-canonical key of `(c, live)`.  `live` holds one flag per robot
+/// in input order (empty means all live); crashed robots are folded into
+/// per-location crash counts, so keys distinguish "two robots here, one
+/// crashed" from "two live robots here".
+[[nodiscard]] state_key canonical_state_key(const configuration& c,
+                                            std::span<const std::uint8_t> live = {});
+
+/// Exact (bitwise, index-anonymized) key of `(c, live)`.
+[[nodiscard]] state_key raw_state_key(const configuration& c,
+                                      std::span<const std::uint8_t> live = {});
+
+/// Bucket a scale-free non-negative magnitude (radians, normalized length,
+/// ratio) on the canonical-key grid: 2^36 buckets per unit.  Shared with the
+/// checker so auxiliary key words (e.g. the delta/radius ratio) use the same
+/// quantization as the geometry symbols.
+[[nodiscard]] std::uint64_t quantize_scale_free(double v);
+
+}  // namespace gather::config

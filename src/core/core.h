@@ -2,5 +2,6 @@
 #pragma once
 
 #include "core/algorithm.h"
+#include "core/lemma_registry.h"
 #include "core/predicates.h"
 #include "core/wait_free_gather.h"

@@ -1,0 +1,161 @@
+#include "core/lemma_registry.h"
+
+#include "config/safe_points.h"
+#include "config/views.h"
+#include "core/predicates.h"
+
+namespace gather::core {
+
+namespace {
+
+using config::config_class;
+
+/// Lemma 5.1: outside the bivalent configuration, at most one occupied
+/// location may be stationary -- otherwise crashing everyone there but one
+/// robot on each of two locations stalls the algorithm forever.
+predicate_verdict eval_wait_freeness(const lemma_context& ctx) {
+  if (config::classify(ctx.c).cls == config_class::bivalent) {
+    return predicate_verdict::not_applicable;
+  }
+  return satisfies_wait_freeness(ctx.c, ctx.algo)
+             ? predicate_verdict::satisfied
+             : predicate_verdict::violated;
+}
+
+/// Lemma 4.1 (structure of linear configurations), read as a classification
+/// consistency check: a collinear configuration classifies to B, M, L1W or
+/// L2W, and a non-collinear one never lands in the linear classes.
+predicate_verdict eval_linear_structure(const lemma_context& ctx) {
+  const config_class cls = config::classify(ctx.c).cls;
+  const bool linear_class = cls == config_class::bivalent ||
+                            cls == config_class::multiple ||
+                            cls == config_class::linear_1w ||
+                            cls == config_class::linear_2w;
+  if (ctx.c.is_linear()) {
+    return linear_class ? predicate_verdict::satisfied
+                        : predicate_verdict::violated;
+  }
+  const bool in_l = cls == config_class::linear_1w || cls == config_class::linear_2w;
+  return in_l ? predicate_verdict::violated : predicate_verdict::satisfied;
+}
+
+/// Lemma 4.2: every non-linear configuration has at least one safe occupied
+/// point (Def. 8) -- the asymmetric case of the algorithm elects its leader
+/// among these, so their existence is load-bearing.
+predicate_verdict eval_safe_point_exists(const lemma_context& ctx) {
+  if (ctx.c.is_linear()) return predicate_verdict::not_applicable;
+  return config::safe_occupied_points(ctx.c).empty()
+             ? predicate_verdict::violated
+             : predicate_verdict::satisfied;
+}
+
+/// Def. 3 consistency: locations sharing a view are related by a rotation
+/// about the SEC center, so every non-trivial view class is equidistant from
+/// the center and carries one common multiplicity.
+predicate_verdict eval_symmetry_classes(const lemma_context& ctx) {
+  const auto& c = ctx.c;
+  const auto classes = config::view_classes(c);
+  const geom::tol& t = c.tolerance();
+  bool applicable = false;
+  for (const auto& cls : classes) {
+    if (cls.size() < 2) continue;
+    applicable = true;
+    const auto& first = c.occupied()[cls.front()];
+    const double d0 = geom::distance(first.position, c.sec().center);
+    for (std::size_t idx : cls) {
+      const auto& o = c.occupied()[idx];
+      if (o.multiplicity != first.multiplicity) {
+        return predicate_verdict::violated;
+      }
+      if (!t.len_eq(geom::distance(o.position, c.sec().center), d0)) {
+        return predicate_verdict::violated;
+      }
+    }
+  }
+  return applicable ? predicate_verdict::satisfied
+                    : predicate_verdict::not_applicable;
+}
+
+/// Progress safety in target-directed classes (M, L1W, QR): every emitted
+/// destination is either straight at the elected target or a constant-radius
+/// side-step rotated about it (the detour around an obstructing occupied
+/// location), so no move increases a robot's distance to the target -- the
+/// invariant the Lemma 5.3-5.5 convergence arguments rest on.  Not
+/// applicable when classification elects no target (B, L2W, A).
+predicate_verdict eval_target_distance(const lemma_context& ctx) {
+  const auto& c = ctx.c;
+  const auto cls = config::classify(c);
+  if (!cls.target) return predicate_verdict::not_applicable;
+  const auto dests = destinations(c, ctx.algo);
+  const geom::tol& t = c.tolerance();
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    const double before = geom::distance(c.occupied()[i].position, *cls.target);
+    const double after = geom::distance(dests[i], *cls.target);
+    if (!t.len_le(after, before)) return predicate_verdict::violated;
+  }
+  return predicate_verdict::satisfied;
+}
+
+/// Lemmas 5.3-5.9 as one transition predicate over observed classes.
+predicate_verdict eval_class_transition(config_class from, config_class to) {
+  return transition_allowed(from, to) ? predicate_verdict::satisfied
+                                      : predicate_verdict::violated;
+}
+
+/// Lemmas 5.6/5.7 isolate the one fatal transition: entering the bivalent
+/// configuration B from outside it (gathering is unsolvable from B).
+predicate_verdict eval_no_bivalent_entry(config_class from, config_class to) {
+  if (to != config_class::bivalent) return predicate_verdict::satisfied;
+  return from == config_class::bivalent ? predicate_verdict::satisfied
+                                        : predicate_verdict::violated;
+}
+
+}  // namespace
+
+bool transition_allowed(config_class from, config_class to) {
+  using cc = config_class;
+  switch (from) {
+    case cc::multiple:
+      return to == cc::multiple;
+    case cc::linear_1w:
+      return to == cc::multiple || to == cc::linear_1w;
+    case cc::quasi_regular:
+      return to == cc::multiple || to == cc::linear_1w || to == cc::quasi_regular;
+    case cc::asymmetric:
+      return to == cc::multiple || to == cc::linear_1w ||
+             to == cc::quasi_regular || to == cc::asymmetric;
+    case cc::linear_2w:
+      return to != cc::bivalent;
+    case cc::bivalent:
+      return to == cc::bivalent;
+  }
+  return false;
+}
+
+const std::vector<state_lemma>& state_lemmas() {
+  static const std::vector<state_lemma> lemmas = {
+      {"L5.1", "wait-freeness: at most one stationary location outside B",
+       eval_wait_freeness},
+      {"L4.1", "linear configurations classify to B/M/L1W/L2W",
+       eval_linear_structure},
+      {"L4.2", "non-linear configurations have a safe occupied point",
+       eval_safe_point_exists},
+      {"D3", "view classes are equidistant from the SEC center, equal mult",
+       eval_symmetry_classes},
+      {"L5.3-5.5", "moves never increase the distance to the elected target",
+       eval_target_distance},
+  };
+  return lemmas;
+}
+
+const std::vector<transition_lemma>& transition_lemmas() {
+  static const std::vector<transition_lemma> lemmas = {
+      {"L5.3-5.9", "only lawful class transitions occur",
+       eval_class_transition},
+      {"L5.6-5.7", "the bivalent configuration is never entered",
+       eval_no_bivalent_entry},
+  };
+  return lemmas;
+}
+
+}  // namespace gather::core

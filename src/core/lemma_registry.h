@@ -1,0 +1,67 @@
+// Registry of the paper's lemma predicates as runtime-checkable facts.
+//
+// The simulator and the bounded model checker (src/check) assert the same
+// guarantees; this registry gives both one table to iterate so coverage
+// reports ("which lemma was checked in how many states") stay in sync with
+// the set of implemented predicates.  Two families exist:
+//
+//   * state lemmas   -- predicates of a single observed configuration (plus
+//     the algorithm under test), e.g. Lemma 5.1 wait-freeness or Lemma 4.2
+//     safe-point existence;
+//   * transition lemmas -- predicates of one observed class transition,
+//     e.g. the per-class progress matrix of Lemmas 5.3-5.9.
+//
+// Every predicate returns a three-valued verdict so coverage accounting can
+// distinguish "held" from "did not apply here" (a lemma about non-linear
+// configurations says nothing about a linear one).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "config/classify.h"
+#include "core/algorithm.h"
+
+namespace gather::core {
+
+enum class predicate_verdict {
+  not_applicable,  ///< the lemma's hypothesis does not hold in this state
+  satisfied,       ///< hypothesis and conclusion both hold
+  violated,        ///< hypothesis holds, conclusion fails: a counterexample
+};
+
+/// Everything a state lemma may inspect: the observed (round-start, snapped)
+/// configuration and the algorithm under test.
+struct lemma_context {
+  const config::configuration& c;
+  const gathering_algorithm& algo;
+};
+
+/// A named predicate over one state.
+struct state_lemma {
+  std::string_view id;     ///< short stable id, e.g. "L5.1"
+  std::string_view title;  ///< one-line human description
+  predicate_verdict (*eval)(const lemma_context&);
+};
+
+/// A named predicate over one observed class transition.
+struct transition_lemma {
+  std::string_view id;
+  std::string_view title;
+  predicate_verdict (*eval)(config::config_class from, config::config_class to);
+};
+
+/// The per-class progress matrix of Lemmas 5.3-5.9 (claim C1 of each):
+///   M -> M;  L1W -> M|L1W;  QR -> M|L1W|QR;  A -> M|L1W|QR|A;
+///   L2W -> anything except B;  B is absorbing.
+/// `sim::transitions_allowed` folds this over a class history.
+[[nodiscard]] bool transition_allowed(config::config_class from,
+                                      config::config_class to);
+
+/// The implemented state lemmas, in a fixed documented order.
+[[nodiscard]] const std::vector<state_lemma>& state_lemmas();
+
+/// The implemented transition lemmas, in a fixed documented order.
+[[nodiscard]] const std::vector<transition_lemma>& transition_lemmas();
+
+}  // namespace gather::core

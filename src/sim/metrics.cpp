@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "config/configuration.h"
+#include "core/lemma_registry.h"
 #include "geometry/calipers.h"
 #include "geometry/tolerance.h"
 
@@ -81,27 +82,10 @@ transition_matrix count_transitions(const std::vector<config::config_class>& his
 }
 
 bool transitions_allowed(const std::vector<config::config_class>& history) {
-  using cc = config::config_class;
-  const auto allowed = [](cc from, cc to) {
-    switch (from) {
-      case cc::multiple:
-        return to == cc::multiple;
-      case cc::linear_1w:
-        return to == cc::multiple || to == cc::linear_1w;
-      case cc::quasi_regular:
-        return to == cc::multiple || to == cc::linear_1w || to == cc::quasi_regular;
-      case cc::asymmetric:
-        return to == cc::multiple || to == cc::linear_1w || to == cc::quasi_regular ||
-               to == cc::asymmetric;
-      case cc::linear_2w:
-        return to != cc::bivalent;
-      case cc::bivalent:
-        return to == cc::bivalent;
-    }
-    return false;
-  };
+  // One source of truth: the matrix lives in the core lemma registry
+  // (core::transition_allowed), shared with the bounded model checker.
   for (std::size_t i = 0; i + 1 < history.size(); ++i) {
-    if (!allowed(history[i], history[i + 1])) return false;
+    if (!core::transition_allowed(history[i], history[i + 1])) return false;
   }
   return true;
 }

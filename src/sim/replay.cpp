@@ -1,0 +1,213 @@
+#include "sim/replay.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/spec.h"
+
+namespace gather::sim {
+
+geom::vec2 truncated_stop(geom::vec2 from, geom::vec2 dest, double delta,
+                          std::uint32_t level, std::uint32_t levels) {
+  const double want = geom::distance(from, dest);
+  // Exact-zero guard: want == 0 means from == dest bit-for-bit.
+  if (want <= delta || want == 0.0) return dest;  // gather-lint: allow(R3)
+  const double f = levels <= 1 ? 1.0
+                               : static_cast<double>(level) /
+                                     static_cast<double>(levels - 1);
+  const double gone = delta + f * (want - delta);
+  if (gone >= want) return dest;
+  return from + (gone / want) * (dest - from);
+}
+
+namespace {
+
+class scripted_scheduler final : public activation_scheduler {
+ public:
+  explicit scripted_scheduler(const schedule_trace& t) : trace_(t) {}
+
+  std::vector<std::size_t> select(const schedule_context& ctx, rng&) override {
+    std::vector<std::size_t> out;
+    if (ctx.round >= trace_.steps.size()) return out;
+    const std::vector<std::uint8_t>& mask = trace_.steps[ctx.round].active;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i]) out.push_back(i);
+    }
+    return out;
+  }
+  std::string_view name() const override { return "scripted"; }
+
+ private:
+  const schedule_trace& trace_;
+};
+
+// The engine calls stop_point once per activated robot, in ascending robot
+// index within each round; a flat cursor over the per-activation levels
+// therefore reproduces the recorded decisions exactly.
+class scripted_movement final : public movement_adversary {
+ public:
+  explicit scripted_movement(const schedule_trace& t)
+      : levels_count_(t.truncation_levels) {
+    for (const trace_step& step : t.steps) {
+      for (std::size_t i = 0; i < step.active.size(); ++i) {
+        if (!step.active[i]) continue;
+        levels_.push_back(i < step.levels.size() ? step.levels[i] : 0);
+      }
+    }
+  }
+
+  double travelled(double want, double, rng&) override { return want; }
+
+  geom::vec2 stop_point(geom::vec2 from, geom::vec2 dest, double delta,
+                        rng&) override {
+    if (cursor_ >= levels_.size()) {
+      throw std::runtime_error(
+          "scripted movement: trace exhausted (more activations than recorded)");
+    }
+    return truncated_stop(from, dest, delta, levels_[cursor_++], levels_count_);
+  }
+  std::string_view name() const override { return "scripted"; }
+
+ private:
+  std::vector<std::uint32_t> levels_;
+  std::uint32_t levels_count_ = 1;
+  std::size_t cursor_ = 0;
+};
+
+void fail(const std::string& what) {
+  throw std::runtime_error("read_trace: " + what);
+}
+
+}  // namespace
+
+std::unique_ptr<activation_scheduler> make_scripted_scheduler(
+    const schedule_trace& t) {
+  return std::make_unique<scripted_scheduler>(t);
+}
+
+std::unique_ptr<movement_adversary> make_scripted_movement(
+    const schedule_trace& t) {
+  return std::make_unique<scripted_movement>(t);
+}
+
+sim_result replay_schedule(const schedule_trace& t,
+                           const core::gathering_algorithm& algo) {
+  auto sched = make_scripted_scheduler(t);
+  auto move = make_scripted_movement(t);
+  std::vector<std::pair<std::size_t, std::size_t>> events;
+  for (std::size_t r = 0; r < t.steps.size(); ++r) {
+    for (std::size_t idx : t.steps[r].crashes) events.emplace_back(r, idx);
+  }
+  auto crash = make_scheduled_crashes(std::move(events));
+
+  sim_options opts;
+  opts.delta_fraction = t.delta_fraction;
+  opts.max_rounds = t.steps.size();
+  // The fairness backstop must never force an activation the trace did not
+  // record; one round beyond the trace length disarms it.
+  opts.fairness_bound = t.steps.size() + 1;
+  opts.record_trace = true;
+  opts.check_wait_freeness = true;
+
+  sim_spec spec;
+  spec.initial = t.initial;
+  spec.algorithm = &algo;
+  spec.scheduler = sched.get();
+  spec.movement = move.get();
+  spec.crash = crash.get();
+  spec.options = opts;
+  return run(spec);
+}
+
+void write_trace(std::ostream& os, const schedule_trace& t) {
+  char buf[80];
+  os << "gather-trace-v1\n";
+  std::snprintf(buf, sizeof buf, "delta-fraction %.17g\n", t.delta_fraction);
+  os << buf;
+  os << "levels " << t.truncation_levels << "\n";
+  os << "robots " << t.initial.size() << "\n";
+  for (const geom::vec2& p : t.initial) {
+    std::snprintf(buf, sizeof buf, "%.17g %.17g\n", p.x, p.y);
+    os << buf;
+  }
+  os << "rounds " << t.steps.size() << "\n";
+  for (const trace_step& step : t.steps) {
+    os << "step crashes " << step.crashes.size();
+    for (std::size_t idx : step.crashes) os << ' ' << idx;
+    std::size_t active_count = 0;
+    for (std::uint8_t a : step.active) active_count += a ? 1 : 0;
+    os << " active " << active_count;
+    for (std::size_t i = 0; i < step.active.size(); ++i) {
+      if (step.active[i]) {
+        os << ' ' << i << ':'
+           << (i < step.levels.size() ? step.levels[i] : 0);
+      }
+    }
+    os << "\n";
+  }
+}
+
+schedule_trace read_trace(std::istream& is) {
+  schedule_trace t;
+  std::string tok;
+  if (!(is >> tok) || tok != "gather-trace-v1") fail("bad magic");
+  if (!(is >> tok) || tok != "delta-fraction" || !(is >> t.delta_fraction)) {
+    fail("expected 'delta-fraction <value>'");
+  }
+  if (!(is >> tok) || tok != "levels" || !(is >> t.truncation_levels)) {
+    fail("expected 'levels <count>'");
+  }
+  std::size_t n = 0;
+  if (!(is >> tok) || tok != "robots" || !(is >> n)) {
+    fail("expected 'robots <count>'");
+  }
+  t.initial.resize(n);
+  for (geom::vec2& p : t.initial) {
+    if (!(is >> p.x >> p.y)) fail("expected robot coordinates");
+  }
+  std::size_t rounds = 0;
+  if (!(is >> tok) || tok != "rounds" || !(is >> rounds)) {
+    fail("expected 'rounds <count>'");
+  }
+  t.steps.resize(rounds);
+  for (trace_step& step : t.steps) {
+    std::size_t crash_count = 0;
+    if (!(is >> tok) || tok != "step") fail("expected 'step'");
+    if (!(is >> tok) || tok != "crashes" || !(is >> crash_count)) {
+      fail("expected 'crashes <count>'");
+    }
+    step.crashes.resize(crash_count);
+    for (std::size_t& idx : step.crashes) {
+      if (!(is >> idx)) fail("expected crash index");
+    }
+    std::size_t active_count = 0;
+    if (!(is >> tok) || tok != "active" || !(is >> active_count)) {
+      fail("expected 'active <count>'");
+    }
+    step.active.assign(n, 0);
+    step.levels.assign(n, 0);
+    for (std::size_t k = 0; k < active_count; ++k) {
+      if (!(is >> tok)) fail("expected '<index>:<level>'");
+      const std::size_t colon = tok.find(':');
+      if (colon == std::string::npos) fail("expected '<index>:<level>'");
+      std::size_t idx = 0;
+      unsigned long lvl = 0;
+      try {
+        idx = std::stoul(tok.substr(0, colon));
+        lvl = std::stoul(tok.substr(colon + 1));
+      } catch (const std::exception&) {
+        fail("malformed '<index>:<level>' token '" + tok + "'");
+      }
+      if (idx >= n) fail("activation index out of range");
+      step.active[idx] = 1;
+      step.levels[idx] = static_cast<std::uint32_t>(lvl);
+    }
+  }
+  return t;
+}
+
+}  // namespace gather::sim

@@ -1,0 +1,82 @@
+// Deterministic schedule traces and bit-identical replay.
+//
+// The bounded model checker (src/check) explores adversary choices as
+// explicit per-round decisions: which robots crash, which activate, and on
+// which level of a quantized truncation grid each activated move is stopped.
+// A `schedule_trace` records one such decision path together with the seed
+// configuration; `replay_schedule` drives the ordinary simulation engine
+// with scripted adversary policies that re-issue exactly those decisions, so
+// the replayed run visits the explorer's states bit for bit.  Traces
+// serialize to a plain text format (exact %.17g round-trip doubles), making
+// counterexamples a portable artifact.
+//
+// The truncation grid is the shared contract between the explorer and the
+// scripted movement adversary: level j of L levels stops a move that wants
+// `want > delta` after `delta + j/(L-1) * (want - delta)` (the full move for
+// L == 1); a move with `want <= delta` always completes, per the model.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "geometry/vec2.h"
+#include "sim/crash.h"
+#include "sim/engine.h"
+#include "sim/movement.h"
+#include "sim/scheduler.h"
+
+namespace gather::sim {
+
+/// One round of recorded adversary decisions.
+struct trace_step {
+  std::vector<std::size_t> crashes;   ///< robots crashed at this round's start
+  std::vector<std::uint8_t> active;   ///< activation mask, one flag per robot
+  std::vector<std::uint32_t> levels;  ///< truncation level per robot (active only)
+  friend bool operator==(const trace_step&, const trace_step&) = default;
+};
+
+/// A full replayable schedule: seed configuration plus per-round decisions.
+struct schedule_trace {
+  std::vector<geom::vec2> initial;
+  double delta_fraction = 0.05;
+  std::uint32_t truncation_levels = 1;
+  std::vector<trace_step> steps;
+  friend bool operator==(const schedule_trace&, const schedule_trace&) = default;
+};
+
+/// The truncation-grid stop point (see the header comment).  Shared verbatim
+/// by the explorer and the scripted movement adversary: both sides calling
+/// this with identical arguments is what makes replay bit-identical.
+[[nodiscard]] geom::vec2 truncated_stop(geom::vec2 from, geom::vec2 dest,
+                                        double delta, std::uint32_t level,
+                                        std::uint32_t levels);
+
+/// Scheduler that activates exactly the trace's mask at each round.  The
+/// returned object references `t`; keep the trace alive while it runs.
+[[nodiscard]] std::unique_ptr<activation_scheduler> make_scripted_scheduler(
+    const schedule_trace& t);
+
+/// Movement adversary that stops moves on the trace's truncation levels, in
+/// the engine's call order (active robots in ascending index per round).
+/// References `t`; single use -- it consumes its level cursor.
+[[nodiscard]] std::unique_ptr<movement_adversary> make_scripted_movement(
+    const schedule_trace& t);
+
+/// Replay the trace through the ordinary engine: runs exactly
+/// `t.steps.size()` rounds with scripted policies, trace recording on and
+/// wait-freeness checking enabled.  The resulting `trace[r].positions` are
+/// the round-start (snapped) configurations along the path and
+/// `final_positions` is the raw outcome of the last recorded round.
+[[nodiscard]] sim_result replay_schedule(const schedule_trace& t,
+                                         const core::gathering_algorithm& algo);
+
+/// Plain-text serialization ("gather-trace-v1", exact decimal round-trip).
+void write_trace(std::ostream& os, const schedule_trace& t);
+
+/// Parse a serialized trace; throws std::runtime_error on malformed input.
+[[nodiscard]] schedule_trace read_trace(std::istream& is);
+
+}  // namespace gather::sim

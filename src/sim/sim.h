@@ -10,6 +10,7 @@
 #include "sim/frame.h"
 #include "sim/metrics.h"
 #include "sim/movement.h"
+#include "sim/replay.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "sim/spec.h"

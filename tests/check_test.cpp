@@ -1,0 +1,205 @@
+// Bounded model checker: clean sweeps stay violation-free, symmetry pruning
+// pays for itself, broken algorithms produce counterexamples, and recorded
+// counterexample schedules replay bit-identically through the simulator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/center_of_gravity.h"
+#include "check/check.h"
+#include "core/wait_free_gather.h"
+#include "sim/sim.h"
+
+namespace {
+
+using namespace gather;
+using geom::vec2;
+
+/// Deliberately broken: every robot holds position, so any non-gathered
+/// configuration has every occupied location stationary -- the exact shape
+/// of a Lemma 5.1 wait-freeness violation.
+class stay_algorithm final : public core::gathering_algorithm {
+ public:
+  [[nodiscard]] vec2 destination(const core::snapshot& s) const override {
+    return s.self;
+  }
+  [[nodiscard]] std::string_view name() const override { return "stay"; }
+};
+
+check::check_spec wfg_spec(std::vector<std::vector<vec2>> seeds) {
+  static const core::wait_free_gather wfg;
+  check::check_spec spec;
+  spec.seeds = std::move(seeds);
+  spec.algorithm = &wfg;
+  return spec;
+}
+
+TEST(LatticeMultisets, CountsAndShape) {
+  // C(9 + n - 1, n) multisets of n points on the 3x3 lattice.
+  EXPECT_EQ(check::lattice_multisets(3, 3, 1).size(), 9u);
+  EXPECT_EQ(check::lattice_multisets(3, 3, 2).size(), 45u);
+  const auto seeds = check::lattice_multisets(3, 3, 3);
+  EXPECT_EQ(seeds.size(), 165u);
+  for (const auto& s : seeds) EXPECT_EQ(s.size(), 3u);
+  // Fixed deterministic order: first seed is all-origin, last all-corner.
+  EXPECT_EQ(seeds.front(), std::vector<vec2>(3, vec2{0.0, 0.0}));
+  EXPECT_EQ(seeds.back(), std::vector<vec2>(3, vec2{2.0, 2.0}));
+}
+
+TEST(Explore, WaitFreeGatherCleanOnSmallLattices) {
+  auto spec = wfg_spec(check::lattice_multisets(3, 3, 3));
+  obs::metrics_registry metrics;
+  spec.metrics = &metrics;
+  const check::check_result r = check::explore(spec);
+
+  EXPECT_EQ(r.total_violations(), 0u);
+  EXPECT_TRUE(r.counterexamples.empty());
+  EXPECT_EQ(r.seeds, 165u);
+  EXPECT_FALSE(r.state_cap_hit);
+  EXPECT_GT(r.states_explored, 1000u);
+  EXPECT_GT(r.terminal_gathered, 0u);
+
+  // Acceptance: canonical pruning buys at least a 2x reduction even by the
+  // conservative within-run measure (raw-unique / canonical-unique).
+  EXPECT_GE(r.symmetry_reduction(), 2.0);
+
+  // Every state lemma is evaluated in every explored state; transition
+  // lemmas in every checked transition.
+  ASSERT_FALSE(r.state_coverage.empty());
+  for (const auto& cov : r.state_coverage) {
+    EXPECT_EQ(cov.applicable + cov.not_applicable, r.states_explored)
+        << cov.id;
+  }
+  ASSERT_FALSE(r.transition_coverage.empty());
+  for (const auto& cov : r.transition_coverage) {
+    EXPECT_EQ(cov.applicable + cov.not_applicable, r.transitions_checked)
+        << cov.id;
+  }
+
+  // Metrics export mirrors the result counters.
+  EXPECT_EQ(*metrics.find_counter("check.states_explored"),
+            r.states_explored);
+  EXPECT_EQ(*metrics.find_counter("check.violations"), 0u);
+}
+
+TEST(Explore, DeterministicAcrossRuns) {
+  auto spec = wfg_spec(check::lattice_multisets(3, 3, 3));
+  const check::check_result a = check::explore(spec);
+  const check::check_result b = check::explore(spec);
+  EXPECT_EQ(a.states_generated, b.states_generated);
+  EXPECT_EQ(a.states_explored, b.states_explored);
+  EXPECT_EQ(a.duplicates_pruned, b.duplicates_pruned);
+  EXPECT_EQ(a.raw_unique, b.raw_unique);
+}
+
+TEST(Explore, RawDedupExploresSuperset) {
+  auto canonical = wfg_spec(check::lattice_multisets(3, 3, 3));
+  auto raw = canonical;
+  raw.options.canonical_dedup = false;
+  const check::check_result rc = check::explore(canonical);
+  const check::check_result rr = check::explore(raw);
+  EXPECT_EQ(rr.total_violations(), 0u);
+  // The exact-key search visits strictly more states; the quotient is the
+  // true end-to-end saving from symmetry pruning.
+  EXPECT_GE(static_cast<double>(rr.states_explored),
+            2.0 * static_cast<double>(rc.states_explored));
+}
+
+TEST(Explore, StateCapStopsSearch) {
+  auto spec = wfg_spec(check::lattice_multisets(3, 3, 3));
+  spec.options.max_states = 10;
+  const check::check_result r = check::explore(spec);
+  EXPECT_TRUE(r.state_cap_hit);
+  EXPECT_LE(r.states_generated, 11u);
+}
+
+TEST(Explore, StayAlgorithmViolatesWaitFreenessAtDepthZero) {
+  const stay_algorithm stay;
+  check::check_spec spec;
+  spec.seeds = {{{0.0, 0.0}, {3.0, 0.0}, {1.0, 2.0}}};
+  spec.algorithm = &stay;
+  spec.options.max_rounds = 1;
+  const check::check_result r = check::explore(spec);
+  ASSERT_FALSE(r.counterexamples.empty());
+  const check::counterexample& ce = r.counterexamples.front();
+  EXPECT_EQ(ce.lemma_id, "L5.1");
+  EXPECT_EQ(ce.round, 0u);
+  EXPECT_TRUE(ce.trace.steps.empty());
+  ASSERT_EQ(ce.path.size(), 1u);
+  EXPECT_EQ(ce.path.front(), spec.seeds.front());
+  // A depth-0 counterexample replays as a zero-round simulation that ends
+  // exactly on the violating state.
+  const sim::sim_result res = sim::replay_schedule(ce.trace, stay);
+  EXPECT_EQ(res.rounds, 0u);
+  EXPECT_EQ(res.final_positions, ce.path.back());
+}
+
+TEST(Explore, BrokenBaselineYieldsReplayableCounterexample) {
+  static const baselines::center_of_gravity cog;
+  check::check_spec spec;
+  spec.seeds = check::lattice_multisets(3, 3, 4);
+  spec.algorithm = &cog;
+  spec.options.max_rounds = 3;
+  spec.options.max_counterexamples = 16;
+  const check::check_result r = check::explore(spec);
+  ASSERT_FALSE(r.counterexamples.empty());
+  EXPECT_GT(r.total_violations(), 0u);
+
+  // Pick a counterexample with at least one adversary step so the replay
+  // actually exercises the scripted scheduler/crash/movement policies.
+  const check::counterexample* deep = nullptr;
+  for (const auto& ce : r.counterexamples) {
+    if (!ce.trace.steps.empty()) {
+      deep = &ce;
+      break;
+    }
+  }
+  ASSERT_NE(deep, nullptr) << "no counterexample beyond depth 0";
+  ASSERT_EQ(deep->path.size(), deep->trace.steps.size() + 1);
+
+  // Serialize, parse back, and replay the parsed trace: the text format
+  // must round-trip exactly (%.17g coordinates) ...
+  std::stringstream ss;
+  sim::write_trace(ss, deep->trace);
+  const sim::schedule_trace parsed = sim::read_trace(ss);
+  EXPECT_EQ(parsed, deep->trace);
+
+  // ... and the simulator must walk the explorer's exact path: every
+  // recorded round-start position vector bit-identical, ending on the
+  // violating state.
+  const sim::sim_result res = sim::replay_schedule(parsed, cog);
+  ASSERT_EQ(res.rounds, deep->trace.steps.size());
+  ASSERT_EQ(res.trace.size(), deep->trace.steps.size());
+  for (std::size_t round = 0; round < res.trace.size(); ++round) {
+    EXPECT_EQ(res.trace[round].positions, deep->path[round])
+        << "diverged at round " << round;
+  }
+  EXPECT_EQ(res.final_positions, deep->path.back());
+}
+
+TEST(Explore, RejectsInvalidSpecs) {
+  check::check_spec spec;
+  spec.seeds = {{{0.0, 0.0}}};
+  EXPECT_THROW(check::explore(spec), std::invalid_argument);  // no algorithm
+  static const core::wait_free_gather wfg;
+  spec.algorithm = &wfg;
+  spec.options.truncation_levels = 0;
+  EXPECT_THROW(check::explore(spec), std::invalid_argument);
+  spec.options.truncation_levels = 2;
+  spec.seeds = {{}};
+  EXPECT_THROW(check::explore(spec), std::invalid_argument);  // empty seed
+}
+
+TEST(Report, JsonAndTextRenderCoreCounts) {
+  auto spec = wfg_spec(check::lattice_multisets(3, 3, 2));
+  const check::check_result r = check::explore(spec);
+  const std::string json = check::render_json(r, spec.options);
+  EXPECT_NE(json.find("\"schema\":\"gather-check-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"states_explored\":"), std::string::npos);
+  EXPECT_NE(json.find("\"state_coverage\":["), std::string::npos);
+  const std::string text = check::render_text(r, spec.options);
+  EXPECT_NE(text.find("symmetry reduction"), std::string::npos);
+  EXPECT_NE(text.find("L5.1"), std::string::npos);
+}
+
+}  // namespace

@@ -111,6 +111,77 @@ TEST(Exhaustive, AllFiveRobotConfigurationsOn2x2) {
   EXPECT_EQ(count, 56);
 }
 
+/// Brute-force similarity test: two configurations look alike to the robots
+/// exactly when their view multisets match (views are normalized by the SEC
+/// radius and read clockwise, so they are invariant under translation,
+/// rotation and scaling but not reflection -- the same invariance class the
+/// canonical state key quantizes).
+bool view_multisets_match(const configuration& a, const configuration& b) {
+  if (a.robots().size() != b.robots().size()) return false;
+  if (a.distinct_count() != b.distinct_count()) return false;
+  const std::vector<config::view> va = config::all_views(a);
+  const std::vector<config::view> vb = config::all_views(b);
+  std::vector<bool> used(vb.size(), false);
+  for (const config::view& v : va) {
+    bool matched = false;
+    for (std::size_t j = 0; j < vb.size(); ++j) {
+      if (used[j]) continue;
+      if (config::compare_views(v, vb[j], a.tolerance()) == 0) {
+        used[j] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+/// Cross-check the model checker's symmetry-canonical dedup key against the
+/// brute-force comparison: on every pair of small-lattice multisets, the
+/// keys collide exactly when the view multisets match.  This is what makes
+/// canonical pruning in src/check sound: a pruned state is one the robots
+/// cannot distinguish from an already-explored one.
+void check_key_matches_views(const std::vector<vec2>& points, int k) {
+  std::vector<std::vector<vec2>> seeds;
+  for_each_multiset(points, k,
+                    [&](const std::vector<vec2>& pts) { seeds.push_back(pts); });
+  std::vector<configuration> configs;
+  std::vector<config::state_key> keys;
+  configs.reserve(seeds.size());
+  keys.reserve(seeds.size());
+  for (const auto& pts : seeds) {
+    configs.emplace_back(pts);
+    keys.push_back(config::canonical_state_key(configs.back()));
+  }
+  std::size_t collisions = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    for (std::size_t j = i + 1; j < configs.size(); ++j) {
+      const bool same_key = keys[i] == keys[j];
+      const bool same_views = view_multisets_match(configs[i], configs[j]);
+      ASSERT_EQ(same_key, same_views)
+          << "seed " << i << " vs seed " << j << ": canonical key "
+          << (same_key ? "collides" : "differs") << " but view multisets "
+          << (same_views ? "match" : "differ");
+      collisions += same_key ? 1 : 0;
+    }
+  }
+  // Sanity: the lattice sweep does contain non-trivial symmetry classes.
+  EXPECT_GT(collisions, 0u);
+}
+
+TEST(Exhaustive, CanonicalKeyCollidesIffViewMultisetsMatch2Robots) {
+  check_key_matches_views(lattice(3, 3), 2);
+}
+
+TEST(Exhaustive, CanonicalKeyCollidesIffViewMultisetsMatch3Robots) {
+  check_key_matches_views(lattice(3, 3), 3);
+}
+
+TEST(Exhaustive, CanonicalKeyCollidesIffViewMultisetsMatch4RobotsOn2x3) {
+  check_key_matches_views(lattice(2, 3), 4);
+}
+
 TEST(Exhaustive, ClassCensusOn3x3IsStable) {
   // Pin the exact census of classes over all 3-robot instances on the 3x3
   // grid; any change to classification semantics must be deliberate.

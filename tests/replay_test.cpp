@@ -1,0 +1,140 @@
+// Schedule traces: the truncated-stop movement contract, deterministic
+// replay of handcrafted schedules, and exact text-format round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/wait_free_gather.h"
+#include "sim/sim.h"
+
+namespace {
+
+using namespace gather;
+using geom::vec2;
+
+TEST(TruncatedStop, HonorsMovementContract) {
+  const vec2 from{0.0, 0.0};
+  const vec2 dest{10.0, 0.0};
+  const double delta = 2.0;
+
+  // Moves of at most delta always complete, bit-for-bit on the destination.
+  EXPECT_EQ(sim::truncated_stop(from, {1.5, 0.0}, delta, 0, 4),
+            (vec2{1.5, 0.0}));
+  // Zero-length moves return the destination (== the origin) unchanged.
+  EXPECT_EQ(sim::truncated_stop(from, from, delta, 0, 4), from);
+
+  // Level 0 stops after exactly delta; the top level reaches the
+  // destination exactly; intermediate levels are monotone in between.
+  const vec2 lo = sim::truncated_stop(from, dest, delta, 0, 4);
+  EXPECT_NEAR(geom::distance(from, lo), delta, 1e-12);
+  EXPECT_EQ(sim::truncated_stop(from, dest, delta, 3, 4), dest);
+  double prev = geom::distance(from, lo);
+  for (std::uint32_t level = 1; level < 4; ++level) {
+    const double d =
+        geom::distance(from, sim::truncated_stop(from, dest, delta, level, 4));
+    EXPECT_GT(d, prev);
+    EXPECT_LE(d, geom::distance(from, dest));
+    prev = d;
+  }
+
+  // A single-level grid degenerates to full movement.
+  EXPECT_EQ(sim::truncated_stop(from, dest, delta, 0, 1), dest);
+}
+
+sim::schedule_trace handcrafted_trace() {
+  sim::schedule_trace t;
+  t.initial = {{0.0, 0.0}, {4.0, 0.0}, {4.0, 0.0}, {0.0, 3.0}};
+  t.delta_fraction = 0.25;
+  t.truncation_levels = 2;
+  // Round 0: robot 3 crashes, robots 0 and 1 activate (0 truncated, 1 full).
+  sim::trace_step s0;
+  s0.crashes = {3};
+  s0.active = {1, 1, 0, 0};
+  s0.levels = {0, 1, 0, 0};
+  t.steps.push_back(s0);
+  // Round 1: no crashes, robot 2 activates with a truncated move.
+  sim::trace_step s1;
+  s1.active = {0, 0, 1, 0};
+  s1.levels = {0, 0, 0, 0};
+  t.steps.push_back(s1);
+  return t;
+}
+
+TEST(Replay, HandcraftedScheduleIsDeterministic) {
+  const sim::schedule_trace t = handcrafted_trace();
+  const core::wait_free_gather wfg;
+  const sim::sim_result a = sim::replay_schedule(t, wfg);
+  const sim::sim_result b = sim::replay_schedule(t, wfg);
+
+  ASSERT_EQ(a.rounds, t.steps.size());
+  ASSERT_EQ(a.trace.size(), t.steps.size());
+  EXPECT_EQ(a.final_positions, b.final_positions);
+  EXPECT_EQ(a.final_live, b.final_live);
+  for (std::size_t r = 0; r < a.trace.size(); ++r) {
+    EXPECT_EQ(a.trace[r].positions, b.trace[r].positions);
+  }
+
+  // The scripted policies reproduced the recorded schedule exactly.
+  EXPECT_EQ(a.crashes, 1u);
+  EXPECT_EQ(a.final_live, (std::vector<std::uint8_t>{1, 1, 1, 0}));
+  EXPECT_EQ(a.trace[0].active, (std::vector<std::uint8_t>{1, 1, 0, 0}));
+  EXPECT_EQ(a.trace[1].active, (std::vector<std::uint8_t>{0, 0, 1, 0}));
+  // The crashed robot never moves again.
+  EXPECT_EQ(a.final_positions[3], t.initial[3]);
+}
+
+TEST(Replay, TraceTextFormatRoundTripsExactly) {
+  sim::schedule_trace t = handcrafted_trace();
+  // Awkward coordinates must survive: %.17g round-trips every double.
+  t.initial[0] = {0.1, -1.0 / 3.0};
+  t.initial[1] = {1e-12, 2.5e17};
+
+  std::stringstream ss;
+  sim::write_trace(ss, t);
+  const sim::schedule_trace back = sim::read_trace(ss);
+  EXPECT_EQ(back, t);
+
+  // Idempotent: serializing the parsed trace yields the same bytes.
+  std::stringstream ss2;
+  sim::write_trace(ss2, back);
+  std::stringstream ss3;
+  sim::write_trace(ss3, t);
+  EXPECT_EQ(ss2.str(), ss3.str());
+}
+
+TEST(Replay, ReadTraceRejectsMalformedInput) {
+  {
+    std::stringstream ss("not-a-trace\n");
+    EXPECT_THROW(sim::read_trace(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("gather-trace-v1\ndelta-fraction 0.25\nlevels 2\n"
+                         "robots 1\n0 0\nrounds 1\nstep crashes 0 active 1 "
+                         "5:0\n");  // activation index out of range
+    EXPECT_THROW(sim::read_trace(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("gather-trace-v1\ndelta-fraction 0.25\nlevels 2\n"
+                         "robots 1\n0 0\nrounds 1\nstep crashes 0 active 1 "
+                         "zz\n");  // malformed index:level token
+    EXPECT_THROW(sim::read_trace(ss), std::runtime_error);
+  }
+}
+
+TEST(Replay, ScriptedMovementThrowsWhenTraceExhausted) {
+  // A scheduler that activates beyond the recorded steps starves the flat
+  // level cursor; the scripted movement must fail loudly, not guess.
+  sim::schedule_trace t = handcrafted_trace();
+  const core::wait_free_gather wfg;
+  auto move = sim::make_scripted_movement(t);
+  sim::rng random(7);
+  // Drain the two recorded activations of round 0 and one of round 1 ...
+  (void)move->stop_point({0.0, 0.0}, {9.0, 0.0}, 1.0, random);
+  (void)move->stop_point({0.0, 0.0}, {9.0, 0.0}, 1.0, random);
+  (void)move->stop_point({0.0, 0.0}, {9.0, 0.0}, 1.0, random);
+  // ... then the fourth call has no recorded decision left.
+  EXPECT_THROW((void)move->stop_point({0.0, 0.0}, {9.0, 0.0}, 1.0, random),
+               std::runtime_error);
+}
+
+}  // namespace

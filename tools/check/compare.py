@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Golden gate for the gather_check bounded model checker.
+
+Usage:
+    compare.py CHECK_EXE GOLDEN.json
+
+Runs ``CHECK_EXE <golden.args> --report json`` and compares the document
+against ``golden.expected``:
+
+  * schema must be gather-check-v1 on both sides;
+  * every option echo, state count and per-lemma coverage row is compared
+    exactly -- the explorer is deterministic, so any drift in generated /
+    explored / pruned counts means the search space or the pruning key
+    changed and the golden must be re-pinned deliberately;
+  * symmetry_reduction is compared to relative 1e-9 (it is a quotient of two
+    exact counters).
+
+Then re-runs with ``--no-dedup`` appended and asserts that canonical pruning
+shrinks the explored-state count by at least ``golden.min_reduction`` -- the
+end-to-end evidence that symmetry pruning is actually pulling its weight,
+measured against the exact-key search of the same space.
+
+Exit 0 when everything matches, 1 on any mismatch, 2 on usage errors.
+"""
+
+import json
+import subprocess
+import sys
+
+SCHEMA = "gather-check-v1"
+
+
+def run_json(exe, args):
+    cmd = [exe] + args + ["--report", "json"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        sys.exit(f"compare.py: {' '.join(cmd)} exited {proc.returncode}:\n"
+                 f"{proc.stderr}")
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        sys.exit(f"compare.py: bad JSON from {' '.join(cmd)}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"compare.py: schema {doc.get('schema')!r}, "
+                 f"expected {SCHEMA!r}")
+    return doc
+
+
+def flatten(prefix, value, out):
+    if isinstance(value, dict):
+        for k, v in sorted(value.items()):
+            flatten(f"{prefix}.{k}" if prefix else k, v, out)
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            flatten(f"{prefix}[{i}]", v, out)
+    else:
+        out[prefix] = value
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(__doc__)
+    exe, golden_path = argv[1], argv[2]
+    with open(golden_path, encoding="utf-8") as f:
+        golden = json.load(f)
+    args = golden["args"]
+    expected = golden["expected"]
+
+    current = run_json(exe, args)
+
+    want, got = {}, {}
+    flatten("", expected, want)
+    flatten("", current, got)
+    failures = []
+    for key in sorted(set(want) | set(got)):
+        if key not in got:
+            failures.append(f"missing key {key} (golden: {want[key]!r})")
+        elif key not in want:
+            failures.append(f"unexpected key {key} = {got[key]!r}")
+        elif key == "symmetry_reduction":
+            a, b = float(want[key]), float(got[key])
+            if abs(a - b) > 1e-9 * max(abs(a), abs(b), 1.0):
+                failures.append(f"{key}: golden {a} vs current {b}")
+        elif want[key] != got[key]:
+            failures.append(f"{key}: golden {want[key]!r} "
+                            f"vs current {got[key]!r}")
+
+    min_reduction = golden.get("min_reduction")
+    if min_reduction is not None:
+        raw = run_json(exe, args + ["--no-dedup"])
+        canonical_explored = current["counts"]["states_explored"]
+        raw_explored = raw["counts"]["states_explored"]
+        if canonical_explored == 0:
+            failures.append("canonical run explored no states")
+        else:
+            ratio = raw_explored / canonical_explored
+            print(f"symmetry pruning: {raw_explored} exact-key states vs "
+                  f"{canonical_explored} canonical ({ratio:.2f}x)")
+            if ratio < min_reduction:
+                failures.append(
+                    f"pruning ratio {ratio:.3f} below required "
+                    f"{min_reduction}")
+
+    if failures:
+        for f_ in failures:
+            print(f"FAIL: {f_}")
+        return 1
+    print(f"check_smoke: {current['counts']['states_explored']} states, "
+          "all golden counts match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

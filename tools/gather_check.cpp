@@ -1,0 +1,278 @@
+// gather_check: bounded model-checking adversary search.
+//
+// Exhaustively enumerates adversary schedules (crash subsets, activation
+// subsets, movement-truncation stops) for small robot multisets on a small
+// integer lattice, over a bounded number of rounds, checking the paper's
+// lemma predicates in every reached state.  Symmetry-canonical state pruning
+// (config/state_key.h) keeps the sweep tractable; any violation is emitted
+// as a schedule trace that replays bit-identically through the simulator.
+//
+// Examples:
+//   gather_check --lattice 3x3 --n 2,3 --rounds 3            # lemma sweep
+//   gather_check --algorithm cog --n 4 --trace-out ce.trace  # find + record
+//   gather_check --replay ce.trace --algorithm cog           # replay a trace
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage error, 3 expectation
+// mismatch (--expect-*).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "check/check.h"
+#include "core/wait_free_gather.h"
+#include "core/weak_multiplicity.h"
+#include "sim/sim.h"
+#include "workloads/io.h"
+
+namespace {
+
+using namespace gather;
+
+struct options {
+  std::size_t lattice_w = 3;
+  std::size_t lattice_h = 3;
+  std::vector<std::size_t> ns = {3};
+  std::string points_file;
+  std::string algorithm = "wfg";
+  std::string report = "text";
+  std::string trace_out;
+  std::string replay_file;
+  check::check_options check;
+  std::uint64_t expect_explored = 0;
+  std::uint64_t expect_generated = 0;
+  bool have_expect_explored = false;
+  bool have_expect_generated = false;
+};
+
+void usage() {
+  std::puts(
+      "usage: gather_check [options]\n"
+      "  --lattice WxH        seed lattice size (default 3x3)\n"
+      "  --n LIST             comma-separated robot counts to sweep (default 3)\n"
+      "  --points FILE        check a single seed read from FILE instead\n"
+      "  --rounds R           exploration depth bound (default 3)\n"
+      "  --crashes B          total crash budget (default 1)\n"
+      "  --crashes-per-round C  per-round crash cap (default 1)\n"
+      "  --levels L           movement truncation grid size (default 2)\n"
+      "  --delta-fraction D   engine delta as fraction of seed diameter (default 0.25)\n"
+      "  --algorithm A        wfg | weak | cog | sfg | median (default wfg)\n"
+      "  --no-dedup           disable symmetry-canonical pruning (exact keys only)\n"
+      "  --max-states N       generated-state safety cap\n"
+      "  --max-counterexamples N  stop after recording N violations (default 8)\n"
+      "  --report FMT         text | json (default text)\n"
+      "  --trace-out FILE     write the first counterexample's schedule trace\n"
+      "  --replay FILE        replay a recorded trace through the simulator\n"
+      "  --expect-explored N  exit 3 unless explored-state count == N\n"
+      "  --expect-generated N exit 3 unless generated-state count == N");
+}
+
+const core::gathering_algorithm& make_algorithm(const std::string& name) {
+  static const core::wait_free_gather wfg;
+  static const core::weak_multiplicity_adapter weak(wfg);
+  static const baselines::center_of_gravity cog;
+  static const baselines::single_fault_gather sfg;
+  static const baselines::median_pursuit median;
+  if (name == "wfg") return wfg;
+  if (name == "weak") return weak;
+  if (name == "cog") return cog;
+  if (name == "sfg") return sfg;
+  if (name == "median") return median;
+  std::fprintf(stderr, "unknown algorithm: %s\n", name.c_str());
+  std::exit(2);
+}
+
+std::size_t parse_size(const std::string& s, const char* what) {
+  try {
+    return static_cast<std::size_t>(std::stoull(s));
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "bad %s: %s\n", what, s.c_str());
+    std::exit(2);
+  }
+}
+
+options parse(int argc, char** argv) {
+  options o;
+  auto need = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a value\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else if (a == "--lattice") {
+      const std::string v = need(i, "--lattice");
+      const std::size_t x = v.find('x');
+      if (x == std::string::npos) {
+        std::fprintf(stderr, "--lattice wants WxH, got %s\n", v.c_str());
+        std::exit(2);
+      }
+      o.lattice_w = parse_size(v.substr(0, x), "lattice width");
+      o.lattice_h = parse_size(v.substr(x + 1), "lattice height");
+    } else if (a == "--n") {
+      o.ns.clear();
+      std::stringstream ss(need(i, "--n"));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) o.ns.push_back(parse_size(item, "robot count"));
+      }
+      if (o.ns.empty()) {
+        std::fprintf(stderr, "--n wants a comma-separated list\n");
+        std::exit(2);
+      }
+    } else if (a == "--points") {
+      o.points_file = need(i, "--points");
+    } else if (a == "--rounds") {
+      o.check.max_rounds = parse_size(need(i, "--rounds"), "round bound");
+    } else if (a == "--crashes") {
+      o.check.crash_budget = parse_size(need(i, "--crashes"), "crash budget");
+    } else if (a == "--crashes-per-round") {
+      o.check.max_crashes_per_round =
+          parse_size(need(i, "--crashes-per-round"), "per-round crash cap");
+    } else if (a == "--levels") {
+      o.check.truncation_levels = static_cast<std::uint32_t>(
+          parse_size(need(i, "--levels"), "truncation levels"));
+    } else if (a == "--delta-fraction") {
+      o.check.delta_fraction = std::atof(need(i, "--delta-fraction").c_str());
+    } else if (a == "--algorithm") {
+      o.algorithm = need(i, "--algorithm");
+    } else if (a == "--no-dedup") {
+      o.check.canonical_dedup = false;
+    } else if (a == "--max-states") {
+      o.check.max_states = parse_size(need(i, "--max-states"), "state cap");
+    } else if (a == "--max-counterexamples") {
+      o.check.max_counterexamples =
+          parse_size(need(i, "--max-counterexamples"), "counterexample cap");
+    } else if (a == "--report") {
+      o.report = need(i, "--report");
+      if (o.report != "text" && o.report != "json") {
+        std::fprintf(stderr, "--report wants text|json\n");
+        std::exit(2);
+      }
+    } else if (a == "--trace-out") {
+      o.trace_out = need(i, "--trace-out");
+    } else if (a == "--replay") {
+      o.replay_file = need(i, "--replay");
+    } else if (a == "--expect-explored") {
+      o.expect_explored = parse_size(need(i, "--expect-explored"), "expectation");
+      o.have_expect_explored = true;
+    } else if (a == "--expect-generated") {
+      o.expect_generated = parse_size(need(i, "--expect-generated"), "expectation");
+      o.have_expect_generated = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      usage();
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+int run_replay(const options& o) {
+  std::ifstream in(o.replay_file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", o.replay_file.c_str());
+    return 2;
+  }
+  sim::schedule_trace trace;
+  try {
+    trace = sim::read_trace(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const auto& algo = make_algorithm(o.algorithm);
+  const sim::sim_result res = sim::replay_schedule(trace, algo);
+  const char* status = res.status == sim::sim_status::gathered ? "gathered"
+                       : res.status == sim::sim_status::stalled
+                           ? "stalled"
+                           : "not gathered";
+  const std::string cls =
+      res.class_history.empty()
+          ? "?"
+          : std::string(gather::enum_name(res.class_history.back()));
+  std::printf("replayed %zu rounds (%s), final class %s\n", res.rounds, status,
+              cls.c_str());
+  std::ostringstream pts;
+  workloads::write_points(pts, res.final_positions);
+  std::fputs(pts.str().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const options o = parse(argc, argv);
+  if (!o.replay_file.empty()) return run_replay(o);
+
+  check::check_spec spec;
+  spec.algorithm = &make_algorithm(o.algorithm);
+  spec.options = o.check;
+
+  if (!o.points_file.empty()) {
+    auto pts = workloads::read_points_file(o.points_file);
+    if (!pts || pts->empty()) {
+      std::fprintf(stderr, "cannot read points from %s\n",
+                   o.points_file.c_str());
+      return 2;
+    }
+    spec.seeds.push_back(std::move(*pts));
+  } else {
+    for (std::size_t n : o.ns) {
+      if (n == 0 || n > 16) {
+        std::fprintf(stderr, "robot count %zu out of range [1,16]\n", n);
+        return 2;
+      }
+      auto seeds = check::lattice_multisets(o.lattice_w, o.lattice_h, n);
+      for (auto& s : seeds) spec.seeds.push_back(std::move(s));
+    }
+  }
+
+  const check::check_result result = check::explore(spec);
+
+  if (o.report == "json") {
+    std::fputs(check::render_json(result, spec.options).c_str(), stdout);
+  } else {
+    std::fputs(check::render_text(result, spec.options).c_str(), stdout);
+  }
+
+  if (!result.counterexamples.empty()) {
+    const check::counterexample& ce = result.counterexamples.front();
+    if (!o.trace_out.empty()) {
+      std::ofstream out(o.trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", o.trace_out.c_str());
+        return 2;
+      }
+      sim::write_trace(out, ce.trace);
+      std::fprintf(stderr, "counterexample (%s, round %zu) written to %s\n",
+                   ce.lemma_id.c_str(), ce.round, o.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "first counterexample: %s at round %zu\n",
+                   ce.lemma_id.c_str(), ce.round);
+    }
+  }
+
+  if (o.have_expect_explored && result.states_explored != o.expect_explored) {
+    std::fprintf(stderr, "expected %llu explored states, got %llu\n",
+                 static_cast<unsigned long long>(o.expect_explored),
+                 static_cast<unsigned long long>(result.states_explored));
+    return 3;
+  }
+  if (o.have_expect_generated && result.states_generated != o.expect_generated) {
+    std::fprintf(stderr, "expected %llu generated states, got %llu\n",
+                 static_cast<unsigned long long>(o.expect_generated),
+                 static_cast<unsigned long long>(result.states_generated));
+    return 3;
+  }
+  return result.total_violations() == 0 ? 0 : 1;
+}
