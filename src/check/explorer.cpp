@@ -102,11 +102,35 @@ struct explorer {
       stop = true;
       return;
     }
-    // The state vector stays raw, exactly like engine::positions_: only the
-    // configuration (and per-robot snapped lookups) see clustered points, so
-    // a replayed trace walks through bit-identical vectors.
     cfg.apply_moves(positions);
     const configuration& c = cfg;
+    // Physically merge co-located robots, exactly like engine::run snaps
+    // positions_ in place at round start: move origins, recorded paths and
+    // the engine's replayed round_record.positions all see the clustered
+    // representatives, so a replayed trace walks through bit-identical
+    // vectors even when tolerance clustering moves a coordinate.
+    for (vec2& p : positions) p = c.snapped(p);
+    const config::config_class cls = config::classify(c).cls;
+
+    path_positions.push_back(positions);
+    // Transition lemmas are edge properties: an edge into an already-visited
+    // state is still a fresh transition (its parent may carry a different
+    // class), so they must be evaluated before duplicate pruning can discard
+    // the child.  The tally always completes the full lemma sweep for this
+    // edge -- record_violation stops *recording* at the counterexample cap,
+    // never the coverage accounting.
+    if (have_prev) {
+      ++result.transitions_checked;
+      const auto& tlemmas = core::transition_lemmas();
+      for (std::size_t li = 0; li < tlemmas.size(); ++li) {
+        tally(result.transition_coverage[li], tlemmas[li].id,
+              tlemmas[li].eval(prev_cls, cls));
+      }
+      if (stop) {
+        path_positions.pop_back();
+        return;
+      }
+    }
 
     // Dedup keys carry the remaining obligations (rounds, crash budget) and
     // the delta length scale: merging two states is only sound when their
@@ -135,37 +159,30 @@ struct explorer {
     }
     if (!visited.insert(std::move(key)).second) {
       ++result.duplicates_pruned;
+      path_positions.pop_back();
       return;
     }
     ++result.states_explored;
 
-    path_positions.push_back(positions);
-    expand(positions, live, crashes_used, round, have_prev, prev_cls);
+    expand(positions, live, crashes_used, round, cls);
     path_positions.pop_back();
   }
 
   void expand(const std::vector<vec2>& positions,
               const std::vector<std::uint8_t>& live, std::size_t crashes_used,
-              std::size_t round, bool have_prev,
-              config::config_class prev_cls) {
+              std::size_t round, config::config_class cls) {
     const configuration& c = cfg;
-    const config::config_class cls = config::classify(c).cls;
 
-    if (have_prev) {
-      ++result.transitions_checked;
-      const auto& tlemmas = core::transition_lemmas();
-      for (std::size_t li = 0; li < tlemmas.size(); ++li) {
-        tally(result.transition_coverage[li], tlemmas[li].id,
-              tlemmas[li].eval(prev_cls, cls));
-        if (stop) return;
-      }
-    }
+    // Like the transition sweep in visit(): every state lemma is tallied for
+    // this state before the counterexample cap can cut the search short, so
+    // `applicable + not_applicable == states_explored` holds even for the
+    // state that trips the cap.
     const core::lemma_context ctx{c, *spec.algorithm};
     const auto& slemmas = core::state_lemmas();
     for (std::size_t li = 0; li < slemmas.size(); ++li) {
       tally(result.state_coverage[li], slemmas[li].id, slemmas[li].eval(ctx));
-      if (stop) return;
     }
+    if (stop) return;
 
     // Terminal states, in the engine's order: gathered, then the
     // all-stationary fixpoint, then the round bound.

@@ -59,9 +59,11 @@ struct lemma_coverage {
 };
 
 /// One recorded violation: the lemma, the depth, the replayable schedule and
-/// the explorer's own path of raw round-start position vectors (bit-identical
-/// to the engine's round_record.positions when the trace is replayed) --
-/// `path.front()` is the seed state, `path.back()` the violating state.
+/// the explorer's own path of snapped round-start position vectors
+/// (bit-identical to the engine's round_record.positions when the trace is
+/// replayed; the engine snaps in place at round start, and so does the
+/// explorer) -- `path.front()` is the (snapped) seed state, `path.back()`
+/// the violating state.
 struct counterexample {
   std::string lemma_id;
   std::size_t round = 0;
@@ -75,6 +77,11 @@ struct check_result {
   std::uint64_t states_explored = 0;   ///< unique under the active dedup key
   std::uint64_t duplicates_pruned = 0;
   std::uint64_t raw_unique = 0;        ///< unique under the exact key
+  /// Edges whose transition lemmas were evaluated: every generated non-root
+  /// state, *including* edges into already-visited (pruned) states -- a
+  /// duplicate child reached from a differently-classed parent is still a
+  /// fresh transition.  On a run that neither caps nor stops early this
+  /// equals states_generated - seeds.
   std::uint64_t transitions_checked = 0;
   std::uint64_t terminal_gathered = 0;
   std::uint64_t terminal_stalled = 0;

@@ -82,6 +82,28 @@ TEST(Explore, WaitFreeGatherCleanOnSmallLattices) {
   EXPECT_EQ(*metrics.find_counter("check.violations"), 0u);
 }
 
+TEST(Explore, TransitionLemmasCoverEveryGeneratedEdge) {
+  // Transition lemmas are edge properties: an edge into an already-visited
+  // state must still be checked (its parent may carry a different class).
+  // On a clean run every generated non-root state is an edge, so the edge
+  // count is exact -- and strictly larger than explored-1 per seed, proving
+  // edges into pruned duplicates were not skipped.
+  auto spec = wfg_spec(check::lattice_multisets(3, 3, 3));
+  const check::check_result r = check::explore(spec);
+  EXPECT_FALSE(r.state_cap_hit);
+  EXPECT_EQ(r.transitions_checked, r.states_generated - r.seeds);
+  EXPECT_GT(r.duplicates_pruned, 0u);
+  EXPECT_GT(r.transitions_checked, r.states_explored - r.seeds);
+
+  // The same holds with canonical pruning off: exact-key dedup also prunes
+  // revisited states, and their incoming edges must still be checked.
+  auto raw = wfg_spec(check::lattice_multisets(3, 3, 2));
+  raw.options.canonical_dedup = false;
+  const check::check_result rr = check::explore(raw);
+  EXPECT_FALSE(rr.state_cap_hit);
+  EXPECT_EQ(rr.transitions_checked, rr.states_generated - rr.seeds);
+}
+
 TEST(Explore, DeterministicAcrossRuns) {
   auto spec = wfg_spec(check::lattice_multisets(3, 3, 3));
   const check::check_result a = check::explore(spec);
@@ -175,6 +197,66 @@ TEST(Explore, BrokenBaselineYieldsReplayableCounterexample) {
         << "diverged at round " << round;
   }
   EXPECT_EQ(res.final_positions, deep->path.back());
+}
+
+TEST(Explore, ClusterSnappedSeedReplaysBitIdentically) {
+  // Two robots within the configuration tolerance but not bitwise equal:
+  // the engine physically merges them at round start (positions_ snapped in
+  // place), moving both coordinates to the cluster centroid.  The explorer
+  // must do the same, or its move origins -- and every state downstream --
+  // diverge from what the recorded schedule replays to.
+  static const baselines::center_of_gravity cog;
+  check::check_spec spec;
+  spec.seeds = {{{0.0, 0.0}, {1e-11, 0.0}, {2.0, 0.0}, {1.0, 2.0}}};
+  spec.algorithm = &cog;
+  spec.options.max_rounds = 3;
+  spec.options.max_counterexamples = 16;
+  const check::check_result r = check::explore(spec);
+  ASSERT_FALSE(r.counterexamples.empty());
+
+  const check::counterexample* deep = nullptr;
+  for (const auto& ce : r.counterexamples) {
+    if (!ce.trace.steps.empty()) {
+      deep = &ce;
+      break;
+    }
+  }
+  ASSERT_NE(deep, nullptr) << "no counterexample beyond depth 0";
+  // The engineered condition really fired: snapping moved the seed
+  // coordinates (the near-coincident pair collapsed to its centroid), so
+  // the recorded path starts off the raw seed vector.
+  ASSERT_NE(deep->path.front(), spec.seeds.front());
+
+  const sim::sim_result res = sim::replay_schedule(deep->trace, cog);
+  ASSERT_EQ(res.rounds, deep->trace.steps.size());
+  ASSERT_EQ(res.trace.size(), deep->trace.steps.size());
+  for (std::size_t round = 0; round < res.trace.size(); ++round) {
+    EXPECT_EQ(res.trace[round].positions, deep->path[round])
+        << "diverged at round " << round;
+  }
+  EXPECT_EQ(res.final_positions, deep->path.back());
+}
+
+TEST(Explore, CoverageInvariantHoldsAtCounterexampleCap) {
+  // Hitting --max-counterexamples stops the search mid-state; the lemma
+  // tallies for the state (and edge) that tripped the cap must still be
+  // complete, or the applicable + n/a == states_explored golden gate breaks.
+  static const baselines::center_of_gravity cog;
+  check::check_spec spec;
+  spec.seeds = check::lattice_multisets(3, 3, 3);
+  spec.algorithm = &cog;
+  spec.options.max_rounds = 3;
+  spec.options.max_counterexamples = 1;
+  const check::check_result r = check::explore(spec);
+  ASSERT_EQ(r.counterexamples.size(), 1u);
+  for (const auto& cov : r.state_coverage) {
+    EXPECT_EQ(cov.applicable + cov.not_applicable, r.states_explored)
+        << cov.id;
+  }
+  for (const auto& cov : r.transition_coverage) {
+    EXPECT_EQ(cov.applicable + cov.not_applicable, r.transitions_checked)
+        << cov.id;
+  }
 }
 
 TEST(Explore, RejectsInvalidSpecs) {

@@ -59,7 +59,8 @@ void usage() {
       "  --crashes B          total crash budget (default 1)\n"
       "  --crashes-per-round C  per-round crash cap (default 1)\n"
       "  --levels L           movement truncation grid size (default 2)\n"
-      "  --delta-fraction D   engine delta as fraction of seed diameter (default 0.25)\n"
+      "  --delta-fraction D   engine delta as fraction of seed diameter,\n"
+      "                       in (0, 1] (default 0.25)\n"
       "  --algorithm A        wfg | weak | cog | sfg | median (default wfg)\n"
       "  --no-dedup           disable symmetry-canonical pruning (exact keys only)\n"
       "  --max-states N       generated-state safety cap\n"
@@ -93,6 +94,17 @@ std::size_t parse_size(const std::string& s, const char* what) {
     std::fprintf(stderr, "bad %s: %s\n", what, s.c_str());
     std::exit(2);
   }
+}
+
+double parse_fraction(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || !(v > 0.0) || v > 1.0) {
+    std::fprintf(stderr, "bad %s: %s (want a number in (0, 1])\n", what,
+                 s.c_str());
+    std::exit(2);
+  }
+  return v;
 }
 
 options parse(int argc, char** argv) {
@@ -142,7 +154,8 @@ options parse(int argc, char** argv) {
       o.check.truncation_levels = static_cast<std::uint32_t>(
           parse_size(need(i, "--levels"), "truncation levels"));
     } else if (a == "--delta-fraction") {
-      o.check.delta_fraction = std::atof(need(i, "--delta-fraction").c_str());
+      o.check.delta_fraction =
+          parse_fraction(need(i, "--delta-fraction"), "delta fraction");
     } else if (a == "--algorithm") {
       o.algorithm = need(i, "--algorithm");
     } else if (a == "--no-dedup") {
