@@ -52,8 +52,32 @@ if(Python3_Interpreter_FOUND)
     WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
     COMMENT "gather lint gate (ctest -L lint)"
     VERBATIM)
+
+  # `ctest -L service` is the campaign-service gate (docs/RUNNER.md): the
+  # gather_campaignd protocol smoke, the sharded/killed/resumed/merged
+  # byte-determinism demo, and checkpoint corruption rejection.
+  set(_service_dir ${CMAKE_SOURCE_DIR}/tools/service)
+  add_test(NAME service_daemon_smoke
+    COMMAND ${Python3_EXECUTABLE} ${_service_dir}/daemon_smoke.py
+            $<TARGET_FILE:gather_campaignd>)
+  add_test(NAME service_resume_determinism
+    COMMAND ${Python3_EXECUTABLE} ${_service_dir}/resume_determinism.py
+            $<TARGET_FILE:gather_campaign> $<TARGET_FILE:gather_campaignd>)
+  add_test(NAME service_checkpoint_reject
+    COMMAND ${Python3_EXECUTABLE} ${_service_dir}/checkpoint_reject.py
+            $<TARGET_FILE:gather_campaign>)
+  set_tests_properties(service_daemon_smoke service_resume_determinism
+                       service_checkpoint_reject
+    PROPERTIES LABELS "service" TIMEOUT 600)
+
+  # `cmake --build build --target service` == `ctest -L service`.
+  add_custom_target(service
+    COMMAND ${CMAKE_CTEST_COMMAND} -L service --output-on-failure
+    WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
+    COMMENT "campaign service gate (ctest -L service)"
+    VERBATIM)
 else()
-  message(STATUS "Python3 not found: lint gate not registered")
+  message(STATUS "Python3 not found: lint and service gates not registered")
 endif()
 
 # UBSan + invariant-contract smoke.  A child build, so the main tree's

@@ -26,8 +26,7 @@ configuration::configuration(const configuration& other)
       linear_(other.linear_),
       policy_(other.policy_),
       refresh_floor_(other.refresh_floor_),
-      generation_(other.generation_),
-      dirty_(other.dirty_) {}
+      generation_(other.generation_) {}
 
 configuration& configuration::operator=(const configuration& other) {
   if (this == &other) return *this;
@@ -41,7 +40,6 @@ configuration& configuration::operator=(const configuration& other) {
   policy_ = other.policy_;
   refresh_floor_ = other.refresh_floor_;
   generation_ = other.generation_;
-  dirty_ = other.dirty_;
   if (derived_) derived_->clear();  // cold cache; recomputed on demand
   return *this;
 }
@@ -135,13 +133,7 @@ void configuration::invalidate() {
   if (derived_) derived_->clear();
 }
 
-void configuration::flush_dirty() {
-  dirty_ = false;
-  refresh();
-}
-
 int configuration::multiplicity(vec2 p) const {
-  ensure_fresh();
   for (const occupied_point& o : occupied_) {
     if (tol_.same_point(o.position, p)) return o.multiplicity;
   }
@@ -149,7 +141,6 @@ int configuration::multiplicity(vec2 p) const {
 }
 
 std::optional<std::size_t> configuration::find_occupied(vec2 p) const {
-  ensure_fresh();
   const auto it = std::lower_bound(
       occupied_.begin(), occupied_.end(), p,
       [](const occupied_point& o, vec2 q) { return o.position < q; });
@@ -160,7 +151,6 @@ std::optional<std::size_t> configuration::find_occupied(vec2 p) const {
 }
 
 vec2 configuration::snapped(vec2 p) const {
-  ensure_fresh();
   for (const occupied_point& o : occupied_) {
     if (tol_.same_point(o.position, p)) return o.position;
   }
@@ -168,7 +158,6 @@ vec2 configuration::snapped(vec2 p) const {
 }
 
 double configuration::sum_distances(vec2 p) const {
-  ensure_fresh();
   double s = 0.0;
   for (const occupied_point& o : occupied_) {
     s += o.multiplicity * geom::distance(p, o.position);
@@ -177,7 +166,6 @@ double configuration::sum_distances(vec2 p) const {
 }
 
 void configuration::set_position(std::size_t i, vec2 p) {
-  ensure_fresh();
   if (i >= input_.size()) {
     throw std::out_of_range("configuration::set_position: index out of range");
   }
@@ -187,7 +175,6 @@ void configuration::set_position(std::size_t i, vec2 p) {
 }
 
 void configuration::apply_moves(const std::vector<vec2>& raw) {
-  ensure_fresh();
   // Bitwise-identical input: the canonical state (a deterministic function
   // of the input and the policy) is provably unchanged -- keep the cache.
   if (raw.size() == input_.size() &&
@@ -203,14 +190,12 @@ void configuration::apply_moves(const std::vector<vec2>& raw) {
 }
 
 void configuration::insert_robot(vec2 p) {
-  ensure_fresh();
   input_.push_back(p);
   refresh();
   invalidate();
 }
 
 void configuration::remove_robot(std::size_t i) {
-  ensure_fresh();
   if (i >= input_.size()) {
     throw std::out_of_range("configuration::remove_robot: index out of range");
   }
@@ -219,16 +204,7 @@ void configuration::remove_robot(std::size_t i) {
   invalidate();
 }
 
-std::vector<vec2>& configuration::points_mut() {
-  // Pessimistic: assume the caller writes through the reference.  The
-  // canonical state is refreshed lazily on the next const access.
-  invalidate();
-  dirty_ = true;
-  return input_;
-}
-
 void configuration::set_tol_refresh(double abs_floor) {
-  ensure_fresh();
   policy_ = tol_policy::refreshed;
   refresh_floor_ = abs_floor;
   refresh();
@@ -236,7 +212,6 @@ void configuration::set_tol_refresh(double abs_floor) {
 }
 
 derived_geometry& configuration::derived() const {
-  ensure_fresh();
   if (!derived_) derived_ = std::make_unique<derived_geometry>();
   return *derived_;
 }

@@ -67,33 +67,20 @@ class configuration {
   configuration& operator=(configuration&& other) noexcept;
 
   /// Number of robots, the paper's n.
-  [[nodiscard]] std::size_t size() const {
-    ensure_fresh();
-    return robots_.size();
-  }
-  [[nodiscard]] bool empty() const {
-    ensure_fresh();
-    return robots_.empty();
-  }
+  [[nodiscard]] std::size_t size() const { return robots_.size(); }
+  [[nodiscard]] bool empty() const { return robots_.empty(); }
 
   /// All robot positions after snapping, in input order.
-  [[nodiscard]] const std::vector<vec2>& robots() const {
-    ensure_fresh();
-    return robots_;
-  }
+  [[nodiscard]] const std::vector<vec2>& robots() const { return robots_; }
 
   /// U(C): the distinct occupied locations with multiplicities, sorted
   /// lexicographically for determinism.
   [[nodiscard]] const std::vector<occupied_point>& occupied() const {
-    ensure_fresh();
     return occupied_;
   }
 
   /// Number of distinct occupied locations, |U(C)|.
-  [[nodiscard]] std::size_t distinct_count() const {
-    ensure_fresh();
-    return occupied_.size();
-  }
+  [[nodiscard]] std::size_t distinct_count() const { return occupied_.size(); }
 
   /// mult(p): number of robots at `p` (0 when `p` is unoccupied).
   [[nodiscard]] int multiplicity(vec2 p) const;
@@ -110,39 +97,24 @@ class configuration {
   [[nodiscard]] vec2 snapped(vec2 p) const;
 
   /// The shared tolerance context (length scale = configuration diameter).
-  [[nodiscard]] const geom::tol& tolerance() const {
-    ensure_fresh();
-    return tol_;
-  }
+  [[nodiscard]] const geom::tol& tolerance() const { return tol_; }
 
   /// True when all robots lie on one line (within tolerance); configurations
   /// with fewer than three distinct points are linear.
-  [[nodiscard]] bool is_linear() const {
-    ensure_fresh();
-    return linear_;
-  }
+  [[nodiscard]] bool is_linear() const { return linear_; }
 
   /// sec(C): smallest enclosing circle of U(C).
-  [[nodiscard]] const geom::circle& sec() const {
-    ensure_fresh();
-    return sec_;
-  }
+  [[nodiscard]] const geom::circle& sec() const { return sec_; }
 
   /// Largest pairwise distance between occupied locations.
-  [[nodiscard]] double diameter() const {
-    ensure_fresh();
-    return diameter_;
-  }
+  [[nodiscard]] double diameter() const { return diameter_; }
 
   /// Sum of distances from `p` to every robot (counting multiplicity) --
   /// the objective the Weber point minimizes.
   [[nodiscard]] double sum_distances(vec2 p) const;
 
   /// True when all robots occupy a single point.
-  [[nodiscard]] bool is_gathered() const {
-    ensure_fresh();
-    return occupied_.size() <= 1;
-  }
+  [[nodiscard]] bool is_gathered() const { return occupied_.size() <= 1; }
 
   // -- mutation API ----------------------------------------------------------
   // Every call below recanonicalizes, bumps the generation and invalidates
@@ -163,14 +135,6 @@ class configuration {
 
   /// Remove robot `i` (input-order index).
   void remove_robot(std::size_t i);
-
-  /// Deprecated (one-PR shim, see docs/API.md "Deprecations and removals"):
-  /// direct mutable access to the raw point storage.  The generation is
-  /// bumped pessimistically up front and the canonical state is refreshed
-  /// lazily on the next const access, so out-of-band writes through the
-  /// returned reference cannot be observed stale.  Migrate to the mutation
-  /// API above; this accessor is removed next PR.
-  [[nodiscard]] std::vector<vec2>& points_mut();
 
   /// Switch the tolerance policy to per-mutation refresh: after every
   /// mutation the tolerance is recomputed from the new raw points
@@ -199,10 +163,6 @@ class configuration {
   void canonicalize();
   void refresh();     // recompute tolerance (per policy) + canonicalize
   void invalidate();  // bump generation, clear derived slots
-  void ensure_fresh() const {
-    if (dirty_) const_cast<configuration*>(this)->flush_dirty();
-  }
-  void flush_dirty();
 
   struct cluster {
     vec2 sum{};
@@ -222,7 +182,6 @@ class configuration {
   tol_policy policy_ = tol_policy::spread_scaled;
   double refresh_floor_ = 0.0;  // tol_policy::refreshed only
   std::uint64_t generation_ = 0;
-  bool dirty_ = false;  // points_mut() handed out; canonical state stale
   mutable std::unique_ptr<derived_geometry> derived_;
   // Canonicalization scratch (capacity reused across mutations).
   std::vector<cluster> scratch_clusters_;

@@ -1,0 +1,138 @@
+// Byte-stable binary encoding primitives (header-only).
+//
+// The campaign service persists checkpoints, columnar result tables and
+// metrics registries as byte streams; the determinism contract (docs/RUNNER.md)
+// requires those streams to be byte-identical across shard layouts, thread
+// counts and resume boundaries.  These writers therefore fix every encoding
+// decision explicitly:
+//
+//   * all integers are little-endian, written byte by byte (no host-order
+//     memcpy, so the bytes do not depend on the build machine);
+//   * doubles are the IEEE-754 bit pattern via std::bit_cast, carried as a
+//     u64 -- exact round-trip, including -0.0 and NaN payloads;
+//   * strings are a u64 length followed by raw bytes;
+//   * streams end with an FNV-1a checksum over everything before it.
+//
+// `byte_reader` throws std::runtime_error on any overrun, so truncated or
+// corrupted input is always a loud failure, never garbage values.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gather::obs {
+
+/// FNV-1a over a byte range: the integrity checksum for the binary sinks.
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Appends little-endian scalars and length-prefixed strings to an owned
+/// buffer.  `finish()` appends the checksum and releases the bytes.
+class byte_writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(std::string_view s) {
+    u64(s.size());
+    out_.append(s);
+  }
+
+  /// Appends fnv1a(everything written so far) and returns the buffer.  The
+  /// writer is left empty and reusable.
+  [[nodiscard]] std::string finish() {
+    u64(fnv1a(out_));
+    return std::move(out_);
+  }
+
+  [[nodiscard]] const std::string& bytes() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Reads back what byte_writer wrote.  Every accessor throws
+/// std::runtime_error on overrun; `verify_checksum()` checks the trailing
+/// FNV-1a before any field is consumed.
+class byte_reader {
+ public:
+  explicit byte_reader(std::string_view bytes) : bytes_(bytes) {}
+
+  /// Splits off the trailing u64 checksum and validates it against the body.
+  /// Call once, before reading fields.  Throws std::runtime_error on a short
+  /// buffer or checksum mismatch.
+  void verify_checksum() {
+    if (bytes_.size() < 8) throw std::runtime_error("binio: truncated stream");
+    const std::string_view body = bytes_.substr(0, bytes_.size() - 8);
+    byte_reader tail(bytes_.substr(bytes_.size() - 8));
+    if (tail.u64() != fnv1a(body)) {
+      throw std::runtime_error("binio: checksum mismatch");
+    }
+    bytes_ = body;
+  }
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  [[nodiscard]] std::string str() {
+    const std::uint64_t len = u64();
+    need(len);
+    std::string s(bytes_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ == bytes_.size(); }
+
+  /// Throws unless the whole body was consumed -- catches encoder/decoder
+  /// drift that a checksum cannot.
+  void expect_end() const {
+    if (!at_end()) throw std::runtime_error("binio: trailing bytes");
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > bytes_.size() - pos_) {
+      throw std::runtime_error("binio: truncated stream");
+    }
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gather::obs

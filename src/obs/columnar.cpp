@@ -1,0 +1,150 @@
+#include "obs/columnar.h"
+
+#include <stdexcept>
+
+#include "obs/binio.h"
+
+namespace gather::obs {
+
+namespace {
+
+// "GATHCOL1" as a little-endian u64 tag.
+constexpr std::uint64_t kMagic = 0x314c4f4348544147ULL;
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+std::size_t column::size() const {
+  switch (type) {
+    case column_type::u64:
+      return u64s.size();
+    case column_type::f64:
+      return f64s.size();
+    case column_type::str:
+      return strs.size();
+  }
+  return 0;  // unreachable
+}
+
+column& columnar_table::add_column(std::string name, column_type type) {
+  if (find(name) != nullptr) {
+    throw std::invalid_argument("columnar: duplicate column '" + name + "'");
+  }
+  cols_.push_back(column{std::move(name), type, {}, {}, {}});
+  return cols_.back();
+}
+
+const column* columnar_table::find(const std::string& name) const {
+  for (const column& c : cols_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::size_t columnar_table::rows() const {
+  if (cols_.empty()) return 0;
+  const std::size_t n = cols_.front().size();
+  for (const column& c : cols_) {
+    if (c.size() != n) {
+      throw std::runtime_error("columnar: ragged columns in '" + c.name + "'");
+    }
+  }
+  return n;
+}
+
+bool columnar_table::same_schema(const columnar_table& other) const {
+  if (cols_.size() != other.cols_.size()) return false;
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name != other.cols_[i].name ||
+        cols_[i].type != other.cols_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void columnar_table::append(const columnar_table& other) {
+  if (!same_schema(other)) {
+    throw std::invalid_argument("columnar: append with mismatched schema");
+  }
+  (void)rows();        // validate both sides before touching anything
+  (void)other.rows();
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    column& dst = cols_[i];
+    const column& src = other.cols_[i];
+    dst.u64s.insert(dst.u64s.end(), src.u64s.begin(), src.u64s.end());
+    dst.f64s.insert(dst.f64s.end(), src.f64s.begin(), src.f64s.end());
+    dst.strs.insert(dst.strs.end(), src.strs.begin(), src.strs.end());
+  }
+}
+
+std::string columnar_table::encode() const {
+  const std::size_t n = rows();  // validates column lengths
+  byte_writer w;
+  w.u64(kMagic);
+  w.u32(kVersion);
+  w.u64(meta.size());
+  for (const auto& [key, value] : meta) {  // std::map: key order, deterministic
+    w.str(key);
+    w.u64(value);
+  }
+  w.u64(cols_.size());
+  w.u64(n);
+  for (const column& c : cols_) {
+    w.str(c.name);
+    w.u8(static_cast<std::uint8_t>(c.type));
+    switch (c.type) {
+      case column_type::u64:
+        for (const std::uint64_t v : c.u64s) w.u64(v);
+        break;
+      case column_type::f64:
+        for (const double v : c.f64s) w.f64(v);
+        break;
+      case column_type::str:
+        for (const std::string& v : c.strs) w.str(v);
+        break;
+    }
+  }
+  return w.finish();
+}
+
+columnar_table columnar_table::decode(std::string_view bytes) {
+  byte_reader r(bytes);
+  r.verify_checksum();
+  if (r.u64() != kMagic) throw std::runtime_error("columnar: bad magic");
+  if (r.u32() != kVersion) throw std::runtime_error("columnar: bad version");
+  columnar_table t;
+  const std::uint64_t meta_n = r.u64();
+  for (std::uint64_t i = 0; i < meta_n; ++i) {
+    std::string key = r.str();
+    t.meta[std::move(key)] = r.u64();
+  }
+  const std::uint64_t col_n = r.u64();
+  const std::uint64_t row_n = r.u64();
+  for (std::uint64_t i = 0; i < col_n; ++i) {
+    std::string name = r.str();
+    const std::uint8_t raw_type = r.u8();
+    if (raw_type > static_cast<std::uint8_t>(column_type::str)) {
+      throw std::runtime_error("columnar: bad column type");
+    }
+    column& c = t.add_column(std::move(name), static_cast<column_type>(raw_type));
+    switch (c.type) {
+      case column_type::u64:
+        c.u64s.reserve(row_n);
+        for (std::uint64_t j = 0; j < row_n; ++j) c.u64s.push_back(r.u64());
+        break;
+      case column_type::f64:
+        c.f64s.reserve(row_n);
+        for (std::uint64_t j = 0; j < row_n; ++j) c.f64s.push_back(r.f64());
+        break;
+      case column_type::str:
+        c.strs.reserve(row_n);
+        for (std::uint64_t j = 0; j < row_n; ++j) c.strs.push_back(r.str());
+        break;
+    }
+  }
+  r.expect_end();
+  return t;
+}
+
+}  // namespace gather::obs

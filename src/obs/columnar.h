@@ -1,0 +1,81 @@
+// Compact columnar result container with a byte-stable binary codec.
+//
+// The campaign service's primary result sink: per-cell scalar results are
+// stored column-wise (one typed vector per named column) instead of as CSV
+// text.  The binary encoding (obs/binio.h) is fully deterministic -- the
+// same rows produce the same bytes regardless of how the campaign was
+// sharded -- which makes `cmp` a sufficient equality check for the service's
+// determinism contract (docs/RUNNER.md).  CSV becomes an export path
+// (runner/result_columns.h decodes and re-prints rows).
+//
+// Tables carry a small u64 metadata map (the runner records the cell range
+// and the grid fingerprint there) so a merge can refuse mismatched or
+// non-contiguous shards.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gather::obs {
+
+enum class column_type : std::uint8_t { u64 = 0, f64 = 1, str = 2 };
+
+/// One named, typed column.  All columns of a table have equal length.
+struct column {
+  std::string name;
+  column_type type = column_type::u64;
+  std::vector<std::uint64_t> u64s;  // column_type::u64
+  std::vector<double> f64s;         // column_type::f64
+  std::vector<std::string> strs;    // column_type::str
+
+  [[nodiscard]] std::size_t size() const;
+};
+
+class columnar_table {
+ public:
+  /// Declare a column; order of declaration is the schema order and is part
+  /// of the encoded bytes.  Throws std::invalid_argument on duplicate names.
+  /// The returned reference is invalidated by the next add_column call --
+  /// declare the full schema first, then fill via find().
+  column& add_column(std::string name, column_type type);
+
+  [[nodiscard]] const std::vector<column>& columns() const { return cols_; }
+  /// Lookup by name; nullptr when absent.
+  [[nodiscard]] const column* find(const std::string& name) const;
+  [[nodiscard]] column* find(const std::string& name) {
+    return const_cast<column*>(std::as_const(*this).find(name));
+  }
+
+  /// Number of rows (0 for a table with no columns).  Throws
+  /// std::runtime_error if columns have diverged in length.
+  [[nodiscard]] std::size_t rows() const;
+
+  /// Schema equality: same column names and types in the same order.
+  [[nodiscard]] bool same_schema(const columnar_table& other) const;
+
+  /// Append all rows of `other` (schema must match; throws
+  /// std::invalid_argument otherwise).  Metadata is NOT merged -- callers
+  /// own the semantics of their keys (runner/result_columns.h validates
+  /// range contiguity before appending).
+  void append(const columnar_table& other);
+
+  /// u64 metadata, encoded in key order.  The runner stores "begin", "end"
+  /// (cell range) and "fingerprint" (grid identity) here.
+  std::map<std::string, std::uint64_t> meta;
+
+  /// The byte-stable encoding: magic, version, metadata, schema, column
+  /// data, trailing FNV-1a checksum.
+  [[nodiscard]] std::string encode() const;
+
+  /// Inverse of encode().  Throws std::runtime_error on truncation, bad
+  /// magic/version, checksum mismatch or malformed structure.
+  [[nodiscard]] static columnar_table decode(std::string_view bytes);
+
+ private:
+  std::vector<column> cols_;
+};
+
+}  // namespace gather::obs

@@ -69,6 +69,24 @@ void histogram::merge(const histogram& other) {
   sum_ += other.sum_;
 }
 
+histogram histogram::from_parts(std::vector<double> upper_bounds,
+                                std::vector<std::uint64_t> bucket_counts,
+                                std::uint64_t count, double sum) {
+  histogram h(std::move(upper_bounds));  // validates the bounds
+  if (bucket_counts.size() != h.counts_.size()) {
+    throw std::invalid_argument("histogram bucket count mismatch");
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts) total += c;
+  if (total != count) {
+    throw std::invalid_argument("histogram count does not match buckets");
+  }
+  h.counts_ = std::move(bucket_counts);
+  h.count_ = count;
+  h.sum_ = sum;
+  return h;
+}
+
 std::vector<double> pow2_bounds(int n) {
   std::vector<double> bounds;
   bounds.reserve(static_cast<std::size_t>(n));

@@ -54,6 +54,13 @@ class histogram {
   /// bounds (merging into a default-constructed histogram adopts `other`).
   void merge(const histogram& other);
 
+  /// Rebuild a histogram from previously serialized state (obs/serialize.h).
+  /// `bucket_counts` must have bounds.size() + 1 entries and `count` must
+  /// equal their sum; throws std::invalid_argument otherwise.
+  [[nodiscard]] static histogram from_parts(std::vector<double> upper_bounds,
+                                            std::vector<std::uint64_t> bucket_counts,
+                                            std::uint64_t count, double sum);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)

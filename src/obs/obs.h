@@ -1,8 +1,11 @@
 // Umbrella header for the observability layer (metrics, events, profiling).
 #pragma once
 
+#include "obs/binio.h"
+#include "obs/columnar.h"
 #include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics_registry.h"
 #include "obs/profile.h"
 #include "obs/profile_report.h"
+#include "obs/serialize.h"

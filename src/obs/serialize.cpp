@@ -1,0 +1,82 @@
+#include "obs/serialize.h"
+
+#include <stdexcept>
+
+#include "obs/binio.h"
+
+namespace gather::obs {
+
+namespace {
+
+// "GATHMRG1" as a little-endian u64 tag.
+constexpr std::uint64_t kMagic = 0x3147524d48544147ULL;
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+std::string encode_metrics(const metrics_registry& m) {
+  byte_writer w;
+  w.u64(kMagic);
+  w.u32(kVersion);
+  w.u64(m.counters().size());
+  for (const auto& [name, value] : m.counters()) {
+    w.str(name);
+    w.u64(value);
+  }
+  w.u64(m.gauges().size());
+  for (const auto& [name, value] : m.gauges()) {
+    w.str(name);
+    w.f64(value);
+  }
+  w.u64(m.histograms().size());
+  for (const auto& [name, h] : m.histograms()) {
+    w.str(name);
+    w.u64(h.bounds().size());
+    for (const double b : h.bounds()) w.f64(b);
+    for (const std::uint64_t c : h.bucket_counts()) w.u64(c);
+    w.u64(h.count());
+    w.f64(h.sum());
+  }
+  return w.finish();
+}
+
+metrics_registry decode_metrics(std::string_view bytes) {
+  byte_reader r(bytes);
+  r.verify_checksum();
+  if (r.u64() != kMagic) throw std::runtime_error("metrics: bad magic");
+  if (r.u32() != kVersion) throw std::runtime_error("metrics: bad version");
+  metrics_registry m;
+  const std::uint64_t counter_n = r.u64();
+  for (std::uint64_t i = 0; i < counter_n; ++i) {
+    const std::string name = r.str();
+    m.counter(name) += r.u64();
+  }
+  const std::uint64_t gauge_n = r.u64();
+  for (std::uint64_t i = 0; i < gauge_n; ++i) {
+    const std::string name = r.str();
+    m.gauge(name) = r.f64();
+  }
+  const std::uint64_t hist_n = r.u64();
+  for (std::uint64_t i = 0; i < hist_n; ++i) {
+    const std::string name = r.str();
+    const std::uint64_t bound_n = r.u64();
+    std::vector<double> bounds;
+    bounds.reserve(bound_n);
+    for (std::uint64_t j = 0; j < bound_n; ++j) bounds.push_back(r.f64());
+    std::vector<std::uint64_t> counts;
+    counts.reserve(bound_n + 1);
+    for (std::uint64_t j = 0; j < bound_n + 1; ++j) counts.push_back(r.u64());
+    const std::uint64_t count = r.u64();
+    const double sum = r.f64();
+    try {
+      m.hist(name, bounds)
+          .merge(histogram::from_parts(bounds, std::move(counts), count, sum));
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error("metrics: " + std::string(e.what()));
+    }
+  }
+  r.expect_end();
+  return m;
+}
+
+}  // namespace gather::obs

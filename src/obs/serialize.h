@@ -1,0 +1,26 @@
+// Binary round-trip for metrics registries (obs/binio.h encoding).
+//
+// A sharded campaign run folds per-cell registries into one registry per
+// shard; the shard's registry must survive a process boundary (checkpoint
+// files, per-shard .mreg sinks) so the merge step can rebuild the exact
+// single-process aggregate.  The encoding is byte-stable: maps iterate in
+// key order and doubles are carried bit-exactly, so the same registry always
+// produces the same bytes.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics_registry.h"
+
+namespace gather::obs {
+
+/// Encode `m` (counters, gauges, histograms, each in name order) with a
+/// trailing FNV-1a checksum.
+[[nodiscard]] std::string encode_metrics(const metrics_registry& m);
+
+/// Inverse of encode_metrics.  Throws std::runtime_error on truncation,
+/// checksum mismatch, bad magic or malformed histogram state.
+[[nodiscard]] metrics_registry decode_metrics(std::string_view bytes);
+
+}  // namespace gather::obs

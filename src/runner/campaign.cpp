@@ -1,5 +1,6 @@
 #include "runner/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -9,7 +10,10 @@
 
 #include "core/wait_free_gather.h"
 #include "obs/profile_report.h"
+#include "obs/serialize.h"
 #include "sim/spec.h"
+#include "runner/campaign_spec.h"
+#include "runner/checkpoint.h"
 #include "runner/params.h"
 #include "runner/thread_pool.h"
 #include "sim/analysis.h"
@@ -104,45 +108,140 @@ run_result execute_cell(const run_spec& spec, const grid& g,
   return out;
 }
 
-std::vector<run_result> run_campaign(const grid& g,
-                                     const campaign_options& options) {
-  const auto specs = expand(g);
-  std::vector<run_result> results(specs.size());
-  if (specs.empty()) return results;
+namespace {
+
+/// One cell's slot in the shard: its result and captured sink payloads.
+/// Workers fill disjoint slots; readers (the checkpoint writer and the final
+/// fold) only touch slots listed as completed under the campaign mutex, so
+/// the mutex is the synchronization point.
+struct cell_slot {
+  run_result result;
+  std::string trace_jsonl;
+  obs::metrics_registry metrics;
+};
+
+}  // namespace
+
+campaign_result run_campaign(const campaign_spec& spec) {
+  const auto specs = expand(spec.grid);
+  const cell_range range = shard_cells(specs.size(), spec.shard);
+  const bool capture_trace = spec.sinks.trace_jsonl != nullptr;
+  const bool capture_metrics = spec.sinks.metrics != nullptr;
+  const std::uint64_t fingerprint =
+      campaign_fingerprint(spec.grid, range, capture_trace, capture_metrics);
+
+  std::vector<cell_slot> slots(range.size());
+  // Slot offsets (cell index - range.begin) of completed cells, in no
+  // particular order; sorted when a checkpoint or the final fold needs them.
+  std::vector<std::size_t> completed_slots;
+  std::mutex completed_mutex;
+
+  std::size_t restored = 0;
+  if (!spec.checkpoint.path.empty() && spec.checkpoint.resume) {
+    checkpoint_state saved;
+    if (read_checkpoint_file(spec.checkpoint.path, saved)) {
+      if (saved.fingerprint != fingerprint) {
+        throw std::runtime_error(
+            "checkpoint: fingerprint mismatch (different grid, shard range "
+            "or sink configuration)");
+      }
+      for (checkpoint_cell& c : saved.cells) {
+        const std::size_t offset = c.result.spec.index - range.begin;
+        cell_slot& slot = slots[offset];
+        slot.result = std::move(c.result);
+        slot.trace_jsonl = std::move(c.trace_jsonl);
+        if (capture_metrics && !c.metrics_bytes.empty()) {
+          slot.metrics = obs::decode_metrics(c.metrics_bytes);
+        }
+        completed_slots.push_back(offset);
+        ++restored;
+      }
+    }
+  }
+
+  // Work list: the shard's not-yet-completed cells in index order.  The
+  // max_cells budget slices this list up front, so exactly which cells a
+  // budgeted invocation completes is deterministic -- independent of worker
+  // scheduling -- which is what the resume tests rely on.
+  std::vector<std::size_t> pending;
+  pending.reserve(range.size() - restored);
+  {
+    std::vector<bool> done(range.size(), false);
+    for (const std::size_t offset : completed_slots) done[offset] = true;
+    for (std::size_t i = 0; i < range.size(); ++i) {
+      if (!done[i]) pending.push_back(i);
+    }
+  }
+  const std::size_t budget =
+      spec.exec.max_cells == 0
+          ? pending.size()
+          : std::min(spec.exec.max_cells, pending.size());
+
+  const auto write_checkpoint = [&](const std::vector<std::size_t>& offsets) {
+    checkpoint_state state;
+    state.fingerprint = fingerprint;
+    state.range = range;
+    state.has_trace = capture_trace;
+    state.has_metrics = capture_metrics;
+    std::vector<std::size_t> ordered = offsets;
+    std::sort(ordered.begin(), ordered.end());
+    state.cells.reserve(ordered.size());
+    for (const std::size_t offset : ordered) {
+      const cell_slot& slot = slots[offset];
+      checkpoint_cell c;
+      c.result = slot.result;
+      if (capture_trace) c.trace_jsonl = slot.trace_jsonl;
+      if (capture_metrics) c.metrics_bytes = obs::encode_metrics(slot.metrics);
+      state.cells.push_back(std::move(c));
+    }
+    write_checkpoint_file(spec.checkpoint.path, state);
+  };
 
   const std::size_t stride =
-      options.progress_stride == 0 ? 1 : options.progress_stride;
-  std::atomic<std::size_t> completed{0};
+      spec.exec.progress_stride == 0 ? 1 : spec.exec.progress_stride;
+  const std::size_t checkpoint_stride =
+      spec.checkpoint.stride == 0 ? 1 : spec.checkpoint.stride;
+  std::atomic<std::size_t> executed{0};
   std::atomic<std::size_t> failures{0};
+  std::atomic<bool> stop{false};
   std::mutex progress_mutex;
   const auto start = std::chrono::steady_clock::now();
 
-  // Per-cell observability buffers, written independently by the workers and
-  // folded in cell-index order below -- the trace bytes and the merged
-  // registry are therefore the same for every jobs value.
-  const bool capture_trace = options.trace_jsonl != nullptr;
-  const bool capture_metrics = options.metrics != nullptr;
-  std::vector<std::string> cell_traces(capture_trace ? specs.size() : 0);
-  std::vector<obs::metrics_registry> cell_metrics(
-      capture_metrics ? specs.size() : 0);
-
-  thread_pool pool(options.jobs);
-  pool.parallel_for(specs.size(), [&](std::size_t i) {
-    cell_observer watch;
-    obs::jsonl_string_sink sink(capture_trace ? &cell_traces[i] : nullptr);
-    if (capture_trace) watch.sink = &sink;
-    if (capture_metrics) watch.metrics = &cell_metrics[i];
-    obs::prof_registry prof;
-    if (options.profile && capture_metrics) watch.profile = &prof;
-    results[i] = execute_cell(specs[i], g, watch);
-    if (watch.profile != nullptr) {
-      obs::export_profile(prof, cell_metrics[i]);
+  thread_pool pool(spec.exec.jobs);
+  pool.parallel_for(budget, [&](std::size_t k) {
+    if (stop.load(std::memory_order_relaxed)) return;
+    if (spec.exec.cancelled && spec.exec.cancelled()) {
+      stop.store(true, std::memory_order_relaxed);
+      return;
     }
-    if (results[i].status != sim::sim_status::gathered) {
+    const std::size_t offset = pending[k];
+    const run_spec& cell = specs[range.begin + offset];
+    cell_slot& slot = slots[offset];
+
+    cell_observer watch;
+    obs::jsonl_string_sink sink(capture_trace ? &slot.trace_jsonl : nullptr);
+    if (capture_trace) watch.sink = &sink;
+    if (capture_metrics) watch.metrics = &slot.metrics;
+    obs::prof_registry prof;
+    if (spec.sinks.profile && capture_metrics) watch.profile = &prof;
+    slot.result = execute_cell(cell, spec.grid, watch);
+    if (watch.profile != nullptr) {
+      obs::export_profile(prof, slot.metrics);
+    }
+    if (slot.result.status != sim::sim_status::gathered) {
       failures.fetch_add(1, std::memory_order_relaxed);
     }
-    const std::size_t done = completed.fetch_add(1) + 1;
-    if (options.on_progress && (done % stride == 0 || done == specs.size())) {
+
+    const std::size_t done = executed.fetch_add(1) + 1;
+    {
+      std::lock_guard<std::mutex> lock(completed_mutex);
+      completed_slots.push_back(offset);
+      if (!spec.checkpoint.path.empty() &&
+          (done % checkpoint_stride == 0 || done == budget)) {
+        write_checkpoint(completed_slots);
+      }
+    }
+    if (spec.exec.on_progress && (done % stride == 0 || done == budget)) {
       std::lock_guard<std::mutex> lock(progress_mutex);
       const double secs =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -150,27 +249,49 @@ std::vector<run_result> run_campaign(const grid& g,
               .count();
       progress p;
       p.completed = done;
-      p.total = specs.size();
+      p.total = budget;
       p.failures = failures.load(std::memory_order_relaxed);
       p.runs_per_sec = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
       p.eta_seconds = p.runs_per_sec > 0.0
-                          ? static_cast<double>(specs.size() - done) /
-                                p.runs_per_sec
+                          ? static_cast<double>(budget - done) / p.runs_per_sec
                           : 0.0;
-      options.on_progress(p);
+      spec.exec.on_progress(p);
     }
   });
 
+  // A cancelled run may stop before any checkpoint-stride boundary; persist
+  // whatever completed so the next invocation resumes from it.
+  if (!spec.checkpoint.path.empty() && !completed_slots.empty()) {
+    write_checkpoint(completed_slots);
+  }
+
+  campaign_result out;
+  out.range = range;
+  out.executed = executed.load();
+  out.restored = restored;
+  std::sort(completed_slots.begin(), completed_slots.end());
+  out.rows.reserve(completed_slots.size());
+  for (const std::size_t offset : completed_slots) {
+    out.rows.push_back(slots[offset].result);
+  }
+  // Sinks fold in cell-index order over completed cells only; for a complete
+  // shard this reproduces the single-process bytes exactly.
   if (capture_trace) {
     std::size_t total = 0;
-    for (const auto& t : cell_traces) total += t.size();
-    options.trace_jsonl->reserve(options.trace_jsonl->size() + total);
-    for (const auto& t : cell_traces) *options.trace_jsonl += t;
+    for (const std::size_t offset : completed_slots) {
+      total += slots[offset].trace_jsonl.size();
+    }
+    spec.sinks.trace_jsonl->reserve(spec.sinks.trace_jsonl->size() + total);
+    for (const std::size_t offset : completed_slots) {
+      *spec.sinks.trace_jsonl += slots[offset].trace_jsonl;
+    }
   }
   if (capture_metrics) {
-    for (const auto& m : cell_metrics) options.metrics->merge(m);
+    for (const std::size_t offset : completed_slots) {
+      spec.sinks.metrics->merge(slots[offset].metrics);
+    }
   }
-  return results;
+  return out;
 }
 
 std::string csv_header() {

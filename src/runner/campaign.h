@@ -11,16 +11,17 @@
 //   * execute_cell() is a pure function of (spec, grid): it builds its own
 //     workload, scheduler, movement adversary and crash policy from the
 //     spec's seed.
-//   * run_campaign() writes results by index, so the result vector -- and
-//     any CSV rendered from it -- is byte-identical for every jobs value,
-//     including jobs == 1 (strictly serial execution).  The same holds for
-//     the optional JSONL event trace (per-cell buffers concatenated in
-//     index order) and the merged metrics registry (per-cell registries
-//     folded in index order).
+//   * run_campaign() (runner/campaign_spec.h) writes results by index, so
+//     the result rows -- and any CSV rendered from them -- are
+//     byte-identical for every jobs value, including jobs == 1 (strictly
+//     serial execution).  The same holds for the optional JSONL event trace
+//     (per-cell buffers concatenated in index order) and the merged metrics
+//     registry (per-cell registries folded in index order), and extends
+//     across shard and resume boundaries (runner/shard_plan.h,
+//     runner/checkpoint.h).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -105,40 +106,10 @@ struct cell_observer {
 };
 
 /// Execute one cell: pure function of (spec, grid); `watch` only observes.
+/// Campaign-level execution lives in runner/campaign_spec.h
+/// (`run_campaign(const campaign_spec&)`).
 [[nodiscard]] run_result execute_cell(const run_spec& spec, const grid& g,
                                       const cell_observer& watch = {});
-
-/// Progress snapshot handed to the observer callback.
-struct progress {
-  std::size_t completed = 0;
-  std::size_t total = 0;
-  std::size_t failures = 0;  ///< runs that did not reach `gathered`
-  double runs_per_sec = 0.0;
-  double eta_seconds = 0.0;
-};
-
-struct campaign_options {
-  std::size_t jobs = 0;  ///< 0 = one per hardware thread; 1 = serial
-  /// Invoked (serialized, from worker threads) every `progress_stride`
-  /// completions and at the end.  Keep it cheap.
-  std::function<void(const progress&)> on_progress;
-  std::size_t progress_stride = 64;
-  /// When set, receives one JSONL line per simulation event, all cells
-  /// concatenated in cell-index order -- byte-identical for every jobs
-  /// value.  Costs one in-memory buffer per cell while the campaign runs.
-  std::string* trace_jsonl = nullptr;
-  /// When set, receives every cell's metrics registry, merged in cell-index
-  /// order after all cells complete.
-  obs::metrics_registry* metrics = nullptr;
-  /// Enable GATHER_PROF hot-path timing per cell; the timings land in
-  /// `metrics` as prof.* counters/histograms (no-op when `metrics` is null).
-  bool profile = false;
-};
-
-/// Expand and execute the whole grid.  Results are in expansion order
-/// regardless of jobs.
-[[nodiscard]] std::vector<run_result> run_campaign(
-    const grid& g, const campaign_options& options = {});
 
 /// The CSV header / row format emitted by gather_campaign (kept in the
 /// library so tests can pin the byte format).

@@ -1,0 +1,106 @@
+// campaign_spec: the full description of one campaign (or one shard of one).
+//
+// This replaces the former flat `campaign_options` bag (docs/API.md,
+// "Deprecations and removals"): what to run (grid + shard), how to run it
+// (execution_options), how to survive interruption (checkpoint_options) and
+// what to capture (sink_options) are separate structs, so call sites name
+// only the knobs they set and the service layer can forward each group
+// independently.
+//
+// Determinism contract (docs/RUNNER.md): for a fixed grid, the completed
+// rows of a shard -- and every artifact derived from them (CSV, JSONL trace,
+// merged metrics, columnar bytes) -- depend only on the shard's cell range,
+// never on jobs, interruption points, resume boundaries or which process
+// executed it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "runner/campaign.h"
+#include "runner/shard_plan.h"
+
+namespace gather::runner {
+
+/// Progress snapshot handed to the observer callback.
+struct progress {
+  std::size_t completed = 0;  ///< cells finished this invocation
+  std::size_t total = 0;      ///< cells this invocation set out to run
+  std::size_t failures = 0;   ///< runs that did not reach `gathered`
+  double runs_per_sec = 0.0;
+  double eta_seconds = 0.0;
+};
+
+/// How to execute: parallelism, progress reporting, and the two ways a run
+/// can stop early (a cell budget and a cancellation poll).
+struct execution_options {
+  std::size_t jobs = 0;  ///< 0 = one per hardware thread; 1 = serial
+  /// Invoked (serialized, from worker threads) every `progress_stride`
+  /// completions and at the end.  Keep it cheap.
+  std::function<void(const progress&)> on_progress;
+  std::size_t progress_stride = 64;
+  /// Stop after this many cells have been *executed* in this invocation
+  /// (restored checkpoint cells do not count); 0 = no budget.  The service
+  /// tests use this as a deterministic mid-shard kill switch.
+  std::size_t max_cells = 0;
+  /// Polled between cells; returning true stops the run early (already
+  /// running cells complete).  The daemon wires its cancel command here.
+  std::function<bool()> cancelled;
+};
+
+/// Crash-resilient progress persistence.  With a path set, completed cells
+/// are appended to a checkpoint file every `stride` completions (and at the
+/// end), and -- unless `resume` is off -- an existing checkpoint for the
+/// same grid and range is restored instead of re-executing its cells.
+struct checkpoint_options {
+  std::string path;          ///< empty = no checkpointing
+  std::size_t stride = 64;   ///< completions between checkpoint writes
+  bool resume = true;        ///< restore a matching existing checkpoint
+};
+
+/// What to capture beyond the result rows.
+struct sink_options {
+  /// When set, receives one JSONL line per simulation event, all cells
+  /// concatenated in cell-index order -- byte-identical for every jobs
+  /// value.  Costs one in-memory buffer per cell while the campaign runs.
+  std::string* trace_jsonl = nullptr;
+  /// When set, receives every cell's metrics registry, merged in cell-index
+  /// order after all cells complete.
+  obs::metrics_registry* metrics = nullptr;
+  /// Enable GATHER_PROF hot-path timing per cell; the timings land in
+  /// `metrics` as prof.* counters/histograms (no-op when `metrics` is null).
+  bool profile = false;
+};
+
+struct campaign_spec {
+  runner::grid grid;
+  shard_ref shard;  ///< which contiguous slice of the expansion to run
+  execution_options exec;
+  checkpoint_options checkpoint;
+  sink_options sinks;
+};
+
+/// Outcome of one run_campaign invocation over a shard.
+struct campaign_result {
+  cell_range range;  ///< the cells this shard owns
+  /// Completed rows in ascending cell-index order.  A full run has
+  /// range.size() rows; an interrupted one (max_cells / cancellation) holds
+  /// whichever cells finished before the stop -- not necessarily a prefix,
+  /// which is why resume re-runs exactly the missing indices.
+  std::vector<run_result> rows;
+  std::size_t executed = 0;  ///< cells actually run this invocation
+  std::size_t restored = 0;  ///< cells restored from the checkpoint
+
+  [[nodiscard]] bool complete() const { return rows.size() == range.size(); }
+};
+
+/// Expand the grid, restore/execute the shard's cells, checkpoint along the
+/// way.  Rows (and sink contents) cover completed cells in cell-index order.
+/// Throws std::invalid_argument on a bad grid or shard and
+/// std::runtime_error on a corrupt or mismatched checkpoint.
+[[nodiscard]] campaign_result run_campaign(const campaign_spec& spec);
+
+}  // namespace gather::runner

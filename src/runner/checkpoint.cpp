@@ -1,0 +1,196 @@
+#include "runner/checkpoint.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/binio.h"
+
+namespace gather::runner {
+
+namespace {
+
+// "GATHCKP1" as a little-endian u64 tag.
+constexpr std::uint64_t kMagic = 0x31504b4348544147ULL;
+constexpr std::uint32_t kVersion = 1;
+
+void encode_result(obs::byte_writer& w, const run_result& r) {
+  w.str(r.spec.workload);
+  w.u64(r.spec.n);
+  w.u64(r.spec.f);
+  w.str(r.spec.scheduler);
+  w.str(r.spec.movement);
+  w.f64(r.spec.delta);
+  w.u64(static_cast<std::uint64_t>(r.spec.repeat));
+  w.u64(r.spec.index);
+  w.u64(r.spec.seed);
+  w.u64(r.n);
+  w.u8(static_cast<std::uint8_t>(r.status));
+  w.u64(r.rounds);
+  w.u64(r.crashes);
+  w.u64(r.wait_free_violations);
+  w.u64(r.bivalent_entries);
+  w.u64(r.first_multiplicity_round);
+  w.u64(r.phase_count);
+}
+
+run_result decode_result(obs::byte_reader& r) {
+  run_result out;
+  out.spec.workload = r.str();
+  out.spec.n = static_cast<std::size_t>(r.u64());
+  out.spec.f = static_cast<std::size_t>(r.u64());
+  out.spec.scheduler = r.str();
+  out.spec.movement = r.str();
+  out.spec.delta = r.f64();
+  out.spec.repeat = static_cast<int>(r.u64());
+  out.spec.index = static_cast<std::size_t>(r.u64());
+  out.spec.seed = r.u64();
+  out.n = static_cast<std::size_t>(r.u64());
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(sim::sim_status::started_bivalent)) {
+    throw std::runtime_error("checkpoint: bad status value");
+  }
+  out.status = static_cast<sim::sim_status>(status);
+  out.rounds = static_cast<std::size_t>(r.u64());
+  out.crashes = static_cast<std::size_t>(r.u64());
+  out.wait_free_violations = static_cast<std::size_t>(r.u64());
+  out.bivalent_entries = static_cast<std::size_t>(r.u64());
+  out.first_multiplicity_round = static_cast<std::size_t>(r.u64());
+  out.phase_count = static_cast<std::size_t>(r.u64());
+  return out;
+}
+
+void hash_str(obs::byte_writer& w, const std::string& s) { w.str(s); }
+
+}  // namespace
+
+std::uint64_t grid_fingerprint(const grid& g) {
+  // Hash the canonical serialization of every field that affects expansion
+  // or cell outcomes.  Field order is fixed; lengths are included via the
+  // str/u64 framing, so no two distinct grids share a serialization.
+  obs::byte_writer w;
+  w.u64(g.workloads.size());
+  for (const auto& s : g.workloads) hash_str(w, s);
+  w.u64(g.ns.size());
+  for (const std::size_t n : g.ns) w.u64(n);
+  w.u64(g.fs.size());
+  for (const std::size_t f : g.fs) w.u64(f);
+  w.u64(g.schedulers.size());
+  for (const auto& s : g.schedulers) hash_str(w, s);
+  w.u64(g.movements.size());
+  for (const auto& s : g.movements) hash_str(w, s);
+  w.u64(g.deltas.size());
+  for (const double d : g.deltas) w.f64(d);
+  w.u64(static_cast<std::uint64_t>(g.repeats));
+  w.u64(g.base_seed);
+  w.u64(g.max_rounds);
+  w.u64(g.crash_horizon);
+  w.u8(g.check_wait_freeness ? 1 : 0);
+  return obs::fnv1a(w.bytes());
+}
+
+std::uint64_t campaign_fingerprint(const grid& g, cell_range range,
+                                   bool has_trace, bool has_metrics) {
+  obs::byte_writer w;
+  w.u64(grid_fingerprint(g));
+  w.u64(range.begin);
+  w.u64(range.end);
+  w.u8(has_trace ? 1 : 0);
+  w.u8(has_metrics ? 1 : 0);
+  return obs::fnv1a(w.bytes());
+}
+
+std::string encode_checkpoint(const checkpoint_state& state) {
+  obs::byte_writer w;
+  w.u64(kMagic);
+  w.u32(kVersion);
+  w.u64(state.fingerprint);
+  w.u64(state.range.begin);
+  w.u64(state.range.end);
+  w.u8(state.has_trace ? 1 : 0);
+  w.u8(state.has_metrics ? 1 : 0);
+  w.u64(state.cells.size());
+  for (const checkpoint_cell& c : state.cells) {
+    encode_result(w, c.result);
+    if (state.has_trace) w.str(c.trace_jsonl);
+    if (state.has_metrics) w.str(c.metrics_bytes);
+  }
+  return w.finish();
+}
+
+checkpoint_state decode_checkpoint(std::string_view bytes) {
+  obs::byte_reader r(bytes);
+  r.verify_checksum();
+  if (r.u64() != kMagic) throw std::runtime_error("checkpoint: bad magic");
+  if (r.u32() != kVersion) throw std::runtime_error("checkpoint: bad version");
+  checkpoint_state state;
+  state.fingerprint = r.u64();
+  state.range.begin = static_cast<std::size_t>(r.u64());
+  state.range.end = static_cast<std::size_t>(r.u64());
+  if (state.range.begin > state.range.end) {
+    throw std::runtime_error("checkpoint: inverted range");
+  }
+  state.has_trace = r.u8() != 0;
+  state.has_metrics = r.u8() != 0;
+  const std::uint64_t cell_n = r.u64();
+  if (cell_n > state.range.size()) {
+    throw std::runtime_error("checkpoint: more cells than the range holds");
+  }
+  state.cells.reserve(cell_n);
+  std::size_t prev_index = 0;
+  for (std::uint64_t i = 0; i < cell_n; ++i) {
+    checkpoint_cell c;
+    c.result = decode_result(r);
+    if (state.has_trace) c.trace_jsonl = r.str();
+    if (state.has_metrics) c.metrics_bytes = r.str();
+    if (!state.range.contains(c.result.spec.index) ||
+        (i > 0 && c.result.spec.index <= prev_index)) {
+      throw std::runtime_error("checkpoint: cell index out of order");
+    }
+    prev_index = c.result.spec.index;
+    state.cells.push_back(std::move(c));
+  }
+  r.expect_end();
+  return state;
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const checkpoint_state& state) {
+  const std::string bytes = encode_checkpoint(state);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("checkpoint: cannot open " + tmp);
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: cannot rename " + tmp);
+  }
+}
+
+bool read_checkpoint_file(const std::string& path, checkpoint_state& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buf, 1, sizeof buf, f);
+    bytes.append(buf, got);
+    if (got < sizeof buf) break;
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    throw std::runtime_error("checkpoint: cannot read " + path);
+  }
+  out = decode_checkpoint(bytes);
+  return true;
+}
+
+}  // namespace gather::runner

@@ -1,0 +1,76 @@
+// Campaign checkpoints: durable per-shard progress that survives a kill.
+//
+// A checkpoint is the set of completed cells of one shard, each with its
+// full run_result and -- when the campaign captures sinks -- its JSONL trace
+// buffer and serialized metrics registry.  On resume, run_campaign restores
+// these cells verbatim and executes only the missing indices; because every
+// cell is location-independent (runner/shard_plan.h), the resumed shard's
+// artifacts are byte-identical to an uninterrupted run.
+//
+// Safety properties:
+//   * a fingerprint of (grid, shard range, sink capture shape) is embedded;
+//     a checkpoint from a different grid, range or capture configuration is
+//     rejected (std::runtime_error), never silently mixed in;
+//   * the file ends with an FNV-1a checksum; truncation or bit corruption is
+//     rejected;
+//   * writes go to `path + ".tmp"` then std::rename, so a kill during a
+//     checkpoint write leaves the previous checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/campaign.h"
+#include "runner/shard_plan.h"
+
+namespace gather::runner {
+
+/// One completed cell as persisted: the result row plus its captured sink
+/// payloads (empty when the campaign ran without that sink).
+struct checkpoint_cell {
+  run_result result;
+  std::string trace_jsonl;    ///< this cell's JSONL event lines
+  std::string metrics_bytes;  ///< obs::encode_metrics of this cell's registry
+};
+
+/// The in-memory image of a checkpoint file.
+struct checkpoint_state {
+  std::uint64_t fingerprint = 0;  ///< campaign_fingerprint(...) at write time
+  cell_range range;               ///< the shard's cell range
+  bool has_trace = false;         ///< cells carry trace_jsonl payloads
+  bool has_metrics = false;       ///< cells carry metrics_bytes payloads
+  /// Completed cells in ascending result.spec.index order.
+  std::vector<checkpoint_cell> cells;
+};
+
+/// Identity of a grid for checkpoint/merge validation: a hash over every
+/// axis value, seed and simulation knob.  Two grids expand to the same cells
+/// iff (modulo hash collisions) their fingerprints match.
+[[nodiscard]] std::uint64_t grid_fingerprint(const grid& g);
+
+/// Identity of one shard execution: the grid fingerprint extended with the
+/// cell range and the sink-capture shape.
+[[nodiscard]] std::uint64_t campaign_fingerprint(const grid& g,
+                                                 cell_range range,
+                                                 bool has_trace,
+                                                 bool has_metrics);
+
+/// Serialize / parse the checkpoint image.  decode_checkpoint throws
+/// std::runtime_error on truncation, checksum mismatch, bad magic/version or
+/// malformed records; it does NOT check the fingerprint (the caller compares
+/// against the current campaign's and rejects on mismatch).
+[[nodiscard]] std::string encode_checkpoint(const checkpoint_state& state);
+[[nodiscard]] checkpoint_state decode_checkpoint(std::string_view bytes);
+
+/// Atomically replace the checkpoint at `path` (write `path + ".tmp"`, then
+/// rename).  Throws std::runtime_error on I/O failure.
+void write_checkpoint_file(const std::string& path,
+                           const checkpoint_state& state);
+
+/// Load and parse a checkpoint file.  Returns false when `path` does not
+/// exist; throws std::runtime_error on unreadable or invalid contents.
+[[nodiscard]] bool read_checkpoint_file(const std::string& path,
+                                        checkpoint_state& out);
+
+}  // namespace gather::runner

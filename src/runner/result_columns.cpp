@@ -1,0 +1,231 @@
+#include "runner/result_columns.h"
+
+#include <stdexcept>
+
+#include "obs/binio.h"
+#include "obs/serialize.h"
+
+namespace gather::runner {
+
+namespace {
+
+// Schema order mirrors the CSV column order (plus the identity fields CSV
+// derives implicitly).  Bumping this layout requires bumping the columnar
+// version story in docs/RUNNER.md.
+constexpr const char* kU64Columns[] = {
+    "index", "seed", "requested_n", "f", "repeat", "n",      "status",
+    "rounds", "crashes", "wait_free_violations", "bivalent_entries",
+    "first_mult_round", "phases",
+};
+constexpr const char* kStrColumns[] = {"workload", "scheduler", "movement"};
+constexpr const char* kF64Columns[] = {"delta"};
+
+obs::columnar_table make_schema() {
+  obs::columnar_table t;
+  for (const char* name : kU64Columns) {
+    (void)t.add_column(name, obs::column_type::u64);
+  }
+  for (const char* name : kStrColumns) {
+    (void)t.add_column(name, obs::column_type::str);
+  }
+  for (const char* name : kF64Columns) {
+    (void)t.add_column(name, obs::column_type::f64);
+  }
+  return t;
+}
+
+std::vector<std::uint64_t>& u64_col(obs::columnar_table& t,
+                                    const std::string& name) {
+  return t.find(name)->u64s;
+}
+
+const obs::column& require(const obs::columnar_table& t,
+                           const std::string& name, obs::column_type type) {
+  const obs::column* c = t.find(name);
+  if (c == nullptr || c->type != type) {
+    throw std::runtime_error("columnar: missing result column '" + name + "'");
+  }
+  return *c;
+}
+
+}  // namespace
+
+obs::columnar_table encode_results(const std::vector<run_result>& rows,
+                                   cell_range range,
+                                   std::uint64_t fingerprint) {
+  obs::columnar_table t = make_schema();
+  t.meta["begin"] = range.begin;
+  t.meta["end"] = range.end;
+  t.meta["fingerprint"] = fingerprint;
+  for (const run_result& r : rows) {
+    u64_col(t, "index").push_back(r.spec.index);
+    u64_col(t, "seed").push_back(r.spec.seed);
+    u64_col(t, "requested_n").push_back(r.spec.n);
+    u64_col(t, "f").push_back(r.spec.f);
+    u64_col(t, "repeat").push_back(static_cast<std::uint64_t>(r.spec.repeat));
+    u64_col(t, "n").push_back(r.n);
+    u64_col(t, "status").push_back(static_cast<std::uint64_t>(r.status));
+    u64_col(t, "rounds").push_back(r.rounds);
+    u64_col(t, "crashes").push_back(r.crashes);
+    u64_col(t, "wait_free_violations").push_back(r.wait_free_violations);
+    u64_col(t, "bivalent_entries").push_back(r.bivalent_entries);
+    u64_col(t, "first_mult_round").push_back(r.first_multiplicity_round);
+    u64_col(t, "phases").push_back(r.phase_count);
+    t.find("workload")->strs.push_back(r.spec.workload);
+    t.find("scheduler")->strs.push_back(r.spec.scheduler);
+    t.find("movement")->strs.push_back(r.spec.movement);
+    t.find("delta")->f64s.push_back(r.spec.delta);
+  }
+  (void)t.rows();  // sanity: all columns advanced in lockstep
+  return t;
+}
+
+std::vector<run_result> decode_results(const obs::columnar_table& t) {
+  const std::size_t n = t.rows();
+  const obs::column& index = require(t, "index", obs::column_type::u64);
+  const obs::column& seed = require(t, "seed", obs::column_type::u64);
+  const obs::column& req_n = require(t, "requested_n", obs::column_type::u64);
+  const obs::column& f = require(t, "f", obs::column_type::u64);
+  const obs::column& repeat = require(t, "repeat", obs::column_type::u64);
+  const obs::column& actual_n = require(t, "n", obs::column_type::u64);
+  const obs::column& status = require(t, "status", obs::column_type::u64);
+  const obs::column& rounds = require(t, "rounds", obs::column_type::u64);
+  const obs::column& crashes = require(t, "crashes", obs::column_type::u64);
+  const obs::column& wfv =
+      require(t, "wait_free_violations", obs::column_type::u64);
+  const obs::column& biv = require(t, "bivalent_entries", obs::column_type::u64);
+  const obs::column& fmr = require(t, "first_mult_round", obs::column_type::u64);
+  const obs::column& phases = require(t, "phases", obs::column_type::u64);
+  const obs::column& workload = require(t, "workload", obs::column_type::str);
+  const obs::column& scheduler = require(t, "scheduler", obs::column_type::str);
+  const obs::column& movement = require(t, "movement", obs::column_type::str);
+  const obs::column& delta = require(t, "delta", obs::column_type::f64);
+
+  std::vector<run_result> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    run_result r;
+    r.spec.index = static_cast<std::size_t>(index.u64s[i]);
+    r.spec.seed = seed.u64s[i];
+    r.spec.n = static_cast<std::size_t>(req_n.u64s[i]);
+    r.spec.f = static_cast<std::size_t>(f.u64s[i]);
+    r.spec.repeat = static_cast<int>(repeat.u64s[i]);
+    r.spec.workload = workload.strs[i];
+    r.spec.scheduler = scheduler.strs[i];
+    r.spec.movement = movement.strs[i];
+    r.spec.delta = delta.f64s[i];
+    r.n = static_cast<std::size_t>(actual_n.u64s[i]);
+    if (status.u64s[i] >
+        static_cast<std::uint64_t>(sim::sim_status::started_bivalent)) {
+      throw std::runtime_error("columnar: bad status value");
+    }
+    r.status = static_cast<sim::sim_status>(status.u64s[i]);
+    r.rounds = static_cast<std::size_t>(rounds.u64s[i]);
+    r.crashes = static_cast<std::size_t>(crashes.u64s[i]);
+    r.wait_free_violations = static_cast<std::size_t>(wfv.u64s[i]);
+    r.bivalent_entries = static_cast<std::size_t>(biv.u64s[i]);
+    r.first_multiplicity_round = static_cast<std::size_t>(fmr.u64s[i]);
+    r.phase_count = static_cast<std::size_t>(phases.u64s[i]);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+obs::columnar_table merge_result_tables(
+    const std::vector<obs::columnar_table>& shards) {
+  if (shards.empty()) {
+    throw std::runtime_error("columnar: nothing to merge");
+  }
+  obs::columnar_table merged = shards.front();
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    const obs::columnar_table& next = shards[i];
+    const auto need = [](const obs::columnar_table& t, const char* key) {
+      const auto it = t.meta.find(key);
+      if (it == t.meta.end()) {
+        throw std::runtime_error("columnar: shard lacks meta key '" +
+                                 std::string(key) + "'");
+      }
+      return it->second;
+    };
+    if (need(next, "fingerprint") != need(merged, "fingerprint")) {
+      throw std::runtime_error("columnar: shard fingerprints differ");
+    }
+    if (need(next, "begin") != need(merged, "end")) {
+      throw std::runtime_error("columnar: shard ranges are not contiguous");
+    }
+    merged.append(next);
+    merged.meta["end"] = need(next, "end");
+  }
+  return merged;
+}
+
+std::string results_csv(const std::vector<run_result>& rows) {
+  std::string out = csv_header();
+  out += '\n';
+  for (const run_result& r : rows) {
+    out += csv_row(r);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+// "GATHMRS1" as a little-endian u64 tag.
+constexpr std::uint64_t kShardMetricsMagic = 0x3153524d48544147ULL;
+constexpr std::uint32_t kShardMetricsVersion = 1;
+
+}  // namespace
+
+std::string encode_shard_metrics(const shard_metrics& s) {
+  obs::byte_writer w;
+  w.u64(kShardMetricsMagic);
+  w.u32(kShardMetricsVersion);
+  w.u64(s.fingerprint);
+  w.u64(s.range.begin);
+  w.u64(s.range.end);
+  w.str(obs::encode_metrics(s.metrics));
+  return w.finish();
+}
+
+shard_metrics decode_shard_metrics(std::string_view bytes) {
+  obs::byte_reader r(bytes);
+  r.verify_checksum();
+  if (r.u64() != kShardMetricsMagic) {
+    throw std::runtime_error("shard metrics: bad magic");
+  }
+  if (r.u32() != kShardMetricsVersion) {
+    throw std::runtime_error("shard metrics: bad version");
+  }
+  shard_metrics s;
+  s.fingerprint = r.u64();
+  s.range.begin = static_cast<std::size_t>(r.u64());
+  s.range.end = static_cast<std::size_t>(r.u64());
+  if (s.range.begin > s.range.end) {
+    throw std::runtime_error("shard metrics: inverted range");
+  }
+  s.metrics = obs::decode_metrics(r.str());
+  r.expect_end();
+  return s;
+}
+
+shard_metrics merge_shard_metrics(const std::vector<shard_metrics>& shards) {
+  if (shards.empty()) {
+    throw std::runtime_error("shard metrics: nothing to merge");
+  }
+  shard_metrics merged = shards.front();
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    const shard_metrics& next = shards[i];
+    if (next.fingerprint != merged.fingerprint) {
+      throw std::runtime_error("shard metrics: fingerprints differ");
+    }
+    if (next.range.begin != merged.range.end) {
+      throw std::runtime_error("shard metrics: ranges are not contiguous");
+    }
+    merged.metrics.merge(next.metrics);
+    merged.range.end = next.range.end;
+  }
+  return merged;
+}
+
+}  // namespace gather::runner

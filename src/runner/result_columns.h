@@ -1,0 +1,65 @@
+// Columnar persistence and merging for campaign result rows.
+//
+// The binary columnar table (obs/columnar.h) is the campaign service's
+// primary result sink; CSV is an export rendered from decoded rows via the
+// library csv_row formatter, so "columnar -> CSV" and "direct CSV" emit the
+// same bytes.  Table metadata carries the shard's cell range and the grid
+// fingerprint (runner/checkpoint.h), which is what lets merge_result_tables
+// refuse shards from different grids or with gaps/overlap between ranges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/columnar.h"
+#include "runner/campaign.h"
+#include "runner/checkpoint.h"
+#include "runner/shard_plan.h"
+
+namespace gather::runner {
+
+/// Encode completed rows as a columnar table.  `rows` must be in ascending
+/// spec.index order within `range`; `fingerprint` is grid_fingerprint of the
+/// grid they came from.  Metadata keys: "begin", "end", "fingerprint".
+[[nodiscard]] obs::columnar_table encode_results(
+    const std::vector<run_result>& rows, cell_range range,
+    std::uint64_t fingerprint);
+
+/// Inverse of encode_results (the rows; range/fingerprint stay in t.meta).
+/// Throws std::runtime_error on a table with the wrong schema.
+[[nodiscard]] std::vector<run_result> decode_results(
+    const obs::columnar_table& t);
+
+/// Merge per-shard tables into one: shards must share schema and
+/// fingerprint and their ranges must be contiguous in the given order
+/// (shard k's end == shard k+1's begin).  Throws std::runtime_error
+/// otherwise.  The merged metadata covers the union range.
+[[nodiscard]] obs::columnar_table merge_result_tables(
+    const std::vector<obs::columnar_table>& shards);
+
+/// Render rows as the campaign CSV (header + one line per row, trailing
+/// newline), identical to what gather_campaign prints for the same rows.
+[[nodiscard]] std::string results_csv(const std::vector<run_result>& rows);
+
+/// One shard's merged metrics registry, tagged with the shard's identity so
+/// a merge can validate provenance (the .mreg sink gather_campaignd writes).
+struct shard_metrics {
+  cell_range range;
+  std::uint64_t fingerprint = 0;  ///< grid_fingerprint of the source grid
+  obs::metrics_registry metrics;
+};
+
+/// Binary round-trip for shard_metrics (obs/binio.h framing + checksum).
+/// decode throws std::runtime_error on truncation or corruption.
+[[nodiscard]] std::string encode_shard_metrics(const shard_metrics& s);
+[[nodiscard]] shard_metrics decode_shard_metrics(std::string_view bytes);
+
+/// Fold shard registries in the given order: fingerprints must match and
+/// ranges must be contiguous (throws std::runtime_error otherwise).  For
+/// the simulation's integer-valued metrics this reproduces the
+/// single-process fold byte for byte (docs/RUNNER.md, determinism
+/// contract).
+[[nodiscard]] shard_metrics merge_shard_metrics(
+    const std::vector<shard_metrics>& shards);
+
+}  // namespace gather::runner

@@ -3,6 +3,10 @@
 #pragma once
 
 #include "runner/campaign.h"
+#include "runner/campaign_spec.h"
+#include "runner/checkpoint.h"
 #include "runner/params.h"
+#include "runner/result_columns.h"
+#include "runner/shard_plan.h"
 #include "runner/summary.h"
 #include "runner/thread_pool.h"

@@ -1,0 +1,32 @@
+#include "runner/shard_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gather::runner {
+
+cell_range shard_cells(std::size_t total, shard_ref which) {
+  if (which.count == 0) {
+    throw std::invalid_argument("shard count must be >= 1");
+  }
+  if (which.index >= which.count) {
+    throw std::invalid_argument("shard index out of range");
+  }
+  const std::size_t base = total / which.count;
+  const std::size_t extra = total % which.count;
+  // Shards [0, extra) hold base + 1 cells; the rest hold base.
+  const std::size_t begin = which.index * base + std::min(which.index, extra);
+  const std::size_t len = base + (which.index < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+std::vector<cell_range> plan_shards(std::size_t total, std::size_t count) {
+  std::vector<cell_range> ranges;
+  ranges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ranges.push_back(shard_cells(total, {i, count}));
+  }
+  return ranges;
+}
+
+}  // namespace gather::runner

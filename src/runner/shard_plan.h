@@ -1,0 +1,47 @@
+// Shard planning: split an expanded campaign grid into contiguous,
+// location-independent cell ranges.
+//
+// Every cell's seed is a pure hash of (base_seed, cell index) -- see
+// derive_seed in runner/campaign.h -- so a cell's outcome does not depend on
+// which process executes it or in what order.  A shard is therefore just a
+// contiguous index range [begin, end) of the canonical expansion; shards can
+// run in separate processes and their outputs, concatenated in range order,
+// are byte-identical to a single-process run (docs/RUNNER.md, determinism
+// contract).  Contiguity is what keeps merges order-preserving: per-cell
+// trace buffers and metrics registries fold left to right exactly as the
+// single-process campaign folds them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gather::runner {
+
+/// Which shard of how many.  The default is the whole grid as one shard.
+struct shard_ref {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// A contiguous cell-index range [begin, end).
+struct cell_range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  [[nodiscard]] bool contains(std::size_t i) const {
+    return i >= begin && i < end;
+  }
+  [[nodiscard]] bool operator==(const cell_range&) const = default;
+};
+
+/// The cells shard `which` owns out of `total`: a balanced contiguous split
+/// (the first total % count shards get one extra cell).  Throws
+/// std::invalid_argument when count == 0 or index >= count.
+[[nodiscard]] cell_range shard_cells(std::size_t total, shard_ref which);
+
+/// All `count` shard ranges in order; they partition [0, total).
+[[nodiscard]] std::vector<cell_range> plan_shards(std::size_t total,
+                                                  std::size_t count);
+
+}  // namespace gather::runner

@@ -1,0 +1,255 @@
+// Shared command-line parsing for the gather tools (header-only).
+//
+// Every tool used to hand-roll its own strtol/strtod/argv loop with
+// slightly different failure behavior (silent atoi zeroes, inconsistent
+// exit codes).  This parser defines the uniform contract once:
+//
+//   * flags are declared in a table (name, value placeholder, one help
+//     line, handler); `--help`/`-h` output is generated from that table;
+//   * an unknown flag, a missing value, or a malformed number exits 2
+//     with a one-line diagnostic naming the offending flag and token;
+//   * numeric parsing is strict full-token (`8x`, `--n ''` and a bare `-`
+//     are errors, never a silent 0).
+//
+// `parse()` itself never prints or exits -- it returns a result so the
+// behavior is unit-testable (tests/cli_test.cpp); tools call
+// `parse_or_exit()` for the uniform exit-2 / help-on-stdout behavior.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gather::cli {
+
+// ---------------------------------------------------------------------------
+// Strict full-token numeric parsing.  Throws std::invalid_argument with a
+// message naming the offending token; never silently truncates.
+// ---------------------------------------------------------------------------
+
+/// strto* skip leading whitespace; full-token parsing must not.
+[[nodiscard]] inline bool leading_space(const std::string& s) {
+  return !s.empty() && std::isspace(static_cast<unsigned char>(s[0])) != 0;
+}
+
+[[nodiscard]] inline std::uint64_t parse_u64(const std::string& s) {
+  if (s.empty() || s[0] == '-' || s[0] == '+' || leading_space(s)) {
+    throw std::invalid_argument("not an unsigned integer: '" + s + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    throw std::invalid_argument("not an unsigned integer: '" + s + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+[[nodiscard]] inline std::size_t parse_size(const std::string& s) {
+  const std::uint64_t v = parse_u64(s);
+  if (v > std::numeric_limits<std::size_t>::max()) {
+    throw std::invalid_argument("value out of range: '" + s + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+[[nodiscard]] inline int parse_int(const std::string& s) {
+  if (s.empty() || leading_space(s)) {
+    throw std::invalid_argument("not an integer: '" + s + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument("not an integer: '" + s + "'");
+  }
+  return static_cast<int>(v);
+}
+
+[[nodiscard]] inline double parse_double(const std::string& s) {
+  if (s.empty() || leading_space(s)) {
+    throw std::invalid_argument("not a number: '" + s + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    throw std::invalid_argument("not a number: '" + s + "'");
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Flag-table parser.
+// ---------------------------------------------------------------------------
+
+class parser {
+ public:
+  /// `program` prefixes diagnostics and the help header; `summary` is the
+  /// one-line description under the usage line.
+  parser(std::string program, std::string summary)
+      : program_(std::move(program)), summary_(std::move(summary)) {}
+
+  using value_handler = std::function<void(const std::string&)>;
+
+  /// Flag taking one value: `--name VALUE`.  The handler may throw
+  /// std::invalid_argument (or any std::exception); the message becomes the
+  /// diagnostic.
+  parser& opt(std::string name, std::string value_name, std::string help,
+              value_handler h) {
+    flags_.push_back({std::move(name), std::move(value_name), std::move(help),
+                      std::move(h), nullptr});
+    return *this;
+  }
+
+  /// Boolean switch: `--name` (no value).
+  parser& toggle(std::string name, std::string help, bool* target) {
+    flags_.push_back({std::move(name), "", std::move(help), nullptr, target});
+    return *this;
+  }
+
+  // Typed conveniences over opt(): strict full-token parsing into a target.
+  parser& opt_size(std::string name, std::string help, std::size_t* t) {
+    return opt(std::move(name), "N", std::move(help),
+               [t](const std::string& v) { *t = parse_size(v); });
+  }
+  parser& opt_u64(std::string name, std::string help, std::uint64_t* t) {
+    return opt(std::move(name), "N", std::move(help),
+               [t](const std::string& v) { *t = parse_u64(v); });
+  }
+  parser& opt_int(std::string name, std::string help, int* t) {
+    return opt(std::move(name), "N", std::move(help),
+               [t](const std::string& v) { *t = parse_int(v); });
+  }
+  parser& opt_double(std::string name, std::string help, double* t) {
+    return opt(std::move(name), "X", std::move(help),
+               [t](const std::string& v) { *t = parse_double(v); });
+  }
+  parser& opt_string(std::string name, std::string value_name,
+                     std::string help, std::string* t) {
+    return opt(std::move(name), std::move(value_name), std::move(help),
+               [t](const std::string& v) { *t = v; });
+  }
+
+  /// Accept bare (non-`--`) arguments; the handler receives (ordinal, token)
+  /// and may throw to reject.  Without this, a bare argument is an error.
+  parser& positionals(std::string synopsis,
+                      std::function<void(std::size_t, const std::string&)> h) {
+    positional_synopsis_ = std::move(synopsis);
+    positional_ = std::move(h);
+    return *this;
+  }
+
+  struct result {
+    bool ok = true;
+    bool help = false;       ///< --help / -h was given (and nothing ran)
+    std::string error;       ///< one-line diagnostic when !ok
+  };
+
+  /// Parse argv.  `--help`/`-h` anywhere wins: no handler runs and
+  /// result.help is set.  Otherwise handlers run left to right; the first
+  /// failure (unknown flag, missing value, handler throw) stops parsing.
+  /// Never prints, never exits.
+  [[nodiscard]] result parse(int argc, const char* const* argv) const {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--help" || a == "-h") return {true, true, ""};
+    }
+    std::size_t ordinal = 0;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      const flag* f = find(a);
+      if (f == nullptr) {
+        if (a.rfind("--", 0) == 0 || positional_ == nullptr) {
+          return {false, false, "unknown flag: " + a + " (try --help)"};
+        }
+        try {
+          positional_(ordinal++, a);
+        } catch (const std::exception& e) {
+          return {false, false, a + ": " + e.what()};
+        }
+        continue;
+      }
+      if (f->target != nullptr) {
+        *f->target = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return {false, false, f->name + ": missing value"};
+      }
+      try {
+        f->handler(argv[++i]);
+      } catch (const std::exception& e) {
+        return {false, false, f->name + ": " + std::string(e.what())};
+      }
+    }
+    return {};
+  }
+
+  /// The generated help text: usage line, summary, one aligned row per flag.
+  [[nodiscard]] std::string help_text() const {
+    std::string out = "usage: " + program_ + " [options]";
+    if (positional_ != nullptr) out += " " + positional_synopsis_;
+    out += "\n" + summary_ + "\n\noptions:\n";
+    std::size_t width = 0;
+    for (const flag& f : flags_) width = std::max(width, head(f).size());
+    for (const flag& f : flags_) {
+      const std::string h = head(f);
+      out += "  " + h + std::string(width - h.size() + 2, ' ') + f.help + "\n";
+    }
+    out += "  --help" + std::string(width > 4 ? width - 4 : 2, ' ') +
+           "this text\n";
+    return out;
+  }
+
+  /// The tool-facing entry: parse; on `--help` print the generated text to
+  /// stdout and exit 0; on error print `program: diagnostic` to stderr and
+  /// exit 2.
+  void parse_or_exit(int argc, const char* const* argv) const {
+    const result r = parse(argc, argv);
+    if (r.help) {
+      std::fputs(help_text().c_str(), stdout);
+      std::exit(0);
+    }
+    if (!r.ok) {
+      std::fprintf(stderr, "%s: %s\n", program_.c_str(), r.error.c_str());
+      std::exit(2);
+    }
+  }
+
+ private:
+  struct flag {
+    std::string name;
+    std::string value_name;  // empty for toggles
+    std::string help;
+    value_handler handler;   // null for toggles
+    bool* target;            // non-null for toggles
+  };
+
+  [[nodiscard]] const flag* find(const std::string& name) const {
+    for (const flag& f : flags_) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] static std::string head(const flag& f) {
+    return f.value_name.empty() ? f.name : f.name + " " + f.value_name;
+  }
+
+  std::string program_;
+  std::string summary_;
+  std::vector<flag> flags_;
+  std::string positional_synopsis_;
+  std::function<void(std::size_t, const std::string&)> positional_;
+};
+
+}  // namespace gather::cli

@@ -1,0 +1,122 @@
+// Strict flat-JSON-object parsing for the campaign daemon (header-only).
+//
+// gather_campaignd's job protocol (docs/RUNNER.md) is one flat JSON object
+// per line: string, number or boolean values only -- list-valued fields
+// (workloads, deltas, ...) travel as CSV strings, matching the CLI flag
+// syntax, so the daemon reuses runner/params.h verbatim.  This parser
+// accepts exactly that shape and nothing else: nested objects, arrays,
+// null, duplicate keys and trailing garbage are all std::invalid_argument.
+// Numbers and booleans are returned as their literal token text; the caller
+// parses them with the same strict converters the CLI uses (util/cli.h).
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gather::util {
+
+namespace detail {
+
+inline void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() &&
+         (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) {
+    ++i;
+  }
+}
+
+[[nodiscard]] inline char next(std::string_view s, std::size_t& i) {
+  if (i >= s.size()) throw std::invalid_argument("json: unexpected end");
+  return s[i++];
+}
+
+[[nodiscard]] inline std::string parse_string(std::string_view s,
+                                              std::size_t& i) {
+  std::string out;
+  for (;;) {
+    char c = next(s, i);
+    if (c == '"') return out;
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    c = next(s, i);
+    switch (c) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      default:
+        // \uXXXX would need UTF-16 handling; the protocol's field values
+        // (names, paths, numbers-as-strings) never require it.
+        throw std::invalid_argument("json: unsupported escape");
+    }
+  }
+}
+
+[[nodiscard]] inline std::string parse_scalar_token(std::string_view s,
+                                                    std::size_t& i) {
+  const std::size_t start = i;
+  while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                          s[i] == '-' || s[i] == '+' || s[i] == '.')) {
+    ++i;
+  }
+  if (i == start) throw std::invalid_argument("json: expected value");
+  return std::string(s.substr(start, i - start));
+}
+
+}  // namespace detail
+
+/// Parse one flat JSON object into a key -> value-token map.  String values
+/// are unescaped; numbers and true/false keep their literal spelling.
+/// Throws std::invalid_argument on anything outside the flat-object shape.
+[[nodiscard]] inline std::map<std::string, std::string> parse_flat_json(
+    std::string_view s) {
+  std::size_t i = 0;
+  detail::skip_ws(s, i);
+  if (detail::next(s, i) != '{') throw std::invalid_argument("json: expected {");
+  std::map<std::string, std::string> out;
+  detail::skip_ws(s, i);
+  if (i < s.size() && s[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      detail::skip_ws(s, i);
+      if (detail::next(s, i) != '"') {
+        throw std::invalid_argument("json: expected key string");
+      }
+      std::string key = detail::parse_string(s, i);
+      detail::skip_ws(s, i);
+      if (detail::next(s, i) != ':') throw std::invalid_argument("json: expected :");
+      detail::skip_ws(s, i);
+      std::string value;
+      if (i < s.size() && s[i] == '"') {
+        ++i;
+        value = detail::parse_string(s, i);
+      } else if (i < s.size() && (s[i] == '{' || s[i] == '[')) {
+        throw std::invalid_argument("json: nested values not allowed");
+      } else {
+        value = detail::parse_scalar_token(s, i);
+        if (value == "null") throw std::invalid_argument("json: null not allowed");
+      }
+      if (!out.emplace(std::move(key), std::move(value)).second) {
+        throw std::invalid_argument("json: duplicate key");
+      }
+      detail::skip_ws(s, i);
+      const char c = detail::next(s, i);
+      if (c == '}') break;
+      if (c != ',') throw std::invalid_argument("json: expected , or }");
+    }
+  }
+  detail::skip_ws(s, i);
+  if (i != s.size()) throw std::invalid_argument("json: trailing characters");
+  return out;
+}
+
+}  // namespace gather::util

@@ -1,0 +1,495 @@
+// Tier-1 coverage for the campaign service layer: shard planning
+// (runner/shard_plan.h), binary encodings (obs/binio.h, obs/columnar.h,
+// obs/serialize.h), checkpoint round-trips and corruption rejection
+// (runner/checkpoint.h), columnar result persistence and merging
+// (runner/result_columns.h), the flat JSON protocol parser
+// (util/flat_json.h), and the determinism contract end to end: an
+// interrupted, resumed, sharded campaign folds back into the exact bytes of
+// an uninterrupted single-process run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "runner/runner.h"
+#include "util/flat_json.h"
+
+namespace gather::runner {
+namespace {
+
+// -------------------------------------------------------------- shard plan
+
+TEST(ServiceShards, SplitsEvenlyWithRemainderToTheFront) {
+  // 10 cells over 3 shards: sizes 4, 3, 3 -- contiguous and exhaustive.
+  EXPECT_EQ(shard_cells(10, {0, 3}), (cell_range{0, 4}));
+  EXPECT_EQ(shard_cells(10, {1, 3}), (cell_range{4, 7}));
+  EXPECT_EQ(shard_cells(10, {2, 3}), (cell_range{7, 10}));
+}
+
+TEST(ServiceShards, PlanCoversEveryCellExactlyOnce) {
+  for (std::size_t total : {0u, 1u, 7u, 16u, 100u}) {
+    for (std::size_t count : {1u, 2u, 3u, 5u, 16u}) {
+      const auto plan = plan_shards(total, count);
+      ASSERT_EQ(plan.size(), count);
+      std::size_t covered = 0;
+      for (std::size_t k = 0; k < count; ++k) {
+        EXPECT_EQ(plan[k].begin, covered) << total << "/" << count;
+        EXPECT_LE(plan[k].begin, plan[k].end);
+        covered = plan[k].end;
+      }
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(ServiceShards, MoreShardsThanCellsLeavesEmptyTails) {
+  const auto plan = plan_shards(2, 4);
+  EXPECT_EQ(plan[0].size(), 1u);
+  EXPECT_EQ(plan[1].size(), 1u);
+  EXPECT_EQ(plan[2].size(), 0u);
+  EXPECT_EQ(plan[3].size(), 0u);
+}
+
+TEST(ServiceShards, RejectsBadRefs) {
+  EXPECT_THROW((void)shard_cells(10, {0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)shard_cells(10, {3, 3}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- binio
+
+TEST(ServiceBinio, ScalarsAndStringsRoundTrip) {
+  obs::byte_writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-0.0);
+  w.f64(3.14159);
+  w.str("hello");
+  const std::string bytes = w.finish();
+
+  obs::byte_reader r(bytes);
+  r.verify_checksum();
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit-exact, not value-equal
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  r.expect_end();
+}
+
+TEST(ServiceBinio, EncodingIsLittleEndianByteForByte) {
+  obs::byte_writer w;
+  w.u32(0x01020304);
+  const std::string& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x01);
+}
+
+TEST(ServiceBinio, CorruptionAndTruncationAreLoud) {
+  obs::byte_writer w;
+  w.u64(42);
+  std::string bytes = w.finish();
+
+  std::string flipped = bytes;
+  flipped[3] ^= 0x20;
+  obs::byte_reader bad(flipped);
+  EXPECT_THROW(bad.verify_checksum(), std::runtime_error);
+
+  obs::byte_reader shorty(std::string_view(bytes).substr(0, 6));
+  EXPECT_THROW(shorty.verify_checksum(), std::runtime_error);
+
+  obs::byte_reader ok(bytes);
+  ok.verify_checksum();
+  (void)ok.u32();  // only half the body consumed
+  EXPECT_THROW(ok.expect_end(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- columnar
+
+obs::columnar_table small_table() {
+  obs::columnar_table t;
+  t.meta["begin"] = 0;
+  t.meta["end"] = 2;
+  // Declare the whole schema first: add_column invalidates references
+  // returned by earlier calls.
+  (void)t.add_column("index", obs::column_type::u64);
+  (void)t.add_column("name", obs::column_type::str);
+  (void)t.add_column("score", obs::column_type::f64);
+  t.find("index")->u64s = {0, 1};
+  t.find("name")->strs = {"alpha", "beta"};
+  t.find("score")->f64s = {1.5, -2.25};
+  return t;
+}
+
+TEST(ServiceColumnar, EncodeDecodeRoundTripIsExact) {
+  const obs::columnar_table t = small_table();
+  const std::string bytes = t.encode();
+  const obs::columnar_table back = obs::columnar_table::decode(bytes);
+  EXPECT_TRUE(t.same_schema(back));
+  EXPECT_EQ(back.rows(), 2u);
+  EXPECT_EQ(back.meta.at("begin"), 0u);
+  EXPECT_EQ(back.meta.at("end"), 2u);
+  EXPECT_EQ(back.find("name")->strs[1], "beta");
+  EXPECT_DOUBLE_EQ(back.find("score")->f64s[1], -2.25);
+  // Byte-stable: re-encoding the decoded table reproduces the input.
+  EXPECT_EQ(back.encode(), bytes);
+}
+
+TEST(ServiceColumnar, RejectsDuplicateColumnsRaggedRowsBadBytes) {
+  obs::columnar_table t = small_table();
+  EXPECT_THROW((void)t.add_column("index", obs::column_type::u64),
+               std::invalid_argument);
+  t.find("index")->u64s.push_back(9);  // now 3 rows vs 2 everywhere else
+  EXPECT_THROW((void)t.rows(), std::runtime_error);
+
+  EXPECT_THROW((void)obs::columnar_table::decode("garbage"),
+               std::runtime_error);
+  std::string bytes = small_table().encode();
+  bytes[0] ^= 1;  // break the magic (and the checksum)
+  EXPECT_THROW((void)obs::columnar_table::decode(bytes), std::runtime_error);
+}
+
+TEST(ServiceColumnar, AppendRequiresMatchingSchema) {
+  obs::columnar_table a = small_table();
+  obs::columnar_table b = small_table();
+  a.append(b);
+  EXPECT_EQ(a.rows(), 4u);
+  EXPECT_EQ(a.find("name")->strs[2], "alpha");
+
+  obs::columnar_table odd;
+  odd.add_column("index", obs::column_type::f64);  // same name, wrong type
+  EXPECT_THROW(a.append(odd), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- metrics binary
+
+TEST(ServiceMetrics, RegistryRoundTripsThroughBytes) {
+  obs::metrics_registry m;
+  m.counter("runs") += 7;
+  m.gauge("peak") = 3.5;
+  auto& h = m.hist("rounds", obs::pow2_bounds(4));
+  h.observe(1);
+  h.observe(3);
+  h.observe(100);  // overflow bucket
+  const std::string bytes = obs::encode_metrics(m);
+  const obs::metrics_registry back = obs::decode_metrics(bytes);
+  EXPECT_EQ(back.to_json(), m.to_json());
+  // Byte-stable: encode(decode(bytes)) == bytes.
+  EXPECT_EQ(obs::encode_metrics(back), bytes);
+}
+
+TEST(ServiceMetrics, DecodeRejectsCorruption) {
+  obs::metrics_registry m;
+  m.counter("x") += 1;
+  std::string bytes = obs::encode_metrics(m);
+  bytes[bytes.size() / 2] ^= 0x40;
+  EXPECT_THROW((void)obs::decode_metrics(bytes), std::runtime_error);
+  EXPECT_THROW((void)obs::decode_metrics("short"), std::runtime_error);
+}
+
+// ------------------------------------------------------------- checkpoints
+
+grid tiny_grid() {
+  grid g;
+  g.workloads = {"uniform"};
+  g.ns = {5};
+  g.fs = {0, 2};
+  g.schedulers = {"fair-random"};
+  g.movements = {"random-stop"};
+  g.deltas = {0.05};
+  g.repeats = 2;
+  g.base_seed = 11;
+  return g;
+}
+
+TEST(ServiceCheckpoint, FingerprintSeparatesGridsRangesAndShapes) {
+  const grid g = tiny_grid();
+  grid other = g;
+  other.base_seed = 12;
+  EXPECT_NE(grid_fingerprint(g), grid_fingerprint(other));
+  EXPECT_NE(campaign_fingerprint(g, {0, 4}, false, false),
+            campaign_fingerprint(g, {0, 2}, false, false));
+  EXPECT_NE(campaign_fingerprint(g, {0, 4}, true, false),
+            campaign_fingerprint(g, {0, 4}, false, false));
+}
+
+checkpoint_state sample_state() {
+  checkpoint_state s;
+  s.fingerprint = 0xfeedULL;
+  s.range = {4, 8};
+  s.has_trace = true;
+  checkpoint_cell c;
+  c.result.spec.index = 5;
+  c.result.spec.workload = "uniform";
+  c.result.spec.seed = 99;
+  c.result.status = sim::sim_status::gathered;
+  c.result.rounds = 12;
+  c.trace_jsonl = "{\"event\":\"x\"}\n";
+  s.cells.push_back(c);
+  return s;
+}
+
+TEST(ServiceCheckpoint, EncodeDecodeRoundTrip) {
+  const checkpoint_state s = sample_state();
+  const checkpoint_state back = decode_checkpoint(encode_checkpoint(s));
+  EXPECT_EQ(back.fingerprint, s.fingerprint);
+  EXPECT_EQ(back.range, s.range);
+  EXPECT_EQ(back.has_trace, true);
+  EXPECT_EQ(back.has_metrics, false);
+  ASSERT_EQ(back.cells.size(), 1u);
+  EXPECT_EQ(back.cells[0].result.spec.index, 5u);
+  EXPECT_EQ(back.cells[0].result.rounds, 12u);
+  EXPECT_EQ(back.cells[0].trace_jsonl, "{\"event\":\"x\"}\n");
+}
+
+TEST(ServiceCheckpoint, DecodeRejectsTruncationFlipsAndOutOfRangeCells) {
+  const std::string bytes = encode_checkpoint(sample_state());
+  for (const std::size_t cut :
+       std::vector<std::size_t>{0, 8, bytes.size() - 1}) {
+    EXPECT_THROW((void)decode_checkpoint(std::string_view(bytes).substr(0, cut)),
+                 std::runtime_error)
+        << "cut=" << cut;
+  }
+  for (std::size_t i = 0; i < bytes.size(); i += 7) {
+    std::string flipped = bytes;
+    flipped[i] ^= 0x10;
+    EXPECT_THROW((void)decode_checkpoint(flipped), std::runtime_error)
+        << "flip at " << i;
+  }
+  checkpoint_state outside = sample_state();
+  outside.cells[0].result.spec.index = 3;  // below range.begin = 4
+  EXPECT_THROW((void)decode_checkpoint(encode_checkpoint(outside)),
+               std::runtime_error);
+}
+
+TEST(ServiceCheckpoint, FileRoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "service_ckpt_test.ckpt";
+  std::remove(path.c_str());
+  checkpoint_state out;
+  EXPECT_FALSE(read_checkpoint_file(path, out));
+  write_checkpoint_file(path, sample_state());
+  ASSERT_TRUE(read_checkpoint_file(path, out));
+  EXPECT_EQ(out.fingerprint, 0xfeedULL);
+  ASSERT_EQ(out.cells.size(), 1u);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------- campaign resume determinism
+
+campaign_result run_shard(const grid& g, shard_ref shard,
+                          const std::string& checkpoint_path,
+                          std::size_t max_cells, std::string* trace,
+                          obs::metrics_registry* metrics) {
+  campaign_spec spec;
+  spec.grid = g;
+  spec.shard = shard;
+  spec.exec.jobs = 1;
+  spec.exec.max_cells = max_cells;
+  spec.checkpoint.path = checkpoint_path;
+  spec.checkpoint.stride = 1;
+  spec.sinks.trace_jsonl = trace;
+  spec.sinks.metrics = metrics;
+  return run_campaign(spec);
+}
+
+TEST(ServiceResume, InterruptedShardsFoldBackToSingleProcessBytes) {
+  const grid g = tiny_grid();  // 4 cells
+
+  // Reference: one uninterrupted single-process run over the whole grid.
+  std::string ref_trace;
+  obs::metrics_registry ref_metrics;
+  const campaign_result ref =
+      run_shard(g, {0, 1}, "", 0, &ref_trace, &ref_metrics);
+  ASSERT_TRUE(ref.complete());
+  ASSERT_EQ(ref.rows.size(), 4u);
+
+  // Sharded: 2 shards of 2 cells; shard 0 is killed after 1 cell (the
+  // deterministic max_cells cutoff) and resumed from its checkpoint.
+  const std::string ckpt = ::testing::TempDir() + "service_resume_test.ckpt";
+  std::remove(ckpt.c_str());
+  {
+    std::string t;
+    obs::metrics_registry m;
+    const campaign_result partial = run_shard(g, {0, 2}, ckpt, 1, &t, &m);
+    ASSERT_FALSE(partial.complete());
+    EXPECT_EQ(partial.executed, 1u);
+  }
+  std::string trace0, trace1;
+  obs::metrics_registry m0, m1;
+  const campaign_result s0 = run_shard(g, {0, 2}, ckpt, 0, &trace0, &m0);
+  const campaign_result s1 = run_shard(g, {1, 2}, "", 0, &trace1, &m1);
+  ASSERT_TRUE(s0.complete());
+  ASSERT_TRUE(s1.complete());
+  EXPECT_EQ(s0.restored, 1u);  // one cell came from the checkpoint
+  EXPECT_EQ(s0.executed, 1u);  // the other was re-run
+
+  // Columnar merge == reference encoding, byte for byte.
+  const std::uint64_t fp = grid_fingerprint(g);
+  const obs::columnar_table merged = merge_result_tables(
+      {encode_results(s0.rows, s0.range, fp),
+       encode_results(s1.rows, s1.range, fp)});
+  EXPECT_EQ(merged.encode(), encode_results(ref.rows, ref.range, fp).encode());
+  EXPECT_EQ(results_csv(decode_results(merged)), results_csv(ref.rows));
+
+  // Trace bytes and metrics fold identically too.
+  EXPECT_EQ(trace0 + trace1, ref_trace);
+  const shard_metrics folded = merge_shard_metrics(
+      {{s0.range, fp, m0}, {s1.range, fp, m1}});
+  EXPECT_EQ(folded.metrics.to_json(), ref_metrics.to_json());
+  std::remove(ckpt.c_str());
+}
+
+TEST(ServiceResume, MismatchedCheckpointIsRejected) {
+  const grid g = tiny_grid();
+  const std::string ckpt = ::testing::TempDir() + "service_mismatch_test.ckpt";
+  std::remove(ckpt.c_str());
+  {
+    std::string t;
+    obs::metrics_registry m;
+    (void)run_shard(g, {0, 2}, ckpt, 1, &t, &m);
+  }
+  // Same path, different grid: the fingerprint must not match.
+  grid other = g;
+  other.base_seed = 999;
+  std::string t;
+  obs::metrics_registry m;
+  EXPECT_THROW((void)run_shard(other, {0, 2}, ckpt, 0, &t, &m),
+               std::runtime_error);
+  // Same grid, different sink shape (no trace capture): also rejected.
+  campaign_spec spec;
+  spec.grid = g;
+  spec.shard = {0, 2};
+  spec.exec.jobs = 1;
+  spec.checkpoint.path = ckpt;
+  EXPECT_THROW((void)run_campaign(spec), std::runtime_error);
+  std::remove(ckpt.c_str());
+}
+
+TEST(ServiceResume, NoResumeFlagIgnoresExistingCheckpoint) {
+  const grid g = tiny_grid();
+  const std::string ckpt = ::testing::TempDir() + "service_noresume_test.ckpt";
+  std::remove(ckpt.c_str());
+  {
+    std::string t;
+    obs::metrics_registry m;
+    (void)run_shard(g, {0, 2}, ckpt, 1, &t, &m);
+  }
+  campaign_spec spec;
+  spec.grid = g;
+  spec.shard = {0, 2};
+  spec.exec.jobs = 1;
+  spec.checkpoint.path = ckpt;
+  spec.checkpoint.resume = false;  // fresh start despite the sink mismatch
+  const campaign_result r = run_campaign(spec);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.restored, 0u);
+  EXPECT_EQ(r.executed, r.rows.size());
+  std::remove(ckpt.c_str());
+}
+
+TEST(ServiceResume, CancellationStopsAtACellBoundary) {
+  const grid g = tiny_grid();
+  campaign_spec spec;
+  spec.grid = g;
+  spec.exec.jobs = 1;
+  std::size_t polls = 0;
+  spec.exec.cancelled = [&polls]() { return ++polls > 1; };
+  const campaign_result r = run_campaign(spec);
+  EXPECT_FALSE(r.complete());
+  EXPECT_LT(r.rows.size(), 4u);
+}
+
+// ------------------------------------------------------------ result merge
+
+TEST(ServiceMerge, RefusesGapsOverlapAndForeignShards) {
+  const grid g = tiny_grid();
+  campaign_spec spec;
+  spec.grid = g;
+  spec.exec.jobs = 1;
+  const campaign_result all = run_campaign(spec);
+  const std::uint64_t fp = grid_fingerprint(g);
+
+  const auto slice = [&](std::size_t b, std::size_t e) {
+    const std::vector<run_result> rows(all.rows.begin() + b,
+                                       all.rows.begin() + e);
+    return encode_results(rows, {b, e}, fp);
+  };
+  // Contiguous slices merge fine.
+  EXPECT_EQ(merge_result_tables({slice(0, 2), slice(2, 4)}).rows(), 4u);
+  // A gap, an overlap, and a foreign fingerprint are all rejected.
+  EXPECT_THROW((void)merge_result_tables({slice(0, 1), slice(2, 4)}),
+               std::runtime_error);
+  EXPECT_THROW((void)merge_result_tables({slice(0, 3), slice(2, 4)}),
+               std::runtime_error);
+  auto foreign = slice(2, 4);
+  foreign.meta["fingerprint"] = fp + 1;
+  EXPECT_THROW((void)merge_result_tables({slice(0, 2), foreign}),
+               std::runtime_error);
+  EXPECT_THROW((void)merge_result_tables({}), std::runtime_error);
+}
+
+TEST(ServiceMerge, ShardMetricsValidateProvenance) {
+  obs::metrics_registry m;
+  m.counter("sim.runs") += 2;
+  const shard_metrics a{{0, 2}, 7, m};
+  const shard_metrics b{{2, 4}, 7, m};
+  const shard_metrics merged = merge_shard_metrics({a, b});
+  EXPECT_EQ(merged.range, (cell_range{0, 4}));
+  EXPECT_EQ(*merged.metrics.find_counter("sim.runs"), 4u);
+
+  const shard_metrics gap{{3, 4}, 7, m};
+  EXPECT_THROW((void)merge_shard_metrics({a, gap}), std::runtime_error);
+  const shard_metrics foreign{{2, 4}, 8, m};
+  EXPECT_THROW((void)merge_shard_metrics({a, foreign}), std::runtime_error);
+  // Round-trip through the .mreg bytes.
+  const shard_metrics back = decode_shard_metrics(encode_shard_metrics(a));
+  EXPECT_EQ(back.range, a.range);
+  EXPECT_EQ(back.fingerprint, 7u);
+  EXPECT_EQ(back.metrics.to_json(), m.to_json());
+}
+
+// --------------------------------------------------------------- flat json
+
+TEST(ServiceFlatJson, ParsesFlatObjectsStrictly) {
+  const auto kv = util::parse_flat_json(
+      R"({"cmd":"submit","id":"s0","n":"6,8","jobs":2,"delta":0.5})");
+  EXPECT_EQ(kv.at("cmd"), "submit");
+  EXPECT_EQ(kv.at("n"), "6,8");
+  EXPECT_EQ(kv.at("jobs"), "2");      // scalars come back as literal tokens
+  EXPECT_EQ(kv.at("delta"), "0.5");
+  EXPECT_TRUE(util::parse_flat_json("{}").empty());
+  EXPECT_EQ(util::parse_flat_json(R"({ "a" : "b" })").at("a"), "b");
+}
+
+TEST(ServiceFlatJson, UnescapesStringValues) {
+  const auto kv =
+      util::parse_flat_json(R"({"msg":"a\"b\\c\nd","path":"\/tmp"})");
+  EXPECT_EQ(kv.at("msg"), "a\"b\\c\nd");
+  EXPECT_EQ(kv.at("path"), "/tmp");
+}
+
+TEST(ServiceFlatJson, RejectsNestingDuplicatesAndGarbage) {
+  EXPECT_THROW((void)util::parse_flat_json(""), std::invalid_argument);
+  EXPECT_THROW((void)util::parse_flat_json("[1,2]"), std::invalid_argument);
+  EXPECT_THROW((void)util::parse_flat_json(R"({"a":{"b":1}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)util::parse_flat_json(R"({"a":[1]})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)util::parse_flat_json(R"({"a":"1","a":"2"})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)util::parse_flat_json(R"({"a":"1"} trailing)"),
+               std::invalid_argument);
+  EXPECT_THROW((void)util::parse_flat_json(R"({"a":null})"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gather::runner

@@ -1,0 +1,176 @@
+// Tier-1 coverage for the shared command-line parser (src/util/cli.h):
+// strict full-token numeric parsing, flag-table dispatch, --help precedence,
+// positional handling and the one-line diagnostics contract every tool
+// inherits through parse_or_exit().
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+
+namespace gather::cli {
+namespace {
+
+// ------------------------------------------------------------- number parsing
+
+TEST(CliNumbers, U64AcceptsFullTokensOnly) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_THROW((void)parse_u64(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("-1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("+1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("8x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("x8"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64(" 8"), std::invalid_argument);
+  EXPECT_THROW((void)parse_u64("18446744073709551616"),  // 2^64
+               std::invalid_argument);
+}
+
+TEST(CliNumbers, IntRangeAndGarbage) {
+  EXPECT_EQ(parse_int("-3"), -3);
+  EXPECT_EQ(parse_int("2147483647"), 2147483647);
+  EXPECT_THROW((void)parse_int("2147483648"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int("-2147483649"), std::invalid_argument);
+  EXPECT_THROW((void)parse_int(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_int("3.5"), std::invalid_argument);
+}
+
+TEST(CliNumbers, DoubleFullToken) {
+  EXPECT_DOUBLE_EQ(parse_double("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_double("-1e-3"), -1e-3);
+  EXPECT_THROW((void)parse_double(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("0.25x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_double("zz"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- parsing
+
+parser::result run(const parser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliParser, TypedFlagsFillTargets) {
+  std::size_t n = 0;
+  std::uint64_t seed = 0;
+  int reps = 0;
+  double delta = 0.0;
+  std::string name;
+  bool verbose = false;
+  parser p("t", "test");
+  p.opt_size("--n", "robots", &n);
+  p.opt_u64("--seed", "seed", &seed);
+  p.opt_int("--reps", "reps", &reps);
+  p.opt_double("--delta", "delta", &delta);
+  p.opt_string("--name", "S", "name", &name);
+  p.toggle("--verbose", "chatty", &verbose);
+  const auto r = run(p, {"--n", "8", "--seed", "77", "--reps", "-2", "--delta",
+                         "0.5", "--name", "x", "--verbose"});
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.help);
+  EXPECT_EQ(n, 8u);
+  EXPECT_EQ(seed, 77u);
+  EXPECT_EQ(reps, -2);
+  EXPECT_DOUBLE_EQ(delta, 0.5);
+  EXPECT_EQ(name, "x");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(CliParser, UnknownFlagIsOneLineDiagnostic) {
+  parser p("t", "test");
+  const auto r = run(p, {"--nope"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "unknown flag: --nope (try --help)");
+}
+
+TEST(CliParser, BareArgumentWithoutPositionalHandlerIsError) {
+  parser p("t", "test");
+  const auto r = run(p, {"stray"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "unknown flag: stray (try --help)");
+}
+
+TEST(CliParser, MissingValueNamesTheFlag) {
+  std::size_t n = 0;
+  parser p("t", "test");
+  p.opt_size("--n", "robots", &n);
+  const auto r = run(p, {"--n"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--n: missing value");
+}
+
+TEST(CliParser, MalformedNumberNamesFlagAndToken) {
+  std::size_t n = 0;
+  parser p("t", "test");
+  p.opt_size("--n", "robots", &n);
+  const auto r = run(p, {"--n", "8x"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--n: not an unsigned integer: '8x'");
+  EXPECT_EQ(n, 0u);  // never silently truncated to 8
+}
+
+TEST(CliParser, HandlerThrowBecomesDiagnostic) {
+  parser p("t", "test");
+  p.opt("--mode", "M", "mode", [](const std::string& v) {
+    if (v != "a" && v != "b") throw std::invalid_argument("wants a|b");
+  });
+  const auto r = run(p, {"--mode", "c"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "--mode: wants a|b");
+}
+
+TEST(CliParser, HelpWinsOverEverythingAndRunsNoHandlers) {
+  std::size_t n = 0;
+  parser p("t", "test");
+  p.opt_size("--n", "robots", &n);
+  const auto r = run(p, {"--n", "8", "-h", "--bogus"});
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.help);
+  EXPECT_EQ(n, 0u);  // handlers did not run
+}
+
+TEST(CliParser, HandlersRunLeftToRightLastWins) {
+  std::size_t n = 0;
+  parser p("t", "test");
+  p.opt_size("--n", "robots", &n);
+  const auto r = run(p, {"--n", "8", "--n", "9"});
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(n, 9u);
+}
+
+TEST(CliParser, PositionalsGetOrdinalsAndCanReject) {
+  std::vector<std::pair<std::size_t, std::string>> seen;
+  parser p("t", "test");
+  p.positionals("[a] [b]", [&seen](std::size_t ordinal, const std::string& v) {
+    if (ordinal >= 2) throw std::invalid_argument("too many");
+    seen.emplace_back(ordinal, v);
+  });
+  EXPECT_TRUE(run(p, {"x", "y"}).ok);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::size_t, std::string>{0, "x"}));
+  EXPECT_EQ(seen[1], (std::pair<std::size_t, std::string>{1, "y"}));
+  const auto r = run(p, {"x", "y", "z"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "z: too many");
+}
+
+TEST(CliParser, HelpTextListsEveryFlagAndUsage) {
+  std::size_t n = 0;
+  bool quiet = false;
+  parser p("mytool", "does things");
+  p.opt_size("--n", "robot count", &n);
+  p.toggle("--quiet", "say less", &quiet);
+  p.positionals("[file]", [](std::size_t, const std::string&) {});
+  const std::string h = p.help_text();
+  EXPECT_NE(h.find("usage: mytool [options] [file]"), std::string::npos);
+  EXPECT_NE(h.find("does things"), std::string::npos);
+  EXPECT_NE(h.find("--n N"), std::string::npos);
+  EXPECT_NE(h.find("robot count"), std::string::npos);
+  EXPECT_NE(h.find("--quiet"), std::string::npos);
+  EXPECT_NE(h.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gather::cli

@@ -235,15 +235,13 @@ TEST(ConfigGeneration, RemoveRobotBumpsAndInvalidates) {
   expect_equivalent(c, configuration(pts));
 }
 
-TEST(ConfigGeneration, PointsMutShimBumpsPessimistically) {
+TEST(ConfigGeneration, SetPositionReplacesTheRemovedRawAccessShim) {
+  // The deprecated raw-point-access shim is gone (docs/API.md,
+  // "Deprecations and removals"); the same out-of-band write is expressed
+  // through the invalidating mutation API and observes nothing stale.
   configuration c(square());
   const std::uint64_t g0 = c.generation();
-  {
-    // gather-lint: allow(R5) — this test covers the deprecated shim itself.
-    std::vector<vec2>& raw = c.points_mut();
-    raw[3] = {3.0, 3.0};
-  }
-  // The generation is bumped up front, before the caller writes anything.
+  c.set_position(3, {3.0, 3.0});
   EXPECT_GT(c.generation(), g0);
   std::vector<vec2> pts = square();
   pts[3] = {3.0, 3.0};

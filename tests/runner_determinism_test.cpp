@@ -32,9 +32,10 @@ grid mixed_grid() {
 }
 
 std::vector<run_result> run_with_jobs(std::size_t jobs) {
-  campaign_options opts;
-  opts.jobs = jobs;
-  return run_campaign(mixed_grid(), opts);
+  campaign_spec spec;
+  spec.grid = mixed_grid();
+  spec.exec.jobs = jobs;
+  return run_campaign(spec).rows;
 }
 
 void expect_identical(const std::vector<run_result>& a,
@@ -94,13 +95,14 @@ TEST(RunnerDeterminism, SummariesOfSerialAndParallelRunsAgree) {
 // the merged registry rendered to JSON.  `profile` stays off because wall
 // clock nanoseconds are the one thing that is *not* deterministic.
 std::pair<std::string, std::string> run_observed(std::size_t jobs) {
-  campaign_options opts;
-  opts.jobs = jobs;
+  campaign_spec spec;
+  spec.grid = mixed_grid();
+  spec.exec.jobs = jobs;
   std::string trace;
   obs::metrics_registry metrics;
-  opts.trace_jsonl = &trace;
-  opts.metrics = &metrics;
-  (void)run_campaign(mixed_grid(), opts);
+  spec.sinks.trace_jsonl = &trace;
+  spec.sinks.metrics = &metrics;
+  (void)run_campaign(spec);
   return {std::move(trace), metrics.to_json()};
 }
 
@@ -127,11 +129,12 @@ TEST(RunnerDeterminism, JsonlTraceBytesAreIdenticalAcrossJobs) {
 }
 
 TEST(RunnerDeterminism, RegistryHistogramBracketsSummaryQuantiles) {
-  campaign_options opts;
-  opts.jobs = 2;
+  campaign_spec spec;
+  spec.grid = mixed_grid();
+  spec.exec.jobs = 2;
   obs::metrics_registry metrics;
-  opts.metrics = &metrics;
-  const auto results = run_campaign(mixed_grid(), opts);
+  spec.sinks.metrics = &metrics;
+  const auto results = run_campaign(spec).rows;
 
   std::vector<std::size_t> rounds;
   for (const auto& r : results) {

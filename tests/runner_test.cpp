@@ -200,9 +200,10 @@ TEST(RunnerCampaign, ExecutesWholeGridInOrder) {
   g.schedulers = {"fair-random"};
   g.movements = {"random-stop"};
   g.repeats = 2;
-  campaign_options opts;
-  opts.jobs = 2;
-  const auto results = run_campaign(g, opts);
+  campaign_spec spec;
+  spec.grid = g;
+  spec.exec.jobs = 2;
+  const auto results = run_campaign(spec).rows;
   ASSERT_EQ(results.size(), 2u * 2u * 2u);
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].spec.index, i);
@@ -218,12 +219,13 @@ TEST(RunnerCampaign, ProgressCallbackReportsEveryRunSerially) {
   g.ns = {4};
   g.fs = {0};
   g.repeats = 5;
-  campaign_options opts;
-  opts.jobs = 1;  // serial: completions arrive in order
-  opts.progress_stride = 1;
+  campaign_spec spec;
+  spec.grid = g;
+  spec.exec.jobs = 1;  // serial: completions arrive in order
+  spec.exec.progress_stride = 1;
   std::vector<progress> seen;
-  opts.on_progress = [&](const progress& p) { seen.push_back(p); };
-  const auto results = run_campaign(g, opts);
+  spec.exec.on_progress = [&](const progress& p) { seen.push_back(p); };
+  const auto results = run_campaign(spec).rows;
   ASSERT_EQ(results.size(), 5u);
   ASSERT_EQ(seen.size(), 5u);
   for (std::size_t i = 0; i < seen.size(); ++i) {

@@ -8,24 +8,35 @@
 //   wait_free_violations,bivalent_entries,first_mult_round,phases
 //
 // Output is byte-identical for every --jobs value: seeds are a pure hash of
-// (base seed, cell index) and rows are merged in grid order.
+// (base seed, cell index) and rows are merged in grid order.  The same
+// contract extends across processes: `--shard-index/--shard-count` run one
+// contiguous slice of the grid, `--checkpoint` makes the slice resumable,
+// and the merge modes below fold per-shard artifacts back into the exact
+// single-process bytes.
+//
+// Modes:
+//   (default)                 run the grid (or one shard) and print CSV
+//   --merge A.col,B.col,...   fold per-shard columnar results, print CSV
+//   --merge-metrics A.mreg,.. fold per-shard metrics, print/write JSON
+//   --from-columnar F.col     export a columnar result file as CSV
 //
 // Examples:
 //   gather_campaign --workloads uniform,majority --n 6,10 --f 0,2,5
 //                   --schedulers fair-random,laggard --repeats 5 > runs.csv
-//   gather_campaign --workloads all --n 8,16 --f 0,7 --schedulers all
-//                   --repeats 3 --jobs $(nproc) --progress
+//   gather_campaign --shard-index 0 --shard-count 4 --checkpoint s0.ckpt
+//                   --columnar s0.col --n 8,16 --repeats 3 > s0.csv
+//   gather_campaign --merge s0.col,s1.col,s2.col,s3.col > merged.csv
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <exception>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/obs.h"
 #include "runner/runner.h"
 #include "sim/sim.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -34,114 +45,185 @@ using namespace gather;
 struct args {
   runner::grid grid;
   std::size_t jobs = 0;  // 0 = hardware concurrency
-  std::string trace_jsonl;  // JSONL event trace output path
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::string checkpoint;
+  std::size_t checkpoint_stride = 64;
+  bool no_resume = false;
+  std::size_t max_cells = 0;
+  std::string columnar;      // columnar result output path
+  std::string trace_jsonl;   // JSONL event trace output path
+  std::string metrics_json;  // merged metrics JSON output path
+  std::string metrics_bin;   // per-shard .mreg output path
+  std::string merge;         // comma-separated columnar inputs
+  std::string merge_metrics; // comma-separated .mreg inputs
+  std::string from_columnar; // single columnar input to export
   bool metrics = false;
   bool progress = false;
   bool summary = false;
-  bool help = false;
 };
 
-void usage() {
-  std::puts(
-      "gather_campaign: grid sweeps to CSV\n"
-      "  --workloads W1,W2|all   --n N1,N2   --f F1,F2   --repeats R\n"
-      "  --schedulers S1,S2|all  --movements M1,M2|all   --deltas D1,D2\n"
-      "  --seed S (base seed)    --jobs N (default: all hardware threads)\n"
-      "  --progress (live runs/sec + ETA to stderr)\n"
-      "  --summary  (per-cell aggregate CSV instead of per-run rows)\n"
-      "  --trace-jsonl PATH (write every cell's event stream to PATH;\n"
-      "                      bytes are independent of --jobs)\n"
-      "  --metrics  (merged metrics registry + profile timings to stderr)\n"
-      "  --help");
+cli::parser make_parser(args& a) {
+  cli::parser p("gather_campaign",
+                "grid sweeps to CSV; shardable, resumable, mergeable "
+                "(docs/RUNNER.md)");
+  p.opt("--workloads", "W1,W2|all", "workload generators to sweep",
+        [&a](const std::string& v) {
+          a.grid.workloads = (v == "all") ? runner::workload_names()
+                                          : runner::split_csv_strict(v);
+        });
+  p.opt("--n", "N1,N2", "robot counts to sweep", [&a](const std::string& v) {
+    a.grid.ns = runner::parse_size_list(v);
+  });
+  p.opt("--f", "F1,F2", "crash budgets to sweep (f < n cells only)",
+        [&a](const std::string& v) { a.grid.fs = runner::parse_size_list(v); });
+  p.opt("--schedulers", "S1,S2|all", "schedulers to sweep",
+        [&a](const std::string& v) {
+          a.grid.schedulers.clear();
+          if (v == "all") {
+            for (const auto& s : sim::all_schedulers()) {
+              a.grid.schedulers.emplace_back(s.name);
+            }
+          } else {
+            a.grid.schedulers = runner::split_csv_strict(v);
+          }
+        });
+  p.opt("--movements", "M1,M2|all", "movement adversaries to sweep",
+        [&a](const std::string& v) {
+          a.grid.movements.clear();
+          if (v == "all") {
+            for (const auto& m : sim::all_movements()) {
+              a.grid.movements.emplace_back(m.name);
+            }
+          } else {
+            a.grid.movements = runner::split_csv_strict(v);
+          }
+        });
+  p.opt("--deltas", "D1,D2", "delta fractions to sweep",
+        [&a](const std::string& v) {
+          a.grid.deltas = runner::parse_double_list(v);
+        });
+  p.opt("--repeats", "R", "repeats per cell (default 3)",
+        [&a](const std::string& v) { a.grid.repeats = cli::parse_int(v); });
+  p.opt_u64("--seed", "base seed for per-cell hashed seeds",
+            &a.grid.base_seed);
+  p.opt("--jobs", "N", "worker threads (default: all hardware threads)",
+        [&a](const std::string& v) {
+          a.jobs = cli::parse_size(v);
+          if (a.jobs == 0) {
+            throw std::invalid_argument("must be >= 1");
+          }
+        });
+  p.opt_size("--shard-index", "which shard of the grid to run (default 0)",
+             &a.shard_index);
+  p.opt("--shard-count", "N", "total shards the grid is split into",
+        [&a](const std::string& v) {
+          a.shard_count = cli::parse_size(v);
+          if (a.shard_count == 0) {
+            throw std::invalid_argument("must be >= 1");
+          }
+        });
+  p.opt_string("--checkpoint", "PATH",
+               "periodic checkpoint of completed cells; an existing matching "
+               "checkpoint is resumed", &a.checkpoint);
+  p.opt_size("--checkpoint-stride", "completions between checkpoint writes",
+             &a.checkpoint_stride);
+  p.toggle("--no-resume", "ignore an existing checkpoint, start fresh",
+           &a.no_resume);
+  p.opt_size("--max-cells",
+             "stop after this many cells this invocation (0 = no cap); "
+             "partial runs write only the checkpoint", &a.max_cells);
+  p.opt_string("--columnar", "PATH",
+               "binary columnar result sink (byte-stable; merge input)",
+               &a.columnar);
+  p.opt_string("--trace-jsonl", "PATH",
+               "write every cell's event stream to PATH (bytes independent "
+               "of --jobs)", &a.trace_jsonl);
+  p.opt_string("--metrics-json", "PATH",
+               "write the merged metrics registry as JSON to PATH",
+               &a.metrics_json);
+  p.opt_string("--metrics-bin", "PATH",
+               "write this shard's metrics as a .mreg blob (merge input)",
+               &a.metrics_bin);
+  p.opt_string("--merge", "A.col,B.col",
+               "merge mode: fold per-shard columnar files, print CSV",
+               &a.merge);
+  p.opt_string("--merge-metrics", "A.mreg,B.mreg",
+               "merge mode: fold per-shard .mreg files to JSON", &a.merge_metrics);
+  p.opt_string("--from-columnar", "F.col",
+               "export mode: print a columnar result file as CSV",
+               &a.from_columnar);
+  p.toggle("--metrics",
+           "merged metrics registry + profile timings to stderr", &a.metrics);
+  p.toggle("--progress", "live runs/sec + ETA to stderr", &a.progress);
+  p.toggle("--summary", "per-cell aggregate CSV instead of per-run rows",
+           &a.summary);
+  return p;
 }
 
-bool parse(int argc, char** argv, args& a) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto need = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (flag == "--workloads") {
-      const std::string v = need();
-      a.grid.workloads = (v == "all") ? runner::workload_names()
-                                      : runner::split_csv_strict(v);
-    } else if (flag == "--n") {
-      a.grid.ns = runner::parse_size_list(need());
-    } else if (flag == "--f") {
-      a.grid.fs = runner::parse_size_list(need());
-    } else if (flag == "--schedulers") {
-      const std::string v = need();
-      a.grid.schedulers.clear();
-      if (v == "all") {
-        for (const auto& s : sim::all_schedulers()) {
-          a.grid.schedulers.emplace_back(s.name);
-        }
-      } else {
-        a.grid.schedulers = runner::split_csv_strict(v);
-      }
-    } else if (flag == "--movements") {
-      const std::string v = need();
-      a.grid.movements.clear();
-      if (v == "all") {
-        for (const auto& m : sim::all_movements()) {
-          a.grid.movements.emplace_back(m.name);
-        }
-      } else {
-        a.grid.movements = runner::split_csv_strict(v);
-      }
-    } else if (flag == "--deltas") {
-      a.grid.deltas = runner::parse_double_list(need());
-    } else if (flag == "--repeats") {
-      a.grid.repeats = std::atoi(need().c_str());
-    } else if (flag == "--seed") {
-      a.grid.base_seed = std::strtoull(need().c_str(), nullptr, 10);
-    } else if (flag == "--jobs") {
-      a.jobs = std::strtoul(need().c_str(), nullptr, 10);
-      if (a.jobs == 0) {
-        std::fprintf(stderr, "--jobs must be >= 1\n");
-        std::exit(2);
-      }
-    } else if (flag == "--trace-jsonl") {
-      a.trace_jsonl = need();
-    } else if (flag == "--metrics") {
-      a.metrics = true;
-    } else if (flag == "--progress") {
-      a.progress = true;
-    } else if (flag == "--summary") {
-      a.summary = true;
-    } else if (flag == "--help" || flag == "-h") {
-      a.help = true;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return false;
-    }
-  }
-  return true;
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  args a;
-  try {
-    if (!parse(argc, argv, a)) return 2;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "gather_campaign: %s\n", e.what());
-    return 2;
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !(out << bytes)) {
+    throw std::runtime_error("cannot write " + path);
   }
-  if (a.help) {
-    usage();
-    return 0;
-  }
+}
 
-  runner::campaign_options opts;
-  opts.jobs = a.jobs;
+void print_rows(const std::vector<runner::run_result>& rows) {
+  std::printf("%s\n", runner::csv_header().c_str());
+  for (const auto& r : rows) {
+    std::printf("%s\n", runner::csv_row(r).c_str());
+  }
+}
+
+int merge_columnar(const args& a) {
+  std::vector<obs::columnar_table> shards;
+  for (const std::string& path : runner::split_csv_strict(a.merge)) {
+    shards.push_back(obs::columnar_table::decode(read_file(path)));
+  }
+  const obs::columnar_table merged = runner::merge_result_tables(shards);
+  if (!a.columnar.empty()) write_file(a.columnar, merged.encode());
+  print_rows(runner::decode_results(merged));
+  return 0;
+}
+
+int merge_metrics(const args& a) {
+  std::vector<runner::shard_metrics> shards;
+  for (const std::string& path : runner::split_csv_strict(a.merge_metrics)) {
+    shards.push_back(runner::decode_shard_metrics(read_file(path)));
+  }
+  const runner::shard_metrics merged = runner::merge_shard_metrics(shards);
+  const std::string json = merged.metrics.to_json() + "\n";
+  if (a.metrics_json.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    write_file(a.metrics_json, json);
+  }
+  return 0;
+}
+
+int export_columnar(const args& a) {
+  const obs::columnar_table t =
+      obs::columnar_table::decode(read_file(a.from_columnar));
+  print_rows(runner::decode_results(t));
+  return 0;
+}
+
+int run(const args& a) {
+  runner::campaign_spec spec;
+  spec.grid = a.grid;
+  spec.shard = {a.shard_index, a.shard_count};
+  spec.exec.jobs = a.jobs;
+  spec.exec.max_cells = a.max_cells;
   if (a.progress) {
-    opts.on_progress = [](const runner::progress& p) {
+    spec.exec.on_progress = [](const runner::progress& p) {
       std::fprintf(stderr,
                    "\rcampaign: %zu/%zu runs (%.0f runs/s, eta %.0fs, "
                    "%zu failures)%s",
@@ -150,45 +232,78 @@ int main(int argc, char** argv) {
       std::fflush(stderr);
     };
   }
+  spec.checkpoint.path = a.checkpoint;
+  spec.checkpoint.stride = a.checkpoint_stride;
+  spec.checkpoint.resume = !a.no_resume;
 
   std::string trace;
   obs::metrics_registry metrics;
-  if (!a.trace_jsonl.empty()) opts.trace_jsonl = &trace;
-  if (a.metrics) {
-    opts.metrics = &metrics;
-    opts.profile = true;
+  const bool want_metrics =
+      a.metrics || !a.metrics_json.empty() || !a.metrics_bin.empty();
+  if (!a.trace_jsonl.empty()) spec.sinks.trace_jsonl = &trace;
+  if (want_metrics) {
+    spec.sinks.metrics = &metrics;
+    // Wall-clock profile timings are nondeterministic by nature, so they
+    // only ride along with the stderr report, never the mergeable sinks.
+    spec.sinks.profile = a.metrics;
   }
 
-  std::vector<runner::run_result> results;
-  try {
-    results = runner::run_campaign(a.grid, opts);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "gather_campaign: %s\n", e.what());
-    return 2;
+  const runner::campaign_result result = runner::run_campaign(spec);
+
+  if (!result.complete()) {
+    // Interrupted (cell budget or cancellation): the checkpoint holds the
+    // progress; output artifacts are only written for complete shards so a
+    // merge can never silently mix partial data.
+    std::fprintf(stderr,
+                 "campaign: partial shard (%zu of %zu cells done%s%s)\n",
+                 result.rows.size(), result.range.size(),
+                 a.checkpoint.empty() ? "" : ", checkpoint at ",
+                 a.checkpoint.c_str());
+    return 0;
   }
 
-  if (!a.trace_jsonl.empty()) {
-    std::ofstream out(a.trace_jsonl, std::ios::binary);
-    if (!out || !(out << trace)) {
-      std::fprintf(stderr, "gather_campaign: cannot write %s\n",
-                   a.trace_jsonl.c_str());
-      return 2;
-    }
+  if (!a.columnar.empty()) {
+    write_file(a.columnar,
+               runner::encode_results(result.rows, result.range,
+                                      runner::grid_fingerprint(a.grid))
+                   .encode());
   }
-  if (a.metrics) {
-    std::fprintf(stderr, "%s\n", metrics.to_json().c_str());
+  if (!a.trace_jsonl.empty()) write_file(a.trace_jsonl, trace);
+  if (a.metrics) std::fprintf(stderr, "%s\n", metrics.to_json().c_str());
+  if (!a.metrics_json.empty()) {
+    write_file(a.metrics_json, metrics.to_json() + "\n");
+  }
+  if (!a.metrics_bin.empty()) {
+    runner::shard_metrics sm;
+    sm.range = result.range;
+    sm.fingerprint = runner::grid_fingerprint(a.grid);
+    sm.metrics = metrics;
+    write_file(a.metrics_bin, runner::encode_shard_metrics(sm));
   }
 
   if (a.summary) {
     std::printf("%s\n", runner::summary_csv_header().c_str());
-    for (const auto& cell : runner::summarize(results)) {
+    for (const auto& cell : runner::summarize(result.rows)) {
       std::printf("%s\n", runner::summary_csv_row(cell).c_str());
     }
   } else {
-    std::printf("%s\n", runner::csv_header().c_str());
-    for (const auto& r : results) {
-      std::printf("%s\n", runner::csv_row(r).c_str());
-    }
+    print_rows(result.rows);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  args a;
+  make_parser(a).parse_or_exit(argc, argv);
+  try {
+    if (!a.merge.empty()) return merge_columnar(a);
+    if (!a.merge_metrics.empty()) return merge_metrics(a);
+    if (!a.from_columnar.empty()) return export_columnar(a);
+    return run(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gather_campaign: %s\n", e.what());
+    return 2;
+  }
 }

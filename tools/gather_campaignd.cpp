@@ -1,0 +1,430 @@
+// gather_campaignd -- the campaign service front door (stdin-JSONL jobs).
+//
+// Reads one flat JSON object per stdin line, executes submitted campaign
+// shards on a single worker thread, and answers every command with one flat
+// JSON line on stdout (docs/RUNNER.md, "Job protocol").  Commands:
+//
+//   {"cmd":"submit","id":"s0","workloads":"uniform","n":"6,8",...}
+//   {"cmd":"status"}            -- queue counters
+//   {"cmd":"status","id":"s0"}  -- one job's state and progress
+//   {"cmd":"cancel","id":"s0"}  -- dequeue, or stop a running job at the
+//                                  next cell boundary (checkpointed)
+//   {"cmd":"drain"}             -- finish queued work, reply, exit 0
+//
+// EOF on stdin behaves like drain.  The queue is bounded: submits beyond
+// `--queue` in-flight jobs (queued + running) are rejected with
+// {"ok":false,"error":"backlog"} -- backpressure instead of unbounded
+// buffering.
+//
+// A submitted job runs one shard exactly like `gather_campaign` would:
+// list-valued grid fields travel as the same CSV strings the CLI takes,
+// and the per-shard artifacts (columnar/csv/trace/mreg) are byte-identical
+// to the CLI's, so shards can be produced by any mix of daemons and CLI
+// invocations and merged interchangeably.  Output files are written only
+// for complete shards; interrupted jobs leave just their checkpoint.
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "runner/runner.h"
+#include "util/cli.h"
+#include "util/flat_json.h"
+
+namespace {
+
+using namespace gather;
+
+/// Everything a submitted job carries: the campaign shard plus output paths.
+struct job {
+  std::string id;
+  runner::grid grid;
+  runner::shard_ref shard;
+  std::string checkpoint;
+  std::size_t checkpoint_stride = 64;
+  std::size_t max_cells = 0;
+  std::size_t jobs = 1;
+  std::string columnar;
+  std::string csv;
+  std::string trace_jsonl;
+  std::string metrics_bin;
+  std::string metrics_json;
+
+  enum class state { queued, running, done, failed, cancelled };
+  state st = state::queued;
+  std::string error;  // state::failed
+  std::size_t total = 0;  // cells this job set out to run (filled at start)
+  std::shared_ptr<std::atomic<std::size_t>> completed =
+      std::make_shared<std::atomic<std::size_t>>(0);
+  std::shared_ptr<std::atomic<bool>> cancel =
+      std::make_shared<std::atomic<bool>>(false);
+};
+
+const char* state_name(job::state s) {
+  switch (s) {
+    case job::state::queued: return "queued";
+    case job::state::running: return "running";
+    case job::state::done: return "done";
+    case job::state::failed: return "failed";
+    case job::state::cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+/// Field accessors over the parsed flat JSON object.  Missing keys keep the
+/// default; present keys parse strictly (throw std::invalid_argument).
+struct fields {
+  const std::map<std::string, std::string>& kv;
+
+  [[nodiscard]] const std::string* get(const char* key) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? nullptr : &it->second;
+  }
+  void str(const char* key, std::string& out) const {
+    if (const std::string* v = get(key)) out = *v;
+  }
+  void size(const char* key, std::size_t& out) const {
+    if (const std::string* v = get(key)) out = cli::parse_size(*v);
+  }
+  void u64(const char* key, std::uint64_t& out) const {
+    if (const std::string* v = get(key)) out = cli::parse_u64(*v);
+  }
+  void integer(const char* key, int& out) const {
+    if (const std::string* v = get(key)) out = cli::parse_int(*v);
+  }
+};
+
+job parse_submit(const std::map<std::string, std::string>& kv) {
+  const fields f{kv};
+  job j;
+  j.id = kv.count("id") ? kv.at("id") : "";
+  if (j.id.empty()) throw std::invalid_argument("submit needs an id");
+  if (const std::string* v = f.get("workloads")) {
+    j.grid.workloads = runner::split_csv_strict(*v);
+  }
+  if (const std::string* v = f.get("n")) {
+    j.grid.ns = runner::parse_size_list(*v);
+  }
+  if (const std::string* v = f.get("f")) {
+    j.grid.fs = runner::parse_size_list(*v);
+  }
+  if (const std::string* v = f.get("schedulers")) {
+    j.grid.schedulers = runner::split_csv_strict(*v);
+  }
+  if (const std::string* v = f.get("movements")) {
+    j.grid.movements = runner::split_csv_strict(*v);
+  }
+  if (const std::string* v = f.get("deltas")) {
+    j.grid.deltas = runner::parse_double_list(*v);
+  }
+  f.integer("repeats", j.grid.repeats);
+  f.u64("seed", j.grid.base_seed);
+  f.size("max_rounds", j.grid.max_rounds);
+  f.size("shard_index", j.shard.index);
+  f.size("shard_count", j.shard.count);
+  f.str("checkpoint", j.checkpoint);
+  f.size("checkpoint_stride", j.checkpoint_stride);
+  f.size("max_cells", j.max_cells);
+  f.size("jobs", j.jobs);
+  f.str("columnar", j.columnar);
+  f.str("csv", j.csv);
+  f.str("trace_jsonl", j.trace_jsonl);
+  f.str("metrics_bin", j.metrics_bin);
+  f.str("metrics_json", j.metrics_json);
+  if (j.jobs == 0) throw std::invalid_argument("jobs must be >= 1");
+  // Validate the grid and shard now, so a bad submit fails at the protocol
+  // level instead of surfacing later as a failed job.
+  const std::size_t total = runner::expand(j.grid).size();
+  (void)runner::shard_cells(total, j.shard);
+  return j;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !(out << bytes)) {
+    throw std::runtime_error("cannot write " + path);
+  }
+}
+
+/// Execute one job (worker thread; no stdout access).  Returns the final
+/// state and fills `error` on failure.
+job::state execute(job& j, std::string& error) {
+  try {
+    runner::campaign_spec spec;
+    spec.grid = j.grid;
+    spec.shard = j.shard;
+    spec.exec.jobs = j.jobs;
+    spec.exec.max_cells = j.max_cells;
+    spec.exec.progress_stride = 1;
+    const auto completed = j.completed;
+    spec.exec.on_progress = [completed](const runner::progress& p) {
+      completed->store(p.completed, std::memory_order_relaxed);
+    };
+    const auto cancel = j.cancel;
+    spec.exec.cancelled = [cancel]() {
+      return cancel->load(std::memory_order_relaxed);
+    };
+    spec.checkpoint.path = j.checkpoint;
+    spec.checkpoint.stride = j.checkpoint_stride;
+
+    std::string trace;
+    obs::metrics_registry metrics;
+    const bool want_metrics = !j.metrics_bin.empty() || !j.metrics_json.empty();
+    if (!j.trace_jsonl.empty()) spec.sinks.trace_jsonl = &trace;
+    if (want_metrics) spec.sinks.metrics = &metrics;
+
+    const runner::campaign_result result = runner::run_campaign(spec);
+    if (!result.complete()) {
+      // Stopped by max_cells or cancel; the checkpoint (if any) holds the
+      // progress and no output artifact is written.
+      return j.cancel->load() ? job::state::cancelled : job::state::done;
+    }
+
+    const std::uint64_t fingerprint = runner::grid_fingerprint(j.grid);
+    if (!j.columnar.empty()) {
+      write_file(j.columnar,
+                 runner::encode_results(result.rows, result.range, fingerprint)
+                     .encode());
+    }
+    if (!j.csv.empty()) write_file(j.csv, runner::results_csv(result.rows));
+    if (!j.trace_jsonl.empty()) write_file(j.trace_jsonl, trace);
+    if (!j.metrics_json.empty()) {
+      write_file(j.metrics_json, metrics.to_json() + "\n");
+    }
+    if (!j.metrics_bin.empty()) {
+      runner::shard_metrics sm;
+      sm.range = result.range;
+      sm.fingerprint = fingerprint;
+      sm.metrics = metrics;
+      write_file(j.metrics_bin, runner::encode_shard_metrics(sm));
+    }
+    return job::state::done;
+  } catch (const std::exception& e) {
+    error = e.what();
+    return job::state::failed;
+  }
+}
+
+/// The daemon: a bounded job queue, one worker thread, and a stdin command
+/// loop that is the only stdout writer.
+class job_server {
+ public:
+  explicit job_server(std::size_t capacity) : capacity_(capacity) {
+    worker_ = std::thread([this] { work(); });
+  }
+
+  ~job_server() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  [[nodiscard]] std::string handle(const std::string& line) {
+    std::map<std::string, std::string> kv;
+    try {
+      kv = util::parse_flat_json(line);
+    } catch (const std::exception& e) {
+      return error_reply(e.what());
+    }
+    const auto cmd = kv.find("cmd");
+    if (cmd == kv.end()) return error_reply("missing cmd");
+    try {
+      if (cmd->second == "submit") return submit(kv);
+      if (cmd->second == "status") return status(kv);
+      if (cmd->second == "cancel") return cancel(kv);
+      if (cmd->second == "drain") return "";  // caller drains then exits
+      return error_reply("unknown cmd: " + cmd->second);
+    } catch (const std::exception& e) {
+      return error_reply(e.what());
+    }
+  }
+
+  /// Block until no job is queued or running (the drain / EOF path).
+  void drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && running_.empty(); });
+  }
+
+ private:
+  [[nodiscard]] static std::string error_reply(const std::string& message) {
+    std::string out = "{\"ok\":false,\"error\":";
+    obs::json_append_string(out, message);
+    out += "}";
+    return out;
+  }
+
+  [[nodiscard]] std::string submit(
+      const std::map<std::string, std::string>& kv) {
+    job j = parse_submit(kv);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (jobs_.count(j.id) != 0) {
+      return error_reply("duplicate id: " + j.id);
+    }
+    if (queue_.size() + running_.size() >= capacity_) {
+      return error_reply("backlog");
+    }
+    std::string out = "{\"ok\":true,\"id\":";
+    obs::json_append_string(out, j.id);
+    out += "}";
+    queue_.push_back(j.id);
+    jobs_.emplace(j.id, std::move(j));
+    cv_.notify_one();
+    return out;
+  }
+
+  [[nodiscard]] std::string status(
+      const std::map<std::string, std::string>& kv) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto id = kv.find("id");
+    if (id != kv.end()) {
+      const auto it = jobs_.find(id->second);
+      if (it == jobs_.end()) return error_reply("no such id: " + id->second);
+      const job& j = it->second;
+      std::string out = "{\"ok\":true,\"id\":";
+      obs::json_append_string(out, j.id);
+      out += ",\"state\":";
+      obs::json_append_string(out, state_name(j.st));
+      out += ",\"completed\":";
+      obs::json_append_uint(out, j.completed->load());
+      out += ",\"total\":";
+      obs::json_append_uint(out, j.total);
+      out += "}";
+      return out;
+    }
+    std::size_t counts[5] = {0, 0, 0, 0, 0};
+    for (const auto& [_, j] : jobs_) {
+      ++counts[static_cast<std::size_t>(j.st)];
+    }
+    std::string out = "{\"ok\":true";
+    const char* names[5] = {"queued", "running", "done", "failed", "cancelled"};
+    for (std::size_t i = 0; i < 5; ++i) {
+      out += ",\"";
+      out += names[i];
+      out += "\":";
+      obs::json_append_uint(out, counts[i]);
+    }
+    out += "}";
+    return out;
+  }
+
+  [[nodiscard]] std::string cancel(
+      const std::map<std::string, std::string>& kv) {
+    const auto id = kv.find("id");
+    if (id == kv.end()) return error_reply("cancel needs an id");
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id->second);
+    if (it == jobs_.end()) return error_reply("no such id: " + id->second);
+    job& j = it->second;
+    if (j.st == job::state::queued) {
+      for (auto q = queue_.begin(); q != queue_.end(); ++q) {
+        if (*q == j.id) {
+          queue_.erase(q);
+          break;
+        }
+      }
+      j.st = job::state::cancelled;
+    } else if (j.st == job::state::running) {
+      // The worker stops at the next cell boundary and checkpoints; the
+      // state flips when it returns.
+      j.cancel->store(true, std::memory_order_relaxed);
+    }
+    std::string out = "{\"ok\":true,\"id\":";
+    obs::json_append_string(out, j.id);
+    out += ",\"state\":";
+    obs::json_append_string(out, state_name(j.st));
+    out += "}";
+    return out;
+  }
+
+  void work() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_) return;
+      const std::string id = queue_.front();
+      queue_.pop_front();
+      job& j = jobs_.at(id);
+      j.st = job::state::running;
+      // Size the progress denominator before running (cheap re-expand).
+      try {
+        const std::size_t cells =
+            runner::shard_cells(runner::expand(j.grid).size(), j.shard).size();
+        j.total = j.max_cells == 0 ? cells : std::min(j.max_cells, cells);
+      } catch (const std::exception&) {
+        j.total = 0;
+      }
+      running_.push_back(id);
+      lock.unlock();
+      std::string error;
+      const job::state final_state = execute(j, error);
+      lock.lock();
+      j.st = final_state;
+      j.error = std::move(error);
+      for (auto r = running_.begin(); r != running_.end(); ++r) {
+        if (*r == id) {
+          running_.erase(r);
+          break;
+        }
+      }
+      cv_idle_.notify_all();
+    }
+  }
+
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable cv_;       // worker wake-up
+  std::condition_variable cv_idle_;  // drain wake-up
+  std::deque<std::string> queue_;    // queued job ids, FIFO
+  std::vector<std::string> running_; // at most one entry (single worker)
+  std::map<std::string, job> jobs_;
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t capacity = 4;
+  cli::parser p("gather_campaignd",
+                "campaign service daemon: flat JSON commands on stdin, one "
+                "JSON reply per line on stdout (docs/RUNNER.md)");
+  p.opt("--queue", "N", "max in-flight jobs, queued + running (default 4)",
+        [&capacity](const std::string& v) {
+          capacity = cli::parse_size(v);
+          if (capacity == 0) {
+            throw std::invalid_argument("must be >= 1");
+          }
+        });
+  p.parse_or_exit(argc, argv);
+
+  job_server d(capacity);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const std::string reply = d.handle(line);
+    if (reply.empty()) {
+      // drain: finish everything, acknowledge, exit.
+      d.drain();
+      std::fputs("{\"ok\":true,\"drained\":true}\n", stdout);
+      std::fflush(stdout);
+      return 0;
+    }
+    std::fprintf(stdout, "%s\n", reply.c_str());
+    std::fflush(stdout);
+  }
+  d.drain();  // EOF behaves like drain, minus the reply
+  return 0;
+}

@@ -27,6 +27,7 @@
 #include "core/wait_free_gather.h"
 #include "core/weak_multiplicity.h"
 #include "sim/sim.h"
+#include "util/cli.h"
 #include "workloads/io.h"
 
 namespace {
@@ -47,30 +48,8 @@ struct options {
   std::uint64_t expect_generated = 0;
   bool have_expect_explored = false;
   bool have_expect_generated = false;
+  bool no_dedup = false;
 };
-
-void usage() {
-  std::puts(
-      "usage: gather_check [options]\n"
-      "  --lattice WxH        seed lattice size (default 3x3)\n"
-      "  --n LIST             comma-separated robot counts to sweep (default 3)\n"
-      "  --points FILE        check a single seed read from FILE instead\n"
-      "  --rounds R           exploration depth bound (default 3)\n"
-      "  --crashes B          total crash budget (default 1)\n"
-      "  --crashes-per-round C  per-round crash cap (default 1)\n"
-      "  --levels L           movement truncation grid size (default 2)\n"
-      "  --delta-fraction D   engine delta as fraction of seed diameter,\n"
-      "                       in (0, 1] (default 0.25)\n"
-      "  --algorithm A        wfg | weak | cog | sfg | median (default wfg)\n"
-      "  --no-dedup           disable symmetry-canonical pruning (exact keys only)\n"
-      "  --max-states N       generated-state safety cap\n"
-      "  --max-counterexamples N  stop after recording N violations (default 8)\n"
-      "  --report FMT         text | json (default text)\n"
-      "  --trace-out FILE     write the first counterexample's schedule trace\n"
-      "  --replay FILE        replay a recorded trace through the simulator\n"
-      "  --expect-explored N  exit 3 unless explored-state count == N\n"
-      "  --expect-generated N exit 3 unless generated-state count == N");
-}
 
 const core::gathering_algorithm& make_algorithm(const std::string& name) {
   static const core::wait_free_gather wfg;
@@ -87,107 +66,84 @@ const core::gathering_algorithm& make_algorithm(const std::string& name) {
   std::exit(2);
 }
 
-std::size_t parse_size(const std::string& s, const char* what) {
-  try {
-    return static_cast<std::size_t>(std::stoull(s));
-  } catch (const std::exception&) {
-    std::fprintf(stderr, "bad %s: %s\n", what, s.c_str());
-    std::exit(2);
-  }
-}
-
-double parse_fraction(const std::string& s, const char* what) {
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0' || !(v > 0.0) || v > 1.0) {
-    std::fprintf(stderr, "bad %s: %s (want a number in (0, 1])\n", what,
-                 s.c_str());
-    std::exit(2);
-  }
-  return v;
-}
-
-options parse(int argc, char** argv) {
-  options o;
-  auto need = [&](int& i, const char* flag) -> std::string {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "%s needs a value\n", flag);
-      std::exit(2);
-    }
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--help" || a == "-h") {
-      usage();
-      std::exit(0);
-    } else if (a == "--lattice") {
-      const std::string v = need(i, "--lattice");
-      const std::size_t x = v.find('x');
-      if (x == std::string::npos) {
-        std::fprintf(stderr, "--lattice wants WxH, got %s\n", v.c_str());
-        std::exit(2);
-      }
-      o.lattice_w = parse_size(v.substr(0, x), "lattice width");
-      o.lattice_h = parse_size(v.substr(x + 1), "lattice height");
-    } else if (a == "--n") {
-      o.ns.clear();
-      std::stringstream ss(need(i, "--n"));
-      std::string item;
-      while (std::getline(ss, item, ',')) {
-        if (!item.empty()) o.ns.push_back(parse_size(item, "robot count"));
-      }
-      if (o.ns.empty()) {
-        std::fprintf(stderr, "--n wants a comma-separated list\n");
-        std::exit(2);
-      }
-    } else if (a == "--points") {
-      o.points_file = need(i, "--points");
-    } else if (a == "--rounds") {
-      o.check.max_rounds = parse_size(need(i, "--rounds"), "round bound");
-    } else if (a == "--crashes") {
-      o.check.crash_budget = parse_size(need(i, "--crashes"), "crash budget");
-    } else if (a == "--crashes-per-round") {
-      o.check.max_crashes_per_round =
-          parse_size(need(i, "--crashes-per-round"), "per-round crash cap");
-    } else if (a == "--levels") {
-      o.check.truncation_levels = static_cast<std::uint32_t>(
-          parse_size(need(i, "--levels"), "truncation levels"));
-    } else if (a == "--delta-fraction") {
-      o.check.delta_fraction =
-          parse_fraction(need(i, "--delta-fraction"), "delta fraction");
-    } else if (a == "--algorithm") {
-      o.algorithm = need(i, "--algorithm");
-    } else if (a == "--no-dedup") {
-      o.check.canonical_dedup = false;
-    } else if (a == "--max-states") {
-      o.check.max_states = parse_size(need(i, "--max-states"), "state cap");
-    } else if (a == "--max-counterexamples") {
-      o.check.max_counterexamples =
-          parse_size(need(i, "--max-counterexamples"), "counterexample cap");
-    } else if (a == "--report") {
-      o.report = need(i, "--report");
-      if (o.report != "text" && o.report != "json") {
-        std::fprintf(stderr, "--report wants text|json\n");
-        std::exit(2);
-      }
-    } else if (a == "--trace-out") {
-      o.trace_out = need(i, "--trace-out");
-    } else if (a == "--replay") {
-      o.replay_file = need(i, "--replay");
-    } else if (a == "--expect-explored") {
-      o.expect_explored = parse_size(need(i, "--expect-explored"), "expectation");
-      o.have_expect_explored = true;
-    } else if (a == "--expect-generated") {
-      o.expect_generated = parse_size(need(i, "--expect-generated"), "expectation");
-      o.have_expect_generated = true;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
-      usage();
-      std::exit(2);
-    }
-  }
-  return o;
+cli::parser make_parser(options& o) {
+  cli::parser p("gather_check",
+                "bounded model-checking adversary search (exit 0 clean, 1 "
+                "violations, 2 usage, 3 expectation mismatch)");
+  p.opt("--lattice", "WxH", "seed lattice size (default 3x3)",
+        [&o](const std::string& v) {
+          const std::size_t x = v.find('x');
+          if (x == std::string::npos) {
+            throw std::invalid_argument("wants WxH, got '" + v + "'");
+          }
+          o.lattice_w = cli::parse_size(v.substr(0, x));
+          o.lattice_h = cli::parse_size(v.substr(x + 1));
+        });
+  p.opt("--n", "LIST", "comma-separated robot counts to sweep (default 3)",
+        [&o](const std::string& v) {
+          o.ns.clear();
+          std::stringstream ss(v);
+          std::string item;
+          while (std::getline(ss, item, ',')) {
+            if (!item.empty()) o.ns.push_back(cli::parse_size(item));
+          }
+          if (o.ns.empty()) {
+            throw std::invalid_argument("wants a comma-separated list");
+          }
+        });
+  p.opt_string("--points", "FILE",
+               "check a single seed read from FILE instead", &o.points_file);
+  p.opt_size("--rounds", "exploration depth bound (default 3)",
+             &o.check.max_rounds);
+  p.opt_size("--crashes", "total crash budget (default 1)",
+             &o.check.crash_budget);
+  p.opt_size("--crashes-per-round", "per-round crash cap (default 1)",
+             &o.check.max_crashes_per_round);
+  p.opt("--levels", "L", "movement truncation grid size (default 2)",
+        [&o](const std::string& v) {
+          o.check.truncation_levels =
+              static_cast<std::uint32_t>(cli::parse_size(v));
+        });
+  p.opt("--delta-fraction", "D",
+        "engine delta as fraction of seed diameter, in (0, 1] (default 0.25)",
+        [&o](const std::string& v) {
+          const double d = cli::parse_double(v);
+          if (!(d > 0.0) || d > 1.0) {
+            throw std::invalid_argument("want a number in (0, 1]");
+          }
+          o.check.delta_fraction = d;
+        });
+  p.opt_string("--algorithm", "A",
+               "wfg | weak | cog | sfg | median (default wfg)", &o.algorithm);
+  p.toggle("--no-dedup",
+           "disable symmetry-canonical pruning (exact keys only)",
+           &o.no_dedup);
+  p.opt_size("--max-states", "generated-state safety cap", &o.check.max_states);
+  p.opt_size("--max-counterexamples",
+             "stop after recording N violations (default 8)",
+             &o.check.max_counterexamples);
+  p.opt("--report", "FMT", "text | json (default text)",
+        [&o](const std::string& v) {
+          if (v != "text" && v != "json") {
+            throw std::invalid_argument("wants text|json");
+          }
+          o.report = v;
+        });
+  p.opt_string("--trace-out", "FILE",
+               "write the first counterexample's schedule trace", &o.trace_out);
+  p.opt_string("--replay", "FILE",
+               "replay a recorded trace through the simulator", &o.replay_file);
+  p.opt("--expect-explored", "N", "exit 3 unless explored-state count == N",
+        [&o](const std::string& v) {
+          o.expect_explored = cli::parse_u64(v);
+          o.have_expect_explored = true;
+        });
+  p.opt("--expect-generated", "N", "exit 3 unless generated-state count == N",
+        [&o](const std::string& v) {
+          o.expect_generated = cli::parse_u64(v);
+          o.have_expect_generated = true;
+        });
+  return p;
 }
 
 int run_replay(const options& o) {
@@ -224,7 +180,9 @@ int run_replay(const options& o) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const options o = parse(argc, argv);
+  options o;
+  make_parser(o).parse_or_exit(argc, argv);
+  o.check.canonical_dedup = !o.no_dedup;
   if (!o.replay_file.empty()) return run_replay(o);
 
   check::check_spec spec;

@@ -23,6 +23,7 @@
 #include "core/weak_multiplicity.h"
 #include "core/wait_free_gather.h"
 #include "sim/sim.h"
+#include "util/cli.h"
 #include "workloads/generators.h"
 #include "workloads/io.h"
 
@@ -47,38 +48,48 @@ struct options {
   std::size_t max_rounds = 50'000;
   bool local_frames = false;
   bool metrics = false;
-  bool help = false;
   bool list = false;
 };
 
-void print_usage() {
-  std::puts(
-      "gather_cli -- run a robot-gathering scenario\n"
-      "\n"
-      "  --workload W    uniform | majority | linear-1w | linear-2w | polygon |\n"
-      "                  rings | biangular | qr-center | axial | bivalent |\n"
-      "                  grid | clustered\n"
-      "  --points FILE   read the initial configuration from FILE\n"
-      "                  (one 'x y' per line; overrides --workload/--n)\n"
-      "  --algorithm A   wfg (wait-free-gather) | cog (center-of-gravity) |\n"
-      "                  sfg (single-fault) | median | weak (weak-multiplicity wfg)\n"
-      "  --scheduler S   synchronous | round-robin | fair-random | laggard |\n"
-      "                  half-alternating\n"
-      "  --movement M    full | minimal | random-stop\n"
-      "  --engine E      atom (default) | async\n"
-      "  --async-policy  sequential | random | look-move   (async engine only)\n"
-      "  --n N           number of robots (default 8)\n"
-      "  --f F           crash faults, f < n (default 0)\n"
-      "  --delta D       movement guarantee as fraction of diameter (default 0.05)\n"
-      "  --seed S        RNG seed (default 1)\n"
-      "  --max-rounds R  round budget (default 50000)\n"
-      "  --local-frames  observe through per-robot similarity frames\n"
-      "  --trace-jsonl P write the structured event trace to P (JSONL)\n"
-      "  --metrics       print the run's metrics registry (JSON) after the\n"
-      "                  summary, including hot-path profile timings\n"
-      "  --output O      summary | csv | frames | json | svg\n"
-      "  --list          list available components and exit\n"
-      "  --help          this text\n");
+cli::parser make_parser(options& o) {
+  cli::parser p("gather_cli", "run a robot-gathering scenario");
+  p.opt_string("--workload", "W",
+               "uniform | majority | linear-1w | linear-2w | polygon | rings "
+               "| biangular | qr-center | axial | bivalent | grid | clustered",
+               &o.workload);
+  p.opt_string("--points", "FILE",
+               "read the initial configuration from FILE (one 'x y' per "
+               "line; overrides --workload/--n)", &o.points_file);
+  p.opt_string("--algorithm", "A",
+               "wfg (wait-free-gather) | cog (center-of-gravity) | sfg "
+               "(single-fault) | median | weak (weak-multiplicity wfg)",
+               &o.algorithm);
+  p.opt_string("--scheduler", "S",
+               "synchronous | round-robin | fair-random | laggard | "
+               "half-alternating", &o.scheduler);
+  p.opt_string("--movement", "M", "full | minimal | random-stop", &o.movement);
+  p.opt_string("--engine", "E", "atom (default) | async", &o.engine);
+  p.opt_string("--async-policy", "P",
+               "sequential | random | look-move (async engine only)",
+               &o.async_policy);
+  p.opt_size("--n", "number of robots (default 8)", &o.n);
+  p.opt_size("--f", "crash faults, f < n (default 0)", &o.f);
+  p.opt_double("--delta",
+               "movement guarantee as fraction of diameter (default 0.05)",
+               &o.delta);
+  p.opt_u64("--seed", "RNG seed (default 1)", &o.seed);
+  p.opt_size("--max-rounds", "round budget (default 50000)", &o.max_rounds);
+  p.toggle("--local-frames", "observe through per-robot similarity frames",
+           &o.local_frames);
+  p.opt_string("--trace-jsonl", "P",
+               "write the structured event trace to P (JSONL)", &o.trace_jsonl);
+  p.toggle("--metrics",
+           "print the run's metrics registry (JSON) after the summary, "
+           "including hot-path profile timings", &o.metrics);
+  p.opt_string("--output", "O", "summary | csv | frames | json | svg",
+               &o.output);
+  p.toggle("--list", "list available components and exit", &o.list);
+  return p;
 }
 
 void print_list() {
@@ -94,42 +105,6 @@ void print_list() {
     std::printf(" %s", std::string(m.name).c_str());
   }
   std::puts("\nengines:    atom async");
-}
-
-bool parse_args(int argc, char** argv, options& o) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto need = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (a == "--workload") o.workload = need("--workload");
-    else if (a == "--points") o.points_file = need("--points");
-    else if (a == "--algorithm") o.algorithm = need("--algorithm");
-    else if (a == "--scheduler") o.scheduler = need("--scheduler");
-    else if (a == "--movement") o.movement = need("--movement");
-    else if (a == "--engine") o.engine = need("--engine");
-    else if (a == "--async-policy") o.async_policy = need("--async-policy");
-    else if (a == "--output") o.output = need("--output");
-    else if (a == "--n") o.n = std::strtoul(need("--n"), nullptr, 10);
-    else if (a == "--f") o.f = std::strtoul(need("--f"), nullptr, 10);
-    else if (a == "--delta") o.delta = std::strtod(need("--delta"), nullptr);
-    else if (a == "--seed") o.seed = std::strtoull(need("--seed"), nullptr, 10);
-    else if (a == "--max-rounds") o.max_rounds = std::strtoul(need("--max-rounds"), nullptr, 10);
-    else if (a == "--local-frames") o.local_frames = true;
-    else if (a == "--trace-jsonl") o.trace_jsonl = need("--trace-jsonl");
-    else if (a == "--metrics") o.metrics = true;
-    else if (a == "--help" || a == "-h") o.help = true;
-    else if (a == "--list") o.list = true;
-    else {
-      std::fprintf(stderr, "unknown flag: %s (try --help)\n", a.c_str());
-      return false;
-    }
-  }
-  return true;
 }
 
 std::vector<geom::vec2> make_workload(const options& o, sim::rng& r) {
@@ -268,11 +243,7 @@ int run_async(const options& o, const std::vector<geom::vec2>& pts) {
 
 int main(int argc, char** argv) {
   options o;
-  if (!parse_args(argc, argv, o)) return 2;
-  if (o.help) {
-    print_usage();
-    return 0;
-  }
+  make_parser(o).parse_or_exit(argc, argv);
   if (o.list) {
     print_list();
     return 0;

@@ -32,6 +32,7 @@
 #include "core/wait_free_gather.h"
 #include "runner/runner.h"
 #include "sim/sim.h"
+#include "util/cli.h"
 #include "workloads/io.h"
 
 namespace {
@@ -156,76 +157,48 @@ struct args {
   std::vector<std::string> workloads = {"majority", "linear-1w", "linear-2w",
                                         "axial",    "clustered", "grid",
                                         "uniform"};
-  bool help = false;
 };
 
-void usage() {
-  std::puts(
-      "gather_fuzz: randomized counterexample search\n"
-      "  gather_fuzz [iterations] [max_n] [base_seed]\n"
-      "  --iterations N   --max-n N   --seed S\n"
-      "  --jobs N (default: all hardware threads)\n"
-      "  --workloads W1,W2|all (generator pool)\n"
-      "  --help");
-}
-
-bool parse(int argc, char** argv, args& a) {
-  int positional = 0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto need = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (flag == "--iterations") {
-      a.iterations = std::atoi(need().c_str());
-    } else if (flag == "--max-n") {
-      a.max_n = std::strtoul(need().c_str(), nullptr, 10);
-    } else if (flag == "--seed") {
-      a.base_seed = std::strtoull(need().c_str(), nullptr, 10);
-    } else if (flag == "--jobs") {
-      a.jobs = std::strtoul(need().c_str(), nullptr, 10);
-      if (a.jobs == 0) {
-        std::fprintf(stderr, "--jobs must be >= 1\n");
-        std::exit(2);
-      }
-    } else if (flag == "--workloads") {
-      const std::string v = need();
-      a.workloads = (v == "all") ? runner::workload_names()
-                                 : runner::split_csv_strict(v);
-    } else if (flag == "--help" || flag == "-h") {
-      a.help = true;
-    } else if (flag.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return false;
-    } else {
-      // Legacy positional form: [iterations] [max_n] [base_seed].
-      switch (positional++) {
-        case 0: a.iterations = std::atoi(flag.c_str()); break;
-        case 1: a.max_n = std::strtoul(flag.c_str(), nullptr, 10); break;
-        case 2: a.base_seed = std::strtoull(flag.c_str(), nullptr, 10); break;
-        default:
-          std::fprintf(stderr, "too many positional arguments\n");
-          return false;
-      }
-    }
-  }
-  return true;
+cli::parser make_parser(args& a) {
+  cli::parser p("gather_fuzz", "randomized counterexample search");
+  p.opt_int("--iterations", "random instances to try (default 200)",
+            &a.iterations);
+  p.opt_size("--max-n", "largest instance size sampled (default 12)",
+             &a.max_n);
+  p.opt_u64("--seed", "base seed for per-iteration hashed seeds",
+            &a.base_seed);
+  p.opt("--jobs", "N", "worker threads (default: all hardware threads)",
+        [&a](const std::string& v) {
+          a.jobs = cli::parse_size(v);
+          if (a.jobs == 0) {
+            throw std::invalid_argument("must be >= 1");
+          }
+        });
+  p.opt("--workloads", "W1,W2|all", "generator pool",
+        [&a](const std::string& v) {
+          a.workloads = (v == "all") ? runner::workload_names()
+                                     : runner::split_csv_strict(v);
+        });
+  // Legacy positional form, kept for muscle memory and old scripts.
+  p.positionals("[iterations] [max_n] [base_seed]",
+                [&a](std::size_t ordinal, const std::string& v) {
+                  switch (ordinal) {
+                    case 0: a.iterations = cli::parse_int(v); break;
+                    case 1: a.max_n = cli::parse_size(v); break;
+                    case 2: a.base_seed = cli::parse_u64(v); break;
+                    default:
+                      throw std::invalid_argument("too many positional arguments");
+                  }
+                });
+  return p;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   args a;
+  make_parser(a).parse_or_exit(argc, argv);
   try {
-    if (!parse(argc, argv, a)) return 2;
-    if (a.help) {
-      usage();
-      return 0;
-    }
     if (a.max_n < 3) {
       std::fprintf(stderr, "--max-n must be >= 3\n");
       return 2;

@@ -9,9 +9,7 @@ struct derived_geometry;  // expect(R5)
 namespace gather::sim {
 
 void poke_internals(gather::config::configuration& c) {
-  auto& raw = c.points_mut();                       // expect(R5)
   auto& cache = c.derived();                        // expect(R5)
-  (void)raw;
   (void)cache;
 }
 
@@ -24,11 +22,19 @@ void poke_through_pointer(gather::config::configuration* c) {
 // the words, and the public wrapper calls are all fine.
 void sanctioned(gather::config::configuration& c) {
   // gather-lint: allow(R5)
-  auto& raw = c.points_mut();
-  (void)raw;
+  auto& cache = c.derived();
+  (void)cache;
   int derived = 0;     // plain identifier, not a member call
-  int points_muted = derived;  // not the points_mut( token
-  (void)points_muted;
+  (void)derived;
+}
+
+// Negative case: configuration::points_mut() was removed (docs/API.md,
+// "Deprecations and removals").  R5 no longer carries a pattern for the
+// token, so a mention of the dead name must stay clean -- this line guards
+// against the rule over-matching if the clause is ever reintroduced.
+void removed_shim_name_is_not_flagged(gather::config::configuration& c) {
+  auto points_mut = [&c]() -> gather::config::configuration& { return c; };
+  (void)points_mut();
 }
 
 }  // namespace gather::sim

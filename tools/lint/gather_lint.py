@@ -33,11 +33,12 @@ Rules (diagnosed as path:line: Rn: message):
 
   R5  No configuration-internals access outside src/config: the
       derived-geometry cache (configuration::derived(), the
-      derived_geometry struct) and the deprecated points_mut() shim are
-      implementation details of the config layer.  Consumers go through
-      the public wrappers (classify, weber_point, all_views, ...) and the
-      invalidating mutation API; a deliberate exception (e.g. a test of
-      the shim itself) carries an allow comment.
+      derived_geometry struct) is an implementation detail of the config
+      layer.  Consumers go through the public wrappers (classify,
+      weber_point, all_views, ...) and the invalidating mutation API; a
+      deliberate exception carries an allow comment.  (The deprecated
+      raw-point-access shim this rule used to flag was removed in PR 7;
+      the fixture keeps the dead token as a negative case.)
 
 Suppression: append `// gather-lint: allow(Rn)` to the offending line, or
 put it in a comment on the line directly above.  Multiple rules:
@@ -326,11 +327,6 @@ def check_r4(src, report):
 # ---------------------------------------------------------------------------
 
 R5_PATTERNS = [
-    (
-        re.compile(r"\bpoints_mut\s*\("),
-        "deprecated configuration::points_mut(); use the invalidating "
-        "mutation API (set_position/apply_moves/insert_robot/remove_robot)",
-    ),
     (
         re.compile(r"(?:\.|->)\s*derived\s*\(\s*\)"),
         "direct derived-geometry cache access; use the public wrappers "

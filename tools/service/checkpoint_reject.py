@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Checkpoint corruption / mismatch rejection (ctest label: service).
+
+A resumed shard must never silently start from damaged or foreign state:
+
+  * a truncated checkpoint file  -> exit 2, loud diagnostic;
+  * a bit-flipped checkpoint     -> exit 2 (checksum mismatch);
+  * an intact checkpoint resumed against a *different* grid -> exit 2
+    (fingerprint mismatch).
+
+Usage: checkpoint_reject.py <gather_campaign>
+"""
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+BASE = ["--workloads", "uniform", "--n", "6", "--f", "0,2",
+        "--repeats", "2", "--seed", "5", "--jobs", "1",
+        "--shard-index", "0", "--shard-count", "2"]
+
+
+def expect_reject(campaign: str, ckpt: pathlib.Path, what: str,
+                  extra: list, failures: list) -> None:
+    out = subprocess.run([campaign, *BASE, *extra, "--checkpoint", str(ckpt)],
+                         capture_output=True, text=True)
+    if out.returncode != 2:
+        failures.append(f"{what}: expected exit 2, got {out.returncode} "
+                        f"(stderr: {out.stderr.strip()!r})")
+    elif not out.stderr.strip():
+        failures.append(f"{what}: exit 2 but no diagnostic on stderr")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: checkpoint_reject.py <gather_campaign>", file=sys.stderr)
+        return 2
+    campaign = sys.argv[1]
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="gather_ckpt_") as tmp:
+        work = pathlib.Path(tmp)
+        good = work / "good.ckpt"
+        subprocess.run([campaign, *BASE, "--checkpoint", str(good),
+                        "--max-cells", "1"],
+                       check=True, capture_output=True)
+        if not good.exists():
+            print("FAIL: partial run left no checkpoint", file=sys.stderr)
+            return 1
+        bytes_ = good.read_bytes()
+
+        truncated = work / "truncated.ckpt"
+        truncated.write_bytes(bytes_[: len(bytes_) // 2])
+        expect_reject(campaign, truncated, "truncated checkpoint", [],
+                      failures)
+
+        flipped = work / "flipped.ckpt"
+        damaged = bytearray(bytes_)
+        damaged[len(damaged) // 3] ^= 0x20
+        flipped.write_bytes(bytes(damaged))
+        expect_reject(campaign, flipped, "bit-flipped checkpoint", [],
+                      failures)
+
+        # Intact checkpoint, wrong grid: a different base seed changes the
+        # fingerprint, so resuming must be refused, not silently mixed.
+        expect_reject(campaign, good, "foreign-grid checkpoint",
+                      ["--seed", "6"], failures)
+
+        # Control: the intact checkpoint resumes fine against its own grid.
+        out = subprocess.run([campaign, *BASE, "--checkpoint", str(good)],
+                             capture_output=True, text=True)
+        if out.returncode != 0:
+            failures.append(f"control resume failed: exit {out.returncode} "
+                            f"(stderr: {out.stderr.strip()!r})")
+
+    for f in failures:
+        print(f"FAIL {f}", file=sys.stderr)
+    if not failures:
+        print("checkpoint_reject: truncation, corruption and foreign grids "
+              "are all rejected; the intact checkpoint resumes")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

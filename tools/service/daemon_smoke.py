@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Protocol smoke test for gather_campaignd (ctest label: service).
+
+Drives one daemon process over its stdin-JSONL protocol and checks the
+documented replies (docs/RUNNER.md, "Job protocol"):
+
+  * status counters start at zero;
+  * malformed JSON, unknown commands and bad submits are ok:false replies,
+    never crashes;
+  * the queue is bounded: with --queue 1, a second submit while a job is
+    in flight is rejected with error "backlog";
+  * cancel acknowledges and the daemon still drains cleanly (exit 0).
+
+Usage: daemon_smoke.py <gather_campaignd-binary>
+"""
+import json
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: daemon_smoke.py <gather_campaignd>", file=sys.stderr)
+        return 2
+    proc = subprocess.Popen(
+        [sys.argv[1], "--queue", "1"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+
+    def ask(line: str) -> dict:
+        proc.stdin.write(line + "\n")
+        proc.stdin.flush()
+        reply = proc.stdout.readline()
+        if not reply:
+            raise AssertionError(f"daemon closed stdout after: {line}")
+        return json.loads(reply)
+
+    failures = []
+
+    def check(name: str, cond: bool, got) -> None:
+        if not cond:
+            failures.append(f"{name}: got {got!r}")
+
+    r = ask('{"cmd":"status"}')
+    check("initial status", r == {
+        "ok": True, "queued": 0, "running": 0, "done": 0, "failed": 0,
+        "cancelled": 0}, r)
+
+    r = ask("this is not json")
+    check("malformed json rejected", r.get("ok") is False and "error" in r, r)
+
+    r = ask('{"cmd":"frobnicate"}')
+    check("unknown cmd rejected",
+          r.get("ok") is False and "unknown cmd" in r.get("error", ""), r)
+
+    r = ask('{"cmd":"submit","id":"bad","workloads":"no-such-workload"}')
+    check("bad grid rejected at submit", r.get("ok") is False, r)
+
+    r = ask('{"cmd":"submit","workloads":"uniform"}')
+    check("submit without id rejected", r.get("ok") is False, r)
+
+    # A deliberately large job so it is still in flight for the next checks.
+    long_job = ('{"cmd":"submit","id":"long","workloads":"uniform",'
+                '"n":"14","f":"3","repeats":"400","jobs":"1"}')
+    r = ask(long_job)
+    check("long job accepted", r == {"ok": True, "id": "long"}, r)
+
+    r = ask(long_job.replace('"id":"long"', '"id":"long2"'))
+    check("second submit hits the bounded queue",
+          r.get("ok") is False and r.get("error") == "backlog", r)
+
+    r = ask('{"cmd":"submit","id":"long","workloads":"uniform","n":"4"}')
+    check("duplicate id rejected",
+          r.get("ok") is False and "duplicate" in r.get("error", ""), r)
+
+    r = ask('{"cmd":"status","id":"long"}')
+    check("per-job status", r.get("ok") is True and r.get("id") == "long"
+          and r.get("state") in ("queued", "running"), r)
+
+    r = ask('{"cmd":"cancel","id":"long"}')
+    check("cancel acknowledged", r.get("ok") is True, r)
+
+    r = ask('{"cmd":"cancel","id":"nope"}')
+    check("cancel unknown id rejected", r.get("ok") is False, r)
+
+    r = ask('{"cmd":"drain"}')
+    check("drain reply", r == {"ok": True, "drained": True}, r)
+
+    proc.stdin.close()
+    rc = proc.wait(timeout=120)
+    check("exit code 0", rc == 0, rc)
+
+    for f in failures:
+        print(f"FAIL {f}", file=sys.stderr)
+    if not failures:
+        print("daemon_smoke: all protocol checks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""End-to-end determinism demo for the campaign service (ctest label: service).
+
+This is the acceptance scenario from docs/RUNNER.md: a grid is run once as a
+plain single-process `gather_campaign --jobs 1`, and once as 4 shards spread
+across 2 `gather_campaignd` processes -- with shard 0 deliberately
+interrupted partway (deterministic --max-cells cutoff), its daemon drained
+and exited, and the shard resumed from its checkpoint in a brand-new daemon
+process.  The per-shard artifacts are then folded with the gather_campaign
+merge modes, and every merged artifact must be byte-identical to the
+reference run:
+
+  * merged CSV           == reference CSV
+  * merged columnar file == reference columnar file
+  * merged metrics JSON  == reference metrics JSON
+  * concatenated traces  == reference trace
+
+Usage: resume_determinism.py <gather_campaign> <gather_campaignd>
+"""
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+GRID = {
+    "workloads": "uniform,majority",
+    "n": "6,8",
+    "f": "0,2",
+    "repeats": "2",
+    "seed": "77",
+}
+SHARDS = 4
+
+
+def run_reference(campaign: str, work: pathlib.Path) -> None:
+    cmd = [campaign, "--jobs", "1",
+           "--workloads", GRID["workloads"], "--n", GRID["n"],
+           "--f", GRID["f"], "--repeats", GRID["repeats"],
+           "--seed", GRID["seed"],
+           "--columnar", str(work / "ref.col"),
+           "--trace-jsonl", str(work / "ref.trace"),
+           "--metrics-json", str(work / "ref.mjson")]
+    csv = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    (work / "ref.csv").write_text(csv.stdout)
+
+
+def submit_line(job_id: str, shard: int, work: pathlib.Path,
+                max_cells: int = 0) -> str:
+    fields = dict(GRID)
+    fields.update({
+        "cmd": "submit", "id": job_id,
+        "shard_index": str(shard), "shard_count": str(SHARDS),
+        "checkpoint": str(work / f"s{shard}.ckpt"),
+        "checkpoint_stride": "1",
+        "columnar": str(work / f"s{shard}.col"),
+        "trace_jsonl": str(work / f"s{shard}.trace"),
+        "metrics_bin": str(work / f"s{shard}.mreg"),
+        "jobs": "1",
+    })
+    if max_cells:
+        fields["max_cells"] = str(max_cells)
+    return json.dumps(fields)
+
+
+def drive_daemon(daemon: str, lines: list) -> None:
+    """Feed submit lines + drain to one daemon process; check every reply."""
+    script = "".join(line + "\n" for line in lines) + '{"cmd":"drain"}\n'
+    out = subprocess.run([daemon], input=script, check=True,
+                         capture_output=True, text=True)
+    for reply in out.stdout.splitlines():
+        parsed = json.loads(reply)
+        if parsed.get("ok") is not True:
+            raise AssertionError(f"daemon refused a command: {reply}")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print("usage: resume_determinism.py <gather_campaign> "
+              "<gather_campaignd>", file=sys.stderr)
+        return 2
+    campaign, daemon = sys.argv[1], sys.argv[2]
+    with tempfile.TemporaryDirectory(prefix="gather_service_") as tmp:
+        work = pathlib.Path(tmp)
+        run_reference(campaign, work)
+
+        # Daemon process 1 runs shards 0 and 1 -- but shard 0 is cut off
+        # after 2 cells (only its checkpoint survives; no artifacts).
+        drive_daemon(daemon, [submit_line("s0-partial", 0, work, max_cells=2),
+                              submit_line("s1", 1, work)])
+        if (work / "s0.col").exists():
+            print("FAIL: interrupted shard wrote its columnar artifact",
+                  file=sys.stderr)
+            return 1
+        if not (work / "s0.ckpt").exists():
+            print("FAIL: interrupted shard left no checkpoint",
+                  file=sys.stderr)
+            return 1
+
+        # A brand-new daemon process resumes shard 0 from the checkpoint.
+        drive_daemon(daemon, [submit_line("s0-resume", 0, work)])
+        # Daemon process 2 runs shards 2 and 3.
+        drive_daemon(daemon, [submit_line("s2", 2, work),
+                              submit_line("s3", 3, work)])
+
+        cols = ",".join(str(work / f"s{k}.col") for k in range(SHARDS))
+        merged = subprocess.run(
+            [campaign, "--merge", cols, "--columnar", str(work / "m.col")],
+            check=True, capture_output=True, text=True)
+        (work / "m.csv").write_text(merged.stdout)
+
+        mregs = ",".join(str(work / f"s{k}.mreg") for k in range(SHARDS))
+        subprocess.run([campaign, "--merge-metrics", mregs,
+                        "--metrics-json", str(work / "m.mjson")],
+                       check=True, capture_output=True)
+
+        trace = b"".join((work / f"s{k}.trace").read_bytes()
+                         for k in range(SHARDS))
+        (work / "m.trace").write_bytes(trace)
+
+        failures = []
+        for name in ("csv", "col", "mjson", "trace"):
+            ref = (work / f"ref.{name}").read_bytes()
+            got = (work / f"m.{name}").read_bytes()
+            if ref != got:
+                failures.append(name)
+        if failures:
+            print(f"FAIL: merged artifacts differ from the --jobs 1 "
+                  f"reference: {', '.join(failures)}", file=sys.stderr)
+            return 1
+        print("resume_determinism: sharded + killed + resumed + merged run "
+              "is byte-identical to the single-process run "
+              "(csv, columnar, metrics json, trace)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
