@@ -1,0 +1,93 @@
+# Script mode (cmake -P): configure and build a sanitizer child tree, run
+# the selected test binaries under it, and optionally drive a daemon stress
+# script against a child-built tool.  One script serves the whole matrix
+# (cmake/SanitizerMatrix.cmake registers ubsan_smoke / asan_smoke /
+# tsan_smoke on top of it).
+#
+#   cmake -DSOURCE_DIR=<repo> -DWORK_DIR=<scratch> -DSANITIZE=<which>
+#         -DCHECK_INVARIANTS=<ON|OFF> -DTARGETS=a,b -DRUN_TESTS=tests/a,tests/b
+#         [-DDRIVER=<script.py> -DDRIVER_BIN=tools/bin -DPYTHON=<python3>]
+#         -P SanitizerSmoke.cmake
+#
+# The child build uses GATHER_SANITIZE=${SANITIZE} with recovery disabled
+# (see the root CMakeLists), so any report aborts the offending process and
+# this script fails -- a green run certifies zero reports.  Comma-separated
+# list arguments avoid quoting semicolons through add_test.
+
+foreach(required SOURCE_DIR WORK_DIR SANITIZE TARGETS RUN_TESTS)
+  if(NOT ${required})
+    message(FATAL_ERROR "sanitizer-smoke: missing -D${required}=...")
+  endif()
+endforeach()
+if(NOT DEFINED CHECK_INVARIANTS)
+  set(CHECK_INVARIANTS OFF)
+endif()
+
+string(REPLACE "," ";" _targets "${TARGETS}")
+string(REPLACE "," ";" _runs "${RUN_TESTS}")
+
+# halt_on_error turns the first report into a non-zero exit, so "green"
+# below always means "zero reports", never "reports scrolled past".
+if(SANITIZE STREQUAL "undefined")
+  set(_env "UBSAN_OPTIONS=print_stacktrace=1:halt_on_error=1")
+elseif(SANITIZE STREQUAL "address")
+  set(_env "ASAN_OPTIONS=halt_on_error=1:detect_leaks=1")
+elseif(SANITIZE STREQUAL "thread")
+  set(_env "TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1")
+else()
+  message(FATAL_ERROR "sanitizer-smoke: unknown SANITIZE '${SANITIZE}'")
+endif()
+
+include(ProcessorCount)
+ProcessorCount(nproc)
+if(nproc EQUAL 0)
+  set(nproc 4)
+endif()
+
+message(STATUS "${SANITIZE}-smoke: configure ${WORK_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${WORK_DIR}
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo
+          -DGATHER_SANITIZE=${SANITIZE}
+          -DGATHER_CHECK_INVARIANTS=${CHECK_INVARIANTS}
+          -DGATHER_BUILD_BENCH=OFF
+          -DGATHER_BUILD_EXAMPLES=OFF
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${SANITIZE}-smoke: configure failed (${rc})")
+endif()
+
+message(STATUS "${SANITIZE}-smoke: build ${TARGETS} (-j${nproc})")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${WORK_DIR}
+          --target ${_targets} --parallel ${nproc}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${SANITIZE}-smoke: build failed (${rc})")
+endif()
+
+foreach(test_bin ${_runs})
+  message(STATUS "${SANITIZE}-smoke: run ${test_bin}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ${_env} ${WORK_DIR}/${test_bin}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${SANITIZE}-smoke: ${test_bin} failed (${rc})")
+  endif()
+endforeach()
+
+if(DRIVER)
+  if(NOT DRIVER_BIN OR NOT PYTHON)
+    message(FATAL_ERROR "sanitizer-smoke: DRIVER needs DRIVER_BIN and PYTHON")
+  endif()
+  message(STATUS "${SANITIZE}-smoke: drive ${DRIVER} against ${DRIVER_BIN}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ${_env}
+            ${PYTHON} ${DRIVER} ${WORK_DIR}/${DRIVER_BIN}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${SANITIZE}-smoke: driver failed (${rc})")
+  endif()
+endif()
+
+message(STATUS "${SANITIZE}-smoke: OK (zero reports)")

@@ -6,10 +6,12 @@
 # SKIP rather than failure, so the gate degrades gracefully on toolchains
 # without LLVM while staying strict where it is installed.
 #
-# `ctest -L sanitize` runs the UBSan smoke: a child configure+build of this
-# source tree with -fsanitize=undefined (recovery disabled) and the
-# GATHER_CHECK invariant contracts compiled in, then test_geometry and
-# test_sim.  Green means zero UB reports and zero contract violations.
+# `ctest -L sanitize` runs the sanitizer gate matrix
+# (cmake/SanitizerMatrix.cmake): child configure+builds of this source tree
+# under UBSan (+ GATHER_CHECK contracts), ASan, and TSan, each running the
+# test binaries that exercise what that sanitizer is best at; the TSan row
+# additionally races gather_campaignd with a submit/cancel/drain stress
+# driver.  Green means zero reports across the matrix.
 
 find_package(Python3 COMPONENTS Interpreter)
 
@@ -21,7 +23,17 @@ if(Python3_Interpreter_FOUND)
             --root ${CMAKE_SOURCE_DIR} src tools bench tests)
   add_test(NAME lint_selftest
     COMMAND ${Python3_EXECUTABLE} ${_lint_dir}/gather_lint.py --self-test)
-  set_tests_properties(lint_gather lint_selftest PROPERTIES LABELS "lint")
+
+  # gather-analyze: the scope-aware pass (R6 reference invalidation, R7
+  # lock discipline, R8 include-graph layering) plus the stale-suppression
+  # audit over every gather-lint allow() annotation.
+  add_test(NAME lint_analyze
+    COMMAND ${Python3_EXECUTABLE} ${_lint_dir}/gather_analyze.py
+            --root ${CMAKE_SOURCE_DIR} --stale-allows src tools bench tests)
+  add_test(NAME lint_analyze_selftest
+    COMMAND ${Python3_EXECUTABLE} ${_lint_dir}/gather_analyze.py --self-test)
+  set_tests_properties(lint_gather lint_selftest lint_analyze
+                       lint_analyze_selftest PROPERTIES LABELS "lint")
 
   add_test(NAME lint_clang_tidy
     COMMAND ${Python3_EXECUTABLE} ${_lint_dir}/run_clang_tidy.py
@@ -80,15 +92,8 @@ else()
   message(STATUS "Python3 not found: lint and service gates not registered")
 endif()
 
-# UBSan + invariant-contract smoke.  A child build, so the main tree's
-# flags are untouched; RUN_SERIAL keeps its parallel compile from starving
-# concurrently running tests.
+# Sanitizer gate matrix (ubsan_smoke, asan_smoke, tsan_smoke): child
+# builds, so the main tree's flags are untouched.
 if(NOT GATHER_SANITIZE)  # don't nest a sanitizer build inside another
-  add_test(NAME ubsan_smoke
-    COMMAND ${CMAKE_COMMAND}
-            -DSOURCE_DIR=${CMAKE_SOURCE_DIR}
-            -DWORK_DIR=${CMAKE_BINARY_DIR}/ubsan-smoke
-            -P ${CMAKE_SOURCE_DIR}/cmake/UbsanSmoke.cmake)
-  set_tests_properties(ubsan_smoke PROPERTIES
-    LABELS "sanitize" TIMEOUT 1500 RUN_SERIAL TRUE COST 10000)
+  include(${CMAKE_SOURCE_DIR}/cmake/SanitizerMatrix.cmake)
 endif()

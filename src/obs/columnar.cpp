@@ -26,12 +26,12 @@ std::size_t column::size() const {
   return 0;  // unreachable
 }
 
-column& columnar_table::add_column(std::string name, column_type type) {
+std::size_t columnar_table::add_column(std::string name, column_type type) {
   if (find(name) != nullptr) {
     throw std::invalid_argument("columnar: duplicate column '" + name + "'");
   }
   cols_.push_back(column{std::move(name), type, {}, {}, {}});
-  return cols_.back();
+  return cols_.size() - 1;
 }
 
 const column* columnar_table::find(const std::string& name) const {
@@ -127,7 +127,8 @@ columnar_table columnar_table::decode(std::string_view bytes) {
     if (raw_type > static_cast<std::uint8_t>(column_type::str)) {
       throw std::runtime_error("columnar: bad column type");
     }
-    column& c = t.add_column(std::move(name), static_cast<column_type>(raw_type));
+    column& c =
+        t.col(t.add_column(std::move(name), static_cast<column_type>(raw_type)));
     switch (c.type) {
       case column_type::u64:
         c.u64s.reserve(row_n);

@@ -38,9 +38,17 @@ class columnar_table {
  public:
   /// Declare a column; order of declaration is the schema order and is part
   /// of the encoded bytes.  Throws std::invalid_argument on duplicate names.
-  /// The returned reference is invalidated by the next add_column call --
-  /// declare the full schema first, then fill via find().
-  column& add_column(std::string name, column_type type);
+  /// Returns the column's index, stable for the life of the table -- fill
+  /// through col(index).  (The previous reference-returning signature was
+  /// an invalidation hazard: the next add_column could reallocate the
+  /// column vector.  gather-analyze rule R6 keeps the old pattern out.)
+  std::size_t add_column(std::string name, column_type type);
+
+  /// The column at a schema index returned by add_column.
+  [[nodiscard]] column& col(std::size_t index) { return cols_.at(index); }
+  [[nodiscard]] const column& col(std::size_t index) const {
+    return cols_.at(index);
+  }
 
   [[nodiscard]] const std::vector<column>& columns() const { return cols_; }
   /// Lookup by name; nullptr when absent.

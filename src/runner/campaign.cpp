@@ -133,7 +133,7 @@ campaign_result run_campaign(const campaign_spec& spec) {
   std::vector<cell_slot> slots(range.size());
   // Slot offsets (cell index - range.begin) of completed cells, in no
   // particular order; sorted when a checkpoint or the final fold needs them.
-  std::vector<std::size_t> completed_slots;
+  std::vector<std::size_t> completed_slots;  // gather-lint: guarded_by(completed_mutex)
   std::mutex completed_mutex;
 
   std::size_t restored = 0;
@@ -145,6 +145,9 @@ campaign_result run_campaign(const campaign_spec& spec) {
             "checkpoint: fingerprint mismatch (different grid, shard range "
             "or sink configuration)");
       }
+      // Single-threaded restore phase; the lock is uncontended but keeps
+      // the completed_slots discipline uniform (gather-analyze R7).
+      std::lock_guard<std::mutex> restore_lock(completed_mutex);
       for (checkpoint_cell& c : saved.cells) {
         const std::size_t offset = c.result.spec.index - range.begin;
         cell_slot& slot = slots[offset];
@@ -166,6 +169,7 @@ campaign_result run_campaign(const campaign_spec& spec) {
   std::vector<std::size_t> pending;
   pending.reserve(range.size() - restored);
   {
+    std::lock_guard<std::mutex> pending_lock(completed_mutex);
     std::vector<bool> done(range.size(), false);
     for (const std::size_t offset : completed_slots) done[offset] = true;
     for (std::size_t i = 0; i < range.size(); ++i) {
@@ -258,6 +262,11 @@ campaign_result run_campaign(const campaign_spec& spec) {
       spec.exec.on_progress(p);
     }
   });
+
+  // The pool's workers are idle after parallel_for, so the lock below is
+  // uncontended; holding it for the whole fold keeps every completed_slots
+  // access under completed_mutex (gather-analyze R7).
+  std::lock_guard<std::mutex> fold_lock(completed_mutex);
 
   // A cancelled run may stop before any checkpoint-stride boundary; persist
   // whatever completed so the next invocation resumes from it.

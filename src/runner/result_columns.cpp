@@ -11,32 +11,38 @@ namespace {
 
 // Schema order mirrors the CSV column order (plus the identity fields CSV
 // derives implicitly).  Bumping this layout requires bumping the columnar
-// version story in docs/RUNNER.md.
-constexpr const char* kU64Columns[] = {
-    "index", "seed", "requested_n", "f", "repeat", "n",      "status",
-    "rounds", "crashes", "wait_free_violations", "bivalent_entries",
-    "first_mult_round", "phases",
+// version story in docs/RUNNER.md.  add_column returns each column's index;
+// the encoder fills through col(index), so no name lookup happens per row.
+struct result_schema {
+  obs::columnar_table table;
+  std::size_t index, seed, requested_n, f, repeat, n, status, rounds, crashes,
+      wait_free_violations, bivalent_entries, first_mult_round, phases;
+  std::size_t workload, scheduler, movement;
+  std::size_t delta;
 };
-constexpr const char* kStrColumns[] = {"workload", "scheduler", "movement"};
-constexpr const char* kF64Columns[] = {"delta"};
 
-obs::columnar_table make_schema() {
-  obs::columnar_table t;
-  for (const char* name : kU64Columns) {
-    (void)t.add_column(name, obs::column_type::u64);
-  }
-  for (const char* name : kStrColumns) {
-    (void)t.add_column(name, obs::column_type::str);
-  }
-  for (const char* name : kF64Columns) {
-    (void)t.add_column(name, obs::column_type::f64);
-  }
-  return t;
-}
-
-std::vector<std::uint64_t>& u64_col(obs::columnar_table& t,
-                                    const std::string& name) {
-  return t.find(name)->u64s;
+result_schema make_schema() {
+  result_schema s;
+  obs::columnar_table& t = s.table;
+  s.index = t.add_column("index", obs::column_type::u64);
+  s.seed = t.add_column("seed", obs::column_type::u64);
+  s.requested_n = t.add_column("requested_n", obs::column_type::u64);
+  s.f = t.add_column("f", obs::column_type::u64);
+  s.repeat = t.add_column("repeat", obs::column_type::u64);
+  s.n = t.add_column("n", obs::column_type::u64);
+  s.status = t.add_column("status", obs::column_type::u64);
+  s.rounds = t.add_column("rounds", obs::column_type::u64);
+  s.crashes = t.add_column("crashes", obs::column_type::u64);
+  s.wait_free_violations =
+      t.add_column("wait_free_violations", obs::column_type::u64);
+  s.bivalent_entries = t.add_column("bivalent_entries", obs::column_type::u64);
+  s.first_mult_round = t.add_column("first_mult_round", obs::column_type::u64);
+  s.phases = t.add_column("phases", obs::column_type::u64);
+  s.workload = t.add_column("workload", obs::column_type::str);
+  s.scheduler = t.add_column("scheduler", obs::column_type::str);
+  s.movement = t.add_column("movement", obs::column_type::str);
+  s.delta = t.add_column("delta", obs::column_type::f64);
+  return s;
 }
 
 const obs::column& require(const obs::columnar_table& t,
@@ -53,31 +59,32 @@ const obs::column& require(const obs::columnar_table& t,
 obs::columnar_table encode_results(const std::vector<run_result>& rows,
                                    cell_range range,
                                    std::uint64_t fingerprint) {
-  obs::columnar_table t = make_schema();
+  result_schema s = make_schema();
+  obs::columnar_table& t = s.table;
   t.meta["begin"] = range.begin;
   t.meta["end"] = range.end;
   t.meta["fingerprint"] = fingerprint;
   for (const run_result& r : rows) {
-    u64_col(t, "index").push_back(r.spec.index);
-    u64_col(t, "seed").push_back(r.spec.seed);
-    u64_col(t, "requested_n").push_back(r.spec.n);
-    u64_col(t, "f").push_back(r.spec.f);
-    u64_col(t, "repeat").push_back(static_cast<std::uint64_t>(r.spec.repeat));
-    u64_col(t, "n").push_back(r.n);
-    u64_col(t, "status").push_back(static_cast<std::uint64_t>(r.status));
-    u64_col(t, "rounds").push_back(r.rounds);
-    u64_col(t, "crashes").push_back(r.crashes);
-    u64_col(t, "wait_free_violations").push_back(r.wait_free_violations);
-    u64_col(t, "bivalent_entries").push_back(r.bivalent_entries);
-    u64_col(t, "first_mult_round").push_back(r.first_multiplicity_round);
-    u64_col(t, "phases").push_back(r.phase_count);
-    t.find("workload")->strs.push_back(r.spec.workload);
-    t.find("scheduler")->strs.push_back(r.spec.scheduler);
-    t.find("movement")->strs.push_back(r.spec.movement);
-    t.find("delta")->f64s.push_back(r.spec.delta);
+    t.col(s.index).u64s.push_back(r.spec.index);
+    t.col(s.seed).u64s.push_back(r.spec.seed);
+    t.col(s.requested_n).u64s.push_back(r.spec.n);
+    t.col(s.f).u64s.push_back(r.spec.f);
+    t.col(s.repeat).u64s.push_back(static_cast<std::uint64_t>(r.spec.repeat));
+    t.col(s.n).u64s.push_back(r.n);
+    t.col(s.status).u64s.push_back(static_cast<std::uint64_t>(r.status));
+    t.col(s.rounds).u64s.push_back(r.rounds);
+    t.col(s.crashes).u64s.push_back(r.crashes);
+    t.col(s.wait_free_violations).u64s.push_back(r.wait_free_violations);
+    t.col(s.bivalent_entries).u64s.push_back(r.bivalent_entries);
+    t.col(s.first_mult_round).u64s.push_back(r.first_multiplicity_round);
+    t.col(s.phases).u64s.push_back(r.phase_count);
+    t.col(s.workload).strs.push_back(r.spec.workload);
+    t.col(s.scheduler).strs.push_back(r.spec.scheduler);
+    t.col(s.movement).strs.push_back(r.spec.movement);
+    t.col(s.delta).f64s.push_back(r.spec.delta);
   }
   (void)t.rows();  // sanity: all columns advanced in lockstep
-  return t;
+  return std::move(s.table);
 }
 
 std::vector<run_result> decode_results(const obs::columnar_table& t) {

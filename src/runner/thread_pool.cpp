@@ -58,7 +58,7 @@ void thread_pool::parallel_for(std::size_t count,
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
-  std::exception_ptr first_error;
+  std::exception_ptr first_error;  // gather-lint: guarded_by(error_mutex)
   std::mutex error_mutex;
 
   auto drain = [&] {
@@ -80,6 +80,9 @@ void thread_pool::parallel_for(std::size_t count,
   done.reserve(lanes);
   for (std::size_t l = 0; l < lanes; ++l) done.push_back(submit(drain));
   for (auto& fut : done) fut.get();
+  // The futures are joined, but take the (uncontended) lock anyway: the
+  // read is then unconditionally ordered after every writer's release.
+  std::lock_guard<std::mutex> lock(error_mutex);
   if (first_error) std::rethrow_exception(first_error);
 }
 

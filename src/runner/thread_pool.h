@@ -61,10 +61,10 @@ class thread_pool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<std::packaged_task<void()>> queue_;  // gather-lint: guarded_by(mutex_)
   std::mutex mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ = false;  // gather-lint: guarded_by(mutex_)
 };
 
 }  // namespace gather::runner

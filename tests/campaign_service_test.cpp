@@ -118,14 +118,14 @@ obs::columnar_table small_table() {
   obs::columnar_table t;
   t.meta["begin"] = 0;
   t.meta["end"] = 2;
-  // Declare the whole schema first: add_column invalidates references
-  // returned by earlier calls.
-  (void)t.add_column("index", obs::column_type::u64);
-  (void)t.add_column("name", obs::column_type::str);
-  (void)t.add_column("score", obs::column_type::f64);
-  t.find("index")->u64s = {0, 1};
-  t.find("name")->strs = {"alpha", "beta"};
-  t.find("score")->f64s = {1.5, -2.25};
+  // add_column returns a stable schema index; col(index) stays valid no
+  // matter how many columns are declared afterwards.
+  const std::size_t index = t.add_column("index", obs::column_type::u64);
+  const std::size_t name = t.add_column("name", obs::column_type::str);
+  const std::size_t score = t.add_column("score", obs::column_type::f64);
+  t.col(index).u64s = {0, 1};
+  t.col(name).strs = {"alpha", "beta"};
+  t.col(score).f64s = {1.5, -2.25};
   return t;
 }
 

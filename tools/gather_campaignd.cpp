@@ -387,10 +387,12 @@ class job_server {
   std::mutex mutex_;
   std::condition_variable cv_;       // worker wake-up
   std::condition_variable cv_idle_;  // drain wake-up
-  std::deque<std::string> queue_;    // queued job ids, FIFO
-  std::vector<std::string> running_; // at most one entry (single worker)
-  std::map<std::string, job> jobs_;
-  bool shutdown_ = false;
+  // queued job ids, FIFO              gather-lint: guarded_by(mutex_)
+  std::deque<std::string> queue_;
+  // at most one entry (single worker)  gather-lint: guarded_by(mutex_)
+  std::vector<std::string> running_;
+  std::map<std::string, job> jobs_;  // gather-lint: guarded_by(mutex_)
+  bool shutdown_ = false;            // gather-lint: guarded_by(mutex_)
   std::thread worker_;
 };
 

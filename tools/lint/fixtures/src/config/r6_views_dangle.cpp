@@ -1,0 +1,95 @@
+// Fixture: R6 — references into the derived-geometry cache used after an
+// invalidating mutation.  Each `expect(Rn)` marks a line the analyzer must
+// diagnose.  (Lives under src/config so the derived() accessor itself is
+// R5-exempt; R6 is about lifetime, not layering.)
+#include <cstddef>
+#include <vector>
+
+namespace gather::config {
+
+struct point {
+  double x = 0.0, y = 0.0;
+};
+struct view {
+  std::size_t index = 0;
+};
+
+class configuration {
+ public:
+  const std::vector<view>& all_views() const;
+  void set_position(std::size_t i, point p);
+  void apply_moves(const std::vector<point>& targets);
+  void insert_robot(point p);
+  void set_tol_refresh(double tol);
+};
+
+const std::vector<std::size_t>& angular_order_of_occupied(
+    const configuration& c, std::size_t i);
+void consume(std::size_t n);
+
+// Violation: the reference dangles across the invalidating mutation.
+std::size_t stale_after_set_position(configuration& c, point p) {
+  const std::vector<view>& vs = c.all_views();
+  c.set_position(0, p);
+  return vs.size();  // expect(R6)
+}
+
+// Violation: a mutation behind a conditional still stales the outer
+// binding — the analyzer is linear and assumes the branch is taken.
+std::size_t stale_after_branch(configuration& c, point p, bool grow) {
+  const std::vector<view>& vs = c.all_views();
+  if (grow) {
+    c.insert_robot(p);
+  }
+  return vs.size();  // expect(R6)
+}
+
+// Violation: free-function accessors backed by the same cache dangle too.
+std::size_t stale_angular_order(configuration& c, double tol) {
+  const std::vector<std::size_t>& order = angular_order_of_occupied(c, 0);
+  c.set_tol_refresh(tol);
+  return order.size();  // expect(R6)
+}
+
+// Negative: use before the mutation is fine, and re-acquiring a fresh
+// reference afterwards under a new name is the sanctioned pattern.
+std::size_t reacquire_is_clean(configuration& c, point p) {
+  const std::vector<view>& vs = c.all_views();
+  consume(vs.size());
+  c.set_position(0, p);
+  const std::vector<view>& fresh = c.all_views();
+  return fresh.size();
+}
+
+// Negative: a value copy survives any mutation.
+std::size_t value_copy_is_clean(configuration& c, point p) {
+  std::vector<view> snapshot = c.all_views();
+  c.set_position(0, p);
+  return snapshot.size();
+}
+
+// Negative: mutating a *different* configuration does not invalidate.
+std::size_t other_object_is_clean(configuration& c, configuration& d,
+                                  point p) {
+  const std::vector<view>& vs = c.all_views();
+  d.set_position(0, p);
+  return vs.size();
+}
+
+// Negative: a re-targeted pointer is fresh again after reassignment.
+std::size_t pointer_retarget_is_clean(configuration& c, point p) {
+  const std::vector<view>* vp = &c.all_views();
+  c.set_position(0, p);
+  vp = &c.all_views();
+  return vp->size();
+}
+
+// Suppressed: the caller proves no view is read between here and return.
+std::size_t sanctioned_stale(configuration& c,
+                             const std::vector<point>& targets) {
+  const std::vector<view>& vs = c.all_views();
+  c.apply_moves(targets);
+  return vs.capacity();  // gather-lint: allow(R6)
+}
+
+}  // namespace gather::config

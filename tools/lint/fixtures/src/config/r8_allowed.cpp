@@ -1,0 +1,10 @@
+// Fixture: R8 — a deliberate upward edge under suppression (proves the
+// allow() contract holds for include-line diagnostics).
+// gather-lint: allow(R8)
+#include "runner/fixture_absent.h"
+
+namespace gather::config {
+
+int sanctioned_upward_edge() { return 0; }
+
+}  // namespace gather::config

@@ -1,0 +1,9 @@
+// Fixture: R8 — a lateral edge: core and workloads share rank 40 (peers),
+// so neither may include the other.
+#include "workloads/fixture_absent.h"  // expect(R8)
+
+namespace gather::core {
+
+int uses_peer_layer() { return 0; }
+
+}  // namespace gather::core

@@ -1,0 +1,10 @@
+// Fixture: the stale-suppression audit.  This allow(R1) never suppresses
+// anything (R1 does not even run over src/core), so --stale-allows must
+// report the annotation as dead.
+int fixture_stale_marker();  // gather-lint: allow(R1)  expect-stale(R1)
+
+namespace gather::core {
+
+int quiet_file() { return 0; }
+
+}  // namespace gather::core

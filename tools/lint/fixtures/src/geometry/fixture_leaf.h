@@ -1,0 +1,8 @@
+// Fixture helper for R8: a leaf header with no includes.
+#pragma once
+
+namespace gather::geometry {
+
+inline int fixture_leaf_value() { return 7; }
+
+}  // namespace gather::geometry

@@ -1,0 +1,9 @@
+// Fixture: R8 — an upward layer edge: geometry (rank 20) must not include
+// sim (rank 50).  See tools/lint/layers.toml.
+#include "sim/fixture_upper.h"  // expect(R8)
+
+namespace gather::geometry {
+
+int uses_upper_layer() { return gather::sim::fixture_upper_value(); }
+
+}  // namespace gather::geometry

@@ -1,0 +1,9 @@
+// Fixture: R8 — one half of an include cycle (same module, so the layer
+// ranks are silent; the file-level cycle check must still reject it).
+#pragma once
+
+#include "obs/r8_cycle_b.h"
+
+namespace gather::obs {
+inline int cycle_a() { return 1; }
+}  // namespace gather::obs

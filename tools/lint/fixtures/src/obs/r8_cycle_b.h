@@ -1,0 +1,10 @@
+// Fixture: R8 — the back edge of the include cycle.  The DFS starts from
+// the lexicographically first file, so the cycle is reported here, where
+// the edge closes back onto r8_cycle_a.h.
+#pragma once
+
+#include "obs/r8_cycle_a.h"  // expect(R8)
+
+namespace gather::obs {
+inline int cycle_b() { return 2; }
+}  // namespace gather::obs

@@ -1,0 +1,56 @@
+// Fixture: R6 — the columnar_table::add_column reference-invalidation trap
+// (src/obs/columnar.h).  This reproduces the pre-fix API shape, where
+// add_column returned a reference into the column vector; the real API now
+// returns an index precisely because of this hazard.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gather::runner {
+
+enum class column_type : std::uint8_t { u64 = 0 };
+
+struct column {
+  std::vector<std::uint64_t> u64s;
+};
+
+class legacy_table {
+ public:
+  column& add_column(std::string name, column_type type);
+  column* find(const std::string& name);
+};
+
+// Violation: the classic declare-two-then-fill bug.  The second add_column
+// may reallocate the column vector; `idx` dangles.
+void old_dangling_pattern(legacy_table& t) {
+  column& idx = t.add_column("index", column_type::u64);
+  column& seed = t.add_column("seed", column_type::u64);
+  idx.u64s.push_back(1);   // expect(R6)
+  seed.u64s.push_back(2);  // the most recent reference is still valid
+}
+
+// Violation: the dangle also bites through a pointer.
+void old_dangling_pointer(legacy_table& t) {
+  column* first = &t.add_column("rounds", column_type::u64);
+  t.add_column("crashes", column_type::u64);
+  first->u64s.push_back(3);  // expect(R6)
+}
+
+// Negative: declare the full schema first, then re-find by name — the
+// pattern the pre-fix header comment prescribed.
+void declare_then_find_is_clean(legacy_table& t) {
+  t.add_column("a", column_type::u64);
+  t.add_column("b", column_type::u64);
+  column* a = t.find("a");
+  a->u64s.push_back(4);
+}
+
+// Negative: re-acquiring the pointer after the invalidating call.
+void reacquire_pointer_is_clean(legacy_table& t) {
+  column* c = &t.add_column("x", column_type::u64);
+  t.add_column("y", column_type::u64);
+  c = t.find("x");
+  c->u64s.push_back(5);
+}
+
+}  // namespace gather::runner

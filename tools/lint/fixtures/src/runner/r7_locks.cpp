@@ -1,0 +1,97 @@
+// Fixture: R7 — guarded fields touched outside their declared mutex.
+// The guard map is declared inline: `// gather-lint: guarded_by(m)` on (or
+// directly above) a declaration binds that name to mutex `m` file-wide.
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace gather::runner {
+
+class worklist {
+ public:
+  int bad_read() const;
+  void locked_push(int v);
+  void scope_ends_too_early();
+  void unlock_window();
+  void wrong_mutex_pop();
+  void deferred_lock();
+  void wait_predicate_reads_under_lock();
+  void two_mutexes_at_once();
+  void single_threaded_teardown();
+
+ private:
+  mutable std::mutex mutex_;
+  std::mutex flush_mutex_;
+  std::condition_variable cv_;
+  std::deque<int> queue_;  // gather-lint: guarded_by(mutex_)
+  bool stop_ = false;      // gather-lint: guarded_by(mutex_)
+  // gather-lint: guarded_by(flush_mutex_)
+  int flushed_ = 0;
+};
+
+// Violation: plain unlocked read.
+int worklist::bad_read() const {
+  return static_cast<int>(queue_.size());  // expect(R7)
+}
+
+// Negative: the canonical lock_guard pattern.
+void worklist::locked_push(int v) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  queue_.push_back(v);
+}
+
+// Violation: the lock's scope ended with the inner block.
+void worklist::scope_ends_too_early() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    queue_.clear();
+  }
+  stop_ = true;  // expect(R7)
+}
+
+// unique_lock unlock()/lock() windows: the gap is a violation, the
+// re-locked tail is clean.
+void worklist::unlock_window() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  queue_.push_back(1);
+  lk.unlock();
+  stop_ = true;  // expect(R7)
+  lk.lock();
+  stop_ = false;
+}
+
+// Violation: holding the wrong mutex does not count.
+void worklist::wrong_mutex_pop() {
+  std::lock_guard<std::mutex> lk(flush_mutex_);
+  flushed_ += 1;
+  queue_.pop_front();  // expect(R7)
+}
+
+// std::defer_lock starts disengaged; .lock() engages it.
+void worklist::deferred_lock() {
+  std::unique_lock<std::mutex> lk(mutex_, std::defer_lock);
+  stop_ = true;  // expect(R7)
+  lk.lock();
+  stop_ = false;
+}
+
+// Negative: a condition_variable wait predicate runs with the lock held.
+void worklist::wait_predicate_reads_under_lock() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+  queue_.pop_front();
+}
+
+// Negative: scoped_lock engages every mutex it names.
+void worklist::two_mutexes_at_once() {
+  std::scoped_lock lk(mutex_, flush_mutex_);
+  queue_.push_back(2);
+  flushed_ += 1;
+}
+
+// Suppressed: single-threaded by construction (workers already joined).
+void worklist::single_threaded_teardown() {
+  stop_ = true;  // gather-lint: allow(R7)
+}
+
+}  // namespace gather::runner

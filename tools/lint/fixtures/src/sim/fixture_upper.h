@@ -1,0 +1,11 @@
+// Fixture helper for R8: a sim-layer header whose own include is a clean
+// downward edge (sim rank 50 -> geometry rank 20).
+#pragma once
+
+#include "geometry/fixture_leaf.h"
+
+namespace gather::sim {
+
+inline int fixture_upper_value() { return gather::geometry::fixture_leaf_value(); }
+
+}  // namespace gather::sim

@@ -1,0 +1,11 @@
+// Fixture: R8 — header overrides.  sim/rng.h is rank-0 by override (a
+// self-contained leaf), so workloads (rank 40) may draw from it; any other
+// sim header is an upward edge.
+#include "sim/rng.h"
+#include "sim/scheduler.h"  // expect(R8)
+
+namespace gather::workloads {
+
+int uses_rng_and_scheduler() { return 0; }
+
+}  // namespace gather::workloads

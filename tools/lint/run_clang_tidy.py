@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
 """Run clang-tidy over the tree using the repo .clang-tidy config.
 
-Usage: run_clang_tidy.py --build-dir BUILD [--root DIR] [PATH...]
+Usage: run_clang_tidy.py --build-dir BUILD [--root DIR] [--changed [REF]]
+                         [PATH...]
 
 BUILD must contain compile_commands.json (the root CMakeLists exports it).
 PATHs default to src tools bench examples (tests pick up tests/.clang-tidy
 automatically when listed explicitly).
+
+--changed restricts the run to files that differ from REF (default
+origin/main, falling back to main when no remote is configured) plus any
+untracked files -- the incremental mode for local iteration.  The ctest
+registration stays full-tree; a changed-only pass proves nothing about
+files an edited header breaks.  No compilable file changed exits 0.
 
 The binary is located via $CLANG_TIDY, then `clang-tidy`, then versioned
 names.  When no binary is found the script prints a notice and exits 127,
@@ -37,10 +44,53 @@ def find_tool():
     return None
 
 
+def changed_files(root, ref):
+    """Absolute paths differing from the merge base with `ref`, plus
+    untracked files; None when git cannot resolve anything usable."""
+
+    def git(*args):
+        proc = subprocess.run(
+            ["git", "-C", root, *args], capture_output=True, text=True
+        )
+        return proc.stdout.strip() if proc.returncode == 0 else None
+
+    resolved = None
+    for candidate in dict.fromkeys([ref, "origin/main", "main"]):
+        if git("rev-parse", "--verify", "--quiet", candidate) is not None:
+            resolved = candidate
+            break
+    if resolved is None:
+        print(f"run_clang_tidy: cannot resolve --changed ref '{ref}'")
+        return None
+    if resolved != ref:
+        print(f"run_clang_tidy: ref '{ref}' not found, comparing to '{resolved}'")
+
+    base = git("merge-base", resolved, "HEAD") or resolved
+    diff = git("diff", "--name-only", "-z", base)
+    untracked = git("ls-files", "--others", "--exclude-standard", "-z")
+    if diff is None or untracked is None:
+        print("run_clang_tidy: git diff failed; is this a git checkout?")
+        return None
+    out = set()
+    for rel in (diff + "\0" + untracked).split("\0"):
+        if rel:
+            out.add(os.path.abspath(os.path.join(root, rel)))
+    return out
+
+
 def main(argv):
     ap = argparse.ArgumentParser(prog="run_clang_tidy.py")
     ap.add_argument("--build-dir", required=True)
     ap.add_argument("--root", default=".")
+    ap.add_argument(
+        "--changed",
+        nargs="?",
+        const="origin/main",
+        default=None,
+        metavar="REF",
+        help="lint only files differing from REF (default origin/main) "
+        "plus untracked files",
+    )
     ap.add_argument("paths", nargs="*")
     args = ap.parse_args(argv[1:])
 
@@ -72,6 +122,15 @@ def main(argv):
     if not files:
         print("run_clang_tidy: no files from the requested paths in the compile database")
         return 2
+
+    if args.changed is not None:
+        changed = changed_files(root, args.changed)
+        if changed is None:
+            return 2
+        files = [f for f in files if f in changed]
+        if not files:
+            print("run_clang_tidy: no compiled files changed; nothing to lint")
+            return 0
 
     print(f"run_clang_tidy: {tool} over {len(files)} file(s)")
     failed = False

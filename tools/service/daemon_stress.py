@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Submit/cancel/drain stress driver for gather_campaignd (TSan companion).
+
+Where daemon_smoke.py checks each protocol reply once, this driver exists
+to make the daemon's command thread and worker thread collide: it rides the
+bounded-queue boundary with a stream of small jobs, cancels every other
+accepted job while the worker is mid-stream, and interleaves status polls
+throughout.  Run under ThreadSanitizer (cmake/SanitizerMatrix.cmake,
+tsan_smoke) a green exit certifies the lock discipline that gather-analyze
+rule R7 checks statically: zero data races on the queue/jobs/shutdown
+state.
+
+The checks themselves are deliberately loose -- a submit may be accepted or
+bounce off the backlog depending on worker timing, and a cancel may catch
+the job queued, running, or already done.  What must hold: every reply is
+well-formed, accepted jobs all reach a terminal state, the drain
+handshake is acknowledged, and the exit code is 0.
+
+Usage: daemon_stress.py <gather_campaignd-binary>
+"""
+import json
+import subprocess
+import sys
+import time
+
+JOBS = 12
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: daemon_stress.py <gather_campaignd>", file=sys.stderr)
+        return 2
+    proc = subprocess.Popen(
+        [sys.argv[1], "--queue", "3"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+
+    def ask(line: str) -> dict:
+        proc.stdin.write(line + "\n")
+        proc.stdin.flush()
+        reply = proc.stdout.readline()
+        if not reply:
+            raise AssertionError(f"daemon closed stdout after: {line}")
+        return json.loads(reply)
+
+    failures = []
+
+    def check(name: str, cond: bool, got) -> None:
+        if not cond:
+            failures.append(f"{name}: got {got!r}")
+
+    accepted = []
+    for i in range(JOBS):
+        job_id = f"stress-{i}"
+        r = ask(json.dumps({
+            "cmd": "submit", "id": job_id, "workloads": "uniform",
+            "n": "5", "f": "1", "repeats": "2", "jobs": "1",
+        }))
+        if r.get("ok") is True:
+            accepted.append(job_id)
+        else:
+            # Only the bounded queue may turn a well-formed submit away.
+            check(f"{job_id} rejected only by backlog",
+                  r.get("error") == "backlog", r)
+        # Poll between submits so status reads race the worker's updates.
+        r = ask('{"cmd":"status"}')
+        check("global status well-formed", r.get("ok") is True
+              and all(k in r for k in
+                      ("queued", "running", "done", "failed", "cancelled")), r)
+        # Cancel every other accepted job while the stream is still hot.
+        if i % 2 == 1 and accepted:
+            victim = accepted[len(accepted) // 2]
+            r = ask(json.dumps({"cmd": "cancel", "id": victim}))
+            # ok:false is legal here -- the job may already be done.
+            check("cancel reply well-formed", "ok" in r, r)
+
+    check("bounded queue accepted some work", len(accepted) > 0, accepted)
+
+    # The worker keeps consuming without prompting; poll until quiescent so
+    # every status read below is one more command/worker-thread collision.
+    for _ in range(600):
+        r = ask('{"cmd":"status"}')
+        if r.get("ok") is True and r.get("queued") == 0 and r.get("running") == 0:
+            break
+        time.sleep(0.05)
+    check("daemon reaches quiescence", r.get("ok") is True
+          and r.get("queued") == 0 and r.get("running") == 0, r)
+
+    # Every accepted job must sit in a terminal state once the queue is dry.
+    for job_id in accepted:
+        r = ask(json.dumps({"cmd": "status", "id": job_id}))
+        check(f"{job_id} terminal after quiescence", r.get("ok") is True
+              and r.get("state") in ("done", "failed", "cancelled"), r)
+
+    # drain is the exit handshake: finish queued work, acknowledge, exit 0.
+    r = ask('{"cmd":"drain"}')
+    check("drain reply", r == {"ok": True, "drained": True}, r)
+
+    proc.stdin.close()
+    rc = proc.wait(timeout=300)
+    check("exit code 0", rc == 0, rc)
+
+    for f in failures:
+        print(f"FAIL {f}", file=sys.stderr)
+    if not failures:
+        print(f"daemon_stress: {len(accepted)}/{JOBS} submits accepted, "
+              "all replies well-formed, drained clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
