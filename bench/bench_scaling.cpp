@@ -16,6 +16,17 @@
 // (schema gather-bench-scaling-v1; committed baseline: bench/BENCH_PR5.json,
 // compared by tools/bench/compare.py under the `bench-smoke` ctest label).
 //
+// Part 3 (PR 9): round-phase cost of the delta-aware mutation API.  At fixed
+// n = 10^4 isolated singletons under the engines' refreshed-tolerance policy,
+// one round moves k in {1, sqrt(n), n} robots and the hinted
+// apply_moves(raw, mask) recanonicalization is timed against a cold rebuild
+// of the same input.  The JSON phase is "round_update" with the point key
+// holding k (not n); its committed baseline is bench/BENCH_PR9.json, gated
+// by the `bench_smoke_incremental` ctest.  The fitted slope uses only the
+// k >= sqrt(n) segment: below that the honest O(n) floors (the hint-mask
+// walk and the per-round refreshed-tolerance bounds check) dominate and the
+// curve is deliberately flat.
+//
 // Flags: --smoke   small phase grid, skip the (slow) E11 simulations
 //        --json P  write results as JSON to P
 #include <algorithm>
@@ -161,6 +172,141 @@ std::vector<phase_result> run_phase_scaling(const std::vector<std::size_t>& ns,
   classes.slope = loglog_slope(classes.points);
   symmetry.slope = loglog_slope(symmetry.points);
   return {views, classes, symmetry};
+}
+
+/// Jittered sqrt(n) x sqrt(n) lattice with spacing 10: every location is a
+/// tolerance-isolated singleton, so sub-cell interior moves stay on the
+/// configuration's delta repair path.
+std::vector<geom::vec2> round_workload(std::size_t n) {
+  const auto side = static_cast<std::size_t>(
+      std::llround(std::ceil(std::sqrt(static_cast<double>(n)))));
+  sim::rng r(91'000 + n);
+  std::vector<geom::vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double col = static_cast<double>(i % side);
+    const double row = static_cast<double>(i / side);
+    pts.push_back({10.0 * col + r.uniform(-1.0, 1.0),
+                   10.0 * row + r.uniform(-1.0, 1.0)});
+  }
+  return pts;
+}
+
+/// k mover indices strictly interior to the lattice (the refreshed-tolerance
+/// delta proof is cheapest for movers inside the input bounding box), spread
+/// evenly; k == n means everyone moves.
+std::vector<std::size_t> round_movers(std::size_t n, std::size_t k) {
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  const auto side = static_cast<std::size_t>(
+      std::llround(std::ceil(std::sqrt(static_cast<double>(n)))));
+  std::vector<std::size_t> interior;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t col = i % side;
+    const std::size_t row = i / side;
+    if (col == 0 || row == 0 || col + 1 >= side || (i + side) >= n) continue;
+    interior.push_back(i);
+  }
+  std::vector<std::size_t> movers;
+  movers.reserve(k);
+  const std::size_t stride = std::max<std::size_t>(interior.size() / k, 1);
+  for (std::size_t j = 0; j < interior.size() && movers.size() < k;
+       j += stride) {
+    movers.push_back(interior[j]);
+  }
+  return movers;
+}
+
+/// Round-phase study: hinted incremental recanonicalization vs cold rebuild
+/// at fixed n, k movers per round.  Point key `n` holds k.
+phase_result run_round_phase(std::size_t n, bool smoke) {
+  phase_result round{"round_update", {}, 0.0};
+  const std::vector<geom::vec2> home = round_workload(n);
+  const double floor = 1e-12;  // engines run refreshed; any fixed floor works
+
+  for (const std::size_t k :
+       {std::size_t{1},
+        static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(n)))),
+        n}) {
+    const std::vector<std::size_t> movers = round_movers(n, k);
+    const int inc_reps = smoke ? (k <= 1 ? 15 : (k < n ? 9 : 5))
+                               : (k <= 1 ? 31 : (k < n ? 15 : 9));
+    const int rebuild_reps = smoke ? 3 : 5;
+    sim::rng r(92'000 + k);
+
+    std::vector<geom::vec2> raw = home;
+    config::configuration inc;
+    inc.set_tol_refresh(floor);
+    inc.apply_moves(raw);
+    std::vector<std::uint8_t> mask(n, 0);
+
+    std::vector<std::uint64_t> samples;
+    samples.reserve(static_cast<std::size_t>(inc_reps));
+    for (int rep = 0; rep < inc_reps; ++rep) {
+      std::fill(mask.begin(), mask.end(), std::uint8_t{0});
+      for (const std::size_t i : movers) {
+        // Re-jitter about the home cell (no drift): isolation is preserved.
+        raw[i] = {home[i].x + r.uniform(-1.0, 1.0),
+                  home[i].y + r.uniform(-1.0, 1.0)};
+        mask[i] = 1;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const config::mutation_report rep_out = inc.apply_moves(raw, mask);
+      const auto t1 = std::chrono::steady_clock::now();
+      g_sink += rep_out.moved + inc.distinct_count();
+      samples.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+    }
+    std::sort(samples.begin(), samples.end());
+
+    std::vector<std::uint64_t> rebuilds;
+    rebuilds.reserve(static_cast<std::size_t>(rebuild_reps));
+    for (int rep = 0; rep < rebuild_reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      config::configuration fresh;
+      fresh.set_tol_refresh(floor);
+      fresh.apply_moves(raw);
+      const auto t1 = std::chrono::steady_clock::now();
+      g_sink += fresh.distinct_count();
+      rebuilds.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+    }
+    std::sort(rebuilds.begin(), rebuilds.end());
+
+    round.points.push_back(
+        {k, samples[samples.size() / 2], rebuilds[rebuilds.size() / 2]});
+  }
+
+  // Slope over the k >= sqrt(n) segment only (see the file comment).
+  const std::vector<phase_point> tail(round.points.begin() + 1,
+                                      round.points.end());
+  round.slope = loglog_slope(tail);
+  return round;
+}
+
+void print_round_table(const phase_result& round, std::size_t n) {
+  std::printf(
+      "PR9: round-phase recanonicalization at n = %zu "
+      "(hinted incremental vs cold rebuild)\n\n",
+      n);
+  std::printf("%10s %14s %14s %10s\n", "k movers", "incr (us)", "rebuild (us)",
+              "speedup");
+  bench::print_rule(60);
+  for (const phase_point& p : round.points) {
+    std::printf("%10zu %14.1f %14.1f %9.1fx\n", p.n,
+                static_cast<double>(p.fast_ns) / 1e3,
+                static_cast<double>(p.ref_ns) / 1e3,
+                static_cast<double>(p.ref_ns) /
+                    static_cast<double>(p.fast_ns));
+  }
+  std::printf(
+      "%10s log-log slope in k (k >= sqrt(n) segment): %.2f\n\n",
+      round.name.c_str(), round.slope);
 }
 
 /// GATHER_PROF call counts over a small fixed grid: the same configurations
@@ -311,11 +457,15 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{32, 64}
             : std::vector<std::size_t>{16, 32, 64, 128, 256, 512};
   const std::size_t max_ref_n = smoke ? 64 : 512;
-  const auto phases = run_phase_scaling(ns, max_ref_n);
+  auto phases = run_phase_scaling(ns, max_ref_n);
   print_phase_table(phases);
   if (max_ref_n < ns.back()) {
     std::printf("note: reference oracle capped at n = %zu\n", max_ref_n);
   }
+
+  const std::size_t round_n = 10'000;
+  phases.push_back(run_round_phase(round_n, smoke));
+  print_round_table(phases.back(), round_n);
 
   const auto counters = run_counter_grid();
   std::printf("GATHER_PROF call counts on the fixed grid (n = 8, 16, 32):\n");

@@ -213,13 +213,10 @@ struct explorer {
     for (std::size_t i = 0; i < n; ++i) {
       if (!live[i]) continue;
       const vec2 self = c.snapped(positions[i]);
+      // Grid-served first tolerance match == the former linear first-match
+      // scan over the sorted occupied array.
       vec2 dest = self;
-      for (std::size_t k = 0; k < c.occupied().size(); ++k) {
-        if (c.tolerance().same_point(c.occupied()[k].position, self)) {
-          dest = dests[k];
-          break;
-        }
-      }
+      if (const auto k = c.first_occupied_match(self)) dest = dests[*k];
       robot_dest[i] = dest;
     }
 

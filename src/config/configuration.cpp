@@ -5,9 +5,90 @@
 #include <stdexcept>
 
 #include "config/derived.h"
-#include "geometry/predicates.h"
+#include "geometry/exact.h"
+#include "util/check.h"
 
 namespace gather::config {
+
+namespace {
+
+// U(C) sizes up to this use the legacy all-pairs diameter loop; larger
+// configurations go through the exact convex hull first (identical value:
+// the diametral pair are always hull vertices).
+constexpr std::size_t kDiameterHullThreshold = 64;
+
+// The delta path gives up when the movers outnumber this bound -- past it
+// the sorted-array repair approaches the cost of a straight rebuild.
+[[nodiscard]] std::size_t delta_mover_cap(std::size_t u) {
+  return std::max<std::size_t>(8, u / 16);
+}
+
+[[nodiscard]] bool same_bits(vec2 a, vec2 b) {
+  return a.x == b.x && a.y == b.y;
+}
+
+[[nodiscard]] bool same_tol_bits(const geom::tol& a, const geom::tol& b) {
+  return a.scale == b.scale && a.rel == b.rel && a.angle_eps == b.angle_eps &&
+         a.abs_floor == b.abs_floor;
+}
+
+[[nodiscard]] bool occupied_less(const occupied_point& o, vec2 q) {
+  return o.position < q;
+}
+
+// Exact convex hull: Andrew monotone chain over the lex-sorted distinct
+// positions, strict turns by geom::exact_orientation.  Collinear boundary
+// points are dropped -- only extreme points remain, which is all the
+// diameter needs.
+void exact_hull_of_sorted(std::span<const vec2> pts, std::vector<vec2>& out) {
+  out.clear();
+  const std::size_t n = pts.size();
+  if (n <= 2) {
+    out.assign(pts.begin(), pts.end());
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (out.size() >= 2 &&
+           geom::exact_orientation(out[out.size() - 2], out.back(), pts[i]) <=
+               0) {
+      out.pop_back();
+    }
+    out.push_back(pts[i]);
+  }
+  const std::size_t lower = out.size() + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {  // upper hull
+    while (out.size() >= lower &&
+           geom::exact_orientation(out[out.size() - 2], out.back(), pts[i]) <=
+               0) {
+      out.pop_back();
+    }
+    out.push_back(pts[i]);
+  }
+  out.pop_back();  // the chain closes back at pts[0], already present
+}
+
+// Strictly inside the CCW hull: positive exact orientation against every
+// edge.  Degenerate hulls (fewer than three vertices) have no interior.
+[[nodiscard]] bool strictly_inside_hull(const std::vector<vec2>& hull,
+                                        vec2 p) {
+  const std::size_t m = hull.size();
+  if (m < 3) return false;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (geom::exact_orientation(hull[j], hull[(j + 1) % m], p) <= 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void make_no_op(mutation_report& rep) {
+  rep.kind = mutation_kind::no_op;
+  rep.no_op = true;
+  rep.cache_kept = true;
+  rep.structure_changed = false;
+}
+
+}  // namespace
 
 configuration::configuration() = default;
 configuration::~configuration() = default;
@@ -21,12 +102,18 @@ configuration::configuration(const configuration& other)
       robots_(other.robots_),
       occupied_(other.occupied_),
       tol_(other.tol_),
+      cluster_tol_(other.cluster_tol_),
       sec_(other.sec_),
       diameter_(other.diameter_),
       linear_(other.linear_),
       policy_(other.policy_),
       refresh_floor_(other.refresh_floor_),
-      generation_(other.generation_) {}
+      generation_(other.generation_),
+      occupied_grid_(other.occupied_grid_),
+      bounds_(other.bounds_),
+      sec_violator_(other.sec_violator_),
+      collinear_witness_(other.collinear_witness_),
+      diam_hull_(other.diam_hull_) {}
 
 configuration& configuration::operator=(const configuration& other) {
   if (this == &other) return *this;
@@ -34,50 +121,108 @@ configuration& configuration::operator=(const configuration& other) {
   robots_ = other.robots_;
   occupied_ = other.occupied_;
   tol_ = other.tol_;
+  cluster_tol_ = other.cluster_tol_;
   sec_ = other.sec_;
   diameter_ = other.diameter_;
   linear_ = other.linear_;
   policy_ = other.policy_;
   refresh_floor_ = other.refresh_floor_;
   generation_ = other.generation_;
+  occupied_grid_ = other.occupied_grid_;
+  bounds_ = other.bounds_;
+  sec_violator_ = other.sec_violator_;
+  collinear_witness_ = other.collinear_witness_;
+  diam_hull_ = other.diam_hull_;
   if (derived_) derived_->clear();  // cold cache; recomputed on demand
   return *this;
 }
 
 configuration::configuration(std::vector<vec2> robots)
     : input_(std::move(robots)) {
-  tol_ = geom::tol::for_points(input_);
-  canonicalize();
+  refresh_tol();
+  cluster_and_sort();
+  derive_scalars();
 }
 
 configuration::configuration(std::vector<vec2> robots, geom::tol t)
     : input_(std::move(robots)), tol_(t), policy_(tol_policy::fixed) {
-  canonicalize();
+  cluster_and_sort();
+  derive_scalars();
 }
 
-void configuration::canonicalize() {
+void configuration::recompute_bounds() {
+  // Bitwise mirror of geom::tol::for_points: the delta path reasons about
+  // the refreshed tolerance through these bounds (see input_bounds).
+  input_bounds b;
+  bool first = true;
+  for (const vec2& p : input_) {
+    if (first) {
+      b.lo_x = b.hi_x = p.x;
+      b.lo_y = b.hi_y = p.y;
+      first = false;
+    } else {
+      b.lo_x = std::min(b.lo_x, p.x);
+      b.hi_x = std::max(b.hi_x, p.x);
+      b.lo_y = std::min(b.lo_y, p.y);
+      b.hi_y = std::max(b.hi_y, p.y);
+    }
+    b.mag = std::max({b.mag, std::fabs(p.x), std::fabs(p.y)});
+  }
+  b.valid = !input_.empty();
+  bounds_ = b;
+}
+
+geom::tol configuration::tol_from_bounds() const {
+  geom::tol t;
+  t.scale =
+      std::max({bounds_.hi_x - bounds_.lo_x, bounds_.hi_y - bounds_.lo_y,
+                1e-12});
+  t.abs_floor = 1e-12 * std::max(bounds_.mag, 1e-300);
+  return t;
+}
+
+void configuration::refresh_tol() {
+  switch (policy_) {
+    case tol_policy::spread_scaled:
+      recompute_bounds();
+      tol_ = tol_from_bounds();
+      break;
+    case tol_policy::fixed:
+      break;  // the explicit tolerance is carried unchanged
+    case tol_policy::refreshed:
+      recompute_bounds();
+      tol_ = tol_from_bounds();
+      tol_.abs_floor = std::max(tol_.abs_floor, refresh_floor_);
+      break;
+  }
+}
+
+void configuration::cluster_and_sort() {
+  cluster_tol_ = tol_;
   robots_ = input_;
-  // Greedy clustering: a point joins the first cluster whose representative
-  // is within tolerance.  Quadratic in |U(C)| which is at most n.
+  // Greedy clustering: a point joins the first (lowest creation index)
+  // cluster whose running representative is within tolerance.  The grid
+  // serves that query in O(1) expected: cluster c's entry handle is c
+  // (sequential inserts into a reset grid), and min_handle_match returns the
+  // smallest matching handle -- exactly the legacy first-match scan.
   std::vector<cluster>& clusters = scratch_clusters_;
   std::vector<std::size_t>& assignment = scratch_assign_;
   clusters.clear();
   assignment.resize(robots_.size());
+  geom::spatial_grid& grid = scratch_cluster_grid_;
+  grid.reset(2.0 * cluster_tol_.len_eps());
   for (std::size_t i = 0; i < robots_.size(); ++i) {
     const vec2 p = robots_[i];
-    bool placed = false;
-    for (std::size_t c = 0; c < clusters.size(); ++c) {
-      if (tol_.same_point(p, clusters[c].centroid())) {
-        clusters[c].sum += p;
-        clusters[c].count += 1;
-        assignment[i] = c;
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) {
+    const std::size_t c = grid.min_handle_match(p, cluster_tol_);
+    if (c != geom::spatial_grid::npos) {
+      clusters[c].sum += p;
+      clusters[c].count += 1;
+      assignment[i] = c;
+      grid.move(c, clusters[c].centroid());
+    } else {
+      assignment[i] = clusters.size();
       clusters.push_back({p, 1});
-      assignment[i] = clusters.size() - 1;
+      (void)grid.insert(p);
     }
   }
   for (std::size_t i = 0; i < robots_.size(); ++i) {
@@ -94,50 +239,361 @@ void configuration::canonicalize() {
               return a.position < b.position;
             });
 
-  diameter_ = 0.0;
-  for (std::size_t i = 0; i < occupied_.size(); ++i) {
-    for (std::size_t j = i + 1; j < occupied_.size(); ++j) {
-      diameter_ = std::max(
-          diameter_, geom::distance(occupied_[i].position, occupied_[j].position));
-    }
-  }
-  if (policy_ == tol_policy::spread_scaled) {
-    tol_.scale = std::max(diameter_, 1e-12);
-  }
-
   std::vector<vec2>& distinct = scratch_distinct_;
   distinct.clear();
   distinct.reserve(occupied_.size());
   for (const occupied_point& o : occupied_) distinct.push_back(o.position);
-  sec_ = geom::smallest_enclosing_circle(distinct, tol_);
-  linear_ = geom::all_collinear(distinct, tol_);
 }
 
-void configuration::refresh() {
-  switch (policy_) {
-    case tol_policy::spread_scaled:
-      tol_ = geom::tol::for_points(input_);
-      break;
-    case tol_policy::fixed:
-      break;  // the explicit tolerance is carried unchanged
-    case tol_policy::refreshed:
-      tol_ = geom::tol::for_points(input_);
-      tol_.abs_floor = std::max(tol_.abs_floor, refresh_floor_);
-      break;
+void configuration::compute_diameter_and_hull() {
+  diameter_ = 0.0;
+  const std::size_t u = occupied_.size();
+  if (u <= kDiameterHullThreshold) {
+    diam_hull_.clear();
+    for (std::size_t i = 0; i < u; ++i) {
+      for (std::size_t j = i + 1; j < u; ++j) {
+        diameter_ = std::max(diameter_, geom::distance(occupied_[i].position,
+                                                       occupied_[j].position));
+      }
+    }
+    return;
   }
-  canonicalize();
+  // Same value through the hull: the farthest pair are extreme points, and
+  // max over a superset-covering subset of the same distances is the same
+  // double.
+  GATHER_CHECK(scratch_distinct_.size() == u, "distinct mirrors occupied");
+  exact_hull_of_sorted(scratch_distinct_, diam_hull_);
+  for (std::size_t i = 0; i < diam_hull_.size(); ++i) {
+    for (std::size_t j = i + 1; j < diam_hull_.size(); ++j) {
+      diameter_ =
+          std::max(diameter_, geom::distance(diam_hull_[i], diam_hull_[j]));
+    }
+  }
 }
 
-void configuration::invalidate() {
+void configuration::derive_scalars() {
+  compute_diameter_and_hull();
+  if (policy_ == tol_policy::spread_scaled) {
+    tol_.scale = std::max(diameter_, 1e-12);
+  }
+  if (diam_hull_.empty()) {
+    sec_ = geom::smallest_enclosing_circle(scratch_distinct_, tol_,
+                                           sec_violator_);
+  } else {
+    // SEC over the hull vertices only.  Sound: the circle tol-contains each
+    // hull vertex (dist <= r + eps, a linear bound), and every interior
+    // point is a convex combination of vertices, so its distance from the
+    // center is at most the max vertex distance -- the same containment
+    // holds.  The deterministic Welzl scan over the sorted input is
+    // quadratic near its worst case on lex-sorted spread-out points (every
+    // x-extreme restarts it), so at U > threshold the hull sequence is both
+    // asymptotically and practically the right input.  sec_violator_ then
+    // indexes the hull scan; the delta path keys the SEC keep on the hull
+    // slot instead of the violator in this regime.
+    sec_ = geom::smallest_enclosing_circle(diam_hull_, tol_, sec_violator_);
+  }
+  linear_ = geom::all_collinear(scratch_distinct_, tol_, collinear_witness_);
+  occupied_grid_.build(scratch_distinct_, 2.0 * tol_.len_eps());
+}
+
+void configuration::rebuild_after_input_change(mutation_report& rep) {
+  std::swap(scratch_prev_occupied_, occupied_);
+  std::swap(scratch_prev_robots_, robots_);
+  const geom::tol prev_tol = tol_;
+  const geom::tol prev_cluster_tol = cluster_tol_;
+  refresh_tol();
+  cluster_and_sort();
+  const bool same_locs =
+      same_tol_bits(cluster_tol_, prev_cluster_tol) &&
+      occupied_.size() == scratch_prev_occupied_.size() &&
+      std::equal(occupied_.begin(), occupied_.end(),
+                 scratch_prev_occupied_.begin(),
+                 [](const occupied_point& a, const occupied_point& b) {
+                   return same_bits(a.position, b.position);
+                 });
+  // Same locations + same tolerance: sec / diameter / hull / collinearity /
+  // grid are deterministic functions of exactly those inputs -- keep them.
+  bool kept_scalars = false;
+  if (same_locs) {
+    geom::tol candidate = tol_;  // diameter_ is untouched by cluster_and_sort
+    if (policy_ == tol_policy::spread_scaled) {
+      candidate.scale = std::max(diameter_, 1e-12);
+    }
+    if (same_tol_bits(candidate, prev_tol)) {
+      tol_ = candidate;
+      kept_scalars = true;
+    }
+  }
+  if (!kept_scalars) derive_scalars();
+
+  rep.tol_changed = !same_tol_bits(tol_, prev_tol);
+  rep.structure_changed = !same_locs;
+  rep.snap_merges = 0;
+  for (const std::size_t i : scratch_changed_) {
+    if (!same_bits(robots_[i], input_[i])) ++rep.snap_merges;
+  }
+  if (same_locs && !rep.tol_changed) {
+    const bool mults_same = std::equal(
+        occupied_.begin(), occupied_.end(), scratch_prev_occupied_.begin(),
+        [](const occupied_point& a, const occupied_point& b) {
+          return a.multiplicity == b.multiplicity;
+        });
+    const bool robots_same =
+        robots_.size() == scratch_prev_robots_.size() &&
+        std::equal(robots_.begin(), robots_.end(),
+                   scratch_prev_robots_.begin(),
+                   [](vec2 a, vec2 b) { return same_bits(a, b); });
+    if (mults_same && robots_same) {
+      rep.kind = mutation_kind::cache_kept;
+      rep.cache_kept = true;
+    } else {
+      rep.kind = mutation_kind::mults_only;
+    }
+  } else {
+    rep.kind = mutation_kind::rebuild;
+  }
+}
+
+bool configuration::try_delta(mutation_report& rep) {
+  const std::size_t k = scratch_changed_.size();
+  const std::size_t u = occupied_.size();
+  if (k == 0 || u == 0) return false;
+  // spread_scaled re-derives the tolerance scale from the diameter; proving
+  // that unchanged in O(k) is not worth the extra machinery -- the engines
+  // run under the refreshed policy.
+  if (policy_ == tol_policy::spread_scaled) return false;
+  if (robots_.size() != u) return false;  // multiplicities present
+  if (k > delta_mover_cap(u)) return false;
+  if (occupied_grid_.size() != u) return false;
+  GATHER_CHECK(same_tol_bits(tol_, cluster_tol_),
+               "fixed/refreshed tolerance equals the clustering tolerance");
+
+  if (policy_ == tol_policy::refreshed) {
+    // The refreshed tolerance must be provably unchanged.  Movers strictly
+    // interior to the input bounding box and magnitude cannot shift any of
+    // the extrema geom::tol::for_points takes; otherwise recompute in O(n)
+    // and require bitwise equality.
+    if (!bounds_.valid) return false;
+    const auto strictly_inside = [&](vec2 p) {
+      return bounds_.lo_x < p.x && p.x < bounds_.hi_x && bounds_.lo_y < p.y &&
+             p.y < bounds_.hi_y && std::fabs(p.x) < bounds_.mag &&
+             std::fabs(p.y) < bounds_.mag;
+    };
+    bool interior = true;
+    for (std::size_t j = 0; j < k && interior; ++j) {
+      interior = strictly_inside(scratch_old_pos_[j]) &&
+                 strictly_inside(scratch_new_pos_[j]);
+    }
+    if (!interior) {
+      recompute_bounds();
+      geom::tol nt = tol_from_bounds();
+      nt.abs_floor = std::max(nt.abs_floor, refresh_floor_);
+      if (!same_tol_bits(nt, tol_)) return false;
+    }
+  }
+
+  // All-singleton (n == |U|) means every snapped position equals its raw
+  // input, so each mover's old position is an exact grid entry.
+  scratch_handles_.clear();
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t h = occupied_grid_.find_exact(scratch_old_pos_[j]);
+    if (h == geom::spatial_grid::npos) return false;
+    scratch_handles_.push_back(h);
+  }
+  scratch_handles_sorted_ = scratch_handles_;
+  std::sort(scratch_handles_sorted_.begin(), scratch_handles_sorted_.end());
+
+  // Every new position must be tolerance-isolated from every location that
+  // stays (no snap-merge, configuration stays all-singleton: the greedy
+  // clustering of a pairwise non-matching input is the identity) ...
+  for (std::size_t j = 0; j < k; ++j) {
+    if (occupied_grid_.match_excluding(scratch_new_pos_[j], tol_,
+                                       scratch_handles_sorted_) !=
+        geom::spatial_grid::npos) {
+      return false;
+    }
+  }
+  // ... and from the other movers' new positions.
+  if (k > 1) {
+    geom::spatial_grid& g = scratch_cluster_grid_;
+    g.reset(2.0 * tol_.len_eps());
+    for (std::size_t j = 0; j < k; ++j) {
+      if (g.min_handle_match(scratch_new_pos_[j], tol_) !=
+          geom::spatial_grid::npos) {
+        return false;
+      }
+      (void)g.insert(scratch_new_pos_[j]);
+    }
+  }
+
+  // Displacement budget, measured before mutating anything (the repair
+  // cannot abort halfway): when the sorted-array shifts exceed a rebuild's
+  // touch count, fall back.
+  std::size_t shift_budget = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto b = occupied_.begin();
+    const auto it_old = std::lower_bound(b, occupied_.end(),
+                                         scratch_old_pos_[j], occupied_less);
+    if (it_old == occupied_.end() ||
+        !same_bits(it_old->position, scratch_old_pos_[j])) {
+      return false;
+    }
+    const std::size_t io = static_cast<std::size_t>(it_old - b);
+    const std::size_t in = static_cast<std::size_t>(
+        std::lower_bound(b, occupied_.end(), scratch_new_pos_[j],
+                         occupied_less) -
+        b);
+    shift_budget += io > in ? io - in : in - io;
+  }
+  if (shift_budget > 2 * u + 16 * k) return false;
+
+  // --- committed: repair the canonical state in place ---
+  std::size_t min_touched = geom::spatial_grid::npos;
+  for (std::size_t j = 0; j < k; ++j) {
+    const vec2 oldp = scratch_old_pos_[j];
+    const vec2 newp = scratch_new_pos_[j];
+    const auto b = occupied_.begin();
+    const std::size_t io = static_cast<std::size_t>(
+        std::lower_bound(b, occupied_.end(), oldp, occupied_less) - b);
+    const std::size_t in = static_cast<std::size_t>(
+        std::lower_bound(b, occupied_.end(), newp, occupied_less) - b);
+    if (in > io) {
+      std::move(b + static_cast<std::ptrdiff_t>(io) + 1,
+                b + static_cast<std::ptrdiff_t>(in),
+                b + static_cast<std::ptrdiff_t>(io));
+      occupied_[in - 1] = occupied_point{newp, 1};
+      min_touched = std::min(min_touched, io);
+    } else {
+      std::move_backward(b + static_cast<std::ptrdiff_t>(in),
+                         b + static_cast<std::ptrdiff_t>(io),
+                         b + static_cast<std::ptrdiff_t>(io) + 1);
+      occupied_[in] = occupied_point{newp, 1};
+      min_touched = std::min(min_touched, in);
+    }
+    robots_[scratch_changed_[j]] = newp;
+    occupied_grid_.move(scratch_handles_[j], newp);
+  }
+
+  bool distinct_fresh = false;
+  const auto ensure_distinct = [&] {
+    if (distinct_fresh) return;
+    scratch_distinct_.clear();
+    scratch_distinct_.reserve(occupied_.size());
+    for (const occupied_point& o : occupied_) {
+      scratch_distinct_.push_back(o.position);
+    }
+    distinct_fresh = true;
+  };
+
+  // Diameter: points strictly interior to the exact hull (old and new) can
+  // neither be nor displace a hull vertex, so hull and diameter are the
+  // same doubles.  U <= 64 keeps no hull and recomputes all-pairs.
+  bool keep_diam = !diam_hull_.empty();
+  for (std::size_t j = 0; j < k && keep_diam; ++j) {
+    keep_diam = strictly_inside_hull(diam_hull_, scratch_old_pos_[j]) &&
+                strictly_inside_hull(diam_hull_, scratch_new_pos_[j]);
+  }
+  if (!keep_diam) {
+    ensure_distinct();
+    compute_diameter_and_hull();
+  }
+
+  // SEC.  In the hull regime (U > threshold) the circle is a deterministic
+  // function of the hull vertex sequence alone, so a bitwise-kept hull
+  // implies a bitwise-identical cold re-run; a repaired hull feeds a cheap
+  // recompute over its vertices.  Below the threshold the cold scan runs
+  // over the full sorted array: it restarted for the last time at index
+  // sec_violator_, so if every touched sorted index lies strictly beyond it
+  // and every new position is contained in the cached circle, a cold re-run
+  // would execute identically (identical prefix, no restarts in the
+  // suffix) -- keep circle and violator.  min_touched is a lower bound on
+  // the first differing index, so the test is conservative.
+  if (!diam_hull_.empty()) {
+    if (!keep_diam) {
+      sec_ = geom::smallest_enclosing_circle(diam_hull_, tol_, sec_violator_);
+    }
+  } else {
+    bool keep_sec = min_touched > sec_violator_;
+    for (std::size_t j = 0; j < k && keep_sec; ++j) {
+      keep_sec = sec_.contains(scratch_new_pos_[j], tol_);
+    }
+    if (!keep_sec) {
+      ensure_distinct();
+      sec_ = geom::smallest_enclosing_circle(scratch_distinct_, tol_,
+                                             sec_violator_);
+    }
+  }
+
+  // Collinearity: keep a cached "false" when the witness still applies --
+  // the anchor a (= pts[0]) is unchanged, every mover stays strictly closer
+  // to a than the recorded farthest distance (so b and best_d are
+  // unchanged), and the recorded off-line point is still present.  A cold
+  // re-run then still scans some non-zero orientation (at the off-line
+  // point at the latest).  linear_ == true always recomputes.
+  bool keep_lin = !linear_ && collinear_witness_.valid &&
+                  collinear_witness_.has_off_line &&
+                  same_bits(occupied_.front().position, collinear_witness_.a);
+  for (std::size_t j = 0; j < k && keep_lin; ++j) {
+    keep_lin =
+        !same_bits(scratch_old_pos_[j], collinear_witness_.off_line) &&
+        geom::distance(collinear_witness_.a, scratch_old_pos_[j]) <
+            collinear_witness_.best_d &&
+        geom::distance(collinear_witness_.a, scratch_new_pos_[j]) <
+            collinear_witness_.best_d;
+  }
+  if (!keep_lin) {
+    ensure_distinct();
+    linear_ = geom::all_collinear(scratch_distinct_, tol_, collinear_witness_);
+  }
+
+  scratch_changed_slots_.clear();
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::optional<std::size_t> idx = find_occupied(scratch_new_pos_[j]);
+    scratch_changed_slots_.push_back(idx.value());
+  }
+  std::sort(scratch_changed_slots_.begin(), scratch_changed_slots_.end());
+  rep.kind = mutation_kind::delta;
+  rep.structure_changed = true;
+  rep.tol_changed = false;
+  rep.snap_merges = 0;
+  rep.changed_occupied = scratch_changed_slots_;
+
+#ifdef GATHER_CHECK_INVARIANTS
+  for (std::size_t i = 0; i + 1 < occupied_.size(); ++i) {
+    GATHER_CHECK(occupied_[i].position < occupied_[i + 1].position,
+                 "occupied stays strictly sorted after the delta repair");
+  }
+  GATHER_CHECK(occupied_grid_.size() == occupied_.size(),
+               "the occupied grid tracks the occupied array");
+#endif
+  return true;
+}
+
+void configuration::bump_and_invalidate(const mutation_report& rep) {
+  if (rep.cache_kept) return;  // canonical state bitwise unchanged
   ++generation_;
-  if (derived_) derived_->clear();
+  if (derived_) derived_->on_mutation(rep);
 }
 
 int configuration::multiplicity(vec2 p) const {
-  for (const occupied_point& o : occupied_) {
-    if (tol_.same_point(o.position, p)) return o.multiplicity;
+  int result = 0;
+  const std::size_t h = occupied_grid_.lex_min_match(p, tol_);
+  if (h != geom::spatial_grid::npos) {
+    const std::optional<std::size_t> idx =
+        find_occupied(occupied_grid_.position(h));
+    result = occupied_[idx.value()].multiplicity;
   }
-  return 0;
+#ifdef GATHER_CHECK_INVARIANTS
+  int oracle = 0;
+  for (const occupied_point& o : occupied_) {
+    if (tol_.same_point(o.position, p)) {
+      oracle = o.multiplicity;
+      break;
+    }
+  }
+  GATHER_CHECK(result == oracle, "grid multiplicity equals the linear scan");
+#endif
+  return result;
 }
 
 std::optional<std::size_t> configuration::find_occupied(vec2 p) const {
@@ -150,11 +606,61 @@ std::optional<std::size_t> configuration::find_occupied(vec2 p) const {
   return std::nullopt;
 }
 
-vec2 configuration::snapped(vec2 p) const {
-  for (const occupied_point& o : occupied_) {
-    if (tol_.same_point(o.position, p)) return o.position;
+std::optional<std::size_t> configuration::first_occupied_match(vec2 p) const {
+  std::optional<std::size_t> result;
+  const std::size_t h = occupied_grid_.lex_min_match(p, tol_);
+  if (h != geom::spatial_grid::npos) {
+    result = find_occupied(occupied_grid_.position(h));
   }
-  return p;
+#ifdef GATHER_CHECK_INVARIANTS
+  std::optional<std::size_t> oracle;
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    if (tol_.same_point(occupied_[i].position, p)) {
+      oracle = i;
+      break;
+    }
+  }
+  GATHER_CHECK(result == oracle, "grid first match equals the linear scan");
+#endif
+  return result;
+}
+
+std::optional<std::size_t> configuration::nearest_occupied(vec2 p) const {
+  std::optional<std::size_t> result;
+  const std::size_t h = occupied_grid_.nearest(p);
+  if (h != geom::spatial_grid::npos) {
+    result = find_occupied(occupied_grid_.position(h));
+  }
+#ifdef GATHER_CHECK_INVARIANTS
+  std::optional<std::size_t> oracle;
+  double best = 0.0;
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    const double d = geom::distance(occupied_[i].position, p);
+    if (!oracle.has_value() || d < best) {
+      oracle = i;
+      best = d;
+    }
+  }
+  GATHER_CHECK(result == oracle, "grid nearest equals the linear scan");
+#endif
+  return result;
+}
+
+vec2 configuration::snapped(vec2 p) const {
+  vec2 result = p;
+  const std::size_t h = occupied_grid_.lex_min_match(p, tol_);
+  if (h != geom::spatial_grid::npos) result = occupied_grid_.position(h);
+#ifdef GATHER_CHECK_INVARIANTS
+  vec2 oracle = p;
+  for (const occupied_point& o : occupied_) {
+    if (tol_.same_point(o.position, p)) {
+      oracle = o.position;
+      break;
+    }
+  }
+  GATHER_CHECK(same_bits(result, oracle), "grid snap equals the linear scan");
+#endif
+  return result;
 }
 
 double configuration::sum_distances(vec2 p) const {
@@ -165,50 +671,118 @@ double configuration::sum_distances(vec2 p) const {
   return s;
 }
 
-void configuration::set_position(std::size_t i, vec2 p) {
+mutation_report configuration::set_position(std::size_t i, vec2 p) {
   if (i >= input_.size()) {
     throw std::out_of_range("configuration::set_position: index out of range");
   }
-  input_[i] = p;
-  refresh();
-  invalidate();
-}
-
-void configuration::apply_moves(const std::vector<vec2>& raw) {
-  // Bitwise-identical input: the canonical state (a deterministic function
-  // of the input and the policy) is provably unchanged -- keep the cache.
-  if (raw.size() == input_.size() &&
-      std::equal(raw.begin(), raw.end(), input_.begin(),
-                 [](const vec2& a, const vec2& b) {
-                   return a.x == b.x && a.y == b.y;
-                 })) {
-    return;
+  mutation_report rep;
+  if (same_bits(input_[i], p)) {
+    make_no_op(rep);
+    return rep;
   }
-  input_ = raw;  // copy-assign reuses capacity
-  refresh();
-  invalidate();
+  scratch_changed_.assign(1, i);
+  scratch_old_pos_.assign(1, input_[i]);
+  scratch_new_pos_.assign(1, p);
+  input_[i] = p;
+  rep.moved = 1;
+  if (!try_delta(rep)) rebuild_after_input_change(rep);
+  bump_and_invalidate(rep);
+  return rep;
 }
 
-void configuration::insert_robot(vec2 p) {
+mutation_report configuration::apply_moves(const std::vector<vec2>& raw) {
+  return apply_moves(raw, {});
+}
+
+mutation_report configuration::apply_moves(
+    const std::vector<vec2>& raw, std::span<const std::uint8_t> moved_hint) {
+  mutation_report rep;
+  if (raw.size() != input_.size()) {
+    scratch_changed_.clear();
+    scratch_old_pos_.clear();
+    scratch_new_pos_.clear();
+    input_ = raw;
+    rep.moved = raw.size();
+    rebuild_after_input_change(rep);
+    bump_and_invalidate(rep);
+    return rep;
+  }
+  GATHER_CHECK(moved_hint.empty() || moved_hint.size() == raw.size(),
+               "apply_moves hint must be empty or have one entry per robot");
+  const bool hinted = moved_hint.size() == raw.size();
+  scratch_changed_.clear();
+  scratch_old_pos_.clear();
+  scratch_new_pos_.clear();
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (hinted && moved_hint[i] == 0) continue;
+    if (!same_bits(raw[i], input_[i])) {
+      scratch_changed_.push_back(i);
+      scratch_old_pos_.push_back(input_[i]);
+      scratch_new_pos_.push_back(raw[i]);
+    }
+  }
+#ifdef GATHER_CHECK_INVARIANTS
+  if (hinted) {
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      GATHER_CHECK(moved_hint[i] != 0 || same_bits(raw[i], input_[i]),
+                   "unhinted apply_moves entries must be bitwise unchanged");
+    }
+  }
+#endif
+  if (scratch_changed_.empty()) {
+    // Bitwise-identical input: the canonical state (a deterministic function
+    // of the input and the policy) is provably unchanged -- keep the cache.
+    make_no_op(rep);
+    return rep;
+  }
+  if (hinted) {
+    for (std::size_t j = 0; j < scratch_changed_.size(); ++j) {
+      input_[scratch_changed_[j]] = scratch_new_pos_[j];
+    }
+  } else {
+    input_ = raw;  // copy-assign reuses capacity
+  }
+  rep.moved = scratch_changed_.size();
+  if (!try_delta(rep)) rebuild_after_input_change(rep);
+  bump_and_invalidate(rep);
+  return rep;
+}
+
+mutation_report configuration::insert_robot(vec2 p) {
   input_.push_back(p);
-  refresh();
-  invalidate();
+  mutation_report rep;
+  scratch_changed_.clear();
+  scratch_old_pos_.clear();
+  scratch_new_pos_.clear();
+  rebuild_after_input_change(rep);
+  bump_and_invalidate(rep);
+  return rep;
 }
 
-void configuration::remove_robot(std::size_t i) {
+mutation_report configuration::remove_robot(std::size_t i) {
   if (i >= input_.size()) {
     throw std::out_of_range("configuration::remove_robot: index out of range");
   }
   input_.erase(input_.begin() + static_cast<std::ptrdiff_t>(i));
-  refresh();
-  invalidate();
+  mutation_report rep;
+  scratch_changed_.clear();
+  scratch_old_pos_.clear();
+  scratch_new_pos_.clear();
+  rebuild_after_input_change(rep);
+  bump_and_invalidate(rep);
+  return rep;
 }
 
-void configuration::set_tol_refresh(double abs_floor) {
+mutation_report configuration::set_tol_refresh(double abs_floor) {
   policy_ = tol_policy::refreshed;
   refresh_floor_ = abs_floor;
-  refresh();
-  invalidate();
+  mutation_report rep;
+  scratch_changed_.clear();
+  scratch_old_pos_.clear();
+  scratch_new_pos_.clear();
+  rebuild_after_input_change(rep);
+  bump_and_invalidate(rep);
+  return rep;
 }
 
 derived_geometry& configuration::derived() const {

@@ -17,17 +17,26 @@
 // kept verbatim as detail::*_reference oracles for equivalence fuzzing and
 // benchmarking (see docs/PERFORMANCE.md, "View pipeline complexity").
 //
-// Invalidation: configuration's mutation API calls derived_geometry::clear()
-// under the new generation.  clear() empties the slots but keeps vector
-// capacity, so a simulation engine reusing one configuration across rounds
-// reaches an allocation-free steady state.
+// Invalidation: configuration's mutation API hands each mutation_report to
+// derived_geometry::on_mutation, which invalidates per slot: a mults_only
+// mutation (same locations, same tolerance) keeps the hull slot outright and
+// keeps the per-location geometry of the angular tables, marking only their
+// multiplicity expansion stale (repaired in place on the next read); every
+// structural mutation falls back to clear().  Slots are emptied, never
+// deallocated -- the ragged tables (`views`, `polar_orders`,
+// `angles_about_center`) are grow-only pools whose logical size is carried
+// by their ready flags, so a simulation engine reusing one configuration
+// across rounds reaches an allocation-free steady state even when the
+// number of occupied locations fluctuates.
 //
 // This header is internal to src/config: accessing derived() or this struct
 // from other layers is rejected by gather-lint rule R5.  Consumers use the
 // public wrappers, whose results now come from this cache automatically.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "config/classify.h"
@@ -48,14 +57,24 @@ struct derived_geometry {
   std::optional<std::vector<vec2>> hull;
   std::optional<std::vector<std::size_t>> safe_points;
   // Per-occupied-index view slots: elect_leader only looks at safe
-  // candidates, so views fill individually instead of all at once.
+  // candidates, so views fill individually instead of all at once.  The pool
+  // is grow-only (views.size() never shrinks); the logical slot count is
+  // view_ready.size(), so shrinking occupancy keeps every inner vector's
+  // capacity parked for the next round.
   std::vector<view> views;
   std::vector<char> view_ready;
   std::optional<std::vector<std::vector<std::size_t>>> view_classes;
-  std::optional<std::vector<angular_entry>> angles_about_center;
+  // Def. 4 order about the SEC center.  angles_state: 0 = cold, 1 = ready,
+  // 2 = per-location geometry valid but the multiplicity expansion is stale
+  // (on_mutation after a mults_only mutation; repaired in place on the next
+  // read -- see detail::angles_about_center_slot).
+  std::vector<angular_entry> angles_about_center;
+  std::uint8_t angles_state = 0;
   // Shared polar table: angular_order about occupied location i, filled
   // lazily per index (safe points and quasi-regularity both walk every
   // occupied candidate, so each order is computed once and read twice).
+  // Grow-only pool like `views`; the ready flags use the same 0/1/2 protocol
+  // as angles_state.
   std::vector<std::vector<angular_entry>> polar_orders;
   std::vector<char> polar_order_ready;
   // sym(C) by the Booth/Z rotation kernel on the string about the SEC
@@ -69,9 +88,19 @@ struct derived_geometry {
   // distances from occupied i to every occupied j (hypot is sign-symmetric,
   // so each unordered pair is computed once and mirrored).
   std::vector<double> scratch_dists;
+  // Ping-pong buffer for the in-place multiplicity re-expansion repair.
+  std::vector<angular_entry> scratch_entries;
 
   /// Empty every slot, keeping vector capacity for reuse.
   void clear();
+
+  /// Per-slot invalidation from a mutation report.  Called by the
+  /// configuration for every generation-bumping mutation (no_op/cache_kept
+  /// mutations never reach here).  mults_only keeps the hull slot (its
+  /// inputs -- distinct locations and tolerance -- are bitwise unchanged)
+  /// and downgrades the filled angular tables to stale-mults; every other
+  /// kind clears all slots.
+  void on_mutation(const mutation_report& rep);
 };
 
 /// Convex hull of the distinct occupied locations (CCW, geom::convex_hull
@@ -88,13 +117,47 @@ struct derived_geometry {
 [[nodiscard]] const std::vector<angular_entry>& angular_order_of_occupied(
     const configuration& c, std::size_t i);
 
+class polar_ref;
+
 /// Cache-routing angular order about an arbitrary center: serves the polar
 /// table on an exact occupied-position match, the Def. 4 slot on an exact
-/// SEC-center match, and otherwise computes into `fallback`.  The returned
-/// reference points into the cache or into `fallback`; it is valid until the
-/// next mutation or the next write to `fallback`.
-[[nodiscard]] const std::vector<angular_entry>& angular_order_ref(
-    const configuration& c, vec2 center, std::vector<angular_entry>& fallback);
+/// SEC-center match, and otherwise computes into storage owned by the
+/// returned handle.  A cache-aliasing handle is valid until the next
+/// mutation of `c`; an owning handle is self-contained.
+[[nodiscard]] polar_ref angular_order_ref(const configuration& c, vec2 center);
+
+/// Handle to an angular order: either an alias into the derived-geometry
+/// cache (valid until the next mutation -- gather-lint rule R6 tracks these
+/// bindings like any other cached reference) or small owned storage for
+/// centers the cache does not cover.  Which one it is is recorded, so
+/// callers that want to keep the entries past a mutation know whether a copy
+/// is needed (`take()` does the right thing either way).
+class polar_ref {
+ public:
+  polar_ref() = default;
+
+  [[nodiscard]] const std::vector<angular_entry>& entries() const {
+    return aliased_ != nullptr ? *aliased_ : owned_;
+  }
+  /// True when entries() points into the configuration's derived cache.
+  [[nodiscard]] bool aliases_cache() const { return aliased_ != nullptr; }
+
+  [[nodiscard]] auto begin() const { return entries().begin(); }
+  [[nodiscard]] auto end() const { return entries().end(); }
+  [[nodiscard]] std::size_t size() const { return entries().size(); }
+  [[nodiscard]] bool empty() const { return entries().empty(); }
+
+  /// The entries as an independent vector: moves the owned storage out, or
+  /// copies the cache slot (the cache is never stolen from).
+  [[nodiscard]] std::vector<angular_entry> take() && {
+    return aliased_ != nullptr ? *aliased_ : std::move(owned_);
+  }
+
+ private:
+  friend polar_ref angular_order_ref(const configuration& c, vec2 center);
+  const std::vector<angular_entry>* aliased_ = nullptr;
+  std::vector<angular_entry> owned_;
+};
 
 namespace detail {
 
@@ -117,6 +180,15 @@ void fill_all_view_slots(const configuration& c);
 [[nodiscard]] int symmetry_uncached(const configuration& c);
 [[nodiscard]] std::vector<angular_entry> angular_order_uncached(
     const configuration& c, vec2 center);
+// angular_order_uncached writing into caller storage (bit-identical
+// entries); the cache fill paths use this to preserve slot capacity.
+void angular_order_into(const configuration& c, vec2 center,
+                        std::vector<angular_entry>& out);
+// The Def. 4 slot (angular order about the SEC center): fills it when cold,
+// repairs the multiplicity expansion in place when stale-mults, and returns
+// the slot by reference (valid until the next mutation).
+[[nodiscard]] const std::vector<angular_entry>& angles_about_center_slot(
+    const configuration& c);
 [[nodiscard]] std::vector<std::size_t> safe_occupied_points_uncached(
     const configuration& c);
 

@@ -26,8 +26,7 @@ std::vector<ray> rays_from(const configuration& c, vec2 center) {
   std::vector<ray> rays;
   // angular_order already snaps angles to cluster representatives; occupied
   // centers are served from the shared polar table in derived_geometry.
-  std::vector<angular_entry> fallback;
-  for (const angular_entry& e : angular_order_ref(c, center, fallback)) {
+  for (const angular_entry& e : angular_order_ref(c, center)) {
     if (!rays.empty() && rays.back().theta == e.theta) {
       rays.back().load += 1;
     } else if (!rays.empty() && t.ang_eq_mod(rays.back().theta, e.theta, geom::two_pi)) {

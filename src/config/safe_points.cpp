@@ -15,8 +15,7 @@ int max_ray_load(const configuration& c, vec2 p) {
   int run = 0;
   double run_theta = -1.0;
   bool first = true;
-  std::vector<angular_entry> fallback;
-  for (const angular_entry& e : angular_order_ref(c, p, fallback)) {
+  for (const angular_entry& e : angular_order_ref(c, p)) {
     if (first || e.theta != run_theta) {
       run = 1;
       run_theta = e.theta;

@@ -10,11 +10,11 @@ namespace gather::config {
 
 namespace detail {
 
-std::vector<angular_entry> angular_order_uncached(const configuration& c,
-                                                  vec2 center) {
+void angular_order_into(const configuration& c, vec2 center,
+                        std::vector<angular_entry>& entries) {
   const geom::tol& t = c.tolerance();
   derived_geometry& d = c.derived();
-  std::vector<angular_entry> entries;
+  entries.clear();
   entries.reserve(c.size());
   std::vector<double>& thetas = d.scratch_thetas;
   thetas.clear();
@@ -40,20 +40,24 @@ std::vector<angular_entry> angular_order_uncached(const configuration& c,
               if (a.dist != b.dist) return a.dist < b.dist;
               return a.position < b.position;
             });
+}
+
+std::vector<angular_entry> angular_order_uncached(const configuration& c,
+                                                  vec2 center) {
+  std::vector<angular_entry> entries;
+  angular_order_into(c, center, entries);
   return entries;
 }
 
 }  // namespace detail
 
 std::vector<angular_entry> angular_order(const configuration& c, vec2 center) {
-  std::vector<angular_entry> fallback;
-  return angular_order_ref(c, center, fallback);
+  return angular_order_ref(c, center).take();
 }
 
 std::vector<double> string_of_angles(const configuration& c, vec2 center) {
-  std::vector<angular_entry> fallback;
-  const std::vector<angular_entry>& entries =
-      angular_order_ref(c, center, fallback);
+  const polar_ref order = angular_order_ref(c, center);
+  const std::vector<angular_entry>& entries = order.entries();
   const std::size_t m = entries.size();
   std::vector<double> sa(m, 0.0);
   if (m < 2) return sa;

@@ -52,8 +52,8 @@ std::uint64_t angle_key(double a) {
 /// are bit-identical to the reference pipeline's per-view pass (fuzzed by
 /// test_view_pipeline).
 template <class DistFn>
-view view_with_reference_impl(const configuration& c, vec2 p, vec2 ref,
-                              DistFn&& dist_of) {
+void view_with_reference_into(const configuration& c, vec2 p, vec2 ref,
+                              DistFn&& dist_of, view& v) {
   const double r = std::max(c.sec().radius, 1e-300);
   const geom::tol& t = c.tolerance();
   derived_geometry& d = c.derived();
@@ -84,12 +84,12 @@ view view_with_reference_impl(const configuration& c, vec2 p, vec2 ref,
   }
   order.resize(nt);
   tags.resize(nt);
-  view v;
+  v.clear();
   v.reserve(c.size());
   // Self entries are the global minimum: 0.0 is the least possible angle and
   // every non-self dist is >= 0.0 (so equal-key entries are identical bytes).
   for (int k = 0; k < self_mult; ++k) v.push_back({0.0, 0.0});
-  if (tags.empty()) return v;
+  if (tags.empty()) return;
   // One sort serves both the clustering pass and the tag alignment (equal
   // raw angles snap to the same value, so any tie order works).
   util::radix_sort_key_idx(order, radix_tmp);
@@ -118,7 +118,7 @@ view view_with_reference_impl(const configuration& c, vec2 p, vec2 ref,
       const raw_tag& m = tags[order[i].idx];
       for (int k = 0; k < m.mult; ++k) v.push_back({raw_angles[i], m.dist});
     }
-    return v;
+    return;
   }
   // Runs of equal snapped value, merging the seam-split pair (first/last
   // runs are the only ones that can share a value, see above).
@@ -163,25 +163,57 @@ view view_with_reference_impl(const configuration& c, vec2 p, vec2 ref,
     for (const raw_tag& m : members)
       for (int k = 0; k < m.mult; ++k) v.push_back({s.value, m.dist});
   }
-  return v;
 }
 
 view view_with_reference(const configuration& c, vec2 p, vec2 ref) {
-  return view_with_reference_impl(c, p, ref, [&](std::size_t j) {
-    return geom::distance(p, c.occupied()[j].position);
-  });
+  view v;
+  view_with_reference_into(
+      c, p, ref,
+      [&](std::size_t j) {
+        return geom::distance(p, c.occupied()[j].position);
+      },
+      v);
+  return v;
+}
+
+/// view_of_uncached writing into caller storage: the cache fill paths use
+/// this so a slot keeps its capacity across generations (a fresh vector
+/// move-assigned over the slot would throw the old allocation away).
+void view_of_into(const configuration& c, vec2 p, view& out) {
+  const vec2 center = c.sec().center;
+  const geom::tol& t = c.tolerance();
+  if (!t.same_point(p, center)) {
+    GATHER_PROF("config.views");
+    view_with_reference_into(
+        c, p, center - p,
+        [&](std::size_t j) {
+          return geom::distance(p, c.occupied()[j].position);
+        },
+        out);
+    return;
+  }
+  // Center observer: the Def. 2 maximizer scan builds by value (rare path);
+  // copy into the slot to preserve its capacity.
+  const view tmp = detail::view_of_uncached(c, p);
+  out.assign(tmp.begin(), tmp.end());
+}
+
+/// Size the view slot arrays for `k` occupied locations.  The pool is
+/// grow-only: a shrink only trims the logical size (view_ready), leaving the
+/// tail slots' capacity parked for when occupancy grows back.
+void size_view_slots(derived_geometry& d, std::size_t k) {
+  if (d.view_ready.size() != k) {
+    if (d.views.size() < k) d.views.resize(k);
+    d.view_ready.assign(k, 0);
+  }
 }
 
 /// The cached view slot for occupied index `i`, computing it on first use.
 const view& cached_view_slot(const configuration& c, std::size_t i) {
   derived_geometry& d = c.derived();
-  const std::size_t k = c.distinct_count();
-  if (d.view_ready.size() != k || d.views.size() != k) {
-    d.views.resize(k);
-    d.view_ready.assign(k, 0);
-  }
+  size_view_slots(d, c.distinct_count());
   if (!d.view_ready[i]) {
-    d.views[i] = detail::view_of_uncached(c, c.occupied()[i].position);
+    view_of_into(c, c.occupied()[i].position, d.views[i]);
     d.view_ready[i] = 1;
   }
   return d.views[i];
@@ -317,10 +349,7 @@ void fill_all_view_slots(const configuration& c) {
   // reads are free.  Each slot still holds exactly what view_of_uncached
   // would have produced, bit for bit.
   derived_geometry& d = c.derived();
-  if (d.view_ready.size() != k || d.views.size() != k) {
-    d.views.resize(k);
-    d.view_ready.assign(k, 0);
-  }
+  size_view_slots(d, k);
   if (k == 0) return;
   const vec2 center = c.sec().center;
   const geom::tol& t = c.tolerance();
@@ -343,12 +372,14 @@ void fill_all_view_slots(const configuration& c) {
     if (t.same_point(p, center)) {
       // Center observer: Def. 2 maximizer scan; rare, and not helped by
       // the table since it rebuilds views with non-center references.
-      d.views[i] = view_of_uncached(c, p);
+      const view tmp = view_of_uncached(c, p);
+      d.views[i].assign(tmp.begin(), tmp.end());
     } else {
       GATHER_PROF("config.views");
       const double* row = &dists[i * k];
-      d.views[i] = view_with_reference_impl(
-          c, p, center - p, [row](std::size_t j) { return row[j]; });
+      view_with_reference_into(
+          c, p, center - p, [row](std::size_t j) { return row[j]; },
+          d.views[i]);
     }
     d.view_ready[i] = 1;
   }
@@ -357,7 +388,7 @@ void fill_all_view_slots(const configuration& c) {
 std::vector<std::vector<std::size_t>> view_classes_uncached(
     const configuration& c) {
   GATHER_PROF("config.view_classes");
-  const std::vector<view>& vs = all_views(c);
+  const std::span<const view> vs = all_views(c);
   const geom::tol& t = c.tolerance();
   const std::size_t nv = vs.size();
   if (nv == 0) return {};
@@ -463,11 +494,7 @@ int symmetry_uncached(const configuration& c) {
     if (t.same_point(o.position, center)) ++at_center;
   }
   if (at_center >= 2) return symmetry_by_view_classes(c);
-  derived_geometry& d = c.derived();
-  if (!d.angles_about_center) {
-    d.angles_about_center = detail::angular_order_uncached(c, center);
-  }
-  const std::vector<angular_entry>& entries = *d.angles_about_center;
+  const std::vector<angular_entry>& entries = angles_about_center_slot(c);
   // Collapse the (multiplicity-expanded) order into distinct locations.
   // Equal positions are bitwise equal after canonicalization and sort
   // adjacently (same snapped theta, same dist, same position).
@@ -533,18 +560,19 @@ view view_of(const configuration& c, vec2 p) {
   return detail::view_of_uncached(c, p);
 }
 
-const std::vector<view>& all_views(const configuration& c) {
+std::span<const view> all_views(const configuration& c) {
   // Serve straight from the slots when every view is already cached;
   // otherwise bulk-build through the shared pairwise-distance table instead
-  // of one isolated slot at a time.
+  // of one isolated slot at a time.  The span covers the live prefix of the
+  // grow-only slot pool.
   derived_geometry& d = c.derived();
   const std::size_t k = c.distinct_count();
   const bool ready =
-      d.view_ready.size() == k && d.views.size() == k &&
+      d.view_ready.size() == k &&
       std::find(d.view_ready.begin(), d.view_ready.end(), char{0}) ==
           d.view_ready.end();
   if (!ready) detail::fill_all_view_slots(c);
-  return d.views;
+  return {d.views.data(), k};
 }
 
 std::vector<std::vector<std::size_t>> view_classes(const configuration& c) {

@@ -12,6 +12,7 @@
 // views (Def. 3).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "config/configuration.h"
@@ -37,12 +38,13 @@ using view = std::vector<polar_entry>;
 /// `p` must be an occupied location.
 [[nodiscard]] view view_of(const configuration& c, vec2 p);
 
-/// Views of every occupied location, parallel to `c.occupied()`.  Returns a
-/// reference into the derived-geometry cache (filled in bulk through the
-/// shared pairwise-distance table on first use); it is valid until the next
-/// mutation of `c`.  Copy-initialize a `std::vector<view>` from it to keep a
-/// snapshot across mutations.
-[[nodiscard]] const std::vector<view>& all_views(const configuration& c);
+/// Views of every occupied location, parallel to `c.occupied()`.  The span
+/// aliases the derived-geometry cache (filled in bulk through the shared
+/// pairwise-distance table on first use; the backing pool is grow-only, so
+/// the span covers its live prefix); it is valid until the next mutation of
+/// `c`.  Materialize a `std::vector<view>` from it to keep a snapshot across
+/// mutations.
+[[nodiscard]] std::span<const view> all_views(const configuration& c);
 
 /// Equivalence classes of occupied locations under equal views; each inner
 /// vector holds indices into `c.occupied()`.  Classes are ordered by

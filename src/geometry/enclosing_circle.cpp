@@ -59,7 +59,14 @@ circle circle_with_one_boundary(std::span<const vec2> pts, std::size_t end,
 }  // namespace
 
 circle smallest_enclosing_circle(std::span<const vec2> pts, const tol& t) {
+  std::size_t last_violator = 0;
+  return smallest_enclosing_circle(pts, t, last_violator);
+}
+
+circle smallest_enclosing_circle(std::span<const vec2> pts, const tol& t,
+                                 std::size_t& last_violator) {
   GATHER_PROF("geom.sec");
+  last_violator = 0;
   if (pts.empty()) return {};
   // Deterministic incremental construction (Welzl move-to-front without
   // randomization).  Quadratic in the worst case but n is small (robots).
@@ -67,6 +74,7 @@ circle smallest_enclosing_circle(std::span<const vec2> pts, const tol& t) {
   for (std::size_t i = 1; i < pts.size(); ++i) {
     if (!c.contains(pts[i], t)) {
       c = circle_with_one_boundary(pts, i, pts[i], t);
+      last_violator = i;
     }
   }
 #ifdef GATHER_CHECK_INVARIANTS

@@ -37,4 +37,15 @@ struct circle {
 /// Smallest circle enclosing all points.  Empty input yields a zero circle.
 [[nodiscard]] circle smallest_enclosing_circle(std::span<const vec2> pts, const tol& t);
 
+/// `smallest_enclosing_circle` that also reports the index of the last
+/// top-level restart of the incremental construction (0 when the very first
+/// point already determined the circle).  After that index the circle never
+/// changed -- an incremental caller can keep the cached circle for a point
+/// set that is identical up to `last_violator` and whose new points are all
+/// contained in it (src/config's delta path; the bit-identity argument is
+/// spelled out in docs/PERFORMANCE.md).
+[[nodiscard]] circle smallest_enclosing_circle(std::span<const vec2> pts,
+                                               const tol& t,
+                                               std::size_t& last_violator);
+
 }  // namespace gather::geom

@@ -15,6 +15,13 @@ int orientation(vec2 a, vec2 b, vec2 c, const tol& t) {
 }
 
 bool all_collinear(std::span<const vec2> pts, const tol& t) {
+  collinear_witness w;
+  return all_collinear(pts, t, w);
+}
+
+bool all_collinear(std::span<const vec2> pts, const tol& t,
+                   collinear_witness& w) {
+  w = collinear_witness{};
   if (pts.size() < 3) return true;
   // Use the two mutually farthest of the first point and its farthest mate as
   // a stable baseline; testing against a long baseline is numerically safer.
@@ -28,9 +35,17 @@ bool all_collinear(std::span<const vec2> pts, const tol& t) {
       b = p;
     }
   }
+  w.a = a;
+  w.b = b;
+  w.best_d = best;
+  w.valid = true;
   if (t.len_zero(best)) return true;  // all points coincide
   for (const vec2& p : pts) {
-    if (orientation(a, b, p, t) != 0) return false;
+    if (orientation(a, b, p, t) != 0) {
+      w.off_line = p;
+      w.has_off_line = true;
+      return false;
+    }
   }
   return true;
 }

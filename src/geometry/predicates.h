@@ -19,6 +19,26 @@ namespace gather::geom {
 /// Sets of fewer than three points are trivially collinear.
 [[nodiscard]] bool all_collinear(std::span<const vec2> pts, const tol& t);
 
+/// Execution trace of one `all_collinear` run, recorded so an incremental
+/// caller can prove a later run over a slightly different point set would
+/// take the same decisions (src/config's delta path).  The baseline is the
+/// line through `a` (= pts[0]) and `b` (the first point at the maximum
+/// distance `best_d` from `a`); when the result was false, `off_line` is the
+/// first point scanned with a non-zero orientation against that baseline.
+struct collinear_witness {
+  vec2 a{};
+  vec2 b{};
+  double best_d = -1.0;
+  vec2 off_line{};
+  bool has_off_line = false;
+  bool valid = false;
+};
+
+/// `all_collinear` that also records its execution witness.  Bit-identical
+/// result to the plain overload.
+[[nodiscard]] bool all_collinear(std::span<const vec2> pts, const tol& t,
+                                 collinear_witness& w);
+
 /// Distance from point `p` to the infinite line through `a` and `b`.
 [[nodiscard]] double distance_to_line(vec2 p, vec2 a, vec2 b);
 

@@ -1,0 +1,293 @@
+#include "geometry/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gather::geom {
+
+namespace {
+
+// Cell coordinates stay integral in double and far from int64 overflow up to
+// this bound; beyond it the tails are clamped.  Clamping is monotone and
+// never widens a gap, so two points within one cell edge of each other still
+// land in adjacent (or equal) cell coordinates -- 3x3 completeness survives,
+// only the pathological far-tail performance degrades.
+constexpr double kCoordLimit = 4.0e15;
+
+}  // namespace
+
+std::int64_t spatial_grid::coord(double x) const {
+  const double q = std::floor(x / cell_);
+  if (!(q >= -kCoordLimit)) {  // also catches NaN
+    return static_cast<std::int64_t>(-kCoordLimit);
+  }
+  if (q > kCoordLimit) return static_cast<std::int64_t>(kCoordLimit);
+  return static_cast<std::int64_t>(q);
+}
+
+std::size_t spatial_grid::hash_cell(std::int64_t cx, std::int64_t cy) {
+  std::uint64_t h = static_cast<std::uint64_t>(cx) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(cy) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
+}
+
+void spatial_grid::reset(double cell) {
+  GATHER_CHECK(cell > 0.0, "spatial_grid cell edge must be positive");
+  cell_ = cell;
+  size_ = 0;
+  used_cells_ = 0;
+  for (cell_rec& c : cells_) c = cell_rec{};
+  pos_.clear();
+  next_.clear();
+  prev_.clear();
+  cell_slot_.clear();
+  live_.clear();
+  free_head_ = npos;
+}
+
+void spatial_grid::build(std::span<const vec2> pts, double cell) {
+  reset(cell);
+  if (cells_.size() < 2 * pts.size()) rehash(2 * pts.size());
+  pos_.reserve(pts.size());
+  next_.reserve(pts.size());
+  prev_.reserve(pts.size());
+  cell_slot_.reserve(pts.size());
+  live_.reserve(pts.size());
+  for (const vec2& p : pts) insert(p);
+}
+
+std::size_t spatial_grid::find_cell(std::int64_t cx, std::int64_t cy) const {
+  if (cells_.empty()) return npos;
+  const std::size_t mask = cells_.size() - 1;
+  std::size_t slot = hash_cell(cx, cy) & mask;
+  while (cells_[slot].used) {
+    if (cells_[slot].cx == cx && cells_[slot].cy == cy) return slot;
+    slot = (slot + 1) & mask;
+  }
+  return npos;
+}
+
+std::size_t spatial_grid::find_or_create_cell(std::int64_t cx,
+                                              std::int64_t cy) {
+  if (cells_.empty() || 8 * (used_cells_ + 1) > 5 * cells_.size()) {
+    rehash(2 * (used_cells_ + 1));
+  }
+  const std::size_t mask = cells_.size() - 1;
+  std::size_t slot = hash_cell(cx, cy) & mask;
+  while (cells_[slot].used) {
+    if (cells_[slot].cx == cx && cells_[slot].cy == cy) return slot;
+    slot = (slot + 1) & mask;
+  }
+  cells_[slot] = cell_rec{cx, cy, npos, true};
+  ++used_cells_;
+  return slot;
+}
+
+void spatial_grid::rehash(std::size_t min_cells) {
+  std::size_t cap = 16;
+  while (cap < 2 * min_cells) cap *= 2;
+  cells_scratch_.clear();
+  cells_scratch_.resize(cap);
+  std::swap(cells_, cells_scratch_);
+  used_cells_ = 0;
+  const std::size_t mask = cells_.size() - 1;
+  for (const cell_rec& old : cells_scratch_) {
+    if (!old.used || old.head == npos) continue;  // tombstones dropped here
+    std::size_t slot = hash_cell(old.cx, old.cy) & mask;
+    while (cells_[slot].used) slot = (slot + 1) & mask;
+    cells_[slot] = old;
+    ++used_cells_;
+    for (std::size_t h = old.head; h != npos; h = next_[h]) {
+      cell_slot_[h] = slot;
+    }
+  }
+}
+
+void spatial_grid::link(std::size_t h, std::size_t slot) {
+  const std::size_t head = cells_[slot].head;
+  next_[h] = head;
+  prev_[h] = npos;
+  if (head != npos) prev_[head] = h;
+  cells_[slot].head = h;
+  cell_slot_[h] = slot;
+}
+
+void spatial_grid::unlink(std::size_t h) {
+  const std::size_t slot = cell_slot_[h];
+  if (prev_[h] == npos) {
+    cells_[slot].head = next_[h];
+  } else {
+    next_[prev_[h]] = next_[h];
+  }
+  if (next_[h] != npos) prev_[next_[h]] = prev_[h];
+}
+
+std::size_t spatial_grid::insert(vec2 p) {
+  GATHER_CHECK(cell_ > 0.0, "spatial_grid used before reset()/build()");
+  std::size_t h;
+  if (free_head_ != npos) {
+    h = free_head_;
+    free_head_ = next_[h];
+  } else {
+    h = pos_.size();
+    pos_.emplace_back();
+    next_.push_back(npos);
+    prev_.push_back(npos);
+    cell_slot_.push_back(npos);
+    live_.push_back(0);
+  }
+  pos_[h] = p;
+  live_[h] = 1;
+  link(h, find_or_create_cell(coord(p.x), coord(p.y)));
+  ++size_;
+  return h;
+}
+
+void spatial_grid::remove(std::size_t h) {
+  GATHER_CHECK(h < live_.size() && live_[h], "spatial_grid::remove dead handle");
+  unlink(h);
+  live_[h] = 0;
+  next_[h] = free_head_;
+  free_head_ = h;
+  --size_;
+}
+
+void spatial_grid::move(std::size_t h, vec2 p) {
+  GATHER_CHECK(h < live_.size() && live_[h], "spatial_grid::move dead handle");
+  const std::int64_t cx = coord(p.x);
+  const std::int64_t cy = coord(p.y);
+  const cell_rec& cur = cells_[cell_slot_[h]];
+  if (cur.cx == cx && cur.cy == cy) {
+    pos_[h] = p;
+    return;
+  }
+  unlink(h);
+  pos_[h] = p;
+  link(h, find_or_create_cell(cx, cy));  // may rehash; link slot is fresh
+}
+
+std::size_t spatial_grid::find_exact(vec2 p) const {
+  const std::size_t slot = find_cell(coord(p.x), coord(p.y));
+  if (slot == npos) return npos;
+  for (std::size_t h = cells_[slot].head; h != npos; h = next_[h]) {
+    if (pos_[h].x == p.x && pos_[h].y == p.y) return h;
+  }
+  return npos;
+}
+
+template <typename Fn>
+void spatial_grid::for_block(vec2 p, Fn&& fn) const {
+  const std::int64_t cx = coord(p.x);
+  const std::int64_t cy = coord(p.y);
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const std::size_t slot = find_cell(cx + dx, cy + dy);
+      if (slot == npos) continue;
+      for (std::size_t h = cells_[slot].head; h != npos; h = next_[h]) {
+        fn(h);
+      }
+    }
+  }
+}
+
+std::size_t spatial_grid::min_handle_match(vec2 p, const tol& t) const {
+  std::size_t best = npos;
+  for_block(p, [&](std::size_t h) {
+    if (h < best && t.same_point(pos_[h], p)) best = h;
+  });
+  return best;
+}
+
+std::size_t spatial_grid::lex_min_match(vec2 p, const tol& t) const {
+  std::size_t best = npos;
+  for_block(p, [&](std::size_t h) {
+    if (!t.same_point(pos_[h], p)) return;
+    if (best == npos || pos_[h] < pos_[best] ||
+        (pos_[h] == pos_[best] && h < best)) {
+      best = h;
+    }
+  });
+  return best;
+}
+
+std::size_t spatial_grid::count_matches(vec2 p, const tol& t) const {
+  std::size_t count = 0;
+  for_block(p, [&](std::size_t h) {
+    if (t.same_point(pos_[h], p)) ++count;
+  });
+  return count;
+}
+
+std::size_t spatial_grid::match_excluding(
+    vec2 p, const tol& t, std::span<const std::size_t> excluded) const {
+  std::size_t found = npos;
+  for_block(p, [&](std::size_t h) {
+    if (found != npos || !t.same_point(pos_[h], p)) return;
+    if (std::binary_search(excluded.begin(), excluded.end(), h)) return;
+    found = h;
+  });
+  return found;
+}
+
+std::size_t spatial_grid::nearest(vec2 p, std::size_t exclude) const {
+  if (size_ == 0 || (size_ == 1 && exclude != npos && exclude < live_.size() &&
+                     live_[exclude])) {
+    return npos;
+  }
+  std::size_t best = npos;
+  double best_d = 0.0;
+  const auto consider = [&](std::size_t h) {
+    if (h == exclude) return;
+    const double d = distance(pos_[h], p);
+    if (best == npos || d < best_d ||
+        (d == best_d &&
+         (pos_[h] < pos_[best] || (pos_[h] == pos_[best] && h < best)))) {
+      best = h;
+      best_d = d;
+    }
+  };
+
+  const std::int64_t cx = coord(p.x);
+  const std::int64_t cy = coord(p.y);
+  constexpr std::int64_t kMaxRing = 64;
+  for (std::int64_t r = 0; r <= kMaxRing; ++r) {
+    // Any entry in ring r lies at Euclidean distance >= (r - 1) * cell_, so
+    // once a candidate beats that bound the search is complete.
+    if (best != npos && best_d < static_cast<double>(r - 1) * cell_) {
+      return best;
+    }
+    const auto visit = [&](std::int64_t dx, std::int64_t dy) {
+      const std::size_t slot = find_cell(cx + dx, cy + dy);
+      if (slot == npos) return;
+      for (std::size_t h = cells_[slot].head; h != npos; h = next_[h]) {
+        consider(h);
+      }
+    };
+    if (r == 0) {
+      visit(0, 0);
+      continue;
+    }
+    for (std::int64_t dx = -r; dx <= r; ++dx) {  // top and bottom edges
+      visit(dx, -r);
+      visit(dx, r);
+    }
+    for (std::int64_t dy = -r + 1; dy < r; ++dy) {  // side edges
+      visit(-r, dy);
+      visit(r, dy);
+    }
+  }
+  if (best != npos) return best;
+  // The ring walk crossed a large empty region: fall back to a full scan.
+  for (std::size_t h = 0; h < live_.size(); ++h) {
+    if (live_[h]) consider(h);
+  }
+  return best;
+}
+
+}  // namespace gather::geom

@@ -1,0 +1,133 @@
+// Uniform hash grid over 2-D points: O(1) expected insert / remove / move
+// and tolerance-ball queries that scan only the 3x3 cell block around the
+// query point.
+//
+// The grid is the index half of the delta-aware configuration calculus: the
+// greedy canonicalization pass uses it to find the first matching cluster
+// without scanning all of them, and the per-round delta path uses it for
+// multiplicity detection and nearest-structure queries in O(moved robots)
+// instead of O(n^2).
+//
+// Contract: every tolerance query takes the `tol` explicitly and is correct
+// for any tolerance with 2 * t.len_eps() <= cell() -- the tolerance ball
+// around the query point then spans at most one cell boundary per axis, so
+// the 3x3 block is a superset of every possible match.  Callers that derive
+// the cell edge from the same `tol` (cell = 2 * len_eps) satisfy this by
+// construction.
+//
+// Entries are identified by stable handles.  `build()` inserts points in
+// order into an empty grid, so handle i is point i; afterwards handles
+// survive `move()` and are recycled by `remove()`/`insert()`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/tolerance.h"
+#include "geometry/vec2.h"
+
+namespace gather::geom {
+
+class spatial_grid {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  spatial_grid() = default;
+
+  /// Empties the grid and sets the cell edge (must be > 0).  All previously
+  /// acquired capacity -- entry slots and the cell table -- is kept, so a
+  /// reset + rebuild cycle at steady state allocates nothing.
+  void reset(double cell);
+
+  /// reset(cell), then insert `pts` in order: entry handle i == index i.
+  void build(std::span<const vec2> pts, double cell);
+
+  [[nodiscard]] double cell() const { return cell_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Inserts a point and returns its handle.  Handles freed by `remove()`
+  /// are recycled smallest-free-first is NOT guaranteed; treat the value as
+  /// opaque except after `build()`.
+  std::size_t insert(vec2 p);
+
+  /// Removes the entry behind `h` (which must be live).
+  void remove(std::size_t h);
+
+  /// Relocates a live entry; equivalent to remove + insert but keeps `h`.
+  void move(std::size_t h, vec2 p);
+
+  [[nodiscard]] vec2 position(std::size_t h) const { return pos_[h]; }
+
+  /// Handle of an entry at exactly (bitwise) `p`, or npos.  Scans only the
+  /// cell containing `p`, so it is NOT a tolerance query.
+  [[nodiscard]] std::size_t find_exact(vec2 p) const;
+
+  /// Smallest handle h with t.same_point(position(h), p), or npos.  With
+  /// sequential build() handles, this is the first match in input order --
+  /// the greedy-clustering join rule.
+  [[nodiscard]] std::size_t min_handle_match(vec2 p, const tol& t) const;
+
+  /// Handle of the lexicographically smallest matching position (ties on
+  /// position broken towards the smaller handle), or npos.  Over a grid of
+  /// lex-sorted points this reproduces "first match in sorted order".
+  [[nodiscard]] std::size_t lex_min_match(vec2 p, const tol& t) const;
+
+  /// Number of entries with t.same_point(position(h), p).
+  [[nodiscard]] std::size_t count_matches(vec2 p, const tol& t) const;
+
+  /// Some handle h with t.same_point(position(h), p) whose handle is NOT in
+  /// `excluded` (which must be sorted ascending), or npos.  Which match is
+  /// returned is unspecified -- use only as an existence test.  Lets the
+  /// delta path ask "does this point match anything besides the entries I am
+  /// about to move?" without mutating the grid.
+  [[nodiscard]] std::size_t match_excluding(
+      vec2 p, const tol& t, std::span<const std::size_t> excluded) const;
+
+  /// Entry nearest to `p` by geom::distance, skipping `exclude`; ties pick
+  /// the lexicographically smallest position (then the smallest handle), so
+  /// the result never depends on handle history; npos when the grid is empty
+  /// (or holds only `exclude`).  Expanding-ring search, falling back to a
+  /// full scan when the ring walk crosses a large empty region.
+  [[nodiscard]] std::size_t nearest(vec2 p, std::size_t exclude = npos) const;
+
+ private:
+  // Cell table: open addressing, linear probing, power-of-two capacity.
+  // Emptied cells keep their key with an empty chain (natural tombstones);
+  // rehash drops them.
+  struct cell_rec {
+    std::int64_t cx = 0;
+    std::int64_t cy = 0;
+    std::size_t head = npos;
+    bool used = false;
+  };
+
+  [[nodiscard]] std::int64_t coord(double x) const;
+  [[nodiscard]] static std::size_t hash_cell(std::int64_t cx, std::int64_t cy);
+  [[nodiscard]] std::size_t find_cell(std::int64_t cx, std::int64_t cy) const;
+  std::size_t find_or_create_cell(std::int64_t cx, std::int64_t cy);
+  void rehash(std::size_t min_cells);
+  void link(std::size_t h, std::size_t slot);
+  void unlink(std::size_t h);
+
+  template <typename Fn>
+  void for_block(vec2 p, Fn&& fn) const;  // all entries in the 3x3 block
+
+  double cell_ = 0.0;
+  std::size_t size_ = 0;
+
+  std::vector<cell_rec> cells_;
+  std::vector<cell_rec> cells_scratch_;  // rehash ping-pong buffer
+  std::size_t used_cells_ = 0;
+
+  // Per-entry parallel arrays; freed slots chain through next_.
+  std::vector<vec2> pos_;
+  std::vector<std::size_t> next_;
+  std::vector<std::size_t> prev_;
+  std::vector<std::size_t> cell_slot_;
+  std::vector<std::uint8_t> live_;
+  std::size_t free_head_ = npos;
+};
+
+}  // namespace gather::geom

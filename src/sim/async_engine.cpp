@@ -60,6 +60,11 @@ async_result async_engine::run() {
   std::vector<geom::vec2> snapshot_base(n);  // positions hash proxy at Look time
   std::vector<std::uint8_t> live(n, 1);
   std::vector<std::size_t> starving(n, 0);
+  // Per-step write mask (the apply_moves moved hint): at most one robot
+  // moves per step, so the step-start recanonicalization is O(1) on the
+  // delta path instead of O(n).
+  std::vector<std::uint8_t> moved(n, 1);
+  bool snap_identity = false;  // the last executed snap pass changed nothing
 
   // Step-start configuration, recanonicalized in place: the refreshed-tol
   // policy recomputes tol::for_points with the delta-derived absolute floor
@@ -114,6 +119,7 @@ async_result async_engine::run() {
     if (geom::distance(before, snapshot_base[i]) > 1e-9) ++m_stale;
     const geom::vec2 from = positions_[i];
     positions_[i] = movement_->stop_point(from, targets[i], delta_abs, random);
+    moved[i] = 1;
     if (!c.tolerance().same_point(positions_[i], targets[i])) {
       ++m_truncated;
       if (sink_ != nullptr) {
@@ -131,9 +137,23 @@ async_result async_engine::run() {
   bool la_phase_is_look = true;
 
   for (; step < opts_.max_steps; ++step) {
-    cfg.apply_moves(positions_);
+    const config::mutation_report rep = cfg.apply_moves(positions_, moved);
+    moved.assign(n, 0);
     const config::configuration& c = cfg;
-    for (geom::vec2& p : positions_) p = c.snapped(p);
+    // Snap pass, skipped when provably an identity (same reasoning as the
+    // ATOM engine: no_op round + a previously observed identity snap).
+    if (!(rep.no_op && snap_identity)) {
+      bool snap_changed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        const geom::vec2 s = c.snapped(positions_[i]);
+        if (s.x != positions_[i].x || s.y != positions_[i].y) {
+          positions_[i] = s;
+          moved[i] = 1;
+          snap_changed = true;
+        }
+      }
+      snap_identity = !snap_changed;
+    }
 
     if (gathered(c)) {
       result.status = sim_status::gathered;

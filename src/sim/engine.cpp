@@ -44,10 +44,13 @@ engine::engine(const sim_spec& spec)
   // could keep nearly-gathered robots forever "distinct" once the swarm
   // diameter has collapsed below the coordinate noise.
   config_.set_tol_refresh(1e-9 * delta_abs_);
+  // Before the first round every robot counts as freshly written.
+  scratch_moved_.assign(positions_.size(), 1);
 }
 
 const configuration& engine::current_configuration() {
-  config_.apply_moves(positions_);
+  last_report_ = config_.apply_moves(positions_, scratch_moved_);
+  scratch_moved_.assign(positions_.size(), 0);
   return config_;
 }
 
@@ -105,7 +108,10 @@ sim_result engine::run() {
     if (perturbation_ != nullptr) {
       for (const auto& [idx, pos] :
            perturbation_->perturb(round, positions_, live_, random)) {
-        if (idx < positions_.size() && live_[idx]) positions_[idx] = pos;
+        if (idx < positions_.size() && live_[idx]) {
+          positions_[idx] = pos;
+          scratch_moved_[idx] = 1;
+        }
       }
     }
     const configuration& c = current_configuration();
@@ -125,7 +131,24 @@ sim_result engine::run() {
     // Physically merge robots that the (strong multiplicity) observation
     // already identifies as co-located; this keeps accumulated floating-point
     // noise from splitting a formed multiplicity point across rounds.
-    for (vec2& p : positions_) p = c.snapped(p);
+    // Skipped when provably an identity: the last *executed* snap pass
+    // changed nothing, and a no_op round means the positions (and the
+    // canonical state the snap map is derived from) are bitwise identical to
+    // the ones that pass ran on -- the deterministic snap would reproduce
+    // them unchanged.  (no_op alone is not enough: the first snap after a
+    // change can itself move positions.)
+    if (!(last_report_.no_op && snap_identity_)) {
+      bool snap_changed = false;
+      for (std::size_t i = 0; i < positions_.size(); ++i) {
+        const vec2 s = c.snapped(positions_[i]);
+        if (s.x != positions_[i].x || s.y != positions_[i].y) {
+          positions_[i] = s;
+          scratch_moved_[i] = 1;
+          snap_changed = true;
+        }
+      }
+      snap_identity_ = !snap_changed;
+    }
     const config_class cls = config::classify(c).cls;
     result.class_history.push_back(cls);
     if (sink_ != nullptr) {
@@ -279,16 +302,13 @@ sim_result engine::run() {
             algo_->destination({local_c, local_c.snapped(f.apply(self))});
         dest = f.invert(local_dest);
       } else {
-        // Look up the memoized per-location destination.
+        // Look up the memoized per-location destination (grid-served first
+        // tolerance match == the former linear first-match scan).
         dest = self;
-        for (std::size_t k = 0; k < c.occupied().size(); ++k) {
-          if (c.tolerance().same_point(c.occupied()[k].position, self)) {
-            dest = dests[k];
-            break;
-          }
-        }
+        if (const auto k = c.first_occupied_match(self)) dest = dests[*k];
       }
       next[i] = movement_->stop_point(positions_[i], dest, delta_abs_, random);
+      scratch_moved_[i] = 1;
       if (!c.tolerance().same_point(next[i], dest)) {
         ++m_truncated;
         if (sink_ != nullptr) {

@@ -155,9 +155,11 @@ class engine {
 
  private:
   /// Recanonicalize `config_` from `positions_` (per-round refreshed
-  /// tolerance) and return it.  Reuses the configuration's storage and its
-  /// derived-geometry cache allocation; a bitwise-unchanged round keeps the
-  /// cache warm.
+  /// tolerance) and return it.  The accumulated per-round write mask
+  /// (`scratch_moved_`) is handed to apply_moves as the moved hint, so a
+  /// round that moved k robots recanonicalizes in O(k) when the delta path
+  /// applies; the mutation report lands in `last_report_` and the mask is
+  /// reset for the next round's writers.
   [[nodiscard]] const configuration& current_configuration();
   [[nodiscard]] bool gathered(const configuration& c) const;
 
@@ -171,6 +173,12 @@ class engine {
   std::vector<vec2> scratch_stationary_;
   std::vector<std::uint8_t> scratch_active_;
   std::vector<vec2> scratch_local_pts_;
+  // Per-round write mask: every code path that writes positions_ marks the
+  // robot here; current_configuration() passes it to apply_moves as the
+  // moved hint and clears it.
+  std::vector<std::uint8_t> scratch_moved_;
+  config::mutation_report last_report_;  // report of the last apply_moves
+  bool snap_identity_ = false;  // the last executed snap pass changed nothing
   const gathering_algorithm* algo_;
   activation_scheduler* scheduler_;
   movement_adversary* movement_;

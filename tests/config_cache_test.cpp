@@ -74,8 +74,8 @@ void expect_equivalent(const configuration& a, const configuration& b) {
 
   EXPECT_EQ(safe_occupied_points(a), safe_occupied_points(b));
 
-  const std::vector<view> va = all_views(a);
-  const std::vector<view> vb = all_views(b);
+  const auto va = all_views(a);
+  const auto vb = all_views(b);
   ASSERT_EQ(va.size(), vb.size());
   for (std::size_t i = 0; i < va.size(); ++i) expect_same_view(va[i], vb[i]);
   EXPECT_EQ(view_classes(a), view_classes(b));

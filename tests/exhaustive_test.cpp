@@ -119,8 +119,8 @@ TEST(Exhaustive, AllFiveRobotConfigurationsOn2x2) {
 bool view_multisets_match(const configuration& a, const configuration& b) {
   if (a.robots().size() != b.robots().size()) return false;
   if (a.distinct_count() != b.distinct_count()) return false;
-  const std::vector<config::view> va = config::all_views(a);
-  const std::vector<config::view> vb = config::all_views(b);
+  const auto va = config::all_views(a);
+  const auto vb = config::all_views(b);
   std::vector<bool> used(vb.size(), false);
   for (const config::view& v : va) {
     bool matched = false;

@@ -1,0 +1,485 @@
+// Incremental-vs-cold bit-identity suite for the delta-aware mutation API.
+//
+// The contract (config/configuration.h) is that every incremental
+// canonicalization path -- the per-mover delta repair, the mults_only
+// shortcut, the no_op / cache_kept fast exits and the hinted apply_moves
+// change scan -- produces a canonical state bit-identical to a freshly
+// constructed configuration over the same raw points under the same
+// tolerance policy.  The fuzz suite drives >= 1000 random mutation
+// sequences (point moves, insert/remove, snap-merges, tolerance refreshes,
+// hinted and unhinted apply_moves) and compares the mutated configuration
+// against a cold rebuild after every step, including the derived-geometry
+// reads whose slots survive mutations (hull, angular orders, symmetry).
+//
+// The unit tests pin the per-slot survival rules (mutation_report kinds,
+// generation semantics, the grow-only ragged slot pools) and the spatial
+// grid's query contract against linear-scan oracles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "config/classify.h"
+#include "config/configuration.h"
+#include "config/derived.h"
+#include "config/safe_points.h"
+#include "config/string_of_angles.h"
+#include "config/views.h"
+#include "geometry/spatial_grid.h"
+#include "sim/rng.h"
+
+namespace gather::config {
+namespace {
+
+using geom::vec2;
+
+void expect_same_vec(vec2 a, vec2 b, const char* what, int iter) {
+  EXPECT_EQ(a.x, b.x) << what << " iter=" << iter;
+  EXPECT_EQ(a.y, b.y) << what << " iter=" << iter;
+}
+
+/// Full canonical-state comparison, bit for bit.
+void expect_same_canonical(const configuration& inc, const configuration& cold,
+                           int iter) {
+  ASSERT_EQ(inc.size(), cold.size()) << "iter=" << iter;
+  ASSERT_EQ(inc.distinct_count(), cold.distinct_count()) << "iter=" << iter;
+  for (std::size_t i = 0; i < inc.size(); ++i) {
+    expect_same_vec(inc.robots()[i], cold.robots()[i], "robots", iter);
+  }
+  for (std::size_t i = 0; i < inc.distinct_count(); ++i) {
+    expect_same_vec(inc.occupied()[i].position, cold.occupied()[i].position,
+                    "occupied", iter);
+    EXPECT_EQ(inc.occupied()[i].multiplicity, cold.occupied()[i].multiplicity)
+        << "iter=" << iter;
+  }
+  const geom::tol& ta = inc.tolerance();
+  const geom::tol& tb = cold.tolerance();
+  EXPECT_EQ(ta.scale, tb.scale) << "iter=" << iter;
+  EXPECT_EQ(ta.rel, tb.rel) << "iter=" << iter;
+  EXPECT_EQ(ta.angle_eps, tb.angle_eps) << "iter=" << iter;
+  EXPECT_EQ(ta.abs_floor, tb.abs_floor) << "iter=" << iter;
+  expect_same_vec(inc.sec().center, cold.sec().center, "sec.center", iter);
+  EXPECT_EQ(inc.sec().radius, cold.sec().radius) << "iter=" << iter;
+  EXPECT_EQ(inc.diameter(), cold.diameter()) << "iter=" << iter;
+  EXPECT_EQ(inc.is_linear(), cold.is_linear()) << "iter=" << iter;
+}
+
+/// Derived reads that exercise the surviving slots (hull on mults_only, the
+/// lazily repaired angular tables) against a cold configuration.
+void expect_same_derived(const configuration& inc, const configuration& cold,
+                         int iter) {
+  if (inc.distinct_count() == 0) return;
+  EXPECT_EQ(symmetry(inc), symmetry(cold)) << "iter=" << iter;
+  EXPECT_EQ(safe_occupied_points(inc), safe_occupied_points(cold))
+      << "iter=" << iter;
+  const std::vector<angular_entry> oa =
+      angular_order(inc, inc.sec().center);
+  const std::vector<angular_entry> ob =
+      angular_order(cold, cold.sec().center);
+  ASSERT_EQ(oa.size(), ob.size()) << "iter=" << iter;
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    expect_same_vec(oa[i].position, ob[i].position, "order.pos", iter);
+    EXPECT_EQ(oa[i].theta, ob[i].theta) << "iter=" << iter;
+    EXPECT_EQ(oa[i].dist, ob[i].dist) << "iter=" << iter;
+  }
+  const auto va = all_views(inc);
+  const auto vb = all_views(cold);
+  ASSERT_EQ(va.size(), vb.size()) << "iter=" << iter;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    ASSERT_EQ(va[i].size(), vb[i].size()) << "iter=" << iter;
+    for (std::size_t j = 0; j < va[i].size(); ++j) {
+      EXPECT_EQ(va[i][j].angle, vb[i][j].angle) << "iter=" << iter;
+      EXPECT_EQ(va[i][j].dist, vb[i][j].dist) << "iter=" << iter;
+    }
+  }
+  EXPECT_EQ(classify(inc).cls, classify(cold).cls) << "iter=" << iter;
+}
+
+/// Random point: coarse grid cells plus occasional exact duplicates and
+/// near-duplicates, so clustering, snap-merges and multiplicities all occur.
+vec2 fuzz_point(sim::rng& r, const std::vector<vec2>& existing) {
+  const double roll = r.uniform(0.0, 1.0);
+  if (!existing.empty() && roll < 0.2) {
+    const vec2 base =
+        existing[r.uniform_int(0, existing.size() - 1)];
+    if (roll < 0.1) return base;  // exact duplicate
+    return {base.x + r.uniform(-1e-12, 1e-12),
+            base.y + r.uniform(-1e-12, 1e-12)};  // near-duplicate
+  }
+  return {r.uniform(-10.0, 10.0), r.uniform(-10.0, 10.0)};
+}
+
+/// One fuzzed mutation sequence: a mutating configuration compared against
+/// a cold rebuild of the same raw input after every operation.
+void run_sequence(int iter, bool refreshed_policy) {
+  sim::rng r(0x9e3779b9u * static_cast<std::uint64_t>(iter) + 17);
+  const std::size_t n0 = 1 + r.uniform_int(0, 24);
+  std::vector<vec2> raw;
+  raw.reserve(n0 + 8);
+  for (std::size_t i = 0; i < n0; ++i) raw.push_back(fuzz_point(r, raw));
+
+  const double floor = refreshed_policy ? 1e-11 : 0.0;
+  configuration inc;
+  if (refreshed_policy) inc.set_tol_refresh(floor);
+  inc.apply_moves(raw);
+
+  const auto cold_build = [&]() {
+    configuration cold;
+    if (refreshed_policy) cold.set_tol_refresh(floor);
+    cold.apply_moves(raw);
+    return cold;
+  };
+
+  const std::size_t ops = 24;
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::uint64_t kind = r.uniform_int(0, 9);
+    if (kind <= 3) {
+      // Single-robot move: small nudge (delta-path candidate), a jump, or a
+      // snap-merge onto another robot.
+      const std::size_t i = r.uniform_int(0, raw.size() - 1);
+      vec2 p;
+      if (kind == 0) {
+        p = {raw[i].x + r.uniform(-1e-4, 1e-4),
+             raw[i].y + r.uniform(-1e-4, 1e-4)};
+      } else if (kind == 1) {
+        p = {r.uniform(-10.0, 10.0), r.uniform(-10.0, 10.0)};
+      } else {
+        p = fuzz_point(r, raw);
+      }
+      raw[i] = p;
+      inc.set_position(i, p);
+    } else if (kind == 4) {
+      // Bitwise no-op move.
+      const std::size_t i = r.uniform_int(0, raw.size() - 1);
+      const mutation_report rep = inc.set_position(i, raw[i]);
+      EXPECT_TRUE(rep.no_op) << "iter=" << iter;
+      EXPECT_TRUE(rep.cache_kept) << "iter=" << iter;
+    } else if (kind <= 6) {
+      // Multi-robot round via apply_moves, hinted half the time.
+      const bool hinted = r.flip();
+      std::vector<std::uint8_t> mask(raw.size(), 0);
+      const std::size_t movers = 1 + r.uniform_int(0, 2);
+      for (std::size_t m = 0; m < movers; ++m) {
+        const std::size_t i = r.uniform_int(0, raw.size() - 1);
+        raw[i] = fuzz_point(r, raw);
+        mask[i] = 1;
+      }
+      if (hinted) {
+        inc.apply_moves(raw, mask);
+      } else {
+        inc.apply_moves(raw);
+      }
+    } else if (kind == 7 && raw.size() < 32) {
+      const vec2 p = fuzz_point(r, raw);
+      raw.push_back(p);
+      inc.insert_robot(p);
+    } else if (kind == 8 && raw.size() > 1) {
+      const std::size_t i = r.uniform_int(0, raw.size() - 1);
+      raw.erase(raw.begin() + static_cast<std::ptrdiff_t>(i));
+      inc.remove_robot(i);
+    } else if (refreshed_policy) {
+      // Re-applying the same floor re-runs the policy but keeps the cache.
+      const mutation_report rep = inc.set_tol_refresh(floor);
+      EXPECT_TRUE(rep.cache_kept) << "iter=" << iter;
+    } else {
+      // Unchanged input under the spread-scaled policy is a no-op round.
+      const mutation_report rep = inc.apply_moves(raw);
+      EXPECT_TRUE(rep.no_op) << "iter=" << iter;
+    }
+
+    const configuration cold = cold_build();
+    expect_same_canonical(inc, cold, iter);
+    // Derived reads are expensive; spot-check a third of the steps (still
+    // hundreds of mutation/read interleavings across the suite).
+    if (op % 3 == 0) expect_same_derived(inc, cold, iter);
+  }
+}
+
+TEST(IncrementalFuzz, RefreshedPolicyMatchesColdBitwise) {
+  for (int iter = 0; iter < 500; ++iter) run_sequence(iter, true);
+}
+
+TEST(IncrementalFuzz, SpreadScaledPolicyMatchesColdBitwise) {
+  for (int iter = 0; iter < 500; ++iter) run_sequence(1000 + iter, false);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation-report classification and slot-survival semantics.
+
+TEST(MutationReport, BitwiseIdenticalInputIsNoOp) {
+  configuration c({{0, 0}, {3, 1}, {-2, 5}});
+  const std::uint64_t gen = c.generation();
+  const std::vector<vec2> raw = {{0, 0}, {3, 1}, {-2, 5}};
+  const mutation_report rep = c.apply_moves(raw);
+  EXPECT_TRUE(rep.no_op);
+  EXPECT_TRUE(rep.cache_kept);
+  EXPECT_EQ(rep.kind, mutation_kind::no_op);
+  EXPECT_EQ(rep.moved, 0u);
+  EXPECT_EQ(c.generation(), gen);
+}
+
+TEST(MutationReport, SetPositionSameBitsIsNoOp) {
+  configuration c({{0, 0}, {3, 1}});
+  const std::uint64_t gen = c.generation();
+  const mutation_report rep = c.set_position(1, {3, 1});
+  EXPECT_TRUE(rep.no_op);
+  EXPECT_EQ(c.generation(), gen);
+}
+
+TEST(MutationReport, SetPositionOutOfRangeThrows) {
+  configuration c({{0, 0}});
+  EXPECT_THROW(static_cast<void>(c.set_position(1, {1, 1})),
+               std::out_of_range);
+  EXPECT_THROW(static_cast<void>(c.remove_robot(7)), std::out_of_range);
+}
+
+TEST(MutationReport, RepeatedTolRefreshIsCacheKept) {
+  configuration c({{0, 0}, {4, 4}, {9, 1}});
+  c.set_tol_refresh(1e-10);
+  const std::uint64_t gen = c.generation();
+  const mutation_report rep = c.set_tol_refresh(1e-10);
+  EXPECT_TRUE(rep.cache_kept);
+  EXPECT_FALSE(rep.no_op);  // the input vector is unchanged but policy re-runs
+  EXPECT_EQ(c.generation(), gen);
+}
+
+TEST(MutationReport, SwappingCoLocatedRobotsIsMultsOnly) {
+  // The canonical location multiset is unchanged, but the per-index robot
+  // assignment is not, so the cache cannot be kept outright; the location
+  // set and tolerance are preserved, which is exactly the mults_only class.
+  configuration c({{0, 0}, {5, 5}, {0, 0}, {5, 5}});
+  const std::uint64_t gen = c.generation();
+  std::vector<vec2> raw = {{5, 5}, {0, 0}, {0, 0}, {5, 5}};
+  const mutation_report rep = c.apply_moves(raw);
+  EXPECT_FALSE(rep.no_op);
+  EXPECT_FALSE(rep.cache_kept);
+  EXPECT_EQ(rep.kind, mutation_kind::mults_only);
+  EXPECT_FALSE(rep.structure_changed);
+  EXPECT_GT(c.generation(), gen);
+}
+
+TEST(MutationReport, MultiplicityTransferIsMultsOnly) {
+  // Fixed tolerance so the tol context provably cannot change; moving one
+  // robot from a doubly occupied location exactly onto another location
+  // keeps the location set and changes only multiplicities.
+  const geom::tol t = geom::tol::for_points(
+      std::vector<vec2>{{0, 0}, {10, 0}, {0, 7}});
+  configuration c({{0, 0}, {0, 0}, {10, 0}, {0, 7}}, t);
+  ASSERT_EQ(c.distinct_count(), 3u);
+  const std::vector<vec2> hull_before = hull(c);
+  const std::uint64_t gen = c.generation();
+  const mutation_report rep = c.set_position(1, {10, 0});
+  EXPECT_EQ(rep.kind, mutation_kind::mults_only);
+  EXPECT_FALSE(rep.structure_changed);
+  EXPECT_FALSE(rep.tol_changed);
+  EXPECT_GT(c.generation(), gen);  // canonical state changed
+  EXPECT_EQ(c.multiplicity({0, 0}), 1);
+  EXPECT_EQ(c.multiplicity({10, 0}), 2);
+  // The kept hull slot still serves bit-identical values.
+  const std::vector<vec2> hull_after = hull(c);
+  ASSERT_EQ(hull_before.size(), hull_after.size());
+  for (std::size_t i = 0; i < hull_before.size(); ++i) {
+    expect_same_vec(hull_before[i], hull_after[i], "hull", 0);
+  }
+  // The repaired angular tables match a cold rebuild.
+  const configuration cold(std::vector<vec2>(c.robots()), t);
+  expect_same_derived(c, cold, 0);
+}
+
+TEST(MutationReport, IsolatedSingletonMoveIsDelta) {
+  // Widely spaced singletons under a fixed tolerance: a small interior move
+  // must take the delta path and report the changed occupied slots.
+  std::vector<vec2> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({static_cast<double>(10 * i), (i % 2 == 0) ? 0.0 : 3.0});
+  }
+  const geom::tol t = geom::tol::for_points(pts);
+  configuration c(pts, t);
+  ASSERT_EQ(c.distinct_count(), 20u);
+  const mutation_report rep = c.set_position(5, {50.001, 3.002});
+  EXPECT_EQ(rep.kind, mutation_kind::delta);
+  EXPECT_EQ(rep.moved, 1u);
+  EXPECT_TRUE(rep.structure_changed);
+  ASSERT_EQ(rep.changed_occupied.size(), 1u);
+  const vec2 moved = c.occupied()[rep.changed_occupied[0]].position;
+  EXPECT_EQ(moved.x, 50.001);
+  EXPECT_EQ(moved.y, 3.002);
+  // Bit-identity with the cold rebuild.
+  std::vector<vec2> now = pts;
+  now[5] = {50.001, 3.002};
+  const configuration cold(now, t);
+  expect_same_canonical(c, cold, 0);
+  expect_same_derived(c, cold, 0);
+}
+
+TEST(MutationReport, HintedApplyMovesMatchesUnhinted) {
+  std::vector<vec2> pts;
+  for (int i = 0; i < 12; ++i) pts.push_back({static_cast<double>(i), 0.5 * i});
+  configuration hinted;
+  hinted.set_tol_refresh(1e-10);
+  hinted.apply_moves(pts);
+  configuration unhinted;
+  unhinted.set_tol_refresh(1e-10);
+  unhinted.apply_moves(pts);
+
+  std::vector<std::uint8_t> mask(pts.size(), 0);
+  pts[3] = {3.25, 1.75};
+  pts[9] = {8.5, 4.75};
+  mask[3] = mask[9] = 1;
+  const mutation_report ra = hinted.apply_moves(pts, mask);
+  const mutation_report rb = unhinted.apply_moves(pts);
+  EXPECT_EQ(ra.kind, rb.kind);
+  EXPECT_EQ(ra.moved, rb.moved);
+  expect_same_canonical(hinted, unhinted, 0);
+
+  // An all-zero hint with an unchanged vector is a no-op.
+  std::fill(mask.begin(), mask.end(), std::uint8_t{0});
+  const mutation_report rc = hinted.apply_moves(pts, mask);
+  EXPECT_TRUE(rc.no_op);
+}
+
+TEST(ViewSlots, RaggedPoolSurvivesOccupancyShrinkAndRegrow) {
+  // k = 5 -> 3 -> 5 distinct locations: the logical view count must track
+  // occupancy while values stay bit-identical to cold rebuilds throughout.
+  std::vector<vec2> five = {{0, 0}, {4, 0}, {0, 4}, {4, 4}, {2, 7}};
+  configuration c(five);
+  EXPECT_EQ(all_views(c).size(), 5u);
+
+  std::vector<vec2> three = {{0, 0}, {4, 0}, {0, 4}, {0, 0}, {4, 0}};
+  c.apply_moves(three);
+  const auto views3 = all_views(c);
+  ASSERT_EQ(views3.size(), 3u);
+  const configuration cold3(three);
+  expect_same_derived(c, cold3, 0);
+
+  c.apply_moves(five);
+  const auto views5 = all_views(c);
+  ASSERT_EQ(views5.size(), 5u);
+  const configuration cold5(five);
+  expect_same_derived(c, cold5, 0);
+}
+
+TEST(GridQueries, MatchAndNearestAgainstOracles) {
+  configuration c({{0, 0}, {1, 0}, {1, 0}, {5, 5}, {-3, 2}});
+  // multiplicity via the grid == counting robots per snapped location.
+  EXPECT_EQ(c.multiplicity({1, 0}), 2);
+  EXPECT_EQ(c.multiplicity({0, 0}), 1);
+  EXPECT_EQ(c.multiplicity({9, 9}), 0);
+  // first_occupied_match == the linear first-match scan.
+  for (const occupied_point& o : c.occupied()) {
+    std::size_t linear = c.occupied().size();
+    for (std::size_t k = 0; k < c.occupied().size(); ++k) {
+      if (c.tolerance().same_point(c.occupied()[k].position, o.position)) {
+        linear = k;
+        break;
+      }
+    }
+    const auto got = c.first_occupied_match(o.position);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, linear);
+  }
+  EXPECT_FALSE(c.first_occupied_match({100, 100}).has_value());
+  // nearest_occupied == argmin by distance with lexicographic ties.
+  sim::rng r(7);
+  for (int q = 0; q < 200; ++q) {
+    const vec2 p{r.uniform(-8.0, 8.0), r.uniform(-8.0, 8.0)};
+    const auto got = c.nearest_occupied(p);
+    ASSERT_TRUE(got.has_value());
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < c.occupied().size(); ++k) {
+      const double dk = geom::distance(c.occupied()[k].position, p);
+      const double db = geom::distance(c.occupied()[best].position, p);
+      if (dk < db || (dk == db &&
+                      c.occupied()[k].position < c.occupied()[best].position)) {
+        best = k;
+      }
+    }
+    EXPECT_EQ(*got, best) << "q=" << q;
+  }
+}
+
+TEST(SpatialGrid, HandleLifecycleAndQueries) {
+  geom::spatial_grid g;
+  const geom::tol t = geom::tol::for_points(
+      std::vector<vec2>{{0, 0}, {100, 100}});
+  g.build(std::vector<vec2>{{0, 0}, {1, 1}, {50, 50}}, 2 * t.len_eps());
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.find_exact({1, 1}), 1u);
+  EXPECT_EQ(g.find_exact({2, 2}), geom::spatial_grid::npos);
+  EXPECT_EQ(g.min_handle_match({0, 0}, t), 0u);
+  EXPECT_EQ(g.count_matches({50, 50}, t), 1u);
+
+  // move keeps the handle; remove recycles it.
+  g.move(1, {60, 60});
+  EXPECT_EQ(g.find_exact({60, 60}), 1u);
+  EXPECT_EQ(g.find_exact({1, 1}), geom::spatial_grid::npos);
+  g.remove(0);
+  EXPECT_EQ(g.size(), 2u);
+  const std::size_t h = g.insert({-7, 3});
+  EXPECT_EQ(h, 0u);  // the freed slot is recycled
+  EXPECT_EQ(g.find_exact({-7, 3}), 0u);
+
+  // match_excluding is an existence test modulo an excluded handle set.
+  const std::vector<std::size_t> excl = {0};
+  EXPECT_EQ(g.match_excluding({-7, 3}, t, excl), geom::spatial_grid::npos);
+  EXPECT_NE(g.match_excluding({60, 60}, t, excl), geom::spatial_grid::npos);
+}
+
+TEST(SpatialGrid, NearestMatchesLinearOracle) {
+  sim::rng r(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<vec2> pts;
+    const std::size_t n = 2 + r.uniform_int(0, 30);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Lattice coordinates force exact distance ties.
+      pts.push_back({static_cast<double>(r.uniform_int(0, 6)),
+                     static_cast<double>(r.uniform_int(0, 6))});
+    }
+    geom::spatial_grid g;
+    g.build(pts, 0.5);
+    for (int q = 0; q < 20; ++q) {
+      const vec2 p{static_cast<double>(r.uniform_int(0, 6)),
+                   static_cast<double>(r.uniform_int(0, 6))};
+      const std::size_t got = g.nearest(p);
+      ASSERT_NE(got, geom::spatial_grid::npos);
+      // Oracle: min by (distance, position, handle).
+      std::size_t best = 0;
+      for (std::size_t h = 1; h < pts.size(); ++h) {
+        const double dh = geom::distance(pts[h], p);
+        const double db = geom::distance(pts[best], p);
+        if (dh < db || (dh == db && (pts[h] < pts[best] ||
+                                     (pts[h] == pts[best] && h < best)))) {
+          best = h;
+        }
+      }
+      EXPECT_EQ(g.position(got).x, pts[best].x) << "iter=" << iter;
+      EXPECT_EQ(g.position(got).y, pts[best].y) << "iter=" << iter;
+    }
+  }
+}
+
+TEST(DiameterHull, LargeDistinctCountMatchesAllPairsOracle) {
+  // U > 64 switches the diameter to the exact-hull path; it must equal the
+  // all-pairs maximum bit for bit.
+  sim::rng r(1234);
+  std::vector<vec2> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({r.uniform(-50.0, 50.0), r.uniform(-50.0, 50.0)});
+  }
+  const configuration c(pts);
+  ASSERT_GT(c.distinct_count(), 64u);
+  double best = 0.0;
+  for (std::size_t i = 0; i < c.occupied().size(); ++i) {
+    for (std::size_t j = i + 1; j < c.occupied().size(); ++j) {
+      best = std::max(best, geom::distance(c.occupied()[i].position,
+                                           c.occupied()[j].position));
+    }
+  }
+  EXPECT_EQ(c.diameter(), best);
+}
+
+}  // namespace
+}  // namespace gather::config

@@ -130,7 +130,8 @@ TEST(ViewPipeline, FastMatchesReferenceOn1000Configs) {
     if (c.distinct_count() == 0) continue;
 
     // Views of every occupied location, bit for bit.
-    const std::vector<view> fast_views = config::all_views(c);
+    const std::vector<view> fast_views(config::all_views(c).begin(),
+                                       config::all_views(c).end());
     const std::vector<view> ref_views = config::detail::all_views_reference(c);
     ASSERT_EQ(fast_views.size(), ref_views.size()) << "iter=" << iter;
     for (std::size_t i = 0; i < fast_views.size(); ++i) {

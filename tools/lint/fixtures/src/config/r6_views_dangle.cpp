@@ -14,17 +14,29 @@ struct view {
   std::size_t index = 0;
 };
 
+struct mutation_report {
+  bool no_op = false;
+  bool cache_kept = false;
+};
+
 class configuration {
  public:
   const std::vector<view>& all_views() const;
-  void set_position(std::size_t i, point p);
-  void apply_moves(const std::vector<point>& targets);
-  void insert_robot(point p);
-  void set_tol_refresh(double tol);
+  mutation_report set_position(std::size_t i, point p);
+  mutation_report apply_moves(const std::vector<point>& targets);
+  mutation_report insert_robot(point p);
+  mutation_report set_tol_refresh(double tol);
+};
+
+class polar_ref {
+ public:
+  std::size_t size() const;
+  std::vector<std::size_t> take() &&;
 };
 
 const std::vector<std::size_t>& angular_order_of_occupied(
     const configuration& c, std::size_t i);
+polar_ref angular_order_ref(const configuration& c, point center);
 void consume(std::size_t n);
 
 // Violation: the reference dangles across the invalidating mutation.
@@ -82,6 +94,46 @@ std::size_t pointer_retarget_is_clean(configuration& c, point p) {
   c.set_position(0, p);
   vp = &c.all_views();
   return vp->size();
+}
+
+// Violation: a by-value polar_ref may alias the polar-order cache slot; it
+// dangles across mutations exactly like a reference.
+std::size_t stale_polar_ref(configuration& c, point p) {
+  const polar_ref order = angular_order_ref(c, p);
+  c.set_position(0, p);
+  return order.size();  // expect(R6)
+}
+
+// Negative: take() detaches the handle into owned storage in the same
+// statement, so nothing aliases the cache.
+std::size_t polar_take_is_clean(configuration& c, point p) {
+  const auto entries = angular_order_ref(c, p).take();
+  c.set_position(0, p);
+  return entries.size();
+}
+
+// Negative: a mutator probed in-statement for its cache-keeping report
+// fields is the fast-path check itself -- the caller branches on the report
+// before touching cached state, so the probe must not stale bindings.
+std::size_t no_op_probe_is_clean(configuration& c,
+                                 const std::vector<point>& targets) {
+  const std::vector<view>& vs = c.all_views();
+  if (c.apply_moves(targets).no_op) {
+    return vs.size();
+  }
+  return 0;
+}
+
+// Violation: the probe exemption is per-call -- a later unprobed mutation
+// on the same object stales as usual.
+std::size_t probe_then_mutate_is_stale(configuration& c, point p,
+                                       const std::vector<point>& targets) {
+  const std::vector<view>& vs = c.all_views();
+  if (c.apply_moves(targets).cache_kept) {
+    consume(vs.size());
+  }
+  c.set_position(0, p);
+  return vs.size();  // expect(R6)
 }
 
 // Suppressed: the caller proves no view is read between here and return.

@@ -18,7 +18,12 @@ Rules (diagnosed as path:line: Rn: message, same contract as gather-lint):
       the same object (`set_position`, `apply_moves`, `insert_robot`,
       `remove_robot`, `set_tol_refresh`; another `add_column` for columnar
       tables) within the enclosing scope.  Value copies are fine;
-      re-acquiring a fresh reference after the mutation is fine.
+      re-acquiring a fresh reference after the mutation is fine.  Two
+      mutation-report refinements: a mutator call probed in-statement for
+      its cache-keeping fields (`...).no_op` / `...).cache_kept`) is the
+      fast-path check itself and does not stale bindings, and a by-value
+      `polar_ref` bound from `angular_order_ref` IS tracked (the handle may
+      alias cache storage) unless the statement detaches it via `.take()`.
 
   R7  Lock discipline.  Scope: src/runner and tools (the concurrency
       surfaces: thread_pool, the campaign service, gather_campaignd).
@@ -147,6 +152,35 @@ R6_MUTATORS = {
     "set_tol_refresh",
     "add_column",
 }
+
+
+# Sources whose BY-VALUE result still aliases cache storage: a
+# `config::polar_ref` holds a pointer into the polar-order slot when the
+# requested center hits the cache.  `.take()` detaches into owned storage.
+R6_BY_VALUE_ALIAS_SOURCES = {
+    "angular_order_ref",
+}
+
+
+def _report_probed(stmt, i):
+    """True when the mutator call at stmt[i] is immediately followed by a
+    mutation-report cache-keeping probe: `mutator( ... ).no_op` or
+    `( ... ).cache_kept`."""
+    j = i + 1  # the opening '('
+    depth = 0
+    while j < len(stmt):
+        if stmt[j].text == "(":
+            depth += 1
+        elif stmt[j].text == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        j += 1
+    return (
+        j + 2 < len(stmt)
+        and stmt[j + 1].text == "."
+        and stmt[j + 2].text in ("no_op", "cache_kept")
+    )
 
 
 class binding:
@@ -448,6 +482,13 @@ class body_walker:
                 and stmt[i - 1].text in (".", "->")
                 and is_ident(stmt[i - 2].text)
             ):
+                if _report_probed(stmt, i):
+                    # `c.apply_moves(raw).no_op` / `.cache_kept`: the
+                    # statement is the cache-keeping fast-path check, not a
+                    # blind mutation -- the surrounding code branches on the
+                    # report before touching cached references, which the
+                    # linear walk cannot follow.  Treat as non-staling.
+                    continue
                 obj = stmt[i - 2].text
                 for b in self.all_bindings():
                     if b.obj == obj and b.stale_line is None:
@@ -459,10 +500,23 @@ class body_walker:
         if eq is None:
             return
         lhs, rhs = stmt[:eq], stmt[eq + 1 :]
-        src_obj = self._rhs_source_object(rhs)
+        src_obj, src_fn = self._rhs_source(rhs)
         if not lhs or not is_ident(lhs[-1].text):
             return
         name = lhs[-1].text
+        # A by-value binding of an aliasing handle type (polar_ref from
+        # angular_order_ref) is tracked like a reference; `.take()` in the
+        # same statement detaches it into owned storage.
+        by_value_alias = (
+            src_fn in R6_BY_VALUE_ALIAS_SOURCES
+            and len(lhs) >= 2
+            and any(t.text in ("polar_ref", "auto") for t in lhs[:-1])
+            and not any(t.text in ("(", "[") for t in lhs[:-1])
+            and not any(t.text == "take" for t in rhs)
+        )
+        if by_value_alias:
+            self.binding_scopes[-1][name] = binding(name, src_obj, lhs[-1].line)
+            return
         if len(lhs) >= 2 and any(t.text in ("&", "*") for t in lhs[:-1]) and not any(
             t.text in ("(", "[") for t in lhs[:-1]
         ):
@@ -487,13 +541,15 @@ class body_walker:
                         scope.pop(name, None)
 
     @staticmethod
-    def _rhs_source_object(rhs):
+    def _rhs_source(rhs):
+        """(owning object, source function name) of the first recognized
+        source call in `rhs`, or (None, None)."""
         for i, t in enumerate(rhs):
             if t.text in R6_SOURCES and i + 1 < len(rhs) and rhs[i + 1].text == "(":
                 obj = _source_object(rhs, i)
                 if obj is not None:
-                    return obj
-        return None
+                    return obj, t.text
+        return None, None
 
     def _check_guarded_uses(self, stmt):
         for i, t in enumerate(stmt):
