@@ -17,7 +17,7 @@ int main() {
   using namespace gather;
   const core::wait_free_gather algo;
   const int seeds = 3;
-  runner::thread_pool pool(bench::bench_jobs());
+  util::thread_pool pool(bench::bench_jobs());
 
   std::printf("E1: Theorem 5.1 -- gathering from every class with f < n crashes\n");
   std::printf("(success over %d seeds x %zu schedulers x %zu movement adversaries)\n\n",

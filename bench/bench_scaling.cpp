@@ -27,6 +27,20 @@
 // walk and the per-round refreshed-tolerance bounds check) dominate and the
 // curve is deliberately flat.
 //
+// Part 4 (PR 10): batch-kernel phases.  "fill" times the bulk all-view fill
+// (shared SoA distance table + SIMD angle/key kernels + sharded emission)
+// against fill_all_view_slots_reference on a *warm* derived pool -- the pool
+// is grow-only, so after the first fill each rep only resets the ready flags
+// and re-fills, which is exactly the per-round regime of the engines.
+// "qr_scan" times the Lemma 3.4 quasi-regularity test over every occupied
+// center (divisor-driven candidates + companion prefilter) against the
+// O(n^2) per-candidate reference; the reference is ~n^3.5 end to end, so it
+// is capped at a small n in full mode.  "round_class_a" is a single
+// end-to-end point: construct + classify a class-A (uniform-random) instance
+// at n = 10^4 cold, the full per-round decision cost at the paper's largest
+// advertised swarm size.  Committed baseline: bench/BENCH_PR10.json, gated
+// by the `bench_smoke_kernels` ctest.
+//
 // Flags: --smoke   small phase grid, skip the (slow) E11 simulations
 //        --json P  write results as JSON to P
 #include <algorithm>
@@ -40,6 +54,7 @@
 #include "config/classify.h"
 #include "config/configuration.h"
 #include "config/derived.h"
+#include "config/regularity.h"
 #include "config/views.h"
 #include "core/wait_free_gather.h"
 #include "harness.h"
@@ -309,6 +324,120 @@ void print_round_table(const phase_result& round, std::size_t n) {
       round.name.c_str(), round.slope);
 }
 
+/// Median wall time of `fn(c)` on the *same* configuration, with the view
+/// slots invalidated (ready flags cleared, pool kept) before each rep.  One
+/// untimed call warms the grow-only pool first, so the sample isolates the
+/// fill itself -- no allocation, no canonicalization.
+template <typename Fn>
+std::uint64_t median_warm_fill_ns(int reps, const config::configuration& c,
+                                  Fn&& fn) {
+  fn(c);
+  std::vector<std::uint64_t> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    // Deliberate cache poke: re-timing the fill requires invalidating the
+    // ready flags without discarding the warm pool, which no public wrapper
+    // can express.
+    config::derived_geometry& d = c.derived();  // gather-lint: allow(R5)
+    std::fill(d.view_ready.begin(), d.view_ready.end(), char{0});
+    const auto t0 = std::chrono::steady_clock::now();
+    fn(c);
+    const auto t1 = std::chrono::steady_clock::now();
+    g_sink += d.views.size();
+    samples.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Part 4 phase 1: warm bulk view fill, fast vs reference, on one shared
+/// deterministic workload per n.
+phase_result run_fill_phase(const std::vector<std::size_t>& ns) {
+  phase_result fill{"fill", {}, 0.0};
+  for (std::size_t n : ns) {
+    const config::configuration c(phase_workload(n));
+    g_sink += static_cast<std::size_t>(c.sec().radius > 0.0);
+    const int reps = n <= 256 ? 9 : 5;
+    phase_point p{n, 0, 0};
+    p.fast_ns = median_warm_fill_ns(reps, c, [](const config::configuration& cc) {
+      config::detail::fill_all_view_slots(cc);
+    });
+    p.ref_ns = median_warm_fill_ns(reps, c, [](const config::configuration& cc) {
+      config::detail::fill_all_view_slots_reference(cc);
+    });
+    fill.points.push_back(p);
+  }
+  fill.slope = loglog_slope(fill.points);
+  return fill;
+}
+
+/// Part 4 phase 2: the Lemma 3.4 quasi-regularity test over every occupied
+/// center -- the classify-time scan -- fast vs reference.  Neither side
+/// touches the derived cache, so one configuration per n serves both.
+phase_result run_qr_phase(const std::vector<std::size_t>& ns,
+                          std::size_t max_ref_n) {
+  phase_result qr{"qr_scan", {}, 0.0};
+  for (std::size_t n : ns) {
+    const config::configuration c(phase_workload(n));
+    g_sink += static_cast<std::size_t>(c.sec().radius > 0.0);
+    const int reps = n <= 256 ? 5 : 3;
+    const auto scan = [&](int r, auto&& probe) {
+      std::vector<std::uint64_t> samples;
+      samples.reserve(static_cast<std::size_t>(r));
+      for (int rep = 0; rep < r; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::size_t hits = 0;
+        for (const config::occupied_point& o : c.occupied()) {
+          hits += probe(c, o.position).has_value();
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        g_sink += hits;
+        samples.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+      }
+      std::sort(samples.begin(), samples.end());
+      return samples[samples.size() / 2];
+    };
+    phase_point p{n, 0, 0};
+    p.fast_ns = scan(reps, [](const config::configuration& cc, geom::vec2 ctr) {
+      return config::quasi_regular_about_occupied(cc, ctr);
+    });
+    if (n <= max_ref_n) {
+      p.ref_ns = scan(reps, [](const config::configuration& cc, geom::vec2 ctr) {
+        return config::detail::quasi_regular_about_occupied_reference(cc, ctr);
+      });
+    }
+    qr.points.push_back(p);
+  }
+  qr.slope = loglog_slope(qr.points);
+  return qr;
+}
+
+/// Part 4 phase 3: one cold end-to-end classification of a class-A
+/// (uniform-random) instance at n = 10^4 -- construction (canonicalize +
+/// SEC) plus the full classify pipeline (symmetry, quasi-regularity scan,
+/// safe points).  Single rep: the point exists to pin the order of magnitude
+/// of a round at the paper's largest advertised swarm size, and the 3x
+/// compare.py margin absorbs shared-machine noise.
+phase_result run_round_class_a(std::size_t n) {
+  phase_result round{"round_class_a", {}, 0.0};
+  const std::vector<geom::vec2> pts = phase_workload(n);
+  const auto t0 = std::chrono::steady_clock::now();
+  const config::configuration c(pts);
+  const config::classification verdict = config::classify(c);
+  const auto t1 = std::chrono::steady_clock::now();
+  g_sink += static_cast<std::size_t>(verdict.cls) + c.distinct_count();
+  round.points.push_back(
+      {n,
+       static_cast<std::uint64_t>(
+           std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+               .count()),
+       0});
+  return round;
+}
+
 /// GATHER_PROF call counts over a small fixed grid: the same configurations
 /// and calls in every mode and on every machine, so the counts are exact
 /// invariants of the algorithm (compare.py rejects any increase).
@@ -331,8 +460,9 @@ std::vector<std::pair<std::string, std::uint64_t>> run_counter_grid() {
   return out;
 }
 
-void print_phase_table(const std::vector<phase_result>& phases) {
-  std::printf("PR5: view-pipeline phase scaling (fast vs reference oracle)\n\n");
+void print_phase_table(const char* title,
+                       const std::vector<phase_result>& phases) {
+  std::printf("%s\n\n", title);
   std::printf("%10s %6s %14s %14s %10s\n", "phase", "n", "fast (us)",
               "reference (us)", "speedup");
   bench::print_rule(60);
@@ -458,7 +588,8 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{16, 32, 64, 128, 256, 512};
   const std::size_t max_ref_n = smoke ? 64 : 512;
   auto phases = run_phase_scaling(ns, max_ref_n);
-  print_phase_table(phases);
+  print_phase_table("PR5: view-pipeline phase scaling (fast vs reference oracle)",
+                    phases);
   if (max_ref_n < ns.back()) {
     std::printf("note: reference oracle capped at n = %zu\n", max_ref_n);
   }
@@ -466,6 +597,26 @@ int main(int argc, char** argv) {
   const std::size_t round_n = 10'000;
   phases.push_back(run_round_phase(round_n, smoke));
   print_round_table(phases.back(), round_n);
+
+  // Part 4: batch-kernel phases (see the file comment).
+  const std::vector<std::size_t> fill_ns =
+      smoke ? std::vector<std::size_t>{256, 1024}
+            : std::vector<std::size_t>{256, 1024, 4096};
+  const std::vector<std::size_t> qr_ns =
+      smoke ? std::vector<std::size_t>{64, 128}
+            : std::vector<std::size_t>{128, 256, 512, 1024, 2048, 4096};
+  const std::size_t qr_max_ref_n = smoke ? 128 : 256;
+  std::vector<phase_result> kernel_phases;
+  kernel_phases.push_back(run_fill_phase(fill_ns));
+  kernel_phases.push_back(run_qr_phase(qr_ns, qr_max_ref_n));
+  kernel_phases.push_back(run_round_class_a(10'000));
+  print_phase_table(
+      "PR10: batch-kernel phases (warm fill, QR scan, cold class-A round)",
+      kernel_phases);
+  std::printf("note: qr_scan reference capped at n = %zu; round_class_a has "
+              "no reference\n",
+              qr_max_ref_n);
+  for (phase_result& ph : kernel_phases) phases.push_back(std::move(ph));
 
   const auto counters = run_counter_grid();
   std::printf("GATHER_PROF call counts on the fixed grid (n = 8, 16, 32):\n");

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "core/algorithm.h"
-#include "runner/thread_pool.h"
+#include "util/thread_pool.h"
 #include "sim/sim.h"
 
 namespace gather::bench {
@@ -119,7 +119,7 @@ inline std::size_t bench_jobs() {
     const unsigned long v = std::strtoul(env, nullptr, 10);
     if (v >= 1) return static_cast<std::size_t>(v);
   }
-  return runner::thread_pool::default_jobs();
+  return util::thread_pool::default_jobs();
 }
 
 /// Run `count` independent seeded simulations across the pool and merge
@@ -127,7 +127,7 @@ inline std::size_t bench_jobs() {
 /// every jobs value.  `run(i)` must be a pure function of i (derive seeds
 /// from i; never draw them from shared state).
 template <typename RunIndex>
-cell_stats run_cell(runner::thread_pool& pool, std::size_t count,
+cell_stats run_cell(util::thread_pool& pool, std::size_t count,
                     const RunIndex& run) {
   std::vector<sim::sim_result> results(count);
   pool.parallel_for(count,

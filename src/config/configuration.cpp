@@ -101,6 +101,8 @@ configuration::configuration(const configuration& other)
     : input_(other.input_),
       robots_(other.robots_),
       occupied_(other.occupied_),
+      occ_xs_(other.occ_xs_),
+      occ_ys_(other.occ_ys_),
       tol_(other.tol_),
       cluster_tol_(other.cluster_tol_),
       sec_(other.sec_),
@@ -120,6 +122,8 @@ configuration& configuration::operator=(const configuration& other) {
   input_ = other.input_;
   robots_ = other.robots_;
   occupied_ = other.occupied_;
+  occ_xs_ = other.occ_xs_;
+  occ_ys_ = other.occ_ys_;
   tol_ = other.tol_;
   cluster_tol_ = other.cluster_tol_;
   sec_ = other.sec_;
@@ -243,6 +247,13 @@ void configuration::cluster_and_sort() {
   distinct.clear();
   distinct.reserve(occupied_.size());
   for (const occupied_point& o : occupied_) distinct.push_back(o.position);
+
+  occ_xs_.resize(occupied_.size());
+  occ_ys_.resize(occupied_.size());
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    occ_xs_[i] = occupied_[i].position.x;
+    occ_ys_[i] = occupied_[i].position.y;
+  }
 }
 
 void configuration::compute_diameter_and_hull() {
@@ -462,12 +473,28 @@ bool configuration::try_delta(mutation_report& rep) {
                 b + static_cast<std::ptrdiff_t>(in),
                 b + static_cast<std::ptrdiff_t>(io));
       occupied_[in - 1] = occupied_point{newp, 1};
+      std::move(occ_xs_.begin() + static_cast<std::ptrdiff_t>(io) + 1,
+                occ_xs_.begin() + static_cast<std::ptrdiff_t>(in),
+                occ_xs_.begin() + static_cast<std::ptrdiff_t>(io));
+      std::move(occ_ys_.begin() + static_cast<std::ptrdiff_t>(io) + 1,
+                occ_ys_.begin() + static_cast<std::ptrdiff_t>(in),
+                occ_ys_.begin() + static_cast<std::ptrdiff_t>(io));
+      occ_xs_[in - 1] = newp.x;
+      occ_ys_[in - 1] = newp.y;
       min_touched = std::min(min_touched, io);
     } else {
       std::move_backward(b + static_cast<std::ptrdiff_t>(in),
                          b + static_cast<std::ptrdiff_t>(io),
                          b + static_cast<std::ptrdiff_t>(io) + 1);
       occupied_[in] = occupied_point{newp, 1};
+      std::move_backward(occ_xs_.begin() + static_cast<std::ptrdiff_t>(in),
+                         occ_xs_.begin() + static_cast<std::ptrdiff_t>(io),
+                         occ_xs_.begin() + static_cast<std::ptrdiff_t>(io) + 1);
+      std::move_backward(occ_ys_.begin() + static_cast<std::ptrdiff_t>(in),
+                         occ_ys_.begin() + static_cast<std::ptrdiff_t>(io),
+                         occ_ys_.begin() + static_cast<std::ptrdiff_t>(io) + 1);
+      occ_xs_[in] = newp.x;
+      occ_ys_[in] = newp.y;
       min_touched = std::min(min_touched, in);
     }
     robots_[scratch_changed_[j]] = newp;
@@ -565,6 +592,14 @@ bool configuration::try_delta(mutation_report& rep) {
   }
   GATHER_CHECK(occupied_grid_.size() == occupied_.size(),
                "the occupied grid tracks the occupied array");
+  GATHER_CHECK(occ_xs_.size() == occupied_.size() &&
+                   occ_ys_.size() == occupied_.size(),
+               "the SoA mirror tracks the occupied array");
+  for (std::size_t i = 0; i < occupied_.size(); ++i) {
+    GATHER_CHECK(occ_xs_[i] == occupied_[i].position.x &&
+                     occ_ys_[i] == occupied_[i].position.y,
+                 "the SoA mirror equals the occupied positions bitwise");
+  }
 #endif
   return true;
 }

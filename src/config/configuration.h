@@ -134,6 +134,17 @@ class configuration {
   /// Number of distinct occupied locations, |U(C)|.
   [[nodiscard]] std::size_t distinct_count() const { return occupied_.size(); }
 
+  /// Structure-of-arrays mirror of occupied(): the x (resp. y) coordinates
+  /// of the distinct occupied locations, same sorted order, always
+  /// distinct_count() entries.  Maintained alongside occupied_ -- the cold
+  /// canonicalization fills it, the delta path repairs it in place with the
+  /// same O(shift) moves -- so the batch geometry kernels
+  /// (geometry/kernels.h) stream coordinates instead of gathering through
+  /// occupied_point.  Invalidated like occupied() itself: any mutation may
+  /// reallocate; re-fetch after mutating.
+  [[nodiscard]] std::span<const double> occupied_xs() const { return occ_xs_; }
+  [[nodiscard]] std::span<const double> occupied_ys() const { return occ_ys_; }
+
   /// mult(p): number of robots at `p` (0 when `p` is unoccupied).  Served by
   /// the spatial grid in O(1) expected (plus an O(log n) rep lookup).
   [[nodiscard]] int multiplicity(vec2 p) const;
@@ -268,6 +279,8 @@ class configuration {
   std::vector<vec2> input_;               // raw positions, pre-canonicalize
   std::vector<vec2> robots_;              // snapped, input order
   std::vector<occupied_point> occupied_;  // sorted by position
+  std::vector<double> occ_xs_;            // SoA mirror of occupied_ positions
+  std::vector<double> occ_ys_;
   geom::tol tol_;
   geom::tol cluster_tol_;  // the tol the greedy clustering pass actually used
   geom::circle sec_;

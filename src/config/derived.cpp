@@ -141,7 +141,14 @@ polar_ref angular_order_ref(const configuration& c, vec2 center) {
   // bits, so it is computed uncached.
   polar_ref r;
   if (const auto i = c.find_occupied(center)) {
-    r.aliased_ = &angular_order_of_occupied(c, *i);
+    // Past the cache cap the quadratic polar table costs more memory than
+    // its rereads save; hand out owning storage instead (identical entries:
+    // same angular_order_into, uncached).
+    if (c.distinct_count() <= polar_order_cache_cap) {
+      r.aliased_ = &angular_order_of_occupied(c, *i);
+      return r;
+    }
+    detail::angular_order_into(c, center, r.owned_);
     return r;
   }
   const vec2 sec_center = c.sec().center;

@@ -48,6 +48,15 @@
 
 namespace gather::config {
 
+/// Cap on the occupied-center polar-table cache (`polar_orders`): with k
+/// distinct locations the full cache holds k orders of ~k entries each --
+/// O(k^2) memory, ~3 GB of angular_entry at k = 10^4 -- for a table whose
+/// consumers (safe points, quasi-regularity) read each order a constant
+/// number of times.  Beyond the cap, angular_order_ref serves occupied
+/// centers as owning handles instead, trading a bounded recompute for a
+/// memory footprint that stays linear in practice.
+inline constexpr std::size_t polar_order_cache_cap = 2048;
+
 struct derived_geometry {
   std::optional<classification> verdict;
   std::optional<weber_result> weber;
@@ -173,8 +182,17 @@ detect_quasi_regularity_uncached(const configuration& c);
 // Fill every per-index view slot that is still cold, in bulk through the
 // shared pairwise-distance table (one hypot per unordered pair).  Each slot
 // ends up bit-identical to what view_of_uncached would produce for it;
-// all_views serves references straight from the slots afterwards.
+// all_views serves references straight from the slots afterwards.  The fill
+// runs through the batch kernels (geometry/kernels.h) and, when
+// config::geometry_jobs() > 1, shards table rows and observers across the
+// pool with fixed boundaries -- output bytes are invariant across job
+// counts and dispatch paths.
 void fill_all_view_slots(const configuration& c);
+// The pre-kernel bulk fill (sequential, scalar pipeline), kept verbatim as
+// the equivalence oracle and bench baseline: fill_all_view_slots must leave
+// every slot bit-identical to this path (fuzzed by tests/kernel_test.cpp,
+// timed by bench_scaling's kernels phase).
+void fill_all_view_slots_reference(const configuration& c);
 [[nodiscard]] std::vector<std::vector<std::size_t>> view_classes_uncached(
     const configuration& c);
 [[nodiscard]] int symmetry_uncached(const configuration& c);
@@ -198,6 +216,15 @@ void angular_order_into(const configuration& c, vec2 center,
 // results -- bit for bit for views and angular orders, exactly for classes
 // and symmetry away from tolerance boundaries (fuzzed by
 // test_view_pipeline); bench_scaling times fast vs reference per phase.
+// PR 10 reference oracle: the pre-divisor-driven Lemma 3.4 search (full
+// angular order through the polar-table cache, first-fit residue classes,
+// every m from n down to 2), kept verbatim.  The fast
+// quasi_regular_about_occupied must agree with it away from eps-chain
+// residue boundaries (fuzzed by tests/kernel_test.cpp); bench_scaling's
+// kernels phase measures the two slopes.
+[[nodiscard]] std::optional<int> quasi_regular_about_occupied_reference(
+    const configuration& c, vec2 p);
+
 [[nodiscard]] view view_of_reference(const configuration& c, vec2 p);
 [[nodiscard]] std::vector<view> all_views_reference(const configuration& c);
 [[nodiscard]] std::vector<std::vector<std::size_t>> view_classes_reference(

@@ -1,0 +1,60 @@
+#include "config/parallel.h"
+
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace gather::config {
+
+namespace {
+
+std::mutex g_mutex;
+bool g_resolved = false;  // gather-lint: guarded_by(g_mutex)
+std::size_t g_jobs = 1;   // gather-lint: guarded_by(g_mutex)
+std::unique_ptr<util::thread_pool> g_pool;  // gather-lint: guarded_by(g_mutex)
+
+/// GATHER_GEOM_JOBS, read once: unset/invalid -> 1, 0 -> hardware threads.
+std::size_t jobs_from_env() {
+  const char* env = std::getenv("GATHER_GEOM_JOBS");
+  if (env == nullptr || env[0] == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0') return 1;
+  return v == 0 ? util::thread_pool::default_jobs() : static_cast<std::size_t>(v);
+}
+
+void resolve_locked() {
+  if (!g_resolved) {
+    g_jobs = jobs_from_env();
+    g_resolved = true;
+  }
+}
+
+}  // namespace
+
+std::size_t geometry_jobs() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  resolve_locked();
+  return g_jobs;
+}
+
+void set_geometry_jobs(std::size_t jobs) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_resolved = true;
+  g_jobs = jobs == 0 ? util::thread_pool::default_jobs() : jobs;
+  g_pool.reset();  // rebuilt lazily at the new size
+}
+
+util::thread_pool* geometry_pool() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  resolve_locked();
+  if (g_jobs <= 1) return nullptr;
+  if (g_pool == nullptr || g_pool->size() != g_jobs) {
+    g_pool = std::make_unique<util::thread_pool>(g_jobs);
+  }
+  return g_pool.get();
+}
+
+}  // namespace gather::config

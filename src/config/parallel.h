@@ -1,0 +1,35 @@
+// Deterministic intra-round parallelism for the derived-geometry fills.
+//
+// The bulk view fill (fill_all_view_slots) can shard its pairwise-distance
+// table rows and per-observer pipelines across a thread pool.  Sharding uses
+// fixed boundaries that depend only on the problem size -- never on the
+// thread count or scheduling -- and every output element is written by
+// exactly one shard, so the produced bytes are invariant across job counts
+// (fuzzed by tests/kernel_test.cpp).
+//
+// The job count defaults to 1 (strictly sequential, no pool, profiling
+// counters intact).  It is raised either programmatically via
+// set_geometry_jobs or through the GATHER_GEOM_JOBS environment variable
+// (read once on first use; 0 means one job per hardware thread).
+#pragma once
+
+#include <cstddef>
+
+namespace gather::util {
+class thread_pool;
+}
+
+namespace gather::config {
+
+/// The configured intra-round job count (>= 1).
+[[nodiscard]] std::size_t geometry_jobs();
+
+/// Set the intra-round job count; 0 selects one job per hardware thread.
+/// Takes effect on the next fill; not thread-safe against concurrent fills.
+void set_geometry_jobs(std::size_t jobs);
+
+/// The shared pool backing intra-round fills, or nullptr when the job count
+/// is 1 (callers then run strictly sequentially on their own thread).
+[[nodiscard]] util::thread_pool* geometry_pool();
+
+}  // namespace gather::config

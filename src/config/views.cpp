@@ -6,12 +6,17 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 
 #include "config/derived.h"
+#include "config/parallel.h"
 #include "geometry/angles.h"
 #include "geometry/cyclic.h"
+#include "geometry/kernels.h"
 #include "util/check.h"
 #include "util/radix.h"
+#include "util/thread_pool.h"
 
 namespace gather::config {
 
@@ -162,6 +167,205 @@ void view_with_reference_into(const configuration& c, vec2 p, vec2 ref,
     std::sort(members.begin(), members.end(), by_dist);
     for (const raw_tag& m : members)
       for (int k = 0; k < m.mult; ++k) v.push_back({s.value, m.dist});
+  }
+}
+
+/// Thread-local scratch of the kernel-based fill pipeline.  One instance per
+/// worker: the parallel fill runs one observer pipeline per shard entry, so
+/// nothing here is shared across threads.
+struct fill_scratch {
+  std::vector<double> cr, dt, angles;    // per-location, k entries
+  std::vector<double> dists;             // per-tag, normalized in place
+  std::vector<int> mults;                // per-tag
+  std::vector<util::key_idx> order;
+  std::vector<util::key_idx> radix_tmp;
+  std::vector<std::uint32_t> buckets;
+  std::vector<double> thetas, reps;
+  std::vector<geom::kernels::polar_rec> recs, rec_tmp;  // fused record path
+};
+
+/// The fused record path of the bulk fill: for observers of an
+/// all-multiplicity-one configuration whose snapped angles turn out to be
+/// untouched by clustering (the overwhelmingly common case for generic
+/// configurations), the whole pipeline collapses to one loop building
+/// 16-byte (angle key, normalized dist) records, a stable bucket sort of the
+/// records, and a byte copy into the view -- polar_rec is layout-compatible
+/// with polar_entry, and the key is the angle's bit pattern, so the sorted
+/// record array IS the view payload.  Each scalar step reproduces the
+/// reference formulas literally (cross/dot/atan2/divide in the same order on
+/// the same operands), so the emitted bytes match `view_with_reference_into`
+/// exactly.  Returns false -- leaving `v` unspecified -- when the observer
+/// needs the general pipeline: a clustering-active angle multiset, or a raw
+/// -0.0 angle (whose key canonicalization the general path handles).
+bool try_view_from_row_fast(vec2 p, vec2 ref, double r, const geom::tol& t,
+                            const double* xs, const double* ys,
+                            const double* row, std::size_t k,
+                            fill_scratch& fs, view& v) {
+  fs.recs.resize(k);
+  std::uint64_t or_keys = 0;
+  std::size_t self_mult = 0;
+  std::size_t nt = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double dn = row[j];
+    if (t.len_zero(dn)) {
+      ++self_mult;  // every multiplicity is 1 on this path
+      continue;
+    }
+    // geom::cw_angle(ref, {xs[j], ys[j]} - p), spelled out so the angle
+    // computation fuses with the record build (the atan2 latency hides the
+    // integer work around it).
+    const double dx = xs[j] - p.x;
+    const double dy = ys[j] - p.y;
+    const double cr = ref.x * dy - ref.y * dx;
+    const double dt = ref.x * dx + ref.y * dy;
+    const double ang = geom::norm_angle(-std::atan2(cr, dt));
+    const std::uint64_t key = std::bit_cast<std::uint64_t>(ang);
+    or_keys |= key;
+    fs.recs[nt] = {key, dn / r};
+    ++nt;
+  }
+  // A set sign bit means some angle came out as -0.0: its canonical key is
+  // the +0.0 pattern, not its own bits, so the record trick doesn't apply.
+  if ((or_keys >> 63) != 0) return false;
+  fs.recs.resize(nt);
+  geom::kernels::sort_polar_recs(fs.recs, fs.rec_tmp, fs.buckets);
+  if (!geom::kernels::snap_is_identity_recs(fs.recs.data(), nt,
+                                            t.angle_eps)) {
+    return false;
+  }
+  // Snap is the identity and every multiplicity is 1: the sorted records are
+  // the view, byte for byte, after the self entries (the global minimum --
+  // see view_with_reference_into).  resize value-initializes, so the self
+  // prefix is already {0.0, 0.0}.
+  static_assert(sizeof(geom::kernels::polar_rec) == sizeof(polar_entry));
+  static_assert(std::is_trivially_copyable_v<polar_entry>);
+  v.clear();
+  v.resize(self_mult + nt);
+  std::memcpy(static_cast<void*>(v.data() + self_mult), fs.recs.data(),
+              nt * sizeof(polar_entry));
+  return true;
+}
+
+/// The batched sibling of `view_with_reference_into` used by the bulk fill:
+/// same pipeline (normalize, polar-sort, cluster, snap, emit), but the polar
+/// decomposition, normalization and angular sort run through the batch
+/// kernels over the SoA coordinate mirror, and configurations whose snapped
+/// angles are provably untouched by clustering skip that pass entirely.
+/// Every step is bit-equivalent to the reference pipeline (see the kernel
+/// contracts in geometry/kernels.h and snap_is_identity), so the emitted
+/// view matches `view_with_reference_into` byte for byte -- fuzzed by
+/// tests/kernel_test.cpp against fill_all_view_slots_reference.
+void view_from_row_into(const configuration& c, vec2 p, vec2 ref, double r,
+                        const geom::tol& t, const double* xs,
+                        const double* ys, const double* row, fill_scratch& fs,
+                        view& v) {
+  const auto& occ = c.occupied();
+  const std::size_t k = occ.size();
+  fs.cr.resize(k);
+  fs.dt.resize(k);
+  fs.angles.resize(k);
+  // Batched cw_angle over every location (self rows are computed and then
+  // discarded -- atan2(+-0, +-0) is well-defined, and self entries are rare).
+  geom::kernels::cross_dot_about(xs, ys, k, p.x, p.y, ref.x, ref.y,
+                                 fs.cr.data(), fs.dt.data());
+  geom::kernels::cw_angles_from_cross_dot(fs.cr.data(), fs.dt.data(), k,
+                                          fs.angles.data());
+  fs.order.resize(k);
+  fs.dists.resize(k);
+  fs.mults.resize(k);
+  int self_mult = 0;
+  std::size_t nt = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double dn = row[j];
+    if (t.len_zero(dn)) {
+      self_mult += occ[j].multiplicity;
+    } else {
+      fs.order[nt] = {angle_key(fs.angles[j]), static_cast<std::uint32_t>(nt)};
+      fs.dists[nt] = dn;
+      fs.mults[nt] = occ[j].multiplicity;
+      ++nt;
+    }
+  }
+  fs.order.resize(nt);
+  // One batched division replaces the per-tag dn / r of the reference path
+  // (IEEE division: identical bytes).
+  geom::kernels::divide_batch(fs.dists.data(), nt, r, fs.dists.data());
+  v.clear();
+  v.reserve(c.size());
+  for (int m = 0; m < self_mult; ++m) v.push_back({0.0, 0.0});
+  if (nt == 0) return;
+  geom::kernels::sort_angle_keys(fs.order, fs.radix_tmp, fs.buckets);
+  fs.thetas.resize(nt);
+  for (std::size_t i = 0; i < nt; ++i) {
+    fs.thetas[i] = std::bit_cast<double>(fs.order[i].key);
+  }
+  if (!geom::kernels::snap_is_identity(fs.thetas.data(), nt, t.angle_eps)) {
+    geom::cluster_presorted_angles_into(fs.thetas, t.angle_eps, fs.reps);
+    geom::snap_sorted_angles(fs.thetas, fs.reps);
+  }
+  // Emission mirrors view_with_reference_into on the snapped angles; when
+  // snap_is_identity held, the angles are untouched and strictly ascending,
+  // so the ascending fast path below applies by construction.
+  bool ascending = true;
+  for (std::size_t i = 1; i < nt; ++i) {
+    if (fs.thetas[i - 1] >= fs.thetas[i]) {
+      ascending = false;
+      break;
+    }
+  }
+  if (ascending) {
+    for (std::size_t i = 0; i < nt; ++i) {
+      const std::uint32_t ti = fs.order[i].idx;
+      for (int m = 0; m < fs.mults[ti]; ++m) {
+        v.push_back({fs.thetas[i], fs.dists[ti]});
+      }
+    }
+    return;
+  }
+  struct run_span {
+    double value;
+    std::size_t b1, e1, b2, e2;  // member tag ranges [b1,e1) and [b2,e2)
+  };
+  thread_local std::vector<run_span> spans;
+  spans.clear();
+  for (std::size_t i = 0; i < nt;) {
+    std::size_t j = i + 1;
+    while (j < nt && fs.thetas[j] == fs.thetas[i]) ++j;
+    spans.push_back({fs.thetas[i], i, j, j, j});
+    i = j;
+  }
+  if (spans.size() > 1 && spans.front().value == spans.back().value) {
+    spans.front().b2 = spans.back().b1;
+    spans.front().e2 = spans.back().e1;
+    spans.pop_back();
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const run_span& a, const run_span& b) { return a.value < b.value; });
+  const auto by_dist = [](const raw_tag& a, const raw_tag& b) {
+    return a.dist < b.dist;
+  };
+  thread_local std::vector<raw_tag> members;
+  for (const run_span& s : spans) {
+    if (s.e1 - s.b1 == 1 && s.b2 == s.e2) {
+      const std::uint32_t ti = fs.order[s.b1].idx;
+      for (int m = 0; m < fs.mults[ti]; ++m) {
+        v.push_back({s.value, fs.dists[ti]});
+      }
+      continue;
+    }
+    members.clear();
+    for (std::size_t i = s.b1; i < s.e1; ++i) {
+      const std::uint32_t ti = fs.order[i].idx;
+      members.push_back({fs.dists[ti], fs.mults[ti]});
+    }
+    for (std::size_t i = s.b2; i < s.e2; ++i) {
+      const std::uint32_t ti = fs.order[i].idx;
+      members.push_back({fs.dists[ti], fs.mults[ti]});
+    }
+    std::sort(members.begin(), members.end(), by_dist);
+    for (const raw_tag& m : members) {
+      for (int q = 0; q < m.mult; ++q) v.push_back({s.value, m.dist});
+    }
   }
 }
 
@@ -347,15 +551,127 @@ void fill_all_view_slots(const configuration& c) {
   // any already filled), so a center observer's Def. 2 maximizer scan reuses
   // the peers built here instead of recomputing them, and later per-slot
   // reads are free.  Each slot still holds exactly what view_of_uncached
-  // would have produced, bit for bit.
+  // would have produced, bit for bit (fill_all_view_slots_reference below is
+  // the oracle).
   derived_geometry& d = c.derived();
   size_view_slots(d, k);
   if (k == 0) return;
   const vec2 center = c.sec().center;
   const geom::tol& t = c.tolerance();
+  const double r = std::max(c.sec().radius, 1e-300);
+  const double* xs = c.occupied_xs().data();
+  const double* ys = c.occupied_ys().data();
+  util::thread_pool* pool = geometry_pool();
   // Shared pairwise-distance table: one hypot per unordered pair, mirrored
   // (hypot is sign-symmetric, so the transposed entry is bit-equal to what
-  // the per-view computation would produce).
+  // the per-view computation would produce).  Parallel builds stride rows by
+  // shard index -- a fixed assignment balancing the triangle -- and every
+  // table element is written by exactly one shard, so the bytes match the
+  // sequential build.
+  std::vector<double>& dists = d.scratch_dists;
+  dists.resize(k * k);
+  const auto table_rows = [&](std::size_t row0, std::size_t stride) {
+    for (std::size_t i = row0; i < k; i += stride) {
+      dists[i * k + i] = 0.0;  // only the diagonal needs zeroing
+      geom::kernels::distance_row(xs + i + 1, ys + i + 1, k - i - 1, xs[i],
+                                  ys[i], &dists[i * k + i + 1]);
+    }
+  };
+  // Mirror pass, tiled: the naive per-element transpose strides the whole
+  // table by k doubles per read and misses cache on every one of them; T*T
+  // tiles keep both the source rows and the destination columns resident.
+  // Band b owns destination columns [b*T, b*T + T), so every mirrored
+  // element is written by exactly one band regardless of sharding.
+  constexpr std::size_t mirror_tile = 64;
+  const std::size_t bands = (k + mirror_tile - 1) / mirror_tile;
+  const auto mirror_bands = [&](std::size_t band0, std::size_t stride) {
+    for (std::size_t band = band0; band < bands; band += stride) {
+      const std::size_t bi = band * mirror_tile;
+      const std::size_t ei = std::min(bi + mirror_tile, k);
+      for (std::size_t bj = bi; bj < k; bj += mirror_tile) {
+        const std::size_t ej = std::min(bj + mirror_tile, k);
+        for (std::size_t i = bi; i < ei; ++i) {
+          for (std::size_t j = std::max(bj, i + 1); j < ej; ++j) {
+            dists[j * k + i] = dists[i * k + j];
+          }
+        }
+      }
+    }
+  };
+  const std::size_t shards = pool == nullptr ? 1 : std::min<std::size_t>(64, k);
+  if (shards <= 1) {
+    table_rows(0, 1);
+    mirror_bands(0, 1);
+  } else {
+    pool->parallel_for(shards, [&](std::size_t s) { table_rows(s, shards); });
+    const std::size_t band_shards = std::min<std::size_t>(shards, bands);
+    pool->parallel_for(band_shards,
+                       [&](std::size_t s) { mirror_bands(s, band_shards); });
+  }
+  // Per-observer pipelines.  Center observers (tolerance-equal to the SEC
+  // center: rare) are deferred to a sequential pass -- their Def. 2
+  // maximizer scan reads the peers' cache slots, which must all be ready
+  // first.  Deferral does not change any slot's bytes: each pipeline depends
+  // only on the configuration, never on fill order.
+  // The fused record path applies configuration-wide only when every
+  // multiplicity is 1 (then the per-target multiplicity expansion is the
+  // identity); per-observer it additionally requires snap-identity angles.
+  const bool all_mults_one = c.size() == k;
+  const auto fill_observer = [&](std::size_t i) {
+    if (d.view_ready[i]) return;
+    const vec2 p = occ[i].position;
+    if (t.same_point(p, center)) return;  // deferred
+    thread_local fill_scratch fs;
+    const vec2 ref = center - p;
+    const double* row = &dists[i * k];
+    if (!(all_mults_one &&
+          try_view_from_row_fast(p, ref, r, t, xs, ys, row, k, fs,
+                                 d.views[i]))) {
+      view_from_row_into(c, p, ref, r, t, xs, ys, row, fs, d.views[i]);
+    }
+    d.view_ready[i] = 1;
+  };
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (d.view_ready[i] != 0 ||
+          t.same_point(occ[i].position, center)) {
+        continue;
+      }
+      GATHER_PROF("config.views");
+      fill_observer(i);
+    }
+  } else {
+    // Fixed shard boundaries in observer index space: shard s owns
+    // [s*k/S, (s+1)*k/S).  Each slot is written by exactly one shard (the
+    // profiling registry is thread-local, so the parallel path skips the
+    // per-observer counter).
+    const std::size_t obs_shards = std::min<std::size_t>(64, k);
+    pool->parallel_for(obs_shards, [&](std::size_t s) {
+      const std::size_t b = s * k / obs_shards;
+      const std::size_t e = (s + 1) * k / obs_shards;
+      for (std::size_t i = b; i < e; ++i) fill_observer(i);
+    });
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    if (d.view_ready[i]) continue;
+    const view tmp = view_of_uncached(c, occ[i].position);
+    d.views[i].assign(tmp.begin(), tmp.end());
+    d.view_ready[i] = 1;
+  }
+}
+
+void fill_all_view_slots_reference(const configuration& c) {
+  const auto& occ = c.occupied();
+  const std::size_t k = occ.size();
+  // The pre-kernel bulk build, preserved verbatim as the equivalence oracle
+  // for fill_all_view_slots (and the baseline of bench_scaling's kernels
+  // phase): sequential, per-observer scalar pipeline over the shared
+  // pairwise-distance table.
+  derived_geometry& d = c.derived();
+  size_view_slots(d, k);
+  if (k == 0) return;
+  const vec2 center = c.sec().center;
+  const geom::tol& t = c.tolerance();
   std::vector<double>& dists = d.scratch_dists;
   dists.resize(k * k);
   for (std::size_t i = 0; i < k; ++i)

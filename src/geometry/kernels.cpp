@@ -1,0 +1,284 @@
+#include "geometry/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "geometry/angles.h"
+
+namespace gather::geom::kernels {
+
+// The AVX2 translation unit (kernels_avx2.cpp, compiled with -mavx2
+// -ffp-contract=off) exports its lane bodies here; the define comes from the
+// geometry CMakeLists when the toolchain accepts -mavx2 on an x86-64 target.
+#ifdef GATHER_HAVE_AVX2_TU
+namespace detail {
+void distance_prep_avx2(const double* xs, const double* ys, std::size_t n,
+                        double px, double py, double* dx, double* dy);
+void cross_dot_about_avx2(const double* xs, const double* ys, std::size_t n,
+                          double px, double py, double rx, double ry,
+                          double* cr, double* dt);
+void divide_batch_avx2(const double* num, std::size_t n, double denom,
+                       double* out);
+void similarity_apply_batch_avx2(double c, double s, double scale, vec2 off,
+                                 const vec2* in, std::size_t n, vec2* out);
+}  // namespace detail
+#endif
+
+namespace {
+
+/// Dispatch state: -1 unresolved, 0 scalar, 1 avx2.  Resolution reads the
+/// GATHER_FORCE_SCALAR environment variable once, then probes the CPU.
+std::atomic<int> g_path{-1};
+
+int resolve_path() {
+#ifdef GATHER_HAVE_AVX2_TU
+  if (const char* env = std::getenv("GATHER_FORCE_SCALAR");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    return 0;
+  }
+  return __builtin_cpu_supports("avx2") ? 1 : 0;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+bool avx2_active() {
+  int p = g_path.load(std::memory_order_relaxed);
+  if (p < 0) {
+    p = resolve_path();
+    g_path.store(p, std::memory_order_relaxed);
+  }
+  return p == 1;
+}
+
+const char* active_path() { return avx2_active() ? "avx2" : "scalar"; }
+
+void set_force_scalar(bool force) {
+  g_path.store(force ? 0 : resolve_path(), std::memory_order_relaxed);
+}
+
+void distance_row(const double* xs, const double* ys, std::size_t n,
+                  double px, double py, double* out) {
+#ifdef GATHER_HAVE_AVX2_TU
+  if (avx2_active()) {
+    // Batch the subtractions through the vector unit; the hypot core is a
+    // libm call either way (pinned geom::distance semantics), so the vector
+    // path only prepares dx/dy.  `out` doubles as the dx scratch; dy lives
+    // in a fixed-size stack tile.
+    constexpr std::size_t tile = 1024;
+    double dy[tile];
+    for (std::size_t b = 0; b < n; b += tile) {
+      const std::size_t m = n - b < tile ? n - b : tile;
+      detail::distance_prep_avx2(xs + b, ys + b, m, px, py, out + b, dy);
+      for (std::size_t j = 0; j < m; ++j) {
+        out[b + j] = std::hypot(out[b + j], dy[j]);
+      }
+    }
+    return;
+  }
+#endif
+  for (std::size_t j = 0; j < n; ++j) {
+    out[j] = std::hypot(xs[j] - px, ys[j] - py);
+  }
+}
+
+void cross_dot_about(const double* xs, const double* ys, std::size_t n,
+                     double px, double py, double rx, double ry,
+                     double* cr, double* dt) {
+#ifdef GATHER_HAVE_AVX2_TU
+  if (avx2_active()) {
+    detail::cross_dot_about_avx2(xs, ys, n, px, py, rx, ry, cr, dt);
+    return;
+  }
+#endif
+  for (std::size_t j = 0; j < n; ++j) {
+    const double dx = xs[j] - px;
+    const double dy = ys[j] - py;
+    cr[j] = rx * dy - ry * dx;
+    dt[j] = rx * dx + ry * dy;
+  }
+}
+
+void cw_angles_from_cross_dot(const double* cr, const double* dt,
+                              std::size_t n, double* angles) {
+  // Scalar on both paths: the atan2 core is pinned to libm, and norm_angle
+  // must match geom::cw_angle bit for bit.
+  for (std::size_t j = 0; j < n; ++j) {
+    angles[j] = norm_angle(-std::atan2(cr[j], dt[j]));
+  }
+}
+
+void divide_batch(const double* num, std::size_t n, double denom,
+                  double* out) {
+#ifdef GATHER_HAVE_AVX2_TU
+  if (avx2_active()) {
+    detail::divide_batch_avx2(num, n, denom, out);
+    return;
+  }
+#endif
+  for (std::size_t j = 0; j < n; ++j) out[j] = num[j] / denom;
+}
+
+void angle_keys(const double* angles, std::size_t n, std::uint64_t* keys) {
+  // Pure integer moves; the compiler vectorizes this loop fine on its own.
+  for (std::size_t j = 0; j < n; ++j) keys[j] = angle_key(angles[j]);
+}
+
+void sort_angle_keys(std::vector<util::key_idx>& a,
+                     std::vector<util::key_idx>& radix_tmp,
+                     std::vector<std::uint32_t>& bucket_scratch) {
+  const std::size_t n = a.size();
+  // Small arrays: the radix sort's fixed costs already beat bucketing.
+  if (n < 256) {
+    util::radix_sort_key_idx(a, radix_tmp);
+    return;
+  }
+  // One counting pass over value buckets.  Keys are angle_key bit patterns
+  // of doubles in [0, 2*pi): non-negative, so bit order equals value order,
+  // and the bucket map below (scale by a positive constant, truncate) is
+  // monotone in the value.  The scatter visits records in input order, so
+  // equal keys keep their relative order; the insertion fixup uses a strict
+  // comparison and never reorders equal keys.  Both properties together make
+  // the result stable and therefore byte-identical to the LSD radix sort.
+  std::size_t nb = std::bit_ceil(n);
+  if (nb < 256) nb = 256;
+  if (nb > 65536) nb = 65536;
+  const double to_bucket = static_cast<double>(nb) / two_pi;
+  const auto bucket_of = [&](std::uint64_t key) {
+    const std::size_t b = static_cast<std::size_t>(
+        std::bit_cast<double>(key) * to_bucket);
+    return b < nb ? b : nb - 1;
+  };
+  bucket_scratch.assign(nb + 1, 0);
+  for (const util::key_idx& e : a) ++bucket_scratch[bucket_of(e.key) + 1];
+  for (std::size_t b = 1; b <= nb; ++b) {
+    bucket_scratch[b] += bucket_scratch[b - 1];
+  }
+  radix_tmp.resize(n);
+  for (const util::key_idx& e : a) {
+    radix_tmp[bucket_scratch[bucket_of(e.key)]++] = e;
+  }
+  // Buckets hold ~1 record each, so this insertion pass is one near-linear
+  // sweep; records only ever move within or into an adjacent bucket's range.
+  for (std::size_t i = 1; i < n; ++i) {
+    const util::key_idx e = radix_tmp[i];
+    std::size_t j = i;
+    while (j > 0 && radix_tmp[j - 1].key > e.key) {
+      radix_tmp[j] = radix_tmp[j - 1];
+      --j;
+    }
+    radix_tmp[j] = e;
+  }
+  a.swap(radix_tmp);
+}
+
+void sort_polar_recs(std::vector<polar_rec>& recs, std::vector<polar_rec>& tmp,
+                     std::vector<std::uint32_t>& bucket_scratch) {
+  const std::size_t m = recs.size();
+  if (m < 2) return;
+  // Tiny arrays: a stable insertion sort (strict `>` never reorders equal
+  // keys) without any bucket setup cost.
+  if (m < 48) {
+    for (std::size_t i = 1; i < m; ++i) {
+      const polar_rec e = recs[i];
+      std::size_t j = i;
+      while (j > 0 && recs[j - 1].key > e.key) {
+        recs[j] = recs[j - 1];
+        --j;
+      }
+      recs[j] = e;
+    }
+    return;
+  }
+  // Same sort structure as sort_angle_keys, on 16-byte records: one counting
+  // pass over value buckets, a stable in-order scatter, and a near-sorted
+  // insertion fixup.  Keys are angle_key bit patterns of doubles in
+  // [0, 2*pi) -- non-negative, so bit order equals value order and the
+  // bucket map (scale by a positive constant, truncate, clamp) is monotone
+  // in the value; equal keys land in one bucket in input order, and the
+  // strict fixup comparison keeps them there.  Stable, hence byte-identical
+  // to the stable radix order the reference pipeline sorts in.  The ~4x
+  // bucket overallocation trades a slightly longer (SIMD-fast) counting pass
+  // for mostly-singleton buckets, which keeps the fixup sweep near-linear.
+  std::size_t nb = std::bit_ceil(m) << 2;
+  if (nb < 256) nb = 256;
+  if (nb > 262144) nb = 262144;
+  const double to_bucket = static_cast<double>(nb) / two_pi;
+  const auto bucket_of = [&](std::uint64_t key) {
+    const std::size_t b =
+        static_cast<std::size_t>(std::bit_cast<double>(key) * to_bucket);
+    return b < nb ? b : nb - 1;
+  };
+  bucket_scratch.assign(nb + 1, 0);
+  for (const polar_rec& e : recs) ++bucket_scratch[bucket_of(e.key) + 1];
+  for (std::size_t b = 1; b <= nb; ++b) {
+    bucket_scratch[b] += bucket_scratch[b - 1];
+  }
+  tmp.resize(m);
+  for (const polar_rec& e : recs) {
+    tmp[bucket_scratch[bucket_of(e.key)]++] = e;
+  }
+  for (std::size_t i = 1; i < m; ++i) {
+    const polar_rec e = tmp[i];
+    std::size_t j = i;
+    while (j > 0 && tmp[j - 1].key > e.key) {
+      tmp[j] = tmp[j - 1];
+      --j;
+    }
+    tmp[j] = e;
+  }
+  recs.swap(tmp);
+}
+
+bool snap_is_identity_recs(const polar_rec* recs, std::size_t n, double eps) {
+  if (n == 0) return true;
+  // Mirrors snap_is_identity below, reading each angle straight out of its
+  // record key (keys are the angle bit patterns).
+  if (two_pi - std::bit_cast<double>(recs[n - 1].key) <= eps) return false;
+  const double front = std::bit_cast<double>(recs[0].key);
+  if (front <= eps && front != 0.0) return false;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (std::bit_cast<double>(recs[i].key) -
+            std::bit_cast<double>(recs[i - 1].key) <=
+        eps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool snap_is_identity(const double* thetas, std::size_t n, double eps) {
+  if (n == 0) return true;
+  // Back clear of the seam: no seam merge can reach the first cluster and no
+  // representative zero-snaps from above.
+  if (two_pi - thetas[n - 1] <= eps) return false;
+  // Front either exactly 0.0 (its singleton representative zero-snaps to
+  // itself) or clear of the seam from below.
+  if (thetas[0] <= eps && thetas[0] != 0.0) return false;
+  // Every adjacent gap exceeds eps: all clusters are singletons, and a
+  // one-element mean reproduces its member exactly.
+  for (std::size_t i = 1; i < n; ++i) {
+    if (thetas[i] - thetas[i - 1] <= eps) return false;
+  }
+  return true;
+}
+
+void similarity_apply_batch(double c, double s, double scale, vec2 off,
+                            const vec2* in, std::size_t n, vec2* out) {
+#ifdef GATHER_HAVE_AVX2_TU
+  if (avx2_active()) {
+    detail::similarity_apply_batch_avx2(c, s, scale, off, in, n, out);
+    return;
+  }
+#endif
+  for (std::size_t j = 0; j < n; ++j) {
+    const vec2 p = in[j];
+    out[j] = {scale * (c * p.x - s * p.y) + off.x,
+              scale * (s * p.x + c * p.y) + off.y};
+  }
+}
+
+}  // namespace gather::geom::kernels

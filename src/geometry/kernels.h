@@ -1,0 +1,139 @@
+// Batch ("structure of arrays") geometry kernels.
+//
+// The per-round hot paths -- the pairwise-distance table, the per-observer
+// polar transforms behind Def. 2 views, and the local-frame snapshots of the
+// simulator -- all evaluate one short formula over thousands of points.  This
+// header batches those formulas over contiguous coordinate arrays (served by
+// configuration::occupied_xs/occupied_ys) so they vectorize, with a runtime
+// dispatch between an AVX2 translation unit and a portable scalar fallback.
+//
+// Bit-exactness contract: every kernel produces output bytes identical to the
+// scalar formula it replaces, on both dispatch paths.  The AVX2 unit is
+// compiled with -ffp-contract=off and restricted to IEEE-exact operations
+// (add/sub/mul/div and integer moves -- each rounds exactly like its scalar
+// counterpart), while the transcendental cores (hypot, atan2) always run
+// through libm, never a vector approximation.  The dispatch is therefore a
+// pure performance switch: `GATHER_FORCE_SCALAR=1` (or set_force_scalar) must
+// not change a single output byte, which tests/kernel_test.cpp fuzzes.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec2.h"
+#include "util/radix.h"
+
+namespace gather::geom::kernels {
+
+/// True when batch kernels run through the AVX2 translation unit: it was
+/// compiled in, the CPU reports AVX2, and no scalar override is active.
+/// Resolved once and cached; set_force_scalar re-resolves.
+[[nodiscard]] bool avx2_active();
+
+/// Name of the active dispatch path: "avx2" or "scalar".
+[[nodiscard]] const char* active_path();
+
+/// Test hook: `true` pins every kernel to the scalar path; `false` returns to
+/// the default resolution (CPU probe, honoring the GATHER_FORCE_SCALAR
+/// environment variable).  Not thread-safe against concurrent kernel calls;
+/// flip it only between batches.
+void set_force_scalar(bool force);
+
+/// out[j] = std::hypot(xs[j] - px, ys[j] - py) -- bit-equal to
+/// geom::distance({px, py}, {xs[j], ys[j]}).  The subtractions batch; the
+/// hypot core stays libm (pinned distance semantics).
+void distance_row(const double* xs, const double* ys, std::size_t n,
+                  double px, double py, double* out);
+
+/// The cross/dot pair of cw_angle's polar decomposition about observer
+/// (px, py) with reference direction (rx, ry):
+///   cr[j] = rx * (ys[j] - py) - ry * (xs[j] - px)
+///   dt[j] = rx * (xs[j] - px) + ry * (ys[j] - py)
+/// bit-equal to geom::cross(ref, v) / geom::dot(ref, v) for
+/// v = {xs[j], ys[j]} - {px, py}.
+void cross_dot_about(const double* xs, const double* ys, std::size_t n,
+                     double px, double py, double rx, double ry,
+                     double* cr, double* dt);
+
+/// angles[j] = geom::cw_angle reassembled from the precomputed cross/dot
+/// pair: norm_angle(-atan2(cr[j], dt[j])).  Scalar on both paths -- the
+/// atan2 core is pinned to libm.
+void cw_angles_from_cross_dot(const double* cr, const double* dt,
+                              std::size_t n, double* angles);
+
+/// out[j] = num[j] / denom.  IEEE division is exact-rounded, so the vector
+/// and scalar paths agree bitwise.  In-place (out == num) is allowed.
+void divide_batch(const double* num, std::size_t n, double denom, double* out);
+
+/// Radix key of one view angle: the bit pattern of a non-negative double is
+/// order-isomorphic to its value; -0.0 canonicalizes to the +0.0 pattern.
+[[nodiscard]] inline std::uint64_t angle_key(double a) {
+  const std::uint64_t k = std::bit_cast<std::uint64_t>(a);
+  return (k >> 63) != 0 ? 0 : k;
+}
+
+/// keys[j] = angle_key(angles[j]) -- pure integer moves, batched.
+void angle_keys(const double* angles, std::size_t n, std::uint64_t* keys);
+
+/// Stable ascending sort of angle-key records, byte-identical to
+/// util::radix_sort_key_idx.  Keys must be angle_key values (bit patterns of
+/// doubles in [0, 2*pi)); such keys bucket monotonically by value, so large
+/// arrays use one counting pass over value buckets plus a near-sorted
+/// insertion fixup instead of the radix's several full passes.  Small arrays
+/// fall through to the radix sort.  Both scratch vectors are caller-owned and
+/// resized as needed.
+void sort_angle_keys(std::vector<util::key_idx>& a,
+                     std::vector<util::key_idx>& radix_tmp,
+                     std::vector<std::uint32_t>& bucket_scratch);
+
+/// One record of the fused per-observer view pipeline: the angle's radix key
+/// (angle_key bit pattern) paired with the normalized distance.  16 bytes,
+/// deliberately layout-compatible with a (double angle, double dist) pair:
+/// the key IS the angle's bit pattern, so a sorted record array can be
+/// copied byte-for-byte into a polar view once the snap pass is known to be
+/// the identity.
+struct polar_rec {
+  std::uint64_t key;
+  double dist;
+};
+static_assert(sizeof(polar_rec) == 16);
+
+/// Stable ascending sort of polar records by key, byte-identical to a stable
+/// comparison sort (and hence to the radix-sorted reference order).  Keys
+/// must be angle_key values -- bit patterns of doubles in [0, 2*pi), sign
+/// bit clear -- so bit order equals value order and the value-proportional
+/// bucket map is monotone: a counting pass over ~4x overallocated buckets, a
+/// stable in-order scatter, and a near-sorted insertion fixup whose strict
+/// `>` never reorders equal keys.  Result lands back in `recs`; `tmp` and
+/// `bucket_scratch` are caller-owned scratch.
+void sort_polar_recs(std::vector<polar_rec>& recs,
+                     std::vector<polar_rec>& tmp,
+                     std::vector<std::uint32_t>& bucket_scratch);
+
+/// snap_is_identity over the keys of ascending-sorted records (keys are
+/// angle bit patterns, so the check reads them as doubles directly).
+[[nodiscard]] bool snap_is_identity_recs(const polar_rec* recs, std::size_t n,
+                                         double eps);
+
+/// True iff angle clustering and snapping (cluster_presorted_angles_into +
+/// snap_sorted_angles) would be the identity on the ASCENDING-sorted
+/// `thetas`: every adjacent gap exceeds eps (all clusters are singletons,
+/// whose representative is the member itself), the back stays clear of the
+/// 0/2*pi seam (no seam merge, no zero-snap from above), and the front is
+/// either exactly 0.0 or clear of the seam from below.  Callers use it to
+/// skip the clustering pass entirely; the result is bit-identical because a
+/// singleton mean is exact.
+[[nodiscard]] bool snap_is_identity(const double* thetas, std::size_t n,
+                                    double eps);
+
+/// out[i] = {scale * (c * in[i].x - s * in[i].y) + off.x,
+///           scale * (s * in[i].x + c * in[i].y) + off.y}
+/// -- bit-equal to geom::similarity::apply per element (the batched lanes
+/// perform the same IEEE multiplies/adds in the same order).  In-place
+/// (out == in) is allowed.
+void similarity_apply_batch(double c, double s, double scale, vec2 off,
+                            const vec2* in, std::size_t n, vec2* out);
+
+}  // namespace gather::geom::kernels

@@ -1,0 +1,98 @@
+// AVX2 lane bodies for the batch kernels (see kernels.h for the contract).
+//
+// This translation unit is compiled with -mavx2 -ffp-contract=off and is the
+// only one in the library allowed to use vector intrinsics.  Bit-exactness
+// discipline: only IEEE-exact operations (_mm256_{add,sub,mul,div}_pd,
+// addsub, permutes and moves) -- never FMA, never approximate reciprocals --
+// so every lane rounds exactly like the scalar statement it replaces.  The
+// scalar tails below must stay literal copies of the scalar fallbacks in
+// kernels.cpp: with contraction off they compile to the same IEEE ops.
+#include <cstddef>
+
+#include <immintrin.h>
+
+#include "geometry/kernels.h"
+
+namespace gather::geom::kernels::detail {
+
+void distance_prep_avx2(const double* xs, const double* ys, std::size_t n,
+                        double px, double py, double* dx, double* dy) {
+  const __m256d vpx = _mm256_set1_pd(px);
+  const __m256d vpy = _mm256_set1_pd(py);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(dx + j, _mm256_sub_pd(_mm256_loadu_pd(xs + j), vpx));
+    _mm256_storeu_pd(dy + j, _mm256_sub_pd(_mm256_loadu_pd(ys + j), vpy));
+  }
+  for (; j < n; ++j) {
+    dx[j] = xs[j] - px;
+    dy[j] = ys[j] - py;
+  }
+}
+
+void cross_dot_about_avx2(const double* xs, const double* ys, std::size_t n,
+                          double px, double py, double rx, double ry,
+                          double* cr, double* dt) {
+  const __m256d vpx = _mm256_set1_pd(px);
+  const __m256d vpy = _mm256_set1_pd(py);
+  const __m256d vrx = _mm256_set1_pd(rx);
+  const __m256d vry = _mm256_set1_pd(ry);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + j), vpx);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + j), vpy);
+    _mm256_storeu_pd(
+        cr + j,
+        _mm256_sub_pd(_mm256_mul_pd(vrx, dy), _mm256_mul_pd(vry, dx)));
+    _mm256_storeu_pd(
+        dt + j,
+        _mm256_add_pd(_mm256_mul_pd(vrx, dx), _mm256_mul_pd(vry, dy)));
+  }
+  for (; j < n; ++j) {
+    const double dx = xs[j] - px;
+    const double dy = ys[j] - py;
+    cr[j] = rx * dy - ry * dx;
+    dt[j] = rx * dx + ry * dy;
+  }
+}
+
+void divide_batch_avx2(const double* num, std::size_t n, double denom,
+                       double* out) {
+  const __m256d vd = _mm256_set1_pd(denom);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(out + j, _mm256_div_pd(_mm256_loadu_pd(num + j), vd));
+  }
+  for (; j < n; ++j) out[j] = num[j] / denom;
+}
+
+void similarity_apply_batch_avx2(double c, double s, double scale, vec2 off,
+                                 const vec2* in, std::size_t n, vec2* out) {
+  // vec2 is a pair of doubles, so the arrays read as interleaved x,y lanes.
+  // For v = [x0, y0, x1, y1] and its in-lane swap [y0, x0, y1, x1], addsub
+  // yields even lanes c*x - s*y and odd lanes c*y + s*x; IEEE addition is
+  // commutative, so the odd lanes match the scalar s*x + c*y bit for bit.
+  const double* src = reinterpret_cast<const double*>(in);
+  double* dst = reinterpret_cast<double*>(out);
+  const __m256d vc = _mm256_set1_pd(c);
+  const __m256d vs = _mm256_set1_pd(s);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d voff = _mm256_setr_pd(off.x, off.y, off.x, off.y);
+  const std::size_t lanes = 2 * n;
+  std::size_t j = 0;
+  for (; j + 4 <= lanes; j += 4) {
+    const __m256d v = _mm256_loadu_pd(src + j);
+    const __m256d swapped = _mm256_permute_pd(v, 0b0101);
+    const __m256d rotated =
+        _mm256_addsub_pd(_mm256_mul_pd(vc, v), _mm256_mul_pd(vs, swapped));
+    _mm256_storeu_pd(dst + j,
+                     _mm256_add_pd(_mm256_mul_pd(vscale, rotated), voff));
+  }
+  for (std::size_t i = j / 2; i < n; ++i) {
+    const vec2 p = in[i];
+    out[i] = {scale * (c * p.x - s * p.y) + off.x,
+              scale * (s * p.x + c * p.y) + off.y};
+  }
+}
+
+}  // namespace gather::geom::kernels::detail

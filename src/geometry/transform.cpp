@@ -3,11 +3,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "geometry/kernels.h"
+
 namespace gather::geom {
 
 similarity::similarity(double angle, double scale, vec2 offset)
     : cos_(std::cos(angle)), sin_(std::sin(angle)), scale_(scale), offset_(offset) {
   if (!(scale > 0.0)) throw std::invalid_argument("similarity: scale must be positive");
+}
+
+void similarity::apply_batch(const vec2* in, std::size_t n, vec2* out) const {
+  kernels::similarity_apply_batch(cos_, sin_, scale_, offset_, in, n, out);
 }
 
 }  // namespace gather::geom

@@ -9,6 +9,8 @@
 // because chirality is shared.
 #pragma once
 
+#include <cstddef>
+
 #include "geometry/vec2.h"
 
 namespace gather::geom {
@@ -32,6 +34,13 @@ class similarity {
     const vec2 d = (q - offset_) / scale_;
     return {cos_ * d.x + sin_ * d.y, -sin_ * d.x + cos_ * d.y};
   }
+
+  /// out[i] = apply(in[i]) for i in [0, n), bit-equal per element (the batch
+  /// kernel performs the same IEEE multiplies/adds in the same order, just
+  /// four points per step).  In-place (out == in) is allowed.  This is the
+  /// simulator's snapshot hot path: one call per LOOK instead of n scalar
+  /// apply calls.
+  void apply_batch(const vec2* in, std::size_t n, vec2* out) const;
 
   [[nodiscard]] double scale() const { return scale_; }
 

@@ -15,7 +15,7 @@
 #include "runner/campaign_spec.h"
 #include "runner/checkpoint.h"
 #include "runner/params.h"
-#include "runner/thread_pool.h"
+#include "util/thread_pool.h"
 #include "sim/analysis.h"
 
 namespace gather::runner {
@@ -211,7 +211,7 @@ campaign_result run_campaign(const campaign_spec& spec) {
   std::mutex progress_mutex;
   const auto start = std::chrono::steady_clock::now();
 
-  thread_pool pool(spec.exec.jobs);
+  util::thread_pool pool(spec.exec.jobs);
   pool.parallel_for(budget, [&](std::size_t k) {
     if (stop.load(std::memory_order_relaxed)) return;
     if (spec.exec.cancelled && spec.exec.cancelled()) {

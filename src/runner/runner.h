@@ -9,4 +9,13 @@
 #include "runner/result_columns.h"
 #include "runner/shard_plan.h"
 #include "runner/summary.h"
-#include "runner/thread_pool.h"
+#include "util/thread_pool.h"
+
+namespace gather::runner {
+
+// The pool moved to src/util (header-only, layer rank 0) so the config
+// layer's intra-round fills can shard across it too; the runner-facing name
+// stays for the existing campaign/tool call sites.
+using util::thread_pool;
+
+}  // namespace gather::runner

@@ -293,9 +293,8 @@ sim_result engine::run() {
         // bit for bit while reusing the buffers across robots and rounds.
         const geom::similarity& f = frames[i];
         std::vector<vec2>& local_pts = scratch_local_pts_;
-        local_pts.clear();
-        local_pts.reserve(positions_.size());
-        for (const vec2& p : positions_) local_pts.push_back(f.apply(p));
+        local_pts.resize(positions_.size());
+        f.apply_batch(positions_.data(), positions_.size(), local_pts.data());
         local_config_.apply_moves(local_pts);
         const configuration& local_c = local_config_;
         const vec2 local_dest =

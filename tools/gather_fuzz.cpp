@@ -210,7 +210,7 @@ int main(int argc, char** argv) {
     const std::size_t total =
         a.iterations > 0 ? static_cast<std::size_t>(a.iterations) : 0;
     std::vector<std::optional<std::string>> failures(total);
-    runner::thread_pool pool(a.jobs);
+    util::thread_pool pool(a.jobs);
     pool.parallel_for(total, [&](std::size_t it) {
       const instance in = make_instance(a.base_seed, it, a.max_n, a.workloads);
       const verdict v = check(in);

@@ -25,8 +25,9 @@ Rules (diagnosed as path:line: Rn: message, same contract as gather-lint):
       `polar_ref` bound from `angular_order_ref` IS tracked (the handle may
       alias cache storage) unless the statement detaches it via `.take()`.
 
-  R7  Lock discipline.  Scope: src/runner and tools (the concurrency
-      surfaces: thread_pool, the campaign service, gather_campaignd).
+  R7  Lock discipline.  Scope: src/util, src/runner and tools (the
+      concurrency surfaces: thread_pool -- now a util header so the config
+      layer can shard across it -- the campaign service, gather_campaignd).
       Fields carrying a `// gather-lint: guarded_by(mutex_name)` annotation
       (same line or the line above the declaration) may only be read or
       written inside a scope where that mutex is held via
@@ -236,7 +237,7 @@ def _split_toplevel_assign(tokens):
 # R7: guarded-field access outside the guarding lock
 # ---------------------------------------------------------------------------
 
-R7_DIRS = ("src/runner/", "tools/")
+R7_DIRS = ("src/util/", "src/runner/", "tools/")
 _GUARD_ANNOT = re.compile(r"gather-lint:\s*guarded_by\(\s*([A-Za-z_]\w*)\s*\)")
 _LOCK_TYPES = {"lock_guard", "unique_lock", "scoped_lock", "shared_lock"}
 _LOCK_TAGS = {"adopt_lock", "defer_lock", "try_to_lock"}
